@@ -1,0 +1,75 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure benches: the paper's OpenTuner
+/// escalation protocol ("gradually increased the timeout parameter until
+/// it either reaches similar results as WBTuner (difference < 10%) or
+/// could not after spending 10 times WBTuner's tuning time", Sec. V-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BENCH_BENCHUTIL_H
+#define WBT_BENCH_BENCHUTIL_H
+
+#include "apps/Apps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wbtbench {
+
+/// True when \p Candidate is within 10% of \p Target in the direction
+/// that matters.
+inline bool withinTenPercent(double Candidate, double Target,
+                             bool LowerIsBetter) {
+  double Slack = 0.1 * std::max(std::fabs(Target), 0.05);
+  return LowerIsBetter ? Candidate <= Target + Slack
+                       : Candidate >= Target - Slack;
+}
+
+struct EscalationResult {
+  wbt::apps::TuneOutcome Outcome;
+  /// Total black-box tuning seconds spent across escalations.
+  double TotalSeconds = 0;
+  bool TimedOut = false;
+};
+
+/// Runs the paper's escalation protocol against \p App.
+inline EscalationResult escalateBlackBox(wbt::apps::TunedApp &App,
+                                         double WhiteBoxSeconds,
+                                         double WhiteBoxQuality,
+                                         unsigned Workers, uint64_t Seed) {
+  EscalationResult Res;
+  double Budget = std::max(WhiteBoxSeconds, 0.01);
+  const double Cap = 10.0 * std::max(WhiteBoxSeconds, 0.01);
+  while (true) {
+    wbt::apps::TuneOutcome Out = App.blackBoxTune(Budget, Workers, Seed);
+    Res.TotalSeconds += Out.Seconds;
+    Res.Outcome = Out;
+    if (withinTenPercent(Out.Quality, WhiteBoxQuality, App.lowerIsBetter()))
+      return Res;
+    if (Res.TotalSeconds >= Cap) {
+      Res.TimedOut = true;
+      return Res;
+    }
+    Budget = std::min(2.0 * Budget, Cap - Res.TotalSeconds + 0.01);
+  }
+}
+
+/// "12.3" or "t/o" column text.
+inline std::string timeOrTimeout(const EscalationResult &R) {
+  char Buf[32];
+  if (R.TimedOut)
+    return "t/o";
+  std::snprintf(Buf, sizeof(Buf), "%.3f", R.TotalSeconds);
+  return Buf;
+}
+
+} // namespace wbtbench
+
+#endif // WBT_BENCH_BENCHUTIL_H

@@ -1,0 +1,82 @@
+//===- bench/bench_drone.cpp - Paper Fig. 22 / Sec. V-B5 -------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The behavior-learning case study: tune the student ("Ardupilot")
+// controller's 40 per-mode gains to mimic the reference ("PX4")
+// controller's motor-speed behavior, then evaluate on the held-out zigzag
+// test mission. Prints Fig. 22's content: motor-speed traces (subsampled
+// series), per-mode RMS errors, and the flight-time reduction; plus a
+// black-box comparison at equal budget showing why flat 40-parameter
+// tuning cannot keep up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::drone;
+using namespace wbtbench;
+
+int main() {
+  std::unique_ptr<TunedApp> App = makeArdupilotApp();
+
+  double Native = App->nativeQuality();
+  TuneOutcome Wb = App->whiteBoxTune(/*Workers=*/4, /*Seed=*/83);
+  std::printf("=== Sec. V-B5: behavior learning, zigzag test mission ===\n");
+  std::printf("motor-speed RMS distance to the reference controller:\n");
+  std::printf("  factory student : %.4f\n", Native);
+  std::printf("  tuned student   : %.4f  (%ld sampled flights, %.2f s "
+              "tuning)\n",
+              Wb.Quality, Wb.Samples, Wb.Seconds);
+
+  DroneFig22Data Fig = droneFig22(*App);
+  std::printf("\n=== Fig. 22: flight times on the test mission ===\n");
+  auto PrintFlight = [](const char *Name, const FlightTrace &T) {
+    std::printf("  %-18s %s in %.1f s\n", Name,
+                T.MissionCompleted ? "completed" : "DID NOT FINISH",
+                T.FlightSeconds);
+  };
+  PrintFlight("reference (PX4)", Fig.Reference);
+  PrintFlight("factory student", Fig.Factory);
+  PrintFlight("tuned student", Fig.Tuned);
+  if (Fig.Factory.MissionCompleted && Fig.Tuned.MissionCompleted)
+    std::printf("  flight time reduced by %.0f%% (paper: 22%%, 105 s -> "
+                "82 s)\n",
+                100.0 * (Fig.Factory.FlightSeconds - Fig.Tuned.FlightSeconds) /
+                    Fig.Factory.FlightSeconds);
+
+  std::printf("\n=== Fig. 22: motor-0 speed traces (every 100th step) "
+              "===\n");
+  std::printf("%-8s %10s %10s %10s\n", "step", "reference", "factory",
+              "tuned");
+  size_t Steps = std::min({Fig.Reference.MotorLog.size(),
+                           Fig.Factory.MotorLog.size(),
+                           Fig.Tuned.MotorLog.size()});
+  for (size_t I = 0; I < Steps; I += 100)
+    std::printf("%-8zu %10.3f %10.3f %10.3f\n", I,
+                Fig.Reference.MotorLog[I][0], Fig.Factory.MotorLog[I][0],
+                Fig.Tuned.MotorLog[I][0]);
+
+  std::printf("\nper-mode RMS motor error of the tuned student:\n");
+  std::vector<double> PerMode =
+      behaviorDistancePerMode(Fig.Tuned, Fig.Reference);
+  static const char *Names[] = {"takeoff", "cruise", "land"};
+  for (int M = 0; M != NumFlightModes; ++M)
+    if (PerMode[static_cast<size_t>(M)] >= 0)
+      std::printf("  %-8s %.4f\n", Names[M], PerMode[static_cast<size_t>(M)]);
+
+  std::printf("\n=== black-box comparison at equal budget ===\n");
+  TuneOutcome Ot = App->blackBoxTune(Wb.Seconds, 4, 89);
+  std::printf("  WBTuner  (per-mode regions): %.4f\n", Wb.Quality);
+  std::printf("  OpenTuner (flat 40 params) : %.4f in %ld full missions\n",
+              Ot.Quality, Ot.Samples);
+  std::printf("(the paper argues flat black-box tuning cannot express "
+              "per-flight-mode parameter values at all)\n");
+  return 0;
+}

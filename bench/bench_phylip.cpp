@@ -1,0 +1,73 @@
+//===- bench/bench_phylip.cpp - Paper Figs. 15, 16 -------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 15: Phylip tree errors on 10 datasets — no-tuning / OpenTuner
+//          (escalation protocol) / WBTuner. Lower is better (distance
+//          RMSE against the planted phylogeny).
+// Fig. 16: error-over-time for the best/worst datasets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace wbt::apps;
+using namespace wbtbench;
+
+int main() {
+  const int NumDatasets = 10;
+  std::unique_ptr<TunedApp> App = makePhylipApp();
+
+  std::printf("=== Fig. 15: Phylip tuning scores on %d datasets "
+              "(tree-distance RMSE, lower is better) ===\n",
+              NumDatasets);
+  std::printf("%-8s %12s %12s %12s\n", "dataset", "no-tune", "OpenTuner",
+              "WBTuner");
+  double SumNative = 0, SumOt = 0, SumWb = 0;
+  int BestData = 0, WorstData = 0;
+  double BestGain = -1e18, WorstGain = 1e18;
+  for (int I = 0; I != NumDatasets; ++I) {
+    App->loadDataset(I);
+    double Native = App->nativeQuality();
+    TuneOutcome W = App->whiteBoxTune(1, 43 + I);
+    TuneOutcome O = App->blackBoxTune(W.Seconds, 1, 47 + I);
+    std::printf("%-8d %12.4f %12.4f %12.4f\n", I, Native, O.Quality,
+                W.Quality);
+    SumNative += Native;
+    SumOt += O.Quality;
+    SumWb += W.Quality;
+    double Gain = O.Quality - W.Quality; // positive = WBTuner better
+    if (Gain > BestGain) {
+      BestGain = Gain;
+      BestData = I;
+    }
+    if (Gain < WorstGain) {
+      WorstGain = Gain;
+      WorstData = I;
+    }
+  }
+  std::printf("%-8s %12.4f %12.4f %12.4f\n", "mean", SumNative / NumDatasets,
+              SumOt / NumDatasets, SumWb / NumDatasets);
+  std::printf("error reduction: vs no-tuning %.1fx, vs OpenTuner %.2fx "
+              "(paper: 283x and 4.77x)\n\n",
+              SumNative / SumWb, SumOt / SumWb);
+
+  std::printf("=== Fig. 16: error vs tuning-time (equal-time OpenTuner at "
+              "budget fractions; WBTuner converges at 1.0) ===\n");
+  for (int Data : {BestData, WorstData}) {
+    App->loadDataset(Data);
+    TuneOutcome W = App->whiteBoxTune(1, 43 + Data);
+    std::printf("dataset %d (%s improvement): WBTuner %.4f @ %.3fs\n", Data,
+                Data == BestData ? "max" : "min", W.Quality, W.Seconds);
+    std::printf("%-12s %-12s\n", "OT budget(x)", "OT error");
+    for (double Frac : {0.5, 1.0, 2.0, 4.0}) {
+      TuneOutcome O = App->blackBoxTune(Frac * W.Seconds, 1, 47 + Data);
+      std::printf("%-12.1f %-12.4f\n", Frac, O.Quality);
+    }
+  }
+  return 0;
+}

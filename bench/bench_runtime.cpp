@@ -1,0 +1,118 @@
+//===- bench/bench_runtime.cpp - Runtime micro-benchmarks ------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark timings of the tuner machinery itself: scheduler task
+// throughput (Alg. 1 vs FIFO), aggregation strategies, sampling
+// strategies, and a full in-process pipeline per sample. These quantify
+// the framework overhead that the paper's "reasonable overhead" claim
+// rests on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aggregate/Aggregators.h"
+#include "core/Pipeline.h"
+#include "strategy/SamplingStrategy.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+using namespace wbt;
+
+namespace {
+
+void BM_SchedulerThroughput(benchmark::State &State) {
+  bool UseAlg1 = State.range(0) != 0;
+  for (auto _ : State) {
+    Scheduler::Options Opts;
+    Opts.Workers = 4;
+    Opts.UseAlg1 = UseAlg1;
+    Scheduler S(Opts);
+    std::atomic<long> Count{0};
+    for (int I = 0; I != 1000; ++I)
+      S.submitSampling(1000 - I, [&Count] { Count.fetch_add(1); });
+    S.waitIdle();
+    benchmark::DoNotOptimize(Count.load());
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_MajorityVote(benchmark::State &State) {
+  size_t Size = static_cast<size_t>(State.range(0));
+  std::vector<uint8_t> Mask(Size, 1);
+  for (auto _ : State) {
+    VoteAccumulator Acc;
+    for (int I = 0; I != 50; ++I)
+      Acc.add(Mask);
+    benchmark::DoNotOptimize(Acc.result(0.5));
+  }
+  State.SetBytesProcessed(State.iterations() * 50 * Size);
+}
+BENCHMARK(BM_MajorityVote)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_StrategyDraw(benchmark::State &State) {
+  std::unique_ptr<SamplingStrategy> S =
+      State.range(0) == 0   ? makeRandomStrategy()
+      : State.range(0) == 1 ? makeMcmcStrategy()
+                            : makeLatinHypercubeStrategy(1024, 7);
+  Distribution D = Distribution::uniform(0.0, 1.0);
+  Rng R(11);
+  int Run = 0;
+  for (auto _ : State) {
+    double X = S->draw(Run, "x", D, R);
+    S->feedback(Run, X);
+    ++Run;
+    benchmark::DoNotOptimize(X);
+  }
+}
+BENCHMARK(BM_StrategyDraw)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PipelinePerSample(benchmark::State &State) {
+  // Cost of one engine-managed sampling run with a trivial body: the
+  // framework overhead per sample.
+  long Samples = State.range(0);
+  for (auto _ : State) {
+    Pipeline P;
+    StageOptions O;
+    O.NumSamples = static_cast<int>(Samples);
+    P.addStage<double, double, double>(
+        "s", O,
+        std::function<std::optional<double>(const double &, SampleContext &)>(
+            [](const double &, SampleContext &Ctx) -> std::optional<double> {
+              double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+              Ctx.setScore(X);
+              return X;
+            }),
+        std::function<std::unique_ptr<Aggregator<double, double>>()>([] {
+          return std::make_unique<BestScoreAggregator<double>>(false);
+        }));
+    RunOptions RO;
+    RO.Workers = 4;
+    RO.Seed = 5;
+    benchmark::DoNotOptimize(P.run(std::any(0.0), RO));
+  }
+  State.SetItemsProcessed(State.iterations() * Samples);
+}
+BENCHMARK(BM_PipelinePerSample)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_DedupVectors(benchmark::State &State) {
+  Rng R(3);
+  std::vector<std::vector<double>> Items;
+  for (int I = 0; I != 64; ++I) {
+    std::vector<double> V(32);
+    for (double &X : V)
+      X = R.uniform(0, 1);
+    Items.push_back(V);
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dedupVectors(Items, 0.05));
+}
+BENCHMARK(BM_DedupVectors);
+
+} // namespace
+
+BENCHMARK_MAIN();

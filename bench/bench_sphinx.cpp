@@ -1,0 +1,78 @@
+//===- bench/bench_sphinx.cpp - Paper Figs. 20, 21 -------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 20: correctly recognized utterances (out of 5) per speaker set —
+//          no-tuning / OpenTuner / WBTuner, averaged over repetitions.
+// Fig. 21: precision over tuning time for the best/worst sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace wbt::apps;
+using namespace wbtbench;
+
+int main() {
+  const int NumSets = 10;
+  const int Reps = 3; // the paper averages repeated runs
+  std::unique_ptr<TunedApp> App = makeSphinxApp();
+
+  std::printf("=== Fig. 20: Sphinx recognition on %d speaker sets "
+              "(correct out of 5, averaged over %d runs) ===\n",
+              NumSets, Reps);
+  std::printf("%-8s %10s %10s %10s\n", "set", "no-tune", "OpenTuner",
+              "WBTuner");
+  double SumNative = 0, SumOt = 0, SumWb = 0;
+  int BestSet = 0, WorstSet = 0;
+  double BestGain = -1e18, WorstGain = 1e18;
+  for (int I = 0; I != NumSets; ++I) {
+    App->loadDataset(I);
+    double Native = App->nativeQuality();
+    double WbSum = 0, OtSum = 0, WbSecs = 0;
+    for (int R = 0; R != Reps; ++R) {
+      TuneOutcome W = App->whiteBoxTune(1, 67 + 13 * R + I);
+      WbSum += W.Quality;
+      WbSecs = W.Seconds;
+      TuneOutcome O = App->blackBoxTune(W.Seconds, 1, 71 + 13 * R + I);
+      OtSum += O.Quality;
+    }
+    double Wb = WbSum / Reps, Ot = OtSum / Reps;
+    std::printf("%-8d %10.2f %10.2f %10.2f\n", I, Native, Ot, Wb);
+    SumNative += Native;
+    SumOt += Ot;
+    SumWb += Wb;
+    double Gain = Wb - Ot;
+    if (Gain > BestGain) {
+      BestGain = Gain;
+      BestSet = I;
+    }
+    if (Gain < WorstGain) {
+      WorstGain = Gain;
+      WorstSet = I;
+    }
+    (void)WbSecs;
+  }
+  std::printf("%-8s %10.2f %10.2f %10.2f\n", "mean", SumNative / NumSets,
+              SumOt / NumSets, SumWb / NumSets);
+  std::printf("(paper: no-tune 2.7, OpenTuner 3.94, WBTuner ~4.7 of 5)\n\n");
+
+  std::printf("=== Fig. 21: precision vs tuning time ===\n");
+  for (int Set : {BestSet, WorstSet}) {
+    App->loadDataset(Set);
+    TuneOutcome W = App->whiteBoxTune(1, 67 + Set);
+    std::printf("set %d (%s): WBTuner %.1f @ %.3fs\n", Set,
+                Set == BestSet ? "max improvement" : "min improvement",
+                W.Quality, W.Seconds);
+    std::printf("%-12s %-12s\n", "OT budget(x)", "OT correct");
+    for (double Frac : {0.5, 1.0, 2.0, 4.0}) {
+      TuneOutcome O = App->blackBoxTune(Frac * W.Seconds, 1, 71 + Set);
+      std::printf("%-12.1f %-12.1f\n", Frac, O.Quality);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- bench/bench_svm.cpp - Paper Figs. 17, 18, 19 ------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 17: training/testing error of the tuned SVM with and without the
+//          engine's built-in cross-validation, over 10 datasets — the
+//          overfitting demonstration.
+// Fig. 18: testing error on 10 datasets, no-tuning / OpenTuner / WBTuner.
+// Fig. 19: error-over-time for the best/worst datasets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace wbt::apps;
+using namespace wbtbench;
+
+int main() {
+  const int NumDatasets = 10;
+
+  //===------------------------------------------------------------------===//
+  // Fig. 17: with vs without cross-validation.
+  //===------------------------------------------------------------------===//
+  std::printf("=== Fig. 17: tuned SVM train/test error with and without "
+              "cross-validation ===\n");
+  std::printf("%-8s | %10s %10s | %10s %10s\n", "dataset", "noCV-train",
+              "noCV-test", "CV-train", "CV-test");
+  double SumNoCvTrain = 0, SumNoCvTest = 0, SumCvTrain = 0, SumCvTest = 0;
+  for (int I = 0; I != NumDatasets; ++I) {
+    std::unique_ptr<TunedApp> NoCv = makeSvmAppNoCv();
+    std::unique_ptr<TunedApp> WithCv = makeSvmApp();
+    NoCv->loadDataset(I);
+    WithCv->loadDataset(I);
+    NoCv->whiteBoxTune(1, 53 + I);
+    WithCv->whiteBoxTune(1, 53 + I);
+    auto [NoCvTrain, NoCvTest] = svmLastErrors(*NoCv);
+    auto [CvTrain, CvTest] = svmLastErrors(*WithCv);
+    std::printf("%-8d | %10.3f %10.3f | %10.3f %10.3f\n", I, NoCvTrain,
+                NoCvTest, CvTrain, CvTest);
+    SumNoCvTrain += NoCvTrain;
+    SumNoCvTest += NoCvTest;
+    SumCvTrain += CvTrain;
+    SumCvTest += CvTest;
+  }
+  std::printf("%-8s | %10.3f %10.3f | %10.3f %10.3f\n", "mean",
+              SumNoCvTrain / NumDatasets, SumNoCvTest / NumDatasets,
+              SumCvTrain / NumDatasets, SumCvTest / NumDatasets);
+  std::printf("(paper: without CV the training error collapses while the "
+              "testing error stays high)\n\n");
+
+  //===------------------------------------------------------------------===//
+  // Fig. 18: scores on 10 datasets.
+  //===------------------------------------------------------------------===//
+  std::printf("=== Fig. 18: SVM testing error on %d datasets (lower is "
+              "better) ===\n",
+              NumDatasets);
+  std::printf("%-8s %10s %10s %10s\n", "dataset", "no-tune", "OpenTuner",
+              "WBTuner");
+  std::unique_ptr<TunedApp> App = makeSvmApp();
+  double SumNative = 0, SumOt = 0, SumWb = 0;
+  int BestData = 0, WorstData = 0;
+  double BestGain = -1e18, WorstGain = 1e18;
+  for (int I = 0; I != NumDatasets; ++I) {
+    App->loadDataset(I);
+    double Native = App->nativeQuality();
+    TuneOutcome W = App->whiteBoxTune(1, 59 + I);
+    TuneOutcome O = App->blackBoxTune(W.Seconds, 1, 61 + I);
+    std::printf("%-8d %10.3f %10.3f %10.3f\n", I, Native, O.Quality,
+                W.Quality);
+    SumNative += Native;
+    SumOt += O.Quality;
+    SumWb += W.Quality;
+    double Gain = O.Quality - W.Quality;
+    if (Gain > BestGain) {
+      BestGain = Gain;
+      BestData = I;
+    }
+    if (Gain < WorstGain) {
+      WorstGain = Gain;
+      WorstData = I;
+    }
+  }
+  std::printf("%-8s %10.3f %10.3f %10.3f\n", "mean", SumNative / NumDatasets,
+              SumOt / NumDatasets, SumWb / NumDatasets);
+  std::printf("improvement over no-tuning: OpenTuner %.0f%%, WBTuner %.0f%% "
+              "(paper: 35%% vs 47%%)\n\n",
+              100 * (SumNative - SumOt) / SumNative,
+              100 * (SumNative - SumWb) / SumNative);
+
+  //===------------------------------------------------------------------===//
+  // Fig. 19: error vs time.
+  //===------------------------------------------------------------------===//
+  std::printf("=== Fig. 19: error vs tuning-time ===\n");
+  for (int Data : {BestData, WorstData}) {
+    App->loadDataset(Data);
+    TuneOutcome W = App->whiteBoxTune(1, 59 + Data);
+    std::printf("dataset %d (%s): WBTuner %.3f @ %.3fs\n", Data,
+                Data == BestData ? "max improvement" : "min improvement",
+                W.Quality, W.Seconds);
+    std::printf("%-12s %-12s\n", "OT budget(x)", "OT error");
+    for (double Frac : {0.5, 1.0, 2.0, 4.0}) {
+      TuneOutcome O = App->blackBoxTune(Frac * W.Seconds, 1, 61 + Data);
+      std::printf("%-12.1f %-12.3f\n", Frac, O.Quality);
+    }
+  }
+  return 0;
+}

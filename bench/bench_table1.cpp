@@ -1,0 +1,144 @@
+//===- bench/bench_table1.cpp - Paper Table I ------------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates paper Table I: for each of the 13 benchmark programs, the
+// native (untuned) score, WBTuner's tuning time and converged score, and
+// OpenTuner's time/score under the escalation protocol — in a single-core
+// and a multi-core setting. Scores are ground-truth qualities in each
+// program's own units (direction marked with ^ / v as in the paper).
+// Ardupilot's black-box column is "-": per the paper (Sec. V-B5),
+// OpenTuner cannot express per-flight-mode parameter values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace wbt::apps;
+using namespace wbtbench;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  char Dir;
+  int Params;
+  std::string Sampling, Aggregation;
+  double Native;
+  double WbtTime1, WbtScore1;
+  std::string OtTime1;
+  double OtScore1;
+  double Ratio1;
+  double WbtTimeN, WbtScoreN;
+  std::string OtTimeN;
+  double OtScoreN;
+  double RatioN;
+  bool HasOt = true;
+};
+
+Row runApp(TunedApp &App, unsigned MultiWorkers) {
+  Row R;
+  R.Name = App.name();
+  R.Dir = App.lowerIsBetter() ? 'v' : '^';
+  R.Params = App.numParams();
+  R.Sampling = App.samplingName();
+  R.Aggregation = App.aggregationName();
+  App.loadDataset(0); // the "largest dataset" stand-in
+  R.Native = App.nativeQuality();
+
+  // Single core.
+  TuneOutcome Wb1 = App.whiteBoxTune(/*Workers=*/1, /*Seed=*/17);
+  R.WbtTime1 = Wb1.Seconds;
+  R.WbtScore1 = Wb1.Quality;
+  R.HasOt = App.name() != "Ardupilot";
+  if (R.HasOt) {
+    EscalationResult Ot1 =
+        escalateBlackBox(App, Wb1.Seconds, Wb1.Quality, 1, 19);
+    R.OtTime1 = timeOrTimeout(Ot1);
+    R.OtScore1 = Ot1.Outcome.Quality;
+    R.Ratio1 = Ot1.TotalSeconds / std::max(Wb1.Seconds, 1e-6);
+  }
+
+  // Multi core.
+  TuneOutcome WbN = App.whiteBoxTune(MultiWorkers, 17);
+  R.WbtTimeN = WbN.Seconds;
+  R.WbtScoreN = WbN.Quality;
+  if (R.HasOt) {
+    EscalationResult OtN =
+        escalateBlackBox(App, WbN.Seconds, WbN.Quality, MultiWorkers, 19);
+    R.OtTimeN = timeOrTimeout(OtN);
+    R.OtScoreN = OtN.Outcome.Quality;
+    R.RatioN = OtN.TotalSeconds / std::max(WbN.Seconds, 1e-6);
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  unsigned MultiWorkers =
+      std::min(8u, std::max(2u, std::thread::hardware_concurrency()));
+  std::printf("=== Table I: benchmark statistics and best tuning scores "
+              "===\n");
+  std::printf("(scores are ground-truth quality; ^ higher is better, "
+              "v lower is better; multi-core uses %u workers)\n\n",
+              MultiWorkers);
+  std::printf("%-11s %c %3s %-8s %-10s | %9s | %9s %9s | %9s %9s %6s | "
+              "%9s %9s | %9s %9s %6s\n",
+              "Program", ' ', "#P", "Sampling", "Aggreg.", "Native",
+              "WBt(s)", "WBscore", "OTt(s)", "OTscore", "o/h",
+              "WBt(s)mc", "WBscoremc", "OTt(s)mc", "OTscoremc", "o/h");
+
+  double RatioSum1 = 0, RatioSumN = 0;
+  int RatioCount1 = 0, RatioCountN = 0;
+  int Timeouts1 = 0, TimeoutsN = 0;
+
+  std::vector<std::unique_ptr<TunedApp>> Apps = makeAllApps();
+  for (auto &App : Apps) {
+    Row R = runApp(*App, MultiWorkers);
+    if (R.HasOt) {
+      std::printf("%-11s %c %3d %-8s %-10s | %9.3f | %9.3f %9.3f | %9s "
+                  "%9.3f %5.1fx | %9.3f %9.3f | %9s %9.3f %5.1fx\n",
+                  R.Name.c_str(), R.Dir, R.Params, R.Sampling.c_str(),
+                  R.Aggregation.c_str(), R.Native, R.WbtTime1, R.WbtScore1,
+                  R.OtTime1.c_str(), R.OtScore1, R.Ratio1, R.WbtTimeN,
+                  R.WbtScoreN, R.OtTimeN.c_str(), R.OtScoreN, R.RatioN);
+      if (R.OtTime1 == "t/o")
+        ++Timeouts1;
+      else {
+        RatioSum1 += R.Ratio1;
+        ++RatioCount1;
+      }
+      if (R.OtTimeN == "t/o")
+        ++TimeoutsN;
+      else {
+        RatioSumN += R.RatioN;
+        ++RatioCountN;
+      }
+    } else {
+      std::printf("%-11s %c %3d %-8s %-10s | %9.3f | %9.3f %9.3f | %9s "
+                  "%9s %6s | %9.3f %9.3f | %9s %9s %6s\n",
+                  R.Name.c_str(), R.Dir, R.Params, R.Sampling.c_str(),
+                  R.Aggregation.c_str(), R.Native, R.WbtTime1, R.WbtScore1,
+                  "-", "-", "-", R.WbtTimeN, R.WbtScoreN, "-", "-", "-");
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\nSummary (paper: single-core o/h 3.08x with 2 timeouts; "
+              "multi-core 4.67x with 3 timeouts):\n");
+  std::printf("  single-core: OpenTuner needed %.2fx WBTuner's time on "
+              "average (%d of %d timed out)\n",
+              RatioCount1 ? RatioSum1 / RatioCount1 : 0.0, Timeouts1,
+              RatioCount1 + Timeouts1);
+  std::printf("  multi-core : OpenTuner needed %.2fx WBTuner's time on "
+              "average (%d of %d timed out)\n",
+              RatioCountN ? RatioSumN / RatioCountN : 0.0, TimeoutsN,
+              RatioCountN + TimeoutsN);
+  return 0;
+}

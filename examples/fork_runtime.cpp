@@ -1,0 +1,95 @@
+//===- examples/fork_runtime.cpp - The paper's literal primitives ---------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the faithful fork-based runtime (proc/Runtime.h): real sampling
+// processes created with fork(2), a file-backed aggregation store, the
+// shared-memory Alg. 1 pool, @check pruning, @split tuning processes and
+// cross-process majority voting. This is the paper's Fig. 4 programming
+// model verbatim — primitives inserted into straight-line code.
+//
+// Build and run:  ./examples/fork_runtime
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/Runtime.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace wbt;
+using namespace wbt::proc;
+
+int main() {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 2024;
+  Rt.init(Opts);
+
+  // ---- Region 1: tune `sigma`; keep the two best intermediate results
+  // alive as split tuning processes. --------------------------------------
+  std::printf("[pid-ish %d] region 1: sampling sigma with 8 processes\n",
+              Rt.isTuning() ? 0 : Rt.sampleIndex());
+  Rt.sampling(8);
+  double Sigma = Rt.sample("sigma", Distribution::uniform(0.0, 2.0));
+  double Intermediate = 4.0 - std::pow(Sigma - 1.3, 2); // peak at 1.3
+  // @check: prune clearly poor samples before they commit.
+  Rt.check(Intermediate > 2.0);
+  if (Rt.isSampling()) {
+    Rt.commitExtra("sigma", encodeDouble(Sigma));
+    Rt.aggregate("intermediate", encodeDouble(Intermediate), nullptr);
+  }
+
+  double MySigma = 0, MyIntermediate = 0;
+  bool IsSplitChild = false;
+  Rt.aggregate("intermediate", encodeDouble(0), [&](AggregationView &V) {
+    std::vector<int> Committed = V.committed("intermediate");
+    std::printf("tuning process: %zu of %d samples survived @check\n",
+                Committed.size(), V.spawned());
+    int Kept = 0;
+    for (int I : Committed) {
+      double Val = V.loadDouble("intermediate", I);
+      double Sig = V.loadDouble("sigma", I);
+      if (Kept == 2)
+        break;
+      ++Kept;
+      // @split: a fresh tuning process continues with this result.
+      if (Rt.split()) {
+        IsSplitChild = true;
+        MySigma = Sig;
+        MyIntermediate = Val;
+        return;
+      }
+    }
+  });
+
+  if (IsSplitChild) {
+    // ---- Region 2 (in each split tuning process): tune `threshold` and
+    // vote the final bitmask across ALL processes through the shared
+    // accumulator. --------------------------------------------------------
+    Rt.sampling(6);
+    double Threshold =
+        Rt.sample("threshold", Distribution::uniform(0.0, 1.0));
+    std::vector<uint8_t> Mask(16);
+    for (size_t I = 0; I != Mask.size(); ++I)
+      Mask[I] = (MyIntermediate * (I + 1) / 16.0) > Threshold * 4.0 ? 1 : 0;
+    if (Rt.isSampling()) {
+      Rt.sharedVoteAdd(Mask);
+      Rt.aggregate("done", encodeDouble(1), nullptr);
+    }
+    Rt.aggregate("done", encodeDouble(0), nullptr);
+    std::printf("split tuning process (sigma=%.3f) finished its region\n",
+                MySigma);
+    Rt.finishAndExit();
+  }
+
+  // Root: wait for the split children, then read the cross-process vote.
+  Rt.finish(); // waits for all descendants
+  std::printf("root: all tuning processes finished\n");
+  std::printf("(the shared majority vote lived in the runtime's shared "
+              "memory; see tests/ProcTest.cpp for assertions over it)\n");
+  return 0;
+}

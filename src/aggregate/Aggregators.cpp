@@ -1,0 +1,144 @@
+//===- aggregate/Aggregators.cpp - cbAggr implementations -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aggregate/Aggregators.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+
+const char *wbt::aggregationKindName(AggregationKind K) {
+  switch (K) {
+  case AggregationKind::Min:
+    return "MIN";
+  case AggregationKind::Max:
+    return "MAX";
+  case AggregationKind::Avg:
+    return "AVG";
+  case AggregationKind::MajorityVote:
+    return "MV";
+  case AggregationKind::Dedup:
+    return "DEDUP";
+  case AggregationKind::Custom:
+    return "CUSTOM";
+  }
+  return "?";
+}
+
+double wbt::aggregateMin(const std::vector<double> &Xs) {
+  double M = std::numeric_limits<double>::infinity();
+  for (double X : Xs)
+    M = std::min(M, X);
+  return M;
+}
+
+double wbt::aggregateMax(const std::vector<double> &Xs) {
+  double M = -std::numeric_limits<double>::infinity();
+  for (double X : Xs)
+    M = std::max(M, X);
+  return M;
+}
+
+double wbt::aggregateAvg(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+std::vector<uint8_t>
+wbt::majorityVote(const std::vector<std::vector<uint8_t>> &Runs,
+                  double Threshold) {
+  if (Runs.empty())
+    return {};
+  VoteAccumulator Acc;
+  for (const std::vector<uint8_t> &Mask : Runs)
+    Acc.add(Mask);
+  return Acc.result(Threshold);
+}
+
+std::vector<size_t>
+wbt::dedupIndices(size_t Count,
+                  const std::function<bool(size_t, size_t)> &Same) {
+  std::vector<size_t> Reps;
+  for (size_t I = 0; I != Count; ++I) {
+    bool Duplicate = false;
+    for (size_t Rep : Reps)
+      if (Same(Rep, I)) {
+        Duplicate = true;
+        break;
+      }
+    if (!Duplicate)
+      Reps.push_back(I);
+  }
+  return Reps;
+}
+
+std::vector<size_t>
+wbt::dedupVectors(const std::vector<std::vector<double>> &Items,
+                  double Tolerance) {
+  return dedupIndices(Items.size(), [&](size_t A, size_t B) {
+    const std::vector<double> &X = Items[A];
+    const std::vector<double> &Y = Items[B];
+    if (X.size() != Y.size())
+      return false;
+    for (size_t I = 0, E = X.size(); I != E; ++I)
+      if (std::fabs(X[I] - Y[I]) > Tolerance)
+        return false;
+    return true;
+  });
+}
+
+void ScalarAccumulator::add(double X) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++N;
+  Min = std::min(Min, X);
+  Max = std::max(Max, X);
+  Sum += X;
+}
+
+void VoteAccumulator::add(const std::vector<uint8_t> &Mask) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Counts.empty())
+    Counts.resize(Mask.size(), 0);
+  assert(Counts.size() == Mask.size() && "vote masks must share a size");
+  for (size_t I = 0, E = Mask.size(); I != E; ++I)
+    if (Mask[I])
+      ++Counts[I];
+  ++N;
+}
+
+std::vector<uint8_t> VoteAccumulator::result(double Threshold) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<uint8_t> Out(Counts.size(), 0);
+  double Cut = Threshold * static_cast<double>(N);
+  for (size_t I = 0, E = Counts.size(); I != E; ++I)
+    Out[I] = Counts[I] > Cut ? 1 : 0;
+  return Out;
+}
+
+void MeanVectorAccumulator::add(const std::vector<double> &Xs) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Sums.empty())
+    Sums.resize(Xs.size(), 0.0);
+  assert(Sums.size() == Xs.size() && "mean vectors must share a size");
+  for (size_t I = 0, E = Xs.size(); I != E; ++I)
+    Sums[I] += Xs[I];
+  ++N;
+}
+
+std::vector<double> MeanVectorAccumulator::result() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<double> Out(Sums.size(), 0.0);
+  if (!N)
+    return Out;
+  for (size_t I = 0, E = Sums.size(); I != E; ++I)
+    Out[I] = Sums[I] / static_cast<double>(N);
+  return Out;
+}

@@ -1,0 +1,147 @@
+//===- aggregate/Aggregators.h - cbAggr implementations ---------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregation strategies — the cbAggr callback of the paper's
+/// @aggregate(x, cbAggr) primitive. The paper ships MIN, MAX, AVG,
+/// majority vote (MV) and duplicate elimination (DEDUP) (Sec. IV-C), each
+/// in two forms: one-shot over the full committed sample vector, and
+/// *incremental* accumulators that fold results in as sampling runs finish
+/// (Sec. IV-B), bounding memory by the accumulator size instead of the
+/// sample count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_AGGREGATE_AGGREGATORS_H
+#define WBT_AGGREGATE_AGGREGATORS_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace wbt {
+
+/// The built-in aggregation strategy names of paper Table I column 6.
+enum class AggregationKind { Min, Max, Avg, MajorityVote, Dedup, Custom };
+
+/// Printable name ("MIN", "MV", ...).
+const char *aggregationKindName(AggregationKind K);
+
+//===----------------------------------------------------------------------===//
+// One-shot aggregation over the full sample vector.
+//===----------------------------------------------------------------------===//
+
+/// Minimum of \p Xs; +inf if empty.
+double aggregateMin(const std::vector<double> &Xs);
+/// Maximum of \p Xs; -inf if empty.
+double aggregateMax(const std::vector<double> &Xs);
+/// Mean of \p Xs; 0 if empty.
+double aggregateAvg(const std::vector<double> &Xs);
+
+/// Per-element majority vote over equally sized binary masks: output
+/// element is 1 iff it is set in strictly more than `Threshold` fraction
+/// of the masks (the paper's "set in the majority of sample runs").
+std::vector<uint8_t> majorityVote(const std::vector<std::vector<uint8_t>> &Runs,
+                                  double Threshold = 0.5);
+
+/// Indices of the first representative of each equivalence class under
+/// \p Same; the paper's DEDUP keeps one tuning continuation per unique
+/// internal result.
+std::vector<size_t>
+dedupIndices(size_t Count, const std::function<bool(size_t, size_t)> &Same);
+
+/// DEDUP over double vectors with an L-inf tolerance.
+std::vector<size_t> dedupVectors(const std::vector<std::vector<double>> &Items,
+                                 double Tolerance);
+
+//===----------------------------------------------------------------------===//
+// Incremental accumulators (paper Sec. IV-B).
+//===----------------------------------------------------------------------===//
+
+/// Streaming min/max/mean/count over doubles. Thread safe: sampling runs
+/// add() concurrently, the tuning side reads after the region barrier.
+class ScalarAccumulator {
+public:
+  void add(double X);
+  size_t count() const { return N; }
+  double min() const { return N ? Min : std::numeric_limits<double>::infinity(); }
+  double max() const {
+    return N ? Max : -std::numeric_limits<double>::infinity();
+  }
+  double mean() const { return N ? Sum / static_cast<double>(N) : 0.0; }
+
+private:
+  mutable std::mutex Mutex;
+  size_t N = 0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+  double Sum = 0.0;
+};
+
+/// Streaming "best item" keeper: retains the single item with the best
+/// score seen so far, so memory stays O(1) in the number of runs.
+template <typename T> class BestAccumulator {
+public:
+  /// \p Minimize selects whether lower scores win.
+  explicit BestAccumulator(bool Minimize = false) : Minimize(Minimize) {}
+
+  void add(double Score, T Item) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    bool Better = !HasBest || (Minimize ? Score < BestScore
+                                        : Score > BestScore);
+    if (!Better)
+      return;
+    HasBest = true;
+    BestScore = Score;
+    BestItem = std::move(Item);
+  }
+
+  bool hasBest() const { return HasBest; }
+  double bestScore() const { return BestScore; }
+  const T &bestItem() const { return BestItem; }
+
+private:
+  bool Minimize;
+  std::mutex Mutex;
+  bool HasBest = false;
+  double BestScore = 0.0;
+  T BestItem{};
+};
+
+/// Streaming per-element vote counter over fixed-size binary masks.
+class VoteAccumulator {
+public:
+  /// Fixes the mask size on the first add(); later masks must match.
+  void add(const std::vector<uint8_t> &Mask);
+  size_t runs() const { return N; }
+
+  /// Mask of elements set in more than \p Threshold of the runs.
+  std::vector<uint8_t> result(double Threshold = 0.5) const;
+
+private:
+  mutable std::mutex Mutex;
+  size_t N = 0;
+  std::vector<uint32_t> Counts;
+};
+
+/// Streaming elementwise mean over fixed-size double vectors.
+class MeanVectorAccumulator {
+public:
+  void add(const std::vector<double> &Xs);
+  size_t runs() const { return N; }
+  std::vector<double> result() const;
+
+private:
+  mutable std::mutex Mutex;
+  size_t N = 0;
+  std::vector<double> Sums;
+};
+
+} // namespace wbt
+
+#endif // WBT_AGGREGATE_AGGREGATORS_H

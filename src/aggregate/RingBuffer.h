@@ -1,0 +1,87 @@
+//===- aggregate/RingBuffer.h - Bounded MPSC ring buffer --------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared ring buffer of paper Sec. IV-B: sampling runs copy their
+/// results in, the tuning side consumes them to perform incremental
+/// aggregation. Bounded capacity is the whole point — it caps the number
+/// of undigested sample results held in memory at once, which is what
+/// paper Fig. 10 measures against one-shot aggregation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_AGGREGATE_RINGBUFFER_H
+#define WBT_AGGREGATE_RINGBUFFER_H
+
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace wbt {
+
+/// Bounded multi-producer single-consumer queue. push() blocks while the
+/// buffer is full; pop() blocks while it is empty, unless the producer side
+/// has been closed.
+template <typename T> class RingBuffer {
+public:
+  explicit RingBuffer(size_t Capacity)
+      : Slots(Capacity ? Capacity : 1), Capacity(Capacity ? Capacity : 1) {}
+
+  /// Blocks until space is available, then enqueues \p Item.
+  void push(T Item) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [this] { return Count < Capacity; });
+    Slots[(Head + Count) % Capacity] = std::move(Item);
+    ++Count;
+    PeakCount = std::max(PeakCount, Count);
+    NotEmpty.notify_one();
+  }
+
+  /// Dequeues the oldest item; std::nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return Count > 0 || Closed; });
+    if (Count == 0)
+      return std::nullopt;
+    T Item = std::move(Slots[Head]);
+    Head = (Head + 1) % Capacity;
+    --Count;
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Marks the producer side finished; wakes blocked consumers.
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Closed = true;
+    NotEmpty.notify_all();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+  /// Largest number of items held simultaneously (memory high-water mark).
+  size_t peakCount() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return PeakCount;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::vector<T> Slots;
+  size_t Capacity;
+  size_t Head = 0;
+  size_t Count = 0;
+  size_t PeakCount = 0;
+  bool Closed = false;
+};
+
+} // namespace wbt
+
+#endif // WBT_AGGREGATE_RINGBUFFER_H

@@ -1,0 +1,30 @@
+//===- apps/Apps.cpp - The paper's 13 tuned programs -----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+using namespace wbt;
+using namespace wbt::apps;
+
+TunedApp::~TunedApp() = default;
+
+std::vector<std::unique_ptr<TunedApp>> wbt::apps::makeAllApps() {
+  std::vector<std::unique_ptr<TunedApp>> Apps;
+  Apps.push_back(makeCannyApp());
+  Apps.push_back(makeWatershedApp());
+  Apps.push_back(makeKmeansApp());
+  Apps.push_back(makeDbscanApp());
+  Apps.push_back(makeFaceApp());
+  Apps.push_back(makeSphinxApp());
+  Apps.push_back(makePhylipApp());
+  Apps.push_back(makeFastaApp());
+  Apps.push_back(makeTopnApp());
+  Apps.push_back(makeMetisApp());
+  Apps.push_back(makeC45App());
+  Apps.push_back(makeSvmApp());
+  Apps.push_back(makeArdupilotApp());
+  return Apps;
+}

@@ -1,0 +1,115 @@
+//===- apps/Apps.h - The paper's 13 tuned programs --------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One TunedApp per benchmark program of paper Table I. Every app knows
+/// how to (a) load one of its seeded datasets, (b) report the untuned
+/// (native) result quality, (c) tune itself white-box through the staged
+/// engine (core/Pipeline.h) using only tuning-legal signals (internal
+/// heuristics, validation scores — never the ground truth), and (d) tune
+/// itself black-box through the OpenTuner-style baseline under a time
+/// budget. Quality numbers returned for reporting are measured against
+/// each dataset's planted ground truth, exactly like the paper's
+/// methodology (Sec. V-A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_APPS_APPS_H
+#define WBT_APPS_APPS_H
+
+#include "drone/Control.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wbt {
+namespace apps {
+
+/// Result of one tuning run.
+struct TuneOutcome {
+  /// Ground-truth quality of the tuned result, in the app's score units
+  /// (direction given by TunedApp::lowerIsBetter()).
+  double Quality = 0.0;
+  /// The internal score tuning optimized (heuristic / validation).
+  double TuneScore = 0.0;
+  /// Sampling runs (white-box) or full executions (black-box).
+  long Samples = 0;
+  double Seconds = 0.0;
+};
+
+/// A tunable benchmark program.
+class TunedApp {
+public:
+  virtual ~TunedApp();
+
+  virtual std::string name() const = 0;
+  /// Direction of the Quality metric.
+  virtual bool lowerIsBetter() const = 0;
+  /// Table I columns 5-6.
+  virtual const char *samplingName() const = 0;
+  virtual const char *aggregationName() const = 0;
+  virtual int numParams() const = 0;
+
+  /// Loads (generates) dataset \p Index; all later calls refer to it.
+  virtual void loadDataset(int Index) = 0;
+
+  /// Quality with the program's default parameters, no tuning.
+  virtual double nativeQuality() = 0;
+
+  /// White-box tuning with the staged engine.
+  virtual TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) = 0;
+
+  /// Black-box tuning with the OpenTuner-style baseline under a
+  /// wall-clock budget. \p Workers > 1 enables parallel sampling (the
+  /// paper's multi-core extension).
+  virtual TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                                   uint64_t Seed) = 0;
+};
+
+std::unique_ptr<TunedApp> makeCannyApp();
+std::unique_ptr<TunedApp> makeWatershedApp();
+std::unique_ptr<TunedApp> makeKmeansApp();
+std::unique_ptr<TunedApp> makeDbscanApp();
+std::unique_ptr<TunedApp> makeFaceApp();
+std::unique_ptr<TunedApp> makeSphinxApp();
+std::unique_ptr<TunedApp> makePhylipApp();
+std::unique_ptr<TunedApp> makeFastaApp();
+std::unique_ptr<TunedApp> makeTopnApp();
+std::unique_ptr<TunedApp> makeMetisApp();
+std::unique_ptr<TunedApp> makeC45App();
+std::unique_ptr<TunedApp> makeSvmApp();
+std::unique_ptr<TunedApp> makeArdupilotApp();
+
+/// All 13, in Table I order.
+std::vector<std::unique_ptr<TunedApp>> makeAllApps();
+
+//===----------------------------------------------------------------------===//
+// Case-study accessors used by the figure benches.
+//===----------------------------------------------------------------------===//
+
+/// SVM without cross-validation — the paper Fig. 17 overfitting ablation.
+std::unique_ptr<TunedApp> makeSvmAppNoCv();
+
+/// (training error, testing error) of the last white-box tuned SVM model;
+/// only valid on apps created by makeSvmApp()/makeSvmAppNoCv().
+std::pair<double, double> svmLastErrors(TunedApp &App);
+
+/// Traces behind paper Fig. 22; only valid on makeArdupilotApp() apps
+/// after whiteBoxTune().
+struct DroneFig22Data {
+  drone::QuadModel Model;
+  drone::FlightTrace Reference; ///< PX4 on the zigzag test mission
+  drone::FlightTrace Factory;   ///< untuned Ardupilot
+  drone::FlightTrace Tuned;     ///< Ardupilot after behavior learning
+};
+DroneFig22Data droneFig22(TunedApp &App);
+
+} // namespace apps
+} // namespace wbt
+
+#endif // WBT_APPS_APPS_H

@@ -1,0 +1,500 @@
+//===- apps/AppsBio.cpp - Phylip and FASTA tuned apps ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Phylip follows paper Fig. 14: three tuning regions (transition model /
+// distance matrix / tree fit) with duplicate-elimination aggregation
+// after the first two — new tuning processes are spawned only for unique
+// intermediate results — and MIN (sum of squares, the program's default
+// scoring function) at the end. FASTA exploits the staged structure the
+// other way: the ktup diagonal scan is parameter-free, so the white-box
+// pipeline computes it once and reuses it for every gap-penalty sample,
+// while the black-box baseline repeats it per full execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "aggregate/Aggregators.h"
+#include "bio/Fasta.h"
+#include "bio/Phylip.h"
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::bio;
+
+namespace {
+
+constexpr uint64_t PhylipSeed = 7707;
+constexpr uint64_t FastaSeed = 7708;
+
+//===----------------------------------------------------------------------===//
+// Phylip
+//===----------------------------------------------------------------------===//
+
+std::vector<double> flattenUpper(const std::vector<std::vector<double>> &M) {
+  std::vector<double> Out;
+  for (size_t I = 0; I != M.size(); ++I)
+    for (size_t J = I + 1; J != M.size(); ++J)
+      Out.push_back(M[I][J]);
+  return Out;
+}
+
+struct EaseState {
+  double Ease = 0.5;
+  std::vector<double> ModelDistances; // for DEDUP
+};
+
+struct MatrixState {
+  double Ease = 0.5, Invar = 0.0, Cvi = 0.0;
+  std::vector<std::vector<double>> Matrix;
+};
+
+struct TreeState {
+  MatrixState From;
+  double Power = 2.0;
+  TreeFit Fit;
+};
+
+/// Sum of squares normalized by the matrix's mean squared distance —
+/// scale-invariant, so shrinking every distance cannot fake a good fit.
+double relativeSS(const TreeFit &Fit,
+                  const std::vector<std::vector<double>> &M) {
+  double MeanSq = 0;
+  long N = 0;
+  for (size_t I = 0; I != M.size(); ++I)
+    for (size_t J = I + 1; J != M.size(); ++J) {
+      MeanSq += M[I][J] * M[I][J];
+      ++N;
+    }
+  MeanSq = N ? MeanSq / N : 1.0;
+  return Fit.SumOfSquares / (MeanSq * N + 1e-12);
+}
+
+/// DEDUP over committed states keyed by a flattened vector; keeps up to
+/// \p MaxKeep unique representatives (paper: new tuning processes only
+/// for unique matrices).
+template <typename State>
+class DedupAggregator : public Aggregator<State, State> {
+public:
+  DedupAggregator(std::function<std::vector<double>(const State &)> Key,
+                  double Tolerance, size_t MaxKeep)
+      : Key(std::move(Key)), Tolerance(Tolerance), MaxKeep(MaxKeep) {}
+
+  void add(const SampleInfo &, State &&S) override {
+    Buffer.push_back(std::move(S));
+  }
+
+  std::vector<State> finish() override {
+    std::vector<std::vector<double>> Keys;
+    Keys.reserve(Buffer.size());
+    for (const State &S : Buffer)
+      Keys.push_back(Key(S));
+    std::vector<size_t> Reps = dedupVectors(Keys, Tolerance);
+    std::vector<State> Out;
+    for (size_t R : Reps) {
+      if (Out.size() == MaxKeep)
+        break;
+      Out.push_back(std::move(Buffer[R]));
+    }
+    return Out;
+  }
+
+private:
+  std::function<std::vector<double>(const State &)> Key;
+  double Tolerance;
+  size_t MaxKeep;
+  std::vector<State> Buffer;
+};
+
+class PhylipApp : public TunedApp {
+public:
+  std::string name() const override { return "Phylip"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "DEDUP/MIN"; }
+  int numParams() const override { return 4; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    Data = makeSequenceDataset(PhylipSeed, Index);
+  }
+
+  double qualityOf(const TreeFit &Fit) const {
+    return treeDistanceRmse(Fit.FittedDistances, Data.TrueDistances);
+  }
+
+  double nativeQuality() override {
+    // Default knobs: JC distances, no rate corrections, power 0.
+    TreeFit Fit = fitTree(distanceMatrix(Data.Leaves, 0.0, 0.0, 0.0), 0.0);
+    return qualityOf(Fit);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const SequenceDataset *D = &Data;
+    Pipeline P;
+
+    // Region 1: transition-probability model (ease), DEDUP.
+    StageOptions S1;
+    S1.NumSamples = 8;
+    P.addStage<int, EaseState, EaseState>(
+        "transition-model", S1,
+        std::function<std::optional<EaseState>(const int &, SampleContext &)>(
+            [D](const int &, SampleContext &Ctx) -> std::optional<EaseState> {
+              EaseState Out;
+              Out.Ease = Ctx.sample("ease", Distribution::uniform(0.0, 1.0));
+              Out.ModelDistances = flattenUpper(
+                  distanceMatrix(D->Leaves, Out.Ease, 0.0, 0.0));
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<EaseState, EaseState>>()>(
+            [] {
+              return std::make_unique<DedupAggregator<EaseState>>(
+                  [](const EaseState &S) { return S.ModelDistances; },
+                  /*Tolerance=*/0.02, /*MaxKeep=*/3);
+            }));
+
+    // Region 3 (stage 2 here): distance matrix (invarfrac, cvi), DEDUP.
+    StageOptions S2;
+    S2.NumSamples = 10;
+    P.addStage<EaseState, MatrixState, MatrixState>(
+        "distance-matrix", S2,
+        std::function<std::optional<MatrixState>(const EaseState &,
+                                                 SampleContext &)>(
+            [D](const EaseState &In,
+                SampleContext &Ctx) -> std::optional<MatrixState> {
+              MatrixState Out;
+              Out.Ease = In.Ease;
+              Out.Invar =
+                  Ctx.sample("invarfrac", Distribution::uniform(0.0, 0.4));
+              Out.Cvi = Ctx.sample("cvi", Distribution::uniform(0.0, 1.2));
+              Out.Matrix =
+                  distanceMatrix(D->Leaves, Out.Ease, Out.Invar, Out.Cvi);
+              return Out;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<MatrixState, MatrixState>>()>([] {
+          return std::make_unique<DedupAggregator<MatrixState>>(
+              [](const MatrixState &S) { return flattenUpper(S.Matrix); },
+              /*Tolerance=*/0.03, /*MaxKeep=*/3);
+        }));
+
+    // Region 5 (stage 3): tree fit (power), MIN sum of squares.
+    StageOptions S3;
+    S3.NumSamples = 8;
+    P.addStage<MatrixState, TreeState, TreeState>(
+        "tree-fit", S3,
+        std::function<std::optional<TreeState>(const MatrixState &,
+                                               SampleContext &)>(
+            [](const MatrixState &In,
+               SampleContext &Ctx) -> std::optional<TreeState> {
+              TreeState Out;
+              Out.From = In;
+              Out.Power = Ctx.sample("power", Distribution::uniform(0.0, 3.0));
+              Out.Fit = fitTree(In.Matrix, Out.Power);
+              Ctx.setScore(-relativeSS(Out.Fit, In.Matrix));
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<TreeState, TreeState>>()>(
+            [] {
+              return std::make_unique<BestScoreAggregator<TreeState>>(false);
+            }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    // Several tuning processes finish (one per surviving matrix); take
+    // the tree with the lowest sum of squares — the default scoring
+    // function.
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    const TreeState *Best = nullptr;
+    double BestRss = 0;
+    for (const std::any &F : Rep.Finals) {
+      const TreeState *S = std::any_cast<TreeState>(&F);
+      if (!S)
+        continue;
+      double Rss = relativeSS(S->Fit, S->From.Matrix);
+      if (!Best || Rss < BestRss) {
+        Best = S;
+        BestRss = Rss;
+      }
+    }
+    if (Best) {
+      Out.TuneScore = BestRss;
+      Out.Quality = qualityOf(Best->Fit);
+    } else {
+      Out.Quality = nativeQuality();
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("ease", 0.0, 1.0, 0.0);
+    Space.addDouble("invarfrac", 0.0, 0.4, 0.0);
+    Space.addDouble("cvi", 0.0, 1.2, 0.0);
+    Space.addDouble("power", 0.0, 3.0, 0.0);
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          // A black-box sample is a full execution: it reloads the
+          // sequences and recomputes the whole pipeline.
+          SequenceDataset Fresh = makeSequenceDataset(PhylipSeed, DataIndex);
+          auto M = distanceMatrix(Fresh.Leaves, C.asDouble(0), C.asDouble(1),
+                                  C.asDouble(2));
+          TreeFit Fit = fitTree(M, C.asDouble(3));
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return relativeSS(Fit, M);
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    TreeFit Fit = fitTree(
+        distanceMatrix(Data.Leaves, Res.Best.asDouble(0),
+                       Res.Best.asDouble(1), Res.Best.asDouble(2)),
+        Res.Best.asDouble(3));
+    Out.Quality = qualityOf(Fit);
+    return Out;
+  }
+
+private:
+  SequenceDataset Data;
+  int DataIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// FASTA
+//===----------------------------------------------------------------------===//
+
+struct DiagonalState {
+  std::vector<int> Diagonals; // best diagonal per subject
+  std::vector<long> Hits;
+};
+
+struct GapResult {
+  double GapOpen = -4, GapExtend = -1;
+  std::vector<double> Scores;
+  double Contrast = 0;
+};
+
+/// Tuning-legal score separation heuristic: how bimodal the score
+/// distribution looks (planted homologs should separate from background).
+double scoreContrast(std::vector<double> Scores) {
+  if (Scores.size() < 4)
+    return 0;
+  std::sort(Scores.begin(), Scores.end(), std::greater<>());
+  size_t Top = std::max<size_t>(1, Scores.size() * 3 / 10);
+  std::vector<double> High(Scores.begin(),
+                           Scores.begin() + static_cast<long>(Top));
+  std::vector<double> Low(Scores.begin() + static_cast<long>(Top),
+                          Scores.end());
+  double Spread = stddev(Scores) + 1e-9;
+  return (mean(High) - mean(Low)) / Spread;
+}
+
+class FastaApp : public TunedApp {
+public:
+  std::string name() const override { return "FASTA"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "CUSTOM"; }
+  int numParams() const override { return 2; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    FastaDatasetOptions Opts;
+    Opts.MutationLo = 0.18;
+    Opts.MutationHi = 0.32;
+    Opts.RegionFracLo = 0.15;
+    Opts.RegionFracHi = 0.35;
+    Opts.IndelRate = 0.05;
+    Data = makeFastaDataset(FastaSeed, Index, Opts);
+  }
+
+  double qualityOf(const std::vector<double> &Scores) const {
+    return rankingQuality(Scores, Data.IsHomolog);
+  }
+
+  double nativeQuality() override {
+    FastaParams P; // defaults
+    std::vector<double> Scores;
+    for (const Sequence &S : Data.Database)
+      Scores.push_back(fastaScore(Data.Query, S, P));
+    return qualityOf(Scores);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const FastaDataset *D = &Data;
+    Pipeline P;
+
+    // Region 1: the parameter-free ktup diagonal scan, computed once and
+    // reused by every stage-2 sample (the expensive preprocessing the
+    // paper's black-box baseline must repeat).
+    StageOptions S1;
+    S1.NumSamples = 1;
+    P.addStage<int, DiagonalState, DiagonalState>(
+        "diagonal-scan", S1,
+        std::function<std::optional<DiagonalState>(const int &,
+                                                   SampleContext &)>(
+            [D](const int &, SampleContext &) -> std::optional<DiagonalState> {
+              DiagonalState Out;
+              FastaParams FP;
+              for (const Sequence &S : D->Database) {
+                long Hits = 0;
+                Out.Diagonals.push_back(
+                    bestDiagonal(D->Query, S, FP.Ktup, Hits));
+                Out.Hits.push_back(Hits);
+              }
+              return Out;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<DiagonalState, DiagonalState>>()>([] {
+          return std::make_unique<BestScoreAggregator<DiagonalState>>(false);
+        }));
+
+    // Region 2: gap penalties over the banded alignment only.
+    StageOptions S2;
+    S2.NumSamples = 30;
+    P.addStage<DiagonalState, GapResult, GapResult>(
+        "banded-align", S2,
+        std::function<std::optional<GapResult>(const DiagonalState &,
+                                               SampleContext &)>(
+            [D](const DiagonalState &In,
+                SampleContext &Ctx) -> std::optional<GapResult> {
+              GapResult Out;
+              Out.GapOpen =
+                  Ctx.sample("gapOpen", Distribution::uniform(-10.0, -0.5));
+              Out.GapExtend =
+                  Ctx.sample("gapExtend", Distribution::uniform(-3.0, -0.1));
+              FastaParams FP;
+              FP.GapOpen = Out.GapOpen;
+              FP.GapExtend = Out.GapExtend;
+              for (size_t I = 0; I != D->Database.size(); ++I)
+                Out.Scores.push_back(
+                    In.Hits[I] == 0
+                        ? 0.0
+                        : bandedAlign(D->Query, D->Database[I],
+                                      In.Diagonals[I], FP));
+              Out.Contrast = scoreContrast(Out.Scores);
+              Ctx.setScore(Out.Contrast);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<GapResult, GapResult>>()>(
+            [] {
+              return std::make_unique<BestScoreAggregator<GapResult>>(false);
+            }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const GapResult &Best = Rep.finalAs<GapResult>(0);
+      Out.TuneScore = Best.Contrast;
+      Out.Quality = qualityOf(Best.Scores);
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("gapOpen", -10.0, -0.5, -4.0);
+    Space.addDouble("gapExtend", -3.0, -0.1, -1.0);
+    std::mutex Mutex;
+    long Evals = 0;
+    std::vector<double> BestScores;
+    double BestContrast = -1e18;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Driver.run(
+        Space,
+        [&](const Config &C) {
+          FastaParams FP;
+          FP.GapOpen = C.asDouble(0);
+          FP.GapExtend = C.asDouble(1);
+          // Full execution: reload the database, rescan diagonals, align.
+          FastaDatasetOptions LoadOpts;
+          LoadOpts.MutationLo = 0.18;
+          LoadOpts.MutationHi = 0.32;
+          LoadOpts.RegionFracLo = 0.15;
+          LoadOpts.RegionFracHi = 0.35;
+          LoadOpts.IndelRate = 0.05;
+          FastaDataset Fresh = makeFastaDataset(FastaSeed, DataIndex, LoadOpts);
+          std::vector<double> Scores;
+          for (const Sequence &S : Data.Database)
+            Scores.push_back(fastaScore(Data.Query, S, FP));
+          double Contrast = scoreContrast(Scores);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          if (Contrast > BestContrast) {
+            BestContrast = Contrast;
+            BestScores = std::move(Scores);
+          }
+          return Contrast;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = BudgetSeconds;
+    Out.TuneScore = BestContrast;
+    if (!BestScores.empty())
+      Out.Quality = qualityOf(BestScores);
+    return Out;
+  }
+
+private:
+  FastaDataset Data;
+  int DataIndex = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makePhylipApp() {
+  auto App = std::make_unique<PhylipApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeFastaApp() {
+  auto App = std::make_unique<FastaApp>();
+  App->loadDataset(0);
+  return App;
+}

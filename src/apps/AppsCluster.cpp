@@ -1,0 +1,307 @@
+//===- apps/AppsCluster.cpp - K-means and DBScan tuned apps ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Both clustering apps follow the paper's Table I rows: MCMC sampling
+// with MAX aggregation over an internal quality score (silhouette — the
+// programs' own scoring function); K-means additionally uses the @check
+// hook to kill diverging runs mid-iteration (paper rule [CHECK],
+// Sec. V-B3). Ground-truth adjusted Rand index is measurement-only.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "blackbox/SearchDriver.h"
+#include "cluster/DbScan.h"
+#include "cluster/KMeans.h"
+#include "cluster/Scores.h"
+#include "core/Pipeline.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::clus;
+
+namespace {
+
+constexpr uint64_t KmeansSeed = 7703;
+constexpr uint64_t DbscanSeed = 7704;
+
+/// The per-run result both apps commit: labels plus the internal score.
+struct ClusterResult {
+  std::vector<int> Labels;
+  double Silhouette = 0;
+};
+
+class KmeansApp : public TunedApp {
+public:
+  std::string name() const override { return "Kmeans"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "MCMC"; }
+  const char *aggregationName() const override { return "MAX"; }
+  int numParams() const override { return 1; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    Data = makeClusterDataset(KmeansSeed, Index);
+    // Total scatter around the global mean: the scale for the @check.
+    Point Mean(static_cast<size_t>(Data.Dims), 0.0);
+    for (const Point &P : Data.Points)
+      for (size_t D = 0; D != Mean.size(); ++D)
+        Mean[D] += P[D];
+    for (double &M : Mean)
+      M /= static_cast<double>(Data.Points.size());
+    TotalScatter = 0;
+    for (const Point &P : Data.Points)
+      TotalScatter += distSq(P, Mean);
+  }
+
+  double nativeQuality() override {
+    Rng R(1);
+    KMeansResult Res = kmeans(Data.Points, /*default K=*/8, R);
+    return adjustedRand(Res.Labels, Data.TrueLabels);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 28;
+    S.Strategy = [] { return makeMcmcStrategy(0.2, 0.25); };
+    const Dataset *D = &Data;
+    double Scatter = TotalScatter;
+    P.addStage<int, ClusterResult, ClusterResult>(
+        "kmeans", S,
+        std::function<std::optional<ClusterResult>(const int &,
+                                                   SampleContext &)>(
+            [D, Scatter](const int &, SampleContext &Ctx)
+                -> std::optional<ClusterResult> {
+              int K = static_cast<int>(
+                  Ctx.sampleInt("k", Distribution::uniformInt(2, 20)));
+              Rng RunRng = Ctx.rng();
+              KMeansOptions Opts;
+              // The white-box @check: a run whose inertia is still a large
+              // fraction of the total scatter after a few iterations is
+              // hopeless; kill it before convergence (paper Sec. V-B3).
+              bool Aborted = false;
+              Opts.IterationCheck = [&](int Iter, double Inertia) {
+                if (Iter == 3 && Inertia > 0.6 * Scatter) {
+                  Aborted = true;
+                  return false;
+                }
+                return true;
+              };
+              KMeansResult Res = kmeans(D->Points, K, RunRng, Opts);
+              if (!Ctx.check(!Aborted))
+                return std::nullopt;
+              ClusterResult Out;
+              Out.Labels = std::move(Res.Labels);
+              Out.Silhouette = silhouette(D->Points, Out.Labels);
+              Ctx.setScore(Out.Silhouette);
+              return Out;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<ClusterResult, ClusterResult>>()>([] {
+          return std::make_unique<BestScoreAggregator<ClusterResult>>(false);
+        }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const ClusterResult &Best = Rep.finalAs<ClusterResult>(0);
+      Out.TuneScore = Best.Silhouette;
+      Out.Quality = adjustedRand(Best.Labels, Data.TrueLabels);
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addInt("k", 2, 20, 8);
+    std::mutex Mutex;
+    long Evals = 0;
+    std::vector<int> BestLabels;
+    double BestScore = -2;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          // Full execution: reload the data, then cluster.
+          Dataset Fresh = makeClusterDataset(KmeansSeed, DataIndex);
+          Rng R(Seed + static_cast<uint64_t>(C.asInt(0)));
+          KMeansResult KRes =
+              kmeans(Fresh.Points, static_cast<int>(C.asInt(0)), R);
+          double S = silhouette(Data.Points, KRes.Labels);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          if (S > BestScore) {
+            BestScore = S;
+            BestLabels = KRes.Labels;
+          }
+          return S;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = BestScore;
+    if (!BestLabels.empty())
+      Out.Quality = adjustedRand(BestLabels, Data.TrueLabels);
+    return Out;
+  }
+
+private:
+  Dataset Data;
+  double TotalScatter = 0;
+  int DataIndex = 0;
+};
+
+class DbscanApp : public TunedApp {
+public:
+  std::string name() const override { return "DBScan"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "MCMC"; }
+  const char *aggregationName() const override { return "MAX"; }
+  int numParams() const override { return 2; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    Data = makeClusterDataset(DbscanSeed, Index);
+  }
+
+  double nativeQuality() override {
+    DbScanResult Res = dbscan(Data.Points, 0.1, 5);
+    return adjustedRand(Res.Labels, Data.TrueLabels);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 30;
+    S.Strategy = [] { return makeMcmcStrategy(0.2, 0.2); };
+    const Dataset *D = &Data;
+    P.addStage<int, ClusterResult, ClusterResult>(
+        "dbscan", S,
+        std::function<std::optional<ClusterResult>(const int &,
+                                                   SampleContext &)>(
+            [D](const int &, SampleContext &Ctx)
+                -> std::optional<ClusterResult> {
+              double Eps =
+                  Ctx.sample("eps", Distribution::logUniform(0.01, 0.4));
+              int MinPts = static_cast<int>(
+                  Ctx.sampleInt("minPts", Distribution::uniformInt(2, 15)));
+              DbScanResult Res = dbscan(D->Points, Eps, MinPts);
+              // @check: degenerate outcomes die before scoring.
+              bool Plausible =
+                  Res.NumClusters >= 2 &&
+                  Res.NoisePoints <
+                      static_cast<long>(D->Points.size()) / 2;
+              if (!Ctx.check(Plausible))
+                return std::nullopt;
+              ClusterResult Out;
+              Out.Labels = std::move(Res.Labels);
+              Out.Silhouette = silhouette(D->Points, Out.Labels);
+              Ctx.setScore(Out.Silhouette);
+              return Out;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<ClusterResult, ClusterResult>>()>([] {
+          return std::make_unique<BestScoreAggregator<ClusterResult>>(false);
+        }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const ClusterResult &Best = Rep.finalAs<ClusterResult>(0);
+      Out.TuneScore = Best.Silhouette;
+      Out.Quality = adjustedRand(Best.Labels, Data.TrueLabels);
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("eps", 0.01, 0.4, 0.1, /*LogScale=*/true);
+    Space.addInt("minPts", 2, 15, 5);
+    std::mutex Mutex;
+    long Evals = 0;
+    std::vector<int> BestLabels;
+    double BestScore = -2;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Driver.run(
+        Space,
+        [&](const Config &C) {
+          // Full execution: reload the data, then cluster.
+          Dataset Fresh = makeClusterDataset(DbscanSeed, DataIndex);
+          DbScanResult Res = dbscan(Fresh.Points, C.asDouble(0),
+                                    static_cast<int>(C.asInt(1)));
+          double S = Res.NumClusters >= 2
+                         ? silhouette(Fresh.Points, Res.Labels)
+                         : -1.0;
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          if (S > BestScore) {
+            BestScore = S;
+            BestLabels = Res.Labels;
+          }
+          return S;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = BudgetSeconds;
+    Out.TuneScore = BestScore;
+    if (!BestLabels.empty())
+      Out.Quality = adjustedRand(BestLabels, Data.TrueLabels);
+    return Out;
+  }
+
+private:
+  Dataset Data;
+  int DataIndex = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makeKmeansApp() {
+  auto App = std::make_unique<KmeansApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeDbscanApp() {
+  auto App = std::make_unique<DbscanApp>();
+  App->loadDataset(0);
+  return App;
+}

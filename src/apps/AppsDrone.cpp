@@ -1,0 +1,236 @@
+//===- apps/AppsDrone.cpp - Ardupilot behavior-learning app ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Sec. V-B5 case study: tune the student ("Ardupilot")
+// controller's 40 parameters so its motor-speed behavior mimics the
+// reference ("PX4") controller. The white-box tuning regions are the
+// individual flight-mode control functions — takeoff, cruise, land — each
+// scored by the RMS motor-speed error of that mode only, which black-box
+// tuning cannot express (one parameter bank per mode, partial-mission
+// scores). Training flies the route mission; the reported quality is
+// measured on the held-out zigzag test mission (paper Fig. 22).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+#include "drone/Control.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::drone;
+
+namespace {
+
+/// Sampling ranges of the student gains (identical per mode).
+StudentModeGains drawModeGains(SampleContext &Ctx, const char *Prefix) {
+  auto Name = [&](const char *Field) {
+    return std::string(Prefix) + "." + Field;
+  };
+  StudentModeGains G;
+  G.PosP = Ctx.sample(Name("PosP"), Distribution::uniform(0.2, 2.5));
+  G.VelP = Ctx.sample(Name("VelP"), Distribution::uniform(0.5, 4.0));
+  G.VelI = Ctx.sample(Name("VelI"), Distribution::uniform(0.0, 1.0));
+  G.VelD = Ctx.sample(Name("VelD"), Distribution::uniform(0.0, 0.3));
+  G.AngP = Ctx.sample(Name("AngP"), Distribution::uniform(1.0, 8.0));
+  G.RateP = Ctx.sample(Name("RateP"), Distribution::uniform(0.02, 0.3));
+  G.RateI = Ctx.sample(Name("RateI"), Distribution::uniform(0.0, 0.3));
+  G.RateD = Ctx.sample(Name("RateD"), Distribution::uniform(0.0, 0.02));
+  G.ThrP = Ctx.sample(Name("ThrP"), Distribution::uniform(0.05, 0.4));
+  G.ThrI = Ctx.sample(Name("ThrI"), Distribution::uniform(0.0, 0.2));
+  G.MaxLean = Ctx.sample(Name("MaxLean"), Distribution::uniform(0.1, 0.6));
+  G.MaxClimb = Ctx.sample(Name("MaxClimb"), Distribution::uniform(0.5, 4.0));
+  G.MaxSpeed = Ctx.sample(Name("MaxSpeed"), Distribution::uniform(1.0, 8.0));
+  return G;
+}
+
+struct DroneState {
+  StudentParams Params;
+  double LastModeError = 1.0;
+};
+
+class ArdupilotApp : public TunedApp {
+public:
+  std::string name() const override { return "Ardupilot"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "CUSTOM"; }
+  int numParams() const override { return 40; }
+
+  void loadDataset(int Index) override {
+    (void)Index; // one physical world; missions are fixed
+    ReferenceController Ref;
+    RefTrain = fly(Ref, routeMission(), Model);
+    Ref.reset();
+    RefTest = fly(Ref, zigzagMission(), Model);
+  }
+
+  /// RMS motor error of the student on the training mission.
+  double trainDistance(const StudentParams &P) const {
+    StudentController C{P};
+    return behaviorDistance(fly(C, routeMission(), Model), RefTrain);
+  }
+
+  double nativeQuality() override {
+    StudentController C{StudentParams()};
+    return behaviorDistance(fly(C, zigzagMission(), Model), RefTest);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    Pipeline P;
+    const FlightTrace *Ref = &RefTrain;
+    const QuadModel *M = &Model;
+
+    // One tuning region per flight-mode control function. Each stage
+    // samples only its mode's gain bank, flies the mission, and is scored
+    // by that mode's motor RMS error alone.
+    static const char *ModeNames[NumFlightModes] = {"takeoff", "cruise",
+                                                    "land"};
+    for (int Mode = 0; Mode != NumFlightModes; ++Mode) {
+      StageOptions S;
+      S.NumSamples = 14;
+      P.addStage<DroneState, DroneState, DroneState>(
+          ModeNames[Mode], S,
+          std::function<std::optional<DroneState>(const DroneState &,
+                                                  SampleContext &)>(
+              [Ref, M, Mode](const DroneState &In,
+                             SampleContext &Ctx) -> std::optional<DroneState> {
+                DroneState Out = In;
+                Out.Params.Mode[Mode] = drawModeGains(Ctx, ModeNames[Mode]);
+                if (Mode == 0)
+                  Out.Params.HoverThrottle = Ctx.sample(
+                      "MOT_HOVER", Distribution::uniform(0.3, 0.7));
+                StudentController C{Out.Params};
+                FlightTrace Trace = fly(C, routeMission(), *M);
+                std::vector<double> PerMode =
+                    behaviorDistancePerMode(Trace, *Ref);
+                double Err = PerMode[static_cast<size_t>(Mode)];
+                if (Err < 0)
+                  Err = 1.0; // the mode was never reached
+                // Kill samples that crash the mission outright.
+                if (!Ctx.check(Err < 0.9))
+                  return std::nullopt;
+                Out.LastModeError = Err;
+                Ctx.setScore(-Err);
+                return Out;
+              }),
+          std::function<
+              std::unique_ptr<Aggregator<DroneState, DroneState>>()>([] {
+            return std::make_unique<BestScoreAggregator<DroneState>>(false);
+          }));
+    }
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    DroneState Init;
+    RunReport Rep = P.run(std::any(Init), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      LastTuned = Rep.finalAs<DroneState>(0).Params;
+      Out.TuneScore = trainDistance(LastTuned);
+      StudentController C{LastTuned};
+      LastTestTrace = fly(C, zigzagMission(), Model);
+      Out.Quality = behaviorDistance(LastTestTrace, RefTest);
+    } else {
+      Out.Quality = nativeQuality();
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    // All 40 parameters in one flat space; every sample is a whole
+    // mission including "simulator startup" — the configuration the paper
+    // explains cannot keep up.
+    ConfigSpace Space;
+    StudentParams Defaults;
+    std::vector<double> Flat = Defaults.flatten();
+    static const double Lo[13] = {0.2, 0.5, 0.0,  0.0, 1.0, 0.02, 0.0,
+                                  0.0, 0.05, 0.0, 0.1, 0.5, 1.0};
+    static const double Hi[13] = {2.5, 4.0, 1.0,  0.3, 8.0, 0.3, 0.3,
+                                  0.02, 0.4, 0.2, 0.6, 4.0, 8.0};
+    for (size_t I = 0; I != StudentParams::NumValues - 1; ++I)
+      Space.addDouble(StudentParams::valueName(I), Lo[I % 13], Hi[I % 13],
+                      Flat[I]);
+    Space.addDouble("MOT_HOVER", 0.3, 0.7, Defaults.HoverThrottle);
+
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          StudentParams P = StudentParams::unflatten(C.Values);
+          double D = trainDistance(P);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return D;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    StudentParams P = StudentParams::unflatten(Res.Best.Values);
+    StudentController C{P};
+    Out.Quality = behaviorDistance(fly(C, zigzagMission(), Model), RefTest);
+    return Out;
+  }
+
+  const QuadModel &model() const { return Model; }
+  const FlightTrace &referenceTestTrace() const { return RefTest; }
+  const FlightTrace &tunedTestTrace() const { return LastTestTrace; }
+  const StudentParams &tunedParams() const { return LastTuned; }
+
+private:
+  QuadModel Model;
+  FlightTrace RefTrain, RefTest;
+  StudentParams LastTuned;
+  FlightTrace LastTestTrace;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makeArdupilotApp() {
+  auto App = std::make_unique<ArdupilotApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+namespace wbt {
+namespace apps {
+
+/// Fig. 22 accessors (used by bench_drone).
+DroneFig22Data droneFig22(TunedApp &App) {
+  auto &A = static_cast<ArdupilotApp &>(App);
+  DroneFig22Data Out;
+  Out.Model = A.model();
+  Out.Reference = A.referenceTestTrace();
+  Out.Tuned = A.tunedTestTrace();
+  StudentController Factory{StudentParams()};
+  Out.Factory = fly(Factory, zigzagMission(), Out.Model);
+  return Out;
+}
+
+} // namespace apps
+} // namespace wbt

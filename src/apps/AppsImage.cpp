@@ -1,0 +1,497 @@
+//===- apps/AppsImage.cpp - Canny and Watershed tuned apps -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Canny follows the paper's Fig. 4 wiring: a Gaussian-smoothing region
+// whose aggregation prunes improperly smoothed samples ([39]-style blur
+// check) and splits one tuning process per surviving result, then an
+// edge-traversal region whose sampled edge maps are majority-voted into
+// the final image. Gradient + non-maximal suppression are parameter-free
+// and therefore computed once per smoothing sample and reused by every
+// stage-2 run — the white-box execution reuse the paper highlights.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "aggregate/Aggregators.h"
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+#include "image/Canny.h"
+#include "image/Ssim.h"
+#include "image/Synthetic.h"
+#include "image/Watershed.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::img;
+
+namespace {
+
+constexpr uint64_t CannySeed = 7701;
+constexpr uint64_t WatershedSeed = 7702;
+
+/// Tuning-legal plausibility score of an edge mask (no ground truth):
+/// penalizes empty/saturated results and rewards connected edges — the
+/// paper's "very few or too many pixels" heuristic plus continuity.
+double edgeHeuristic(const std::vector<uint8_t> &Mask, int W, int H) {
+  double Frac = edgeFraction(Mask);
+  if (Frac < 0.003 || Frac > 0.25)
+    return -10.0 + Frac; // clearly poor
+  // Continuity: fraction of edge pixels with 2+ edge neighbors.
+  long Edges = 0, Connected = 0;
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      size_t I = static_cast<size_t>(Y) * W + X;
+      if (!Mask[I])
+        continue;
+      ++Edges;
+      int Neighbors = 0;
+      for (int DY = -1; DY <= 1; ++DY)
+        for (int DX = -1; DX <= 1; ++DX) {
+          if (DX == 0 && DY == 0)
+            continue;
+          int NX = X + DX, NY = Y + DY;
+          if (NX < 0 || NX >= W || NY < 0 || NY >= H)
+            continue;
+          Neighbors += Mask[static_cast<size_t>(NY) * W + NX];
+        }
+      Connected += Neighbors >= 2;
+    }
+  double Continuity =
+      Edges ? static_cast<double>(Connected) / static_cast<double>(Edges) : 0;
+  // Mild preference for moderate densities.
+  double Density = -std::fabs(std::log(Frac / 0.04));
+  return Continuity + 0.15 * Density;
+}
+
+//===----------------------------------------------------------------------===//
+// Canny
+//===----------------------------------------------------------------------===//
+
+struct SmoothState {
+  Image Suppressed; // gradient magnitude after NMS (parameter-free reuse)
+  double Sigma = 0;
+  double SharpnessRatio = 0;
+};
+
+class CannyApp : public TunedApp {
+public:
+  std::string name() const override { return "Canny"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "CUSTOM/MV"; }
+  int numParams() const override { return 3; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    SceneOptions Opts;
+    Opts.NoiseLo = 0.04;
+    Opts.NoiseHi = 0.14;
+    Opts.BlurHi = 1.6;
+    TheScene = makeScene(CannySeed, Index, Opts);
+  }
+
+  double qualityOf(const std::vector<uint8_t> &Mask) const {
+    return ssimMasks(Mask, TheScene.TrueEdges, TheScene.Picture.width(),
+                     TheScene.Picture.height());
+  }
+
+  double nativeQuality() override {
+    // The paper's Fig. 1 configuration (0.6, 0.5, 0.9): good for some
+    // images, poor for others — which is the point.
+    return qualityOf(canny(TheScene.Picture, 0.6, 0.5, 0.9));
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    int W = TheScene.Picture.width(), H = TheScene.Picture.height();
+    double BaseSharpness = laplacianSharpness(TheScene.Picture);
+
+    auto Votes = std::make_shared<VoteAccumulator>();
+    auto BestHeur = std::make_shared<ScalarAccumulator>();
+
+    Pipeline P;
+    // Region 1: Gaussian smoothing, tuning sigma. AggregateGaussian
+    // prunes badly smoothed samples and splits per survivor.
+    StageOptions S1;
+    S1.NumSamples = 24;
+    P.addStage<Image, SmoothState, SmoothState>(
+        "gaussian", S1,
+        std::function<std::optional<SmoothState>(const Image &,
+                                                 SampleContext &)>(
+            [BaseSharpness](const Image &In,
+                            SampleContext &Ctx) -> std::optional<SmoothState> {
+              SmoothState Out;
+              Out.Sigma = Ctx.sample("sigma", Distribution::uniform(0.2, 3.0));
+              Image Smoothed = gaussianSmooth(In, Out.Sigma);
+              Out.SharpnessRatio =
+                  laplacianSharpness(Smoothed) / (BaseSharpness + 1e-12);
+              // The [39]-style blur check: prune under- and over-smoothed
+              // samples (paper prunes 78 of 200 here).
+              if (!Ctx.check(Out.SharpnessRatio > 0.08 &&
+                             Out.SharpnessRatio < 0.85))
+                return std::nullopt;
+              Out.Suppressed = nonMaxSuppress(sobel(Smoothed));
+              Ctx.setScore(-std::fabs(Out.SharpnessRatio - 0.45));
+              return Out;
+            }),
+        BatchAggregator<SmoothState, SmoothState>::Fn(
+            [](std::vector<std::pair<SampleInfo, SmoothState>> &&Results) {
+              std::sort(Results.begin(), Results.end(),
+                        [](const auto &A, const auto &B) {
+                          return std::fabs(A.second.SharpnessRatio - 0.45) <
+                                 std::fabs(B.second.SharpnessRatio - 0.45);
+                        });
+              std::vector<SmoothState> Keep;
+              for (auto &[Info, State] : Results) {
+                if (Keep.size() == 4)
+                  break;
+                Keep.push_back(std::move(State));
+              }
+              return Keep; // paper @split: one tuning process each
+            }));
+
+    // Region 2: hysteresis edge traversal, tuning low/high; edge maps are
+    // voted pixel-wise across every sample of every tuning process.
+    StageOptions S2;
+    S2.NumSamples = 20;
+    P.addStage<SmoothState, int, int>(
+        "hysteresis", S2,
+        std::function<std::optional<int>(const SmoothState &,
+                                         SampleContext &)>(
+            [Votes, BestHeur, W, H](const SmoothState &In,
+                                    SampleContext &Ctx) -> std::optional<int> {
+              double Low = Ctx.sample("low", Distribution::uniform(0.05, 0.6));
+              double High =
+                  Ctx.sample("high", Distribution::uniform(0.3, 0.95));
+              std::vector<uint8_t> Mask = hysteresis(In.Suppressed, Low, High);
+              double Heur = edgeHeuristic(Mask, W, H);
+              Ctx.setScore(Heur);
+              if (!Ctx.check(Heur > -5.0))
+                return std::nullopt;
+              Votes->add(Mask); // incremental MV across all processes
+              BestHeur->add(Heur);
+              return 1;
+            }),
+        std::function<std::unique_ptr<Aggregator<int, int>>()>([] {
+          return std::make_unique<BestScoreAggregator<int>>(false);
+        }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(TheScene.Picture), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    Out.TuneScore = BestHeur->max();
+    LastMask = Votes->runs() ? Votes->result(0.5)
+                             : std::vector<uint8_t>(
+                                   static_cast<size_t>(W) * H, 0);
+    Out.Quality = qualityOf(LastMask);
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    int W = TheScene.Picture.width(), H = TheScene.Picture.height();
+    ConfigSpace Space;
+    Space.addDouble("sigma", 0.2, 3.0, 1.0);
+    Space.addDouble("low", 0.05, 0.6, 0.3);
+    Space.addDouble("high", 0.3, 0.95, 0.8);
+
+    auto Votes = std::make_shared<VoteAccumulator>();
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          // A black-box sample is a full execution: load -> smooth ->
+          // gradient -> NMS -> hysteresis every time.
+          SceneOptions LoadOpts;
+          LoadOpts.NoiseLo = 0.04;
+          LoadOpts.NoiseHi = 0.14;
+          LoadOpts.BlurHi = 1.6;
+          Scene Fresh = makeScene(CannySeed, DataIndex, LoadOpts);
+          std::vector<uint8_t> Mask =
+              canny(Fresh.Picture, C.asDouble(0), C.asDouble(1),
+                    C.asDouble(2));
+          double Heur = edgeHeuristic(Mask, W, H);
+          if (Heur > -5.0)
+            Votes->add(Mask); // same voting aggregation as WBTuner
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return Heur;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    LastMask = Votes->runs() ? Votes->result(0.5)
+                             : std::vector<uint8_t>(
+                                   static_cast<size_t>(W) * H, 0);
+    Out.Quality = qualityOf(LastMask);
+    return Out;
+  }
+
+  const Scene &scene() const { return TheScene; }
+  const std::vector<uint8_t> &lastMask() const { return LastMask; }
+
+private:
+  Scene TheScene;
+  std::vector<uint8_t> LastMask;
+  int DataIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Watershed
+//===----------------------------------------------------------------------===//
+
+struct SurfaceState {
+  Image Surface; // smoothed gradient magnitude (reused by stage 2)
+  double Sigma = 0;
+};
+
+/// Tuning-legal plausibility of a segmentation.
+double segmentationHeuristic(const Segmentation &Seg) {
+  if (Seg.NumBasins < 2 || Seg.NumBasins > 40)
+    return -10.0;
+  double BoundaryFrac = 0;
+  for (int L : Seg.Labels)
+    BoundaryFrac += L == 0;
+  BoundaryFrac /= static_cast<double>(Seg.Labels.size());
+  if (BoundaryFrac > 0.3)
+    return -10.0;
+  return -std::fabs(std::log(static_cast<double>(Seg.NumBasins) / 7.0)) -
+         5.0 * BoundaryFrac;
+}
+
+class WatershedApp : public TunedApp {
+public:
+  std::string name() const override { return "Watershed"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "MV"; }
+  int numParams() const override { return 3; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    TheScene = makeScene(WatershedSeed, Index);
+  }
+
+  double qualityOf(const std::vector<uint8_t> &Boundary) const {
+    return boundaryF1(Boundary, TheScene.TrueEdges, TheScene.Picture.width(),
+                      TheScene.Picture.height(), 2);
+  }
+
+  double nativeQuality() override {
+    return qualityOf(
+        watershed(TheScene.Picture, 1.0, 0.2, 10).boundaryMask());
+  }
+
+  /// Stage-2 sample result: one boundary mask plus its heuristic.
+  struct MaskResult {
+    std::vector<uint8_t> Mask;
+    double Heur = 0;
+  };
+
+  /// Per-tuning-process aggregation: majority-vote the masks produced
+  /// under one smoothing level; carry the mean heuristic so the final
+  /// winner among tuning processes can be picked without ground truth.
+  struct VotedMasks {
+    std::vector<uint8_t> Mask;
+    double MeanHeur = -1e18;
+  };
+
+  class PerTpVoteAggregator : public Aggregator<MaskResult, VotedMasks> {
+  public:
+    void add(const SampleInfo &, MaskResult &&R) override {
+      Votes.add(R.Mask);
+      HeurSum += R.Heur;
+      ++Count;
+    }
+    std::vector<VotedMasks> finish() override {
+      if (!Count)
+        return {};
+      VotedMasks Out;
+      Out.Mask = Votes.result(0.5);
+      Out.MeanHeur = HeurSum / Count;
+      return {Out};
+    }
+
+  private:
+    VoteAccumulator Votes;
+    double HeurSum = 0;
+    int Count = 0;
+  };
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    int W = TheScene.Picture.width(), H = TheScene.Picture.height();
+
+    Pipeline P;
+    StageOptions S1;
+    S1.NumSamples = 10;
+    P.addStage<Image, SurfaceState, SurfaceState>(
+        "smooth+gradient", S1,
+        std::function<std::optional<SurfaceState>(const Image &,
+                                                  SampleContext &)>(
+            [](const Image &In,
+               SampleContext &Ctx) -> std::optional<SurfaceState> {
+              SurfaceState Out;
+              Out.Sigma = Ctx.sample("sigma", Distribution::uniform(0.4, 2.5));
+              Out.Surface =
+                  sobel(gaussianSmooth(In, Out.Sigma)).Magnitude;
+              double Peak = Out.Surface.maxValue();
+              if (!Ctx.check(Peak > 0.05))
+                return std::nullopt;
+              Ctx.setScore(-std::fabs(Out.Sigma - 1.2));
+              return Out;
+            }),
+        BatchAggregator<SurfaceState, SurfaceState>::Fn(
+            [](std::vector<std::pair<SampleInfo, SurfaceState>> &&Results) {
+              // Keep three diverse smoothing levels alive (@split).
+              std::sort(Results.begin(), Results.end(),
+                        [](const auto &A, const auto &B) {
+                          return A.second.Sigma < B.second.Sigma;
+                        });
+              std::vector<SurfaceState> Keep;
+              for (size_t I = 0; I < Results.size();
+                   I += std::max<size_t>(1, Results.size() / 3))
+                if (Keep.size() < 3)
+                  Keep.push_back(std::move(Results[I].second));
+              return Keep;
+            }));
+
+    StageOptions S2;
+    S2.NumSamples = 16;
+    P.addStage<SurfaceState, MaskResult, VotedMasks>(
+        "markers+flood", S2,
+        std::function<std::optional<MaskResult>(const SurfaceState &,
+                                                SampleContext &)>(
+            [](const SurfaceState &In,
+               SampleContext &Ctx) -> std::optional<MaskResult> {
+              double Depth =
+                  Ctx.sample("markerDepth", Distribution::uniform(0.05, 0.5));
+              int MinBasin = static_cast<int>(
+                  Ctx.sampleInt("minBasin", Distribution::uniformInt(1, 80)));
+              Segmentation Seg =
+                  flood(In.Surface, extractMarkers(In.Surface, Depth),
+                        MinBasin);
+              MaskResult Out;
+              Out.Heur = segmentationHeuristic(Seg);
+              Ctx.setScore(Out.Heur);
+              if (!Ctx.check(Out.Heur > -5.0))
+                return std::nullopt;
+              Out.Mask = Seg.boundaryMask();
+              return Out;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<MaskResult, VotedMasks>>()>(
+            [] { return std::make_unique<PerTpVoteAggregator>(); }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(TheScene.Picture), RO);
+
+    // Pick the smoothing level whose samples looked most plausible.
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    const VotedMasks *Best = nullptr;
+    for (const std::any &F : Rep.Finals) {
+      const VotedMasks *V = std::any_cast<VotedMasks>(&F);
+      if (V && (!Best || V->MeanHeur > Best->MeanHeur))
+        Best = V;
+    }
+    if (Best) {
+      Out.TuneScore = Best->MeanHeur;
+      Out.Quality = qualityOf(Best->Mask);
+    } else {
+      Out.Quality = qualityOf(
+          std::vector<uint8_t>(static_cast<size_t>(W) * H, 0));
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("sigma", 0.4, 2.5, 1.0);
+    Space.addDouble("markerDepth", 0.05, 0.5, 0.2);
+    Space.addInt("minBasin", 1, 80, 10);
+
+    std::mutex Mutex;
+    long Evals = 0;
+    std::vector<uint8_t> BestMask;
+    double BestHeur = -1e18;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          // Full execution: the image is loaded per sample.
+          Scene Fresh = makeScene(WatershedSeed, DataIndex);
+          Segmentation Seg =
+              watershed(Fresh.Picture, C.asDouble(0), C.asDouble(1),
+                        static_cast<int>(C.asInt(2)));
+          double Heur = segmentationHeuristic(Seg);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          if (Heur > BestHeur) {
+            BestHeur = Heur;
+            BestMask = Seg.boundaryMask();
+          }
+          return Heur;
+        },
+        Opts);
+
+    int W = TheScene.Picture.width(), H = TheScene.Picture.height();
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    if (BestMask.empty())
+      BestMask.assign(static_cast<size_t>(W) * H, 0);
+    Out.Quality = qualityOf(BestMask);
+    return Out;
+  }
+
+private:
+  Scene TheScene;
+  int DataIndex = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makeCannyApp() {
+  auto App = std::make_unique<CannyApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeWatershedApp() {
+  auto App = std::make_unique<WatershedApp>();
+  App->loadDataset(0);
+  return App;
+}

@@ -1,0 +1,704 @@
+//===- apps/AppsMisc.cpp - Sphinx, SLIM, METIS, Face tuned apps ------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+#include "face/Eigenfaces.h"
+#include "graphpart/Partitioner.h"
+#include "recsys/Slim.h"
+#include "speech/Recognizer.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+
+namespace {
+
+constexpr uint64_t SphinxSeed = 7709;
+constexpr uint64_t TopnSeed = 7710;
+constexpr uint64_t MetisSeed = 7711;
+constexpr uint64_t FaceSeed = 7712;
+
+//===----------------------------------------------------------------------===//
+// Sphinx (speech recognition)
+//===----------------------------------------------------------------------===//
+
+/// One sampling run's output: the recognized word per utterance plus a
+/// tuning-legal confidence (relative margin between the best and
+/// second-best word distance).
+struct DecodeResult {
+  std::vector<int> Words;
+  double MeanMargin = 0;
+};
+
+/// Majority vote per utterance across sample runs (paper: "the tuning
+/// results are aggregated using majority vote").
+class TranscriptVoteAggregator
+    : public Aggregator<DecodeResult, std::vector<int>> {
+public:
+  void add(const SampleInfo &, DecodeResult &&R) override {
+    if (Votes.empty())
+      Votes.resize(R.Words.size());
+    for (size_t U = 0; U != R.Words.size(); ++U)
+      ++Votes[U][R.Words[U]];
+  }
+
+  std::vector<std::vector<int>> finish() override {
+    std::vector<int> Voted;
+    for (auto &PerWord : Votes) {
+      int Best = -1;
+      long BestCount = -1;
+      for (auto &[Word, Count] : PerWord)
+        if (Count > BestCount) {
+          BestCount = Count;
+          Best = Word;
+        }
+      Voted.push_back(Best);
+    }
+    if (Voted.empty())
+      return {};
+    return {Voted};
+  }
+
+private:
+  std::vector<std::map<int, long>> Votes;
+};
+
+/// Decodes the whole set and reports the mean recognition margin.
+DecodeResult decodeSet(const std::vector<speech::Utterance> &Set,
+                       const speech::Vocabulary &Vocab,
+                       const speech::SpeechParams &P) {
+  DecodeResult Out;
+  double MarginSum = 0;
+  for (const speech::Utterance &U : Set) {
+    speech::Frames Query = speech::frontEnd(U.Audio, P);
+    int Best = -1;
+    double BestD = 1e18, SecondD = 1e18;
+    for (size_t W = 0; W != Vocab.Templates.size(); ++W) {
+      speech::Frames Ref = speech::frontEnd(Vocab.Templates[W], P);
+      double D = speech::dtwDistance(Query, Ref, P.DtwBand, P.MatchExponent);
+      D += P.LengthPenalty *
+           std::fabs(static_cast<double>(Query.size()) -
+                     static_cast<double>(Ref.size())) /
+           static_cast<double>(std::max<size_t>(1, Ref.size()));
+      D -= P.LangWeight * 0.05 * Vocab.Priors[W];
+      if (D < BestD) {
+        SecondD = BestD;
+        BestD = D;
+        Best = static_cast<int>(W);
+      } else if (D < SecondD) {
+        SecondD = D;
+      }
+    }
+    Out.Words.push_back(Best);
+    MarginSum += (SecondD - BestD) / (std::fabs(BestD) + 1e-9);
+  }
+  Out.MeanMargin = Set.empty() ? 0 : MarginSum / static_cast<double>(Set.size());
+  return Out;
+}
+
+/// Sampling ranges: plausible neighborhoods a Sphinx user would give,
+/// wide enough to cover speaker-specific optima.
+speech::SpeechParams speechParamsFrom(SampleContext &Ctx) {
+  speech::SpeechParams P;
+  P.Preemphasis = Ctx.sample("preemph", Distribution::uniform(0.2, 0.7));
+  P.LowEdge = Ctx.sample("lowEdge", Distribution::uniform(0.0, 4.0));
+  P.HighEdge = Ctx.sample("highEdge", Distribution::uniform(11.0, 15.0));
+  P.NumFilters = static_cast<int>(
+      Ctx.sampleInt("numFilters", Distribution::uniformInt(5, 12)));
+  P.NoiseFloor = Ctx.sample("noiseFloor", Distribution::uniform(0.0, 0.08));
+  P.EnergyWeight = Ctx.sample("energyW", Distribution::uniform(0.2, 1.0));
+  P.DeltaWeight = Ctx.sample("deltaW", Distribution::uniform(0.2, 1.0));
+  P.MeanNorm = Ctx.sampleInt("meanNorm", Distribution::uniformInt(0, 1)) != 0;
+  P.VarNorm =
+      Ctx.sample("varNorm", Distribution::uniform(0.0, 1.0)) < 0.3;
+  P.Lifter = Ctx.sample("lifter", Distribution::uniform(0.8, 1.3));
+  P.SilenceThresh = Ctx.sample("silence", Distribution::uniform(0.02, 0.12));
+  P.DtwBand = static_cast<int>(
+      Ctx.sampleInt("dtwBand", Distribution::uniformInt(4, 14)));
+  P.LangWeight = Ctx.sample("langW", Distribution::uniform(0.0, 0.5));
+  P.LengthPenalty = Ctx.sample("lenPen", Distribution::uniform(0.0, 0.05));
+  P.SmoothAlpha = Ctx.sample("smooth", Distribution::uniform(0.0, 0.3));
+  P.MatchExponent = Ctx.sample("matchExp", Distribution::uniform(0.8, 1.3));
+  return P;
+}
+
+class SphinxApp : public TunedApp {
+public:
+  std::string name() const override { return "Speech Rec"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "MV"; }
+  int numParams() const override { return 16; }
+
+  void loadDataset(int Index) override {
+    if (Full.Sets.empty())
+      Full = speech::makeSpeechDataset(SphinxSeed);
+    SetIndex = static_cast<size_t>(Index) % Full.Sets.size();
+  }
+
+  /// Correctly recognized utterances (0..5) of a transcript.
+  double correctOf(const std::vector<int> &Words) const {
+    const auto &Set = Full.Sets[SetIndex];
+    if (Words.size() != Set.size())
+      return 0;
+    int Correct = 0;
+    for (size_t U = 0; U != Set.size(); ++U)
+      Correct += Words[U] == Set[U].TrueWord;
+    return Correct;
+  }
+
+  double nativeQuality() override {
+    return speech::recognizeSet(Full.Sets[SetIndex], Full.Vocab,
+                                speech::SpeechParams());
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const speech::SpeechDataset *D = &Full;
+    size_t Set = SetIndex;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 36;
+    P.addStage<int, DecodeResult, std::vector<int>>(
+        "recognize", S,
+        std::function<std::optional<DecodeResult>(const int &,
+                                                  SampleContext &)>(
+            [D, Set](const int &,
+                     SampleContext &Ctx) -> std::optional<DecodeResult> {
+              speech::SpeechParams SP = speechParamsFrom(Ctx);
+              DecodeResult R = decodeSet(D->Sets[Set], D->Vocab, SP);
+              Ctx.setScore(R.MeanMargin);
+              // All decodes vote (the paper's scoring-function-free MV).
+              return R;
+            }),
+        std::function<
+            std::unique_ptr<Aggregator<DecodeResult, std::vector<int>>>()>(
+            [] { return std::make_unique<TranscriptVoteAggregator>(); }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty())
+      Out.Quality = correctOf(Rep.finalAs<std::vector<int>>(0));
+    else
+      Out.Quality = nativeQuality();
+    Out.TuneScore = Out.Quality;
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("preemph", 0.2, 0.7, 0.7);
+    Space.addDouble("lowEdge", 0.0, 4.0, 0.0);
+    Space.addDouble("highEdge", 11.0, 15.0, 15.0);
+    Space.addInt("numFilters", 5, 12, 5);
+    Space.addDouble("noiseFloor", 0.0, 0.08, 0.0);
+    Space.addDouble("energyW", 0.2, 1.0, 0.5);
+    Space.addDouble("deltaW", 0.2, 1.0, 0.2);
+    Space.addBool("meanNorm", false);
+    Space.addBool("varNorm", false);
+    Space.addDouble("lifter", 0.8, 1.3, 1.0);
+    Space.addDouble("silence", 0.02, 0.12, 0.02);
+    Space.addInt("dtwBand", 4, 14, 4);
+    Space.addDouble("langW", 0.0, 0.5, 0.0);
+    Space.addDouble("lenPen", 0.0, 0.05, 0.02);
+    Space.addDouble("smooth", 0.0, 0.3, 0.0);
+    Space.addDouble("matchExp", 0.8, 1.3, 1.0);
+
+    auto ParamsOf = [](const Config &C) {
+      speech::SpeechParams P;
+      P.Preemphasis = C.asDouble(0);
+      P.LowEdge = C.asDouble(1);
+      P.HighEdge = C.asDouble(2);
+      P.NumFilters = static_cast<int>(C.asInt(3));
+      P.NoiseFloor = C.asDouble(4);
+      P.EnergyWeight = C.asDouble(5);
+      P.DeltaWeight = C.asDouble(6);
+      P.MeanNorm = C.asBool(7);
+      P.VarNorm = C.asBool(8);
+      P.Lifter = C.asDouble(9);
+      P.SilenceThresh = C.asDouble(10);
+      P.DtwBand = static_cast<int>(C.asInt(11));
+      P.LangWeight = C.asDouble(12);
+      P.LengthPenalty = C.asDouble(13);
+      P.SmoothAlpha = C.asDouble(14);
+      P.MatchExponent = C.asDouble(15);
+      return P;
+    };
+
+    // OpenTuner extended with the same majority-vote aggregation.
+    auto Agg = std::make_shared<TranscriptVoteAggregator>();
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Driver.run(
+        Space,
+        [&](const Config &C) {
+          DecodeResult R =
+              decodeSet(Full.Sets[SetIndex], Full.Vocab, ParamsOf(C));
+          double Margin = R.MeanMargin;
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          SampleInfo Info;
+          Agg->add(Info, std::move(R));
+          return Margin;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = BudgetSeconds;
+    std::vector<std::vector<int>> Voted = Agg->finish();
+    Out.Quality = Voted.empty() ? nativeQuality() : correctOf(Voted[0]);
+    Out.TuneScore = Out.Quality;
+    return Out;
+  }
+
+private:
+  speech::SpeechDataset Full;
+  size_t SetIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// SLIM Top-N recommender
+//===----------------------------------------------------------------------===//
+
+struct SlimResult {
+  rec::SlimParams Params;
+  double HitRate = 0;
+};
+
+class TopnApp : public TunedApp {
+public:
+  std::string name() const override { return "TOPN Rec"; }
+  bool lowerIsBetter() const override { return false; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "MAX"; }
+  int numParams() const override { return 3; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    Data = rec::makeRatingData(TopnSeed, Index);
+  }
+
+  double nativeQuality() override {
+    return rec::hitRateAtN(rec::trainSlim(Data, rec::SlimParams()), Data, 10);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const rec::RatingData *D = &Data;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 20;
+    P.addStage<int, SlimResult, SlimResult>(
+        "slim", S,
+        std::function<std::optional<SlimResult>(const int &,
+                                                SampleContext &)>(
+            [D](const int &, SampleContext &Ctx) -> std::optional<SlimResult> {
+              SlimResult Out;
+              Out.Params.L1 =
+                  Ctx.sample("l1", Distribution::logUniform(0.001, 10.0));
+              Out.Params.L2 =
+                  Ctx.sample("l2", Distribution::logUniform(0.01, 20.0));
+              Out.Params.NeighborhoodSize = static_cast<int>(Ctx.sampleInt(
+                  "nnbrs", Distribution::uniformInt(4, 50)));
+              rec::SlimModel M = rec::trainSlim(*D, Out.Params);
+              if (!Ctx.check(M.nonZeros() > 0))
+                return std::nullopt;
+              Out.HitRate = rec::hitRateAtN(M, *D, 10);
+              Ctx.setScore(Out.HitRate);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<SlimResult, SlimResult>>()>(
+            [] {
+              return std::make_unique<BestScoreAggregator<SlimResult>>(false);
+            }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      Out.Quality = Rep.finalAs<SlimResult>(0).HitRate;
+      Out.TuneScore = Out.Quality;
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("l1", 0.001, 10.0, 0.1, true);
+    Space.addDouble("l2", 0.01, 20.0, 0.5, true);
+    Space.addInt("nnbrs", 4, 50, 20);
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          rec::SlimParams P;
+          P.L1 = C.asDouble(0);
+          P.L2 = C.asDouble(1);
+          P.NeighborhoodSize = static_cast<int>(C.asInt(2));
+          // Full execution: reload the rating matrix per sample.
+          rec::RatingData Fresh = rec::makeRatingData(TopnSeed, DataIndex);
+          double HR = rec::hitRateAtN(rec::trainSlim(Fresh, P), Fresh, 10);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return HR;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.Quality = Res.BestScore;
+    Out.TuneScore = Res.BestScore;
+    return Out;
+  }
+
+private:
+  rec::RatingData Data;
+  int DataIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// METIS graph partitioner
+//===----------------------------------------------------------------------===//
+
+struct PartResult {
+  gp::PartitionParams Params;
+  double EdgeCut = 0;
+};
+
+class MetisApp : public TunedApp {
+public:
+  std::string name() const override { return "METIS"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "MAX"; }
+  int numParams() const override { return 3; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    Planted = gp::makePlantedGraph(MetisSeed, Index);
+  }
+
+  double nativeQuality() override {
+    gp::PartitionParams P;
+    P.NumParts = 4;
+    return gp::partition(Planted.G, P).EdgeCut;
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const gp::Graph *G = &Planted.G;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 20;
+    P.addStage<int, PartResult, PartResult>(
+        "partition", S,
+        std::function<std::optional<PartResult>(const int &,
+                                                SampleContext &)>(
+            [G, Seed](const int &,
+                      SampleContext &Ctx) -> std::optional<PartResult> {
+              PartResult Out;
+              Out.Params.NumParts = 4;
+              Out.Params.CoarsenTo = static_cast<int>(Ctx.sampleInt(
+                  "coarsenTo", Distribution::uniformInt(16, 160)));
+              Out.Params.Imbalance =
+                  Ctx.sample("imbalance", Distribution::uniform(0.01, 0.3));
+              Out.Params.RefinePasses = static_cast<int>(Ctx.sampleInt(
+                  "refinePasses", Distribution::uniformInt(0, 12)));
+              Out.Params.Seed = Seed + static_cast<uint64_t>(Ctx.sampleIndex());
+              gp::PartitionResult R = gp::partition(*G, Out.Params);
+              if (!Ctx.check(R.BalanceRatio < 1.6))
+                return std::nullopt;
+              Out.EdgeCut = R.EdgeCut;
+              Ctx.setScore(-Out.EdgeCut);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<PartResult, PartResult>>()>(
+            [] {
+              return std::make_unique<BestScoreAggregator<PartResult>>(false);
+            }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      Out.Quality = Rep.finalAs<PartResult>(0).EdgeCut;
+      Out.TuneScore = Out.Quality;
+    } else {
+      Out.Quality = nativeQuality();
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addInt("coarsenTo", 16, 160, 40);
+    Space.addDouble("imbalance", 0.01, 0.3, 0.05);
+    Space.addInt("refinePasses", 0, 12, 4);
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          gp::PartitionParams P;
+          P.NumParts = 4;
+          P.CoarsenTo = static_cast<int>(C.asInt(0));
+          P.Imbalance = C.asDouble(1);
+          P.RefinePasses = static_cast<int>(C.asInt(2));
+          P.Seed = Seed;
+          // Full execution: reload the graph per sample.
+          gp::PlantedGraph Fresh = gp::makePlantedGraph(MetisSeed, DataIndex);
+          double Cut = gp::partition(Fresh.G, P).EdgeCut;
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return Cut;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.Quality = Res.BestScore;
+    Out.TuneScore = Res.BestScore;
+    return Out;
+  }
+
+private:
+  gp::PlantedGraph Planted;
+  int DataIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Face recognition (eigenfaces)
+//===----------------------------------------------------------------------===//
+
+struct FaceResult {
+  face::FaceParams Params;
+  double ValidationError = 1.0;
+};
+
+class FaceApp : public TunedApp {
+public:
+  std::string name() const override { return "Face Rec"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override { return "RAND"; }
+  const char *aggregationName() const override { return "MIN"; }
+  int numParams() const override { return 3; }
+
+  void loadDataset(int Index) override {
+    face::FaceDatasetOptions Opts;
+    Opts.Identities = 20;
+    Opts.NoiseLo = 0.15;
+    Opts.NoiseHi = 0.30;
+    Opts.VariationLo = 0.40;
+    Opts.VariationHi = 0.80;
+    Data = face::makeFaceDataset(FaceSeed, Index, Opts);
+    // Validation split: first gallery image per id trains, second
+    // validates (tuning never sees the probes).
+    TrainSplit = face::FaceDataset();
+    TrainSplit.NumIdentities = Data.NumIdentities;
+    for (size_t G = 0; G != Data.Gallery.size(); ++G) {
+      bool First = G % 2 == 0;
+      if (First) {
+        TrainSplit.Gallery.push_back(Data.Gallery[G]);
+        TrainSplit.GalleryIds.push_back(Data.GalleryIds[G]);
+      } else {
+        TrainSplit.Probes.push_back(Data.Gallery[G]);
+        TrainSplit.ProbeIds.push_back(Data.GalleryIds[G]);
+      }
+    }
+  }
+
+  double evalParams(const face::FaceParams &P) {
+    return face::identificationError(face::trainEigenfaces(Data, P), Data);
+  }
+
+  double nativeQuality() override {
+    // Factory configuration: few components, heavy preprocessing blur —
+    // plausible defaults tuned for no dataset in particular.
+    face::FaceParams Factory;
+    Factory.NumComponents = 4;
+    Factory.Metric = face::FaceMetric::L1;
+    Factory.SmoothRadius = 3;
+    return evalParams(Factory);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    const face::FaceDataset *Split = &TrainSplit;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 24;
+    P.addStage<int, FaceResult, FaceResult>(
+        "eigenfaces", S,
+        std::function<std::optional<FaceResult>(const int &,
+                                                SampleContext &)>(
+            [Split](const int &,
+                    SampleContext &Ctx) -> std::optional<FaceResult> {
+              FaceResult Out;
+              Out.Params.NumComponents = static_cast<int>(Ctx.sampleInt(
+                  "numComponents", Distribution::uniformInt(1, 30)));
+              Out.Params.Metric = static_cast<face::FaceMetric>(Ctx.sampleInt(
+                  "metric", Distribution::uniformInt(0, 2)));
+              Out.Params.SmoothRadius = static_cast<int>(Ctx.sampleInt(
+                  "smoothRadius", Distribution::uniformInt(0, 3)));
+              // Two-fold validation: train on each gallery half, test on
+              // the other, average.
+              face::FaceDataset Swapped;
+              Swapped.NumIdentities = Split->NumIdentities;
+              Swapped.Gallery = Split->Probes;
+              Swapped.GalleryIds = Split->ProbeIds;
+              Swapped.Probes = Split->Gallery;
+              Swapped.ProbeIds = Split->GalleryIds;
+              Out.ValidationError =
+                  0.5 * (face::identificationError(
+                             face::trainEigenfaces(*Split, Out.Params),
+                             *Split) +
+                         face::identificationError(
+                             face::trainEigenfaces(Swapped, Out.Params),
+                             Swapped));
+              Ctx.setScore(-Out.ValidationError);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<FaceResult, FaceResult>>()>(
+            [] {
+              return std::make_unique<BestScoreAggregator<FaceResult>>(false);
+            }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const FaceResult &Best = Rep.finalAs<FaceResult>(0);
+      Out.TuneScore = Best.ValidationError;
+      Out.Quality = evalParams(Best.Params);
+    } else {
+      Out.Quality = nativeQuality();
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addInt("numComponents", 1, 30, 12);
+    Space.addEnum("metric", {"l1", "l2", "cosine"}, 1);
+    Space.addInt("smoothRadius", 0, 3, 0);
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          face::FaceParams P;
+          P.NumComponents = static_cast<int>(C.asInt(0));
+          P.Metric = static_cast<face::FaceMetric>(C.asEnum(1));
+          P.SmoothRadius = static_cast<int>(C.asInt(2));
+          double Err = face::identificationError(
+              face::trainEigenfaces(TrainSplit, P), TrainSplit);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return Err;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    face::FaceParams P;
+    P.NumComponents = static_cast<int>(Res.Best.asInt(0));
+    P.Metric = static_cast<face::FaceMetric>(Res.Best.asEnum(1));
+    P.SmoothRadius = static_cast<int>(Res.Best.asInt(2));
+    Out.Quality = evalParams(P);
+    return Out;
+  }
+
+private:
+  face::FaceDataset Data;
+  face::FaceDataset TrainSplit;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makeSphinxApp() {
+  auto App = std::make_unique<SphinxApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeTopnApp() {
+  auto App = std::make_unique<TopnApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeMetisApp() {
+  auto App = std::make_unique<MetisApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeFaceApp() {
+  auto App = std::make_unique<FaceApp>();
+  App->loadDataset(0);
+  return App;
+}

@@ -1,0 +1,449 @@
+//===- apps/AppsMl.cpp - SVM and C4.5 tuned apps ---------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Both apps follow the paper's protocol (Sec. V-B3): the dataset is
+// halved, the first half is used for training + tuning, the second half
+// only for the reported quality. Tuning uses the engine's built-in k-fold
+// cross-validation (paper Sec. IV-A): every logical sample becomes an SVG
+// of KFolds runs sharing hyper-parameters, scored by validation error,
+// aggregated by MIN of the SVG-mean validation error. A
+// `CrossValidate = false` switch reproduces the overfitting ablation of
+// paper Fig. 17.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+#include "ml/C45.h"
+#include "ml/Svm.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::apps;
+using namespace wbt::ml;
+
+namespace {
+
+constexpr uint64_t SvmSeed = 7705;
+constexpr uint64_t C45Seed = 7706;
+constexpr int Folds = 4;
+
+/// Picks the hyper-parameter SVG with the lowest mean validation error.
+/// Result type: (drawn values, validation error).
+struct CvSample {
+  std::map<std::string, double> Params;
+  double ValidationError = 1.0;
+};
+
+class CvMinAggregator : public Aggregator<CvSample, CvSample> {
+public:
+  void add(const SampleInfo &Info, CvSample &&R) override {
+    Acc &A = BySvg[Info.Sample];
+    A.Sum += R.ValidationError;
+    ++A.Count;
+    A.Rep = std::move(R);
+  }
+
+  std::vector<CvSample> finish() override {
+    bool Found = false;
+    double BestErr = 0;
+    CvSample Best;
+    for (auto &[Svg, A] : BySvg) {
+      double Mean = A.Sum / A.Count;
+      if (!Found || Mean < BestErr) {
+        Found = true;
+        BestErr = Mean;
+        Best = A.Rep;
+        Best.ValidationError = Mean;
+      }
+    }
+    if (!Found)
+      return {};
+    return {Best};
+  }
+
+private:
+  struct Acc {
+    double Sum = 0;
+    int Count = 0;
+    CvSample Rep;
+  };
+  std::map<int, Acc> BySvg;
+};
+
+//===----------------------------------------------------------------------===//
+// SVM
+//===----------------------------------------------------------------------===//
+
+SvmParams svmParamsFrom(const std::map<std::string, double> &V) {
+  SvmParams P;
+  P.Kernel = static_cast<KernelKind>(
+      static_cast<int>(V.at("kernel") + 0.5));
+  P.C = V.at("C");
+  P.Gamma = V.at("gamma");
+  P.Degree = static_cast<int>(V.at("degree") + 0.5);
+  P.Coef0 = V.at("coef0");
+  P.Tol = V.at("tol");
+  P.MaxPasses = static_cast<int>(V.at("maxPasses") + 0.5);
+  P.BalanceClasses = V.at("balance") >= 0.5;
+  return P;
+}
+
+std::map<std::string, double> drawSvmParams(SampleContext &Ctx) {
+  std::map<std::string, double> V;
+  V["kernel"] = Ctx.sampleInt("kernel", Distribution::uniformInt(0, 2));
+  V["C"] = Ctx.sample("C", Distribution::logUniform(0.01, 100.0));
+  V["gamma"] = Ctx.sample("gamma", Distribution::logUniform(0.001, 10.0));
+  V["degree"] = Ctx.sampleInt("degree", Distribution::uniformInt(2, 4));
+  V["coef0"] = Ctx.sample("coef0", Distribution::uniform(0.0, 2.0));
+  V["tol"] = Ctx.sample("tol", Distribution::logUniform(1e-4, 1e-1));
+  V["maxPasses"] = Ctx.sampleInt("maxPasses", Distribution::uniformInt(2, 8));
+  V["balance"] = Ctx.sampleInt("balance", Distribution::uniformInt(0, 1));
+  return V;
+}
+
+class SvmApp : public TunedApp {
+public:
+  /// \p CrossValidate false reproduces the Fig. 17 overfitting ablation.
+  explicit SvmApp(bool CrossValidate = true) : CrossValidate(CrossValidate) {}
+
+  std::string name() const override { return "SVM"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override {
+    return CrossValidate ? "RAND+CV" : "RAND";
+  }
+  const char *aggregationName() const override { return "MIN"; }
+  int numParams() const override { return 8; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    MlDatasetOptions Opts;
+    Opts.Samples = 150;
+    MlDataset Full = makeClassificationDataset(SvmSeed, Index, Opts);
+    std::vector<size_t> First, Second;
+    halfSplit(Full.size(), First, Second);
+    Train = subset(Full, First);
+    Test = subset(Full, Second);
+  }
+
+  double nativeQuality() override {
+    Rng R(1);
+    return svmError(trainMultiSvm(Train, SvmParams(), R), Test);
+  }
+
+  /// Tuned-model errors, for the Fig. 17 bars.
+  struct ErrorPair {
+    double TrainError = 0;
+    double TestError = 0;
+  };
+  ErrorPair LastErrors;
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 24;
+    S.KFolds = CrossValidate ? Folds : 1;
+    const MlDataset *TrainPtr = &Train;
+    bool CV = CrossValidate;
+    P.addStage<int, CvSample, CvSample>(
+        "svm", S,
+        std::function<std::optional<CvSample>(const int &, SampleContext &)>(
+            [TrainPtr, CV](const int &,
+                           SampleContext &Ctx) -> std::optional<CvSample> {
+              CvSample Out;
+              Out.Params = drawSvmParams(Ctx);
+              SvmParams SP = svmParamsFrom(Out.Params);
+              Rng RunRng = Ctx.rng();
+              if (CV) {
+                std::vector<size_t> TrIdx, VaIdx;
+                kFoldIndices(TrainPtr->size(), Folds, Ctx.fold(), TrIdx,
+                             VaIdx);
+                MultiSvm M = trainMultiSvm(subset(*TrainPtr, TrIdx), SP,
+                                           RunRng);
+                Out.ValidationError = svmError(M, subset(*TrainPtr, VaIdx));
+              } else {
+                // No validation: score on the training data itself — this
+                // is what overfits (paper Fig. 17, left bars).
+                MultiSvm M = trainMultiSvm(*TrainPtr, SP, RunRng);
+                Out.ValidationError = svmError(M, *TrainPtr);
+              }
+              Ctx.setScore(-Out.ValidationError);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<CvSample, CvSample>>()>(
+            [] { return std::make_unique<CvMinAggregator>(); }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const CvSample &Best = Rep.finalAs<CvSample>(0);
+      Out.TuneScore = Best.ValidationError;
+      // Retrain on the full training half with the chosen parameters.
+      Rng R(Seed ^ 0x5157);
+      MultiSvm M = trainMultiSvm(Train, svmParamsFrom(Best.Params), R);
+      LastErrors.TrainError = svmError(M, Train);
+      LastErrors.TestError = svmError(M, Test);
+      Out.Quality = LastErrors.TestError;
+    } else {
+      Out.Quality = 1.0;
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addEnum("kernel", {"linear", "rbf", "poly"}, 1);
+    Space.addDouble("C", 0.01, 100.0, 1.0, true);
+    Space.addDouble("gamma", 0.001, 10.0, 0.5, true);
+    Space.addInt("degree", 2, 4, 3);
+    Space.addDouble("coef0", 0.0, 2.0, 1.0);
+    Space.addDouble("tol", 1e-4, 1e-1, 1e-3, true);
+    Space.addInt("maxPasses", 2, 8, 5);
+    Space.addBool("balance", false);
+
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          SvmParams SP;
+          SP.Kernel = static_cast<KernelKind>(C.asEnum(0));
+          SP.C = C.asDouble(1);
+          SP.Gamma = C.asDouble(2);
+          SP.Degree = static_cast<int>(C.asInt(3));
+          SP.Coef0 = C.asDouble(4);
+          SP.Tol = C.asDouble(5);
+          SP.MaxPasses = static_cast<int>(C.asInt(6));
+          SP.BalanceClasses = C.asBool(7);
+          // The paper extends OpenTuner with the same cross-validation:
+          // each black-box sample is Folds full executions, each of which
+          // reloads and re-splits the dataset.
+          MlDatasetOptions LoadOpts;
+          LoadOpts.Samples = 150;
+          MlDataset Fresh =
+              makeClassificationDataset(SvmSeed, DataIndex, LoadOpts);
+          double Sum = 0;
+          for (int F = 0; F != Folds; ++F) {
+            std::vector<size_t> TrIdx, VaIdx;
+            kFoldIndices(Train.size(), Folds, F, TrIdx, VaIdx);
+            Rng R(Seed + static_cast<uint64_t>(F));
+            MultiSvm M = trainMultiSvm(subset(Train, TrIdx), SP, R);
+            Sum += svmError(M, subset(Train, VaIdx));
+          }
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return Sum / Folds;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals * Folds;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    SvmParams SP;
+    SP.Kernel = static_cast<KernelKind>(Res.Best.asEnum(0));
+    SP.C = Res.Best.asDouble(1);
+    SP.Gamma = Res.Best.asDouble(2);
+    SP.Degree = static_cast<int>(Res.Best.asInt(3));
+    SP.Coef0 = Res.Best.asDouble(4);
+    SP.Tol = Res.Best.asDouble(5);
+    SP.MaxPasses = static_cast<int>(Res.Best.asInt(6));
+    SP.BalanceClasses = Res.Best.asBool(7);
+    Rng R(Seed ^ 0xB157);
+    Out.Quality = svmError(trainMultiSvm(Train, SP, R), Test);
+    return Out;
+  }
+
+private:
+  bool CrossValidate;
+  MlDataset Train, Test;
+  int DataIndex = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// C4.5
+//===----------------------------------------------------------------------===//
+
+class C45App : public TunedApp {
+public:
+  std::string name() const override { return "C4.5"; }
+  bool lowerIsBetter() const override { return true; }
+  const char *samplingName() const override { return "RAND+CV"; }
+  const char *aggregationName() const override { return "MIN"; }
+  int numParams() const override { return 2; }
+
+  void loadDataset(int Index) override {
+    DataIndex = Index;
+    MlDatasetOptions Opts;
+    Opts.Samples = 240;
+    Opts.LabelNoise = 0.12;
+    MlDataset Full = makeClassificationDataset(C45Seed, Index, Opts);
+    std::vector<size_t> First, Second;
+    halfSplit(Full.size(), First, Second);
+    Train = subset(Full, First);
+    Test = subset(Full, Second);
+  }
+
+  double nativeQuality() override {
+    return c45Error(trainC45(Train, C45Params()), Test);
+  }
+
+  TuneOutcome whiteBoxTune(unsigned Workers, uint64_t Seed) override {
+    Timer T;
+    Pipeline P;
+    StageOptions S;
+    S.NumSamples = 20;
+    S.KFolds = Folds;
+    const MlDataset *TrainPtr = &Train;
+    P.addStage<int, CvSample, CvSample>(
+        "c45", S,
+        std::function<std::optional<CvSample>(const int &, SampleContext &)>(
+            [TrainPtr](const int &,
+                       SampleContext &Ctx) -> std::optional<CvSample> {
+              CvSample Out;
+              Out.Params["confidence"] =
+                  Ctx.sample("confidence", Distribution::uniform(0.01, 0.9));
+              Out.Params["minCases"] = static_cast<double>(Ctx.sampleInt(
+                  "minCases", Distribution::uniformInt(1, 30)));
+              C45Params CP;
+              CP.Confidence = Out.Params["confidence"];
+              CP.MinCases = static_cast<int>(Out.Params["minCases"]);
+              std::vector<size_t> TrIdx, VaIdx;
+              kFoldIndices(TrainPtr->size(), Folds, Ctx.fold(), TrIdx, VaIdx);
+              C45Tree Tree = trainC45(subset(*TrainPtr, TrIdx), CP);
+              Out.ValidationError =
+                  c45Error(Tree, subset(*TrainPtr, VaIdx));
+              Ctx.setScore(-Out.ValidationError);
+              return Out;
+            }),
+        std::function<std::unique_ptr<Aggregator<CvSample, CvSample>>()>(
+            [] { return std::make_unique<CvMinAggregator>(); }));
+
+    RunOptions RO;
+    RO.Workers = Workers;
+    RO.Seed = Seed;
+    RunReport Rep = P.run(std::any(0), RO);
+
+    TuneOutcome Out;
+    Out.Samples = Rep.TotalSamples;
+    Out.Seconds = T.seconds();
+    if (!Rep.Finals.empty()) {
+      const CvSample &Best = Rep.finalAs<CvSample>(0);
+      Out.TuneScore = Best.ValidationError;
+      C45Params CP;
+      CP.Confidence = Best.Params.at("confidence");
+      CP.MinCases = static_cast<int>(Best.Params.at("minCases"));
+      Out.Quality = c45Error(trainC45(Train, CP), Test);
+    } else {
+      Out.Quality = 1.0;
+    }
+    return Out;
+  }
+
+  TuneOutcome blackBoxTune(double BudgetSeconds, unsigned Workers,
+                           uint64_t Seed) override {
+    ConfigSpace Space;
+    Space.addDouble("confidence", 0.01, 0.9, 0.25);
+    Space.addInt("minCases", 1, 30, 2);
+    std::mutex Mutex;
+    long Evals = 0;
+    bb::SearchDriver Driver;
+    bb::DriverOptions Opts;
+    Opts.TimeBudgetSeconds = BudgetSeconds;
+    Opts.Workers = Workers;
+    Opts.Seed = Seed;
+    Opts.Minimize = true;
+    bb::DriverResult Res = Driver.run(
+        Space,
+        [&](const Config &C) {
+          C45Params CP;
+          CP.Confidence = C.asDouble(0);
+          CP.MinCases = static_cast<int>(C.asInt(1));
+          // Each black-box sample reloads the dataset (full execution).
+          MlDatasetOptions LoadOpts;
+          LoadOpts.Samples = 240;
+          LoadOpts.LabelNoise = 0.12;
+          MlDataset Fresh =
+              makeClassificationDataset(C45Seed, DataIndex, LoadOpts);
+          double Sum = 0;
+          for (int F = 0; F != Folds; ++F) {
+            std::vector<size_t> TrIdx, VaIdx;
+            kFoldIndices(Train.size(), Folds, F, TrIdx, VaIdx);
+            Sum += c45Error(trainC45(subset(Train, TrIdx), CP),
+                            subset(Train, VaIdx));
+          }
+          std::lock_guard<std::mutex> Lock(Mutex);
+          ++Evals;
+          return Sum / Folds;
+        },
+        Opts);
+
+    TuneOutcome Out;
+    Out.Samples = Evals * Folds;
+    Out.Seconds = Res.Seconds;
+    Out.TuneScore = Res.BestScore;
+    C45Params CP;
+    CP.Confidence = Res.Best.asDouble(0);
+    CP.MinCases = static_cast<int>(Res.Best.asInt(1));
+    Out.Quality = c45Error(trainC45(Train, CP), Test);
+    return Out;
+  }
+
+private:
+  MlDataset Train, Test;
+  int DataIndex = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TunedApp> wbt::apps::makeSvmApp() {
+  auto App = std::make_unique<SvmApp>();
+  App->loadDataset(0);
+  return App;
+}
+
+std::unique_ptr<TunedApp> wbt::apps::makeC45App() {
+  auto App = std::make_unique<C45App>();
+  App->loadDataset(0);
+  return App;
+}
+
+namespace wbt {
+namespace apps {
+/// Extra factory for the Fig. 17 ablation (declared in bench code).
+std::unique_ptr<TunedApp> makeSvmAppNoCv() {
+  auto App = std::make_unique<SvmApp>(/*CrossValidate=*/false);
+  App->loadDataset(0);
+  return App;
+}
+
+/// Train/test errors of the last white-box tuned SVM (Fig. 17 bars).
+std::pair<double, double> svmLastErrors(TunedApp &App) {
+  auto &S = static_cast<SvmApp &>(App);
+  return {S.LastErrors.TrainError, S.LastErrors.TestError};
+}
+} // namespace apps
+} // namespace wbt

@@ -1,0 +1,84 @@
+//===- bio/Fasta.h - FASTA-style sequence search ----------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FASTA-style similarity search (Pearson & Lipman, the paper's [57]):
+/// stage 1 finds high-scoring diagonals through ktup word hits, stage 2
+/// runs banded Smith-Waterman around the best diagonal. Tunables are the
+/// stage-2 gap penalties (the paper's two parameters) plus the stage-1
+/// ktup/band knobs as extensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BIO_FASTA_H
+#define WBT_BIO_FASTA_H
+
+#include "bio/Sequences.h"
+
+namespace wbt {
+namespace bio {
+
+struct FastaParams {
+  int Ktup = 4;
+  int Band = 12;
+  double Match = 2.0;
+  double Mismatch = -1.0;
+  double GapOpen = -4.0;
+  double GapExtend = -1.0;
+};
+
+/// Stage 1: the diagonal (offset = query pos - subject pos) with the most
+/// ktup word hits; \returns the hit count through \p Hits.
+int bestDiagonal(const Sequence &Query, const Sequence &Subject, int Ktup,
+                 long &Hits);
+
+/// Stage 2: banded Smith-Waterman local alignment score around diagonal
+/// \p Diagonal with half-width \p Band.
+double bandedAlign(const Sequence &Query, const Sequence &Subject,
+                   int Diagonal, const FastaParams &P);
+
+/// Full pipeline: per-subject similarity score.
+double fastaScore(const Sequence &Query, const Sequence &Subject,
+                  const FastaParams &P);
+
+/// A search problem with planted homologs.
+struct FastaDataset {
+  Sequence Query;
+  std::vector<Sequence> Database;
+  /// True for subjects that contain a mutated copy of a query region.
+  std::vector<uint8_t> IsHomolog;
+  /// Mutation rate used for the planted copies.
+  double MutationRate = 0.1;
+};
+
+struct FastaDatasetOptions {
+  int QueryLength = 160;
+  int SubjectLength = 240;
+  int DatabaseSize = 24;
+  double HomologFraction = 0.4;
+  double MutationLo = 0.03;
+  double MutationHi = 0.25;
+  /// Planted-region length as a fraction of the query length.
+  double RegionFracLo = 0.5;
+  double RegionFracHi = 0.95;
+  /// Per-base probability of an insertion or deletion in planted copies.
+  double IndelRate = 0.0;
+};
+
+FastaDataset makeFastaDataset(uint64_t Seed, int Index,
+                              const FastaDatasetOptions &Opts =
+                                  FastaDatasetOptions());
+
+/// Separation quality of \p Scores vs the planted labels: the fraction of
+/// (homolog, non-homolog) pairs ranked correctly (1 = perfect separation,
+/// 0.5 = chance). Ground truth is measurement-only.
+double rankingQuality(const std::vector<double> &Scores,
+                      const std::vector<uint8_t> &IsHomolog);
+
+} // namespace bio
+} // namespace wbt
+
+#endif // WBT_BIO_FASTA_H

@@ -1,0 +1,303 @@
+//===- bio/Phylip.cpp - Staged phylogeny inference --------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Phylip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::bio;
+
+PairCounts wbt::bio::countDifferences(const Sequence &A, const Sequence &B) {
+  assert(A.size() == B.size() && !A.empty() && "sequences must align");
+  long Ts = 0, Tv = 0;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    if (A[I] == B[I])
+      continue;
+    if (isTransition(A[I], B[I]))
+      ++Ts;
+    else
+      ++Tv;
+  }
+  PairCounts C;
+  C.TransitionFrac = static_cast<double>(Ts) / static_cast<double>(A.size());
+  C.TransversionFrac = static_cast<double>(Tv) / static_cast<double>(A.size());
+  C.DiffFrac = C.TransitionFrac + C.TransversionFrac;
+  return C;
+}
+
+namespace {
+
+/// Gamma + invariant-sites correction applied to an uncorrected
+/// divergence estimate: expands observed divergence into evolutionary
+/// time under rate heterogeneity.
+double rateCorrect(double Raw, double InvarFrac, double Cvi) {
+  InvarFrac = std::clamp(InvarFrac, 0.0, 0.95);
+  // Rescale: only the variable fraction of sites accumulates change.
+  double Scaled = Raw / (1.0 - InvarFrac);
+  if (Cvi < 1e-3)
+    return Scaled;
+  // Gamma rates with shape alpha = 1/cvi^2:
+  // d = alpha * ((1 - x)^(-1/alpha) - 1) applied to the JC-style inner
+  // term, here applied on the already-log-free estimate via the standard
+  // transform exp(d) ~ (1 - x)^-1.
+  double Alpha = 1.0 / (Cvi * Cvi);
+  double X = 1.0 - std::exp(-Scaled);
+  X = std::min(X, 0.95);
+  return Alpha * (std::pow(1.0 - X, -1.0 / Alpha) - 1.0);
+}
+
+} // namespace
+
+double wbt::bio::correctedDistance(const PairCounts &C, double Ease,
+                                   double InvarFrac, double Cvi) {
+  Ease = std::clamp(Ease, 0.0, 1.0);
+  // Jukes-Cantor: transition-blind.
+  double PTotal = std::min(C.DiffFrac, 0.70);
+  double Jc = -0.75 * std::log(1.0 - (4.0 / 3.0) * PTotal);
+  // Kimura 2-parameter: separates transitions and transversions.
+  double P = std::min(C.TransitionFrac, 0.45);
+  double Q = std::min(C.TransversionFrac, 0.45);
+  double A1 = 1.0 - 2.0 * P - Q;
+  double A2 = 1.0 - 2.0 * Q;
+  A1 = std::max(A1, 0.05);
+  A2 = std::max(A2, 0.05);
+  double K2p = -0.5 * std::log(A1) - 0.25 * std::log(A2);
+  double Raw = (1.0 - Ease) * Jc + Ease * K2p;
+  return rateCorrect(Raw, InvarFrac, Cvi);
+}
+
+std::vector<std::vector<double>>
+wbt::bio::distanceMatrix(const std::vector<Sequence> &Leaves, double Ease,
+                         double InvarFrac, double Cvi) {
+  size_t N = Leaves.size();
+  std::vector<std::vector<double>> D(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      double V = correctedDistance(countDifferences(Leaves[I], Leaves[J]),
+                                   Ease, InvarFrac, Cvi);
+      D[I][J] = V;
+      D[J][I] = V;
+    }
+  return D;
+}
+
+namespace {
+
+/// Leaf-pair -> branch incidence for least-squares refinement.
+struct PathIndex {
+  /// Branch id per (internal node, side): node i sides 0/1 map to branch
+  /// 2i / 2i+1.
+  std::vector<std::vector<std::vector<int>>> PathBranches;
+
+  PathIndex(const Phylogeny &T) {
+    int L = T.NumLeaves;
+    int Total = L + static_cast<int>(T.Nodes.size());
+    // Leaves below each node, with the branch lists leading to them.
+    std::vector<std::vector<std::pair<int, std::vector<int>>>> Below(
+        static_cast<size_t>(Total));
+    for (int I = 0; I != L; ++I)
+      Below[static_cast<size_t>(I)] = {{I, {}}};
+    for (size_t N = 0; N != T.Nodes.size(); ++N) {
+      auto &Mine = Below[L + N];
+      const Phylogeny::Node &Node = T.Nodes[N];
+      for (auto &[Leaf, Branches] : Below[static_cast<size_t>(Node.Left)]) {
+        std::vector<int> B = Branches;
+        B.push_back(static_cast<int>(2 * N));
+        Mine.emplace_back(Leaf, std::move(B));
+      }
+      for (auto &[Leaf, Branches] : Below[static_cast<size_t>(Node.Right)]) {
+        std::vector<int> B = Branches;
+        B.push_back(static_cast<int>(2 * N + 1));
+        Mine.emplace_back(Leaf, std::move(B));
+      }
+    }
+    PathBranches.assign(static_cast<size_t>(L),
+                        std::vector<std::vector<int>>(static_cast<size_t>(L)));
+    for (size_t N = 0; N != T.Nodes.size(); ++N) {
+      const Phylogeny::Node &Node = T.Nodes[N];
+      for (auto &[LA, BA] : Below[static_cast<size_t>(Node.Left)])
+        for (auto &[LB, BB] : Below[static_cast<size_t>(Node.Right)]) {
+          std::vector<int> Path = BA;
+          Path.insert(Path.end(), BB.begin(), BB.end());
+          Path.push_back(static_cast<int>(2 * N));
+          Path.push_back(static_cast<int>(2 * N + 1));
+          PathBranches[static_cast<size_t>(LA)][static_cast<size_t>(LB)] =
+              Path;
+          PathBranches[static_cast<size_t>(LB)][static_cast<size_t>(LA)] =
+              std::move(Path);
+        }
+    }
+  }
+};
+
+double &branchLen(Phylogeny &T, int Branch) {
+  Phylogeny::Node &N = T.Nodes[static_cast<size_t>(Branch / 2)];
+  return Branch % 2 == 0 ? N.LeftLen : N.RightLen;
+}
+
+} // namespace
+
+TreeFit wbt::bio::fitTree(const std::vector<std::vector<double>> &Distances,
+                          double Power) {
+  size_t N = Distances.size();
+  assert(N >= 2 && "need at least two taxa");
+  TreeFit Fit;
+  Fit.Tree.NumLeaves = static_cast<int>(N);
+
+  // Neighbor joining over active cluster set.
+  struct Cluster {
+    int NodeId;        // < NumLeaves: leaf; otherwise internal
+    size_t MatrixRow;  // row in the working distance matrix
+  };
+  std::vector<std::vector<double>> D = Distances;
+  std::vector<int> Active; // node ids; index into D rows matches position
+  std::vector<int> Rows;
+  for (size_t I = 0; I != N; ++I) {
+    Active.push_back(static_cast<int>(I));
+    Rows.push_back(static_cast<int>(I));
+  }
+  // Working matrix indexed by current cluster positions.
+  std::vector<std::vector<double>> W(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      W[I][J] = D[I][J];
+
+  while (Active.size() > 2) {
+    size_t M = Active.size();
+    std::vector<double> RowSum(M, 0.0);
+    for (size_t I = 0; I != M; ++I)
+      for (size_t J = 0; J != M; ++J)
+        RowSum[I] += W[I][J];
+    // Minimize the NJ Q criterion.
+    size_t BI = 0, BJ = 1;
+    double BestQ = 0;
+    bool First = true;
+    for (size_t I = 0; I != M; ++I)
+      for (size_t J = I + 1; J != M; ++J) {
+        double Q = (static_cast<double>(M) - 2.0) * W[I][J] - RowSum[I] -
+                   RowSum[J];
+        if (First || Q < BestQ) {
+          BestQ = Q;
+          BI = I;
+          BJ = J;
+          First = false;
+        }
+      }
+    // Branch lengths to the new internal node.
+    double LI = 0.5 * W[BI][BJ] +
+                (RowSum[BI] - RowSum[BJ]) / (2.0 * (static_cast<double>(M) - 2.0));
+    double LJ = W[BI][BJ] - LI;
+    LI = std::max(LI, 1e-6);
+    LJ = std::max(LJ, 1e-6);
+
+    Phylogeny::Node Node;
+    Node.Left = Active[BI];
+    Node.Right = Active[BJ];
+    Node.LeftLen = LI;
+    Node.RightLen = LJ;
+    Fit.Tree.Nodes.push_back(Node);
+    int NewId =
+        static_cast<int>(N) + static_cast<int>(Fit.Tree.Nodes.size()) - 1;
+
+    // New distances to the merged cluster.
+    std::vector<double> NewRow(M, 0.0);
+    for (size_t K = 0; K != M; ++K)
+      if (K != BI && K != BJ)
+        NewRow[K] = 0.5 * (W[BI][K] + W[BJ][K] - W[BI][BJ]);
+
+    // Replace cluster BI with the merged one; drop BJ.
+    for (size_t K = 0; K != M; ++K) {
+      W[BI][K] = NewRow[K];
+      W[K][BI] = NewRow[K];
+    }
+    W[BI][BI] = 0.0;
+    Active[BI] = NewId;
+    Active.erase(Active.begin() + static_cast<long>(BJ));
+    W.erase(W.begin() + static_cast<long>(BJ));
+    for (auto &Row : W)
+      Row.erase(Row.begin() + static_cast<long>(BJ));
+  }
+  // Join the final two clusters at the root.
+  Phylogeny::Node Root;
+  Root.Left = Active[0];
+  Root.Right = Active[1];
+  Root.LeftLen = std::max(0.5 * W[0][1], 1e-6);
+  Root.RightLen = std::max(0.5 * W[0][1], 1e-6);
+  Fit.Tree.Nodes.push_back(Root);
+
+  // Fitch-Margoliash refinement of the weighted least-squares objective
+  // sum_ij (d_ij - t_ij)^2 / d_ij^Power. Damped Gauss-Newton coordinate
+  // steps: each branch moves by the weighted mean residual of the pairs
+  // routed through it, which cannot overshoot the per-branch optimum.
+  PathIndex Paths(Fit.Tree);
+  size_t NumBranches = 2 * Fit.Tree.Nodes.size();
+  // All branches move at once and each pair's residual is spread over
+  // every branch on its path, so damp by the mean path length to keep
+  // the joint update contractive.
+  double MeanPathLen = 0.0;
+  {
+    long Count = 0;
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J) {
+        MeanPathLen += static_cast<double>(Paths.PathBranches[I][J].size());
+        ++Count;
+      }
+    MeanPathLen = Count ? MeanPathLen / Count : 1.0;
+  }
+  double Damping = 1.0 / (1.0 + MeanPathLen);
+  for (int Iter = 0; Iter != 300; ++Iter) {
+    std::vector<std::vector<double>> T = Fit.Tree.leafDistances();
+    std::vector<double> Grad(NumBranches, 0.0);
+    std::vector<double> WeightSum(NumBranches, 0.0);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J) {
+        double Weight = 1.0 / std::pow(std::max(Distances[I][J], 1e-3), Power);
+        double Resid = T[I][J] - Distances[I][J];
+        for (int B : Paths.PathBranches[I][J]) {
+          Grad[static_cast<size_t>(B)] += Weight * Resid;
+          WeightSum[static_cast<size_t>(B)] += Weight;
+        }
+      }
+    double MaxMove = 0.0;
+    for (size_t B = 0; B != NumBranches; ++B) {
+      if (WeightSum[B] <= 0)
+        continue;
+      double &L = branchLen(Fit.Tree, static_cast<int>(B));
+      double Move = Damping * Grad[B] / WeightSum[B];
+      L = std::max(1e-6, L - Move);
+      MaxMove = std::max(MaxMove, std::fabs(Move));
+    }
+    if (MaxMove < 1e-8)
+      break;
+  }
+
+  Fit.FittedDistances = Fit.Tree.leafDistances();
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      double R = Fit.FittedDistances[I][J] - Distances[I][J];
+      Fit.SumOfSquares += R * R;
+    }
+  return Fit;
+}
+
+double
+wbt::bio::treeDistanceRmse(const std::vector<std::vector<double>> &Fitted,
+                           const std::vector<std::vector<double>> &Truth) {
+  assert(Fitted.size() == Truth.size() && "matrix size mismatch");
+  size_t N = Fitted.size();
+  double Sum = 0.0;
+  long Count = 0;
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      double D = Fitted[I][J] - Truth[I][J];
+      Sum += D * D;
+      ++Count;
+    }
+  return Count ? std::sqrt(Sum / static_cast<double>(Count)) : 0.0;
+}

@@ -1,0 +1,75 @@
+//===- bio/Phylip.h - Staged phylogeny inference ----------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Phylip-style pipeline of paper Fig. 14 with the same tunable
+/// stages:
+///
+///   Stage 1  transition-probability model           — ease
+///   Stage 3  distance matrix from sequence pairs    — invarfrac, cvi
+///   Stage 5  least-squares tree fit                 — power
+///
+/// `ease` interpolates the distance correction between Jukes-Cantor
+/// (transition-blind) and Kimura two-parameter (full transition /
+/// transversion separation); `invarfrac` removes an assumed invariant
+/// site fraction; `cvi` applies a gamma rate-variation correction with
+/// coefficient of variation cvi. Stage 5 builds a neighbor-joining
+/// topology and refines branch lengths by Fitch-Margoliash weighted least
+/// squares with weights 1 / d^power; its default score (the one WBTuner
+/// aggregates on) is the unweighted sum of squares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BIO_PHYLIP_H
+#define WBT_BIO_PHYLIP_H
+
+#include "bio/Sequences.h"
+
+namespace wbt {
+namespace bio {
+
+/// Pairwise site-difference summary of two sequences.
+struct PairCounts {
+  double TransitionFrac = 0.0;   ///< P of K2P
+  double TransversionFrac = 0.0; ///< Q of K2P
+  double DiffFrac = 0.0;         ///< P + Q
+};
+
+PairCounts countDifferences(const Sequence &A, const Sequence &B);
+
+/// Stage 1+3: the corrected evolutionary distance for one pair.
+/// \p Ease in [0, 1], \p InvarFrac in [0, 1), \p Cvi > 0.
+double correctedDistance(const PairCounts &C, double Ease, double InvarFrac,
+                         double Cvi);
+
+/// Full distance matrix over \p Leaves.
+std::vector<std::vector<double>>
+distanceMatrix(const std::vector<Sequence> &Leaves, double Ease,
+               double InvarFrac, double Cvi);
+
+/// Stage 5 output: fitted tree distances and the fit score.
+struct TreeFit {
+  Phylogeny Tree;
+  /// Leaf-to-leaf path distances of the fitted tree.
+  std::vector<std::vector<double>> FittedDistances;
+  /// Unweighted sum of squared residuals (Phylip's default score; lower
+  /// is better). This is the paper's aggregation score for stage 5.
+  double SumOfSquares = 0.0;
+};
+
+/// Neighbor joining + weighted least-squares branch refinement.
+TreeFit fitTree(const std::vector<std::vector<double>> &Distances,
+                double Power);
+
+/// Quality against ground truth (measurement only): RMSE between fitted
+/// and true pairwise distances.
+double treeDistanceRmse(const std::vector<std::vector<double>> &Fitted,
+                        const std::vector<std::vector<double>> &Truth);
+
+} // namespace bio
+} // namespace wbt
+
+#endif // WBT_BIO_PHYLIP_H

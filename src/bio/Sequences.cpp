@@ -1,0 +1,159 @@
+//===- bio/Sequences.cpp - DNA sequence evolution ---------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Sequences.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::bio;
+
+bool wbt::bio::isTransition(uint8_t From, uint8_t To) {
+  // A(0)<->G(2) and C(1)<->T(3).
+  return (From ^ To) == 2;
+}
+
+std::vector<std::vector<double>> Phylogeny::leafDistances() const {
+  // Distance from every tree node to every leaf, bottom-up.
+  int Total = NumLeaves + static_cast<int>(Nodes.size());
+  std::vector<std::vector<std::pair<int, double>>> Below(
+      static_cast<size_t>(Total));
+  for (int L = 0; L != NumLeaves; ++L)
+    Below[static_cast<size_t>(L)] = {{L, 0.0}};
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    auto &Mine = Below[NumLeaves + I];
+    for (auto &[Leaf, D] : Below[static_cast<size_t>(N.Left)])
+      Mine.emplace_back(Leaf, D + N.LeftLen);
+    for (auto &[Leaf, D] : Below[static_cast<size_t>(N.Right)])
+      Mine.emplace_back(Leaf, D + N.RightLen);
+  }
+
+  std::vector<std::vector<double>> Dist(
+      static_cast<size_t>(NumLeaves),
+      std::vector<double>(static_cast<size_t>(NumLeaves), 0.0));
+  // For each internal node, leaves in the left subtree pair with leaves
+  // in the right subtree through this node.
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    for (auto &[LA, DA] : Below[static_cast<size_t>(N.Left)])
+      for (auto &[LB, DB] : Below[static_cast<size_t>(N.Right)]) {
+        double D = DA + N.LeftLen + DB + N.RightLen;
+        Dist[static_cast<size_t>(LA)][static_cast<size_t>(LB)] = D;
+        Dist[static_cast<size_t>(LB)][static_cast<size_t>(LA)] = D;
+      }
+  }
+  return Dist;
+}
+
+Sequence wbt::bio::randomSequence(int Length, Rng &R) {
+  Sequence S(static_cast<size_t>(Length));
+  for (uint8_t &B : S)
+    B = static_cast<uint8_t>(R.uniformInt(0, 3));
+  return S;
+}
+
+Sequence wbt::bio::mutate(const Sequence &In, double Rate, Rng &R) {
+  Sequence Out = In;
+  for (uint8_t &B : Out)
+    if (R.flip(Rate)) {
+      uint8_t New = static_cast<uint8_t>(R.uniformInt(0, 2));
+      B = New >= B ? New + 1 : New; // uniform over the other three bases
+    }
+  return Out;
+}
+
+namespace {
+
+/// Evolves \p In along a branch of length \p Len under a Kimura model
+/// with ratio \p Kappa, per-site rates \p Rates and invariant mask.
+Sequence evolveBranch(const Sequence &In, double Len, double Kappa,
+                      const std::vector<double> &Rates,
+                      const std::vector<uint8_t> &Invariant, Rng &R) {
+  Sequence Out = In;
+  for (size_t I = 0, E = Out.size(); I != E; ++I) {
+    if (Invariant[I])
+      continue;
+    double Mu = Len * Rates[I];
+    // Substitution probabilities: transitions happen Kappa times as often
+    // as each transversion.
+    double PTransition = Mu * Kappa / (Kappa + 2.0);
+    double PTransversionEach = Mu / (Kappa + 2.0);
+    double U = R.uniform(0.0, 1.0);
+    uint8_t B = Out[I];
+    if (U < PTransition) {
+      Out[I] = static_cast<uint8_t>(B ^ 2); // the transition partner
+    } else if (U < PTransition + 2 * PTransversionEach) {
+      // One of the two transversion targets.
+      uint8_t T1 = static_cast<uint8_t>(B ^ 1);
+      uint8_t T2 = static_cast<uint8_t>(B ^ 3);
+      Out[I] = (U < PTransition + PTransversionEach) ? T1 : T2;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+SequenceDataset
+wbt::bio::makeSequenceDataset(uint64_t Seed, int Index,
+                              const SequenceDatasetOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 907);
+  SequenceDataset D;
+  D.Kappa = R.uniform(Opts.KappaLo, Opts.KappaHi);
+  D.InvariantFrac = R.uniform(Opts.InvariantLo, Opts.InvariantHi);
+  D.RateCV = R.uniform(Opts.RateCVLo, Opts.RateCVHi);
+
+  // Random topology: repeatedly join two random roots of the forest.
+  Phylogeny &T = D.TrueTree;
+  T.NumLeaves = Opts.NumLeaves;
+  std::vector<int> Roots(static_cast<size_t>(Opts.NumLeaves));
+  for (int I = 0; I != Opts.NumLeaves; ++I)
+    Roots[static_cast<size_t>(I)] = I;
+  while (Roots.size() > 1) {
+    size_t A = R.index(Roots.size());
+    int NodeA = Roots[A];
+    Roots.erase(Roots.begin() + static_cast<long>(A));
+    size_t B = R.index(Roots.size());
+    int NodeB = Roots[B];
+    Roots.erase(Roots.begin() + static_cast<long>(B));
+    Phylogeny::Node N;
+    N.Left = NodeA;
+    N.Right = NodeB;
+    N.LeftLen = R.uniform(Opts.BranchLo, Opts.BranchHi);
+    N.RightLen = R.uniform(Opts.BranchLo, Opts.BranchHi);
+    T.Nodes.push_back(N);
+    Roots.push_back(Opts.NumLeaves + static_cast<int>(T.Nodes.size()) - 1);
+  }
+  D.TrueDistances = T.leafDistances();
+
+  // Per-site rates (mean 1, CV = RateCV) and invariant mask.
+  std::vector<double> Rates(static_cast<size_t>(Opts.SequenceLength));
+  std::vector<uint8_t> Invariant(static_cast<size_t>(Opts.SequenceLength));
+  for (size_t I = 0; I != Rates.size(); ++I) {
+    double X = R.gaussian(1.0, D.RateCV);
+    Rates[I] = X < 0.05 ? 0.05 : X;
+    Invariant[I] = R.flip(D.InvariantFrac) ? 1 : 0;
+  }
+
+  // Evolve down from the root.
+  int Total = Opts.NumLeaves + static_cast<int>(T.Nodes.size());
+  std::vector<Sequence> SeqOf(static_cast<size_t>(Total));
+  SeqOf[static_cast<size_t>(Total - 1)] =
+      randomSequence(Opts.SequenceLength, R);
+  for (size_t I = T.Nodes.size(); I-- > 0;) {
+    const Phylogeny::Node &N = T.Nodes[I];
+    const Sequence &Parent = SeqOf[Opts.NumLeaves + I];
+    assert(!Parent.empty() && "parent evolved out of order");
+    SeqOf[static_cast<size_t>(N.Left)] =
+        evolveBranch(Parent, N.LeftLen, D.Kappa, Rates, Invariant, R);
+    SeqOf[static_cast<size_t>(N.Right)] =
+        evolveBranch(Parent, N.RightLen, D.Kappa, Rates, Invariant, R);
+  }
+  D.Leaves.assign(SeqOf.begin(), SeqOf.begin() + Opts.NumLeaves);
+  return D;
+}

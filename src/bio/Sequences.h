@@ -1,0 +1,92 @@
+//===- bio/Sequences.h - DNA sequence evolution ------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground-truthed DNA data: sequences evolved down a random phylogeny
+/// with a Kimura-style transition/transversion bias, invariant sites and
+/// gamma-like rate variation. The generator parameters vary per dataset,
+/// so the distance-correction knobs the Phylip benchmark tunes (ease,
+/// invarfrac, cvi) have input-dependent optima. Ground truth (the true
+/// tree and its pairwise path distances) is kept for measurement only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BIO_SEQUENCES_H
+#define WBT_BIO_SEQUENCES_H
+
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace bio {
+
+/// A DNA sequence over {0, 1, 2, 3} = {A, C, G, T}. A and G are purines,
+/// so 0<->2 and 1<->3 changes are transitions, everything else a
+/// transversion.
+using Sequence = std::vector<uint8_t>;
+
+/// True if base substitution \p From -> \p To is a transition.
+bool isTransition(uint8_t From, uint8_t To);
+
+/// A binary phylogeny with branch lengths; leaves are 0..NumLeaves-1.
+struct Phylogeny {
+  struct Node {
+    int Left = -1;
+    int Right = -1;
+    double LeftLen = 0.0;
+    double RightLen = 0.0;
+  };
+  int NumLeaves = 0;
+  /// Internal nodes, the last one is the root. Child indices < NumLeaves
+  /// refer to leaves, otherwise to Nodes[index - NumLeaves].
+  std::vector<Node> Nodes;
+
+  /// Pairwise path distance between leaves.
+  std::vector<std::vector<double>> leafDistances() const;
+};
+
+/// An evolved dataset with its ground truth.
+struct SequenceDataset {
+  std::vector<Sequence> Leaves;
+  Phylogeny TrueTree;
+  std::vector<std::vector<double>> TrueDistances;
+  /// Generator regime the tuner must adapt to.
+  double Kappa = 2.0;      ///< transition/transversion rate ratio
+  double InvariantFrac = 0; ///< fraction of never-changing sites
+  double RateCV = 0.5;      ///< coefficient of variation of site rates
+};
+
+struct SequenceDatasetOptions {
+  int NumLeaves = 10;
+  int SequenceLength = 300;
+  double BranchLo = 0.02;
+  double BranchHi = 0.25;
+  double KappaLo = 1.5;
+  double KappaHi = 8.0;
+  double InvariantLo = 0.0;
+  double InvariantHi = 0.35;
+  double RateCVLo = 0.2;
+  double RateCVHi = 1.0;
+};
+
+/// Dataset number \p Index of the family identified by \p Seed.
+SequenceDataset makeSequenceDataset(uint64_t Seed, int Index,
+                                    const SequenceDatasetOptions &Opts =
+                                        SequenceDatasetOptions());
+
+/// Uniform random sequence of the given length.
+Sequence randomSequence(int Length, Rng &R);
+
+/// Point-mutates \p In: each base substituted with probability \p Rate
+/// (uniform target base).
+Sequence mutate(const Sequence &In, double Rate, Rng &R);
+
+} // namespace bio
+} // namespace wbt
+
+#endif // WBT_BIO_SEQUENCES_H

@@ -1,0 +1,105 @@
+//===- blackbox/SearchDriver.cpp - Budgeted black-box search --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blackbox/SearchDriver.h"
+
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <limits>
+#include <mutex>
+
+using namespace wbt;
+using namespace wbt::bb;
+
+SearchDriver::SearchDriver() : Ensemble(makeDefaultEnsemble()) {}
+
+SearchDriver::SearchDriver(std::vector<std::unique_ptr<Technique>> Ensemble)
+    : Ensemble(std::move(Ensemble)) {}
+
+SearchDriver::~SearchDriver() = default;
+
+DriverResult SearchDriver::run(
+    const ConfigSpace &Space,
+    const std::function<double(const Config &)> &Objective,
+    const DriverOptions &Opts) {
+  assert(!Ensemble.empty() && "search needs at least one technique");
+  assert((Opts.TimeBudgetSeconds > 0 || Opts.MaxEvals > 0) &&
+         "search needs a budget");
+
+  Timer T;
+  Rng R(Opts.Seed);
+  ResultDB DB;
+  AucBandit Bandit(Ensemble.size());
+  DriverResult Out;
+  double Sign = Opts.Minimize ? -1.0 : 1.0;
+
+  unsigned Workers = std::max(1u, Opts.Workers);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Workers > 1)
+    Pool = std::make_unique<ThreadPool>(Workers);
+
+  long Evals = 0;
+  while (true) {
+    if (Opts.MaxEvals > 0 && Evals >= Opts.MaxEvals)
+      break;
+    if (Opts.TimeBudgetSeconds > 0 && T.seconds() >= Opts.TimeBudgetSeconds)
+      break;
+
+    // One round: Workers proposals, evaluated together.
+    unsigned Batch = Workers;
+    if (Opts.MaxEvals > 0)
+      Batch = static_cast<unsigned>(std::min<long>(
+          Batch, Opts.MaxEvals - Evals));
+    std::vector<size_t> Arms(Batch);
+    std::vector<Config> Configs(Batch);
+    std::vector<double> Scores(Batch, 0.0);
+    for (unsigned I = 0; I != Batch; ++I) {
+      Arms[I] = Bandit.select(R);
+      Configs[I] = Ensemble[Arms[I]]->propose(Space, DB, R);
+    }
+
+    if (Pool) {
+      std::mutex Mutex;
+      for (unsigned I = 0; I != Batch; ++I)
+        Pool->submit([&, I] {
+          double S = Objective(Configs[I]);
+          std::lock_guard<std::mutex> Lock(Mutex);
+          Scores[I] = S;
+        });
+      Pool->waitIdle();
+    } else {
+      for (unsigned I = 0; I != Batch; ++I)
+        Scores[I] = Objective(Configs[I]);
+    }
+
+    for (unsigned I = 0; I != Batch; ++I) {
+      double Internal = Sign * Scores[I];
+      Result Res;
+      Res.C = Configs[I];
+      Res.Score = Internal;
+      Res.AtSeconds = T.seconds();
+      bool NewBest = DB.add(std::move(Res));
+      Bandit.reward(Arms[I], NewBest);
+      Ensemble[Arms[I]]->feedback(Configs[I], Internal, R);
+      ++Evals;
+      if (NewBest)
+        Out.Curve.emplace_back(T.seconds(), Scores[I]);
+    }
+  }
+
+  Out.Evals = Evals;
+  Out.Seconds = T.seconds();
+  if (DB.hasBest()) {
+    Out.Best = DB.best().C;
+    Out.BestScore = Sign * DB.best().Score;
+  } else {
+    Out.Best = Space.defaultConfig();
+    Out.BestScore = Opts.Minimize ? std::numeric_limits<double>::infinity()
+                                  : -std::numeric_limits<double>::infinity();
+  }
+  return Out;
+}

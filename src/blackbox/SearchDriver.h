@@ -1,0 +1,75 @@
+//===- blackbox/SearchDriver.h - Budgeted black-box search ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The black-box tuning loop: a bandit over search techniques proposes
+/// configurations, the user objective evaluates each with a *full program
+/// execution* (the black-box cost model of paper Fig. 2), and the driver
+/// tracks the incumbent and the score-over-time curve used by the paper's
+/// Figs. 12/16/19/21.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BLACKBOX_SEARCHDRIVER_H
+#define WBT_BLACKBOX_SEARCHDRIVER_H
+
+#include "blackbox/Technique.h"
+
+#include <functional>
+
+namespace wbt {
+namespace bb {
+
+/// Budget and behavior of a black-box search.
+struct DriverOptions {
+  /// True when the objective reports an error to minimize.
+  bool Minimize = false;
+  /// Stop after this much wall-clock time (seconds); <= 0 means no limit.
+  double TimeBudgetSeconds = 0.0;
+  /// Stop after this many objective evaluations; <= 0 means no limit.
+  long MaxEvals = 0;
+  uint64_t Seed = 1;
+  /// Evaluations issued concurrently per round. 1 reproduces stock
+  /// OpenTuner (no parallel sampling, paper Sec. V); > 1 is the paper's
+  /// multi-core extension.
+  unsigned Workers = 1;
+};
+
+/// Search outcome: incumbent plus the best-score-over-time curve.
+struct DriverResult {
+  Config Best;
+  /// Best score in user units (minimization is not negated here).
+  double BestScore = 0.0;
+  long Evals = 0;
+  double Seconds = 0.0;
+  /// (elapsed seconds, best-so-far user score) at every improvement.
+  std::vector<std::pair<double, double>> Curve;
+};
+
+/// Runs an OpenTuner-style multi-armed-bandit search.
+class SearchDriver {
+public:
+  /// Uses the default technique ensemble.
+  SearchDriver();
+  /// Uses a custom ensemble.
+  explicit SearchDriver(std::vector<std::unique_ptr<Technique>> Ensemble);
+  ~SearchDriver();
+
+  /// Minimizes/maximizes \p Objective over \p Space within the budget.
+  /// \p Objective must be callable from multiple threads when
+  /// DriverOptions::Workers > 1.
+  DriverResult run(const ConfigSpace &Space,
+                   const std::function<double(const Config &)> &Objective,
+                   const DriverOptions &Opts);
+
+private:
+  std::vector<std::unique_ptr<Technique>> Ensemble;
+};
+
+} // namespace bb
+} // namespace wbt
+
+#endif // WBT_BLACKBOX_SEARCHDRIVER_H

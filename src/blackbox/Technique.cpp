@@ -1,0 +1,262 @@
+//===- blackbox/Technique.cpp - Black-box search techniques ---------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blackbox/Technique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace wbt;
+using namespace wbt::bb;
+
+bool ResultDB::add(Result R) {
+  Results.push_back(std::move(R));
+  if (Best == ~size_t(0) || Results.back().Score > Results[Best].Score) {
+    Best = Results.size() - 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<size_t> ResultDB::topK(size_t K) const {
+  std::vector<size_t> Idx(Results.size());
+  for (size_t I = 0, E = Idx.size(); I != E; ++I)
+    Idx[I] = I;
+  K = std::min(K, Idx.size());
+  std::partial_sort(Idx.begin(), Idx.begin() + K, Idx.end(),
+                    [this](size_t A, size_t B) {
+                      return Results[A].Score > Results[B].Score;
+                    });
+  Idx.resize(K);
+  return Idx;
+}
+
+Technique::~Technique() = default;
+
+void Technique::feedback(const Config &C, double Score, Rng &R) {
+  (void)C;
+  (void)Score;
+  (void)R;
+}
+
+namespace {
+
+class RandomTechnique : public Technique {
+public:
+  Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                 Rng &R) override {
+    (void)DB;
+    return Space.randomConfig(R);
+  }
+  std::string name() const override { return "Random"; }
+};
+
+class HillClimbTechnique : public Technique {
+public:
+  explicit HillClimbTechnique(double Scale) : Scale(Scale) {}
+
+  Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                 Rng &R) override {
+    if (!DB.hasBest())
+      return Space.randomConfig(R);
+    return Space.mutate(DB.best().C, R, Scale, /*MutateProb=*/0.5);
+  }
+  std::string name() const override { return "HillClimb"; }
+
+private:
+  double Scale;
+};
+
+class AnnealingTechnique : public Technique {
+public:
+  AnnealingTechnique(double InitTemp, double Cooling, double Scale)
+      : Temp(InitTemp), Cooling(Cooling), Scale(Scale) {}
+
+  Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                 Rng &R) override {
+    if (!HasCurrent) {
+      Current = DB.hasBest() ? DB.best().C : Space.randomConfig(R);
+      HasCurrent = true;
+    }
+    LastProposal = Space.mutate(Current, R, Scale);
+    return LastProposal;
+  }
+
+  void feedback(const Config &C, double Score, Rng &R) override {
+    if (!(C == LastProposal))
+      return;
+    bool Accept = Score >= CurrentScore;
+    if (!Accept && Temp > 1e-12) {
+      double Span = std::max(1e-12, std::fabs(CurrentScore) + 1.0);
+      Accept = R.flip(std::exp((Score - CurrentScore) / (Temp * Span)));
+    }
+    if (Accept) {
+      Current = C;
+      CurrentScore = Score;
+    }
+    Temp *= Cooling;
+  }
+
+  std::string name() const override { return "Annealing"; }
+
+private:
+  double Temp;
+  double Cooling;
+  double Scale;
+  bool HasCurrent = false;
+  Config Current;
+  Config LastProposal;
+  double CurrentScore = -std::numeric_limits<double>::infinity();
+};
+
+class GeneticTechnique : public Technique {
+public:
+  GeneticTechnique(size_t Parents, double MutateProb, double MutateScale)
+      : Parents(Parents), MutateProb(MutateProb), MutateScale(MutateScale) {}
+
+  Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                 Rng &R) override {
+    if (DB.size() < 2)
+      return Space.randomConfig(R);
+    std::vector<size_t> Pool = DB.topK(Parents);
+    const Config &A = DB.at(Pool[R.index(Pool.size())]).C;
+    const Config &B = DB.at(Pool[R.index(Pool.size())]).C;
+    Config Child = Space.crossover(A, B, R);
+    if (R.flip(MutateProb))
+      Child = Space.mutate(Child, R, MutateScale, 0.5);
+    return Child;
+  }
+
+  std::string name() const override { return "Genetic"; }
+
+private:
+  size_t Parents;
+  double MutateProb;
+  double MutateScale;
+};
+
+class PatternSearchTechnique : public Technique {
+public:
+  PatternSearchTechnique(double InitStep, double Shrink)
+      : Step(InitStep), Shrink(Shrink) {}
+
+  Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                 Rng &R) override {
+    if (!DB.hasBest())
+      return Space.randomConfig(R);
+    Config C = DB.best().C;
+    BaseScore = DB.best().Score;
+    size_t I = Coord % Space.size();
+    Coord = (Coord + 1) % std::max<size_t>(1, Space.size());
+    const ParamSpec &S = Space.spec(I);
+    double Delta = Step * (S.Max - S.Min) * (Up ? 1.0 : -1.0);
+    Up = !Up;
+    C.Values[I] += Delta;
+    Space.clamp(C);
+    (void)R;
+    LastProposal = C;
+    return C;
+  }
+
+  void feedback(const Config &C, double Score, Rng &R) override {
+    (void)R;
+    if (!(C == LastProposal))
+      return;
+    if (Score <= BaseScore)
+      Step = std::max(1e-4, Step * Shrink);
+  }
+
+  std::string name() const override { return "PatternSearch"; }
+
+private:
+  double Step;
+  double Shrink;
+  size_t Coord = 0;
+  bool Up = true;
+  Config LastProposal;
+  double BaseScore = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace
+
+std::unique_ptr<Technique> wbt::bb::makeRandomTechnique() {
+  return std::make_unique<RandomTechnique>();
+}
+
+std::unique_ptr<Technique> wbt::bb::makeHillClimbTechnique(double Scale) {
+  return std::make_unique<HillClimbTechnique>(Scale);
+}
+
+std::unique_ptr<Technique>
+wbt::bb::makeAnnealingTechnique(double InitTemp, double Cooling, double Scale) {
+  return std::make_unique<AnnealingTechnique>(InitTemp, Cooling, Scale);
+}
+
+std::unique_ptr<Technique>
+wbt::bb::makeGeneticTechnique(size_t Parents, double MutateProb,
+                              double MutateScale) {
+  return std::make_unique<GeneticTechnique>(Parents, MutateProb, MutateScale);
+}
+
+std::unique_ptr<Technique>
+wbt::bb::makePatternSearchTechnique(double InitStep, double Shrink) {
+  return std::make_unique<PatternSearchTechnique>(InitStep, Shrink);
+}
+
+std::vector<std::unique_ptr<Technique>> wbt::bb::makeDefaultEnsemble() {
+  std::vector<std::unique_ptr<Technique>> Out;
+  Out.push_back(makeRandomTechnique());
+  Out.push_back(makeHillClimbTechnique());
+  Out.push_back(makeAnnealingTechnique());
+  Out.push_back(makeGeneticTechnique());
+  Out.push_back(makePatternSearchTechnique());
+  return Out;
+}
+
+AucBandit::AucBandit(size_t NumArms, size_t Window, double ExploreC)
+    : Arms(NumArms), Window(Window ? Window : 1), ExploreC(ExploreC) {}
+
+double AucBandit::aucOf(const ArmState &A) const {
+  // OpenTuner-style AUC credit: recent new-bests weigh linearly more.
+  size_t N = A.History.size();
+  if (N == 0)
+    return 0.0;
+  double Num = 0.0;
+  for (size_t I = 0; I != N; ++I)
+    if (A.History[I])
+      Num += static_cast<double>(I + 1);
+  return Num / (static_cast<double>(N) * (N + 1) / 2.0);
+}
+
+size_t AucBandit::select(Rng &R) {
+  // Try every unused arm first.
+  for (size_t I = 0, E = Arms.size(); I != E; ++I)
+    if (Arms[I].Uses == 0)
+      return I;
+  size_t BestArm = 0;
+  double BestValue = -std::numeric_limits<double>::infinity();
+  for (size_t I = 0, E = Arms.size(); I != E; ++I) {
+    double Explore = std::sqrt(2.0 * std::log(static_cast<double>(TotalUses)) /
+                               static_cast<double>(Arms[I].Uses));
+    double Value = aucOf(Arms[I]) + ExploreC * Explore +
+                   1e-6 * R.uniform(0.0, 1.0); // tie breaking
+    if (Value > BestValue) {
+      BestValue = Value;
+      BestArm = I;
+    }
+  }
+  return BestArm;
+}
+
+void AucBandit::reward(size_t Arm, bool NewBest) {
+  ArmState &A = Arms[Arm];
+  ++A.Uses;
+  ++TotalUses;
+  A.History.push_back(NewBest ? 1 : 0);
+  if (A.History.size() > Window)
+    A.History.erase(A.History.begin());
+}

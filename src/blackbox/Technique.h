@@ -1,0 +1,129 @@
+//===- blackbox/Technique.h - Black-box search techniques -------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Search techniques for the OpenTuner-style black-box baseline. A
+/// technique proposes full parameter configurations; the driver evaluates
+/// them with the user's scoring function and feeds the outcome back.
+/// Scores are normalized so that higher is always better inside the
+/// search (the driver negates when minimizing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_BLACKBOX_TECHNIQUE_H
+#define WBT_BLACKBOX_TECHNIQUE_H
+
+#include "param/ConfigSpace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace bb {
+
+/// One evaluated configuration.
+struct Result {
+  Config C;
+  /// Internal score, higher is better.
+  double Score = 0.0;
+  /// Wall-clock seconds since the search started.
+  double AtSeconds = 0.0;
+};
+
+/// Append-only store of every evaluation, with the incumbent best.
+class ResultDB {
+public:
+  /// Records a result; \returns true if it is a new global best.
+  bool add(Result R);
+
+  bool empty() const { return Results.empty(); }
+  size_t size() const { return Results.size(); }
+  const Result &at(size_t I) const { return Results[I]; }
+  bool hasBest() const { return Best != ~size_t(0); }
+  const Result &best() const { return Results[Best]; }
+
+  /// Indices of the top \p K results by score (best first).
+  std::vector<size_t> topK(size_t K) const;
+
+private:
+  std::vector<Result> Results;
+  size_t Best = ~size_t(0);
+};
+
+/// A configuration proposer. Implementations may carry internal state
+/// (annealing temperature, pattern-search step, ...) updated in feedback().
+class Technique {
+public:
+  virtual ~Technique();
+
+  /// Proposes the next configuration to evaluate.
+  virtual Config propose(const ConfigSpace &Space, const ResultDB &DB,
+                         Rng &R) = 0;
+
+  /// Reports the evaluated score of a configuration this technique
+  /// proposed (higher is better).
+  virtual void feedback(const Config &C, double Score, Rng &R);
+
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random search.
+std::unique_ptr<Technique> makeRandomTechnique();
+
+/// Greedy mutation of the incumbent best.
+std::unique_ptr<Technique> makeHillClimbTechnique(double Scale = 0.1);
+
+/// Metropolis simulated annealing with geometric cooling.
+std::unique_ptr<Technique> makeAnnealingTechnique(double InitTemp = 1.0,
+                                                  double Cooling = 0.97,
+                                                  double Scale = 0.15);
+
+/// Tournament-selection genetic algorithm over the result database.
+std::unique_ptr<Technique> makeGeneticTechnique(size_t Parents = 8,
+                                                double MutateProb = 0.3,
+                                                double MutateScale = 0.1);
+
+/// Coordinate pattern search around the incumbent with shrinking steps.
+std::unique_ptr<Technique> makePatternSearchTechnique(double InitStep = 0.25,
+                                                      double Shrink = 0.7);
+
+/// The default OpenTuner-like ensemble (one of each of the above).
+std::vector<std::unique_ptr<Technique>> makeDefaultEnsemble();
+
+/// The multi-armed-bandit meta technique (OpenTuner's default search
+/// strategy, paper Sec. V-A): picks among arms by sliding-window AUC
+/// credit plus an exploration bonus.
+class AucBandit {
+public:
+  AucBandit(size_t NumArms, size_t Window = 50, double ExploreC = 0.05);
+
+  /// Picks the next arm.
+  size_t select(Rng &R);
+
+  /// Reports whether the arm's proposal produced a new global best.
+  void reward(size_t Arm, bool NewBest);
+
+  size_t numArms() const { return Arms.size(); }
+
+private:
+  struct ArmState {
+    std::vector<uint8_t> History; // sliding window of new-best flags
+    size_t Uses = 0;
+  };
+
+  double aucOf(const ArmState &A) const;
+
+  std::vector<ArmState> Arms;
+  size_t Window;
+  double ExploreC;
+  size_t TotalUses = 0;
+};
+
+} // namespace bb
+} // namespace wbt
+
+#endif // WBT_BLACKBOX_TECHNIQUE_H

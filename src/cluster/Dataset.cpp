@@ -1,0 +1,79 @@
+//===- cluster/Dataset.cpp - Point sets with planted clusters --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Dataset.h"
+
+#include <cassert>
+
+using namespace wbt;
+using namespace wbt::clus;
+
+Dataset wbt::clus::makeClusterDataset(uint64_t Seed, int Index,
+                                      const DatasetOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 17);
+  Dataset D;
+  D.Dims = Opts.Dims;
+  D.TrueClusters =
+      static_cast<int>(R.uniformInt(Opts.MinClusters, Opts.MaxClusters));
+
+  // Cluster centers kept pairwise separated by rejection sampling.
+  std::vector<Point> Centers;
+  while (static_cast<int>(Centers.size()) < D.TrueClusters) {
+    Point C(Opts.Dims);
+    for (double &X : C)
+      X = R.uniform(0.15, 0.85);
+    bool TooClose = false;
+    for (const Point &O : Centers)
+      if (distSq(C, O) < 0.04)
+        TooClose = true;
+    if (!TooClose || Centers.size() > 64)
+      Centers.push_back(std::move(C));
+  }
+
+  for (int Cl = 0; Cl != D.TrueClusters; ++Cl) {
+    double Spread = R.uniform(Opts.SpreadLo, Opts.SpreadHi);
+    for (int I = 0; I != Opts.PointsPerCluster; ++I) {
+      Point P(Opts.Dims);
+      for (int K = 0; K != Opts.Dims; ++K)
+        P[static_cast<size_t>(K)] =
+            Centers[Cl][static_cast<size_t>(K)] + R.gaussian(0.0, Spread);
+      D.Points.push_back(std::move(P));
+      D.TrueLabels.push_back(Cl);
+    }
+  }
+
+  int NoiseCount = static_cast<int>(Opts.NoiseFraction * D.Points.size());
+  for (int I = 0; I != NoiseCount; ++I) {
+    Point P(Opts.Dims);
+    for (double &X : P)
+      X = R.uniform(0.0, 1.0);
+    D.Points.push_back(std::move(P));
+    D.TrueLabels.push_back(-1);
+  }
+
+  // Shuffle points and labels together.
+  std::vector<size_t> Perm(D.Points.size());
+  for (size_t I = 0; I != Perm.size(); ++I)
+    Perm[I] = I;
+  R.shuffle(Perm);
+  std::vector<Point> Pts(D.Points.size());
+  std::vector<int> Lbls(D.Points.size());
+  for (size_t I = 0; I != Perm.size(); ++I) {
+    Pts[I] = std::move(D.Points[Perm[I]]);
+    Lbls[I] = D.TrueLabels[Perm[I]];
+  }
+  D.Points = std::move(Pts);
+  D.TrueLabels = std::move(Lbls);
+  return D;
+}
+
+double wbt::clus::distSq(const Point &A, const Point &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  double S = 0.0;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    S += (A[I] - B[I]) * (A[I] - B[I]);
+  return S;
+}

@@ -1,0 +1,59 @@
+//===- cluster/Dataset.h - Point sets with planted clusters -----*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gaussian-mixture point sets with known memberships, standing in for
+/// the paper's MineBench clustering inputs. The number of planted
+/// clusters, their spreads and the noise fraction vary per dataset, so
+/// K-means' K and DBScan's (eps, minPts) have input-dependent optima.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CLUSTER_DATASET_H
+#define WBT_CLUSTER_DATASET_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace clus {
+
+/// A point in D dimensions.
+using Point = std::vector<double>;
+
+/// Points plus planted ground truth.
+struct Dataset {
+  std::vector<Point> Points;
+  /// Planted memberships; -1 marks background noise points.
+  std::vector<int> TrueLabels;
+  int TrueClusters = 0;
+  int Dims = 2;
+};
+
+struct DatasetOptions {
+  int Dims = 2;
+  int MinClusters = 2;
+  int MaxClusters = 8;
+  int PointsPerCluster = 60;
+  /// Fraction of uniform background noise points.
+  double NoiseFraction = 0.05;
+  /// Per-cluster stddev range.
+  double SpreadLo = 0.02;
+  double SpreadHi = 0.08;
+};
+
+/// Generates dataset number \p Index of the family identified by \p Seed.
+Dataset makeClusterDataset(uint64_t Seed, int Index,
+                           const DatasetOptions &Opts = DatasetOptions());
+
+/// Squared Euclidean distance.
+double distSq(const Point &A, const Point &B);
+
+} // namespace clus
+} // namespace wbt
+
+#endif // WBT_CLUSTER_DATASET_H

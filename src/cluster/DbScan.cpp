@@ -1,0 +1,60 @@
+//===- cluster/DbScan.cpp - Density-based clustering -----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/DbScan.h"
+
+#include <deque>
+
+using namespace wbt;
+using namespace wbt::clus;
+
+DbScanResult wbt::clus::dbscan(const std::vector<Point> &Points, double Eps,
+                               int MinPts) {
+  const int Unvisited = -2, Noise = -1;
+  DbScanResult Res;
+  Res.Labels.assign(Points.size(), Unvisited);
+  double EpsSq = Eps * Eps;
+
+  auto Neighbors = [&](size_t I) {
+    std::vector<size_t> Out;
+    for (size_t J = 0, E = Points.size(); J != E; ++J)
+      if (J != I && distSq(Points[I], Points[J]) <= EpsSq)
+        Out.push_back(J);
+    return Out;
+  };
+
+  int NextCluster = 0;
+  for (size_t I = 0, E = Points.size(); I != E; ++I) {
+    if (Res.Labels[I] != Unvisited)
+      continue;
+    std::vector<size_t> Nbrs = Neighbors(I);
+    if (static_cast<int>(Nbrs.size()) + 1 < MinPts) {
+      Res.Labels[I] = Noise;
+      continue;
+    }
+    int Cluster = NextCluster++;
+    Res.Labels[I] = Cluster;
+    std::deque<size_t> Work(Nbrs.begin(), Nbrs.end());
+    while (!Work.empty()) {
+      size_t J = Work.front();
+      Work.pop_front();
+      if (Res.Labels[J] == Noise)
+        Res.Labels[J] = Cluster; // border point
+      if (Res.Labels[J] != Unvisited)
+        continue;
+      Res.Labels[J] = Cluster;
+      std::vector<size_t> JNbrs = Neighbors(J);
+      if (static_cast<int>(JNbrs.size()) + 1 >= MinPts)
+        for (size_t K : JNbrs)
+          Work.push_back(K);
+    }
+  }
+
+  Res.NumClusters = NextCluster;
+  for (int L : Res.Labels)
+    Res.NoisePoints += L == Noise;
+  return Res;
+}

@@ -1,0 +1,34 @@
+//===- cluster/DbScan.h - Density-based clustering --------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DBScan (Ester et al., the paper's [28]) with its two tunables: the
+/// neighborhood radius Eps and the core-point threshold MinPts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CLUSTER_DBSCAN_H
+#define WBT_CLUSTER_DBSCAN_H
+
+#include "cluster/Dataset.h"
+
+namespace wbt {
+namespace clus {
+
+struct DbScanResult {
+  /// Cluster id per point; -1 = noise.
+  std::vector<int> Labels;
+  int NumClusters = 0;
+  long NoisePoints = 0;
+};
+
+/// Runs DBScan over \p Points.
+DbScanResult dbscan(const std::vector<Point> &Points, double Eps, int MinPts);
+
+} // namespace clus
+} // namespace wbt
+
+#endif // WBT_CLUSTER_DBSCAN_H

@@ -1,0 +1,103 @@
+//===- cluster/KMeans.cpp - Lloyd's K-means --------------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/KMeans.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace wbt;
+using namespace wbt::clus;
+
+KMeansResult wbt::clus::kmeans(const std::vector<Point> &Points, int K, Rng &R,
+                               const KMeansOptions &Opts) {
+  assert(!Points.empty() && "kmeans over an empty point set");
+  assert(K >= 1 && "kmeans needs K >= 1");
+  K = std::min<int>(K, static_cast<int>(Points.size()));
+  size_t Dims = Points[0].size();
+
+  KMeansResult Res;
+  Res.Centers.reserve(K);
+
+  // k-means++ seeding: first center uniform, then proportional to the
+  // squared distance to the nearest chosen center.
+  Res.Centers.push_back(Points[R.index(Points.size())]);
+  std::vector<double> D2(Points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (static_cast<int>(Res.Centers.size()) < K) {
+    double Total = 0.0;
+    for (size_t I = 0, E = Points.size(); I != E; ++I) {
+      D2[I] = std::min(D2[I], distSq(Points[I], Res.Centers.back()));
+      Total += D2[I];
+    }
+    if (Total <= 0.0) {
+      Res.Centers.push_back(Points[R.index(Points.size())]);
+      continue;
+    }
+    double Pick = R.uniform(0.0, Total);
+    size_t Chosen = Points.size() - 1;
+    double Acc = 0.0;
+    for (size_t I = 0, E = Points.size(); I != E; ++I) {
+      Acc += D2[I];
+      if (Acc >= Pick) {
+        Chosen = I;
+        break;
+      }
+    }
+    Res.Centers.push_back(Points[Chosen]);
+  }
+
+  Res.Labels.assign(Points.size(), 0);
+  double PrevInertia = std::numeric_limits<double>::infinity();
+  for (int Iter = 0; Iter != Opts.MaxIterations; ++Iter) {
+    // Assignment step.
+    Res.Inertia = 0.0;
+    for (size_t I = 0, E = Points.size(); I != E; ++I) {
+      int Best = 0;
+      double BestD = distSq(Points[I], Res.Centers[0]);
+      for (int C = 1; C != K; ++C) {
+        double D = distSq(Points[I], Res.Centers[static_cast<size_t>(C)]);
+        if (D < BestD) {
+          BestD = D;
+          Best = C;
+        }
+      }
+      Res.Labels[I] = Best;
+      Res.Inertia += BestD;
+    }
+    Res.Iterations = Iter + 1;
+    if (Opts.IterationCheck && !Opts.IterationCheck(Iter, Res.Inertia))
+      break;
+
+    // Update step.
+    std::vector<Point> Sums(static_cast<size_t>(K), Point(Dims, 0.0));
+    std::vector<long> Counts(static_cast<size_t>(K), 0);
+    for (size_t I = 0, E = Points.size(); I != E; ++I) {
+      Point &S = Sums[static_cast<size_t>(Res.Labels[I])];
+      for (size_t D = 0; D != Dims; ++D)
+        S[D] += Points[I][D];
+      ++Counts[static_cast<size_t>(Res.Labels[I])];
+    }
+    for (int C = 0; C != K; ++C) {
+      if (Counts[static_cast<size_t>(C)] == 0) {
+        // Re-seed an empty cluster.
+        Res.Centers[static_cast<size_t>(C)] = Points[R.index(Points.size())];
+        continue;
+      }
+      for (size_t D = 0; D != Dims; ++D)
+        Res.Centers[static_cast<size_t>(C)][D] =
+            Sums[static_cast<size_t>(C)][D] /
+            static_cast<double>(Counts[static_cast<size_t>(C)]);
+    }
+
+    if (std::fabs(PrevInertia - Res.Inertia) <
+        Opts.Tolerance * (1.0 + Res.Inertia))
+      break;
+    PrevInertia = Res.Inertia;
+  }
+  return Res;
+}

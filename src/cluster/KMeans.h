@@ -1,0 +1,49 @@
+//===- cluster/KMeans.h - Lloyd's K-means -----------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-means (MacQueen / Lloyd) with k-means++-style seeding. The K
+/// parameter is the paper's canonical single-knob tuning example
+/// (Sec. I); iteration progress is exposed so a @check callback can kill
+/// diverging runs early (paper Sec. V-B3 tunes K-means with MCMC + MAX
+/// aggregation and mid-run checks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CLUSTER_KMEANS_H
+#define WBT_CLUSTER_KMEANS_H
+
+#include "cluster/Dataset.h"
+
+#include <functional>
+
+namespace wbt {
+namespace clus {
+
+struct KMeansResult {
+  std::vector<int> Labels;
+  std::vector<Point> Centers;
+  /// Sum of squared distances to assigned centers (inertia).
+  double Inertia = 0.0;
+  int Iterations = 0;
+};
+
+struct KMeansOptions {
+  int MaxIterations = 50;
+  double Tolerance = 1e-7;
+  /// Invoked after every iteration with (iteration, inertia); returning
+  /// false aborts the run (the white-box @check hook).
+  std::function<bool(int, double)> IterationCheck;
+};
+
+/// Clusters \p Points into \p K groups.
+KMeansResult kmeans(const std::vector<Point> &Points, int K, Rng &R,
+                    const KMeansOptions &Opts = KMeansOptions());
+
+} // namespace clus
+} // namespace wbt
+
+#endif // WBT_CLUSTER_KMEANS_H

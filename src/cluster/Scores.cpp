@@ -1,0 +1,83 @@
+//===- cluster/Scores.cpp - Clustering quality measures --------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Scores.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+using namespace wbt;
+using namespace wbt::clus;
+
+double wbt::clus::silhouette(const std::vector<Point> &Points,
+                             const std::vector<int> &Labels) {
+  assert(Points.size() == Labels.size() && "labels/points size mismatch");
+  std::map<int, long> Sizes;
+  for (int L : Labels)
+    if (L >= 0)
+      ++Sizes[L];
+  if (Sizes.size() < 2)
+    return 0.0;
+
+  double Total = 0.0;
+  long Counted = 0;
+  for (size_t I = 0, E = Points.size(); I != E; ++I) {
+    int Li = Labels[I];
+    if (Li < 0 || Sizes[Li] < 2)
+      continue;
+    // Mean distance to own cluster (a) and to the nearest other (b).
+    std::map<int, double> SumD;
+    for (size_t J = 0; J != E; ++J) {
+      if (J == I || Labels[J] < 0)
+        continue;
+      SumD[Labels[J]] += std::sqrt(distSq(Points[I], Points[J]));
+    }
+    double A = SumD[Li] / static_cast<double>(Sizes[Li] - 1);
+    double B = std::numeric_limits<double>::infinity();
+    for (auto &[L, S] : SumD) {
+      if (L == Li)
+        continue;
+      B = std::min(B, S / static_cast<double>(Sizes[L]));
+    }
+    if (!std::isfinite(B))
+      continue;
+    double Max = std::max(A, B);
+    if (Max > 0)
+      Total += (B - A) / Max;
+    ++Counted;
+  }
+  return Counted ? Total / static_cast<double>(Counted) : 0.0;
+}
+
+double wbt::clus::adjustedRand(const std::vector<int> &A,
+                               const std::vector<int> &B) {
+  assert(A.size() == B.size() && "labelings must have equal size");
+  size_t N = A.size();
+  if (N < 2)
+    return 1.0;
+  std::map<std::pair<int, int>, long> Joint;
+  std::map<int, long> RowSum, ColSum;
+  for (size_t I = 0; I != N; ++I) {
+    ++Joint[{A[I], B[I]}];
+    ++RowSum[A[I]];
+    ++ColSum[B[I]];
+  }
+  auto Choose2 = [](long X) { return 0.5 * X * (X - 1); };
+  double SumJoint = 0, SumRow = 0, SumCol = 0;
+  for (auto &[K, V] : Joint)
+    SumJoint += Choose2(V);
+  for (auto &[K, V] : RowSum)
+    SumRow += Choose2(V);
+  for (auto &[K, V] : ColSum)
+    SumCol += Choose2(V);
+  double Expected = SumRow * SumCol / Choose2(static_cast<long>(N));
+  double MaxIndex = 0.5 * (SumRow + SumCol);
+  if (MaxIndex == Expected)
+    return 1.0;
+  return (SumJoint - Expected) / (MaxIndex - Expected);
+}

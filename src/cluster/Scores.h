@@ -1,0 +1,36 @@
+//===- cluster/Scores.h - Clustering quality measures -----------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal (silhouette) and external (adjusted Rand index, against the
+/// planted labels) clustering scores. Tuning uses the internal score —
+/// ground truth is measurement-only, exactly as the paper stresses in
+/// Sec. V-A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CLUSTER_SCORES_H
+#define WBT_CLUSTER_SCORES_H
+
+#include "cluster/Dataset.h"
+
+namespace wbt {
+namespace clus {
+
+/// Mean silhouette coefficient in [-1, 1] (higher = better separated);
+/// noise points (label < 0) are skipped. Returns 0 when fewer than two
+/// clusters are present.
+double silhouette(const std::vector<Point> &Points,
+                  const std::vector<int> &Labels);
+
+/// Adjusted Rand index between two labelings (1 = identical partitions,
+/// ~0 = random agreement). Noise label -1 is treated as its own class.
+double adjustedRand(const std::vector<int> &A, const std::vector<int> &B);
+
+} // namespace clus
+} // namespace wbt
+
+#endif // WBT_CLUSTER_SCORES_H

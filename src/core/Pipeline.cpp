@@ -1,0 +1,344 @@
+//===- core/Pipeline.cpp - Staged white-box tuning engine -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace wbt;
+
+namespace {
+
+/// splitmix64-style mixer for deriving per-run seeds.
+uint64_t mixSeed(uint64_t X, uint64_t Y) {
+  uint64_t Z = X + 0x9e3779b97f4a7c15ULL * (Y + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+struct ErasedStage {
+  std::string Name;
+  StageOptions Opts;
+  std::function<std::any(const std::any &, SampleContext &)> Body;
+  std::function<std::shared_ptr<void>()> MakeAgg;
+  std::function<void(void *, const SampleInfo &, std::any &&)> AggAdd;
+  std::function<std::vector<std::any>(void *)> AggFinish;
+  std::function<double(const std::vector<std::any> &)> AutoScore;
+};
+
+} // namespace
+
+namespace wbt {
+namespace detail {
+
+struct RunState {
+  explicit RunState(const Scheduler::Options &SOpts) : Sched(SOpts) {}
+
+  Scheduler Sched;
+  const std::vector<ErasedStage> *Stages = nullptr;
+  uint64_t Seed = 1;
+
+  std::mutex Mutex;
+  std::vector<std::any> Finals;
+  std::vector<StageReport> Reports;
+  std::atomic<long> TotalSamples{0};
+  std::atomic<uint64_t> NextTpId{0};
+
+  std::mutex ExposedMutex;
+  std::map<std::string, std::any> Exposed;
+};
+
+/// One execution of one stage for one tuning process (one auto-tune
+/// attempt). Owns the aggregator and the per-sample drawn-value cache.
+struct StageExec : std::enable_shared_from_this<StageExec> {
+  RunState *RS = nullptr;
+  const ErasedStage *Stage = nullptr;
+  size_t StageIdx = 0;
+  uint64_t TpId = 0;
+  int Attempt = 0;
+  std::shared_ptr<const std::any> Input;
+  int N = 0;
+  int K = 1;
+
+  std::unique_ptr<SamplingStrategy> Strategy;
+  std::shared_ptr<void> Agg;
+
+  std::mutex Mutex;
+  int Pending = 0;
+  long PrunedLocal = 0;
+  std::vector<std::pair<SampleInfo, std::any>> BatchBuffer;
+  std::vector<std::map<std::string, double>> Drawn;
+  size_t LiveBytes = 0;
+  size_t PeakLiveBytes = 0;
+
+  bool HasPrev = false;
+  double PrevScore = 0.0;
+  std::vector<std::any> PrevOuts;
+
+  void launch();
+  void runOne(int Sample, int Fold);
+  void deliver(const SampleInfo &Info, std::any &&Result);
+  void complete();
+  void continueWith(std::vector<std::any> &&Outs);
+
+  static void startTuningProcess(RunState *RS, size_t StageIdx,
+                                 std::any State);
+};
+
+void StageExec::launch() {
+  Drawn.assign(static_cast<size_t>(N), {});
+  Pending = N * K;
+  PrunedLocal = 0;
+  LiveBytes = 0;
+  Agg = Stage->MakeAgg();
+  const StageOptions &Opts = Stage->Opts;
+  Strategy = Opts.Strategy ? Opts.Strategy() : makeRandomStrategy();
+  RS->TotalSamples.fetch_add(static_cast<long>(N) * K,
+                             std::memory_order_relaxed);
+
+  std::shared_ptr<StageExec> Self = shared_from_this();
+  int Total = N * K;
+  for (int S = 0; S != N; ++S)
+    for (int F = 0; F != K; ++F) {
+      int Issued = S * K + F;
+      RS->Sched.submitSampling(Total - Issued, [Self, S, F] {
+        Self->runOne(S, F);
+      });
+    }
+}
+
+void StageExec::runOne(int Sample, int Fold) {
+  SampleInfo Info;
+  Info.Sample = Sample;
+  Info.Fold = Fold;
+  Info.KFolds = K;
+  uint64_t Seed = mixSeed(
+      mixSeed(RS->Seed, StageIdx * 0x1000193 + TpId),
+      (static_cast<uint64_t>(Attempt) << 32) +
+          (static_cast<uint64_t>(Sample) << 8) + static_cast<uint64_t>(Fold));
+  SampleContext Ctx(this, Info, Rng(Seed));
+  std::any Result = Stage->Body(*Input, Ctx);
+  deliver(Ctx.Info, std::move(Result));
+}
+
+void StageExec::deliver(const SampleInfo &Info, std::any &&Result) {
+  bool Done = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Info.HasScore)
+      Strategy->feedback(Info.Sample, Info.Score);
+    if (Result.has_value()) {
+      if (Stage->Opts.Incremental) {
+        Stage->AggAdd(Agg.get(), Info, std::move(Result));
+        PeakLiveBytes = std::max(PeakLiveBytes, Stage->Opts.ResultBytesHint);
+      } else {
+        BatchBuffer.emplace_back(Info, std::move(Result));
+        LiveBytes += Stage->Opts.ResultBytesHint;
+        PeakLiveBytes = std::max(PeakLiveBytes, LiveBytes);
+      }
+    } else {
+      ++PrunedLocal;
+    }
+    Done = --Pending == 0;
+  }
+  if (!Done)
+    return;
+  std::shared_ptr<StageExec> Self = shared_from_this();
+  RS->Sched.submitTuning([Self] { Self->complete(); });
+}
+
+void StageExec::complete() {
+  if (!Stage->Opts.Incremental) {
+    // Replay commits in deterministic (sample, fold) order: arrival order
+    // depends on thread interleaving.
+    std::sort(BatchBuffer.begin(), BatchBuffer.end(),
+              [](const auto &A, const auto &B) {
+                if (A.first.Sample != B.first.Sample)
+                  return A.first.Sample < B.first.Sample;
+                return A.first.Fold < B.first.Fold;
+              });
+    for (auto &[Info, Result] : BatchBuffer)
+      Stage->AggAdd(Agg.get(), Info, std::move(Result));
+    BatchBuffer.clear();
+  }
+  std::vector<std::any> Outs = Stage->AggFinish(Agg.get());
+
+  {
+    std::lock_guard<std::mutex> Lock(RS->Mutex);
+    StageReport &Rep = RS->Reports[StageIdx];
+    if (Attempt == 0)
+      ++Rep.TuningProcesses;
+    else
+      ++Rep.AutoTuneRetries;
+    Rep.SamplesRun += static_cast<long>(N) * K;
+    Rep.Pruned += PrunedLocal;
+    Rep.PeakLiveBytes = std::max(Rep.PeakLiveBytes, PeakLiveBytes);
+    if (Outs.size() > 1)
+      Rep.Splits += static_cast<long>(Outs.size()) - 1;
+  }
+
+  const StageOptions &Opts = Stage->Opts;
+  if (Opts.AutoTuneSamples && Stage->AutoScore && !Outs.empty()) {
+    double Score = Stage->AutoScore(Outs);
+    bool Improved = !HasPrev || Score > PrevScore + Opts.AutoTuneTolerance;
+    if (Improved && N * 2 <= Opts.MaxSamples) {
+      // Exponential doubling (paper Sec. IV-D): retry this stage with
+      // twice the samples and compare.
+      std::shared_ptr<StageExec> Retry = std::make_shared<StageExec>();
+      Retry->RS = RS;
+      Retry->Stage = Stage;
+      Retry->StageIdx = StageIdx;
+      Retry->TpId = TpId;
+      Retry->Attempt = Attempt + 1;
+      Retry->Input = Input;
+      Retry->N = N * 2;
+      Retry->K = K;
+      Retry->HasPrev = true;
+      Retry->PrevScore = Score;
+      Retry->PrevOuts = std::move(Outs);
+      Retry->launch();
+      return;
+    }
+    if (HasPrev && PrevScore >= Score)
+      Outs = std::move(PrevOuts);
+  } else if (Opts.AutoTuneSamples && Stage->AutoScore && Outs.empty() &&
+             HasPrev) {
+    Outs = std::move(PrevOuts);
+  }
+
+  continueWith(std::move(Outs));
+}
+
+void StageExec::continueWith(std::vector<std::any> &&Outs) {
+  if (StageIdx + 1 == RS->Stages->size()) {
+    std::lock_guard<std::mutex> Lock(RS->Mutex);
+    for (std::any &O : Outs)
+      RS->Finals.push_back(std::move(O));
+    return;
+  }
+  for (std::any &O : Outs)
+    startTuningProcess(RS, StageIdx + 1, std::move(O));
+}
+
+void StageExec::startTuningProcess(RunState *RS, size_t StageIdx,
+                                   std::any State) {
+  std::shared_ptr<StageExec> Exec = std::make_shared<StageExec>();
+  Exec->RS = RS;
+  Exec->Stage = &(*RS->Stages)[StageIdx];
+  Exec->StageIdx = StageIdx;
+  Exec->TpId = RS->NextTpId.fetch_add(1, std::memory_order_relaxed);
+  Exec->Input = std::make_shared<const std::any>(std::move(State));
+  Exec->N = std::max(1, Exec->Stage->Opts.NumSamples);
+  Exec->K = std::max(1, Exec->Stage->Opts.KFolds);
+  RS->Sched.submitTuning([Exec] { Exec->launch(); });
+}
+
+} // namespace detail
+} // namespace wbt
+
+//===----------------------------------------------------------------------===//
+// SampleContext
+//===----------------------------------------------------------------------===//
+
+double SampleContext::sample(const std::string &Name, const Distribution &D) {
+  std::lock_guard<std::mutex> Lock(Exec->Mutex);
+  std::map<std::string, double> &Values =
+      Exec->Drawn[static_cast<size_t>(Info.Sample)];
+  auto It = Values.find(Name);
+  if (It != Values.end())
+    return It->second;
+  double V = Exec->Strategy->draw(Info.Sample, Name, D, RunRng);
+  Values.emplace(Name, V);
+  return V;
+}
+
+bool SampleContext::check(bool Ok) { return Ok; }
+
+void SampleContext::setScore(double Score) {
+  Info.Score = Score;
+  Info.HasScore = true;
+}
+
+void SampleContext::expose(const std::string &Name, std::any Value) {
+  std::lock_guard<std::mutex> Lock(Exec->RS->ExposedMutex);
+  Exec->RS->Exposed[Name] = std::move(Value);
+}
+
+std::any SampleContext::load(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Exec->RS->ExposedMutex);
+  auto It = Exec->RS->Exposed.find(Name);
+  return It == Exec->RS->Exposed.end() ? std::any() : It->second;
+}
+
+const std::map<std::string, double> &SampleContext::drawnValues() const {
+  return Exec->Drawn[static_cast<size_t>(Info.Sample)];
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+struct Pipeline::Impl {
+  std::vector<ErasedStage> Stages;
+};
+
+Pipeline::Pipeline() : TheImpl(std::make_unique<Impl>()) {}
+Pipeline::~Pipeline() = default;
+
+size_t Pipeline::numStages() const { return TheImpl->Stages.size(); }
+
+void Pipeline::addStageImpl(
+    std::string Name, StageOptions Opts,
+    std::function<std::any(const std::any &, SampleContext &)> Body,
+    std::function<std::shared_ptr<void>()> MakeAgg,
+    std::function<void(void *, const SampleInfo &, std::any &&)> AggAdd,
+    std::function<std::vector<std::any>(void *)> AggFinish) {
+  ErasedStage S;
+  S.Name = std::move(Name);
+  S.Opts = std::move(Opts);
+  S.Body = std::move(Body);
+  S.MakeAgg = std::move(MakeAgg);
+  S.AggAdd = std::move(AggAdd);
+  S.AggFinish = std::move(AggFinish);
+  TheImpl->Stages.push_back(std::move(S));
+}
+
+void Pipeline::setAutoTuneScoreImpl(
+    std::function<double(const std::vector<std::any> &)> F) {
+  assert(!TheImpl->Stages.empty() && "no stage to attach auto-tune score to");
+  TheImpl->Stages.back().AutoScore = std::move(F);
+}
+
+RunReport Pipeline::run(std::any Initial, const RunOptions &Opts) {
+  assert(!TheImpl->Stages.empty() && "cannot run an empty pipeline");
+  Timer T;
+
+  Scheduler::Options SOpts;
+  SOpts.Workers = Opts.Workers;
+  SOpts.UseAlg1 = Opts.UseAlg1Scheduler;
+
+  detail::RunState RS(SOpts);
+  RS.Stages = &TheImpl->Stages;
+  RS.Seed = Opts.Seed;
+  RS.Reports.resize(TheImpl->Stages.size());
+  for (size_t I = 0, E = TheImpl->Stages.size(); I != E; ++I)
+    RS.Reports[I].Name = TheImpl->Stages[I].Name;
+
+  detail::StageExec::startTuningProcess(&RS, 0, std::move(Initial));
+  RS.Sched.waitIdle();
+
+  RunReport Report;
+  Report.Finals = std::move(RS.Finals);
+  Report.Stages = std::move(RS.Reports);
+  Report.Sched = RS.Sched.stats();
+  Report.TotalSamples = RS.TotalSamples.load();
+  Report.Seconds = T.seconds();
+  return Report;
+}

@@ -1,0 +1,351 @@
+//===- core/Pipeline.h - Staged white-box tuning engine ---------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process staged tuning engine — WBTuner's execution model
+/// (paper Secs. II-C and III) realized over a worker pool instead of
+/// fork(2). A Pipeline is a sequence of tuning regions (stages). Running
+/// one stage for one *tuning process* means:
+///
+///   1. spawn NumSamples *sampling runs* (paper: sampling processes), each
+///      with a copy-on-read view of the tuning process' state;
+///   2. inside the run, `SampleContext::sample()` draws tuned-variable
+///      values through the stage's SamplingStrategy (paper @sample);
+///   3. a run may prune itself (paper @check) by returning std::nullopt;
+///   4. finished runs commit their result to the stage Aggregator (paper
+///      @aggregate, child side); incremental aggregation (Sec. IV-B) folds
+///      each result as it arrives, one-shot aggregation buffers them all;
+///   5. when the last run commits, the aggregator's finish() produces the
+///      continuation states (paper @aggregate, tuning side); producing
+///      more than one state is the paper's @split.
+///
+/// k-fold cross-validation (paper Sec. IV-A) is built in: with KFolds > 1
+/// every logical sample becomes a sampling-and-validation group of KFolds
+/// runs that share drawn values but see distinct fold indices. Auto-tuned
+/// sample counts (paper Sec. IV-D) double NumSamples until the aggregated
+/// score stops improving.
+///
+/// For the faithful multi-process runtime with the paper's literal
+/// primitives, see proc/Runtime.h; this engine trades fidelity of the
+/// process model for determinism and speed, keeping the tuning semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CORE_PIPELINE_H
+#define WBT_CORE_PIPELINE_H
+
+#include "core/Scheduler.h"
+#include "param/Distribution.h"
+#include "strategy/SamplingStrategy.h"
+
+#include <any>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wbt {
+
+namespace detail {
+struct StageExec;
+} // namespace detail
+
+/// Identifies one sampling run within a stage execution.
+struct SampleInfo {
+  /// Logical sample index (the SVG index under cross-validation).
+  int Sample = 0;
+  /// Validation fold for this run; 0 when KFolds == 1.
+  int Fold = 0;
+  /// Number of folds (1 = no cross-validation).
+  int KFolds = 1;
+  /// Score reported via SampleContext::setScore(); meaning is user-defined
+  /// (higher is better for strategy feedback).
+  double Score = 0.0;
+  bool HasScore = false;
+};
+
+/// Per-run handle passed to stage bodies. Provides the paper's in-region
+/// primitives: @sample, @check, score feedback, and the exposed store.
+class SampleContext {
+public:
+  /// @sample(x, cbDist): the value of tuned variable \p Name for this run.
+  /// Runs in the same sampling-and-validation group observe the same value.
+  double sample(const std::string &Name, const Distribution &D);
+
+  /// Convenience integer draw.
+  int64_t sampleInt(const std::string &Name, const Distribution &D) {
+    double V = sample(Name, D);
+    return static_cast<int64_t>(V + (V >= 0 ? 0.5 : -0.5));
+  }
+
+  /// @check(cbChk): returns \p Ok and records a prune when false. The body
+  /// should `return std::nullopt` when this returns false.
+  bool check(bool Ok);
+
+  /// Reports this run's score (higher = better) for feedback-driven
+  /// strategies and auto-tuned sample counts.
+  void setScore(double Score);
+
+  /// @expose(x): publishes a value into the run-global exposed store.
+  void expose(const std::string &Name, std::any Value);
+
+  /// @load(x): reads an exposed value; empty any if absent.
+  std::any load(const std::string &Name) const;
+
+  int sampleIndex() const { return Info.Sample; }
+  int fold() const { return Info.Fold; }
+  int numFolds() const { return Info.KFolds; }
+
+  /// Values drawn so far for this run, keyed by variable name.
+  const std::map<std::string, double> &drawnValues() const;
+
+  /// Deterministic per-run random stream.
+  Rng &rng() { return RunRng; }
+
+private:
+  friend struct detail::StageExec;
+  SampleContext(detail::StageExec *Exec, SampleInfo Info, Rng RunRng)
+      : Exec(Exec), Info(Info), RunRng(RunRng) {}
+
+  detail::StageExec *Exec;
+  SampleInfo Info;
+  Rng RunRng;
+};
+
+/// Aggregation callback of a stage (paper @aggregate / cbAggr). add() is
+/// invoked once per surviving run — serialized by the engine, so
+/// implementations need no locking — and finish() produces the states the
+/// continuation tuning processes proceed with (size > 1 == @split).
+template <typename Result, typename Out> class Aggregator {
+public:
+  virtual ~Aggregator() = default;
+  virtual void add(const SampleInfo &Info, Result &&R) = 0;
+  virtual std::vector<Out> finish() = 0;
+};
+
+/// Adapts a one-shot lambda over the full committed vector. This is the
+/// paper's non-incremental aggregation: memory grows with the sample
+/// count, which Fig. 10 measures.
+template <typename Result, typename Out>
+class BatchAggregator : public Aggregator<Result, Out> {
+public:
+  using Fn = std::function<std::vector<Out>(
+      std::vector<std::pair<SampleInfo, Result>> &&)>;
+  explicit BatchAggregator(Fn F) : F(std::move(F)) {}
+
+  void add(const SampleInfo &Info, Result &&R) override {
+    Buffer.emplace_back(Info, std::move(R));
+  }
+  std::vector<Out> finish() override { return F(std::move(Buffer)); }
+
+private:
+  Fn F;
+  std::vector<std::pair<SampleInfo, Result>> Buffer;
+};
+
+/// Keeps only the best-scoring result (incremental MIN/MAX over the score,
+/// O(1) memory). Emits one continuation holding that result.
+template <typename Result>
+class BestScoreAggregator : public Aggregator<Result, Result> {
+public:
+  explicit BestScoreAggregator(bool Minimize) : Minimize(Minimize) {}
+
+  void add(const SampleInfo &Info, Result &&R) override {
+    double S = Info.HasScore ? Info.Score : 0.0;
+    if (!HasBest || (Minimize ? S < BestScore : S > BestScore)) {
+      HasBest = true;
+      BestScore = S;
+      Best = std::move(R);
+    }
+  }
+
+  std::vector<Result> finish() override {
+    if (!HasBest)
+      return {};
+    return {std::move(Best)};
+  }
+
+private:
+  bool Minimize;
+  bool HasBest = false;
+  double BestScore = 0.0;
+  Result Best{};
+};
+
+/// Per-stage configuration (the arguments of @sampling plus the practical
+/// features of paper Sec. IV).
+struct StageOptions {
+  /// Number of logical samples (n of @sampling(n, cbStrgy)).
+  int NumSamples = 16;
+  /// k-fold cross-validation: runs per sampling-and-validation group.
+  int KFolds = 1;
+  /// Incremental aggregation (paper Sec. IV-B). When false the engine
+  /// buffers every committed result before aggregating (Fig. 10 ablation).
+  bool Incremental = true;
+  /// Sampling strategy factory; null means RAND. A fresh instance is
+  /// created per stage execution so chains (MCMC) restart per tuning
+  /// process.
+  std::function<std::unique_ptr<SamplingStrategy>()> Strategy;
+  /// Auto-tuned sample count (paper Sec. IV-D): double NumSamples until
+  /// the aggregated score stops improving or MaxSamples is reached.
+  /// Requires the stage to be added with an auto-tune scoring function.
+  bool AutoTuneSamples = false;
+  int MaxSamples = 1024;
+  double AutoTuneTolerance = 1e-9;
+  /// Estimated bytes per committed result, for the Fig. 10 memory proxy.
+  size_t ResultBytesHint = sizeof(double);
+};
+
+/// Per-stage outcome counters.
+struct StageReport {
+  std::string Name;
+  /// Tuning processes that executed this stage.
+  long TuningProcesses = 0;
+  /// Sampling runs launched (over all tuning processes and attempts).
+  long SamplesRun = 0;
+  /// Runs that pruned themselves (@check failed / body returned nullopt).
+  long Pruned = 0;
+  /// Continuation states produced in excess of one per tuning process.
+  long Splits = 0;
+  /// Auto-tune attempts beyond the first.
+  long AutoTuneRetries = 0;
+  /// High-water mark of undigested committed-result bytes.
+  size_t PeakLiveBytes = 0;
+};
+
+/// Whole-run outcome: final tuning-process states plus statistics.
+struct RunReport {
+  std::vector<std::any> Finals;
+  std::vector<StageReport> Stages;
+  Scheduler::Stats Sched;
+  double Seconds = 0.0;
+  long TotalSamples = 0;
+
+  /// Convenience typed accessor for Finals[I].
+  template <typename T> const T &finalAs(size_t I) const {
+    assert(I < Finals.size() && "final state index out of range");
+    const T *P = std::any_cast<T>(&Finals[I]);
+    assert(P && "final state has a different type");
+    return *P;
+  }
+};
+
+/// Engine-wide execution options.
+struct RunOptions {
+  /// Worker threads (MAX_POOL_SIZE); 0 = hardware concurrency.
+  unsigned Workers = 0;
+  /// Master seed; every run derives a deterministic stream from it.
+  uint64_t Seed = 1;
+  /// Apply paper Alg. 1 scheduling rules (Fig. 10 ablation when false).
+  bool UseAlg1Scheduler = true;
+};
+
+/// A staged tuning task: an ordered list of tuning regions.
+class Pipeline {
+public:
+  Pipeline();
+  ~Pipeline();
+
+  Pipeline(const Pipeline &) = delete;
+  Pipeline &operator=(const Pipeline &) = delete;
+
+  /// Adds a stage. \p Body runs once per sampling run with the tuning
+  /// process' state \p In; it returns std::nullopt to prune. \p MakeAgg
+  /// creates the stage's aggregator (fresh per stage execution).
+  template <typename In, typename Result, typename Out>
+  void addStage(
+      std::string Name, StageOptions Opts,
+      std::function<std::optional<Result>(const In &, SampleContext &)> Body,
+      std::function<std::unique_ptr<Aggregator<Result, Out>>()> MakeAgg) {
+    addStageImpl(
+        std::move(Name), std::move(Opts),
+        [Body = std::move(Body)](const std::any &InAny,
+                                 SampleContext &Ctx) -> std::any {
+          const In *State = std::any_cast<In>(&InAny);
+          assert(State && "stage input type mismatch");
+          std::optional<Result> R = Body(*State, Ctx);
+          if (!R)
+            return {};
+          return std::any(std::move(*R));
+        },
+        [MakeAgg = std::move(MakeAgg)]() -> std::shared_ptr<void> {
+          return MakeAgg();
+        },
+        [](void *Agg, const SampleInfo &Info, std::any &&R) {
+          Result *P = std::any_cast<Result>(&R);
+          assert(P && "stage result type mismatch");
+          static_cast<Aggregator<Result, Out> *>(Agg)->add(Info,
+                                                           std::move(*P));
+        },
+        [](void *Agg) {
+          std::vector<Out> Outs =
+              static_cast<Aggregator<Result, Out> *>(Agg)->finish();
+          std::vector<std::any> Erased;
+          Erased.reserve(Outs.size());
+          for (Out &O : Outs)
+            Erased.emplace_back(std::move(O));
+          return Erased;
+        });
+  }
+
+  /// Convenience: batch aggregation from a lambda.
+  template <typename In, typename Result, typename Out>
+  void addStage(
+      std::string Name, StageOptions Opts,
+      std::function<std::optional<Result>(const In &, SampleContext &)> Body,
+      typename BatchAggregator<Result, Out>::Fn Agg) {
+    Opts.Incremental = false;
+    addStage<In, Result, Out>(
+        std::move(Name), std::move(Opts), std::move(Body),
+        [Agg = std::move(Agg)]() {
+          return std::make_unique<BatchAggregator<Result, Out>>(Agg);
+        });
+  }
+
+  /// Attaches the auto-tune scoring function for the most recently added
+  /// stage: maps the stage's continuation states to a quality score
+  /// (higher = better). Enables StageOptions::AutoTuneSamples.
+  template <typename Out>
+  void setAutoTuneScore(std::function<double(const std::vector<Out> &)> F) {
+    setAutoTuneScoreImpl(
+        [F = std::move(F)](const std::vector<std::any> &Outs) {
+          std::vector<Out> Typed;
+          Typed.reserve(Outs.size());
+          for (const std::any &A : Outs) {
+            const Out *P = std::any_cast<Out>(&A);
+            assert(P && "auto-tune output type mismatch");
+            Typed.push_back(*P);
+          }
+          return F(Typed);
+        });
+  }
+
+  size_t numStages() const;
+
+  /// Executes the pipeline on \p Initial and returns the final states of
+  /// every surviving tuning process plus statistics.
+  RunReport run(std::any Initial, const RunOptions &Opts = RunOptions());
+
+private:
+  void addStageImpl(
+      std::string Name, StageOptions Opts,
+      std::function<std::any(const std::any &, SampleContext &)> Body,
+      std::function<std::shared_ptr<void>()> MakeAgg,
+      std::function<void(void *, const SampleInfo &, std::any &&)> AggAdd,
+      std::function<std::vector<std::any>(void *)> AggFinish);
+  void setAutoTuneScoreImpl(
+      std::function<double(const std::vector<std::any> &)> F);
+
+  struct Impl;
+  std::unique_ptr<Impl> TheImpl;
+};
+
+} // namespace wbt
+
+#endif // WBT_CORE_PIPELINE_H

@@ -1,0 +1,131 @@
+//===- core/Scheduler.cpp - Paper Algorithm 1 task scheduler --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+
+#include <algorithm>
+
+using namespace wbt;
+
+Scheduler::Scheduler(const Options &Opts)
+    : NumWorkers(Opts.Workers ? Opts.Workers
+                              : std::max(1u, std::thread::hardware_concurrency())),
+      UseAlg1(Opts.UseAlg1), TuningGate(Opts.TuningGate) {
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void Scheduler::submitSampling(int Todo, std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    SamplingQueue.push_back(Task{true, Todo, NextSeq++, std::move(Fn)});
+    std::push_heap(SamplingQueue.begin(), SamplingQueue.end(),
+                   [](const Task &A, const Task &B) {
+                     if (A.Todo != B.Todo)
+                       return A.Todo > B.Todo; // smaller Todo on top
+                     return A.Seq > B.Seq;
+                   });
+    TheStats.MaxQueueLength = std::max(
+        TheStats.MaxQueueLength, SamplingQueue.size() + TuningQueue.size());
+  }
+  WorkAvailable.notify_one();
+}
+
+void Scheduler::submitTuning(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    TuningQueue.push_back(Task{false, 0, NextSeq++, std::move(Fn)});
+    TheStats.MaxQueueLength = std::max(
+        TheStats.MaxQueueLength, SamplingQueue.size() + TuningQueue.size());
+  }
+  WorkAvailable.notify_one();
+}
+
+void Scheduler::waitIdle() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] {
+    return SamplingQueue.empty() && TuningQueue.empty() && Active == 0;
+  });
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TheStats;
+}
+
+bool Scheduler::popNext(Task &Out) {
+  // Alg. 1: sampling tasks never wait while a slot is free (threshold 0).
+  bool SamplingFirst = UseAlg1 || TuningQueue.empty();
+  if (!SamplingQueue.empty() &&
+      (SamplingFirst || TuningQueue.front().Seq > SamplingQueue.front().Seq)) {
+    std::pop_heap(SamplingQueue.begin(), SamplingQueue.end(),
+                  [](const Task &A, const Task &B) {
+                    if (A.Todo != B.Todo)
+                      return A.Todo > B.Todo;
+                    return A.Seq > B.Seq;
+                  });
+    Out = std::move(SamplingQueue.back());
+    SamplingQueue.pop_back();
+    return true;
+  }
+  if (TuningQueue.empty())
+    return false;
+  if (UseAlg1) {
+    // Alg. 1 line 8: a tuning spawn needs more than TuningGate of the pool
+    // free. `Active` does not yet count this task.
+    unsigned Free = NumWorkers - Active;
+    if (static_cast<double>(Free) <= TuningGate * NumWorkers &&
+        Active != 0) {
+      ++TheStats.TuningDeferrals;
+      return false;
+    }
+  }
+  Out = std::move(TuningQueue.front());
+  TuningQueue.pop_front();
+  return true;
+}
+
+void Scheduler::workerLoop() {
+  for (;;) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      for (;;) {
+        if (popNext(T))
+          break;
+        if (ShuttingDown && SamplingQueue.empty() && TuningQueue.empty())
+          return;
+        WorkAvailable.wait(Lock);
+      }
+      ++Active;
+      ++TheStats.TasksRun;
+      if (T.IsSampling)
+        ++TheStats.SamplingTasks;
+      else
+        ++TheStats.TuningTasks;
+    }
+    T.Fn();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      if (SamplingQueue.empty() && TuningQueue.empty() && Active == 0)
+        AllDone.notify_all();
+    }
+    // A finished task may have unblocked the tuning gate.
+    WorkAvailable.notify_all();
+  }
+}

@@ -1,0 +1,110 @@
+//===- core/Scheduler.h - Paper Algorithm 1 task scheduler ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process scheduler of paper Sec. III-B2 (Algorithm 1), realized over
+/// an in-process worker pool. "Processes" are tasks; the pool size plays
+/// MAX_POOL_SIZE. The rules carried over from the paper:
+///
+///  * sampling tasks are prioritized over tuning tasks (they do the real
+///    computation);
+///  * among sampling tasks, those whose parent tuning process has the
+///    fewest remaining samples run first, so nearly finished tuning
+///    processes can complete and yield their resources;
+///  * a tuning task is only admitted while at least 75% of the pool is
+///    free (Alg. 1 line 8: threshold = MAX_POOL_SIZE * 0.75), preventing
+///    a flood of concurrent tuning processes.
+///
+/// Setting UseAlg1 = false degrades to a plain FIFO pool, which is the
+/// "no scheduler" configuration of the paper's Fig. 10 ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_CORE_SCHEDULER_H
+#define WBT_CORE_SCHEDULER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wbt {
+
+/// Priority worker pool implementing paper Algorithm 1.
+class Scheduler {
+public:
+  struct Options {
+    /// MAX_POOL_SIZE; 0 means hardware concurrency.
+    unsigned Workers = 0;
+    /// Apply the Alg. 1 rules; false = plain FIFO (Fig. 10 ablation).
+    bool UseAlg1 = true;
+    /// Fraction of the pool that must be free to admit a tuning task.
+    double TuningGate = 0.75;
+  };
+
+  struct Stats {
+    size_t TasksRun = 0;
+    size_t SamplingTasks = 0;
+    size_t TuningTasks = 0;
+    /// Times a tuning task was passed over because the gate was closed.
+    size_t TuningDeferrals = 0;
+    size_t MaxQueueLength = 0;
+  };
+
+  explicit Scheduler(const Options &Opts);
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Enqueues a sampling task; \p Todo is the number of samples its parent
+  /// tuning process still has outstanding (the Alg. 1 priority key).
+  void submitSampling(int Todo, std::function<void()> Fn);
+
+  /// Enqueues a tuning task (aggregation + continuation spawning).
+  void submitTuning(std::function<void()> Fn);
+
+  /// Blocks until all submitted tasks — including tasks they submitted —
+  /// have finished.
+  void waitIdle();
+
+  Stats stats() const;
+  unsigned workers() const { return NumWorkers; }
+
+private:
+  struct Task {
+    bool IsSampling;
+    int Todo;
+    uint64_t Seq;
+    std::function<void()> Fn;
+  };
+
+  void workerLoop();
+  bool popNext(Task &Out); // caller holds Mutex
+
+  unsigned NumWorkers;
+  bool UseAlg1;
+  double TuningGate;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  std::vector<Task> SamplingQueue; // min-heap on (Todo, Seq)
+  std::deque<Task> TuningQueue;    // FIFO
+  unsigned Active = 0;
+  uint64_t NextSeq = 0;
+  bool ShuttingDown = false;
+  Stats TheStats;
+
+  std::vector<std::thread> Threads;
+};
+
+} // namespace wbt
+
+#endif // WBT_CORE_SCHEDULER_H

@@ -1,0 +1,346 @@
+//===- drone/Control.cpp - Flight controllers and missions -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drone/Control.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::drone;
+
+Controller::~Controller() = default;
+
+Mission wbt::drone::hoverMission() {
+  Mission M;
+  M.TakeoffAltitude = 10.0;
+  M.MaxSeconds = 120.0;
+  return M;
+}
+
+Mission wbt::drone::routeMission() {
+  Mission M;
+  M.TakeoffAltitude = 8.0;
+  M.Waypoints = {{15, 0, 8}, {15, 15, 8}, {30, 15, 8}};
+  M.MaxSeconds = 240.0;
+  return M;
+}
+
+Mission wbt::drone::zigzagMission() {
+  Mission M;
+  M.TakeoffAltitude = 10.0;
+  M.Waypoints = {{20, 10, 10}, {40, -10, 10}, {60, 10, 10},
+                 {40, 25, 10}, {20, 10, 10},  {0, 0, 10}};
+  M.MaxSeconds = 400.0;
+  return M;
+}
+
+namespace {
+
+double clampMag(double X, double Mag) { return std::clamp(X, -Mag, Mag); }
+
+/// Mixes collective throttle and attitude corrections to plus-config
+/// motors {front, right, back, left}.
+Motors mix(double Throttle, double RollCmd, double PitchCmd, double YawCmd) {
+  Motors M;
+  M[0] = Throttle - PitchCmd + YawCmd; // front
+  M[1] = Throttle - RollCmd - YawCmd;  // right
+  M[2] = Throttle + PitchCmd + YawCmd; // back
+  M[3] = Throttle + RollCmd - YawCmd;  // left
+  for (double &W : M)
+    W = std::clamp(W, 0.0, 1.0);
+  return M;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ReferenceController ("PX4")
+//===----------------------------------------------------------------------===//
+
+void ReferenceController::reset() { VzInt = VxInt = VyInt = 0; }
+
+Motors ReferenceController::control(const QuadState &S, const Vec3 &Target,
+                                    FlightMode Mode, const QuadModel &Model) {
+  // Position -> velocity demand (brisk but bounded).
+  double MaxSpeed = Mode == FlightMode::Cruise ? 6.0 : 3.0;
+  double MaxClimb = Mode == FlightMode::Land ? 1.5 : 3.0;
+  Vec3 PosErr = Target - S.Pos;
+  Vec3 VelDes{clampMag(1.1 * PosErr.X, MaxSpeed),
+              clampMag(1.1 * PosErr.Y, MaxSpeed),
+              clampMag(1.3 * PosErr.Z, MaxClimb)};
+
+  // Velocity -> acceleration demand (PI).
+  double Dt = Model.Dt;
+  double ExVx = VelDes.X - S.Vel.X, ExVy = VelDes.Y - S.Vel.Y,
+         ExVz = VelDes.Z - S.Vel.Z;
+  VxInt = clampMag(VxInt + ExVx * Dt, 2.0);
+  VyInt = clampMag(VyInt + ExVy * Dt, 2.0);
+  VzInt = clampMag(VzInt + ExVz * Dt, 2.0);
+  double AxDes = 2.2 * ExVx + 0.4 * VxInt;
+  double AyDes = 2.2 * ExVy + 0.4 * VyInt;
+  double AzDes = 3.0 * ExVz + 0.8 * VzInt;
+
+  // Acceleration -> attitude + collective.
+  double PitchDes = clampMag(AxDes / Model.Gravity, 0.45);
+  double RollDes = clampMag(-AyDes / Model.Gravity, 0.45);
+  double Hover = hoverSpeed(Model);
+  double Throttle = std::clamp(
+      Hover + AzDes * Model.Mass / (8.0 * Model.ThrustCoeff * Hover), 0.05,
+      0.95);
+
+  // Attitude P -> rate, rate P -> command.
+  double RateRollDes = 6.0 * (RollDes - S.Roll);
+  double RatePitchDes = 6.0 * (PitchDes - S.Pitch);
+  double RollCmd = clampMag(0.12 * (RateRollDes - S.RollRate), 0.3);
+  double PitchCmd = clampMag(0.12 * (RatePitchDes - S.PitchRate), 0.3);
+  double YawCmd = clampMag(-0.05 * S.YawRate, 0.1);
+  return mix(Throttle, RollCmd, PitchCmd, YawCmd);
+}
+
+//===----------------------------------------------------------------------===//
+// StudentController ("Ardupilot")
+//===----------------------------------------------------------------------===//
+
+std::vector<double> StudentParams::flatten() const {
+  std::vector<double> V;
+  V.reserve(NumValues);
+  for (const StudentModeGains &G : Mode) {
+    V.push_back(G.PosP);
+    V.push_back(G.VelP);
+    V.push_back(G.VelI);
+    V.push_back(G.VelD);
+    V.push_back(G.AngP);
+    V.push_back(G.RateP);
+    V.push_back(G.RateI);
+    V.push_back(G.RateD);
+    V.push_back(G.ThrP);
+    V.push_back(G.ThrI);
+    V.push_back(G.MaxLean);
+    V.push_back(G.MaxClimb);
+    V.push_back(G.MaxSpeed);
+  }
+  V.push_back(HoverThrottle);
+  assert(V.size() == NumValues && "flatten size drifted");
+  return V;
+}
+
+StudentParams StudentParams::unflatten(const std::vector<double> &Values) {
+  assert(Values.size() == NumValues && "bad parameter vector");
+  StudentParams P;
+  size_t I = 0;
+  for (StudentModeGains &G : P.Mode) {
+    G.PosP = Values[I++];
+    G.VelP = Values[I++];
+    G.VelI = Values[I++];
+    G.VelD = Values[I++];
+    G.AngP = Values[I++];
+    G.RateP = Values[I++];
+    G.RateI = Values[I++];
+    G.RateD = Values[I++];
+    G.ThrP = Values[I++];
+    G.ThrI = Values[I++];
+    G.MaxLean = Values[I++];
+    G.MaxClimb = Values[I++];
+    G.MaxSpeed = Values[I++];
+  }
+  P.HoverThrottle = Values[I++];
+  return P;
+}
+
+const char *StudentParams::valueName(size_t I) {
+  static const char *Fields[] = {"POS_P",  "VEL_P",  "VEL_I",   "VEL_D",
+                                 "ANG_P",  "RATE_P", "RATE_I",  "RATE_D",
+                                 "THR_P",  "THR_I",  "LEAN_MAX", "CLMB_MAX",
+                                 "SPD_MAX"};
+  static const char *Modes[] = {"TKOFF", "CRUISE", "LAND"};
+  static char Buf[32];
+  if (I >= NumValues - 1)
+    return "MOT_HOVER";
+  std::snprintf(Buf, sizeof(Buf), "%s_%s", Modes[I / 13], Fields[I % 13]);
+  return Buf;
+}
+
+void StudentController::reset() {
+  VelIntX = VelIntY = VelIntZ = 0;
+  RateIntR = RateIntP = 0;
+  ThrInt = 0;
+  PrevVelErrX = PrevVelErrY = PrevVelErrZ = 0;
+  PrevRateErrR = PrevRateErrP = 0;
+}
+
+Motors StudentController::control(const QuadState &S, const Vec3 &Target,
+                                  FlightMode Mode, const QuadModel &Model) {
+  const StudentModeGains &G = P.Mode[static_cast<int>(Mode)];
+  double Dt = Model.Dt;
+
+  // Position -> velocity demand (single P, unlike the reference's cascade).
+  Vec3 PosErr = Target - S.Pos;
+  double VxDes = clampMag(G.PosP * PosErr.X, G.MaxSpeed);
+  double VyDes = clampMag(G.PosP * PosErr.Y, G.MaxSpeed);
+  double VzDes = clampMag(G.PosP * PosErr.Z, G.MaxClimb);
+
+  // Velocity PID -> lean angles directly.
+  double ExVx = VxDes - S.Vel.X, ExVy = VyDes - S.Vel.Y, ExVz = VzDes - S.Vel.Z;
+  VelIntX = clampMag(VelIntX + ExVx * Dt, 3.0);
+  VelIntY = clampMag(VelIntY + ExVy * Dt, 3.0);
+  VelIntZ = clampMag(VelIntZ + ExVz * Dt, 3.0);
+  double DVx = (ExVx - PrevVelErrX) / Dt, DVy = (ExVy - PrevVelErrY) / Dt;
+  PrevVelErrX = ExVx;
+  PrevVelErrY = ExVy;
+  PrevVelErrZ = ExVz;
+  double PitchDes =
+      clampMag(0.1 * (G.VelP * ExVx + G.VelI * VelIntX + G.VelD * DVx),
+               G.MaxLean);
+  double RollDes =
+      clampMag(-0.1 * (G.VelP * ExVy + G.VelI * VelIntY + G.VelD * DVy),
+               G.MaxLean);
+
+  // Attitude P -> rate demand; rate PID -> mixer command.
+  double RateRDes = G.AngP * (RollDes - S.Roll);
+  double RatePDes = G.AngP * (PitchDes - S.Pitch);
+  double ErrR = RateRDes - S.RollRate, ErrP = RatePDes - S.PitchRate;
+  RateIntR = clampMag(RateIntR + ErrR * Dt, 1.0);
+  RateIntP = clampMag(RateIntP + ErrP * Dt, 1.0);
+  double DerR = (ErrR - PrevRateErrR) / Dt, DerP = (ErrP - PrevRateErrP) / Dt;
+  PrevRateErrR = ErrR;
+  PrevRateErrP = ErrP;
+  double RollCmd =
+      clampMag(G.RateP * ErrR + G.RateI * RateIntR + G.RateD * DerR, 0.3);
+  double PitchCmd =
+      clampMag(G.RateP * ErrP + G.RateI * RateIntP + G.RateD * DerP, 0.3);
+
+  // Throttle: hover estimate + climb PI.
+  ThrInt = clampMag(ThrInt + ExVz * Dt, 2.0);
+  double Throttle = std::clamp(
+      P.HoverThrottle + G.ThrP * ExVz + G.ThrI * ThrInt, 0.05, 0.95);
+
+  return mix(Throttle, RollCmd, PitchCmd, clampMag(-0.05 * S.YawRate, 0.1));
+}
+
+//===----------------------------------------------------------------------===//
+// Mission execution
+//===----------------------------------------------------------------------===//
+
+FlightTrace wbt::drone::fly(Controller &C, const Mission &M,
+                            const QuadModel &Model) {
+  C.reset();
+  QuadState S;
+  FlightTrace Trace;
+  FlightMode Mode = FlightMode::Takeoff;
+  size_t NextWaypoint = 0;
+  Vec3 LandSpot{0, 0, 0};
+
+  long MaxSteps = static_cast<long>(M.MaxSeconds / Model.Dt);
+  for (long Step = 0; Step != MaxSteps; ++Step) {
+    Vec3 Target;
+    switch (Mode) {
+    case FlightMode::Takeoff:
+      Target = {S.Pos.X, S.Pos.Y, M.TakeoffAltitude};
+      if (S.Pos.Z >= M.TakeoffAltitude - 0.4) {
+        Mode = M.Waypoints.empty() ? FlightMode::Land : FlightMode::Cruise;
+        LandSpot = {S.Pos.X, S.Pos.Y, 0};
+      }
+      break;
+    case FlightMode::Cruise: {
+      Target = M.Waypoints[NextWaypoint];
+      Vec3 Err = Target - S.Pos;
+      if (Err.norm() < M.WaypointRadius) {
+        ++NextWaypoint;
+        if (NextWaypoint >= M.Waypoints.size()) {
+          Mode = FlightMode::Land;
+          LandSpot = {S.Pos.X, S.Pos.Y, 0};
+        }
+      }
+      break;
+    }
+    case FlightMode::Land:
+      Target = LandSpot;
+      break;
+    }
+
+    Motors Cmd = C.control(S, Target, Mode, Model);
+    stepQuad(S, Cmd, Model);
+    Trace.Modes.push_back(Mode);
+    Trace.MotorLog.push_back(Cmd);
+    Trace.Positions.push_back(S.Pos);
+    Trace.FlightSeconds = (Step + 1) * Model.Dt;
+
+    if (Mode == FlightMode::Land && S.Pos.Z <= 0.05 &&
+        std::fabs(S.Vel.Z) < 0.2 && Step > 50) {
+      Trace.MissionCompleted = true;
+      break;
+    }
+  }
+  return Trace;
+}
+
+namespace {
+
+/// Extracts and resamples one mode's motor segment to \p Samples rows.
+std::vector<Motors> resampleMode(const FlightTrace &T, FlightMode Mode,
+                                 int Samples) {
+  std::vector<const Motors *> Segment;
+  for (size_t I = 0; I != T.Modes.size(); ++I)
+    if (T.Modes[I] == Mode)
+      Segment.push_back(&T.MotorLog[I]);
+  if (Segment.empty())
+    return {};
+  std::vector<Motors> Out(static_cast<size_t>(Samples));
+  for (int I = 0; I != Samples; ++I) {
+    double Pos = static_cast<double>(I) * (Segment.size() - 1) /
+                 std::max(1, Samples - 1);
+    Out[static_cast<size_t>(I)] = *Segment[static_cast<size_t>(Pos)];
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<double>
+wbt::drone::behaviorDistancePerMode(const FlightTrace &A,
+                                    const FlightTrace &B) {
+  const int Samples = 60;
+  std::vector<double> Out(NumFlightModes, -1.0);
+  for (int M = 0; M != NumFlightModes; ++M) {
+    std::vector<Motors> SA = resampleMode(A, static_cast<FlightMode>(M),
+                                          Samples);
+    std::vector<Motors> SB = resampleMode(B, static_cast<FlightMode>(M),
+                                          Samples);
+    if (SA.empty() && SB.empty())
+      continue; // neither flight used this mode
+    if (SA.empty() || SB.empty()) {
+      // A controller that never reaches a mode the other flies is
+      // maximally wrong there.
+      Out[static_cast<size_t>(M)] = 1.0;
+      continue;
+    }
+    double Sum = 0.0;
+    for (int I = 0; I != Samples; ++I)
+      for (int W = 0; W != 4; ++W) {
+        double D = SA[static_cast<size_t>(I)][static_cast<size_t>(W)] -
+                   SB[static_cast<size_t>(I)][static_cast<size_t>(W)];
+        Sum += D * D;
+      }
+    Out[static_cast<size_t>(M)] = std::sqrt(Sum / (Samples * 4.0));
+  }
+  return Out;
+}
+
+double wbt::drone::behaviorDistance(const FlightTrace &A,
+                                    const FlightTrace &B) {
+  std::vector<double> PerMode = behaviorDistancePerMode(A, B);
+  double Sum = 0.0;
+  int Count = 0;
+  for (double D : PerMode)
+    if (D >= 0) {
+      Sum += D;
+      ++Count;
+    }
+  return Count ? Sum / Count : 1.0;
+}

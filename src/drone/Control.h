@@ -1,0 +1,152 @@
+//===- drone/Control.h - Flight controllers and missions --------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two structurally different cascaded flight controllers over the same
+/// airframe, standing in for PX4 and Ardupilot in the paper's behavior
+/// learning case study (Sec. V-B5):
+///
+///  * ReferenceController ("PX4"): position -> velocity -> acceleration
+///    -> attitude -> rate cascade with well-chosen fixed gains.
+///  * StudentController ("Ardupilot"): position -> lean-angle cascade
+///    with per-flight-mode PID banks — 13 gains for each of the three
+///    flight modes plus a hover-throttle estimate: the paper's ~40
+///    tunables whose names and meanings do not line up with the
+///    reference's.
+///
+/// Missions are scripted as takeoff / waypoint / land phases; the
+/// executor logs per-step motor speeds grouped by flight mode, and
+/// behaviorDistance() computes the paper's scoring function — the RMS
+/// error between two controllers' motor-speed traces per mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DRONE_CONTROL_H
+#define WBT_DRONE_CONTROL_H
+
+#include "drone/Quad.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace wbt {
+namespace drone {
+
+enum class FlightMode { Takeoff = 0, Cruise = 1, Land = 2 };
+constexpr int NumFlightModes = 3;
+
+/// A mission: climb to altitude, visit waypoints, land.
+struct Mission {
+  double TakeoffAltitude = 10.0;
+  std::vector<Vec3> Waypoints;
+  double WaypointRadius = 1.0;
+  double MaxSeconds = 240.0;
+};
+
+/// The paper's two test missions plus the longer zigzag test mission.
+Mission hoverMission();   ///< take off to 10 m, land
+Mission routeMission();   ///< 45 m route with 3 waypoints
+Mission zigzagMission();  ///< 165 m zigzag returning to start
+
+/// Common controller interface: map state + setpoint to motor commands.
+class Controller {
+public:
+  virtual ~Controller();
+  virtual Motors control(const QuadState &S, const Vec3 &Target,
+                         FlightMode Mode, const QuadModel &Model) = 0;
+  /// Reset integrators between flights.
+  virtual void reset() = 0;
+};
+
+/// The well-tuned reference ("PX4").
+class ReferenceController : public Controller {
+public:
+  Motors control(const QuadState &S, const Vec3 &Target, FlightMode Mode,
+                 const QuadModel &Model) override;
+  void reset() override;
+
+private:
+  double VzInt = 0, VxInt = 0, VyInt = 0;
+};
+
+/// Per-mode gain bank of the student controller. Defaults are the
+/// deliberately poor factory values the tuner must improve.
+struct StudentModeGains {
+  double PosP = 0.25;     ///< position error -> velocity demand
+  double VelP = 0.8;      ///< velocity error -> lean/climb demand
+  double VelI = 0.0;
+  double VelD = 0.0;
+  double AngP = 1.2;      ///< lean error -> rate demand
+  double RateP = 0.05;    ///< rate error -> motor delta
+  double RateI = 0.0;
+  double RateD = 0.0;
+  double ThrP = 0.08;     ///< climb demand -> throttle delta
+  double ThrI = 0.0;
+  double MaxLean = 0.18;  ///< rad
+  double MaxClimb = 1.2;  ///< m/s
+  double MaxSpeed = 2.0;  ///< m/s horizontal
+};
+
+/// The 40 tunables: 13 per mode x 3 modes + hover throttle.
+struct StudentParams {
+  StudentModeGains Mode[NumFlightModes];
+  double HoverThrottle = 0.5;
+
+  /// Flat views used by the tuner (40 values).
+  std::vector<double> flatten() const;
+  static StudentParams unflatten(const std::vector<double> &Values);
+  static const char *valueName(size_t I);
+  static constexpr size_t NumValues = 40;
+};
+
+/// The learner ("Ardupilot"): different cascade, different knobs.
+class StudentController : public Controller {
+public:
+  explicit StudentController(const StudentParams &P) : P(P) {}
+
+  Motors control(const QuadState &S, const Vec3 &Target, FlightMode Mode,
+                 const QuadModel &Model) override;
+  void reset() override;
+
+  const StudentParams &params() const { return P; }
+
+private:
+  StudentParams P;
+  double VelIntX = 0, VelIntY = 0, VelIntZ = 0;
+  double RateIntR = 0, RateIntP = 0;
+  double ThrInt = 0;
+  double PrevVelErrX = 0, PrevVelErrY = 0, PrevVelErrZ = 0;
+  double PrevRateErrR = 0, PrevRateErrP = 0;
+};
+
+/// One flight's log.
+struct FlightTrace {
+  /// Per step: mode and the four motor speeds.
+  std::vector<FlightMode> Modes;
+  std::vector<Motors> MotorLog;
+  std::vector<Vec3> Positions;
+  double FlightSeconds = 0.0;
+  bool MissionCompleted = false;
+};
+
+/// Flies \p Mission with \p C; logs every step.
+FlightTrace fly(Controller &C, const Mission &M, const QuadModel &Model);
+
+/// The paper's scoring function: per-mode RMS error between the two
+/// traces' motor speeds, after resampling each mode segment to a common
+/// length. \returns the mean over modes present in both traces (lower is
+/// better).
+double behaviorDistance(const FlightTrace &A, const FlightTrace &B);
+
+/// Per-mode behavior distance (entries are -1 for modes absent from
+/// either trace).
+std::vector<double> behaviorDistancePerMode(const FlightTrace &A,
+                                            const FlightTrace &B);
+
+} // namespace drone
+} // namespace wbt
+
+#endif // WBT_DRONE_CONTROL_H

@@ -1,0 +1,74 @@
+//===- drone/Quad.cpp - Quadrotor rigid-body simulation --------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drone/Quad.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::drone;
+
+double Vec3::norm() const { return std::sqrt(X * X + Y * Y + Z * Z); }
+
+void wbt::drone::stepQuad(QuadState &S, const Motors &MIn,
+                          const QuadModel &Model) {
+  Motors M = MIn;
+  for (double &W : M)
+    W = std::clamp(W, 0.0, 1.0);
+
+  // Thrust is quadratic in normalized speed.
+  auto Thrust = [&](double W) { return Model.ThrustCoeff * W * W; };
+  double T0 = Thrust(M[0]), T1 = Thrust(M[1]), T2 = Thrust(M[2]),
+         T3 = Thrust(M[3]);
+  double Total = T0 + T1 + T2 + T3;
+
+  // Torques in the plus configuration: pitch from front/back pair, roll
+  // from left/right pair, yaw from drag torque imbalance.
+  double TauPitch = Model.ArmLength * (T2 - T0);
+  double TauRoll = Model.ArmLength * (T3 - T1);
+  double TauYaw =
+      Model.TorqueCoeff * (T0 - T1 + T2 - T3);
+
+  // Angular dynamics with linear damping.
+  S.RollRate += (TauRoll / Model.Inertia - Model.AngularDrag * S.RollRate) *
+                Model.Dt;
+  S.PitchRate += (TauPitch / Model.Inertia - Model.AngularDrag * S.PitchRate) *
+                 Model.Dt;
+  S.YawRate += (TauYaw / Model.YawInertia - Model.AngularDrag * S.YawRate) *
+               Model.Dt;
+  S.Roll += S.RollRate * Model.Dt;
+  S.Pitch += S.PitchRate * Model.Dt;
+  S.Yaw += S.YawRate * Model.Dt;
+  S.Roll = std::clamp(S.Roll, -0.9, 0.9);
+  S.Pitch = std::clamp(S.Pitch, -0.9, 0.9);
+
+  // Small-angle body-to-world thrust projection (yaw rotation applied to
+  // the lean direction).
+  double SinR = std::sin(S.Roll), SinP = std::sin(S.Pitch);
+  double CosR = std::cos(S.Roll), CosP = std::cos(S.Pitch);
+  double CosY = std::cos(S.Yaw), SinY = std::sin(S.Yaw);
+  double Ax = Total * (SinP * CosY + SinR * SinY) / Model.Mass;
+  double Ay = Total * (SinP * SinY - SinR * CosY) / Model.Mass;
+  double Az = Total * CosR * CosP / Model.Mass - Model.Gravity;
+
+  S.Vel.X += (Ax - Model.LinearDrag * S.Vel.X) * Model.Dt;
+  S.Vel.Y += (Ay - Model.LinearDrag * S.Vel.Y) * Model.Dt;
+  S.Vel.Z += (Az - Model.LinearDrag * S.Vel.Z) * Model.Dt;
+  S.Pos = S.Pos + S.Vel * Model.Dt;
+
+  // Ground contact.
+  if (S.Pos.Z < 0) {
+    S.Pos.Z = 0;
+    if (S.Vel.Z < 0)
+      S.Vel.Z = 0;
+  }
+}
+
+double wbt::drone::hoverSpeed(const QuadModel &Model) {
+  // 4 * ThrustCoeff * w^2 = Mass * Gravity.
+  return std::sqrt(Model.Mass * Model.Gravity / (4.0 * Model.ThrustCoeff));
+}

@@ -1,0 +1,66 @@
+//===- drone/Quad.h - Quadrotor rigid-body simulation -----------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small quadrotor flight-dynamics model (plus-configuration, Euler
+/// integration) standing in for the paper's Gazebo simulator in the
+/// Ardupilot/PX4 behavior-learning study (Sec. V-B5). Motor commands are
+/// normalized [0, 1] speeds; the paper's behavior-matching score compares
+/// exactly these four signals between controllers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DRONE_QUAD_H
+#define WBT_DRONE_QUAD_H
+
+#include <array>
+
+namespace wbt {
+namespace drone {
+
+struct Vec3 {
+  double X = 0, Y = 0, Z = 0;
+
+  Vec3 operator+(const Vec3 &O) const { return {X + O.X, Y + O.Y, Z + O.Z}; }
+  Vec3 operator-(const Vec3 &O) const { return {X - O.X, Y - O.Y, Z - O.Z}; }
+  Vec3 operator*(double S) const { return {X * S, Y * S, Z * S}; }
+  double norm() const;
+};
+
+/// Normalized motor speeds: {front, right, back, left}.
+using Motors = std::array<double, 4>;
+
+struct QuadState {
+  Vec3 Pos;    ///< world position (Z up), meters
+  Vec3 Vel;    ///< world velocity, m/s
+  double Roll = 0, Pitch = 0, Yaw = 0;   ///< radians
+  double RollRate = 0, PitchRate = 0, YawRate = 0;
+};
+
+struct QuadModel {
+  double Mass = 1.2;        ///< kg
+  double ArmLength = 0.25;  ///< m
+  double ThrustCoeff = 8.0; ///< N at full speed, per motor pair scaling
+  double TorqueCoeff = 0.4;
+  double Inertia = 0.06;    ///< kg m^2 (diagonal, symmetric)
+  double YawInertia = 0.1;
+  double LinearDrag = 0.35;
+  double AngularDrag = 0.6;
+  double Gravity = 9.81;
+  double Dt = 0.02; ///< integration step, seconds
+};
+
+/// Advances \p S by one Dt step under motor command \p M (clamped to
+/// [0, 1] internally).
+void stepQuad(QuadState &S, const Motors &M, const QuadModel &Model);
+
+/// Hover command: the per-motor speed that balances gravity.
+double hoverSpeed(const QuadModel &Model);
+
+} // namespace drone
+} // namespace wbt
+
+#endif // WBT_DRONE_QUAD_H

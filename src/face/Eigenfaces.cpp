@@ -1,0 +1,305 @@
+//===- face/Eigenfaces.cpp - PCA face identification ------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "face/Eigenfaces.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace wbt;
+using namespace wbt::face;
+
+namespace {
+
+/// Identity archetype: smooth geometric "face" parameters.
+struct Identity {
+  double EyeY, EyeSpacing, EyeSize;
+  double NoseLen, MouthY, MouthWidth, FaceWidth, Brightness;
+};
+
+Identity makeIdentity(Rng &R) {
+  Identity Id;
+  Id.EyeY = R.uniform(4.0, 6.5);
+  Id.EyeSpacing = R.uniform(2.5, 5.0);
+  Id.EyeSize = R.uniform(0.8, 1.8);
+  Id.NoseLen = R.uniform(2.0, 5.0);
+  Id.MouthY = R.uniform(10.5, 13.5);
+  Id.MouthWidth = R.uniform(2.0, 5.5);
+  Id.FaceWidth = R.uniform(5.0, 7.5);
+  Id.Brightness = R.uniform(0.55, 0.9);
+  return Id;
+}
+
+/// Renders a face with feature jitter \p Variation and pixel noise.
+FaceVector renderFace(const Identity &Base, double Variation, double Noise,
+                      Rng &R) {
+  Identity Id = Base;
+  Id.EyeY += R.gaussian(0, Variation);
+  Id.EyeSpacing += R.gaussian(0, Variation);
+  Id.NoseLen += R.gaussian(0, Variation);
+  Id.MouthWidth += R.gaussian(0, Variation * 2);
+  FaceVector F(static_cast<size_t>(FaceDim) * FaceDim, 0.1);
+  double CX = FaceDim / 2.0;
+  for (int Y = 0; Y != FaceDim; ++Y)
+    for (int X = 0; X != FaceDim; ++X) {
+      double V = 0.1;
+      double DX = X - CX, DY = Y - FaceDim / 2.0;
+      // Head oval.
+      if (DX * DX / (Id.FaceWidth * Id.FaceWidth) +
+              DY * DY / (7.5 * 7.5) <=
+          1.0)
+        V = Id.Brightness;
+      // Eyes.
+      for (double Sign : {-1.0, 1.0}) {
+        double EX = CX + Sign * Id.EyeSpacing;
+        if ((X - EX) * (X - EX) + (Y - Id.EyeY) * (Y - Id.EyeY) <=
+            Id.EyeSize * Id.EyeSize)
+          V = 0.05;
+      }
+      // Nose line.
+      if (std::fabs(X - CX) < 0.8 && Y > Id.EyeY + 1 &&
+          Y < Id.EyeY + 1 + Id.NoseLen)
+        V *= 0.55;
+      // Mouth.
+      if (std::fabs(Y - Id.MouthY) < 0.8 && std::fabs(X - CX) < Id.MouthWidth)
+        V = 0.15;
+      F[static_cast<size_t>(Y) * FaceDim + X] =
+          std::clamp(V + R.gaussian(0.0, Noise), 0.0, 1.0);
+    }
+  return F;
+}
+
+FaceVector boxSmooth(const FaceVector &F, int Radius) {
+  if (Radius <= 0)
+    return F;
+  FaceVector Out(F.size(), 0.0);
+  for (int Y = 0; Y != FaceDim; ++Y)
+    for (int X = 0; X != FaceDim; ++X) {
+      double Sum = 0.0;
+      int Count = 0;
+      for (int DY = -Radius; DY <= Radius; ++DY)
+        for (int DX = -Radius; DX <= Radius; ++DX) {
+          int NX = X + DX, NY = Y + DY;
+          if (NX < 0 || NX >= FaceDim || NY < 0 || NY >= FaceDim)
+            continue;
+          Sum += F[static_cast<size_t>(NY) * FaceDim + NX];
+          ++Count;
+        }
+      Out[static_cast<size_t>(Y) * FaceDim + X] = Sum / Count;
+    }
+  return Out;
+}
+
+double distanceOf(FaceMetric Metric, const std::vector<double> &A,
+                  const std::vector<double> &B) {
+  double D = 0.0;
+  switch (Metric) {
+  case FaceMetric::L1:
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      D += std::fabs(A[I] - B[I]);
+    return D;
+  case FaceMetric::L2:
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      D += (A[I] - B[I]) * (A[I] - B[I]);
+    return D;
+  case FaceMetric::Cosine: {
+    double Dot = 0, NA = 0, NB = 0;
+    for (size_t I = 0, E = A.size(); I != E; ++I) {
+      Dot += A[I] * B[I];
+      NA += A[I] * A[I];
+      NB += B[I] * B[I];
+    }
+    return 1.0 - Dot / (std::sqrt(NA * NB) + 1e-12);
+  }
+  }
+  return D;
+}
+
+} // namespace
+
+void wbt::face::jacobiEigen(std::vector<std::vector<double>> A,
+                            std::vector<double> &Values,
+                            std::vector<std::vector<double>> &Vectors) {
+  size_t N = A.size();
+  Vectors.assign(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I != N; ++I)
+    Vectors[I][I] = 1.0;
+
+  for (int Sweep = 0; Sweep != 60; ++Sweep) {
+    double Off = 0.0;
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = I + 1; J != N; ++J)
+        Off += A[I][J] * A[I][J];
+    if (Off < 1e-18)
+      break;
+    for (size_t P = 0; P != N; ++P)
+      for (size_t Q = P + 1; Q != N; ++Q) {
+        if (std::fabs(A[P][Q]) < 1e-15)
+          continue;
+        double Theta = (A[Q][Q] - A[P][P]) / (2.0 * A[P][Q]);
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+        for (size_t K = 0; K != N; ++K) {
+          double AKP = A[K][P], AKQ = A[K][Q];
+          A[K][P] = C * AKP - S * AKQ;
+          A[K][Q] = S * AKP + C * AKQ;
+        }
+        for (size_t K = 0; K != N; ++K) {
+          double APK = A[P][K], AQK = A[Q][K];
+          A[P][K] = C * APK - S * AQK;
+          A[Q][K] = S * APK + C * AQK;
+        }
+        for (size_t K = 0; K != N; ++K) {
+          double VKP = Vectors[K][P], VKQ = Vectors[K][Q];
+          Vectors[K][P] = C * VKP - S * VKQ;
+          Vectors[K][Q] = S * VKP + C * VKQ;
+        }
+      }
+  }
+
+  // Sort by descending eigenvalue; Vectors columns -> rows.
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I != N; ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t X, size_t Y) { return A[X][X] > A[Y][Y]; });
+  Values.resize(N);
+  std::vector<std::vector<double>> Sorted(N, std::vector<double>(N));
+  for (size_t I = 0; I != N; ++I) {
+    Values[I] = A[Order[I]][Order[I]];
+    for (size_t K = 0; K != N; ++K)
+      Sorted[I][K] = Vectors[K][Order[I]];
+  }
+  Vectors = std::move(Sorted);
+}
+
+FaceDataset wbt::face::makeFaceDataset(uint64_t Seed, int Index,
+                                       const FaceDatasetOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 99);
+  FaceDataset D;
+  D.NumIdentities = Opts.Identities;
+  double Noise = R.uniform(Opts.NoiseLo, Opts.NoiseHi);
+  double Variation = R.uniform(Opts.VariationLo, Opts.VariationHi);
+  for (int Id = 0; Id != Opts.Identities; ++Id) {
+    Identity Base = makeIdentity(R);
+    for (int G = 0; G != Opts.GalleryPerId; ++G) {
+      D.Gallery.push_back(renderFace(Base, Variation * 0.4, Noise * 0.5, R));
+      D.GalleryIds.push_back(Id);
+    }
+    for (int P = 0; P != Opts.ProbesPerId; ++P) {
+      D.Probes.push_back(renderFace(Base, Variation, Noise, R));
+      D.ProbeIds.push_back(Id);
+    }
+  }
+  return D;
+}
+
+std::vector<double> EigenfaceModel::project(const FaceVector &Face) const {
+  FaceVector Centered = boxSmooth(Face, Params.SmoothRadius);
+  for (size_t I = 0, E = Centered.size(); I != E; ++I)
+    Centered[I] -= Mean[I];
+  std::vector<double> Out(Components.size(), 0.0);
+  for (size_t C = 0; C != Components.size(); ++C) {
+    double Dot = 0.0;
+    for (size_t I = 0, E = Centered.size(); I != E; ++I)
+      Dot += Components[C][I] * Centered[I];
+    Out[C] = Dot;
+  }
+  return Out;
+}
+
+int EigenfaceModel::identify(const FaceVector &Face) const {
+  std::vector<double> P = project(Face);
+  int Best = -1;
+  double BestD = std::numeric_limits<double>::infinity();
+  for (size_t G = 0; G != GalleryProjections.size(); ++G) {
+    double D = distanceOf(Params.Metric, P, GalleryProjections[G]);
+    if (D < BestD) {
+      BestD = D;
+      Best = GalleryIds[G];
+    }
+  }
+  return Best;
+}
+
+EigenfaceModel wbt::face::trainEigenfaces(const FaceDataset &Data,
+                                          const FaceParams &P) {
+  assert(!Data.Gallery.empty() && "empty gallery");
+  size_t N = Data.Gallery.size();
+  size_t Dim = Data.Gallery[0].size();
+
+  EigenfaceModel M;
+  M.Params = P;
+  M.Params.NumComponents =
+      std::clamp(P.NumComponents, 1, static_cast<int>(N));
+
+  std::vector<FaceVector> Smoothed;
+  Smoothed.reserve(N);
+  for (const FaceVector &F : Data.Gallery)
+    Smoothed.push_back(boxSmooth(F, P.SmoothRadius));
+
+  M.Mean.assign(Dim, 0.0);
+  for (const FaceVector &F : Smoothed)
+    for (size_t I = 0; I != Dim; ++I)
+      M.Mean[I] += F[I];
+  for (double &V : M.Mean)
+    V /= static_cast<double>(N);
+
+  // Gram trick: eigenvectors of the small N x N matrix X X^T map to
+  // principal components X^T v.
+  std::vector<FaceVector> Centered = Smoothed;
+  for (FaceVector &F : Centered)
+    for (size_t I = 0; I != Dim; ++I)
+      F[I] -= M.Mean[I];
+  std::vector<std::vector<double>> Gram(N, std::vector<double>(N, 0.0));
+  for (size_t A = 0; A != N; ++A)
+    for (size_t B = A; B != N; ++B) {
+      double Dot = 0.0;
+      for (size_t I = 0; I != Dim; ++I)
+        Dot += Centered[A][I] * Centered[B][I];
+      Gram[A][B] = Dot;
+      Gram[B][A] = Dot;
+    }
+  std::vector<double> Values;
+  std::vector<std::vector<double>> Vectors;
+  jacobiEigen(std::move(Gram), Values, Vectors);
+
+  for (int C = 0; C != M.Params.NumComponents; ++C) {
+    if (Values[static_cast<size_t>(C)] < 1e-9)
+      break;
+    FaceVector Comp(Dim, 0.0);
+    for (size_t A = 0; A != N; ++A)
+      for (size_t I = 0; I != Dim; ++I)
+        Comp[I] += Vectors[static_cast<size_t>(C)][A] * Centered[A][I];
+    double Norm = 0.0;
+    for (double V : Comp)
+      Norm += V * V;
+    Norm = std::sqrt(Norm) + 1e-12;
+    for (double &V : Comp)
+      V /= Norm;
+    M.Components.push_back(std::move(Comp));
+  }
+
+  for (size_t G = 0; G != N; ++G) {
+    M.GalleryProjections.push_back(M.project(Data.Gallery[G]));
+    M.GalleryIds.push_back(Data.GalleryIds[G]);
+  }
+  return M;
+}
+
+double wbt::face::identificationError(const EigenfaceModel &M,
+                                      const FaceDataset &Data) {
+  if (Data.Probes.empty())
+    return 0.0;
+  long Wrong = 0;
+  for (size_t P = 0; P != Data.Probes.size(); ++P)
+    Wrong += M.identify(Data.Probes[P]) != Data.ProbeIds[P];
+  return static_cast<double>(Wrong) / static_cast<double>(Data.Probes.size());
+}

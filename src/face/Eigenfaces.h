@@ -1,0 +1,95 @@
+//===- face/Eigenfaces.h - PCA face identification ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eigenfaces identification in the style of the CSU face identification
+/// system (the paper's [18]): PCA over a gallery of face vectors (via the
+/// Gram-matrix trick and a Jacobi eigensolver), nearest-neighbor matching
+/// in the projected space. The paper's three tunables: the number of
+/// retained components, the distance metric, and the preprocessing
+/// smoothing radius. Quality is the misidentification rate (lower is
+/// better, matching Table I's MIN aggregation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_FACE_EIGENFACES_H
+#define WBT_FACE_EIGENFACES_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace face {
+
+/// A face image flattened to a vector (FaceDim x FaceDim).
+using FaceVector = std::vector<double>;
+constexpr int FaceDim = 16;
+
+enum class FaceMetric { L1, L2, Cosine };
+
+struct FaceParams {
+  int NumComponents = 12;
+  FaceMetric Metric = FaceMetric::L2;
+  /// Box-smoothing radius applied to every image before PCA [0, 3].
+  int SmoothRadius = 0;
+};
+
+/// Labeled face set.
+struct FaceDataset {
+  std::vector<FaceVector> Gallery;
+  std::vector<int> GalleryIds;
+  std::vector<FaceVector> Probes;
+  std::vector<int> ProbeIds;
+  int NumIdentities = 0;
+};
+
+struct FaceDatasetOptions {
+  int Identities = 15;
+  int GalleryPerId = 2;
+  int ProbesPerId = 3;
+  /// Probe rendering noise range (per dataset).
+  double NoiseLo = 0.02;
+  double NoiseHi = 0.12;
+  /// Probe expression variation (feature jitter).
+  double VariationLo = 0.05;
+  double VariationHi = 0.25;
+};
+
+FaceDataset makeFaceDataset(uint64_t Seed, int Index,
+                            const FaceDatasetOptions &Opts =
+                                FaceDatasetOptions());
+
+/// A trained eigenface model.
+struct EigenfaceModel {
+  FaceVector Mean;
+  /// Row-major components (NumComponents x FaceDim^2).
+  std::vector<FaceVector> Components;
+  /// Gallery projections and ids.
+  std::vector<std::vector<double>> GalleryProjections;
+  std::vector<int> GalleryIds;
+  FaceParams Params;
+
+  std::vector<double> project(const FaceVector &Face) const;
+  /// Identity of the nearest gallery face.
+  int identify(const FaceVector &Face) const;
+};
+
+EigenfaceModel trainEigenfaces(const FaceDataset &Data, const FaceParams &P);
+
+/// Fraction of probes identified incorrectly.
+double identificationError(const EigenfaceModel &M, const FaceDataset &Data);
+
+/// Symmetric Jacobi eigendecomposition (descending eigenvalues); exposed
+/// for testing.
+void jacobiEigen(std::vector<std::vector<double>> A,
+                 std::vector<double> &Values,
+                 std::vector<std::vector<double>> &Vectors);
+
+} // namespace face
+} // namespace wbt
+
+#endif // WBT_FACE_EIGENFACES_H

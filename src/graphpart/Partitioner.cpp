@@ -1,0 +1,262 @@
+//===- graphpart/Partitioner.cpp - Multilevel graph partitioning -----------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graphpart/Partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace wbt;
+using namespace wbt::gp;
+
+void Graph::addEdge(int A, int B, double W) {
+  assert(A != B && "self loops are not representable");
+  Adj[static_cast<size_t>(A)].push_back(Edge{B, W});
+  Adj[static_cast<size_t>(B)].push_back(Edge{A, W});
+}
+
+double Graph::totalVertexWeight() const {
+  double Sum = 0.0;
+  for (double W : VertexWeight)
+    Sum += W;
+  return Sum;
+}
+
+double wbt::gp::edgeCut(const Graph &G, const std::vector<int> &Assignment) {
+  double Cut = 0.0;
+  for (int V = 0; V != G.numVertices(); ++V)
+    for (const Graph::Edge &E : G.Adj[static_cast<size_t>(V)])
+      if (Assignment[static_cast<size_t>(V)] !=
+          Assignment[static_cast<size_t>(E.To)])
+        Cut += E.Weight;
+  return Cut / 2.0; // every edge visited from both ends
+}
+
+namespace {
+
+struct Level {
+  Graph G;
+  /// Fine-vertex -> coarse-vertex map into the next level.
+  std::vector<int> Map;
+};
+
+/// One round of heavy-edge matching; returns the coarser graph and fills
+/// \p Map. Returns false when coarsening made no progress.
+bool coarsenOnce(const Graph &Fine, Graph &Coarse, std::vector<int> &Map,
+                 Rng &R) {
+  int N = Fine.numVertices();
+  std::vector<int> Order(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Order[static_cast<size_t>(I)] = I;
+  R.shuffle(Order);
+
+  Map.assign(static_cast<size_t>(N), -1);
+  int NextCoarse = 0;
+  for (int V : Order) {
+    if (Map[static_cast<size_t>(V)] != -1)
+      continue;
+    // Heaviest unmatched neighbor.
+    int Best = -1;
+    double BestW = -1.0;
+    for (const Graph::Edge &E : Fine.Adj[static_cast<size_t>(V)])
+      if (Map[static_cast<size_t>(E.To)] == -1 && E.Weight > BestW) {
+        BestW = E.Weight;
+        Best = E.To;
+      }
+    int C = NextCoarse++;
+    Map[static_cast<size_t>(V)] = C;
+    if (Best != -1)
+      Map[static_cast<size_t>(Best)] = C;
+  }
+  if (NextCoarse >= N)
+    return false;
+
+  Coarse.Adj.assign(static_cast<size_t>(NextCoarse), {});
+  Coarse.VertexWeight.assign(static_cast<size_t>(NextCoarse), 0.0);
+  for (int V = 0; V != N; ++V)
+    Coarse.VertexWeight[static_cast<size_t>(Map[static_cast<size_t>(V)])] +=
+        Fine.VertexWeight[static_cast<size_t>(V)];
+  // Merge parallel edges.
+  std::map<std::pair<int, int>, double> Merged;
+  for (int V = 0; V != N; ++V) {
+    int CV = Map[static_cast<size_t>(V)];
+    for (const Graph::Edge &E : Fine.Adj[static_cast<size_t>(V)]) {
+      int CU = Map[static_cast<size_t>(E.To)];
+      if (CV == CU || CV > CU)
+        continue; // skip contracted edges; count each pair once
+      Merged[{CV, CU}] += E.Weight;
+    }
+  }
+  for (auto &[Key, W] : Merged)
+    Coarse.addEdge(Key.first, Key.second, W);
+  return true;
+}
+
+/// Greedy region-growing initial k-way partition.
+std::vector<int> initialPartition(const Graph &G, int K, double MaxPart,
+                                  Rng &R) {
+  int N = G.numVertices();
+  std::vector<int> Assign(static_cast<size_t>(N), -1);
+  std::vector<double> PartWeight(static_cast<size_t>(K), 0.0);
+  for (int Part = 0; Part != K - 1; ++Part) {
+    // Seed at a random unassigned vertex, grow by BFS until the target.
+    std::vector<int> Unassigned;
+    for (int V = 0; V != N; ++V)
+      if (Assign[static_cast<size_t>(V)] == -1)
+        Unassigned.push_back(V);
+    if (Unassigned.empty())
+      break;
+    std::deque<int> Work{Unassigned[R.index(Unassigned.size())]};
+    while (!Work.empty() && PartWeight[static_cast<size_t>(Part)] < MaxPart) {
+      int V = Work.front();
+      Work.pop_front();
+      if (Assign[static_cast<size_t>(V)] != -1)
+        continue;
+      Assign[static_cast<size_t>(V)] = Part;
+      PartWeight[static_cast<size_t>(Part)] +=
+          G.VertexWeight[static_cast<size_t>(V)];
+      for (const Graph::Edge &E : G.Adj[static_cast<size_t>(V)])
+        if (Assign[static_cast<size_t>(E.To)] == -1)
+          Work.push_back(E.To);
+    }
+  }
+  // Everything left goes to the lightest part.
+  for (int V = 0; V != N; ++V) {
+    if (Assign[static_cast<size_t>(V)] != -1)
+      continue;
+    size_t Lightest = 0;
+    for (size_t P = 1; P != PartWeight.size(); ++P)
+      if (PartWeight[P] < PartWeight[Lightest])
+        Lightest = P;
+    Assign[static_cast<size_t>(V)] = static_cast<int>(Lightest);
+    PartWeight[Lightest] += G.VertexWeight[static_cast<size_t>(V)];
+  }
+  return Assign;
+}
+
+/// Greedy boundary refinement (KL-style single-vertex moves).
+void refine(const Graph &G, std::vector<int> &Assign, int K, double MaxPart,
+            int Passes, Rng &R) {
+  int N = G.numVertices();
+  std::vector<double> PartWeight(static_cast<size_t>(K), 0.0);
+  for (int V = 0; V != N; ++V)
+    PartWeight[static_cast<size_t>(Assign[static_cast<size_t>(V)])] +=
+        G.VertexWeight[static_cast<size_t>(V)];
+
+  std::vector<int> Order(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Order[static_cast<size_t>(I)] = I;
+
+  for (int Pass = 0; Pass != Passes; ++Pass) {
+    R.shuffle(Order);
+    bool Moved = false;
+    for (int V : Order) {
+      int Own = Assign[static_cast<size_t>(V)];
+      // Connectivity to each part.
+      std::vector<double> Link(static_cast<size_t>(K), 0.0);
+      for (const Graph::Edge &E : G.Adj[static_cast<size_t>(V)])
+        Link[static_cast<size_t>(Assign[static_cast<size_t>(E.To)])] +=
+            E.Weight;
+      int BestPart = Own;
+      double BestGain = 0.0;
+      for (int P = 0; P != K; ++P) {
+        if (P == Own)
+          continue;
+        double Gain = Link[static_cast<size_t>(P)] -
+                      Link[static_cast<size_t>(Own)];
+        bool Fits = PartWeight[static_cast<size_t>(P)] +
+                        G.VertexWeight[static_cast<size_t>(V)] <=
+                    MaxPart;
+        if (Gain > BestGain && Fits) {
+          BestGain = Gain;
+          BestPart = P;
+        }
+      }
+      if (BestPart != Own) {
+        PartWeight[static_cast<size_t>(Own)] -=
+            G.VertexWeight[static_cast<size_t>(V)];
+        PartWeight[static_cast<size_t>(BestPart)] +=
+            G.VertexWeight[static_cast<size_t>(V)];
+        Assign[static_cast<size_t>(V)] = BestPart;
+        Moved = true;
+      }
+    }
+    if (!Moved)
+      break;
+  }
+}
+
+} // namespace
+
+PartitionResult wbt::gp::partition(const Graph &G, const PartitionParams &P) {
+  assert(P.NumParts >= 2 && "need at least two parts");
+  Rng R(P.Seed);
+  PartitionResult Res;
+  Res.Levels = 0;
+
+  // Coarsening phase.
+  std::vector<Level> Levels;
+  Graph Current = G;
+  while (Current.numVertices() > std::max(P.CoarsenTo, 2 * P.NumParts)) {
+    Level L;
+    if (!coarsenOnce(Current, L.G, L.Map, R))
+      break;
+    std::swap(L.G, Current); // L.G = fine graph, Current = coarse
+    Levels.push_back(std::move(L));
+    ++Res.Levels;
+  }
+  Res.CoarsestSize = Current.numVertices();
+
+  // Initial partition on the coarsest graph.
+  double Target = G.totalVertexWeight() / P.NumParts;
+  double MaxPart = Target * (1.0 + P.Imbalance);
+  std::vector<int> Assign = initialPartition(Current, P.NumParts, MaxPart, R);
+  refine(Current, Assign, P.NumParts, MaxPart, P.RefinePasses, R);
+
+  // Uncoarsening with refinement at every level.
+  for (size_t I = Levels.size(); I-- > 0;) {
+    const Level &L = Levels[I];
+    std::vector<int> FineAssign(L.Map.size());
+    for (size_t V = 0; V != L.Map.size(); ++V)
+      FineAssign[V] = Assign[static_cast<size_t>(L.Map[V])];
+    Assign = std::move(FineAssign);
+    refine(L.G, Assign, P.NumParts, MaxPart, P.RefinePasses, R);
+  }
+
+  Res.EdgeCut = edgeCut(G, Assign);
+  std::vector<double> PartWeight(static_cast<size_t>(P.NumParts), 0.0);
+  for (int V = 0; V != G.numVertices(); ++V)
+    PartWeight[static_cast<size_t>(Assign[static_cast<size_t>(V)])] +=
+        G.VertexWeight[static_cast<size_t>(V)];
+  double MaxW = *std::max_element(PartWeight.begin(), PartWeight.end());
+  Res.BalanceRatio = Target > 0 ? MaxW / Target : 1.0;
+  Res.Assignment = std::move(Assign);
+  return Res;
+}
+
+PlantedGraph wbt::gp::makePlantedGraph(uint64_t Seed, int Index,
+                                       const PlantedGraphOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 555);
+  PlantedGraph Out;
+  int N = Opts.Communities * Opts.VerticesPerCommunity;
+  Out.G.Adj.assign(static_cast<size_t>(N), {});
+  Out.G.VertexWeight.assign(static_cast<size_t>(N), 1.0);
+  Out.TrueCommunity.resize(static_cast<size_t>(N));
+  for (int V = 0; V != N; ++V)
+    Out.TrueCommunity[static_cast<size_t>(V)] =
+        V / Opts.VerticesPerCommunity;
+  for (int A = 0; A != N; ++A)
+    for (int B = A + 1; B != N; ++B) {
+      bool Same = Out.TrueCommunity[static_cast<size_t>(A)] ==
+                  Out.TrueCommunity[static_cast<size_t>(B)];
+      double Prob = Same ? Opts.IntraProb : Opts.InterProb;
+      if (R.flip(Prob))
+        Out.G.addEdge(A, B, 1.0);
+    }
+  return Out;
+}

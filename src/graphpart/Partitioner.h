@@ -1,0 +1,88 @@
+//===- graphpart/Partitioner.h - Multilevel graph partitioning --*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A METIS-style multilevel k-way partitioner (Karypis & Kumar, the
+/// paper's [38]): heavy-edge-matching coarsening, greedy region-growing
+/// initial partition, and boundary Kernighan-Lin refinement during
+/// uncoarsening. The paper's three tunables: the coarsening stop size,
+/// the allowed imbalance, and the number of refinement passes. Quality is
+/// the edge cut (lower is better).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_GRAPHPART_PARTITIONER_H
+#define WBT_GRAPHPART_PARTITIONER_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace gp {
+
+/// Undirected weighted graph in adjacency-list form.
+struct Graph {
+  struct Edge {
+    int To;
+    double Weight;
+  };
+  std::vector<std::vector<Edge>> Adj;
+  std::vector<double> VertexWeight;
+
+  int numVertices() const { return static_cast<int>(Adj.size()); }
+  void addEdge(int A, int B, double W);
+  double totalVertexWeight() const;
+};
+
+struct PartitionParams {
+  int NumParts = 4;
+  /// Stop coarsening when the graph has at most this many vertices.
+  int CoarsenTo = 40;
+  /// Allowed part weight = (1 + Imbalance) * average.
+  double Imbalance = 0.05;
+  /// Boundary refinement passes per uncoarsening level.
+  int RefinePasses = 4;
+  uint64_t Seed = 1;
+};
+
+struct PartitionResult {
+  std::vector<int> Assignment;
+  double EdgeCut = 0.0;
+  /// max part weight / average part weight.
+  double BalanceRatio = 1.0;
+  int CoarsestSize = 0;
+  int Levels = 0;
+};
+
+/// Multilevel k-way partitioning of \p G.
+PartitionResult partition(const Graph &G, const PartitionParams &P);
+
+/// Edge cut of an assignment.
+double edgeCut(const Graph &G, const std::vector<int> &Assignment);
+
+/// Planted-partition random graph: \p Communities dense groups with
+/// sparse cross edges; ground truth is the planted community per vertex.
+struct PlantedGraph {
+  Graph G;
+  std::vector<int> TrueCommunity;
+};
+
+struct PlantedGraphOptions {
+  int Communities = 4;
+  int VerticesPerCommunity = 60;
+  double IntraProb = 0.16;
+  double InterProb = 0.01;
+};
+
+PlantedGraph makePlantedGraph(uint64_t Seed, int Index,
+                              const PlantedGraphOptions &Opts =
+                                  PlantedGraphOptions());
+
+} // namespace gp
+} // namespace wbt
+
+#endif // WBT_GRAPHPART_PARTITIONER_H

@@ -1,0 +1,85 @@
+//===- image/Canny.cpp - Canny edge detector ------------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Canny.h"
+
+#include <deque>
+
+using namespace wbt;
+using namespace wbt::img;
+
+Image wbt::img::nonMaxSuppress(const Gradient &G) {
+  int W = G.Magnitude.width(), H = G.Magnitude.height();
+  Image Out(W, H);
+  // Neighbor offsets along each quantized gradient direction.
+  static const int DX[4] = {1, 1, 0, -1};
+  static const int DY[4] = {0, 1, 1, 1};
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      float M = G.Magnitude.at(X, Y);
+      int D = G.Direction[static_cast<size_t>(Y) * W + X];
+      float A = G.Magnitude.atClamped(X + DX[D], Y + DY[D]);
+      float B = G.Magnitude.atClamped(X - DX[D], Y - DY[D]);
+      Out.at(X, Y) = (M >= A && M >= B) ? M : 0.0f;
+    }
+  return Out;
+}
+
+std::vector<uint8_t> wbt::img::hysteresis(const Image &Suppressed, double Low,
+                                          double High) {
+  int W = Suppressed.width(), H = Suppressed.height();
+  std::vector<uint8_t> Mask(static_cast<size_t>(W) * H, 0);
+  float MaxMag = Suppressed.maxValue();
+  // Flat images have only numerical-noise gradients; no edges exist.
+  if (MaxMag <= 1e-5f)
+    return Mask;
+  if (Low > High)
+    std::swap(Low, High);
+  float LowT = static_cast<float>(Low) * MaxMag;
+  float HighT = static_cast<float>(High) * MaxMag;
+
+  // Seed from strong pixels and grow 8-connected through weak pixels.
+  std::deque<std::pair<int, int>> Work;
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X)
+      if (Suppressed.at(X, Y) >= HighT) {
+        Mask[static_cast<size_t>(Y) * W + X] = 1;
+        Work.emplace_back(X, Y);
+      }
+  while (!Work.empty()) {
+    auto [X, Y] = Work.front();
+    Work.pop_front();
+    for (int DY = -1; DY <= 1; ++DY)
+      for (int DX = -1; DX <= 1; ++DX) {
+        int NX = X + DX, NY = Y + DY;
+        if (!Suppressed.inBounds(NX, NY))
+          continue;
+        size_t Idx = static_cast<size_t>(NY) * W + NX;
+        if (Mask[Idx] || Suppressed.at(NX, NY) < LowT)
+          continue;
+        Mask[Idx] = 1;
+        Work.emplace_back(NX, NY);
+      }
+  }
+  return Mask;
+}
+
+std::vector<uint8_t> wbt::img::canny(const Image &In, double Sigma, double Low,
+                                     double High) {
+  Image Smoothed = gaussianSmooth(In, Sigma);
+  Gradient G = sobel(Smoothed);
+  Image Suppressed = nonMaxSuppress(G);
+  return hysteresis(Suppressed, Low, High);
+}
+
+double wbt::img::edgeFraction(const std::vector<uint8_t> &Mask) {
+  if (Mask.empty())
+    return 0.0;
+  size_t Set = 0;
+  for (uint8_t M : Mask)
+    Set += M != 0;
+  return static_cast<double>(Set) / static_cast<double>(Mask.size());
+}

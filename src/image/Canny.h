@@ -1,0 +1,49 @@
+//===- image/Canny.h - Canny edge detector ----------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged Canny edge detector of paper Sec. II-B, with the stage
+/// boundaries the paper tunes across: Gaussian smoothing (parameter
+/// sigma), gradient + non-maximal suppression, and hysteresis edge
+/// traversal (parameters low and high, as fractions of the maximum
+/// gradient magnitude). Each stage is exported separately so the
+/// white-box tuner can sample inside the pipeline; canny() composes them
+/// for black-box use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_CANNY_H
+#define WBT_IMAGE_CANNY_H
+
+#include "image/Filters.h"
+
+namespace wbt {
+namespace img {
+
+/// Stage 2: gradient magnitude after non-maximal suppression — pixels
+/// that are not local maxima along their gradient direction are zeroed.
+Image nonMaxSuppress(const Gradient &G);
+
+/// Stage 3: hysteresis edge traversal. \p Low and \p High are fractions
+/// of the maximum suppressed magnitude (0..1, Low <= High): pixels above
+/// High seed edges, pixels above Low extend them (8-connected).
+/// \returns a 0/1 edge mask.
+std::vector<uint8_t> hysteresis(const Image &Suppressed, double Low,
+                                double High);
+
+/// The full pipeline: smooth(Sigma) -> sobel -> NMS -> hysteresis.
+std::vector<uint8_t> canny(const Image &In, double Sigma, double Low,
+                           double High);
+
+/// Edge-count plausibility heuristic used when no scoring function exists
+/// (paper Sec. II-D): a result with almost no edge pixels or mostly edge
+/// pixels is a poor sample. \returns the edge-pixel fraction.
+double edgeFraction(const std::vector<uint8_t> &Mask);
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_CANNY_H

@@ -1,0 +1,101 @@
+//===- image/Filters.cpp - Convolution and gradients ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Filters.h"
+
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::img;
+
+std::vector<float> wbt::img::gaussianKernel(double Sigma) {
+  int Radius = static_cast<int>(std::ceil(3.0 * Sigma));
+  if (Radius < 1)
+    Radius = 1;
+  std::vector<float> K(static_cast<size_t>(2 * Radius + 1));
+  double Sum = 0.0;
+  for (int I = -Radius; I <= Radius; ++I) {
+    double V = std::exp(-(I * I) / (2.0 * Sigma * Sigma));
+    K[static_cast<size_t>(I + Radius)] = static_cast<float>(V);
+    Sum += V;
+  }
+  for (float &V : K)
+    V = static_cast<float>(V / Sum);
+  return K;
+}
+
+Image wbt::img::convolveSeparable(const Image &In,
+                                  const std::vector<float> &Kernel) {
+  int Radius = static_cast<int>(Kernel.size() / 2);
+  int W = In.width(), H = In.height();
+  Image Tmp(W, H), Out(W, H);
+  // Horizontal pass.
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      float Acc = 0.0f;
+      for (int I = -Radius; I <= Radius; ++I)
+        Acc += Kernel[static_cast<size_t>(I + Radius)] * In.atClamped(X + I, Y);
+      Tmp.at(X, Y) = Acc;
+    }
+  // Vertical pass.
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      float Acc = 0.0f;
+      for (int I = -Radius; I <= Radius; ++I)
+        Acc += Kernel[static_cast<size_t>(I + Radius)] *
+               Tmp.atClamped(X, Y + I);
+      Out.at(X, Y) = Acc;
+    }
+  return Out;
+}
+
+Image wbt::img::gaussianSmooth(const Image &In, double Sigma) {
+  if (Sigma <= 0.0)
+    return In;
+  return convolveSeparable(In, gaussianKernel(Sigma));
+}
+
+Gradient wbt::img::sobel(const Image &In) {
+  int W = In.width(), H = In.height();
+  Gradient G;
+  G.Magnitude = Image(W, H);
+  G.Direction.assign(static_cast<size_t>(W) * H, 0);
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      float Gx = -In.atClamped(X - 1, Y - 1) - 2 * In.atClamped(X - 1, Y) -
+                 In.atClamped(X - 1, Y + 1) + In.atClamped(X + 1, Y - 1) +
+                 2 * In.atClamped(X + 1, Y) + In.atClamped(X + 1, Y + 1);
+      float Gy = -In.atClamped(X - 1, Y - 1) - 2 * In.atClamped(X, Y - 1) -
+                 In.atClamped(X + 1, Y - 1) + In.atClamped(X - 1, Y + 1) +
+                 2 * In.atClamped(X, Y + 1) + In.atClamped(X + 1, Y + 1);
+      G.Magnitude.at(X, Y) = std::hypot(Gx, Gy);
+      // Quantize the angle into 4 bins: 0 = horizontal gradient (vertical
+      // edge), proceeding counter-clockwise by 45 degrees.
+      double Angle = std::atan2(Gy, Gx); // [-pi, pi]
+      if (Angle < 0)
+        Angle += 3.14159265358979323846;
+      int Bin = static_cast<int>((Angle + 3.14159265358979323846 / 8) /
+                                 (3.14159265358979323846 / 4)) %
+                4;
+      G.Direction[static_cast<size_t>(Y) * W + X] = static_cast<uint8_t>(Bin);
+    }
+  return G;
+}
+
+double wbt::img::laplacianSharpness(const Image &In) {
+  int W = In.width(), H = In.height();
+  if (W == 0 || H == 0)
+    return 0.0;
+  double Sum = 0.0;
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      float L = In.atClamped(X - 1, Y) + In.atClamped(X + 1, Y) +
+                In.atClamped(X, Y - 1) + In.atClamped(X, Y + 1) -
+                4 * In.at(X, Y);
+      Sum += std::fabs(L);
+    }
+  return Sum / (static_cast<double>(W) * H);
+}

@@ -1,0 +1,49 @@
+//===- image/Filters.h - Convolution and gradients --------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Separable Gaussian smoothing and Sobel gradients — the first two
+/// stages of the Canny pipeline and the preprocessing of watershed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_FILTERS_H
+#define WBT_IMAGE_FILTERS_H
+
+#include "image/Image.h"
+
+namespace wbt {
+namespace img {
+
+/// Normalized 1-D Gaussian kernel of radius ceil(3 * Sigma).
+std::vector<float> gaussianKernel(double Sigma);
+
+/// Separable convolution with a symmetric 1-D kernel (clamped borders).
+Image convolveSeparable(const Image &In, const std::vector<float> &Kernel);
+
+/// Gaussian smoothing with standard deviation \p Sigma (<= 0 returns the
+/// input unchanged).
+Image gaussianSmooth(const Image &In, double Sigma);
+
+/// Sobel gradient field.
+struct Gradient {
+  Image Magnitude;
+  /// Direction quantized to {0, 1, 2, 3} = {E-W, NE-SW, N-S, NW-SE}.
+  std::vector<uint8_t> Direction;
+};
+
+/// 3x3 Sobel gradients of \p In.
+Gradient sobel(const Image &In);
+
+/// Blur-sharpness proxy: mean absolute Laplacian response. Low values
+/// mean the image was smoothed too aggressively; used by the paper's
+/// AggregateGaussian-style pruning (its [39] blur measure).
+double laplacianSharpness(const Image &In);
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_FILTERS_H

@@ -1,0 +1,90 @@
+//===- image/Image.cpp - Grayscale image container -------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Image.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace wbt;
+using namespace wbt::img;
+
+std::vector<uint8_t> Image::toMask() const {
+  std::vector<uint8_t> Mask(Pix.size());
+  for (size_t I = 0, E = Pix.size(); I != E; ++I)
+    Mask[I] = Pix[I] >= 0.5f ? 1 : 0;
+  return Mask;
+}
+
+Image Image::fromMask(const std::vector<uint8_t> &Mask, int Width,
+                      int Height) {
+  assert(Mask.size() == static_cast<size_t>(Width) * Height &&
+         "mask size does not match dimensions");
+  Image Out(Width, Height);
+  for (size_t I = 0, E = Mask.size(); I != E; ++I)
+    Out.Pix[I] = Mask[I] ? 1.0f : 0.0f;
+  return Out;
+}
+
+float Image::maxValue() const {
+  float M = 0.0f;
+  for (float P : Pix)
+    M = std::max(M, P);
+  return M;
+}
+
+float Image::minValue() const {
+  if (Pix.empty())
+    return 0.0f;
+  float M = Pix[0];
+  for (float P : Pix)
+    M = std::min(M, P);
+  return M;
+}
+
+bool Image::writePgm(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::fprintf(F, "P5\n%d %d\n255\n", W, H);
+  std::vector<uint8_t> Row(static_cast<size_t>(W));
+  for (int Y = 0; Y != H; ++Y) {
+    for (int X = 0; X != W; ++X) {
+      float V = std::clamp(at(X, Y), 0.0f, 1.0f);
+      Row[static_cast<size_t>(X)] = static_cast<uint8_t>(V * 255.0f + 0.5f);
+    }
+    if (std::fwrite(Row.data(), 1, Row.size(), F) != Row.size()) {
+      std::fclose(F);
+      return false;
+    }
+  }
+  return std::fclose(F) == 0;
+}
+
+bool Image::readPgm(const std::string &Path, Image &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  int W = 0, H = 0, MaxVal = 0;
+  char Magic[3] = {0, 0, 0};
+  if (std::fscanf(F, "%2s %d %d %d", Magic, &W, &H, &MaxVal) != 4 ||
+      Magic[0] != 'P' || Magic[1] != '5' || W <= 0 || H <= 0 ||
+      MaxVal <= 0 || MaxVal > 255) {
+    std::fclose(F);
+    return false;
+  }
+  std::fgetc(F); // the single whitespace after the header
+  Out = Image(W, H);
+  std::vector<uint8_t> Raw(static_cast<size_t>(W) * H);
+  if (std::fread(Raw.data(), 1, Raw.size(), F) != Raw.size()) {
+    std::fclose(F);
+    return false;
+  }
+  std::fclose(F);
+  for (size_t I = 0, E = Raw.size(); I != E; ++I)
+    Out.Pix[I] = static_cast<float>(Raw[I]) / static_cast<float>(MaxVal);
+  return true;
+}

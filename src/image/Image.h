@@ -1,0 +1,88 @@
+//===- image/Image.h - Grayscale image container ----------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense single-channel float image with clamped-border access and
+/// 8-bit PGM I/O — the substrate under the Canny and watershed
+/// benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_IMAGE_H
+#define WBT_IMAGE_IMAGE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace img {
+
+/// Grayscale image; pixel values are conventionally in [0, 1].
+class Image {
+public:
+  Image() = default;
+  Image(int Width, int Height, float Fill = 0.0f)
+      : W(Width), H(Height),
+        Pix(static_cast<size_t>(Width) * Height, Fill) {
+    assert(Width >= 0 && Height >= 0 && "negative image dimensions");
+  }
+
+  int width() const { return W; }
+  int height() const { return H; }
+  size_t size() const { return Pix.size(); }
+  bool empty() const { return Pix.empty(); }
+
+  float &at(int X, int Y) {
+    assert(inBounds(X, Y) && "pixel out of bounds");
+    return Pix[static_cast<size_t>(Y) * W + X];
+  }
+  float at(int X, int Y) const {
+    assert(inBounds(X, Y) && "pixel out of bounds");
+    return Pix[static_cast<size_t>(Y) * W + X];
+  }
+
+  /// Border-clamped read.
+  float atClamped(int X, int Y) const {
+    X = X < 0 ? 0 : (X >= W ? W - 1 : X);
+    Y = Y < 0 ? 0 : (Y >= H ? H - 1 : Y);
+    return at(X, Y);
+  }
+
+  bool inBounds(int X, int Y) const {
+    return X >= 0 && X < W && Y >= 0 && Y < H;
+  }
+
+  std::vector<float> &pixels() { return Pix; }
+  const std::vector<float> &pixels() const { return Pix; }
+
+  /// Flattens to a 0/1 mask with threshold 0.5.
+  std::vector<uint8_t> toMask() const;
+
+  /// Builds a 0/1-valued image from a mask.
+  static Image fromMask(const std::vector<uint8_t> &Mask, int Width,
+                        int Height);
+
+  /// Largest / smallest pixel value (0 for empty images).
+  float maxValue() const;
+  float minValue() const;
+
+  /// Writes binary 8-bit PGM (values clamped to [0, 1] then scaled).
+  bool writePgm(const std::string &Path) const;
+  /// Reads binary 8-bit PGM. \returns false on parse failure.
+  static bool readPgm(const std::string &Path, Image &Out);
+
+private:
+  int W = 0;
+  int H = 0;
+  std::vector<float> Pix;
+};
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_IMAGE_H

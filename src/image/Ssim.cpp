@@ -1,0 +1,106 @@
+//===- image/Ssim.cpp - Structural similarity scoring ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Ssim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::img;
+
+double wbt::img::ssim(const Image &A, const Image &B) {
+  assert(A.width() == B.width() && A.height() == B.height() &&
+         "ssim over mismatched images");
+  const int Win = 8, Stride = 4;
+  const double C1 = 0.01 * 0.01, C2 = 0.03 * 0.03; // L = 1
+  int W = A.width(), H = A.height();
+  if (W == 0 || H == 0)
+    return 0.0;
+
+  double Total = 0.0;
+  long Windows = 0;
+  for (int Y0 = 0; Y0 < H; Y0 += Stride)
+    for (int X0 = 0; X0 < W; X0 += Stride) {
+      int X1 = std::min(X0 + Win, W), Y1 = std::min(Y0 + Win, H);
+      int N = (X1 - X0) * (Y1 - Y0);
+      if (N < 4)
+        continue;
+      double MeanA = 0, MeanB = 0;
+      for (int Y = Y0; Y != Y1; ++Y)
+        for (int X = X0; X != X1; ++X) {
+          MeanA += A.at(X, Y);
+          MeanB += B.at(X, Y);
+        }
+      MeanA /= N;
+      MeanB /= N;
+      double VarA = 0, VarB = 0, Cov = 0;
+      for (int Y = Y0; Y != Y1; ++Y)
+        for (int X = X0; X != X1; ++X) {
+          double DA = A.at(X, Y) - MeanA;
+          double DB = B.at(X, Y) - MeanB;
+          VarA += DA * DA;
+          VarB += DB * DB;
+          Cov += DA * DB;
+        }
+      VarA /= N - 1;
+      VarB /= N - 1;
+      Cov /= N - 1;
+      double Num = (2 * MeanA * MeanB + C1) * (2 * Cov + C2);
+      double Den = (MeanA * MeanA + MeanB * MeanB + C1) * (VarA + VarB + C2);
+      Total += Num / Den;
+      ++Windows;
+    }
+  return Windows ? Total / Windows : 0.0;
+}
+
+double wbt::img::ssimMasks(const std::vector<uint8_t> &A,
+                           const std::vector<uint8_t> &B, int Width,
+                           int Height) {
+  return ssim(Image::fromMask(A, Width, Height),
+              Image::fromMask(B, Width, Height));
+}
+
+double wbt::img::boundaryF1(const std::vector<uint8_t> &Predicted,
+                            const std::vector<uint8_t> &Truth, int Width,
+                            int Height, int Tolerance) {
+  assert(Predicted.size() == Truth.size() &&
+         Predicted.size() == static_cast<size_t>(Width) * Height &&
+         "boundaryF1 over mismatched masks");
+  auto NearSet = [&](const std::vector<uint8_t> &Mask, int X, int Y) {
+    for (int DY = -Tolerance; DY <= Tolerance; ++DY)
+      for (int DX = -Tolerance; DX <= Tolerance; ++DX) {
+        int NX = X + DX, NY = Y + DY;
+        if (NX < 0 || NX >= Width || NY < 0 || NY >= Height)
+          continue;
+        if (Mask[static_cast<size_t>(NY) * Width + NX])
+          return true;
+      }
+    return false;
+  };
+
+  long PredPixels = 0, PredMatched = 0, TruthPixels = 0, TruthMatched = 0;
+  for (int Y = 0; Y != Height; ++Y)
+    for (int X = 0; X != Width; ++X) {
+      size_t I = static_cast<size_t>(Y) * Width + X;
+      if (Predicted[I]) {
+        ++PredPixels;
+        PredMatched += NearSet(Truth, X, Y);
+      }
+      if (Truth[I]) {
+        ++TruthPixels;
+        TruthMatched += NearSet(Predicted, X, Y);
+      }
+    }
+  if (PredPixels == 0 || TruthPixels == 0)
+    return 0.0;
+  double Precision = static_cast<double>(PredMatched) / PredPixels;
+  double Recall = static_cast<double>(TruthMatched) / TruthPixels;
+  if (Precision + Recall == 0.0)
+    return 0.0;
+  return 2 * Precision * Recall / (Precision + Recall);
+}

@@ -1,0 +1,40 @@
+//===- image/Ssim.h - Structural similarity scoring -------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSIM (Wang et al., the paper's [70]) over grayscale images, used to
+/// score Canny edge maps against expert ground truth (paper Figs. 7/11).
+/// Plus a boundary F1 score used for segmentations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_SSIM_H
+#define WBT_IMAGE_SSIM_H
+
+#include "image/Image.h"
+
+namespace wbt {
+namespace img {
+
+/// Mean SSIM over sliding 8x8 windows (stride 4), dynamic range 1.
+/// \returns a value in [-1, 1]; 1 means identical.
+double ssim(const Image &A, const Image &B);
+
+/// SSIM between two binary masks of the given dimensions.
+double ssimMasks(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B,
+                 int Width, int Height);
+
+/// Boundary F1: precision/recall of mask pixels with a \p Tolerance-pixel
+/// match radius. Robust scoring for thin structures (edges, watershed
+/// boundaries).
+double boundaryF1(const std::vector<uint8_t> &Predicted,
+                  const std::vector<uint8_t> &Truth, int Width, int Height,
+                  int Tolerance = 1);
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_SSIM_H

@@ -1,0 +1,100 @@
+//===- image/Synthetic.cpp - Ground-truthed scene generator ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Synthetic.h"
+
+#include "image/Filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::img;
+
+namespace {
+
+/// Paints shape \p Label into \p Labels where \p Inside holds.
+template <typename InsideFn>
+void paintShape(std::vector<int> &Labels, Image &Pic, int W, int H, int Label,
+                float Intensity, InsideFn Inside) {
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X)
+      if (Inside(X, Y)) {
+        Labels[static_cast<size_t>(Y) * W + X] = Label;
+        Pic.at(X, Y) = Intensity;
+      }
+}
+
+} // namespace
+
+Scene wbt::img::makeScene(uint64_t Seed, int Index, const SceneOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 1);
+  int W = Opts.Width, H = Opts.Height;
+
+  Scene S;
+  float Background = static_cast<float>(R.uniform(0.1, 0.35));
+  S.Picture = Image(W, H, Background);
+  S.TrueLabels.assign(static_cast<size_t>(W) * H, 0);
+  S.NumShapes = static_cast<int>(R.uniformInt(Opts.MinShapes, Opts.MaxShapes));
+
+  for (int Shape = 1; Shape <= S.NumShapes; ++Shape) {
+    // Shapes get intensities well separated from the background.
+    float Intensity =
+        static_cast<float>(R.uniform(0.5, 0.95)) * (R.flip(0.15) ? -1 : 1);
+    if (Intensity < 0)
+      Intensity = Background * 0.3f; // occasionally darker than background
+    int Kind = static_cast<int>(R.uniformInt(0, 2));
+    int CX = static_cast<int>(R.uniformInt(W / 6, 5 * W / 6));
+    int CY = static_cast<int>(R.uniformInt(H / 6, 5 * H / 6));
+    int Size = static_cast<int>(R.uniformInt(std::min(W, H) / 10,
+                                             std::min(W, H) / 4));
+    switch (Kind) {
+    case 0: // axis-aligned rectangle
+      paintShape(S.TrueLabels, S.Picture, W, H, Shape, Intensity,
+                 [&](int X, int Y) {
+                   return std::abs(X - CX) <= Size &&
+                          std::abs(Y - CY) <= Size * 2 / 3;
+                 });
+      break;
+    case 1: // disc
+      paintShape(S.TrueLabels, S.Picture, W, H, Shape, Intensity,
+                 [&](int X, int Y) {
+                   return (X - CX) * (X - CX) + (Y - CY) * (Y - CY) <=
+                          Size * Size;
+                 });
+      break;
+    default: // diamond
+      paintShape(S.TrueLabels, S.Picture, W, H, Shape, Intensity,
+                 [&](int X, int Y) {
+                   return std::abs(X - CX) + std::abs(Y - CY) <= Size;
+                 });
+      break;
+    }
+  }
+
+  // Ground-truth edges: label discontinuities (4-neighborhood).
+  S.TrueEdges.assign(static_cast<size_t>(W) * H, 0);
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      int L = S.TrueLabels[static_cast<size_t>(Y) * W + X];
+      bool Edge = false;
+      if (X + 1 < W)
+        Edge |= S.TrueLabels[static_cast<size_t>(Y) * W + X + 1] != L;
+      if (Y + 1 < H)
+        Edge |= S.TrueLabels[static_cast<size_t>(Y + 1) * W + X] != L;
+      S.TrueEdges[static_cast<size_t>(Y) * W + X] = Edge ? 1 : 0;
+    }
+
+  // Degrade: blur, then pixel noise (per-scene severity).
+  S.BlurSigma = R.uniform(Opts.BlurLo, Opts.BlurHi);
+  if (S.BlurSigma > 0.05)
+    S.Picture = gaussianSmooth(S.Picture, S.BlurSigma);
+  S.NoiseSigma = R.uniform(Opts.NoiseLo, Opts.NoiseHi);
+  for (float &P : S.Picture.pixels())
+    P = static_cast<float>(
+        std::clamp(P + R.gaussian(0.0, S.NoiseSigma), 0.0, 1.0));
+  return S;
+}

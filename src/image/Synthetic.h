@@ -1,0 +1,60 @@
+//===- image/Synthetic.h - Ground-truthed scene generator -------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded synthetic scenes standing in for the paper's expert-annotated
+/// image datasets (its [33]): random flat-shaded shapes over a background,
+/// degraded by blur and Gaussian noise. Because the shapes are planted,
+/// the exact ground-truth edge map and segmentation are known, which is
+/// what the paper's SSIM scoring needs. Noise and blur levels vary per
+/// scene, so the optimal Canny/watershed parameters are input-dependent —
+/// the property that motivates tuning in the first place (paper Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_SYNTHETIC_H
+#define WBT_IMAGE_SYNTHETIC_H
+
+#include "image/Image.h"
+#include "support/Rng.h"
+
+namespace wbt {
+namespace img {
+
+/// A generated scene with its ground truth.
+struct Scene {
+  Image Picture;
+  /// 0/1 ground-truth edge mask (shape outlines).
+  std::vector<uint8_t> TrueEdges;
+  /// Ground-truth region labels (0 = background, >= 1 = shape id).
+  std::vector<int> TrueLabels;
+  int NumShapes = 0;
+  /// The degradations applied (what tuning must adapt to).
+  double NoiseSigma = 0.0;
+  double BlurSigma = 0.0;
+};
+
+struct SceneOptions {
+  int Width = 96;
+  int Height = 96;
+  int MinShapes = 3;
+  int MaxShapes = 6;
+  /// Pixel noise stddev range; drawn per scene.
+  double NoiseLo = 0.01;
+  double NoiseHi = 0.08;
+  /// Pre-noise blur sigma range; drawn per scene.
+  double BlurLo = 0.0;
+  double BlurHi = 1.2;
+};
+
+/// Generates scene number \p Index of a dataset identified by \p Seed.
+Scene makeScene(uint64_t Seed, int Index,
+                const SceneOptions &Opts = SceneOptions());
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_SYNTHETIC_H

@@ -1,0 +1,245 @@
+//===- image/Watershed.cpp - Marker-based watershed ------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Watershed.h"
+
+#include "image/Filters.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <queue>
+
+using namespace wbt;
+using namespace wbt::img;
+
+std::vector<uint8_t> Segmentation::boundaryMask() const {
+  std::vector<uint8_t> Mask(Labels.size(), 0);
+  for (size_t I = 0, E = Labels.size(); I != E; ++I)
+    Mask[I] = Labels[I] == 0 ? 1 : 0;
+  return Mask;
+}
+
+std::vector<int> wbt::img::extractMarkers(const Image &Surface,
+                                          double MarkerDepth) {
+  int W = Surface.width(), H = Surface.height();
+  float Lo = Surface.minValue(), Hi = Surface.maxValue();
+  float Cut = Lo + static_cast<float>(MarkerDepth) * (Hi - Lo);
+  std::vector<int> Markers(static_cast<size_t>(W) * H, 0);
+  int NextLabel = 1;
+  // Connected components (4-neighborhood) of the sub-threshold pixels.
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      size_t I = static_cast<size_t>(Y) * W + X;
+      if (Markers[I] || Surface.at(X, Y) > Cut)
+        continue;
+      int Label = NextLabel++;
+      std::deque<std::pair<int, int>> Work{{X, Y}};
+      Markers[I] = Label;
+      while (!Work.empty()) {
+        auto [CX, CY] = Work.front();
+        Work.pop_front();
+        static const int DX[4] = {1, -1, 0, 0};
+        static const int DY[4] = {0, 0, 1, -1};
+        for (int D = 0; D != 4; ++D) {
+          int NX = CX + DX[D], NY = CY + DY[D];
+          if (!Surface.inBounds(NX, NY))
+            continue;
+          size_t NI = static_cast<size_t>(NY) * W + NX;
+          if (Markers[NI] || Surface.at(NX, NY) > Cut)
+            continue;
+          Markers[NI] = Label;
+          Work.emplace_back(NX, NY);
+        }
+      }
+    }
+  return Markers;
+}
+
+namespace {
+
+struct QueueEntry {
+  float Value;
+  uint64_t Seq; // FIFO among equal values for determinism
+  int X, Y;
+  int Label;
+  bool operator>(const QueueEntry &O) const {
+    if (Value != O.Value)
+      return Value > O.Value;
+    return Seq > O.Seq;
+  }
+};
+
+} // namespace
+
+Segmentation wbt::img::flood(const Image &Surface, std::vector<int> Markers,
+                             int MinBasin) {
+  int W = Surface.width(), H = Surface.height();
+  Segmentation Seg;
+  Seg.Width = W;
+  Seg.Height = H;
+  Seg.Labels.assign(static_cast<size_t>(W) * H, -1); // -1 = unvisited
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      Queue;
+  uint64_t Seq = 0;
+  static const int DX[4] = {1, -1, 0, 0};
+  static const int DY[4] = {0, 0, 1, -1};
+
+  // Seed with marker pixels.
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X) {
+      size_t I = static_cast<size_t>(Y) * W + X;
+      if (Markers[I] > 0) {
+        Seg.Labels[I] = Markers[I];
+        Queue.push(QueueEntry{Surface.at(X, Y), Seq++, X, Y, Markers[I]});
+      }
+    }
+  if (Queue.empty()) {
+    // No markers: one giant basin.
+    std::fill(Seg.Labels.begin(), Seg.Labels.end(), 1);
+    Seg.NumBasins = 1;
+    return Seg;
+  }
+
+  // Meyer flooding: grow basins in order of increasing surface height;
+  // a pixel reachable from two basins becomes a watershed line (0).
+  while (!Queue.empty()) {
+    QueueEntry E = Queue.top();
+    Queue.pop();
+    for (int D = 0; D != 4; ++D) {
+      int NX = E.X + DX[D], NY = E.Y + DY[D];
+      if (!Surface.inBounds(NX, NY))
+        continue;
+      size_t NI = static_cast<size_t>(NY) * W + NX;
+      if (Seg.Labels[NI] != -1)
+        continue;
+      // Distinct labeled neighbors decide boundary vs. growth.
+      int Found = 0;
+      bool Multi = false;
+      for (int D2 = 0; D2 != 4; ++D2) {
+        int MX = NX + DX[D2], MY = NY + DY[D2];
+        if (!Surface.inBounds(MX, MY))
+          continue;
+        int L = Seg.Labels[static_cast<size_t>(MY) * W + MX];
+        if (L <= 0)
+          continue;
+        if (Found == 0)
+          Found = L;
+        else if (Found != L)
+          Multi = true;
+      }
+      if (Multi) {
+        Seg.Labels[NI] = 0; // watershed line
+        continue;
+      }
+      int Label = Found ? Found : E.Label;
+      Seg.Labels[NI] = Label;
+      Queue.push(QueueEntry{Surface.at(NX, NY), Seq++, NX, NY, Label});
+    }
+  }
+
+  // Merge undersized basins into their dominant neighbor.
+  std::map<int, long> Sizes;
+  for (int L : Seg.Labels)
+    if (L > 0)
+      ++Sizes[L];
+  std::map<int, int> Remap;
+  for (auto &[Label, Size] : Sizes) {
+    if (Size >= MinBasin)
+      continue;
+    // Count adjacency to other basins.
+    std::map<int, long> Adjacent;
+    for (int Y = 0; Y != H; ++Y)
+      for (int X = 0; X != W; ++X) {
+        if (Seg.Labels[static_cast<size_t>(Y) * W + X] != Label)
+          continue;
+        for (int D = 0; D != 4; ++D) {
+          int NX = X + DX[D], NY = Y + DY[D];
+          if (!Surface.inBounds(NX, NY))
+            continue;
+          // Look through boundary pixels one step further.
+          int L = Seg.Labels[static_cast<size_t>(NY) * W + NX];
+          if (L == 0) {
+            int MX = NX + DX[D], MY = NY + DY[D];
+            if (Surface.inBounds(MX, MY))
+              L = Seg.Labels[static_cast<size_t>(MY) * W + MX];
+          }
+          if (L > 0 && L != Label)
+            ++Adjacent[L];
+        }
+      }
+    if (Adjacent.empty())
+      continue;
+    int Best = Adjacent.begin()->first;
+    long BestCount = Adjacent.begin()->second;
+    for (auto &[L, C] : Adjacent)
+      if (C > BestCount) {
+        Best = L;
+        BestCount = C;
+      }
+    Remap[Label] = Best;
+  }
+  if (!Remap.empty()) {
+    auto Resolve = [&Remap](int L) {
+      // Chase chains (small basin merged into another small basin).
+      for (int Hops = 0; Hops != 8; ++Hops) {
+        auto It = Remap.find(L);
+        if (It == Remap.end())
+          return L;
+        L = It->second;
+      }
+      return L;
+    };
+    for (int &L : Seg.Labels)
+      if (L > 0)
+        L = Resolve(L);
+    // Dissolve boundary pixels that no longer separate distinct basins.
+    for (int Y = 0; Y != H; ++Y)
+      for (int X = 0; X != W; ++X) {
+        size_t I = static_cast<size_t>(Y) * W + X;
+        if (Seg.Labels[I] != 0)
+          continue;
+        int Found = 0;
+        bool Multi = false;
+        for (int D = 0; D != 4; ++D) {
+          int NX = X + DX[D], NY = Y + DY[D];
+          if (!Surface.inBounds(NX, NY))
+            continue;
+          int L = Seg.Labels[static_cast<size_t>(NY) * W + NX];
+          if (L <= 0)
+            continue;
+          if (Found == 0)
+            Found = L;
+          else if (Found != L)
+            Multi = true;
+        }
+        if (!Multi && Found)
+          Seg.Labels[I] = Found;
+      }
+  }
+
+  // Count the surviving basins.
+  std::map<int, long> Final;
+  for (int L : Seg.Labels)
+    if (L > 0)
+      ++Final[L];
+  Seg.NumBasins = static_cast<int>(Final.size());
+  // Any pixel still unvisited (disconnected plateau) joins basin 0 lines.
+  for (int &L : Seg.Labels)
+    if (L == -1)
+      L = 0;
+  return Seg;
+}
+
+Segmentation wbt::img::watershed(const Image &In, double Sigma,
+                                 double MarkerDepth, int MinBasin) {
+  Image Smoothed = gaussianSmooth(In, Sigma);
+  Gradient G = sobel(Smoothed);
+  std::vector<int> Markers = extractMarkers(G.Magnitude, MarkerDepth);
+  return flood(G.Magnitude, std::move(Markers), MinBasin);
+}

@@ -1,0 +1,57 @@
+//===- image/Watershed.h - Marker-based watershed ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Marker-controlled watershed segmentation (the paper's Leptonica
+/// watershed benchmark, reimplemented from the classic Meyer flooding
+/// algorithm). Stages and tunables:
+///
+///   1. Gaussian smoothing of the input           — Sigma
+///   2. Marker extraction: regional minima of the gradient deeper than a
+///      depth threshold                           — MarkerDepth
+///   3. Flooding from the markers, with boundary pixels emitted where
+///      basins meet; basins smaller than MinBasin are merged away
+///                                                — MinBasin
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_IMAGE_WATERSHED_H
+#define WBT_IMAGE_WATERSHED_H
+
+#include "image/Image.h"
+
+namespace wbt {
+namespace img {
+
+/// A labeled segmentation: 0 = boundary, >= 1 = basin id.
+struct Segmentation {
+  int Width = 0;
+  int Height = 0;
+  std::vector<int> Labels;
+  int NumBasins = 0;
+
+  /// 0/1 mask of the boundary pixels.
+  std::vector<uint8_t> boundaryMask() const;
+};
+
+/// Runs the full watershed pipeline on \p In.
+Segmentation watershed(const Image &In, double Sigma, double MarkerDepth,
+                       int MinBasin);
+
+/// Stage 2 alone: marker seeds on the smoothed gradient surface.
+/// Exposed so the white-box tuner can aggregate after marker extraction.
+std::vector<int> extractMarkers(const Image &GradientSurface,
+                                double MarkerDepth);
+
+/// Stage 3 alone: flood \p GradientSurface from \p Markers (a label per
+/// pixel, 0 = unlabeled) and merge basins smaller than \p MinBasin.
+Segmentation flood(const Image &GradientSurface, std::vector<int> Markers,
+                   int MinBasin);
+
+} // namespace img
+} // namespace wbt
+
+#endif // WBT_IMAGE_WATERSHED_H

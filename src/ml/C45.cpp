@@ -1,0 +1,199 @@
+//===- ml/C45.cpp - C4.5 decision trees ------------------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/C45.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::ml;
+
+namespace {
+
+double entropyOf(const std::vector<long> &Counts, long Total) {
+  if (Total == 0)
+    return 0.0;
+  double H = 0.0;
+  for (long C : Counts) {
+    if (C == 0)
+      continue;
+    double P = static_cast<double>(C) / static_cast<double>(Total);
+    H -= P * std::log2(P);
+  }
+  return H;
+}
+
+/// Quinlan's pessimistic error estimate: the upper confidence bound on
+/// the leaf's error rate (normal approximation of the binomial tail at
+/// confidence CF), times the case count.
+double pessimisticErrors(long Cases, long Errors, double Confidence) {
+  if (Cases == 0)
+    return 0.0;
+  // Map CF in (0, 1) to a z score: CF = 0.25 -> z ~ 0.674. Smaller CF
+  // gives a larger z, i.e. more pruning.
+  Confidence = std::clamp(Confidence, 1e-4, 0.9999);
+  // Inverse normal tail via Acklam-style approximation of probit(1 - CF).
+  double P = 1.0 - Confidence;
+  // Rational approximation adequate for the central range used here.
+  double T = std::sqrt(-2.0 * std::log(std::min(P, 1.0 - P)));
+  double Z = T - (2.30753 + 0.27061 * T) / (1.0 + 0.99229 * T + 0.04481 * T * T);
+  if (P < 0.5)
+    Z = -Z;
+  double F = static_cast<double>(Errors) / static_cast<double>(Cases);
+  double N = static_cast<double>(Cases);
+  // Wilson score upper bound.
+  double Denom = 1.0 + Z * Z / N;
+  double Center = F + Z * Z / (2 * N);
+  double Spread = Z * std::sqrt(F * (1 - F) / N + Z * Z / (4 * N * N));
+  double Upper = (Center + Spread) / Denom;
+  return Upper * N;
+}
+
+struct Builder {
+  const MlDataset &D;
+  const C45Params &P;
+
+  long majorityAndErrors(const std::vector<size_t> &Rows, int &Label) const {
+    std::vector<long> Counts(static_cast<size_t>(D.NumClasses), 0);
+    for (size_t R : Rows)
+      ++Counts[static_cast<size_t>(D.Y[R])];
+    size_t Best = 0;
+    for (size_t C = 1; C != Counts.size(); ++C)
+      if (Counts[C] > Counts[Best])
+        Best = C;
+    Label = static_cast<int>(Best);
+    return static_cast<long>(Rows.size()) - Counts[Best];
+  }
+
+  std::unique_ptr<C45Tree::Node> build(std::vector<size_t> Rows,
+                                       int Depth) const {
+    auto Node = std::make_unique<C45Tree::Node>();
+    Node->Cases = static_cast<long>(Rows.size());
+    Node->Errors = majorityAndErrors(Rows, Node->Label);
+    if (Node->Errors == 0 || Depth >= P.MaxDepth ||
+        static_cast<int>(Rows.size()) < 2 * P.MinCases)
+      return Node;
+
+    // Best gain-ratio threshold split.
+    std::vector<long> TotalCounts(static_cast<size_t>(D.NumClasses), 0);
+    for (size_t R : Rows)
+      ++TotalCounts[static_cast<size_t>(D.Y[R])];
+    double BaseH = entropyOf(TotalCounts, Node->Cases);
+
+    int BestFeature = -1;
+    double BestThreshold = 0.0, BestRatio = 1e-9;
+    std::vector<std::pair<double, int>> Sorted(Rows.size());
+    for (int F = 0; F != D.NumFeatures; ++F) {
+      for (size_t I = 0; I != Rows.size(); ++I)
+        Sorted[I] = {D.X[Rows[I]][static_cast<size_t>(F)], D.Y[Rows[I]]};
+      std::sort(Sorted.begin(), Sorted.end());
+      std::vector<long> LeftCounts(static_cast<size_t>(D.NumClasses), 0);
+      long LeftN = 0;
+      for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+        ++LeftCounts[static_cast<size_t>(Sorted[I].second)];
+        ++LeftN;
+        if (Sorted[I].first == Sorted[I + 1].first)
+          continue;
+        long RightN = Node->Cases - LeftN;
+        if (LeftN < P.MinCases || RightN < P.MinCases)
+          continue;
+        std::vector<long> RightCounts(static_cast<size_t>(D.NumClasses), 0);
+        for (size_t C = 0; C != RightCounts.size(); ++C)
+          RightCounts[C] = TotalCounts[C] - LeftCounts[C];
+        double PL = static_cast<double>(LeftN) / Node->Cases;
+        double PR = 1.0 - PL;
+        double Gain = BaseH - PL * entropyOf(LeftCounts, LeftN) -
+                      PR * entropyOf(RightCounts, RightN);
+        double SplitInfo = -PL * std::log2(PL) - PR * std::log2(PR);
+        if (SplitInfo < 1e-9)
+          continue;
+        double Ratio = Gain / SplitInfo;
+        if (Ratio > BestRatio) {
+          BestRatio = Ratio;
+          BestFeature = F;
+          BestThreshold = 0.5 * (Sorted[I].first + Sorted[I + 1].first);
+        }
+      }
+    }
+    if (BestFeature < 0)
+      return Node;
+
+    std::vector<size_t> LeftRows, RightRows;
+    for (size_t R : Rows)
+      (D.X[R][static_cast<size_t>(BestFeature)] <= BestThreshold ? LeftRows
+                                                                 : RightRows)
+          .push_back(R);
+    if (LeftRows.empty() || RightRows.empty())
+      return Node;
+
+    Node->IsLeaf = false;
+    Node->Feature = BestFeature;
+    Node->Threshold = BestThreshold;
+    Node->Left = build(std::move(LeftRows), Depth + 1);
+    Node->Right = build(std::move(RightRows), Depth + 1);
+
+    // Pessimistic (confidence-factor) pruning: collapse the split when
+    // the subtree's estimated error is no better than the leaf's.
+    double SubtreeErr =
+        pessimisticErrors(Node->Left->Cases, Node->Left->Errors,
+                          P.Confidence) +
+        pessimisticErrors(Node->Right->Cases, Node->Right->Errors,
+                          P.Confidence);
+    double LeafErr = pessimisticErrors(Node->Cases, Node->Errors,
+                                       P.Confidence);
+    if (LeafErr <= SubtreeErr + 0.1) {
+      Node->IsLeaf = true;
+      Node->Left.reset();
+      Node->Right.reset();
+    }
+    return Node;
+  }
+};
+
+long countNodes(const C45Tree::Node *N) {
+  if (!N)
+    return 0;
+  return 1 + countNodes(N->Left.get()) + countNodes(N->Right.get());
+}
+
+} // namespace
+
+int C45Tree::predict(const std::vector<double> &X) const {
+  assert(Root && "predict on an untrained tree");
+  const Node *N = Root.get();
+  while (!N->IsLeaf)
+    N = X[static_cast<size_t>(N->Feature)] <= N->Threshold ? N->Left.get()
+                                                           : N->Right.get();
+  return N->Label;
+}
+
+std::vector<int>
+C45Tree::predictAll(const std::vector<std::vector<double>> &X) const {
+  std::vector<int> Out;
+  Out.reserve(X.size());
+  for (const auto &Row : X)
+    Out.push_back(predict(Row));
+  return Out;
+}
+
+long C45Tree::nodeCount() const { return countNodes(Root.get()); }
+
+C45Tree wbt::ml::trainC45(const MlDataset &Train, const C45Params &P) {
+  assert(!Train.X.empty() && "training set is empty");
+  Builder B{Train, P};
+  std::vector<size_t> Rows(Train.size());
+  for (size_t I = 0; I != Rows.size(); ++I)
+    Rows[I] = I;
+  C45Tree Tree;
+  Tree.Root = B.build(std::move(Rows), 0);
+  return Tree;
+}
+
+double wbt::ml::c45Error(const C45Tree &Tree, const MlDataset &Data) {
+  return errorRate(Tree.predictAll(Data.X), Data.Y);
+}

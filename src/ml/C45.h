@@ -1,0 +1,66 @@
+//===- ml/C45.h - C4.5 decision trees ---------------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C4.5 decision-tree learning (Quinlan, the paper's [60]): gain-ratio
+/// threshold splits over continuous features, with the two tunables the
+/// paper uses — the pessimistic-pruning confidence factor CF and the
+/// minimum case count per branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_ML_C45_H
+#define WBT_ML_C45_H
+
+#include "ml/Dataset.h"
+
+#include <memory>
+
+namespace wbt {
+namespace ml {
+
+struct C45Params {
+  /// Pessimistic-pruning confidence factor (Quinlan's CF, default 0.25).
+  /// Smaller values prune more aggressively.
+  double Confidence = 0.25;
+  /// Minimum number of cases each branch of a split must receive.
+  int MinCases = 2;
+  int MaxDepth = 25;
+};
+
+/// A trained tree.
+class C45Tree {
+public:
+  struct Node {
+    bool IsLeaf = true;
+    int Label = 0;       // leaf: predicted class
+    long Cases = 0;      // training cases reaching the node
+    long Errors = 0;     // training misclassifications at this node
+    int Feature = -1;    // split feature
+    double Threshold = 0; // goes left when X[Feature] <= Threshold
+    std::unique_ptr<Node> Left;
+    std::unique_ptr<Node> Right;
+  };
+
+  int predict(const std::vector<double> &X) const;
+  std::vector<int> predictAll(const std::vector<std::vector<double>> &X) const;
+
+  /// Nodes in the tree (diagnostics; pruning shrinks this).
+  long nodeCount() const;
+
+  std::unique_ptr<Node> Root;
+};
+
+/// Trains a tree with gain-ratio splits and pessimistic pruning.
+C45Tree trainC45(const MlDataset &Train, const C45Params &P);
+
+/// Error of \p Tree on \p Data.
+double c45Error(const C45Tree &Tree, const MlDataset &Data);
+
+} // namespace ml
+} // namespace wbt
+
+#endif // WBT_ML_C45_H

@@ -1,0 +1,95 @@
+//===- ml/Dataset.cpp - Classification data with ground truth --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+#include <cassert>
+
+using namespace wbt;
+using namespace wbt::ml;
+
+MlDataset wbt::ml::makeClassificationDataset(uint64_t Seed, int Index,
+                                             const MlDatasetOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 101);
+  MlDataset D;
+  D.NumClasses = static_cast<int>(R.uniformInt(Opts.MinClasses,
+                                               Opts.MaxClasses));
+  D.NumFeatures = Opts.InformativeFeatures + Opts.NoiseFeatures;
+
+  // One Gaussian prototype per class in informative-feature space.
+  std::vector<std::vector<double>> Prototypes(
+      static_cast<size_t>(D.NumClasses));
+  for (auto &P : Prototypes) {
+    P.resize(static_cast<size_t>(Opts.InformativeFeatures));
+    for (double &V : P)
+      V = R.uniform(-2.0, 2.0);
+  }
+  double Spread = R.uniform(Opts.SpreadLo, Opts.SpreadHi);
+
+  for (int I = 0; I != Opts.Samples; ++I) {
+    int Cls = static_cast<int>(R.uniformInt(0, D.NumClasses - 1));
+    std::vector<double> Row(static_cast<size_t>(D.NumFeatures));
+    for (int F = 0; F != Opts.InformativeFeatures; ++F)
+      Row[static_cast<size_t>(F)] =
+          Prototypes[static_cast<size_t>(Cls)][static_cast<size_t>(F)] +
+          R.gaussian(0.0, Spread);
+    for (int F = Opts.InformativeFeatures; F != D.NumFeatures; ++F)
+      Row[static_cast<size_t>(F)] = R.gaussian(0.0, 1.5);
+    if (R.flip(Opts.LabelNoise))
+      Cls = static_cast<int>(R.uniformInt(0, D.NumClasses - 1));
+    D.X.push_back(std::move(Row));
+    D.Y.push_back(Cls);
+  }
+  return D;
+}
+
+MlDataset wbt::ml::subset(const MlDataset &D,
+                          const std::vector<size_t> &Indices) {
+  MlDataset Out;
+  Out.NumClasses = D.NumClasses;
+  Out.NumFeatures = D.NumFeatures;
+  Out.X.reserve(Indices.size());
+  Out.Y.reserve(Indices.size());
+  for (size_t I : Indices) {
+    assert(I < D.size() && "subset index out of range");
+    Out.X.push_back(D.X[I]);
+    Out.Y.push_back(D.Y[I]);
+  }
+  return Out;
+}
+
+void wbt::ml::kFoldIndices(size_t N, int K, int Fold,
+                           std::vector<size_t> &Train,
+                           std::vector<size_t> &Test) {
+  assert(K >= 2 && Fold >= 0 && Fold < K && "bad fold arguments");
+  Train.clear();
+  Test.clear();
+  for (size_t I = 0; I != N; ++I) {
+    if (static_cast<int>(I % static_cast<size_t>(K)) == Fold)
+      Test.push_back(I);
+    else
+      Train.push_back(I);
+  }
+}
+
+void wbt::ml::halfSplit(size_t N, std::vector<size_t> &First,
+                        std::vector<size_t> &Second) {
+  First.clear();
+  Second.clear();
+  for (size_t I = 0; I != N; ++I)
+    (I < N / 2 ? First : Second).push_back(I);
+}
+
+double wbt::ml::errorRate(const std::vector<int> &Predicted,
+                          const std::vector<int> &Truth) {
+  assert(Predicted.size() == Truth.size() && "prediction size mismatch");
+  if (Predicted.empty())
+    return 0.0;
+  long Wrong = 0;
+  for (size_t I = 0, E = Predicted.size(); I != E; ++I)
+    Wrong += Predicted[I] != Truth[I];
+  return static_cast<double>(Wrong) / static_cast<double>(Predicted.size());
+}

@@ -1,0 +1,75 @@
+//===- ml/Dataset.h - Classification data with ground truth -----*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic multi-class classification datasets standing in for the
+/// paper's UCI inputs: Gaussian class clusters with controlled overlap,
+/// irrelevant distractor features and label noise, so that SVM/C4.5
+/// hyper-parameters have input-dependent optima and unregularized tuning
+/// overfits (the effect paper Fig. 17 demonstrates). Plus k-fold index
+/// utilities shared by the cross-validation machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_ML_DATASET_H
+#define WBT_ML_DATASET_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace ml {
+
+struct MlDataset {
+  /// Row-major feature matrix.
+  std::vector<std::vector<double>> X;
+  std::vector<int> Y;
+  int NumClasses = 2;
+  int NumFeatures = 0;
+
+  size_t size() const { return X.size(); }
+};
+
+struct MlDatasetOptions {
+  int Samples = 160;
+  int MinClasses = 2;
+  int MaxClasses = 4;
+  int InformativeFeatures = 4;
+  int NoiseFeatures = 3;
+  /// Class-cluster spread range (controls overlap).
+  double SpreadLo = 0.5;
+  double SpreadHi = 1.4;
+  /// Fraction of labels flipped at random.
+  double LabelNoise = 0.05;
+};
+
+/// Dataset number \p Index of the family identified by \p Seed.
+MlDataset makeClassificationDataset(uint64_t Seed, int Index,
+                                    const MlDatasetOptions &Opts =
+                                        MlDatasetOptions());
+
+/// Rows of \p D selected by \p Indices.
+MlDataset subset(const MlDataset &D, const std::vector<size_t> &Indices);
+
+/// Deterministic k-fold split: fills \p Train and \p Test with the row
+/// indices for fold \p Fold of \p K over \p N rows (round-robin).
+void kFoldIndices(size_t N, int K, int Fold, std::vector<size_t> &Train,
+                  std::vector<size_t> &Test);
+
+/// First half / second half split (the paper's SVM protocol: first half
+/// for training+tuning, second half for testing).
+void halfSplit(size_t N, std::vector<size_t> &First,
+               std::vector<size_t> &Second);
+
+/// Fraction of mispredicted labels.
+double errorRate(const std::vector<int> &Predicted,
+                 const std::vector<int> &Truth);
+
+} // namespace ml
+} // namespace wbt
+
+#endif // WBT_ML_DATASET_H

@@ -1,0 +1,186 @@
+//===- ml/Svm.cpp - Kernel SVM via SMO -------------------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Svm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::ml;
+
+double wbt::ml::kernel(const SvmParams &P, const std::vector<double> &A,
+                       const std::vector<double> &B) {
+  assert(A.size() == B.size() && "kernel over mismatched vectors");
+  double Dot = 0.0;
+  switch (P.Kernel) {
+  case KernelKind::Linear:
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      Dot += A[I] * B[I];
+    return Dot;
+  case KernelKind::Rbf: {
+    double D2 = 0.0;
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      D2 += (A[I] - B[I]) * (A[I] - B[I]);
+    return std::exp(-P.Gamma * D2);
+  }
+  case KernelKind::Poly:
+    for (size_t I = 0, E = A.size(); I != E; ++I)
+      Dot += A[I] * B[I];
+    return std::pow(P.Gamma * Dot + P.Coef0, P.Degree);
+  }
+  return 0.0;
+}
+
+double BinarySvm::decision(const std::vector<double> &X) const {
+  double Sum = Bias;
+  for (size_t I = 0, E = SupportX.size(); I != E; ++I)
+    Sum += Alpha[I] * kernel(Params, SupportX[I], X);
+  return Sum;
+}
+
+BinarySvm wbt::ml::trainBinarySvm(const std::vector<std::vector<double>> &X,
+                                  const std::vector<int> &Y,
+                                  const SvmParams &P, Rng &R) {
+  assert(X.size() == Y.size() && !X.empty() && "bad SVM training input");
+  size_t N = X.size();
+
+  // Per-sample box constraint, optionally balanced by class frequency.
+  long Pos = 0;
+  for (int L : Y)
+    Pos += L > 0;
+  long Neg = static_cast<long>(N) - Pos;
+  double CPos = P.C, CNeg = P.C;
+  if (P.BalanceClasses && Pos > 0 && Neg > 0) {
+    CPos = P.C * static_cast<double>(N) / (2.0 * Pos);
+    CNeg = P.C * static_cast<double>(N) / (2.0 * Neg);
+  }
+  auto BoxC = [&](size_t I) { return Y[I] > 0 ? CPos : CNeg; };
+
+  std::vector<double> Alpha(N, 0.0);
+  double B = 0.0;
+
+  // Cache the kernel matrix for the O(N^2) training sizes we use.
+  std::vector<double> K(N * N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I; J != N; ++J) {
+      double V = kernel(P, X[I], X[J]);
+      K[I * N + J] = V;
+      K[J * N + I] = V;
+    }
+
+  auto Decision = [&](size_t I) {
+    double Sum = B;
+    for (size_t J = 0; J != N; ++J)
+      if (Alpha[J] != 0.0)
+        Sum += Alpha[J] * Y[J] * K[J * N + I];
+    return Sum;
+  };
+
+  // Simplified SMO (Platt): sweep until MaxPasses consecutive passes make
+  // no progress.
+  int Passes = 0;
+  int Guard = 0;
+  const int MaxSweeps = 200;
+  while (Passes < P.MaxPasses && Guard++ < MaxSweeps) {
+    int Changed = 0;
+    for (size_t I = 0; I != N; ++I) {
+      double Ei = Decision(I) - Y[I];
+      bool ViolatesKkt = (Y[I] * Ei < -P.Tol && Alpha[I] < BoxC(I)) ||
+                         (Y[I] * Ei > P.Tol && Alpha[I] > 0);
+      if (!ViolatesKkt)
+        continue;
+      size_t J = R.index(N - 1);
+      if (J >= I)
+        ++J;
+      double Ej = Decision(J) - Y[J];
+      double AiOld = Alpha[I], AjOld = Alpha[J];
+      double L, H;
+      if (Y[I] != Y[J]) {
+        L = std::max(0.0, AjOld - AiOld);
+        H = std::min(BoxC(J), BoxC(I) + AjOld - AiOld);
+      } else {
+        L = std::max(0.0, AiOld + AjOld - BoxC(I));
+        H = std::min(BoxC(J), AiOld + AjOld);
+      }
+      if (L >= H)
+        continue;
+      double Eta = 2 * K[I * N + J] - K[I * N + I] - K[J * N + J];
+      if (Eta >= 0)
+        continue;
+      double Aj = AjOld - Y[J] * (Ei - Ej) / Eta;
+      Aj = std::clamp(Aj, L, H);
+      if (std::fabs(Aj - AjOld) < 1e-6)
+        continue;
+      double Ai = AiOld + Y[I] * Y[J] * (AjOld - Aj);
+      Alpha[I] = Ai;
+      Alpha[J] = Aj;
+      double B1 = B - Ei - Y[I] * (Ai - AiOld) * K[I * N + I] -
+                  Y[J] * (Aj - AjOld) * K[I * N + J];
+      double B2 = B - Ej - Y[I] * (Ai - AiOld) * K[I * N + J] -
+                  Y[J] * (Aj - AjOld) * K[J * N + J];
+      if (Ai > 0 && Ai < BoxC(I))
+        B = B1;
+      else if (Aj > 0 && Aj < BoxC(J))
+        B = B2;
+      else
+        B = 0.5 * (B1 + B2);
+      ++Changed;
+    }
+    Passes = Changed == 0 ? Passes + 1 : 0;
+  }
+
+  BinarySvm Model;
+  Model.Params = P;
+  Model.Bias = B;
+  for (size_t I = 0; I != N; ++I)
+    if (Alpha[I] > 1e-9) {
+      Model.SupportX.push_back(X[I]);
+      Model.Alpha.push_back(Alpha[I] * Y[I]);
+    }
+  return Model;
+}
+
+int MultiSvm::predict(const std::vector<double> &X) const {
+  assert(!PerClass.empty() && "predict on an untrained model");
+  int Best = 0;
+  double BestScore = PerClass[0].decision(X);
+  for (int C = 1; C != NumClasses; ++C) {
+    double S = PerClass[static_cast<size_t>(C)].decision(X);
+    if (S > BestScore) {
+      BestScore = S;
+      Best = C;
+    }
+  }
+  return Best;
+}
+
+std::vector<int>
+MultiSvm::predictAll(const std::vector<std::vector<double>> &X) const {
+  std::vector<int> Out;
+  Out.reserve(X.size());
+  for (const auto &Row : X)
+    Out.push_back(predict(Row));
+  return Out;
+}
+
+MultiSvm wbt::ml::trainMultiSvm(const MlDataset &Train, const SvmParams &P,
+                                Rng &R) {
+  MultiSvm Model;
+  Model.NumClasses = Train.NumClasses;
+  for (int C = 0; C != Train.NumClasses; ++C) {
+    std::vector<int> Y(Train.Y.size());
+    for (size_t I = 0, E = Train.Y.size(); I != E; ++I)
+      Y[I] = Train.Y[I] == C ? 1 : -1;
+    Model.PerClass.push_back(trainBinarySvm(Train.X, Y, P, R));
+  }
+  return Model;
+}
+
+double wbt::ml::svmError(const MultiSvm &Model, const MlDataset &Data) {
+  return errorRate(Model.predictAll(Data.X), Data.Y);
+}

@@ -1,0 +1,75 @@
+//===- ml/Svm.h - Kernel SVM via SMO ----------------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support-vector machine (Cortes & Vapnik, the paper's [25]) trained
+/// with the simplified SMO dual solver, wrapped one-vs-rest for
+/// multi-class problems (the paper's [36]). The eight tunables of the
+/// paper's Table I row: kernel type, C, gamma, degree, coef0, tolerance,
+/// max passes, and class-weight balancing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_ML_SVM_H
+#define WBT_ML_SVM_H
+
+#include "ml/Dataset.h"
+
+namespace wbt {
+namespace ml {
+
+enum class KernelKind { Linear, Rbf, Poly };
+
+struct SvmParams {
+  KernelKind Kernel = KernelKind::Rbf;
+  double C = 1.0;
+  double Gamma = 0.5;
+  int Degree = 3;
+  double Coef0 = 1.0;
+  double Tol = 1e-3;
+  int MaxPasses = 5;
+  /// Scale the box constraint per class inversely to its frequency.
+  bool BalanceClasses = false;
+};
+
+/// Kernel evaluation.
+double kernel(const SvmParams &P, const std::vector<double> &A,
+              const std::vector<double> &B);
+
+/// A trained binary classifier (labels -1 / +1).
+struct BinarySvm {
+  SvmParams Params;
+  std::vector<std::vector<double>> SupportX;
+  std::vector<double> Alpha; // alpha_i * y_i, support vectors only
+  double Bias = 0.0;
+
+  /// Signed decision value; sign is the predicted label.
+  double decision(const std::vector<double> &X) const;
+};
+
+/// Trains a binary SVM on labels in {-1, +1} with simplified SMO.
+BinarySvm trainBinarySvm(const std::vector<std::vector<double>> &X,
+                         const std::vector<int> &Y, const SvmParams &P,
+                         Rng &R);
+
+/// One-vs-rest multi-class wrapper.
+struct MultiSvm {
+  std::vector<BinarySvm> PerClass;
+  int NumClasses = 0;
+
+  int predict(const std::vector<double> &X) const;
+  std::vector<int> predictAll(const std::vector<std::vector<double>> &X) const;
+};
+
+MultiSvm trainMultiSvm(const MlDataset &Train, const SvmParams &P, Rng &R);
+
+/// Error of \p Model on \p Data.
+double svmError(const MultiSvm &Model, const MlDataset &Data);
+
+} // namespace ml
+} // namespace wbt
+
+#endif // WBT_ML_SVM_H

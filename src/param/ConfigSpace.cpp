@@ -1,0 +1,201 @@
+//===- param/ConfigSpace.cpp - Tunable parameter spaces -------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "param/ConfigSpace.h"
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace wbt;
+
+size_t ConfigSpace::addDouble(std::string Name, double Min, double Max,
+                              double Default, bool LogScale) {
+  assert(Min <= Max && "inverted parameter range");
+  assert((!LogScale || Min > 0) && "log-scale parameters need Min > 0");
+  ParamSpec S;
+  S.Name = std::move(Name);
+  S.Kind = ParamKind::Double;
+  S.Min = Min;
+  S.Max = Max;
+  S.Default = wbt::clamp(Default, Min, Max);
+  S.LogScale = LogScale;
+  Specs.push_back(std::move(S));
+  return Specs.size() - 1;
+}
+
+size_t ConfigSpace::addInt(std::string Name, int64_t Min, int64_t Max,
+                           int64_t Default) {
+  assert(Min <= Max && "inverted parameter range");
+  ParamSpec S;
+  S.Name = std::move(Name);
+  S.Kind = ParamKind::Int;
+  S.Min = static_cast<double>(Min);
+  S.Max = static_cast<double>(Max);
+  S.Default = wbt::clamp(static_cast<double>(Default), S.Min, S.Max);
+  Specs.push_back(std::move(S));
+  return Specs.size() - 1;
+}
+
+size_t ConfigSpace::addBool(std::string Name, bool Default) {
+  ParamSpec S;
+  S.Name = std::move(Name);
+  S.Kind = ParamKind::Bool;
+  S.Min = 0.0;
+  S.Max = 1.0;
+  S.Default = Default ? 1.0 : 0.0;
+  Specs.push_back(std::move(S));
+  return Specs.size() - 1;
+}
+
+size_t ConfigSpace::addEnum(std::string Name, std::vector<std::string> Choices,
+                            size_t Default) {
+  assert(!Choices.empty() && "enum parameter needs at least one choice");
+  assert(Default < Choices.size() && "enum default out of range");
+  ParamSpec S;
+  S.Name = std::move(Name);
+  S.Kind = ParamKind::Enum;
+  S.Min = 0.0;
+  S.Max = static_cast<double>(Choices.size() - 1);
+  S.Default = static_cast<double>(Default);
+  S.Choices = std::move(Choices);
+  Specs.push_back(std::move(S));
+  return Specs.size() - 1;
+}
+
+size_t ConfigSpace::indexOf(const std::string &Name) const {
+  for (size_t I = 0, E = Specs.size(); I != E; ++I)
+    if (Specs[I].Name == Name)
+      return I;
+  assert(false && "unknown parameter name");
+  return ~size_t(0);
+}
+
+bool ConfigSpace::contains(const std::string &Name) const {
+  for (const ParamSpec &S : Specs)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
+Config ConfigSpace::defaultConfig() const {
+  Config C;
+  C.Values.reserve(Specs.size());
+  for (const ParamSpec &S : Specs)
+    C.Values.push_back(S.Default);
+  return C;
+}
+
+Config ConfigSpace::randomConfig(Rng &R) const {
+  Config C;
+  C.Values.reserve(Specs.size());
+  for (const ParamSpec &S : Specs) {
+    switch (S.Kind) {
+    case ParamKind::Double:
+      C.Values.push_back(S.LogScale ? R.logUniform(S.Min, S.Max)
+                                    : R.uniform(S.Min, S.Max));
+      break;
+    case ParamKind::Int:
+    case ParamKind::Enum:
+      C.Values.push_back(static_cast<double>(R.uniformInt(
+          static_cast<int64_t>(S.Min), static_cast<int64_t>(S.Max))));
+      break;
+    case ParamKind::Bool:
+      C.Values.push_back(R.flip() ? 1.0 : 0.0);
+      break;
+    }
+  }
+  return C;
+}
+
+Config ConfigSpace::mutate(const Config &C, Rng &R, double Scale,
+                           double MutateProb) const {
+  assert(C.Values.size() == Specs.size() && "config/space size mismatch");
+  Config Out = C;
+  for (size_t I = 0, E = Specs.size(); I != E; ++I) {
+    if (!R.flip(MutateProb))
+      continue;
+    const ParamSpec &S = Specs[I];
+    switch (S.Kind) {
+    case ParamKind::Double: {
+      if (S.LogScale) {
+        double Span = std::log(S.Max) - std::log(S.Min);
+        double L = std::log(Out.Values[I]) + R.gaussian(0.0, Scale * Span);
+        Out.Values[I] = std::exp(L);
+      } else {
+        Out.Values[I] += R.gaussian(0.0, Scale * (S.Max - S.Min));
+      }
+      break;
+    }
+    case ParamKind::Int: {
+      double Span = S.Max - S.Min;
+      double Step = std::max(1.0, Scale * Span);
+      Out.Values[I] += std::round(R.gaussian(0.0, Step));
+      break;
+    }
+    case ParamKind::Bool:
+      Out.Values[I] = Out.Values[I] >= 0.5 ? 0.0 : 1.0;
+      break;
+    case ParamKind::Enum:
+      Out.Values[I] = static_cast<double>(R.uniformInt(
+          static_cast<int64_t>(S.Min), static_cast<int64_t>(S.Max)));
+      break;
+    }
+  }
+  clamp(Out);
+  return Out;
+}
+
+Config ConfigSpace::crossover(const Config &A, const Config &B, Rng &R) const {
+  assert(A.Values.size() == Specs.size() && B.Values.size() == Specs.size() &&
+         "config/space size mismatch");
+  Config Out;
+  Out.Values.reserve(Specs.size());
+  for (size_t I = 0, E = Specs.size(); I != E; ++I)
+    Out.Values.push_back(R.flip() ? A.Values[I] : B.Values[I]);
+  return Out;
+}
+
+void ConfigSpace::clamp(Config &C) const {
+  assert(C.Values.size() == Specs.size() && "config/space size mismatch");
+  for (size_t I = 0, E = Specs.size(); I != E; ++I) {
+    const ParamSpec &S = Specs[I];
+    C.Values[I] = wbt::clamp(C.Values[I], S.Min, S.Max);
+    if (S.Kind != ParamKind::Double)
+      C.Values[I] = std::round(C.Values[I]);
+  }
+}
+
+std::string ConfigSpace::describe(const Config &C) const {
+  std::string Out;
+  char Buf[128];
+  for (size_t I = 0, E = Specs.size(); I != E; ++I) {
+    const ParamSpec &S = Specs[I];
+    if (I)
+      Out += " ";
+    switch (S.Kind) {
+    case ParamKind::Double:
+      std::snprintf(Buf, sizeof(Buf), "%s=%.6g", S.Name.c_str(), C.Values[I]);
+      break;
+    case ParamKind::Int:
+      std::snprintf(Buf, sizeof(Buf), "%s=%lld", S.Name.c_str(),
+                    static_cast<long long>(C.asInt(I)));
+      break;
+    case ParamKind::Bool:
+      std::snprintf(Buf, sizeof(Buf), "%s=%s", S.Name.c_str(),
+                    C.asBool(I) ? "true" : "false");
+      break;
+    case ParamKind::Enum:
+      std::snprintf(Buf, sizeof(Buf), "%s=%s", S.Name.c_str(),
+                    S.Choices[C.asEnum(I)].c_str());
+      break;
+    }
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,114 @@
+//===- param/ConfigSpace.h - Tunable parameter spaces -----------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed descriptions of tunable parameters and concrete configurations.
+/// Both the white-box engine (per-stage parameter subsets) and the
+/// black-box baseline (the full cross-product space) draw, mutate and
+/// cross configurations through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_PARAM_CONFIGSPACE_H
+#define WBT_PARAM_CONFIGSPACE_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbt {
+
+/// The representable parameter categories.
+enum class ParamKind { Double, Int, Bool, Enum };
+
+/// Description of a single tunable parameter. Every kind is carried in a
+/// double: integers are rounded, booleans are 0/1, enums are the index
+/// into \c Choices.
+struct ParamSpec {
+  std::string Name;
+  ParamKind Kind = ParamKind::Double;
+  double Min = 0.0;
+  double Max = 1.0;
+  double Default = 0.0;
+  /// Draw and mutate on a log scale (Min must be > 0).
+  bool LogScale = false;
+  /// Labels for ParamKind::Enum.
+  std::vector<std::string> Choices;
+};
+
+/// A point in a ConfigSpace: one double per parameter, in spec order.
+struct Config {
+  std::vector<double> Values;
+
+  double asDouble(size_t I) const { return Values[I]; }
+  int64_t asInt(size_t I) const {
+    return static_cast<int64_t>(Values[I] + (Values[I] >= 0 ? 0.5 : -0.5));
+  }
+  bool asBool(size_t I) const { return Values[I] >= 0.5; }
+  size_t asEnum(size_t I) const { return static_cast<size_t>(asInt(I)); }
+
+  bool operator==(const Config &O) const { return Values == O.Values; }
+};
+
+/// An ordered collection of parameter specs with draw/mutate/cross
+/// operations over concrete configurations.
+class ConfigSpace {
+public:
+  /// Adds a continuous parameter; \returns its index.
+  size_t addDouble(std::string Name, double Min, double Max, double Default,
+                   bool LogScale = false);
+
+  /// Adds an integer parameter; \returns its index.
+  size_t addInt(std::string Name, int64_t Min, int64_t Max, int64_t Default);
+
+  /// Adds a boolean parameter; \returns its index.
+  size_t addBool(std::string Name, bool Default);
+
+  /// Adds an enumerated parameter; \returns its index.
+  size_t addEnum(std::string Name, std::vector<std::string> Choices,
+                 size_t Default);
+
+  size_t size() const { return Specs.size(); }
+  bool empty() const { return Specs.empty(); }
+  const ParamSpec &spec(size_t I) const { return Specs[I]; }
+  const std::vector<ParamSpec> &specs() const { return Specs; }
+
+  /// Index of the parameter named \p Name; asserts if absent.
+  size_t indexOf(const std::string &Name) const;
+
+  /// True if a parameter named \p Name exists.
+  bool contains(const std::string &Name) const;
+
+  /// The all-defaults configuration.
+  Config defaultConfig() const;
+
+  /// Independent uniform (or log-uniform) draw of every parameter.
+  Config randomConfig(Rng &R) const;
+
+  /// Gaussian-perturbs each parameter with probability \p MutateProb;
+  /// \p Scale is the stddev as a fraction of the parameter range.
+  Config mutate(const Config &C, Rng &R, double Scale = 0.1,
+                double MutateProb = 1.0) const;
+
+  /// Uniform crossover: each parameter picked from A or B with equal
+  /// probability.
+  Config crossover(const Config &A, const Config &B, Rng &R) const;
+
+  /// Clamps every value into its legal range (and snaps discrete kinds).
+  void clamp(Config &C) const;
+
+  /// Renders "name=value" pairs for logs and reports.
+  std::string describe(const Config &C) const;
+
+private:
+  std::vector<ParamSpec> Specs;
+};
+
+} // namespace wbt
+
+#endif // WBT_PARAM_CONFIGSPACE_H

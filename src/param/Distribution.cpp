@@ -1,0 +1,185 @@
+//===- param/Distribution.cpp - Value distributions for @sample ----------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "param/Distribution.h"
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+
+Distribution Distribution::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "inverted uniform range");
+  Distribution D;
+  D.TheKind = Kind::Uniform;
+  D.Lo = Lo;
+  D.Hi = Hi;
+  return D;
+}
+
+Distribution Distribution::logUniform(double Lo, double Hi) {
+  assert(Lo > 0 && Lo <= Hi && "log-uniform needs 0 < Lo <= Hi");
+  Distribution D;
+  D.TheKind = Kind::LogUniform;
+  D.Lo = Lo;
+  D.Hi = Hi;
+  return D;
+}
+
+Distribution Distribution::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "inverted integer range");
+  Distribution D;
+  D.TheKind = Kind::UniformInt;
+  D.Lo = static_cast<double>(Lo);
+  D.Hi = static_cast<double>(Hi);
+  return D;
+}
+
+Distribution Distribution::gaussian(double Mean, double Stddev, double Lo,
+                                    double Hi) {
+  assert(Lo <= Hi && "inverted truncation range");
+  Distribution D;
+  D.TheKind = Kind::Gaussian;
+  D.Mean = Mean;
+  D.Stddev = Stddev;
+  D.Lo = Lo;
+  D.Hi = Hi;
+  return D;
+}
+
+Distribution Distribution::choice(std::vector<double> Values) {
+  assert(!Values.empty() && "choice distribution needs candidates");
+  Distribution D;
+  D.TheKind = Kind::Choice;
+  D.Values = std::move(Values);
+  D.Lo = D.Values.front();
+  D.Hi = D.Values.front();
+  for (double V : D.Values) {
+    D.Lo = std::min(D.Lo, V);
+    D.Hi = std::max(D.Hi, V);
+  }
+  return D;
+}
+
+double Distribution::sample(Rng &R) const {
+  switch (TheKind) {
+  case Kind::Uniform:
+    return R.uniform(Lo, Hi);
+  case Kind::LogUniform:
+    return R.logUniform(Lo, Hi);
+  case Kind::UniformInt:
+    return static_cast<double>(R.uniformInt(static_cast<int64_t>(Lo),
+                                            static_cast<int64_t>(Hi)));
+  case Kind::Gaussian:
+    return clamp(R.gaussian(Mean, Stddev), Lo, Hi);
+  case Kind::Choice:
+    return R.pick(Values);
+  }
+  return Lo;
+}
+
+double Distribution::defaultValue() const {
+  switch (TheKind) {
+  case Kind::Uniform:
+    return 0.5 * (Lo + Hi);
+  case Kind::LogUniform:
+    return std::exp(0.5 * (std::log(Lo) + std::log(Hi)));
+  case Kind::UniformInt:
+    return std::round(0.5 * (Lo + Hi));
+  case Kind::Gaussian:
+    return clamp(Mean, Lo, Hi);
+  case Kind::Choice:
+    return Values.front();
+  }
+  return Lo;
+}
+
+namespace {
+
+/// Acklam's rational approximation of the inverse normal CDF; relative
+/// error below 1.15e-9 over (0, 1).
+double probit(double P) {
+  static const double A[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double B[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double C[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double D[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double PLow = 0.02425, PHigh = 1 - PLow;
+  P = clamp(P, 1e-12, 1 - 1e-12);
+  if (P < PLow) {
+    double Q = std::sqrt(-2 * std::log(P));
+    return (((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+            C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1);
+  }
+  if (P > PHigh) {
+    double Q = std::sqrt(-2 * std::log(1 - P));
+    return -(((((C[0] * Q + C[1]) * Q + C[2]) * Q + C[3]) * Q + C[4]) * Q +
+             C[5]) /
+           ((((D[0] * Q + D[1]) * Q + D[2]) * Q + D[3]) * Q + 1);
+  }
+  double Q = P - 0.5, R2 = Q * Q;
+  return (((((A[0] * R2 + A[1]) * R2 + A[2]) * R2 + A[3]) * R2 + A[4]) * R2 +
+          A[5]) *
+         Q /
+         (((((B[0] * R2 + B[1]) * R2 + B[2]) * R2 + B[3]) * R2 + B[4]) * R2 +
+          1);
+}
+
+} // namespace
+
+double Distribution::quantile(double U) const {
+  U = clamp(U, 0.0, 1.0);
+  switch (TheKind) {
+  case Kind::Uniform:
+    return Lo + U * (Hi - Lo);
+  case Kind::LogUniform:
+    return std::exp(std::log(Lo) + U * (std::log(Hi) - std::log(Lo)));
+  case Kind::UniformInt:
+    return clamp(std::floor(Lo + U * (Hi - Lo + 1.0)), Lo, Hi);
+  case Kind::Gaussian:
+    return clamp(Mean + Stddev * probit(U), Lo, Hi);
+  case Kind::Choice: {
+    size_t I = std::min(Values.size() - 1,
+                        static_cast<size_t>(U * Values.size()));
+    return Values[I];
+  }
+  }
+  return Lo;
+}
+
+double Distribution::perturb(double Current, Rng &R, double Scale) const {
+  switch (TheKind) {
+  case Kind::Uniform:
+  case Kind::Gaussian: {
+    double Span = Hi - Lo;
+    return clamp(Current + R.gaussian(0.0, Scale * Span), Lo, Hi);
+  }
+  case Kind::LogUniform: {
+    double Span = std::log(Hi) - std::log(Lo);
+    double L = std::log(clamp(Current, Lo, Hi)) + R.gaussian(0.0, Scale * Span);
+    return clamp(std::exp(L), Lo, Hi);
+  }
+  case Kind::UniformInt: {
+    double Span = Hi - Lo;
+    double Step = std::max(1.0, Scale * Span);
+    return clamp(std::round(Current + R.gaussian(0.0, Step)), Lo, Hi);
+  }
+  case Kind::Choice:
+    // Neighborhood structure is meaningless for unordered candidates;
+    // resample uniformly.
+    return R.pick(Values);
+  }
+  return Current;
+}

@@ -1,0 +1,78 @@
+//===- param/Distribution.h - Value distributions for @sample ---*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distribution argument of the paper's @sample(x, cbDist) primitive:
+/// where a sampled variable's candidate values come from. A Distribution is
+/// a small value type so it can be built inline at the sample site, e.g.
+/// \code
+///   double Sigma = Ctx.sample("sigma", wbt::Distribution::uniform(0.1, 2));
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_PARAM_DISTRIBUTION_H
+#define WBT_PARAM_DISTRIBUTION_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+
+/// A one-dimensional sampling distribution for a tuned variable.
+class Distribution {
+public:
+  enum class Kind { Uniform, LogUniform, UniformInt, Gaussian, Choice };
+
+  /// Uniform double in [Lo, Hi).
+  static Distribution uniform(double Lo, double Hi);
+  /// Log-uniform double in [Lo, Hi); bounds must be positive.
+  static Distribution logUniform(double Lo, double Hi);
+  /// Uniform integer in [Lo, Hi] inclusive.
+  static Distribution uniformInt(int64_t Lo, int64_t Hi);
+  /// Normal with the given mean/stddev, truncated to [Lo, Hi].
+  static Distribution gaussian(double Mean, double Stddev, double Lo,
+                               double Hi);
+  /// Uniform pick from an explicit candidate list.
+  static Distribution choice(std::vector<double> Values);
+
+  /// Draws one value.
+  double sample(Rng &R) const;
+
+  /// The value a *tuning* process observes: per the paper's semantics
+  /// @sample is a no-op outside sampling mode, so tuning processes proceed
+  /// with a deterministic representative value (midpoint / mean / first
+  /// choice).
+  double defaultValue() const;
+
+  /// Gaussian random-walk proposal around \p Current, used by the MCMC
+  /// sampling strategy; stays inside the distribution's support.
+  double perturb(double Current, Rng &R, double Scale = 0.15) const;
+
+  /// Maps \p U in [0, 1] to the distribution's U-quantile. Used by
+  /// stratified sampling (each run owns one stratum). For Choice, picks
+  /// the floor(U * N)-th candidate.
+  double quantile(double U) const;
+
+  Kind kind() const { return TheKind; }
+  double lo() const { return Lo; }
+  double hi() const { return Hi; }
+
+private:
+  Distribution() = default;
+
+  Kind TheKind = Kind::Uniform;
+  double Lo = 0.0;
+  double Hi = 1.0;
+  double Mean = 0.0;
+  double Stddev = 1.0;
+  std::vector<double> Values;
+};
+
+} // namespace wbt
+
+#endif // WBT_PARAM_DISTRIBUTION_H

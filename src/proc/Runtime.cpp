@@ -1,0 +1,368 @@
+//===- proc/Runtime.cpp - Fork-based WBTuner runtime ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/Runtime.h"
+
+#include "proc/SharedControl.h"
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+using namespace wbt;
+using namespace wbt::proc;
+
+namespace {
+
+uint64_t mixSeed(uint64_t X, uint64_t Y) {
+  uint64_t Z = X + 0x9e3779b97f4a7c15ULL * (Y + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t hashName(const std::string &S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : S)
+    H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
+  return H;
+}
+
+uint64_t gcd64(uint64_t A, uint64_t B) {
+  while (B) {
+    uint64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+bool makeDir(const std::string &Path) {
+  return mkdir(Path.c_str(), 0700) == 0 || errno == EEXIST;
+}
+
+/// Recursively removes \p Path (files and directories created by us only).
+void removeTree(const std::string &Path) {
+  std::string Cmd = "rm -rf '" + Path + "'";
+  // The run directory is created via mkdtemp under our control; paths
+  // never contain quotes.
+  int Rc = std::system(Cmd.c_str());
+  (void)Rc;
+}
+
+std::string sampleFilePath(const std::string &RegionDir,
+                           const std::string &Var, int I) {
+  return RegionDir + "/" + Var + "." + std::to_string(I);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AggregationView
+//===----------------------------------------------------------------------===//
+
+std::vector<int> AggregationView::committed(const std::string &Var) const {
+  std::vector<int> Out;
+  for (int I = 0; I != Spawned; ++I)
+    if (access(sampleFilePath(RegionDir, Var, I).c_str(), R_OK) == 0)
+      Out.push_back(I);
+  return Out;
+}
+
+bool AggregationView::loadBytes(const std::string &Var, int I,
+                                std::vector<uint8_t> &Out) const {
+  return readFileBytes(sampleFilePath(RegionDir, Var, I), Out);
+}
+
+double AggregationView::loadDouble(const std::string &Var, int I,
+                                   double Default) const {
+  std::vector<uint8_t> Bytes;
+  if (!loadBytes(Var, I, Bytes))
+    return Default;
+  return decodeDouble(Bytes, Default);
+}
+
+std::vector<double> AggregationView::loadDoubles(const std::string &Var,
+                                                 int I) const {
+  std::vector<uint8_t> Bytes;
+  if (!loadBytes(Var, I, Bytes))
+    return {};
+  return decodeVector<double>(Bytes);
+}
+
+std::vector<uint8_t> AggregationView::loadMask(const std::string &Var,
+                                               int I) const {
+  std::vector<uint8_t> Bytes;
+  if (!loadBytes(Var, I, Bytes))
+    return {};
+  return decodeVector<uint8_t>(Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime
+//===----------------------------------------------------------------------===//
+
+Runtime &Runtime::get() {
+  static Runtime Instance;
+  return Instance;
+}
+
+void Runtime::init(const RuntimeOptions &InOpts) {
+  assert(!Inited && "proc runtime initialized twice");
+  Opts = InOpts;
+  if (Opts.RunDir.empty()) {
+    char Template[] = "/tmp/wbtuner.XXXXXX";
+    char *Dir = mkdtemp(Template);
+    assert(Dir && "mkdtemp failed");
+    Opts.RunDir = Dir;
+  } else {
+    makeDir(Opts.RunDir);
+  }
+  makeDir(Opts.RunDir + "/exposed");
+
+  Ctl = std::make_unique<SharedControl>();
+  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler);
+
+  Inited = true;
+  IsRoot = true;
+  Mode = ModeKind::Tuning;
+  TpId = 0;
+  TpDir = Opts.RunDir + "/tp0";
+  makeDir(TpDir);
+  TheRng = Rng(mixSeed(Opts.Seed, 0));
+  // The root tuning process occupies a pool slot like any other process.
+  Ctl->acquireSlot(/*IsTuning=*/true);
+}
+
+void Runtime::finish() {
+  assert(Inited && "finish() before init()");
+  assert(isTuning() && "sampling processes terminate in aggregate()");
+  // Reap our own split children first; their finish() already waited for
+  // theirs, so this transitively covers all descendants.
+  for (pid_t Pid : SplitChildren)
+    waitpid(Pid, nullptr, 0);
+  SplitChildren.clear();
+  if (IsRoot) {
+    Ctl->waitLiveTuningProcesses(1);
+    Ctl->releaseSlot();
+    if (!Opts.KeepFiles)
+      removeTree(Opts.RunDir);
+    Inited = false;
+    Ctl.reset();
+    return;
+  }
+  Ctl->tuningProcessExited();
+  Ctl->releaseSlot();
+}
+
+void Runtime::finishAndExit() {
+  finish();
+  std::fflush(nullptr); // _exit(2) skips stdio teardown
+  _exit(0);
+}
+
+std::string Runtime::regionDir(uint64_t Region) const {
+  return TpDir + "/r" + std::to_string(Region);
+}
+
+void Runtime::exitChild() {
+  // Controlled exit of a sampling process: leave the region barrier so a
+  // pending @sync cannot deadlock, then return the pool slot. _exit(2)
+  // skips stdio teardown, so flush what the user printed first.
+  std::fflush(nullptr);
+  Ctl->barrierLeave(BarrierSlot);
+  Ctl->releaseSlot();
+  _exit(0);
+}
+
+void Runtime::sampling(int N, SamplingKind Kind) {
+  assert(Inited && "sampling() before init()");
+  assert(N > 0 && "region needs at least one sample");
+  // Rule [SAMPLING] only applies in a tuning process; in a sampling
+  // process it is a no-op.
+  if (isSampling())
+    return;
+  assert(!RegionActive && "nested @sampling regions are not supported");
+
+  ++RegionCounter;
+  std::string Dir = regionDir(RegionCounter);
+  makeDir(Dir);
+
+  RegionN = N;
+  RegionKind = Kind;
+  BarrierSlot = static_cast<int>(
+      mixSeed(TpId, RegionCounter) % static_cast<uint64_t>(NumBarrierSlots));
+  Ctl->barrierReset(BarrierSlot, N);
+  ChildPids.clear();
+  ChildPids.reserve(N);
+
+  // Flush stdio before forking so children do not replay the parent's
+  // buffered output.
+  std::fflush(nullptr);
+  for (int I = 0; I != N; ++I) {
+    // Alg. 1: a sampling spawn waits only for a free slot.
+    Ctl->acquireSlot(/*IsTuning=*/false);
+    pid_t Pid = fork();
+    assert(Pid >= 0 && "fork failed");
+    if (Pid == 0) {
+      // Sampling child: it owns the slot just acquired and releases it in
+      // exitChild().
+      Mode = ModeKind::Sampling;
+      ChildIndex = I;
+      RegionActive = true;
+      ChildPids.clear();
+      SplitChildren.clear();
+      TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
+                           (RegionCounter << 20) + static_cast<uint64_t>(I)));
+      return;
+    }
+    ChildPids.push_back(Pid);
+  }
+  RegionActive = true;
+}
+
+double Runtime::sample(const std::string &Name, const Distribution &D) {
+  assert(Inited && "sample() before init()");
+  // Rule [SAMPLE] applies only in sampling processes; the tuning process
+  // proceeds with the distribution's representative value.
+  if (!isSampling())
+    return D.defaultValue();
+  if (RegionKind == SamplingKind::Random)
+    return D.sample(TheRng);
+  // Stratified: child I deterministically owns stratum perm(I), where
+  // perm is an affine map with a name-derived multiplier (coprime to N)
+  // and offset, so different variables get different stratum orders.
+  uint64_t N = static_cast<uint64_t>(RegionN);
+  uint64_t H = hashName(Name);
+  uint64_t Mult = (H | 1) % N;
+  if (Mult == 0 || gcd64(Mult, N) != 1)
+    Mult = 1;
+  uint64_t Offset = (H >> 17) % N;
+  uint64_t Stratum = (static_cast<uint64_t>(ChildIndex) * Mult + Offset) % N;
+  double U = (static_cast<double>(Stratum) + 0.5) / static_cast<double>(N);
+  return D.quantile(U);
+}
+
+void Runtime::check(bool Ok) {
+  assert(Inited && "check() before init()");
+  // Rule [CHECK] applies only in sampling processes.
+  if (!isSampling() || Ok)
+    return;
+  exitChild();
+}
+
+void Runtime::sync(const std::function<void()> &BarrierCb) {
+  assert(Inited && RegionActive && "sync() outside a sampling region");
+  if (isSampling()) {
+    // Rule [SYNC-S]: notify the tuning process, wait to be released.
+    Ctl->barrierArriveAndWait(BarrierSlot);
+    return;
+  }
+  // Rule [SYNC-T]: wait for every live child, run the callback, release.
+  Ctl->barrierWaitAll(BarrierSlot);
+  if (BarrierCb)
+    BarrierCb();
+  Ctl->barrierRelease(BarrierSlot);
+}
+
+void Runtime::commitExtra(const std::string &Var,
+                          const std::vector<uint8_t> &Bytes) {
+  assert(Inited && "commitExtra() before init()");
+  if (!isSampling())
+    return;
+  assert(RegionActive && "commit outside a sampling region");
+  writeFileBytes(sampleFilePath(regionDir(RegionCounter), Var, ChildIndex),
+                 Bytes);
+}
+
+void Runtime::aggregate(const std::string &Var,
+                        const std::vector<uint8_t> &Bytes,
+                        const std::function<void(AggregationView &)> &Cb) {
+  assert(Inited && RegionActive && "aggregate() outside a sampling region");
+  if (isSampling()) {
+    // Rule [AGGR-S]: commit this run's outcome and terminate.
+    writeFileBytes(sampleFilePath(regionDir(RegionCounter), Var, ChildIndex),
+                   Bytes);
+    exitChild();
+  }
+  // Rule [AGGR-T]: wait for all children, then aggregate. A child that
+  // exits without committing (pruned by @check, or crashed) simply has no
+  // file in the store.
+  for (pid_t Pid : ChildPids)
+    waitpid(Pid, nullptr, 0);
+  ChildPids.clear();
+  AggregationView View(regionDir(RegionCounter), RegionN);
+  RegionActive = false;
+  if (Cb)
+    Cb(View);
+}
+
+bool Runtime::split() {
+  assert(Inited && "split() before init()");
+  assert(isTuning() && "rule [SPLIT] applies to tuning processes only");
+  Ctl->tuningProcessForked();
+  // Alg. 1: a tuning spawn waits for the 75% gate.
+  Ctl->acquireSlot(/*IsTuning=*/true);
+  std::fflush(nullptr); // keep buffered stdio out of the child
+  pid_t Pid = fork();
+  assert(Pid >= 0 && "fork failed");
+  if (Pid != 0) {
+    SplitChildren.push_back(Pid);
+    return false;
+  }
+  // Child tuning process: fresh aggregation store and region bookkeeping;
+  // the regular store (address space) is inherited, the sample store is
+  // not, per rule [SPLIT].
+  IsRoot = false;
+  TpId = Ctl->nextTpId();
+  TpDir = Opts.RunDir + "/tp" + std::to_string(TpId);
+  makeDir(TpDir);
+  RegionCounter = 0;
+  RegionActive = false;
+  ChildPids.clear();
+  SplitChildren.clear();
+  TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
+  return true;
+}
+
+void Runtime::expose(const std::string &Name,
+                     const std::vector<uint8_t> &Bytes) {
+  assert(Inited && "expose() before init()");
+  // Rule [EXPOSE] applies to tuning processes; we accept it from sampling
+  // processes too (their exposed values are visible run-wide).
+  writeFileBytes(Opts.RunDir + "/exposed/" + Name, Bytes);
+}
+
+bool Runtime::load(const std::string &Name, std::vector<uint8_t> &Out) const {
+  assert(Inited && "load() before init()");
+  return readFileBytes(Opts.RunDir + "/exposed/" + Name, Out);
+}
+
+void Runtime::sharedScalarAdd(int Cell, double X) { Ctl->scalarAdd(Cell, X); }
+void Runtime::sharedScalarReset(int Cell) { Ctl->scalarReset(Cell); }
+double Runtime::sharedScalarMin(int Cell) const { return Ctl->scalarMin(Cell); }
+double Runtime::sharedScalarMax(int Cell) const { return Ctl->scalarMax(Cell); }
+double Runtime::sharedScalarMean(int Cell) const {
+  return Ctl->scalarMean(Cell);
+}
+size_t Runtime::sharedScalarCount(int Cell) const {
+  return Ctl->scalarCount(Cell);
+}
+
+void Runtime::sharedVoteAdd(const std::vector<uint8_t> &Mask) {
+  Ctl->voteAdd(Mask.data(), Mask.size());
+}
+size_t Runtime::sharedVoteRuns() const { return Ctl->voteRuns(); }
+std::vector<uint8_t> Runtime::sharedVoteResult(double Threshold) const {
+  return Ctl->voteResult(Threshold);
+}
+void Runtime::sharedVoteReset() { Ctl->voteReset(); }

@@ -1,0 +1,275 @@
+//===- proc/Runtime.h - Fork-based WBTuner runtime --------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's runtime, faithfully multi-process: tuning primitives are
+/// plain library calls inserted into an existing program (paper Fig. 3/4),
+/// and sampling is realized by fork(2) so that every sampling process
+/// inherits the full program state reached so far — the "reused full
+/// execution" that gives white-box tuning its asymptotic edge (paper
+/// Sec. I-C).
+///
+/// Primitive mapping (paper -> here):
+///   @sampling(n, cbStrgy)  -> Runtime::sampling(n, kind)
+///   @sample(x, cbDist)     -> x = Runtime::sample("x", dist)
+///   @aggregate(x, cbAggr)  -> Runtime::aggregate("x", bytes, cb)
+///   @split()               -> Runtime::split()
+///   @sync(cbBarrier)       -> Runtime::sync(cb)
+///   @check(cbChk)          -> Runtime::check(ok)
+///   @expose(x)             -> Runtime::expose("x", bytes)
+///   y = @load(x)           -> Runtime::load("x", out)
+///   y = @loadS(x, i)       -> AggregationView::loadBytes("x", i, out)
+///
+/// Semantics follow paper Fig. 8: after sampling() both the tuning process
+/// and the children execute the region body; @sample is a no-op in the
+/// tuning process (it observes each distribution's default value), and the
+/// sampling children terminate inside aggregate() after committing. Guard
+/// expensive region code with isSampling() if the tuning process should
+/// not duplicate it.
+///
+/// The aggregation store is file-backed exactly as in paper Sec. III-B1:
+/// each sampling process commits its result variables into per-index files
+/// inside a directory owned by its tuning process. The process pool and
+/// the 75% tuning-spawn gate (Alg. 1) live in shared memory
+/// (proc/SharedControl.h). Limitations vs. the in-process engine
+/// (core/Pipeline.h): feedback-driven strategies (MCMC) are not available
+/// across processes, and the caller must be single-threaded when invoking
+/// sampling()/split() (standard fork discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_PROC_RUNTIME_H
+#define WBT_PROC_RUNTIME_H
+
+#include "param/Distribution.h"
+#include "support/ByteBuffer.h"
+
+#include <sys/types.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace proc {
+
+class SharedControl;
+
+/// Sampling strategies available across processes.
+enum class SamplingKind {
+  /// Independent draws from each variable's distribution.
+  Random,
+  /// Deterministic stratification: child i lands in stratum
+  /// perm(i) of each variable's quantile space.
+  Stratified,
+};
+
+struct RuntimeOptions {
+  /// Root directory for the run's stores; empty = fresh mkdtemp(3) dir.
+  std::string RunDir;
+  /// MAX_POOL_SIZE of paper Alg. 1; 0 = hardware concurrency.
+  unsigned MaxPool = 0;
+  /// Apply the Alg. 1 pool rules; false = unbounded spawning (Fig. 10).
+  bool UseScheduler = true;
+  uint64_t Seed = 1;
+  /// Elements in the shared majority-vote buffer.
+  size_t VoteSlots = 1u << 20;
+  /// Keep the run directory on finish() (debugging).
+  bool KeepFiles = false;
+};
+
+/// Read access to one region's committed sample results (the aggregation
+/// store of the owning tuning process), passed to aggregation callbacks.
+class AggregationView {
+public:
+  AggregationView(std::string RegionDir, int Spawned)
+      : RegionDir(std::move(RegionDir)), Spawned(Spawned) {}
+
+  /// Number of sampling processes the region spawned.
+  int spawned() const { return Spawned; }
+
+  /// Indices of children that committed variable \p Var (ascending).
+  /// Children pruned by @check or crashed do not appear.
+  std::vector<int> committed(const std::string &Var) const;
+
+  /// @loadS(x, i): raw committed bytes of \p Var from child \p I.
+  bool loadBytes(const std::string &Var, int I,
+                 std::vector<uint8_t> &Out) const;
+
+  /// Typed helpers over loadBytes().
+  double loadDouble(const std::string &Var, int I, double Default = 0) const;
+  std::vector<double> loadDoubles(const std::string &Var, int I) const;
+  std::vector<uint8_t> loadMask(const std::string &Var, int I) const;
+
+private:
+  std::string RegionDir;
+  int Spawned;
+};
+
+/// The per-process runtime singleton.
+class Runtime {
+public:
+  /// The calling process' runtime handle.
+  static Runtime &get();
+
+  /// Initializes the root tuning process. Call once, before any primitive.
+  void init(const RuntimeOptions &Opts = RuntimeOptions());
+  bool initialized() const { return Inited; }
+
+  /// Ends this tuning process. The root waits for every @split descendant
+  /// first and then removes the run directory; split children must call
+  /// finishAndExit() instead.
+  void finish();
+
+  /// finish() + _exit(0); for @split children whose work is done.
+  [[noreturn]] void finishAndExit();
+
+  //===--------------------------------------------------------------------===
+  // Primitives
+  //===--------------------------------------------------------------------===
+
+  /// @sampling(n, cbStrgy): forks \p N sampling children (through the
+  /// pool gate). Both the parent (tuning mode) and the children (sampling
+  /// mode) return and execute the region body.
+  void sampling(int N, SamplingKind Kind = SamplingKind::Random);
+
+  /// @sample(x, cbDist): draws this run's value of \p Name; the tuning
+  /// process observes D.defaultValue() (the rule is a no-op in T mode).
+  double sample(const std::string &Name, const Distribution &D);
+
+  /// @check(cbChk): in a sampling process, terminates it when \p Ok is
+  /// false (the run is pruned); no-op in a tuning process.
+  void check(bool Ok);
+
+  /// @sync(cbBarrier): all live sampling children of the current region
+  /// block; once every one arrived, \p BarrierCb runs in the tuning
+  /// process, then everyone proceeds.
+  ///
+  /// A region that uses sync() needs all its children alive at once, so
+  /// its sample count must not exceed MaxPool - 1 or the pool gate
+  /// deadlocks against the barrier.
+  void sync(const std::function<void()> &BarrierCb);
+
+  /// @aggregate(x, cbAggr): a sampling process commits \p Bytes as \p Var
+  /// into the aggregation store and terminates. The tuning process waits
+  /// for all children, then runs \p Cb over the committed results and
+  /// continues.
+  void aggregate(const std::string &Var, const std::vector<uint8_t> &Bytes,
+                 const std::function<void(AggregationView &)> &Cb);
+
+  /// Commits an additional result variable before aggregate() (the paper
+  /// supports multiple sample-result variables per region). No-op in T
+  /// mode.
+  void commitExtra(const std::string &Var, const std::vector<uint8_t> &Bytes);
+
+  /// @split(): forks a new tuning process (through the 75% gate).
+  /// \returns true in the child, false in the parent. The child inherits
+  /// the regular store (the entire address space) but owns a fresh
+  /// aggregation store, per rule [SPLIT].
+  bool split();
+
+  /// @expose(x): publishes \p Bytes under \p Name in the run-global
+  /// exposed store (file-backed, available to every process and scope).
+  void expose(const std::string &Name, const std::vector<uint8_t> &Bytes);
+
+  /// @load(x): reads an exposed value. \returns false if absent.
+  bool load(const std::string &Name, std::vector<uint8_t> &Out) const;
+
+  //===--------------------------------------------------------------------===
+  // Mode and identity
+  //===--------------------------------------------------------------------===
+
+  bool isSampling() const { return Mode == ModeKind::Sampling; }
+  bool isTuning() const { return Mode == ModeKind::Tuning; }
+  /// Child index within the current region, or -1 in a tuning process.
+  int sampleIndex() const { return isSampling() ? ChildIndex : -1; }
+  uint64_t tuningProcessId() const { return TpId; }
+  /// Deterministic per-process random stream.
+  Rng &rng() { return TheRng; }
+
+  //===--------------------------------------------------------------------===
+  // Shared incremental aggregation (paper Sec. IV-B across processes)
+  //===--------------------------------------------------------------------===
+
+  void sharedScalarAdd(int Cell, double X);
+  void sharedScalarReset(int Cell);
+  double sharedScalarMin(int Cell) const;
+  double sharedScalarMax(int Cell) const;
+  double sharedScalarMean(int Cell) const;
+  size_t sharedScalarCount(int Cell) const;
+
+  void sharedVoteAdd(const std::vector<uint8_t> &Mask);
+  size_t sharedVoteRuns() const;
+  std::vector<uint8_t> sharedVoteResult(double Threshold = 0.5) const;
+  void sharedVoteReset();
+
+  const std::string &runDir() const { return Opts.RunDir; }
+
+private:
+  Runtime() = default;
+
+  enum class ModeKind { Tuning, Sampling };
+
+  std::string regionDir(uint64_t Region) const;
+  [[noreturn]] void exitChild();
+
+  RuntimeOptions Opts;
+  std::unique_ptr<SharedControl> Ctl;
+  bool Inited = false;
+  bool IsRoot = false;
+  ModeKind Mode = ModeKind::Tuning;
+  uint64_t TpId = 0;
+  std::string TpDir;
+  uint64_t RegionCounter = 0;
+  Rng TheRng;
+
+  // Current region state.
+  bool RegionActive = false;
+  int RegionN = 0;
+  SamplingKind RegionKind = SamplingKind::Random;
+  int BarrierSlot = 0;
+  int ChildIndex = -1;
+  std::vector<pid_t> ChildPids;   // tuning side
+  std::vector<pid_t> SplitChildren;
+};
+
+//===----------------------------------------------------------------------===//
+// Typed commit/expose helpers
+//===----------------------------------------------------------------------===//
+
+/// Encodes a double for aggregate()/expose().
+inline std::vector<uint8_t> encodeDouble(double X) {
+  ByteWriter W;
+  W.write(X);
+  return W.take();
+}
+
+inline double decodeDouble(const std::vector<uint8_t> &Bytes,
+                           double Default = 0) {
+  ByteReader R(Bytes);
+  double X = R.read<double>();
+  return R.ok() ? X : Default;
+}
+
+/// Encodes a vector of trivially copyable elements.
+template <typename T>
+std::vector<uint8_t> encodeVector(const std::vector<T> &V) {
+  ByteWriter W;
+  W.writeVector(V);
+  return W.take();
+}
+
+template <typename T>
+std::vector<T> decodeVector(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  return R.readVector<T>();
+}
+
+} // namespace proc
+} // namespace wbt
+
+#endif // WBT_PROC_RUNTIME_H

@@ -1,0 +1,350 @@
+//===- proc/SharedControl.cpp - Cross-process shared state ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/SharedControl.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+using namespace wbt;
+using namespace wbt::proc;
+
+namespace {
+
+/// A pthread mutex + condvar pair configured for cross-process use.
+struct SharedLock {
+  pthread_mutex_t Mutex;
+  pthread_cond_t Cond;
+
+  void init() {
+    pthread_mutexattr_t MA;
+    pthread_mutexattr_init(&MA);
+    pthread_mutexattr_setpshared(&MA, PTHREAD_PROCESS_SHARED);
+    pthread_mutex_init(&Mutex, &MA);
+    pthread_mutexattr_destroy(&MA);
+    pthread_condattr_t CA;
+    pthread_condattr_init(&CA);
+    pthread_condattr_setpshared(&CA, PTHREAD_PROCESS_SHARED);
+    pthread_cond_init(&Cond, &CA);
+    pthread_condattr_destroy(&CA);
+  }
+};
+
+struct Barrier {
+  SharedLock Lock;
+  int Expected;
+  int Arrived;
+  uint64_t Generation;
+};
+
+struct ScalarCell {
+  SharedLock Lock;
+  double Min;
+  double Max;
+  double Sum;
+  uint64_t Count;
+};
+
+} // namespace
+
+namespace wbt {
+namespace proc {
+
+struct SharedLayout {
+  // Pool (Alg. 1).
+  SharedLock PoolLock;
+  int FreeSlots;
+  unsigned MaxPool;
+  int UseScheduler; // 0/1
+
+  // Tuning process accounting.
+  SharedLock TpLock;
+  int LiveTps;
+  uint64_t NextTp;
+
+  Barrier Barriers[NumBarrierSlots];
+  ScalarCell Scalars[NumScalarCells];
+
+  // Vote buffer.
+  SharedLock VoteLock;
+  uint64_t VoteRuns;
+  uint64_t VoteSize;     // elements used (fixed by first add)
+  uint64_t VoteCapacity; // elements available
+  // uint32_t VoteCounts[VoteCapacity] follows the struct in memory.
+};
+
+} // namespace proc
+} // namespace wbt
+
+static uint32_t *voteCounts(SharedLayout *L) {
+  return reinterpret_cast<uint32_t *>(L + 1);
+}
+
+SharedControl::~SharedControl() {
+  if (Layout)
+    munmap(Layout, MappedBytes);
+}
+
+void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
+                         bool UseScheduler) {
+  assert(!Layout && "SharedControl initialized twice");
+  if (MaxPool == 0)
+    MaxPool = std::max(2u, std::thread::hardware_concurrency());
+  MappedBytes = sizeof(SharedLayout) + VoteSlots * sizeof(uint32_t);
+  void *Mem = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  assert(Mem != MAP_FAILED && "mmap of shared control block failed");
+  std::memset(Mem, 0, MappedBytes);
+  Layout = static_cast<SharedLayout *>(Mem);
+
+  Layout->PoolLock.init();
+  Layout->FreeSlots = static_cast<int>(MaxPool);
+  Layout->MaxPool = MaxPool;
+  Layout->UseScheduler = UseScheduler ? 1 : 0;
+
+  Layout->TpLock.init();
+  Layout->LiveTps = 1; // the root tuning process
+  Layout->NextTp = 1;
+
+  for (Barrier &B : Layout->Barriers)
+    B.Lock.init();
+  for (ScalarCell &C : Layout->Scalars) {
+    C.Lock.init();
+    C.Min = std::numeric_limits<double>::infinity();
+    C.Max = -std::numeric_limits<double>::infinity();
+  }
+
+  Layout->VoteLock.init();
+  Layout->VoteCapacity = VoteSlots;
+}
+
+//===----------------------------------------------------------------------===//
+// Pool
+//===----------------------------------------------------------------------===//
+
+void SharedControl::acquireSlot(bool IsTuning) {
+  assert(Layout && "shared control not initialized");
+  if (!Layout->UseScheduler)
+    return;
+  pthread_mutex_lock(&Layout->PoolLock.Mutex);
+  for (;;) {
+    // Alg. 1 line 8: sampling threshold is 0; tuning threshold is 75% of
+    // the pool ("it has to wait if 25% processes are occupied").
+    double Threshold =
+        IsTuning ? 0.75 * static_cast<double>(Layout->MaxPool) : 0.0;
+    // The gate never blocks a fully idle pool, so progress is guaranteed.
+    bool IdlePool = Layout->FreeSlots == static_cast<int>(Layout->MaxPool);
+    if (Layout->FreeSlots > Threshold || (IsTuning && IdlePool))
+      break;
+    pthread_cond_wait(&Layout->PoolLock.Cond, &Layout->PoolLock.Mutex);
+  }
+  --Layout->FreeSlots;
+  pthread_mutex_unlock(&Layout->PoolLock.Mutex);
+}
+
+void SharedControl::releaseSlot() {
+  if (!Layout->UseScheduler)
+    return;
+  pthread_mutex_lock(&Layout->PoolLock.Mutex);
+  ++Layout->FreeSlots;
+  pthread_cond_broadcast(&Layout->PoolLock.Cond);
+  pthread_mutex_unlock(&Layout->PoolLock.Mutex);
+}
+
+int SharedControl::freeSlots() const {
+  pthread_mutex_lock(&Layout->PoolLock.Mutex);
+  int N = Layout->FreeSlots;
+  pthread_mutex_unlock(&Layout->PoolLock.Mutex);
+  return N;
+}
+
+unsigned SharedControl::maxPool() const { return Layout->MaxPool; }
+
+//===----------------------------------------------------------------------===//
+// Tuning process accounting
+//===----------------------------------------------------------------------===//
+
+void SharedControl::tuningProcessForked() {
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  ++Layout->LiveTps;
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+}
+
+void SharedControl::tuningProcessExited() {
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  --Layout->LiveTps;
+  pthread_cond_broadcast(&Layout->TpLock.Cond);
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+}
+
+void SharedControl::waitLiveTuningProcesses(int Remaining) {
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  while (Layout->LiveTps > Remaining)
+    pthread_cond_wait(&Layout->TpLock.Cond, &Layout->TpLock.Mutex);
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+}
+
+int SharedControl::liveTuningProcesses() const {
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  int N = Layout->LiveTps;
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+  return N;
+}
+
+uint64_t SharedControl::nextTpId() {
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  uint64_t Id = Layout->NextTp++;
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+  return Id;
+}
+
+//===----------------------------------------------------------------------===//
+// Barriers
+//===----------------------------------------------------------------------===//
+
+void SharedControl::barrierReset(int Slot, int Expected) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  B.Expected = Expected;
+  B.Arrived = 0;
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierArriveAndWait(int Slot) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  ++B.Arrived;
+  uint64_t Gen = B.Generation;
+  pthread_cond_broadcast(&B.Lock.Cond);
+  while (B.Generation == Gen)
+    pthread_cond_wait(&B.Lock.Cond, &B.Lock.Mutex);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierLeave(int Slot) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  --B.Expected;
+  pthread_cond_broadcast(&B.Lock.Cond);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierWaitAll(int Slot) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  while (B.Arrived < B.Expected)
+    pthread_cond_wait(&B.Lock.Cond, &B.Lock.Mutex);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierRelease(int Slot) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  B.Arrived = 0;
+  ++B.Generation;
+  pthread_cond_broadcast(&B.Lock.Cond);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared accumulators
+//===----------------------------------------------------------------------===//
+
+void SharedControl::scalarAdd(int Cell, double X) {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  C.Min = std::min(C.Min, X);
+  C.Max = std::max(C.Max, X);
+  C.Sum += X;
+  ++C.Count;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+}
+
+void SharedControl::scalarReset(int Cell) {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  C.Min = std::numeric_limits<double>::infinity();
+  C.Max = -std::numeric_limits<double>::infinity();
+  C.Sum = 0;
+  C.Count = 0;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+}
+
+double SharedControl::scalarMin(int Cell) const {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  double V = C.Min;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+  return V;
+}
+
+double SharedControl::scalarMax(int Cell) const {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  double V = C.Max;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+  return V;
+}
+
+double SharedControl::scalarMean(int Cell) const {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  double V = C.Count ? C.Sum / static_cast<double>(C.Count) : 0.0;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+  return V;
+}
+
+size_t SharedControl::scalarCount(int Cell) const {
+  ScalarCell &C = Layout->Scalars[Cell];
+  pthread_mutex_lock(&C.Lock.Mutex);
+  size_t V = C.Count;
+  pthread_mutex_unlock(&C.Lock.Mutex);
+  return V;
+}
+
+void SharedControl::voteAdd(const uint8_t *Mask, size_t Size) {
+  pthread_mutex_lock(&Layout->VoteLock.Mutex);
+  if (Layout->VoteSize == 0)
+    Layout->VoteSize = std::min<uint64_t>(Size, Layout->VoteCapacity);
+  assert(Size >= Layout->VoteSize && "vote masks must share a size");
+  uint32_t *Counts = voteCounts(Layout);
+  for (uint64_t I = 0, E = Layout->VoteSize; I != E; ++I)
+    if (Mask[I])
+      ++Counts[I];
+  ++Layout->VoteRuns;
+  pthread_mutex_unlock(&Layout->VoteLock.Mutex);
+}
+
+size_t SharedControl::voteRuns() const {
+  pthread_mutex_lock(&Layout->VoteLock.Mutex);
+  size_t N = Layout->VoteRuns;
+  pthread_mutex_unlock(&Layout->VoteLock.Mutex);
+  return N;
+}
+
+std::vector<uint8_t> SharedControl::voteResult(double Threshold) const {
+  pthread_mutex_lock(&Layout->VoteLock.Mutex);
+  std::vector<uint8_t> Out(Layout->VoteSize, 0);
+  double Cut = Threshold * static_cast<double>(Layout->VoteRuns);
+  const uint32_t *Counts = voteCounts(Layout);
+  for (uint64_t I = 0, E = Layout->VoteSize; I != E; ++I)
+    Out[I] = Counts[I] > Cut ? 1 : 0;
+  pthread_mutex_unlock(&Layout->VoteLock.Mutex);
+  return Out;
+}
+
+void SharedControl::voteReset() {
+  pthread_mutex_lock(&Layout->VoteLock.Mutex);
+  std::memset(voteCounts(Layout), 0, Layout->VoteSize * sizeof(uint32_t));
+  Layout->VoteRuns = 0;
+  Layout->VoteSize = 0;
+  pthread_mutex_unlock(&Layout->VoteLock.Mutex);
+}

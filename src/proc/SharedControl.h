@@ -1,0 +1,135 @@
+//===- proc/SharedControl.h - Cross-process shared state --------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The anonymous shared-memory control block behind the fork-based
+/// runtime. Created once by the root tuning process and inherited by
+/// every forked sampling/tuning process. Holds:
+///
+///  * the process pool of paper Alg. 1 (slot counter + the 75% tuning
+///    admission gate) — the cross-process counterpart of core/Scheduler;
+///  * barrier slots for @sync;
+///  * the live-tuning-process counter that lets the root wait for @split
+///    descendants;
+///  * shared accumulators for incremental aggregation across processes
+///    (paper Sec. IV-B: shared min/max/avg cells and a vote buffer that
+///    replaces one-shot file aggregation).
+///
+/// Everything is built from process-shared pthread primitives inside one
+/// mmap(MAP_SHARED | MAP_ANONYMOUS) region; no names leak into the
+/// filesystem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_PROC_SHAREDCONTROL_H
+#define WBT_PROC_SHAREDCONTROL_H
+
+#include <pthread.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wbt {
+namespace proc {
+
+/// Raw POD layout of the shared region (lives in shared memory; no
+/// pointers, no non-trivial members).
+struct SharedLayout;
+
+/// Number of shared scalar-accumulator cells available via scalarCell().
+constexpr int NumScalarCells = 16;
+/// Number of barrier slots; regions reuse them round-robin.
+constexpr int NumBarrierSlots = 64;
+
+/// Owner handle over the mmap'd control block.
+class SharedControl {
+public:
+  SharedControl() = default;
+  ~SharedControl();
+
+  SharedControl(const SharedControl &) = delete;
+  SharedControl &operator=(const SharedControl &) = delete;
+
+  /// Maps and initializes the region. \p MaxPool is MAX_POOL_SIZE;
+  /// \p VoteSlots sizes the shared majority-vote buffer;
+  /// \p UseScheduler false disables pool gating (Fig. 10 ablation).
+  void init(unsigned MaxPool, size_t VoteSlots, bool UseScheduler);
+  bool initialized() const { return Layout != nullptr; }
+
+  //===--------------------------------------------------------------------===
+  // Process pool (paper Alg. 1 across real processes).
+  //===--------------------------------------------------------------------===
+
+  /// Blocks until a pool slot is free; \p IsTuning applies the 75% gate.
+  void acquireSlot(bool IsTuning);
+  /// Returns a slot to the pool.
+  void releaseSlot();
+  /// Free slots right now (diagnostics only).
+  int freeSlots() const;
+  unsigned maxPool() const;
+
+  //===--------------------------------------------------------------------===
+  // Live tuning-process accounting (for @split + shutdown).
+  //===--------------------------------------------------------------------===
+
+  /// Called by a parent immediately before forking a tuning child.
+  void tuningProcessForked();
+  /// Called by a tuning process when it finishes.
+  void tuningProcessExited();
+  /// Blocks until only \p Remaining tuning processes are alive.
+  void waitLiveTuningProcesses(int Remaining);
+  int liveTuningProcesses() const;
+  /// Draws a fresh unique tuning-process id.
+  uint64_t nextTpId();
+
+  //===--------------------------------------------------------------------===
+  // Barriers for @sync.
+  //===--------------------------------------------------------------------===
+
+  /// Child side: announce arrival at barrier \p Slot and block until the
+  /// tuning process releases the generation.
+  void barrierArriveAndWait(int Slot);
+  /// Child side: a child that will never arrive (pruned / committed)
+  /// leaves the barrier's expected set.
+  void barrierLeave(int Slot);
+  /// Tuning side: set the number of children expected at barrier \p Slot.
+  void barrierReset(int Slot, int Expected);
+  /// Tuning side: block until every still-live child has arrived.
+  void barrierWaitAll(int Slot);
+  /// Tuning side: open the next generation, releasing every waiter.
+  void barrierRelease(int Slot);
+
+  //===--------------------------------------------------------------------===
+  // Shared accumulators (incremental aggregation, paper Sec. IV-B).
+  //===--------------------------------------------------------------------===
+
+  /// Adds \p X to shared scalar cell \p Cell (min/max/sum/count).
+  void scalarAdd(int Cell, double X);
+  void scalarReset(int Cell);
+  double scalarMin(int Cell) const;
+  double scalarMax(int Cell) const;
+  double scalarMean(int Cell) const;
+  size_t scalarCount(int Cell) const;
+
+  /// Adds a binary mask into the shared vote buffer. The first add fixes
+  /// the mask size; it must be <= the VoteSlots passed to init().
+  void voteAdd(const uint8_t *Mask, size_t Size);
+  /// Current number of voted runs.
+  size_t voteRuns() const;
+  /// Majority mask (> Threshold fraction of runs).
+  std::vector<uint8_t> voteResult(double Threshold) const;
+  void voteReset();
+
+private:
+  SharedLayout *Layout = nullptr;
+  size_t MappedBytes = 0;
+};
+
+} // namespace proc
+} // namespace wbt
+
+#endif // WBT_PROC_SHAREDCONTROL_H

@@ -1,0 +1,183 @@
+//===- recsys/Slim.cpp - SLIM top-N recommender -----------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "recsys/Slim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::rec;
+
+RatingData wbt::rec::makeRatingData(uint64_t Seed, int Index,
+                                    const RatingDataOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(Index) + 7777);
+  RatingData D;
+  D.NumUsers = Opts.NumUsers;
+  D.NumItems = Opts.NumItems;
+
+  // Assign items to latent taste groups.
+  std::vector<int> ItemGroup(static_cast<size_t>(Opts.NumItems));
+  for (int I = 0; I != Opts.NumItems; ++I)
+    ItemGroup[static_cast<size_t>(I)] =
+        static_cast<int>(R.uniformInt(0, Opts.LatentGroups - 1));
+
+  for (int U = 0; U != Opts.NumUsers; ++U) {
+    int Group = static_cast<int>(R.uniformInt(0, Opts.LatentGroups - 1));
+    int Count = static_cast<int>(
+        R.uniformInt(Opts.ItemsPerUserLo, Opts.ItemsPerUserHi));
+    std::vector<uint8_t> Taken(static_cast<size_t>(Opts.NumItems), 0);
+    std::vector<int> Items;
+    int Guard = 0;
+    while (static_cast<int>(Items.size()) < Count && Guard++ < 1000) {
+      int Item = static_cast<int>(R.uniformInt(0, Opts.NumItems - 1));
+      if (Taken[static_cast<size_t>(Item)])
+        continue;
+      bool InGroup = ItemGroup[static_cast<size_t>(Item)] == Group;
+      if (!InGroup && !R.flip(Opts.NoiseRate))
+        continue;
+      Taken[static_cast<size_t>(Item)] = 1;
+      Items.push_back(Item);
+    }
+    // Hold out the last in-group item for evaluation.
+    int Held = Items.back();
+    Items.pop_back();
+    D.UserItems.push_back(std::move(Items));
+    D.HeldOut.push_back(Held);
+  }
+  return D;
+}
+
+long SlimModel::nonZeros() const {
+  long N = 0;
+  for (double V : W)
+    N += V != 0.0;
+  return N;
+}
+
+SlimModel wbt::rec::trainSlim(const RatingData &Data, const SlimParams &P) {
+  int NI = Data.NumItems;
+  SlimModel M;
+  M.NumItems = NI;
+  M.W.assign(static_cast<size_t>(NI) * NI, 0.0);
+
+  // Column-major binary user-item matrix and item co-occurrence counts.
+  std::vector<std::vector<int>> ItemUsers(static_cast<size_t>(NI));
+  for (int U = 0; U != Data.NumUsers; ++U)
+    for (int I : Data.UserItems[static_cast<size_t>(U)])
+      ItemUsers[static_cast<size_t>(I)].push_back(U);
+
+  // Gram matrix G = A^T A over binary vectors.
+  std::vector<double> G(static_cast<size_t>(NI) * NI, 0.0);
+  {
+    std::vector<uint8_t> Mark(static_cast<size_t>(Data.NumUsers), 0);
+    for (int I = 0; I != NI; ++I) {
+      for (int U : ItemUsers[static_cast<size_t>(I)])
+        Mark[static_cast<size_t>(U)] = 1;
+      for (int J = 0; J != NI; ++J) {
+        long C = 0;
+        for (int U : ItemUsers[static_cast<size_t>(J)])
+          C += Mark[static_cast<size_t>(U)];
+        G[static_cast<size_t>(I) * NI + J] = static_cast<double>(C);
+      }
+      for (int U : ItemUsers[static_cast<size_t>(I)])
+        Mark[static_cast<size_t>(U)] = 0;
+    }
+  }
+
+  // Candidate neighborhood per column: the most co-consumed items.
+  auto CandidatesOf = [&](int Col) {
+    std::vector<int> Cand;
+    if (P.NeighborhoodSize <= 0 || P.NeighborhoodSize >= NI - 1) {
+      for (int I = 0; I != NI; ++I)
+        if (I != Col)
+          Cand.push_back(I);
+      return Cand;
+    }
+    std::vector<std::pair<double, int>> Ranked;
+    for (int I = 0; I != NI; ++I)
+      if (I != Col)
+        Ranked.emplace_back(G[static_cast<size_t>(I) * NI + Col], I);
+    std::partial_sort(Ranked.begin(),
+                      Ranked.begin() + std::min<size_t>(Ranked.size(),
+                                                        P.NeighborhoodSize),
+                      Ranked.end(), std::greater<>());
+    for (int K = 0; K != P.NeighborhoodSize &&
+                    K < static_cast<int>(Ranked.size());
+         ++K)
+      Cand.push_back(Ranked[static_cast<size_t>(K)].second);
+    return Cand;
+  };
+
+  // Coordinate descent per column j: minimize
+  //   1/2 ||a_j - A w_j||^2 + l2/2 ||w_j||^2 + l1 ||w_j||_1,
+  // w >= 0, w_jj = 0. The update for coordinate i is the soft threshold
+  //   w_i = max(0, (G_ij - sum_{k != i} G_ik w_k - l1)) / (G_ii + l2).
+  for (int Col = 0; Col != NI; ++Col) {
+    std::vector<int> Cand = CandidatesOf(Col);
+    std::vector<double> W(Cand.size(), 0.0);
+    for (int Iter = 0; Iter != P.Iterations; ++Iter) {
+      double MaxDelta = 0.0;
+      for (size_t CI = 0; CI != Cand.size(); ++CI) {
+        int I = Cand[CI];
+        double Gii = G[static_cast<size_t>(I) * NI + I];
+        if (Gii <= 0)
+          continue;
+        double Residual = G[static_cast<size_t>(I) * NI + Col];
+        for (size_t CK = 0; CK != Cand.size(); ++CK) {
+          if (CK == CI || W[CK] == 0.0)
+            continue;
+          Residual -= G[static_cast<size_t>(I) * NI + Cand[CK]] * W[CK];
+        }
+        double New = std::max(0.0, (Residual - P.L1) / (Gii + P.L2));
+        MaxDelta = std::max(MaxDelta, std::fabs(New - W[CI]));
+        W[CI] = New;
+      }
+      if (MaxDelta < 1e-6)
+        break;
+    }
+    for (size_t CI = 0; CI != Cand.size(); ++CI)
+      M.W[static_cast<size_t>(Cand[CI]) * NI + Col] = W[CI];
+  }
+  return M;
+}
+
+std::vector<int> wbt::rec::recommend(const SlimModel &M,
+                                     const std::vector<int> &Consumed,
+                                     int N) {
+  std::vector<uint8_t> Seen(static_cast<size_t>(M.NumItems), 0);
+  for (int I : Consumed)
+    Seen[static_cast<size_t>(I)] = 1;
+  std::vector<std::pair<double, int>> Scores;
+  for (int Item = 0; Item != M.NumItems; ++Item) {
+    if (Seen[static_cast<size_t>(Item)])
+      continue;
+    double S = 0.0;
+    for (int I : Consumed)
+      S += M.weight(I, Item);
+    Scores.emplace_back(S, Item);
+  }
+  size_t K = std::min<size_t>(static_cast<size_t>(N), Scores.size());
+  std::partial_sort(Scores.begin(), Scores.begin() + static_cast<long>(K),
+                    Scores.end(), std::greater<>());
+  std::vector<int> Out;
+  for (size_t I = 0; I != K; ++I)
+    Out.push_back(Scores[I].second);
+  return Out;
+}
+
+double wbt::rec::hitRateAtN(const SlimModel &M, const RatingData &Data,
+                            int N) {
+  long Hits = 0;
+  for (int U = 0; U != Data.NumUsers; ++U) {
+    std::vector<int> Top =
+        recommend(M, Data.UserItems[static_cast<size_t>(U)], N);
+    Hits += std::find(Top.begin(), Top.end(),
+                      Data.HeldOut[static_cast<size_t>(U)]) != Top.end();
+  }
+  return Data.NumUsers ? static_cast<double>(Hits) / Data.NumUsers : 0.0;
+}

@@ -1,0 +1,84 @@
+//===- recsys/Slim.h - SLIM top-N recommender -------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SLIM (Ning & Karypis, the paper's [55]): a sparse item-item linear
+/// model A ~= A * W learned by coordinate descent with elastic-net
+/// regularization, W >= 0, diag(W) = 0. The paper's three tunables: the
+/// l1 and l2 penalties and the candidate neighborhood size. Evaluation is
+/// leave-one-out hit rate at N (HR@N) on synthetic implicit feedback with
+/// planted latent taste groups.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_RECSYS_SLIM_H
+#define WBT_RECSYS_SLIM_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace rec {
+
+/// Implicit feedback: per user, the set of consumed item ids.
+struct RatingData {
+  int NumUsers = 0;
+  int NumItems = 0;
+  std::vector<std::vector<int>> UserItems;
+  /// One held-out item per user (leave-one-out evaluation).
+  std::vector<int> HeldOut;
+};
+
+struct RatingDataOptions {
+  int NumUsers = 120;
+  int NumItems = 60;
+  int LatentGroups = 5;
+  int ItemsPerUserLo = 8;
+  int ItemsPerUserHi = 16;
+  /// Probability a consumption ignores the user's taste group.
+  double NoiseRate = 0.15;
+};
+
+/// Dataset number \p Index of the family identified by \p Seed.
+RatingData makeRatingData(uint64_t Seed, int Index,
+                          const RatingDataOptions &Opts = RatingDataOptions());
+
+struct SlimParams {
+  double L1 = 0.1;
+  double L2 = 0.5;
+  /// Candidate neighbors per item column (0 = all items).
+  int NeighborhoodSize = 20;
+  int Iterations = 30;
+};
+
+/// The learned item-item weight matrix (row-major, NumItems^2).
+struct SlimModel {
+  int NumItems = 0;
+  std::vector<double> W;
+
+  double weight(int From, int To) const {
+    return W[static_cast<size_t>(From) * NumItems + To];
+  }
+  /// Nonzero entries (sparsity diagnostic).
+  long nonZeros() const;
+};
+
+/// Trains SLIM by cyclic coordinate descent.
+SlimModel trainSlim(const RatingData &Data, const SlimParams &P);
+
+/// Top-N recommendations for a user (items not already consumed).
+std::vector<int> recommend(const SlimModel &M,
+                           const std::vector<int> &Consumed, int N);
+
+/// Leave-one-out HR@N over all users: the fraction whose held-out item
+/// appears in their top-N list.
+double hitRateAtN(const SlimModel &M, const RatingData &Data, int N);
+
+} // namespace rec
+} // namespace wbt
+
+#endif // WBT_RECSYS_SLIM_H

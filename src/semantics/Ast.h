@@ -1,0 +1,160 @@
+//===- semantics/Ast.h - Statement AST for the formal semantics -*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement language of paper Fig. 8. Programs are straight-line
+/// sequences of assignments and tuning primitives (plus a small `guard`
+/// extension so conditional @split sites — like line 9 of the paper's
+/// Fig. 4 — can be expressed). The Machine (semantics/Machine.h) executes
+/// them by the paper's small-step rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SEMANTICS_AST_H
+#define WBT_SEMANTICS_AST_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace sem {
+
+/// Values are numbers; rich payloads are out of scope for the semantics.
+using Value = double;
+/// The regular store sigma: Var -> Value.
+using Store = std::map<std::string, Value>;
+
+class Machine;
+struct Process;
+
+/// cbStrgy / cbAggr / cbBarrier: a callback with full access to the
+/// machine and the invoking process.
+using Callback = std::function<void(Machine &, Process &)>;
+/// cbDist: produces a sample value for the invoking process.
+using DistCallback = std::function<Value(Machine &, Process &)>;
+/// cbChk / guard predicates.
+using PredCallback = std::function<bool(Machine &, Process &)>;
+
+/// One statement of Fig. 8 (plus Guard).
+struct Stmt {
+  enum class Kind {
+    Assign,    ///< x := Expr(sigma)
+    Sampling,  ///< @sampling(n, cbStrgy)
+    Aggregate, ///< @aggregate(x, cbAggr)
+    Sample,    ///< @sample(x, cbDist)
+    Split,     ///< @split()
+    Sync,      ///< @sync(cbBarrier)
+    Check,     ///< @check(cbChk)
+    Expose,    ///< @expose(x)
+    Load,      ///< y = @load(x)
+    LoadS,     ///< y = @loadS(x, i)
+    Guard,     ///< if !pred, skip the next statement
+  };
+
+  Kind K;
+  std::string X; ///< primary variable operand
+  std::string Y; ///< destination for Load/LoadS
+  int N = 0;     ///< sample count (Sampling) or index (LoadS)
+  std::function<Value(const Store &)> Expr;
+  Callback Cb;
+  DistCallback Dist;
+  PredCallback Pred;
+};
+
+/// Builders, so programs read like the paper's examples.
+inline Stmt assign(std::string X, std::function<Value(const Store &)> Expr) {
+  Stmt S;
+  S.K = Stmt::Kind::Assign;
+  S.X = std::move(X);
+  S.Expr = std::move(Expr);
+  return S;
+}
+
+inline Stmt assignConst(std::string X, Value V) {
+  return assign(std::move(X), [V](const Store &) { return V; });
+}
+
+inline Stmt sampling(int N, Callback CbStrgy = nullptr) {
+  Stmt S;
+  S.K = Stmt::Kind::Sampling;
+  S.N = N;
+  S.Cb = std::move(CbStrgy);
+  return S;
+}
+
+inline Stmt aggregate(std::string X, Callback CbAggr = nullptr) {
+  Stmt S;
+  S.K = Stmt::Kind::Aggregate;
+  S.X = std::move(X);
+  S.Cb = std::move(CbAggr);
+  return S;
+}
+
+inline Stmt sample(std::string X, DistCallback CbDist) {
+  Stmt S;
+  S.K = Stmt::Kind::Sample;
+  S.X = std::move(X);
+  S.Dist = std::move(CbDist);
+  return S;
+}
+
+inline Stmt split() {
+  Stmt S;
+  S.K = Stmt::Kind::Split;
+  return S;
+}
+
+inline Stmt sync(Callback CbBarrier = nullptr) {
+  Stmt S;
+  S.K = Stmt::Kind::Sync;
+  S.Cb = std::move(CbBarrier);
+  return S;
+}
+
+inline Stmt check(PredCallback CbChk) {
+  Stmt S;
+  S.K = Stmt::Kind::Check;
+  S.Pred = std::move(CbChk);
+  return S;
+}
+
+inline Stmt expose(std::string X) {
+  Stmt S;
+  S.K = Stmt::Kind::Expose;
+  S.X = std::move(X);
+  return S;
+}
+
+inline Stmt load(std::string Y, std::string X) {
+  Stmt S;
+  S.K = Stmt::Kind::Load;
+  S.Y = std::move(Y);
+  S.X = std::move(X);
+  return S;
+}
+
+inline Stmt loadS(std::string Y, std::string X, int I) {
+  Stmt S;
+  S.K = Stmt::Kind::LoadS;
+  S.Y = std::move(Y);
+  S.X = std::move(X);
+  S.N = I;
+  return S;
+}
+
+inline Stmt guard(PredCallback Pred) {
+  Stmt S;
+  S.K = Stmt::Kind::Guard;
+  S.Pred = std::move(Pred);
+  return S;
+}
+
+} // namespace sem
+} // namespace wbt
+
+#endif // WBT_SEMANTICS_AST_H

@@ -1,0 +1,288 @@
+//===- semantics/Machine.cpp - Small-step interpreter of Fig. 8 -----------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Machine.h"
+
+#include <cassert>
+
+using namespace wbt;
+using namespace wbt::sem;
+
+Machine::Machine(std::vector<Stmt> Program, uint64_t Seed)
+    : Program(std::move(Program)), SchedRng(Seed), Seed(Seed) {
+  auto Root = std::make_unique<Process>();
+  Root->Pid = NextPid++;
+  Root->Mode = Process::ModeKind::Tuning;
+  Root->TheDelta = std::make_shared<Delta>();
+  Root->ProcRng = Rng(Seed ^ 0xabcdefULL);
+  Procs.push_back(std::move(Root));
+}
+
+const Process &Machine::process(int Pid) const {
+  assert(Pid >= 0 && static_cast<size_t>(Pid) < Procs.size() && "bad pid");
+  return *Procs[Pid];
+}
+
+Process &Machine::process(int Pid) {
+  assert(Pid >= 0 && static_cast<size_t>(Pid) < Procs.size() && "bad pid");
+  return *Procs[Pid];
+}
+
+std::vector<int> Machine::livePids() const {
+  std::vector<int> Out;
+  for (const auto &P : Procs)
+    if (P->Status != Process::StatusKind::Terminated)
+      Out.push_back(P->Pid);
+  return Out;
+}
+
+const Delta &Machine::deltaOf(int Pid) const { return *process(Pid).TheDelta; }
+
+bool Machine::regionChildrenDone(const Process &P) const {
+  for (int Pid : P.RegionChildren)
+    if (Procs[Pid]->Status != Process::StatusKind::Terminated)
+      return false;
+  return true;
+}
+
+bool Machine::regionChildrenAllAtBarrierOrDone(const Process &P) const {
+  for (int Pid : P.RegionChildren) {
+    Process::StatusKind S = Procs[Pid]->Status;
+    if (S != Process::StatusKind::AtBarrier &&
+        S != Process::StatusKind::Terminated)
+      return false;
+  }
+  return true;
+}
+
+bool Machine::runnable(const Process &P) const {
+  if (P.Status == Process::StatusKind::Terminated)
+    return false;
+  if (P.Status == Process::StatusKind::AtBarrier)
+    return false; // released by the tuning process
+  if (P.PC >= Program.size())
+    return true; // steps into termination
+  const Stmt &S = Program[P.PC];
+  if (P.isTuning() && S.K == Stmt::Kind::Aggregate)
+    return regionChildrenDone(P);
+  if (P.isTuning() && S.K == Stmt::Kind::Sync && !P.RegionChildren.empty())
+    return regionChildrenAllAtBarrierOrDone(P);
+  return true;
+}
+
+void Machine::terminate(Process &P) {
+  P.Status = Process::StatusKind::Terminated;
+}
+
+int Machine::spawn(Process &Parent, Process::ModeKind Mode, int SampleIndex,
+                   std::shared_ptr<Delta> D, size_t PC) {
+  auto Child = std::make_unique<Process>();
+  Child->Pid = NextPid++;
+  Child->Mode = Mode;
+  Child->SampleIndex = SampleIndex;
+  Child->ParentPid = Parent.Pid;
+  Child->Sigma = Parent.Sigma; // fork copies the regular store
+  Child->TheDelta = std::move(D);
+  Child->PC = PC;
+  Child->ProcRng =
+      Rng((Seed + 0x9e3779b9ULL * (Child->Pid + 1)) ^ 0x5eedULL);
+  int Pid = Child->Pid;
+  Procs.push_back(std::move(Child));
+  return Pid;
+}
+
+bool Machine::step() {
+  std::vector<int> Ready;
+  for (const auto &P : Procs)
+    if (runnable(*P))
+      Ready.push_back(P->Pid);
+  if (Ready.empty())
+    return false;
+  Process &P = *Procs[Ready[SchedRng.index(Ready.size())]];
+  execute(P);
+  return true;
+}
+
+size_t Machine::run(size_t MaxSteps) {
+  size_t Steps = 0;
+  while (step()) {
+    ++Steps;
+    assert(Steps < MaxSteps && "program did not quiesce");
+  }
+  return Steps;
+}
+
+bool Machine::stuck() const {
+  if (!livePids().empty()) {
+    for (const auto &P : Procs)
+      if (runnable(*P))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+void Machine::execute(Process &P) {
+  if (P.PC >= Program.size()) {
+    Trace.push_back(std::to_string(P.Pid) + ":end");
+    terminate(P);
+    return;
+  }
+  const Stmt &S = Program[P.PC];
+  switch (S.K) {
+  case Stmt::Kind::Assign:
+    P.Sigma[S.X] = S.Expr(P.Sigma);
+    Trace.push_back(std::to_string(P.Pid) + ":assign " + S.X);
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Sampling: {
+    // Rule [SAMPLING]: a no-op in sampling mode.
+    if (P.isSampling()) {
+      Trace.push_back(std::to_string(P.Pid) + ":sampling-nop");
+      ++P.PC;
+      return;
+    }
+    P.RegionChildren.clear();
+    for (int I = 0; I != S.N; ++I) {
+      int Pid = spawn(P, Process::ModeKind::Sampling, I, P.TheDelta,
+                      P.PC + 1);
+      P.RegionChildren.insert(Pid);
+      if (S.Cb)
+        S.Cb(*this, *Procs[Pid]); // invoke(cbStrgy) in the child
+    }
+    if (S.Cb)
+      S.Cb(*this, P); // the tuning continuation also invokes cbStrgy
+    Trace.push_back(std::to_string(P.Pid) + ":sampling " +
+                    std::to_string(S.N));
+    ++P.PC;
+    return;
+  }
+
+  case Stmt::Kind::Aggregate:
+    if (P.isSampling()) {
+      // Rule [AGGR-S]: commit sigma(x) into the aggregation store slot of
+      // this sample run, then terminate.
+      P.TheDelta->Aggregated[S.X][P.SampleIndex] = P.Sigma[S.X];
+      Trace.push_back(std::to_string(P.Pid) + ":commit " + S.X);
+      terminate(P);
+      return;
+    }
+    // Rule [AGGR-T]: children of the region are all terminated (the
+    // scheduler guarantees it); invoke cbAggr.
+    if (S.Cb)
+      S.Cb(*this, P);
+    P.RegionChildren.clear();
+    Trace.push_back(std::to_string(P.Pid) + ":aggregate " + S.X);
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Sample:
+    // Rule [SAMPLE] only applies to sampling processes.
+    if (P.isSampling()) {
+      P.Sigma[S.X] = S.Dist(*this, P);
+      Trace.push_back(std::to_string(P.Pid) + ":sample " + S.X);
+    } else {
+      Trace.push_back(std::to_string(P.Pid) + ":sample-nop");
+    }
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Split: {
+    // Rule [SPLIT]: fresh empty delta for the child tuning process.
+    assert(P.isTuning() && "rule [SPLIT] applies to tuning processes only");
+    int Pid = spawn(P, Process::ModeKind::Tuning, -1,
+                    std::make_shared<Delta>(), P.PC + 1);
+    Trace.push_back(std::to_string(P.Pid) + ":split -> " +
+                    std::to_string(Pid));
+    ++P.PC;
+    return;
+  }
+
+  case Stmt::Kind::Sync:
+    if (P.isSampling()) {
+      // Rule [SYNC-S]: notify parent, wait for release.
+      P.Status = Process::StatusKind::AtBarrier;
+      Trace.push_back(std::to_string(P.Pid) + ":barrier");
+      return;
+    }
+    // Rule [SYNC-T]: every live child has arrived; run cbBarrier and
+    // release them.
+    if (S.Cb)
+      S.Cb(*this, P);
+    for (int Pid : P.RegionChildren) {
+      Process &C = *Procs[Pid];
+      if (C.Status == Process::StatusKind::AtBarrier) {
+        C.Status = Process::StatusKind::Ready;
+        ++C.PC;
+      }
+    }
+    Trace.push_back(std::to_string(P.Pid) + ":sync-release");
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Check:
+    // Rule [CHECK] only applies to sampling processes.
+    if (P.isSampling() && !S.Pred(*this, P)) {
+      Pruned.push_back(P.Pid);
+      Trace.push_back(std::to_string(P.Pid) + ":pruned");
+      terminate(P);
+      return;
+    }
+    Trace.push_back(std::to_string(P.Pid) + ":check-pass");
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Expose:
+    // Rule [EXPOSE] applies to tuning processes.
+    if (P.isTuning()) {
+      P.TheDelta->Exposed[S.X] = P.Sigma[S.X];
+      Trace.push_back(std::to_string(P.Pid) + ":expose " + S.X);
+    } else {
+      Trace.push_back(std::to_string(P.Pid) + ":expose-nop");
+    }
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Load:
+    if (P.isTuning()) {
+      auto It = P.TheDelta->Exposed.find(S.X);
+      P.Sigma[S.Y] = It == P.TheDelta->Exposed.end() ? 0.0 : It->second;
+      Trace.push_back(std::to_string(P.Pid) + ":load " + S.X);
+    } else {
+      Trace.push_back(std::to_string(P.Pid) + ":load-nop");
+    }
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::LoadS:
+    if (P.isTuning()) {
+      auto It = P.TheDelta->Aggregated.find(S.X);
+      Value V = 0.0;
+      if (It != P.TheDelta->Aggregated.end()) {
+        auto JT = It->second.find(S.N);
+        if (JT != It->second.end())
+          V = JT->second;
+      }
+      P.Sigma[S.Y] = V;
+      Trace.push_back(std::to_string(P.Pid) + ":loadS " + S.X);
+    } else {
+      Trace.push_back(std::to_string(P.Pid) + ":loadS-nop");
+    }
+    ++P.PC;
+    return;
+
+  case Stmt::Kind::Guard:
+    if (S.Pred(*this, P)) {
+      Trace.push_back(std::to_string(P.Pid) + ":guard-taken");
+      ++P.PC;
+    } else {
+      Trace.push_back(std::to_string(P.Pid) + ":guard-skip");
+      P.PC += 2;
+    }
+    return;
+  }
+}

@@ -1,0 +1,134 @@
+//===- semantics/Machine.h - Small-step interpreter of Fig. 8 ---*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable form of the paper's operational semantics (Fig. 8). Each
+/// simulated process carries its regular store sigma, an execution mode
+/// T<pid> or S<pid>, and a program counter into the shared statement list.
+/// The sample store delta (exposed store + aggregation store) is shared
+/// between a tuning process and the sampling children it spawns; an
+/// @split child starts with a fresh, empty delta — exactly the
+/// spawn(sigma, {}, T<newPid()>, s) of rule [SPLIT].
+///
+/// Two rules are tightened the way the implementation section (paper
+/// Sec. III-B) describes, since the paper's rules leave the ordering to
+/// the runtime: [AGGR-T] blocks until every child of the current region
+/// has terminated, and [SYNC-T] waits only for children that are still
+/// alive.
+///
+/// Scheduling among runnable processes is pseudo-random but fully
+/// determined by the machine's seed, which makes schedule-independence
+/// properties testable: run the same program under many seeds and demand
+/// identical final stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SEMANTICS_MACHINE_H
+#define WBT_SEMANTICS_MACHINE_H
+
+#include "semantics/Ast.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <set>
+
+namespace wbt {
+namespace sem {
+
+/// The sample store delta of Fig. 8: exposed store plus aggregation store.
+struct Delta {
+  /// Exposed store: Var -> Value.
+  std::map<std::string, Value> Exposed;
+  /// Aggregation store: Var -> (sample index -> Value).
+  std::map<std::string, std::map<int, Value>> Aggregated;
+};
+
+/// One simulated process.
+struct Process {
+  enum class ModeKind { Tuning, Sampling };
+  enum class StatusKind {
+    Ready,      ///< can take a step
+    AtBarrier,  ///< S: arrived at @sync, waiting for release
+    Terminated, ///< finished (committed, pruned, or ran off the program)
+  };
+
+  int Pid = 0;
+  ModeKind Mode = ModeKind::Tuning;
+  StatusKind Status = StatusKind::Ready;
+  /// Index within the spawning region (S processes), -1 otherwise.
+  int SampleIndex = -1;
+  int ParentPid = -1;
+  Store Sigma;
+  std::shared_ptr<Delta> TheDelta;
+  size_t PC = 0;
+  /// Children of the current @sampling region (tuning processes).
+  std::set<int> RegionChildren;
+  /// Per-process deterministic stream for cbDist callbacks.
+  Rng ProcRng{0};
+
+  bool isTuning() const { return Mode == ModeKind::Tuning; }
+  bool isSampling() const { return Mode == ModeKind::Sampling; }
+};
+
+/// Executes a program under the Fig. 8 rules.
+class Machine {
+public:
+  /// \p Program is shared by all processes; the root tuning process (pid
+  /// 0) starts at statement 0 with an empty sigma and empty delta.
+  explicit Machine(std::vector<Stmt> Program, uint64_t Seed = 1);
+
+  /// Takes one small step on a scheduler-chosen runnable process.
+  /// \returns false when no process can step (all terminated, or stuck).
+  bool step();
+
+  /// Runs to quiescence. \returns the number of steps taken; asserts if
+  /// MaxSteps is exhausted (runaway program).
+  size_t run(size_t MaxSteps = 1000000);
+
+  /// True if live processes remain but none can step (deadlock).
+  bool stuck() const;
+
+  //===--------------------------------------------------------------------===
+  // Inspection
+  //===--------------------------------------------------------------------===
+
+  const Process &process(int Pid) const;
+  Process &process(int Pid);
+  /// Pids of processes not yet terminated.
+  std::vector<int> livePids() const;
+  size_t totalSpawned() const { return Procs.size(); }
+
+  /// The delta a process observes (shared with its region family).
+  const Delta &deltaOf(int Pid) const;
+
+  /// Every terminated-by-check process (for prune accounting in tests).
+  const std::vector<int> &prunedPids() const { return Pruned; }
+
+  /// Human-readable event log: "pid:action" per executed step.
+  const std::vector<std::string> &trace() const { return Trace; }
+
+private:
+  bool runnable(const Process &P) const;
+  void execute(Process &P);
+  void terminate(Process &P);
+  int spawn(Process &Parent, Process::ModeKind Mode, int SampleIndex,
+            std::shared_ptr<Delta> D, size_t PC);
+  bool regionChildrenDone(const Process &P) const;
+  bool regionChildrenAllAtBarrierOrDone(const Process &P) const;
+
+  std::vector<Stmt> Program;
+  std::vector<std::unique_ptr<Process>> Procs;
+  std::vector<int> Pruned;
+  std::vector<std::string> Trace;
+  Rng SchedRng;
+  uint64_t Seed;
+  int NextPid = 0;
+};
+
+} // namespace sem
+} // namespace wbt
+
+#endif // WBT_SEMANTICS_MACHINE_H

@@ -1,0 +1,298 @@
+//===- speech/Recognizer.cpp - Toy isolated-word recognizer ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "speech/Recognizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace wbt;
+using namespace wbt::speech;
+
+namespace {
+
+/// Per-word spectral template: three moving formant peaks with a
+/// word-specific amplitude envelope. The wide parameter ranges keep words
+/// spectrally well separated so that time warping does not erase class
+/// margins.
+Frames makeTemplate(int NumFrames, Rng &R) {
+  Frames F(static_cast<size_t>(NumFrames),
+           std::vector<double>(NumBins, 0.05));
+  double Formant1 = R.uniform(1.5, 6.5);
+  double Formant2 = R.uniform(7.0, 14.5);
+  double Formant3 = R.uniform(3.0, 13.0);
+  double Amp1 = R.uniform(0.5, 1.5);
+  double Amp2 = R.uniform(0.3, 1.3);
+  double Amp3 = R.uniform(0.0, 0.9);
+  double Drift1 = R.uniform(-3.0, 3.0) / NumFrames;
+  double Drift2 = R.uniform(-4.0, 4.0) / NumFrames;
+  double Drift3 = R.uniform(-5.0, 5.0) / NumFrames;
+  double Width1 = R.uniform(0.6, 1.6);
+  double Width2 = R.uniform(0.6, 2.0);
+  double Width3 = R.uniform(0.5, 1.2);
+  double EnvFreq = R.uniform(0.5, 2.5);   // word-specific loudness contour
+  double EnvPhase = R.uniform(0.0, 3.14);
+  for (int T = 0; T != NumFrames; ++T) {
+    double C1 = Formant1 + Drift1 * T;
+    double C2 = Formant2 + Drift2 * T;
+    double C3 = Formant3 + Drift3 * T;
+    double Phase = 3.14159 * T / NumFrames;
+    double Env = 0.55 + 0.45 * std::sin(Phase) *
+                            (0.6 + 0.4 * std::cos(EnvFreq * Phase + EnvPhase));
+    for (int B = 0; B != NumBins; ++B) {
+      double V =
+          Amp1 * std::exp(-(B - C1) * (B - C1) / (2 * Width1 * Width1)) +
+          Amp2 * std::exp(-(B - C2) * (B - C2) / (2 * Width2 * Width2)) +
+          Amp3 * std::exp(-(B - C3) * (B - C3) / (2 * Width3 * Width3));
+      F[static_cast<size_t>(T)][static_cast<size_t>(B)] = 0.05 + Env * V;
+    }
+  }
+  return F;
+}
+
+/// Renders a speaker's version of a template: spectral shift, speed warp,
+/// loudness, noise, and silence padding.
+Frames renderUtterance(const Frames &Template, const SpeakerProfile &S,
+                       Rng &R) {
+  Frames Out;
+  int Lead = static_cast<int>(R.uniformInt(1, 4));
+  int Trail = static_cast<int>(R.uniformInt(1, 4));
+  auto SilenceFrame = [&] {
+    std::vector<double> F(NumBins);
+    for (double &V : F)
+      V = std::fabs(R.gaussian(0.0, 0.5 * S.NoiseSigma + 0.01));
+    return F;
+  };
+  for (int I = 0; I != Lead; ++I)
+    Out.push_back(SilenceFrame());
+  double Pos = 0.0;
+  while (Pos < static_cast<double>(Template.size()) - 1e-9) {
+    const std::vector<double> &Src =
+        Template[std::min(Template.size() - 1, static_cast<size_t>(Pos))];
+    std::vector<double> F(NumBins, 0.0);
+    for (int B = 0; B != NumBins; ++B) {
+      int SrcBin = B - S.SpectralShift;
+      double V = (SrcBin >= 0 && SrcBin < NumBins)
+                     ? Src[static_cast<size_t>(SrcBin)]
+                     : 0.03;
+      F[static_cast<size_t>(B)] =
+          std::max(0.0, S.Loudness * V + R.gaussian(0.0, S.NoiseSigma));
+    }
+    Out.push_back(std::move(F));
+    Pos += S.Speed * R.uniform(0.92, 1.08);
+  }
+  for (int I = 0; I != Trail; ++I)
+    Out.push_back(SilenceFrame());
+  return Out;
+}
+
+double frameEnergy(const std::vector<double> &F) {
+  double E = 0.0;
+  for (double V : F)
+    E += V;
+  return E / static_cast<double>(F.size());
+}
+
+} // namespace
+
+SpeechDataset wbt::speech::makeSpeechDataset(uint64_t Seed,
+                                             const SpeechDatasetOptions &Opts) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + 31337);
+  SpeechDataset D;
+  for (int W = 0; W != Opts.VocabularySize; ++W) {
+    int Frames = static_cast<int>(R.uniformInt(Opts.MinFrames,
+                                               Opts.MaxFrames));
+    D.Vocab.Templates.push_back(makeTemplate(Frames, R));
+    D.Vocab.Priors.push_back(std::log(R.uniform(0.2, 1.0)));
+  }
+  for (int S = 0; S != Opts.NumSpeakers; ++S) {
+    SpeakerProfile P;
+    P.SpectralShift = static_cast<int>(R.uniformInt(-2, 2));
+    P.Speed = R.uniform(0.8, 1.25);
+    P.NoiseSigma = R.uniform(0.02, 0.10);
+    P.Loudness = R.uniform(0.6, 1.4);
+    D.Speakers.push_back(P);
+    std::vector<Utterance> Set;
+    for (int U = 0; U != Opts.PerSpeaker; ++U) {
+      Utterance Utt;
+      Utt.TrueWord = static_cast<int>(R.uniformInt(0,
+                                                   Opts.VocabularySize - 1));
+      Utt.Audio = renderUtterance(
+          D.Vocab.Templates[static_cast<size_t>(Utt.TrueWord)], P, R);
+      Set.push_back(std::move(Utt));
+    }
+    D.Sets.push_back(std::move(Set));
+  }
+  return D;
+}
+
+Frames wbt::speech::frontEnd(const Frames &Audio, const SpeechParams &P) {
+  if (Audio.empty())
+    return {};
+
+  // Silence trimming.
+  size_t Begin = 0, End = Audio.size();
+  while (Begin < End && frameEnergy(Audio[Begin]) < P.SilenceThresh)
+    ++Begin;
+  while (End > Begin && frameEnergy(Audio[End - 1]) < P.SilenceThresh)
+    --End;
+  if (Begin >= End) {
+    Begin = 0;
+    End = Audio.size();
+  }
+
+  // Triangular filter bank over [LowEdge, HighEdge].
+  int NumFilters = std::clamp(P.NumFilters, 2, 12);
+  double Lo = std::clamp(P.LowEdge, 0.0, static_cast<double>(NumBins - 2));
+  double Hi = std::clamp(P.HighEdge, Lo + 1.0, static_cast<double>(NumBins - 1));
+  std::vector<std::vector<double>> Filters(
+      static_cast<size_t>(NumFilters), std::vector<double>(NumBins, 0.0));
+  for (int F = 0; F != NumFilters; ++F) {
+    double Center = Lo + (Hi - Lo) * (F + 0.5) / NumFilters;
+    double Width = std::max(0.75, (Hi - Lo) / NumFilters);
+    for (int B = 0; B != NumBins; ++B) {
+      double D = std::fabs(B - Center) / Width;
+      Filters[static_cast<size_t>(F)][static_cast<size_t>(B)] =
+          std::max(0.0, 1.0 - D);
+    }
+  }
+
+  Frames Feat;
+  std::vector<double> PrevRaw(NumBins, 0.0);
+  for (size_t T = Begin; T != End; ++T) {
+    // Pre-emphasis across time, then noise-floor subtraction.
+    std::vector<double> Raw(NumBins);
+    for (int B = 0; B != NumBins; ++B) {
+      double V = Audio[T][static_cast<size_t>(B)] -
+                 P.Preemphasis * PrevRaw[static_cast<size_t>(B)];
+      Raw[static_cast<size_t>(B)] = std::max(0.0, V - P.NoiseFloor);
+    }
+    PrevRaw = Audio[T];
+    // Filter bank + log compression + lifter exponent.
+    std::vector<double> F(static_cast<size_t>(NumFilters) + 1, 0.0);
+    for (int K = 0; K != NumFilters; ++K) {
+      double Acc = 0.0;
+      for (int B = 0; B != NumBins; ++B)
+        Acc += Filters[static_cast<size_t>(K)][static_cast<size_t>(B)] *
+               Raw[static_cast<size_t>(B)];
+      F[static_cast<size_t>(K)] =
+          std::pow(std::log1p(Acc), P.Lifter);
+    }
+    F[static_cast<size_t>(NumFilters)] =
+        P.EnergyWeight * std::log1p(frameEnergy(Audio[T]));
+    Feat.push_back(std::move(F));
+  }
+
+  // Mean / variance normalization over the utterance.
+  size_t Dim = Feat.empty() ? 0 : Feat[0].size();
+  if (P.MeanNorm && !Feat.empty()) {
+    std::vector<double> Mean(Dim, 0.0);
+    for (const auto &F : Feat)
+      for (size_t D = 0; D != Dim; ++D)
+        Mean[D] += F[D];
+    for (double &M : Mean)
+      M /= static_cast<double>(Feat.size());
+    for (auto &F : Feat)
+      for (size_t D = 0; D != Dim; ++D)
+        F[D] -= Mean[D];
+  }
+  if (P.VarNorm && Feat.size() > 1) {
+    std::vector<double> Var(Dim, 0.0);
+    for (const auto &F : Feat)
+      for (size_t D = 0; D != Dim; ++D)
+        Var[D] += F[D] * F[D];
+    for (auto &F : Feat)
+      for (size_t D = 0; D != Dim; ++D)
+        F[D] /= std::sqrt(Var[D] / static_cast<double>(Feat.size())) + 1e-6;
+  }
+
+  // Delta features appended with DeltaWeight.
+  if (P.DeltaWeight > 0 && Feat.size() > 2) {
+    Frames WithDelta;
+    for (size_t T = 0; T != Feat.size(); ++T) {
+      std::vector<double> F = Feat[T];
+      size_t Prev = T > 0 ? T - 1 : T;
+      size_t Next = T + 1 < Feat.size() ? T + 1 : T;
+      for (size_t D = 0; D != Dim; ++D)
+        F.push_back(P.DeltaWeight * 0.5 * (Feat[Next][D] - Feat[Prev][D]));
+      WithDelta.push_back(std::move(F));
+    }
+    return WithDelta;
+  }
+  return Feat;
+}
+
+double wbt::speech::dtwDistance(const Frames &A, const Frames &B, int Band,
+                                double MatchExponent) {
+  if (A.empty() || B.empty())
+    return std::numeric_limits<double>::infinity();
+  size_t N = A.size(), M = B.size();
+  Band = std::max(Band, static_cast<int>(
+                            std::llabs(static_cast<long long>(N) -
+                                       static_cast<long long>(M))) +
+                            1);
+  const double Inf = std::numeric_limits<double>::infinity();
+  std::vector<double> Prev(M + 1, Inf), Cur(M + 1, Inf);
+  Prev[0] = 0.0;
+  size_t Dim = std::min(A[0].size(), B[0].size());
+  for (size_t I = 1; I <= N; ++I) {
+    std::fill(Cur.begin(), Cur.end(), Inf);
+    size_t Center = I * M / N;
+    size_t JLo = Center > static_cast<size_t>(Band) ? Center - Band : 1;
+    size_t JHi = std::min(M, Center + static_cast<size_t>(Band));
+    for (size_t J = JLo; J <= JHi; ++J) {
+      double D = 0.0;
+      for (size_t K = 0; K != Dim; ++K)
+        D += std::fabs(A[I - 1][K] - B[J - 1][K]);
+      D = std::pow(D / static_cast<double>(Dim), MatchExponent);
+      double Best = std::min({Prev[J - 1], Prev[J], Cur[J - 1]});
+      Cur[J] = D + Best;
+    }
+    std::swap(Prev, Cur);
+  }
+  double Total = Prev[M];
+  return Total / static_cast<double>(N + M);
+}
+
+int wbt::speech::recognize(const Frames &Audio, const Vocabulary &Vocab,
+                           const SpeechParams &P) {
+  assert(!Vocab.Templates.empty() && "empty vocabulary");
+  Frames Query = frontEnd(Audio, P);
+  int Best = 0;
+  double BestScore = std::numeric_limits<double>::infinity();
+  for (size_t W = 0; W != Vocab.Templates.size(); ++W) {
+    Frames Ref = frontEnd(Vocab.Templates[W], P);
+    if (P.SmoothAlpha > 0 && Ref.size() > 1) {
+      // Exponential smoothing of the template along time.
+      for (size_t T = 1; T != Ref.size(); ++T)
+        for (size_t D = 0; D != Ref[T].size(); ++D)
+          Ref[T][D] = (1 - P.SmoothAlpha) * Ref[T][D] +
+                      P.SmoothAlpha * Ref[T - 1][D];
+    }
+    double D = dtwDistance(Query, Ref, P.DtwBand, P.MatchExponent);
+    D += P.LengthPenalty *
+         std::fabs(static_cast<double>(Query.size()) -
+                   static_cast<double>(Ref.size())) /
+         static_cast<double>(std::max<size_t>(1, Ref.size()));
+    D -= P.LangWeight * 0.05 * Vocab.Priors[W];
+    if (D < BestScore) {
+      BestScore = D;
+      Best = static_cast<int>(W);
+    }
+  }
+  return Best;
+}
+
+int wbt::speech::recognizeSet(const std::vector<Utterance> &Set,
+                              const Vocabulary &Vocab,
+                              const SpeechParams &P) {
+  int Correct = 0;
+  for (const Utterance &U : Set)
+    Correct += recognize(U.Audio, Vocab, P) == U.TrueWord;
+  return Correct;
+}

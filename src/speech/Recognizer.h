@@ -1,0 +1,121 @@
+//===- speech/Recognizer.h - Toy isolated-word recognizer -------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact stand-in for the paper's Sphinx benchmark: isolated-word
+/// recognition over synthetic "audio". Words have spectral templates;
+/// utterances are time-warped, speaker-shifted, noisy renditions with
+/// leading/trailing silence. The recognizer mirrors Sphinx's staged
+/// front-end/decoder structure and exposes sixteen tunables (the paper's
+/// #P = 16): filter-bank edges and size, pre-emphasis, noise floor,
+/// energy/delta weights, normalization switches, DTW band, language
+/// weight, insertion/length penalties, and match shaping. Speaker
+/// profiles shift the informative spectral bands, so the optimal
+/// front-end is speaker-dependent — the effect behind paper Fig. 20.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SPEECH_RECOGNIZER_H
+#define WBT_SPEECH_RECOGNIZER_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace wbt {
+namespace speech {
+
+/// Raw audio: frames x spectral bins (values >= 0).
+using Frames = std::vector<std::vector<double>>;
+
+/// Number of raw spectral bins per frame.
+constexpr int NumBins = 16;
+
+/// The sixteen tunables (paper Table I, Speech Rec row). The defaults are
+/// deliberately generic "factory" values — plausible, but matched to no
+/// particular speaker — mirroring how stock Sphinx performs before tuning
+/// (the paper's 2.7/5 no-tuning baseline).
+struct SpeechParams {
+  // Front end (stage 1).
+  double Preemphasis = 0.7;  ///< temporal high-pass strength [0, 1)
+  double LowEdge = 0.0;      ///< filter bank lower edge, bins [0, 15]
+  double HighEdge = 15.0;    ///< filter bank upper edge, bins [0, 15]
+  int NumFilters = 5;        ///< triangular filters [2, 12]
+  double NoiseFloor = 0.0;   ///< subtractive denoise level [0, 0.3]
+  double EnergyWeight = 0.5; ///< weight of the energy feature [0, 2]
+  double DeltaWeight = 0.0;  ///< weight of delta features [0, 2]
+  bool MeanNorm = false;     ///< cepstral-style mean normalization
+  bool VarNorm = false;      ///< variance normalization
+  double Lifter = 1.0;       ///< feature scaling exponent [0.5, 2]
+  double SilenceThresh = 0.02; ///< leading/trailing trim level [0, 0.5]
+  // Decoder (stage 2).
+  int DtwBand = 4;            ///< Sakoe-Chiba band half-width [1, 20]
+  double LangWeight = 0.0;     ///< weight of the word prior [0, 2]
+  double LengthPenalty = 0.02; ///< per-frame length mismatch cost [0, 0.2]
+  double SmoothAlpha = 0.0;   ///< template smoothing [0, 0.9]
+  double MatchExponent = 1.0; ///< local distance exponent [0.5, 2]
+};
+
+/// The known vocabulary: per-word template audio and a prior.
+struct Vocabulary {
+  std::vector<Frames> Templates;
+  std::vector<double> Priors; ///< unigram log-prior per word
+};
+
+/// Speaker rendition regime.
+struct SpeakerProfile {
+  int SpectralShift = 0;   ///< bins the speaker's energy is shifted by
+  double Speed = 1.0;      ///< time-warp factor
+  double NoiseSigma = 0.0; ///< additive noise level
+  double Loudness = 1.0;
+};
+
+/// One labeled utterance.
+struct Utterance {
+  Frames Audio;
+  int TrueWord = 0;
+};
+
+/// A ten-speaker dataset in the AN4 style: per speaker, \p PerSpeaker
+/// labeled utterances.
+struct SpeechDataset {
+  Vocabulary Vocab;
+  std::vector<SpeakerProfile> Speakers;
+  /// [speaker][utterance].
+  std::vector<std::vector<Utterance>> Sets;
+};
+
+struct SpeechDatasetOptions {
+  int VocabularySize = 12;
+  int NumSpeakers = 10;
+  int PerSpeaker = 5;
+  int MinFrames = 12;
+  int MaxFrames = 22;
+};
+
+SpeechDataset makeSpeechDataset(uint64_t Seed,
+                                const SpeechDatasetOptions &Opts =
+                                    SpeechDatasetOptions());
+
+/// Stage 1: front-end feature extraction.
+Frames frontEnd(const Frames &Audio, const SpeechParams &P);
+
+/// Stage 2: decodes \p Audio against \p Vocab; \returns the word index.
+int recognize(const Frames &Audio, const Vocabulary &Vocab,
+              const SpeechParams &P);
+
+/// Words correctly recognized in \p Set (0..Set.size()).
+int recognizeSet(const std::vector<Utterance> &Set, const Vocabulary &Vocab,
+                 const SpeechParams &P);
+
+/// DTW distance between two feature sequences with a Sakoe-Chiba band.
+double dtwDistance(const Frames &A, const Frames &B, int Band,
+                   double MatchExponent);
+
+} // namespace speech
+} // namespace wbt
+
+#endif // WBT_SPEECH_RECOGNIZER_H

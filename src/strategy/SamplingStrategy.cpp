@@ -1,0 +1,151 @@
+//===- strategy/SamplingStrategy.cpp - cbStrgy implementations -----------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/SamplingStrategy.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace wbt;
+
+SamplingStrategy::~SamplingStrategy() = default;
+
+void SamplingStrategy::feedback(int RunIdx, double Score) {
+  (void)RunIdx;
+  (void)Score;
+}
+
+namespace {
+
+class RandomStrategy : public SamplingStrategy {
+public:
+  double draw(int RunIdx, const std::string &Name, const Distribution &D,
+              Rng &R) override {
+    (void)RunIdx;
+    (void)Name;
+    return D.sample(R);
+  }
+
+  std::string name() const override { return "RAND"; }
+};
+
+/// Metropolis random walk. The chain state is the per-variable map of the
+/// last *accepted* values. Each run's proposal perturbs the accepted point;
+/// feedback() accepts a run's proposal if it improves, or with probability
+/// exp((Score - Accepted) / T) otherwise. Concurrent runs act as parallel
+/// proposals from the same chain state, which is the standard way to batch
+/// MCMC sampling.
+class McmcStrategy : public SamplingStrategy {
+public:
+  McmcStrategy(double Temperature, double Scale)
+      : Temperature(Temperature), Scale(Scale) {}
+
+  double draw(int RunIdx, const std::string &Name, const Distribution &D,
+              Rng &R) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    // Burn-in: the first few runs draw independently so the chain does
+    // not inherit an unlucky corner start.
+    bool Explore = DrawsSeen[Name]++ < BurnIn;
+    auto It = Accepted.find(Name);
+    double V = (Explore || It == Accepted.end())
+                   ? D.sample(R)
+                   : D.perturb(It->second, R, Scale);
+    if (It == Accepted.end())
+      Accepted.emplace(Name, V);
+    Proposals[RunIdx][Name] = V;
+    return V;
+  }
+
+  void feedback(int RunIdx, double Score) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Proposals.find(RunIdx);
+    if (It == Proposals.end())
+      return;
+    bool Accept = Score >= AcceptedScore;
+    if (!Accept && Temperature > 0) {
+      double P = std::exp((Score - AcceptedScore) / Temperature);
+      Accept = FeedbackRng.flip(P);
+    }
+    if (Accept) {
+      for (const auto &[Name, Value] : It->second)
+        Accepted[Name] = Value;
+      AcceptedScore = Score;
+    }
+    Proposals.erase(It);
+  }
+
+  std::string name() const override { return "MCMC"; }
+
+private:
+  static constexpr int BurnIn = 6;
+
+  double Temperature;
+  double Scale;
+  std::mutex Mutex;
+  std::map<std::string, int> DrawsSeen;
+  std::map<std::string, double> Accepted;
+  double AcceptedScore = -std::numeric_limits<double>::infinity();
+  std::map<int, std::map<std::string, double>> Proposals;
+  Rng FeedbackRng{0x5eed0c0cULL};
+};
+
+/// One random stratum permutation per variable; run I of variable V lands
+/// uniformly inside stratum Perm_V[I mod TotalRuns].
+class LatinHypercubeStrategy : public SamplingStrategy {
+public:
+  LatinHypercubeStrategy(int TotalRuns, uint64_t Seed)
+      : TotalRuns(TotalRuns < 1 ? 1 : TotalRuns), PermRng(Seed) {}
+
+  double draw(int RunIdx, const std::string &Name, const Distribution &D,
+              Rng &R) override {
+    int Stratum;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      std::vector<int> &Perm = Perms[Name];
+      if (Perm.empty()) {
+        Perm.resize(TotalRuns);
+        for (int I = 0; I != TotalRuns; ++I)
+          Perm[I] = I;
+        PermRng.shuffle(Perm);
+      }
+      Stratum = Perm[static_cast<size_t>(RunIdx) % Perm.size()];
+    }
+    double U = (Stratum + R.uniform(0.0, 1.0)) / TotalRuns;
+    double Lo = D.lo(), Hi = D.hi();
+    if (D.kind() == Distribution::Kind::LogUniform)
+      return std::exp(std::log(Lo) + U * (std::log(Hi) - std::log(Lo)));
+    if (D.kind() == Distribution::Kind::UniformInt)
+      return std::floor(Lo + U * (Hi - Lo + 1.0));
+    return Lo + U * (Hi - Lo);
+  }
+
+  std::string name() const override { return "LHS"; }
+
+private:
+  int TotalRuns;
+  std::mutex Mutex;
+  std::map<std::string, std::vector<int>> Perms;
+  Rng PermRng;
+};
+
+} // namespace
+
+std::unique_ptr<SamplingStrategy> wbt::makeRandomStrategy() {
+  return std::make_unique<RandomStrategy>();
+}
+
+std::unique_ptr<SamplingStrategy> wbt::makeMcmcStrategy(double Temperature,
+                                                        double Scale) {
+  return std::make_unique<McmcStrategy>(Temperature, Scale);
+}
+
+std::unique_ptr<SamplingStrategy>
+wbt::makeLatinHypercubeStrategy(int TotalRuns, uint64_t Seed) {
+  return std::make_unique<LatinHypercubeStrategy>(TotalRuns, Seed);
+}

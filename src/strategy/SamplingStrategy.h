@@ -1,0 +1,65 @@
+//===- strategy/SamplingStrategy.h - cbStrgy implementations ----*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling strategies — the cbStrgy callback of the paper's
+/// @sampling(n, cbStrgy) primitive. A strategy decides, for every sampling
+/// run and every tuned variable inside the region, which concrete value
+/// the run observes. The paper ships RAND and MCMC (Sec. IV-C); we add a
+/// stratified LHS strategy as an extension. Strategies may be feedback
+/// driven: the engine reports each run's score back through feedback().
+///
+/// All strategies are safe to call from concurrently executing sampling
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_STRATEGY_SAMPLINGSTRATEGY_H
+#define WBT_STRATEGY_SAMPLINGSTRATEGY_H
+
+#include "param/Distribution.h"
+
+#include <memory>
+#include <string>
+
+namespace wbt {
+
+/// Decides the sampled value of each tuned variable for each run.
+class SamplingStrategy {
+public:
+  virtual ~SamplingStrategy();
+
+  /// Value for variable \p Name in sampling run \p RunIdx (0-based).
+  /// \p R is the run's private deterministic stream.
+  virtual double draw(int RunIdx, const std::string &Name,
+                      const Distribution &D, Rng &R) = 0;
+
+  /// Reports the score of a finished run (higher is better). Strategies
+  /// that are not feedback driven ignore this.
+  virtual void feedback(int RunIdx, double Score);
+
+  /// Strategy name as printed in Table I ("RAND", "MCMC", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Independent draws from each variable's distribution (RAND).
+std::unique_ptr<SamplingStrategy> makeRandomStrategy();
+
+/// Markov-chain Monte-Carlo random walk (MCMC): each run proposes a
+/// Gaussian perturbation of the best accepted point so far; feedback()
+/// performs the Metropolis accept/reject with temperature \p Temperature.
+std::unique_ptr<SamplingStrategy> makeMcmcStrategy(double Temperature = 1.0,
+                                                   double Scale = 0.15);
+
+/// Latin-hypercube stratified sampling over \p TotalRuns runs: every
+/// variable's range is cut into TotalRuns strata and each run lands in a
+/// distinct stratum per variable (extension beyond the paper).
+std::unique_ptr<SamplingStrategy> makeLatinHypercubeStrategy(int TotalRuns,
+                                                             uint64_t Seed);
+
+} // namespace wbt
+
+#endif // WBT_STRATEGY_SAMPLINGSTRATEGY_H

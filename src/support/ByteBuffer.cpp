@@ -1,0 +1,44 @@
+//===- support/ByteBuffer.cpp - Trivial binary serialization -------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteBuffer.h"
+
+#include <cstdio>
+
+bool wbt::writeFileBytes(const std::string &Path,
+                         const std::vector<uint8_t> &Bytes) {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written =
+      Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  // rename(2) is atomic within a filesystem, so a concurrent reader either
+  // sees the complete new file or nothing.
+  return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+}
+
+bool wbt::readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  std::fseek(F, 0, SEEK_SET);
+  Out.resize(static_cast<size_t>(Size));
+  size_t Read = Size ? std::fread(Out.data(), 1, Out.size(), F) : 0;
+  std::fclose(F);
+  return Read == Out.size();
+}

@@ -1,0 +1,127 @@
+//===- support/ByteBuffer.h - Trivial binary serialization ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small binary writer/reader pair used to move sampled results between
+/// processes (through the file-backed aggregation store and the shared ring
+/// buffer) and to persist exposed variables. Values are encoded in native
+/// byte order; both ends of a tuning run live on the same machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SUPPORT_BYTEBUFFER_H
+#define WBT_SUPPORT_BYTEBUFFER_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace wbt {
+
+/// Append-only binary encoder.
+class ByteWriter {
+public:
+  template <typename T> void write(const T &Value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "write() only handles trivially copyable types");
+    size_t Off = Bytes.size();
+    Bytes.resize(Off + sizeof(T));
+    std::memcpy(Bytes.data() + Off, &Value, sizeof(T));
+  }
+
+  void writeString(const std::string &S) {
+    write<uint64_t>(S.size());
+    size_t Off = Bytes.size();
+    Bytes.resize(Off + S.size());
+    std::memcpy(Bytes.data() + Off, S.data(), S.size());
+  }
+
+  template <typename T> void writeVector(const std::vector<T> &V) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "writeVector() only handles trivially copyable elements");
+    write<uint64_t>(V.size());
+    size_t Off = Bytes.size();
+    Bytes.resize(Off + V.size() * sizeof(T));
+    if (!V.empty())
+      std::memcpy(Bytes.data() + Off, V.data(), V.size() * sizeof(T));
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Sequential binary decoder over a byte span. Reads past the end are
+/// reported through ok() and yield zero values instead of UB.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Bytes)
+      : Data(Bytes.data()), Size(Bytes.size()) {}
+
+  template <typename T> T read() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "read() only handles trivially copyable types");
+    T Value{};
+    if (Pos + sizeof(T) > Size) {
+      Ok = false;
+      return Value;
+    }
+    std::memcpy(&Value, Data + Pos, sizeof(T));
+    Pos += sizeof(T);
+    return Value;
+  }
+
+  std::string readString() {
+    uint64_t N = read<uint64_t>();
+    if (!Ok || Pos + N > Size) {
+      Ok = false;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return S;
+  }
+
+  template <typename T> std::vector<T> readVector() {
+    uint64_t N = read<uint64_t>();
+    std::vector<T> V;
+    if (!Ok || Pos + N * sizeof(T) > Size) {
+      Ok = false;
+      return V;
+    }
+    V.resize(N);
+    if (N)
+      std::memcpy(V.data(), Data + Pos, N * sizeof(T));
+    Pos += N * sizeof(T);
+    return V;
+  }
+
+  /// True while every read so far stayed in bounds.
+  bool ok() const { return Ok; }
+  size_t remaining() const { return Size - Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+/// Writes \p Bytes to \p Path atomically (write to temp, rename).
+/// \returns true on success.
+bool writeFileBytes(const std::string &Path, const std::vector<uint8_t> &Bytes);
+
+/// Reads the whole file at \p Path. \returns false if it cannot be read.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+
+} // namespace wbt
+
+#endif // WBT_SUPPORT_BYTEBUFFER_H

@@ -1,0 +1,108 @@
+//===- support/Rng.h - Seeded random number generation ----------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, splittable random number generation used throughout the
+/// tuner and the synthetic workload generators. All randomized components
+/// take an explicit Rng (or a seed) so that every experiment is replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SUPPORT_RNG_H
+#define WBT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wbt {
+
+/// A seeded pseudo-random generator with convenience draws.
+///
+/// Wraps std::mt19937_64. `split()` derives an independent child stream,
+/// which lets a parent hand distinct deterministic streams to concurrently
+/// executing sampling runs without sharing mutable state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : Engine(Seed) {}
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) {
+    assert(Lo <= Hi && "empty uniform range");
+    std::uniform_real_distribution<double> D(Lo, Hi);
+    return D(Engine);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t uniformInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty integer range");
+    std::uniform_int_distribution<int64_t> D(Lo, Hi);
+    return D(Engine);
+  }
+
+  /// Log-uniform double in [Lo, Hi); both bounds must be positive.
+  double logUniform(double Lo, double Hi) {
+    assert(Lo > 0 && Hi >= Lo && "log-uniform needs positive bounds");
+    return std::exp(uniform(std::log(Lo), std::log(Hi)));
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double gaussian(double Mean = 0.0, double Stddev = 1.0) {
+    std::normal_distribution<double> D(Mean, Stddev);
+    return D(Engine);
+  }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool flip(double P = 0.5) { return uniform(0.0, 1.0) < P; }
+
+  /// Uniformly picks an index in [0, N).
+  size_t index(size_t N) {
+    assert(N > 0 && "cannot pick from an empty range");
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(N) - 1));
+  }
+
+  /// Uniformly picks an element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    return Items[index(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[index(I)]);
+  }
+
+  /// Derives an independent child generator. The child stream is a pure
+  /// function of the parent state at the time of the call, so a sequence
+  /// of split() calls yields distinct deterministic streams.
+  Rng split() {
+    uint64_t A = Engine();
+    uint64_t B = Engine();
+    return Rng(mix(A, B));
+  }
+
+  /// Raw 64-bit draw.
+  uint64_t next() { return Engine(); }
+
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  static uint64_t mix(uint64_t A, uint64_t B) {
+    uint64_t X = A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2));
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdULL;
+    X ^= X >> 33;
+    return X;
+  }
+
+  std::mt19937_64 Engine;
+};
+
+} // namespace wbt
+
+#endif // WBT_SUPPORT_RNG_H

@@ -1,0 +1,89 @@
+//===- support/Statistics.cpp - Small numeric helpers --------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+double wbt::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double wbt::variance(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0.0;
+  double M = mean(Xs);
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += (X - M) * (X - M);
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double wbt::stddev(const std::vector<double> &Xs) {
+  return std::sqrt(variance(Xs));
+}
+
+double wbt::median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0.0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+double wbt::rmse(const std::vector<double> &A, const std::vector<double> &B) {
+  assert(A.size() == B.size() && "rmse over mismatched sequences");
+  if (A.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    Sum += (A[I] - B[I]) * (A[I] - B[I]);
+  return std::sqrt(Sum / static_cast<double>(A.size()));
+}
+
+size_t wbt::argMin(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  return static_cast<size_t>(
+      std::min_element(Xs.begin(), Xs.end()) - Xs.begin());
+}
+
+size_t wbt::argMax(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  return static_cast<size_t>(
+      std::max_element(Xs.begin(), Xs.end()) - Xs.begin());
+}
+
+double wbt::pearson(const std::vector<double> &A,
+                    const std::vector<double> &B) {
+  assert(A.size() == B.size() && "pearson over mismatched sequences");
+  if (A.size() < 2)
+    return 0.0;
+  double MA = mean(A), MB = mean(B);
+  double Num = 0.0, DA = 0.0, DB = 0.0;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    Num += (A[I] - MA) * (B[I] - MB);
+    DA += (A[I] - MA) * (A[I] - MA);
+    DB += (B[I] - MB) * (B[I] - MB);
+  }
+  if (DA == 0.0 || DB == 0.0)
+    return 0.0;
+  return Num / std::sqrt(DA * DB);
+}
+
+double wbt::clamp(double X, double Lo, double Hi) {
+  return X < Lo ? Lo : (X > Hi ? Hi : X);
+}

@@ -1,0 +1,50 @@
+//===- support/Statistics.h - Small numeric helpers -------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics over double sequences, used by aggregation
+/// strategies, scoring functions and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SUPPORT_STATISTICS_H
+#define WBT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace wbt {
+
+/// Arithmetic mean; 0 for an empty sequence.
+double mean(const std::vector<double> &Xs);
+
+/// Population variance; 0 for sequences shorter than 2.
+double variance(const std::vector<double> &Xs);
+
+/// Population standard deviation.
+double stddev(const std::vector<double> &Xs);
+
+/// Median (average of the two middle elements for even sizes); 0 if empty.
+double median(std::vector<double> Xs);
+
+/// Root-mean-square error between two equally sized sequences.
+double rmse(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Index of the smallest element; 0 if empty.
+size_t argMin(const std::vector<double> &Xs);
+
+/// Index of the largest element; 0 if empty.
+size_t argMax(const std::vector<double> &Xs);
+
+/// Pearson correlation; 0 when either side has no variance.
+double pearson(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Clamps \p X into [Lo, Hi].
+double clamp(double X, double Lo, double Hi);
+
+} // namespace wbt
+
+#endif // WBT_SUPPORT_STATISTICS_H

@@ -1,0 +1,58 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool used by the in-process staged tuning engine.
+/// Tasks are plain std::function<void()>; waitIdle() provides the barrier
+/// the engine needs at aggregation points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SUPPORT_THREADPOOL_H
+#define WBT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wbt {
+
+/// Fixed-size thread pool with FIFO scheduling.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers threads (defaults to hardware concurrency).
+  explicit ThreadPool(unsigned NumWorkers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void waitIdle();
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  unsigned Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace wbt
+
+#endif // WBT_SUPPORT_THREADPOOL_H

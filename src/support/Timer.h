@@ -1,0 +1,40 @@
+//===- support/Timer.h - Wall-clock timing ----------------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used to report tuning times and to implement
+/// time budgets in the black-box baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_SUPPORT_TIMER_H
+#define WBT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace wbt {
+
+/// Starts on construction; seconds() reports elapsed wall-clock time.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace wbt
+
+#endif // WBT_SUPPORT_TIMER_H

@@ -1,0 +1,206 @@
+//===- tests/AggregateTest.cpp - aggregation library tests ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aggregate/Aggregators.h"
+#include "aggregate/RingBuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+using namespace wbt;
+
+TEST(AggregatorsTest, MinMaxAvg) {
+  std::vector<double> Xs{3.0, -1.0, 7.5, 2.0};
+  EXPECT_DOUBLE_EQ(aggregateMin(Xs), -1.0);
+  EXPECT_DOUBLE_EQ(aggregateMax(Xs), 7.5);
+  EXPECT_DOUBLE_EQ(aggregateAvg(Xs), 2.875);
+}
+
+TEST(AggregatorsTest, EmptyInputs) {
+  EXPECT_TRUE(std::isinf(aggregateMin({})));
+  EXPECT_TRUE(std::isinf(aggregateMax({})));
+  EXPECT_DOUBLE_EQ(aggregateAvg({}), 0.0);
+  EXPECT_TRUE(majorityVote({}).empty());
+}
+
+TEST(AggregatorsTest, KindNames) {
+  EXPECT_STREQ(aggregationKindName(AggregationKind::Min), "MIN");
+  EXPECT_STREQ(aggregationKindName(AggregationKind::MajorityVote), "MV");
+  EXPECT_STREQ(aggregationKindName(AggregationKind::Dedup), "DEDUP");
+  EXPECT_STREQ(aggregationKindName(AggregationKind::Custom), "CUSTOM");
+}
+
+TEST(MajorityVoteTest, StrictMajorityWins) {
+  // Element 0: set in 2/3 runs -> 1. Element 1: set in 1/3 -> 0.
+  std::vector<std::vector<uint8_t>> Runs{{1, 0}, {1, 1}, {0, 0}};
+  std::vector<uint8_t> Out = majorityVote(Runs);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[1], 0);
+}
+
+TEST(MajorityVoteTest, ExactHalfIsNotMajority) {
+  std::vector<std::vector<uint8_t>> Runs{{1}, {0}};
+  EXPECT_EQ(majorityVote(Runs)[0], 0);
+}
+
+TEST(MajorityVoteTest, ThresholdIsTunable) {
+  std::vector<std::vector<uint8_t>> Runs{{1}, {1}, {0}, {0}};
+  EXPECT_EQ(majorityVote(Runs, 0.25)[0], 1);
+  EXPECT_EQ(majorityVote(Runs, 0.75)[0], 0);
+}
+
+TEST(DedupTest, KeepsFirstRepresentative) {
+  std::vector<std::vector<double>> Items{
+      {1.0, 2.0}, {1.0001, 2.0001}, {5.0, 5.0}, {1.0, 2.0}};
+  std::vector<size_t> Reps = dedupVectors(Items, 0.01);
+  ASSERT_EQ(Reps.size(), 2u);
+  EXPECT_EQ(Reps[0], 0u);
+  EXPECT_EQ(Reps[1], 2u);
+}
+
+TEST(DedupTest, ZeroToleranceKeepsDistinct) {
+  std::vector<std::vector<double>> Items{{1.0}, {1.0 + 1e-9}, {1.0}};
+  std::vector<size_t> Reps = dedupVectors(Items, 0.0);
+  EXPECT_EQ(Reps.size(), 2u);
+}
+
+TEST(DedupTest, MismatchedSizesAreDistinct) {
+  std::vector<std::vector<double>> Items{{1.0}, {1.0, 1.0}};
+  EXPECT_EQ(dedupVectors(Items, 10.0).size(), 2u);
+}
+
+TEST(ScalarAccumulatorTest, StreamsMinMaxMean) {
+  ScalarAccumulator Acc;
+  for (double X : {4.0, -2.0, 10.0, 0.0})
+    Acc.add(X);
+  EXPECT_EQ(Acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(Acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(Acc.max(), 10.0);
+  EXPECT_DOUBLE_EQ(Acc.mean(), 3.0);
+}
+
+TEST(ScalarAccumulatorTest, EmptyDefaults) {
+  ScalarAccumulator Acc;
+  EXPECT_TRUE(std::isinf(Acc.min()));
+  EXPECT_DOUBLE_EQ(Acc.mean(), 0.0);
+}
+
+TEST(ScalarAccumulatorTest, ConcurrentAddsAreCounted) {
+  ScalarAccumulator Acc;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != 8; ++T)
+    Ts.emplace_back([&Acc, T] {
+      for (int I = 0; I != 1000; ++I)
+        Acc.add(T);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(Acc.count(), 8000u);
+  EXPECT_DOUBLE_EQ(Acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(Acc.max(), 7.0);
+}
+
+TEST(BestAccumulatorTest, KeepsMaximumByDefault) {
+  BestAccumulator<std::string> Acc;
+  Acc.add(1.0, "low");
+  Acc.add(9.0, "high");
+  Acc.add(5.0, "mid");
+  EXPECT_TRUE(Acc.hasBest());
+  EXPECT_EQ(Acc.bestItem(), "high");
+  EXPECT_DOUBLE_EQ(Acc.bestScore(), 9.0);
+}
+
+TEST(BestAccumulatorTest, MinimizeMode) {
+  BestAccumulator<int> Acc(/*Minimize=*/true);
+  Acc.add(5.0, 50);
+  Acc.add(2.0, 20);
+  Acc.add(7.0, 70);
+  EXPECT_EQ(Acc.bestItem(), 20);
+}
+
+TEST(VoteAccumulatorTest, MatchesOneShotMajorityVote) {
+  std::vector<std::vector<uint8_t>> Runs{
+      {1, 1, 0, 0}, {1, 0, 1, 0}, {1, 0, 0, 0}};
+  VoteAccumulator Acc;
+  for (const auto &Mask : Runs)
+    Acc.add(Mask);
+  EXPECT_EQ(Acc.result(), majorityVote(Runs));
+  EXPECT_EQ(Acc.runs(), 3u);
+}
+
+TEST(MeanVectorAccumulatorTest, ElementwiseMean) {
+  MeanVectorAccumulator Acc;
+  Acc.add({1.0, 10.0});
+  Acc.add({3.0, 30.0});
+  std::vector<double> Out = Acc.result();
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_DOUBLE_EQ(Out[0], 2.0);
+  EXPECT_DOUBLE_EQ(Out[1], 20.0);
+}
+
+TEST(RingBufferTest, FifoOrderSingleThread) {
+  RingBuffer<int> B(4);
+  B.push(1);
+  B.push(2);
+  B.push(3);
+  EXPECT_EQ(B.pop().value(), 1);
+  EXPECT_EQ(B.pop().value(), 2);
+  EXPECT_EQ(B.pop().value(), 3);
+}
+
+TEST(RingBufferTest, CloseDrainsThenEnds) {
+  RingBuffer<int> B(4);
+  B.push(7);
+  B.close();
+  EXPECT_EQ(B.pop().value(), 7);
+  EXPECT_FALSE(B.pop().has_value());
+}
+
+TEST(RingBufferTest, BoundedCapacityBlocksProducer) {
+  RingBuffer<int> B(2);
+  std::atomic<int> Produced{0};
+  std::thread Producer([&] {
+    for (int I = 0; I != 10; ++I) {
+      B.push(I);
+      Produced.fetch_add(1);
+    }
+    B.close();
+  });
+  // Consume slowly; peak held items must never exceed capacity.
+  int Got = 0;
+  while (auto V = B.pop()) {
+    EXPECT_EQ(*V, Got);
+    ++Got;
+  }
+  Producer.join();
+  EXPECT_EQ(Got, 10);
+  EXPECT_LE(B.peakCount(), 2u);
+}
+
+TEST(RingBufferTest, ManyProducersAllItemsArrive) {
+  RingBuffer<int> B(8);
+  const int PerProducer = 500;
+  std::vector<std::thread> Producers;
+  for (int T = 0; T != 4; ++T)
+    Producers.emplace_back([&B] {
+      for (int I = 0; I != PerProducer; ++I)
+        B.push(1);
+    });
+  std::thread Closer([&] {
+    for (std::thread &T : Producers)
+      T.join();
+    B.close();
+  });
+  long Sum = 0;
+  while (auto V = B.pop())
+    Sum += *V;
+  Closer.join();
+  EXPECT_EQ(Sum, 4 * PerProducer);
+  EXPECT_LE(B.peakCount(), 8u);
+}

@@ -1,0 +1,155 @@
+//===- tests/AppsTest.cpp - integration tests over the 13 tuned apps ------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace wbt;
+using namespace wbt::apps;
+
+namespace {
+
+std::unique_ptr<TunedApp> appByIndex(int I) {
+  switch (I) {
+  case 0:
+    return makeCannyApp();
+  case 1:
+    return makeWatershedApp();
+  case 2:
+    return makeKmeansApp();
+  case 3:
+    return makeDbscanApp();
+  case 4:
+    return makeFaceApp();
+  case 5:
+    return makeSphinxApp();
+  case 6:
+    return makePhylipApp();
+  case 7:
+    return makeFastaApp();
+  case 8:
+    return makeTopnApp();
+  case 9:
+    return makeMetisApp();
+  case 10:
+    return makeC45App();
+  case 11:
+    return makeSvmApp();
+  default:
+    return makeArdupilotApp();
+  }
+}
+
+} // namespace
+
+TEST(AppsTest, AllThirteenExist) {
+  std::vector<std::unique_ptr<TunedApp>> Apps = makeAllApps();
+  ASSERT_EQ(Apps.size(), 13u);
+  std::set<std::string> Names;
+  for (auto &App : Apps)
+    Names.insert(App->name());
+  EXPECT_EQ(Names.size(), 13u);
+}
+
+TEST(AppsTest, TableOneMetadataMatchesPaper) {
+  std::vector<std::unique_ptr<TunedApp>> Apps = makeAllApps();
+  // Spot checks against Table I columns.
+  EXPECT_EQ(Apps[0]->name(), "Canny");
+  EXPECT_EQ(Apps[0]->numParams(), 3);
+  EXPECT_STREQ(Apps[0]->aggregationName(), "CUSTOM/MV");
+  EXPECT_EQ(Apps[2]->name(), "Kmeans");
+  EXPECT_STREQ(Apps[2]->samplingName(), "MCMC");
+  EXPECT_EQ(Apps[2]->numParams(), 1);
+  EXPECT_EQ(Apps[5]->numParams(), 16);  // Speech Rec
+  EXPECT_EQ(Apps[11]->numParams(), 8);  // SVM
+  EXPECT_STREQ(Apps[11]->samplingName(), "RAND+CV");
+  EXPECT_EQ(Apps[12]->numParams(), 40); // Ardupilot
+}
+
+// Every app: white-box tuning runs, spends samples, and produces a
+// quality no worse than (and usually better than) the untuned program.
+class AppTuneTest : public testing::TestWithParam<int> {};
+
+TEST_P(AppTuneTest, WhiteBoxTuningRunsAndHelps) {
+  std::unique_ptr<TunedApp> App = appByIndex(GetParam());
+  App->loadDataset(0);
+  double Native = App->nativeQuality();
+  TuneOutcome Out = App->whiteBoxTune(/*Workers=*/4, /*Seed=*/11);
+  EXPECT_GT(Out.Samples, 0) << App->name();
+  EXPECT_GT(Out.Seconds, 0.0) << App->name();
+  EXPECT_TRUE(std::isfinite(Out.Quality)) << App->name();
+  // Tuning should not be a regression by more than noise; on most apps
+  // it is a clear improvement (checked in aggregate below).
+  if (App->lowerIsBetter())
+    EXPECT_LE(Out.Quality, Native * 1.5 + 0.1) << App->name();
+  else
+    EXPECT_GE(Out.Quality, Native * 0.5 - 0.1) << App->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppTuneTest,
+                         testing::Range(0, 13));
+
+TEST(AppsTest, WhiteBoxImprovesMajorityOfApps) {
+  int Improved = 0, Total = 0;
+  for (int I = 0; I != 13; ++I) {
+    std::unique_ptr<TunedApp> App = appByIndex(I);
+    App->loadDataset(0);
+    double Native = App->nativeQuality();
+    TuneOutcome Out = App->whiteBoxTune(4, 29);
+    bool Better = App->lowerIsBetter() ? Out.Quality <= Native
+                                       : Out.Quality >= Native;
+    Improved += Better;
+    ++Total;
+  }
+  EXPECT_GE(Improved, Total * 2 / 3)
+      << "white-box tuning should beat native on most programs";
+}
+
+TEST(AppsTest, BlackBoxTuningRunsOnFastApps) {
+  // A short budget black-box run on three representative apps.
+  for (int I : {2, 7, 9}) {
+    std::unique_ptr<TunedApp> App = appByIndex(I);
+    App->loadDataset(0);
+    TuneOutcome Out = App->blackBoxTune(/*BudgetSeconds=*/0.3, 2, 31);
+    EXPECT_GT(Out.Samples, 0) << App->name();
+    EXPECT_TRUE(std::isfinite(Out.Quality)) << App->name();
+  }
+}
+
+TEST(AppsTest, SvmNoCvOverfitsRelativeToCv) {
+  // Paper Fig. 17: without cross-validation the tuned model's training
+  // error collapses while its testing error stays high.
+  std::unique_ptr<TunedApp> NoCv = makeSvmAppNoCv();
+  std::unique_ptr<TunedApp> WithCv = makeSvmApp();
+  NoCv->loadDataset(1);
+  WithCv->loadDataset(1);
+  NoCv->whiteBoxTune(4, 37);
+  WithCv->whiteBoxTune(4, 37);
+  auto [NoCvTrain, NoCvTest] = svmLastErrors(*NoCv);
+  auto [CvTrain, CvTest] = svmLastErrors(*WithCv);
+  // The no-CV tuner picks the configuration that memorizes training data.
+  EXPECT_LE(NoCvTrain, CvTrain + 0.05);
+  // Its generalization gap is at least as large.
+  EXPECT_GE(NoCvTest - NoCvTrain, CvTest - CvTrain - 0.05);
+}
+
+TEST(AppsTest, DroneBehaviorLearningMimicsReference) {
+  std::unique_ptr<TunedApp> App = makeArdupilotApp();
+  double Native = App->nativeQuality();
+  TuneOutcome Out = App->whiteBoxTune(4, 41);
+  EXPECT_LT(Out.Quality, Native) << "tuned student should mimic better";
+  DroneFig22Data Fig = droneFig22(*App);
+  ASSERT_TRUE(Fig.Reference.MissionCompleted);
+  // Fig. 22's second claim: the tuned student finishes the test mission
+  // and does so faster than the factory student (22% in the paper).
+  if (Fig.Factory.MissionCompleted && Fig.Tuned.MissionCompleted) {
+    EXPECT_LT(Fig.Tuned.FlightSeconds, Fig.Factory.FlightSeconds);
+  }
+}

@@ -1,0 +1,227 @@
+//===- tests/BioTest.cpp - bioinformatics substrate tests -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bio/Fasta.h"
+#include "bio/Phylip.h"
+
+#include <gtest/gtest.h>
+
+using namespace wbt;
+using namespace wbt::bio;
+
+TEST(SequencesTest, TransitionClassification) {
+  EXPECT_TRUE(isTransition(0, 2));  // A <-> G
+  EXPECT_TRUE(isTransition(1, 3));  // C <-> T
+  EXPECT_FALSE(isTransition(0, 1)); // A <-> C
+  EXPECT_FALSE(isTransition(2, 3)); // G <-> T
+}
+
+TEST(SequencesTest, MutationRateScales) {
+  Rng R(1);
+  Sequence S = randomSequence(2000, R);
+  Sequence M = mutate(S, 0.1, R);
+  long Diff = 0;
+  for (size_t I = 0; I != S.size(); ++I)
+    Diff += S[I] != M[I];
+  EXPECT_NEAR(static_cast<double>(Diff) / 2000.0, 0.1, 0.03);
+  EXPECT_EQ(mutate(S, 0.0, R), S);
+}
+
+TEST(SequencesTest, LeafDistancesArePathLengths) {
+  // Tree: ((0, 1), 2) with unit-ish branches.
+  Phylogeny T;
+  T.NumLeaves = 3;
+  T.Nodes.push_back({0, 1, 0.1, 0.2});
+  T.Nodes.push_back({3, 2, 0.3, 0.4}); // node 3 = first internal
+  auto D = T.leafDistances();
+  EXPECT_NEAR(D[0][1], 0.3, 1e-12);           // 0.1 + 0.2
+  EXPECT_NEAR(D[0][2], 0.1 + 0.3 + 0.4, 1e-12);
+  EXPECT_NEAR(D[1][2], 0.2 + 0.3 + 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(D[1][0], D[0][1]);
+}
+
+TEST(SequencesTest, DatasetGroundTruthIsConsistent) {
+  SequenceDataset D = makeSequenceDataset(2, 0);
+  EXPECT_EQ(D.Leaves.size(), 10u);
+  EXPECT_EQ(D.TrueDistances.size(), 10u);
+  // Distances are symmetric, positive off-diagonal.
+  for (size_t I = 0; I != 10; ++I)
+    for (size_t J = 0; J != 10; ++J) {
+      EXPECT_DOUBLE_EQ(D.TrueDistances[I][J], D.TrueDistances[J][I]);
+      if (I != J) {
+        EXPECT_GT(D.TrueDistances[I][J], 0.0);
+      }
+    }
+}
+
+TEST(SequencesTest, MoreDivergedPairsDifferMore) {
+  SequenceDataset D = makeSequenceDataset(3, 1);
+  // Correlation between true distance and observed difference fraction
+  // should be strongly positive.
+  std::vector<double> TrueD, Observed;
+  for (size_t I = 0; I != D.Leaves.size(); ++I)
+    for (size_t J = I + 1; J != D.Leaves.size(); ++J) {
+      TrueD.push_back(D.TrueDistances[I][J]);
+      Observed.push_back(countDifferences(D.Leaves[I], D.Leaves[J]).DiffFrac);
+    }
+  double Corr = 0;
+  {
+    double MT = 0, MO = 0;
+    for (size_t I = 0; I != TrueD.size(); ++I) {
+      MT += TrueD[I];
+      MO += Observed[I];
+    }
+    MT /= TrueD.size();
+    MO /= Observed.size();
+    double Num = 0, DT = 0, DO = 0;
+    for (size_t I = 0; I != TrueD.size(); ++I) {
+      Num += (TrueD[I] - MT) * (Observed[I] - MO);
+      DT += (TrueD[I] - MT) * (TrueD[I] - MT);
+      DO += (Observed[I] - MO) * (Observed[I] - MO);
+    }
+    Corr = Num / std::sqrt(DT * DO + 1e-12);
+  }
+  EXPECT_GT(Corr, 0.7);
+}
+
+TEST(PhylipTest, CorrectedDistanceExceedsRawForDivergedPairs) {
+  PairCounts C;
+  C.TransitionFrac = 0.15;
+  C.TransversionFrac = 0.10;
+  C.DiffFrac = 0.25;
+  double D = correctedDistance(C, 0.5, 0.0, 0.0);
+  EXPECT_GT(D, C.DiffFrac); // multiple hits corrected upward
+}
+
+TEST(PhylipTest, IdenticalSequencesHaveZeroDistance) {
+  Rng R(4);
+  Sequence S = randomSequence(100, R);
+  PairCounts C = countDifferences(S, S);
+  EXPECT_DOUBLE_EQ(C.DiffFrac, 0.0);
+  EXPECT_NEAR(correctedDistance(C, 0.3, 0.1, 0.5), 0.0, 1e-9);
+}
+
+TEST(PhylipTest, InvariantCorrectionIncreasesDistance) {
+  PairCounts C;
+  C.TransitionFrac = 0.1;
+  C.TransversionFrac = 0.1;
+  C.DiffFrac = 0.2;
+  double Without = correctedDistance(C, 0.5, 0.0, 0.0);
+  double With = correctedDistance(C, 0.5, 0.3, 0.0);
+  EXPECT_GT(With, Without);
+}
+
+TEST(PhylipTest, NeighborJoiningRecoversAdditiveTree) {
+  // Distances from a known additive tree must be reproduced (near)
+  // exactly by the fit.
+  Phylogeny T;
+  T.NumLeaves = 4;
+  T.Nodes.push_back({0, 1, 0.1, 0.2});
+  T.Nodes.push_back({2, 3, 0.15, 0.25});
+  T.Nodes.push_back({4, 5, 0.3, 0.35});
+  auto D = T.leafDistances();
+  TreeFit Fit = fitTree(D, 2.0);
+  EXPECT_LT(Fit.SumOfSquares, 1e-3);
+  EXPECT_LT(treeDistanceRmse(Fit.FittedDistances, D), 0.02);
+}
+
+TEST(PhylipTest, RefinementReducesSumOfSquares) {
+  SequenceDataset D = makeSequenceDataset(5, 2);
+  auto Dist = distanceMatrix(D.Leaves, 0.5, 0.1, 0.5);
+  TreeFit Fit = fitTree(Dist, 2.0);
+  // The fitted tree should be close to the distance matrix it was built
+  // from (NJ + refinement).
+  EXPECT_LT(Fit.SumOfSquares, 0.5);
+  EXPECT_EQ(Fit.Tree.NumLeaves, 10);
+}
+
+TEST(PhylipTest, MatchedCorrectionBeatsMismatched) {
+  // Estimators whose knobs match the generator regime recover the true
+  // distances better — the effect that makes tuning worthwhile.
+  int Wins = 0;
+  for (int I = 0; I != 6; ++I) {
+    SequenceDatasetOptions Opts;
+    Opts.KappaLo = 6.0;
+    Opts.KappaHi = 8.0; // strongly transition-biased regime
+    Opts.InvariantLo = 0.25;
+    Opts.InvariantHi = 0.35;
+    SequenceDataset D = makeSequenceDataset(6, I, Opts);
+    auto Matched = distanceMatrix(D.Leaves, 1.0, 0.3, D.RateCV);
+    auto Mismatched = distanceMatrix(D.Leaves, 0.0, 0.0, 0.0);
+    double EMatched = treeDistanceRmse(Matched, D.TrueDistances);
+    double EMismatched = treeDistanceRmse(Mismatched, D.TrueDistances);
+    Wins += EMatched < EMismatched;
+  }
+  EXPECT_GE(Wins, 5);
+}
+
+TEST(FastaTest, BestDiagonalFindsPlantedCopy) {
+  Rng R(7);
+  Sequence Q = randomSequence(80, R);
+  Sequence S = randomSequence(120, R);
+  // Plant Q[10..50) at S[30..70): diagonal = 10 - 30 = -20.
+  std::copy(Q.begin() + 10, Q.begin() + 50, S.begin() + 30);
+  long Hits = 0;
+  int Diag = bestDiagonal(Q, S, 6, Hits);
+  EXPECT_EQ(Diag, -20);
+  EXPECT_GT(Hits, 20);
+}
+
+TEST(FastaTest, AlignmentScoresExactMatch) {
+  Rng R(8);
+  Sequence Q = randomSequence(50, R);
+  FastaParams P;
+  double Self = fastaScore(Q, Q, P);
+  EXPECT_NEAR(Self, 50 * P.Match, 1e-9);
+}
+
+TEST(FastaTest, HomologsOutscoreRandom) {
+  FastaDataset D = makeFastaDataset(9, 0);
+  FastaParams P;
+  std::vector<double> Scores;
+  for (const Sequence &S : D.Database)
+    Scores.push_back(fastaScore(D.Query, S, P));
+  EXPECT_GT(rankingQuality(Scores, D.IsHomolog), 0.85);
+}
+
+TEST(FastaTest, GapPenaltySignsMatter) {
+  // A subject with an insertion splitting the planted copy: a brutal gap
+  // penalty scores it much lower than a mild one.
+  Rng R(10);
+  Sequence Q = randomSequence(60, R);
+  Sequence S;
+  S.insert(S.end(), Q.begin(), Q.begin() + 30);
+  Sequence Insert = randomSequence(6, R);
+  S.insert(S.end(), Insert.begin(), Insert.end());
+  S.insert(S.end(), Q.begin() + 30, Q.end());
+  FastaParams Mild;
+  Mild.GapOpen = -1.0;
+  Mild.GapExtend = -0.2;
+  Mild.Band = 16;
+  FastaParams Brutal = Mild;
+  Brutal.GapOpen = -50.0;
+  double MildScore = fastaScore(Q, S, Mild);
+  double BrutalScore = fastaScore(Q, S, Brutal);
+  EXPECT_GT(MildScore, BrutalScore);
+  EXPECT_GT(MildScore, 60 * Mild.Match * 0.6);
+}
+
+TEST(FastaTest, RankingQualityBounds) {
+  EXPECT_DOUBLE_EQ(rankingQuality({5, 1}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(rankingQuality({1, 5}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(rankingQuality({1, 1}, {1, 1}), 0.0); // no pairs
+}
+
+TEST(FastaTest, DatasetPlantsDetectableHomologs) {
+  for (int I = 0; I != 3; ++I) {
+    FastaDataset D = makeFastaDataset(11, I);
+    long Homologs = 0;
+    for (uint8_t H : D.IsHomolog)
+      Homologs += H;
+    EXPECT_GT(Homologs, 0) << "dataset " << I;
+    EXPECT_LT(Homologs, static_cast<long>(D.Database.size()));
+  }
+}

@@ -1,0 +1,218 @@
+//===- tests/BlackboxTest.cpp - black-box baseline tests ------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blackbox/SearchDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::bb;
+
+namespace {
+
+ConfigSpace quadraticSpace() {
+  ConfigSpace S;
+  S.addDouble("x", 0.0, 1.0, 0.5);
+  S.addDouble("y", 0.0, 1.0, 0.5);
+  return S;
+}
+
+double quadratic(const Config &C) {
+  double X = C.asDouble(0), Y = C.asDouble(1);
+  return -((X - 0.3) * (X - 0.3) + (Y - 0.8) * (Y - 0.8));
+}
+
+} // namespace
+
+TEST(ResultDBTest, TracksBest) {
+  ResultDB DB;
+  EXPECT_FALSE(DB.hasBest());
+  EXPECT_TRUE(DB.add({Config{{1.0}}, 1.0, 0.0}));
+  EXPECT_FALSE(DB.add({Config{{2.0}}, 0.5, 0.0}));
+  EXPECT_TRUE(DB.add({Config{{3.0}}, 2.0, 0.0}));
+  EXPECT_DOUBLE_EQ(DB.best().Score, 2.0);
+  EXPECT_EQ(DB.size(), 3u);
+}
+
+TEST(ResultDBTest, TopKOrdersByScore) {
+  ResultDB DB;
+  for (double S : {0.1, 0.9, 0.5, 0.7})
+    DB.add({Config{{S}}, S, 0.0});
+  std::vector<size_t> Top = DB.topK(2);
+  ASSERT_EQ(Top.size(), 2u);
+  EXPECT_DOUBLE_EQ(DB.at(Top[0]).Score, 0.9);
+  EXPECT_DOUBLE_EQ(DB.at(Top[1]).Score, 0.7);
+}
+
+TEST(ResultDBTest, TopKClampsToSize) {
+  ResultDB DB;
+  DB.add({Config{{1.0}}, 1.0, 0.0});
+  EXPECT_EQ(DB.topK(10).size(), 1u);
+}
+
+TEST(AucBanditTest, TriesEveryArmFirst) {
+  AucBandit B(4);
+  Rng R(1);
+  std::set<size_t> First;
+  for (int I = 0; I != 4; ++I) {
+    size_t Arm = B.select(R);
+    First.insert(Arm);
+    B.reward(Arm, false);
+  }
+  EXPECT_EQ(First.size(), 4u);
+}
+
+TEST(AucBanditTest, RewardedArmDominates) {
+  AucBandit B(3, /*Window=*/20, /*ExploreC=*/0.01);
+  Rng R(2);
+  // Arm 1 always produces new bests; others never.
+  for (int I = 0; I != 60; ++I) {
+    size_t Arm = B.select(R);
+    B.reward(Arm, Arm == 1);
+  }
+  int Arm1Picks = 0;
+  for (int I = 0; I != 50; ++I) {
+    size_t Arm = B.select(R);
+    B.reward(Arm, Arm == 1);
+    Arm1Picks += Arm == 1;
+  }
+  EXPECT_GT(Arm1Picks, 30);
+}
+
+TEST(TechniqueTest, AllTechniquesProposeLegalConfigs) {
+  ConfigSpace S = quadraticSpace();
+  ResultDB DB;
+  Rng R(3);
+  DB.add({S.randomConfig(R), 0.5, 0.0});
+  DB.add({S.randomConfig(R), 0.7, 0.0});
+  for (auto &T : makeDefaultEnsemble()) {
+    for (int I = 0; I != 100; ++I) {
+      Config C = T->propose(S, DB, R);
+      ASSERT_EQ(C.Values.size(), 2u) << T->name();
+      EXPECT_GE(C.asDouble(0), 0.0) << T->name();
+      EXPECT_LE(C.asDouble(0), 1.0) << T->name();
+      T->feedback(C, R.uniform(0, 1), R);
+    }
+  }
+}
+
+TEST(SearchDriverTest, FindsQuadraticOptimum) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 600;
+  Opts.Seed = 4;
+  DriverResult Res = D.run(quadraticSpace(), quadratic, Opts);
+  EXPECT_EQ(Res.Evals, 600);
+  EXPECT_NEAR(Res.Best.asDouble(0), 0.3, 0.1);
+  EXPECT_NEAR(Res.Best.asDouble(1), 0.8, 0.1);
+  EXPECT_GT(Res.BestScore, -0.02);
+}
+
+TEST(SearchDriverTest, MinimizeMode) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 500;
+  Opts.Seed = 5;
+  Opts.Minimize = true;
+  DriverResult Res = D.run(
+      quadraticSpace(), [](const Config &C) { return -quadratic(C); }, Opts);
+  EXPECT_LT(Res.BestScore, 0.02); // near-zero error
+  EXPECT_NEAR(Res.Best.asDouble(0), 0.3, 0.1);
+}
+
+TEST(SearchDriverTest, CurveIsMonotoneImproving) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 300;
+  Opts.Seed = 6;
+  DriverResult Res = D.run(quadraticSpace(), quadratic, Opts);
+  ASSERT_FALSE(Res.Curve.empty());
+  for (size_t I = 1; I != Res.Curve.size(); ++I) {
+    EXPECT_GE(Res.Curve[I].second, Res.Curve[I - 1].second);
+    EXPECT_GE(Res.Curve[I].first, Res.Curve[I - 1].first);
+  }
+  EXPECT_DOUBLE_EQ(Res.Curve.back().second, Res.BestScore);
+}
+
+TEST(SearchDriverTest, RespectsEvalBudgetExactly) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 123;
+  Opts.Seed = 7;
+  std::atomic<long> Calls{0};
+  DriverResult Res = D.run(
+      quadraticSpace(),
+      [&Calls](const Config &C) {
+        Calls.fetch_add(1);
+        return quadratic(C);
+      },
+      Opts);
+  EXPECT_EQ(Calls.load(), 123);
+  EXPECT_EQ(Res.Evals, 123);
+}
+
+TEST(SearchDriverTest, TimeBudgetStopsSearch) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.TimeBudgetSeconds = 0.05;
+  Opts.Seed = 8;
+  DriverResult Res = D.run(quadraticSpace(), quadratic, Opts);
+  EXPECT_GT(Res.Evals, 0);
+  EXPECT_LT(Res.Seconds, 5.0);
+}
+
+TEST(SearchDriverTest, ParallelWorkersRespectBudget) {
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 100;
+  Opts.Workers = 4;
+  Opts.Seed = 9;
+  std::atomic<long> Calls{0};
+  DriverResult Res = D.run(
+      quadraticSpace(),
+      [&Calls](const Config &C) {
+        Calls.fetch_add(1);
+        return quadratic(C);
+      },
+      Opts);
+  EXPECT_EQ(Calls.load(), 100);
+  EXPECT_NEAR(Res.Best.asDouble(0), 0.3, 0.25);
+}
+
+TEST(SearchDriverTest, DeterministicForSameSeedSingleWorker) {
+  DriverOptions Opts;
+  Opts.MaxEvals = 200;
+  Opts.Seed = 10;
+  SearchDriver D1, D2;
+  DriverResult A = D1.run(quadraticSpace(), quadratic, Opts);
+  DriverResult B = D2.run(quadraticSpace(), quadratic, Opts);
+  EXPECT_EQ(A.Best.Values, B.Best.Values);
+  EXPECT_DOUBLE_EQ(A.BestScore, B.BestScore);
+}
+
+TEST(SearchDriverTest, DiscreteSpaceSearch) {
+  ConfigSpace S;
+  S.addInt("k", 1, 50, 10);
+  S.addEnum("mode", {"a", "b", "c"}, 0);
+  SearchDriver D;
+  DriverOptions Opts;
+  Opts.MaxEvals = 400;
+  Opts.Seed = 11;
+  // Optimum: k=37, mode=c.
+  DriverResult Res = D.run(
+      S,
+      [](const Config &C) {
+        double K = static_cast<double>(C.asInt(0));
+        double M = C.asEnum(1) == 2 ? 0.0 : 5.0;
+        return -(std::fabs(K - 37.0) + M);
+      },
+      Opts);
+  EXPECT_EQ(Res.Best.asInt(0), 37);
+  EXPECT_EQ(Res.Best.asEnum(1), 2u);
+}

@@ -1,0 +1,190 @@
+//===- tests/ClusterTest.cpp - clustering substrate tests -----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/DbScan.h"
+#include "cluster/KMeans.h"
+#include "cluster/Scores.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wbt;
+using namespace wbt::clus;
+
+namespace {
+
+/// Three tight, well-separated blobs.
+std::vector<Point> threeBlobs(Rng &R, int PerBlob = 30) {
+  std::vector<Point> Pts;
+  const double Centers[3][2] = {{0, 0}, {5, 0}, {0, 5}};
+  for (int B = 0; B != 3; ++B)
+    for (int I = 0; I != PerBlob; ++I)
+      Pts.push_back({Centers[B][0] + R.gaussian(0, 0.2),
+                     Centers[B][1] + R.gaussian(0, 0.2)});
+  return Pts;
+}
+
+} // namespace
+
+TEST(DatasetTest, PlantedStructureIsConsistent) {
+  Dataset D = makeClusterDataset(1, 0);
+  EXPECT_EQ(D.Points.size(), D.TrueLabels.size());
+  std::set<int> Labels;
+  for (int L : D.TrueLabels)
+    if (L >= 0)
+      Labels.insert(L);
+  EXPECT_EQ(static_cast<int>(Labels.size()), D.TrueClusters);
+  for (const Point &P : D.Points)
+    EXPECT_EQ(static_cast<int>(P.size()), D.Dims);
+}
+
+TEST(DatasetTest, DeterministicPerIndex) {
+  Dataset A = makeClusterDataset(2, 3), B = makeClusterDataset(2, 3);
+  EXPECT_EQ(A.Points, B.Points);
+  Dataset C = makeClusterDataset(2, 4);
+  EXPECT_NE(A.Points.size() == C.Points.size() && A.Points == C.Points, true);
+}
+
+TEST(KMeansTest, RecoversThreeBlobsWithCorrectK) {
+  Rng R(3);
+  std::vector<Point> Pts = threeBlobs(R);
+  KMeansResult Res = kmeans(Pts, 3, R);
+  EXPECT_EQ(Res.Centers.size(), 3u);
+  EXPECT_LT(Res.Inertia, 20.0);
+  // Each blob maps to a single cluster.
+  for (int B = 0; B != 3; ++B) {
+    std::set<int> Assigned;
+    for (int I = 0; I != 30; ++I)
+      Assigned.insert(Res.Labels[static_cast<size_t>(B * 30 + I)]);
+    EXPECT_EQ(Assigned.size(), 1u) << "blob " << B;
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  Rng R(4);
+  std::vector<Point> Pts = threeBlobs(R);
+  double Prev = 1e18;
+  for (int K : {1, 2, 3, 6}) {
+    Rng RK(5);
+    KMeansResult Res = kmeans(Pts, K, RK);
+    EXPECT_LE(Res.Inertia, Prev * 1.001);
+    Prev = Res.Inertia;
+  }
+}
+
+TEST(KMeansTest, KLargerThanPointsIsClamped) {
+  Rng R(5);
+  std::vector<Point> Pts{{0.0, 0.0}, {1.0, 1.0}};
+  KMeansResult Res = kmeans(Pts, 10, R);
+  EXPECT_LE(Res.Centers.size(), 2u);
+  EXPECT_NEAR(Res.Inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, IterationCheckAbortsEarly) {
+  Rng R(6);
+  std::vector<Point> Pts = threeBlobs(R);
+  KMeansOptions Opts;
+  int Calls = 0;
+  Opts.IterationCheck = [&Calls](int, double) {
+    ++Calls;
+    return Calls < 2; // abort after the second iteration
+  };
+  KMeansResult Res = kmeans(Pts, 3, R, Opts);
+  EXPECT_EQ(Res.Iterations, 2);
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(DbScanTest, RecoversBlobsAndNoise) {
+  Rng R(7);
+  std::vector<Point> Pts = threeBlobs(R);
+  Pts.push_back({10.0, 10.0}); // far outlier
+  DbScanResult Res = dbscan(Pts, 0.8, 4);
+  EXPECT_EQ(Res.NumClusters, 3);
+  EXPECT_EQ(Res.Labels.back(), -1);
+  EXPECT_GE(Res.NoisePoints, 1);
+}
+
+TEST(DbScanTest, TinyEpsFragmentsEverything) {
+  Rng R(8);
+  std::vector<Point> Pts = threeBlobs(R);
+  DbScanResult Res = dbscan(Pts, 1e-6, 3);
+  EXPECT_EQ(Res.NumClusters, 0);
+  EXPECT_EQ(Res.NoisePoints, static_cast<long>(Pts.size()));
+}
+
+TEST(DbScanTest, HugeEpsMergesEverything) {
+  Rng R(9);
+  std::vector<Point> Pts = threeBlobs(R);
+  DbScanResult Res = dbscan(Pts, 100.0, 3);
+  EXPECT_EQ(Res.NumClusters, 1);
+  EXPECT_EQ(Res.NoisePoints, 0);
+}
+
+TEST(DbScanTest, BorderPointsJoinClusters) {
+  // A core chain with an attached border point.
+  std::vector<Point> Pts{{0, 0}, {0.5, 0}, {1.0, 0}, {1.5, 0}, {2.2, 0}};
+  DbScanResult Res = dbscan(Pts, 0.75, 3);
+  EXPECT_EQ(Res.NumClusters, 1);
+  EXPECT_EQ(Res.Labels[4], 0); // border point adopted, not noise
+}
+
+TEST(SilhouetteTest, SeparatedBeatsOverlapping) {
+  Rng R(10);
+  std::vector<Point> Pts = threeBlobs(R);
+  std::vector<int> TrueLabels(90);
+  for (int I = 0; I != 90; ++I)
+    TrueLabels[static_cast<size_t>(I)] = I / 30;
+  double Good = silhouette(Pts, TrueLabels);
+  // Random assignment.
+  std::vector<int> Bad(90);
+  for (int I = 0; I != 90; ++I)
+    Bad[static_cast<size_t>(I)] = static_cast<int>(R.uniformInt(0, 2));
+  EXPECT_GT(Good, 0.8);
+  EXPECT_GT(Good, silhouette(Pts, Bad) + 0.3);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  Rng R(11);
+  std::vector<Point> Pts = threeBlobs(R);
+  std::vector<int> OneLabel(Pts.size(), 0);
+  EXPECT_DOUBLE_EQ(silhouette(Pts, OneLabel), 0.0);
+}
+
+TEST(AdjustedRandTest, IdentityAndPermutation) {
+  std::vector<int> A{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjustedRand(A, A), 1.0);
+  std::vector<int> Renamed{5, 5, 9, 9, 7, 7};
+  EXPECT_DOUBLE_EQ(adjustedRand(A, Renamed), 1.0);
+}
+
+TEST(AdjustedRandTest, IndependentLabelsNearZero) {
+  Rng R(12);
+  std::vector<int> A(400), B(400);
+  for (size_t I = 0; I != 400; ++I) {
+    A[I] = static_cast<int>(R.uniformInt(0, 3));
+    B[I] = static_cast<int>(R.uniformInt(0, 3));
+  }
+  EXPECT_NEAR(adjustedRand(A, B), 0.0, 0.1);
+}
+
+// Property sweep over datasets: k-means with the planted K beats k-means
+// with a far-off K on silhouette, and DBScan with sane eps beats tiny eps
+// on adjusted Rand.
+class ClusterQualityTest : public testing::TestWithParam<int> {};
+
+TEST_P(ClusterQualityTest, CorrectKBeatsWrongK) {
+  Dataset D = makeClusterDataset(99, GetParam());
+  Rng R1(1), R2(1);
+  KMeansResult Right = kmeans(D.Points, D.TrueClusters, R1);
+  KMeansResult Wrong = kmeans(D.Points, D.TrueClusters * 4 + 7, R2);
+  double SRight = silhouette(D.Points, Right.Labels);
+  double SWrong = silhouette(D.Points, Wrong.Labels);
+  EXPECT_GE(SRight, SWrong - 0.05) << "dataset " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ClusterQualityTest,
+                         testing::Values(0, 1, 2, 3, 4));

@@ -1,0 +1,457 @@
+//===- tests/CoreTest.cpp - staged tuning engine tests --------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+using namespace wbt;
+
+namespace {
+
+using BodyFn = std::function<std::optional<double>(const double &,
+                                                   SampleContext &)>;
+using AggFactory =
+    std::function<std::unique_ptr<Aggregator<double, double>>()>;
+
+AggFactory bestMax() {
+  return [] { return std::make_unique<BestScoreAggregator<double>>(false); };
+}
+
+} // namespace
+
+TEST(SchedulerTest, RunsEverySubmittedTask) {
+  Scheduler::Options Opts;
+  Opts.Workers = 4;
+  Scheduler S(Opts);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 50; ++I)
+    S.submitSampling(50 - I, [&Count] { Count.fetch_add(1); });
+  for (int I = 0; I != 10; ++I)
+    S.submitTuning([&Count] { Count.fetch_add(1); });
+  S.waitIdle();
+  EXPECT_EQ(Count.load(), 60);
+  Scheduler::Stats St = S.stats();
+  EXPECT_EQ(St.TasksRun, 60u);
+  EXPECT_EQ(St.SamplingTasks, 50u);
+  EXPECT_EQ(St.TuningTasks, 10u);
+}
+
+TEST(SchedulerTest, TasksCanSpawnTasks) {
+  Scheduler::Options Opts;
+  Opts.Workers = 2;
+  Scheduler S(Opts);
+  std::atomic<int> Count{0};
+  S.submitTuning([&] {
+    for (int I = 0; I != 20; ++I)
+      S.submitSampling(20 - I, [&Count] { Count.fetch_add(1); });
+  });
+  S.waitIdle();
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(SchedulerTest, FifoModeAlsoCompletes) {
+  Scheduler::Options Opts;
+  Opts.Workers = 3;
+  Opts.UseAlg1 = false;
+  Scheduler S(Opts);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 30; ++I)
+    S.submitTuning([&Count] { Count.fetch_add(1); });
+  S.waitIdle();
+  EXPECT_EQ(Count.load(), 30);
+}
+
+TEST(SchedulerTest, SamplingPriorityPrefersSmallTodo) {
+  // Single worker: queue several sampling tasks while the worker is busy,
+  // then check they run in ascending Todo order.
+  Scheduler::Options Opts;
+  Opts.Workers = 1;
+  Scheduler S(Opts);
+  std::mutex M;
+  std::vector<int> Order;
+  // Block the worker so the queue builds up.
+  std::atomic<bool> Release{false};
+  S.submitSampling(0, [&] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  for (int Todo : {30, 10, 20, 5})
+    S.submitSampling(Todo, [&, Todo] {
+      std::lock_guard<std::mutex> Lock(M);
+      Order.push_back(Todo);
+    });
+  Release.store(true);
+  S.waitIdle();
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order, (std::vector<int>{5, 10, 20, 30}));
+}
+
+TEST(PipelineTest, SingleStageFindsGoodParameter) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 64;
+  P.addStage<double, double, double>(
+      "stage", O,
+      BodyFn([](const double &In, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(-(X - 0.7) * (X - 0.7));
+        return In + X;
+      }),
+      bestMax());
+
+  RunOptions RO;
+  RO.Seed = 42;
+  RunReport Rep = P.run(std::any(10.0), RO);
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  double Final = Rep.finalAs<double>(0);
+  EXPECT_NEAR(Final, 10.7, 0.1);
+  EXPECT_EQ(Rep.TotalSamples, 64);
+  ASSERT_EQ(Rep.Stages.size(), 1u);
+  EXPECT_EQ(Rep.Stages[0].SamplesRun, 64);
+  EXPECT_EQ(Rep.Stages[0].TuningProcesses, 1);
+  EXPECT_EQ(Rep.Stages[0].Pruned, 0);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  auto Build = [](Pipeline &P) {
+    StageOptions O;
+    O.NumSamples = 32;
+    P.addStage<double, double, double>(
+        "s", O,
+        BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+          double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+          Ctx.setScore(X);
+          return X;
+        }),
+        bestMax());
+  };
+  Pipeline P1, P2;
+  Build(P1);
+  Build(P2);
+  RunOptions RO;
+  RO.Seed = 7;
+  double A = P1.run(std::any(0.0), RO).finalAs<double>(0);
+  double B = P2.run(std::any(0.0), RO).finalAs<double>(0);
+  EXPECT_DOUBLE_EQ(A, B);
+}
+
+TEST(PipelineTest, PruningIsCountedAndExcluded) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 40;
+  P.addStage<double, double, double>(
+      "prune", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        if (!Ctx.check(X >= 0.5)) // paper @check: kill poor runs early
+          return std::nullopt;
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 3});
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  EXPECT_GE(Rep.finalAs<double>(0), 0.5);
+  EXPECT_GT(Rep.Stages[0].Pruned, 0);
+  EXPECT_LT(Rep.Stages[0].Pruned, 40);
+}
+
+TEST(PipelineTest, AllRunsPrunedKillsTuningProcess) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 8;
+  P.addStage<double, double, double>(
+      "allpruned", O,
+      BodyFn([](const double &, SampleContext &) { return std::nullopt; }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 4});
+  EXPECT_TRUE(Rep.Finals.empty());
+  EXPECT_EQ(Rep.Stages[0].Pruned, 8);
+}
+
+TEST(PipelineTest, SplitCreatesMultipleTuningProcesses) {
+  Pipeline P;
+  StageOptions O1;
+  O1.NumSamples = 12;
+  // Stage 1: keep the three best results -> three tuning processes
+  // (paper @split).
+  P.addStage<double, double, double>(
+      "stage1", O1,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(X);
+        return X;
+      }),
+      BatchAggregator<double, double>::Fn(
+          [](std::vector<std::pair<SampleInfo, double>> &&Results) {
+            std::sort(Results.begin(), Results.end(),
+                      [](const auto &A, const auto &B) {
+                        return A.second > B.second;
+                      });
+            std::vector<double> Outs;
+            for (size_t I = 0; I != 3 && I < Results.size(); ++I)
+              Outs.push_back(Results[I].second);
+            return Outs;
+          }));
+  StageOptions O2;
+  O2.NumSamples = 4;
+  P.addStage<double, double, double>(
+      "stage2", O2,
+      BodyFn([](const double &In, SampleContext &Ctx) -> std::optional<double> {
+        double Y = Ctx.sample("y", Distribution::uniform(0.0, 0.001));
+        Ctx.setScore(Y);
+        return In + Y;
+      }),
+      bestMax());
+
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 5});
+  EXPECT_EQ(Rep.Finals.size(), 3u);
+  EXPECT_EQ(Rep.Stages[0].Splits, 2);
+  EXPECT_EQ(Rep.Stages[1].TuningProcesses, 3);
+  EXPECT_EQ(Rep.Stages[1].SamplesRun, 12); // 3 tuning processes x 4
+  EXPECT_EQ(Rep.TotalSamples, 12 + 12);
+}
+
+TEST(PipelineTest, CrossValidationSpawnsFoldRuns) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 6;
+  O.KFolds = 3;
+  std::mutex M;
+  std::map<int, std::set<int>> FoldsPerSample;
+  std::map<int, std::set<double>> ValuesPerSample;
+  P.addStage<double, double, double>(
+      "cv", O,
+      BodyFn([&](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        {
+          std::lock_guard<std::mutex> Lock(M);
+          FoldsPerSample[Ctx.sampleIndex()].insert(Ctx.fold());
+          ValuesPerSample[Ctx.sampleIndex()].insert(X);
+        }
+        EXPECT_EQ(Ctx.numFolds(), 3);
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 6});
+  EXPECT_EQ(Rep.Stages[0].SamplesRun, 18); // 6 SVGs x 3 folds
+  ASSERT_EQ(FoldsPerSample.size(), 6u);
+  for (auto &[Sample, Folds] : FoldsPerSample) {
+    EXPECT_EQ(Folds, (std::set<int>{0, 1, 2})) << "sample " << Sample;
+    // All members of a sampling-and-validation group observe the same
+    // drawn value (paper Sec. IV-A).
+    EXPECT_EQ(ValuesPerSample[Sample].size(), 1u) << "sample " << Sample;
+  }
+}
+
+TEST(PipelineTest, AutoTuneDoublesUntilNoImprovement) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 4;
+  O.AutoTuneSamples = true;
+  O.MaxSamples = 64;
+  P.addStage<double, double, double>(
+      "autotune", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  P.setAutoTuneScore<double>(
+      [](const std::vector<double> &Outs) { return Outs.empty() ? 0 : Outs[0]; });
+
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 8});
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  // More samples than the initial batch must have been spent, and the
+  // retries are visible in the report.
+  EXPECT_GT(Rep.TotalSamples, 4);
+  EXPECT_GE(Rep.Stages[0].AutoTuneRetries, 1);
+  // Max over max(X) is monotone in sample count, so the kept result is at
+  // least as good as a 4-sample batch typically achieves.
+  EXPECT_GT(Rep.finalAs<double>(0), 0.5);
+}
+
+TEST(PipelineTest, ExposedStoreCrossesScopes) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 2;
+  P.addStage<double, double, double>(
+      "expose", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        Ctx.expose("imgSize", std::any(640));
+        Ctx.setScore(1.0);
+        return 1.0;
+      }),
+      AggFactory(bestMax()));
+  StageOptions O2;
+  O2.NumSamples = 2;
+  P.addStage<double, double, double>(
+      "load", O2,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        std::any V = Ctx.load("imgSize");
+        EXPECT_TRUE(V.has_value());
+        EXPECT_EQ(std::any_cast<int>(V), 640);
+        Ctx.setScore(1.0);
+        return 2.0;
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 9});
+  EXPECT_EQ(Rep.Finals.size(), 1u);
+}
+
+TEST(PipelineTest, LoadOfUnknownNameIsEmpty) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 1;
+  P.addStage<double, double, double>(
+      "loadmissing", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        EXPECT_FALSE(Ctx.load("missing").has_value());
+        Ctx.setScore(0.0);
+        return 0.0;
+      }),
+      bestMax());
+  P.run(std::any(0.0), RunOptions{.Seed = 10});
+}
+
+TEST(PipelineTest, IncrementalMemoryStaysBounded) {
+  // The same workload with incremental vs batch aggregation: the batch
+  // configuration's live-bytes high-water mark scales with the sample
+  // count, the incremental one does not (paper Fig. 10).
+  auto Run = [](bool Incremental) {
+    Pipeline P;
+    StageOptions O;
+    O.NumSamples = 50;
+    O.Incremental = Incremental;
+    O.ResultBytesHint = 1000;
+    AggFactory F = [] {
+      return std::make_unique<BestScoreAggregator<double>>(false);
+    };
+    P.addStage<double, double, double>(
+        "mem", O,
+        BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+          double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+          Ctx.setScore(X);
+          return X;
+        }),
+        F);
+    return P.run(std::any(0.0), RunOptions{.Seed = 11}).Stages[0].PeakLiveBytes;
+  };
+  size_t IncPeak = Run(true);
+  size_t BatchPeak = Run(false);
+  EXPECT_EQ(IncPeak, 1000u);
+  EXPECT_EQ(BatchPeak, 50000u);
+}
+
+TEST(PipelineTest, MultiStageFunnelMatchesPaperModel) {
+  // The paper's m*n coverage model: two stages of m samples each reuse
+  // one full execution; total samples = m1 + m2 (single continuation).
+  Pipeline P;
+  for (int Stage = 0; Stage != 3; ++Stage) {
+    StageOptions O;
+    O.NumSamples = 10;
+    P.addStage<double, double, double>(
+        "stage" + std::to_string(Stage), O,
+        BodyFn([](const double &In,
+                  SampleContext &Ctx) -> std::optional<double> {
+          double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+          Ctx.setScore(X);
+          return In + X;
+        }),
+        bestMax());
+  }
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 12});
+  EXPECT_EQ(Rep.TotalSamples, 30); // m*n, not m^n
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  EXPECT_GT(Rep.finalAs<double>(0), 1.5);
+}
+
+TEST(PipelineTest, SchedulerAblationBothComplete) {
+  for (bool UseAlg1 : {true, false}) {
+    Pipeline P;
+    StageOptions O;
+    O.NumSamples = 16;
+    P.addStage<double, double, double>(
+        "s", O,
+        BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+          double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+          Ctx.setScore(X);
+          return X;
+        }),
+        bestMax());
+    RunOptions RO;
+    RO.Seed = 13;
+    RO.UseAlg1Scheduler = UseAlg1;
+    RO.Workers = 4;
+    RunReport Rep = P.run(std::any(0.0), RO);
+    EXPECT_EQ(Rep.Finals.size(), 1u) << "UseAlg1=" << UseAlg1;
+    EXPECT_EQ(Rep.Sched.TasksRun, 16u + 2u /* launch + complete */)
+        << "UseAlg1=" << UseAlg1;
+  }
+}
+
+TEST(PipelineTest, McmcStrategyWiresIntoStage) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 100;
+  O.Strategy = [] { return makeMcmcStrategy(0.1, 0.15); };
+  P.addStage<double, double, double>(
+      "mcmc", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        double Score = -std::fabs(X - 0.25);
+        Ctx.setScore(Score);
+        return X;
+      }),
+      AggFactory([] {
+        return std::make_unique<BestScoreAggregator<double>>(false);
+      }));
+  RunOptions RO;
+  RO.Seed = 14;
+  RO.Workers = 1; // keep the chain sequential
+  RunReport Rep = P.run(std::any(0.0), RO);
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  EXPECT_NEAR(Rep.finalAs<double>(0), 0.25, 0.1);
+}
+
+// Property sweep: sample counts and worker counts never lose samples.
+class PipelineCountTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineCountTest, SampleAccounting) {
+  int NumSamples = std::get<0>(GetParam());
+  int Workers = std::get<1>(GetParam());
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = NumSamples;
+  std::atomic<int> BodyRuns{0};
+  P.addStage<double, double, double>(
+      "s", O,
+      BodyFn([&](const double &, SampleContext &Ctx) -> std::optional<double> {
+        BodyRuns.fetch_add(1);
+        Ctx.setScore(1.0);
+        return 1.0;
+      }),
+      bestMax());
+  RunOptions RO;
+  RO.Seed = 15;
+  RO.Workers = static_cast<unsigned>(Workers);
+  RunReport Rep = P.run(std::any(0.0), RO);
+  EXPECT_EQ(BodyRuns.load(), NumSamples);
+  EXPECT_EQ(Rep.TotalSamples, NumSamples);
+  EXPECT_EQ(Rep.Stages[0].SamplesRun, NumSamples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineCountTest,
+                         testing::Combine(testing::Values(1, 2, 7, 32, 100),
+                                          testing::Values(1, 2, 8)));

@@ -1,0 +1,121 @@
+//===- tests/FaceTest.cpp - eigenfaces substrate tests --------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "face/Eigenfaces.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::face;
+
+TEST(JacobiTest, DiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  std::vector<std::vector<double>> A{{2, 1}, {1, 2}};
+  std::vector<double> Values;
+  std::vector<std::vector<double>> Vectors;
+  jacobiEigen(A, Values, Vectors);
+  ASSERT_EQ(Values.size(), 2u);
+  EXPECT_NEAR(Values[0], 3.0, 1e-9);
+  EXPECT_NEAR(Values[1], 1.0, 1e-9);
+  // First eigenvector proportional to (1, 1)/sqrt(2).
+  EXPECT_NEAR(std::fabs(Vectors[0][0]), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(std::fabs(Vectors[0][1]), std::sqrt(0.5), 1e-6);
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  std::vector<std::vector<double>> A{
+      {4, 1, 0.5}, {1, 3, 0.2}, {0.5, 0.2, 2}};
+  std::vector<double> Values;
+  std::vector<std::vector<double>> Vectors;
+  jacobiEigen(A, Values, Vectors);
+  for (size_t I = 0; I != 3; ++I)
+    for (size_t J = 0; J != 3; ++J) {
+      double Dot = 0;
+      for (size_t K = 0; K != 3; ++K)
+        Dot += Vectors[I][K] * Vectors[J][K];
+      EXPECT_NEAR(Dot, I == J ? 1.0 : 0.0, 1e-8);
+    }
+  EXPECT_GE(Values[0], Values[1]);
+  EXPECT_GE(Values[1], Values[2]);
+}
+
+TEST(FaceDatasetTest, ShapesAreConsistent) {
+  FaceDataset D = makeFaceDataset(1, 0);
+  EXPECT_EQ(D.Gallery.size(), 30u); // 15 ids x 2
+  EXPECT_EQ(D.Probes.size(), 45u); // 15 ids x 3
+  EXPECT_EQ(D.Gallery[0].size(), static_cast<size_t>(FaceDim * FaceDim));
+  for (int Id : D.ProbeIds) {
+    EXPECT_GE(Id, 0);
+    EXPECT_LT(Id, D.NumIdentities);
+  }
+}
+
+TEST(EigenfacesTest, GalleryImagesIdentifyThemselves) {
+  FaceDataset D = makeFaceDataset(2, 0);
+  FaceParams P;
+  P.NumComponents = 20;
+  EigenfaceModel M = trainEigenfaces(D, P);
+  int Correct = 0;
+  for (size_t G = 0; G != D.Gallery.size(); ++G)
+    Correct += M.identify(D.Gallery[G]) == D.GalleryIds[G];
+  EXPECT_EQ(Correct, static_cast<int>(D.Gallery.size()));
+}
+
+TEST(EigenfacesTest, BeatsChanceOnProbes) {
+  FaceDataset D = makeFaceDataset(3, 1);
+  FaceParams P;
+  P.NumComponents = 16;
+  EigenfaceModel M = trainEigenfaces(D, P);
+  double Err = identificationError(M, D);
+  // Chance error is 14/15 ~ 0.93.
+  EXPECT_LT(Err, 0.5);
+}
+
+TEST(EigenfacesTest, ComponentCountIsClamped) {
+  FaceDataset D = makeFaceDataset(4, 0);
+  FaceParams P;
+  P.NumComponents = 10000;
+  EigenfaceModel M = trainEigenfaces(D, P);
+  EXPECT_LE(M.Components.size(), D.Gallery.size());
+  EXPECT_GE(M.Components.size(), 1u);
+}
+
+TEST(EigenfacesTest, TooFewComponentsHurt) {
+  FaceDataset D = makeFaceDataset(5, 2);
+  FaceParams Rich;
+  Rich.NumComponents = 20;
+  FaceParams Poor;
+  Poor.NumComponents = 1;
+  double RichErr = identificationError(trainEigenfaces(D, Rich), D);
+  double PoorErr = identificationError(trainEigenfaces(D, Poor), D);
+  EXPECT_LE(RichErr, PoorErr);
+}
+
+TEST(EigenfacesTest, MetricsAllFunction) {
+  FaceDataset D = makeFaceDataset(6, 0);
+  for (FaceMetric Metric :
+       {FaceMetric::L1, FaceMetric::L2, FaceMetric::Cosine}) {
+    FaceParams P;
+    P.Metric = Metric;
+    EigenfaceModel M = trainEigenfaces(D, P);
+    double Err = identificationError(M, D);
+    EXPECT_GE(Err, 0.0);
+    EXPECT_LT(Err, 0.8) << "metric " << static_cast<int>(Metric);
+  }
+}
+
+TEST(EigenfacesTest, ProjectionIsMeanCentered) {
+  FaceDataset D = makeFaceDataset(7, 0);
+  FaceParams P;
+  P.NumComponents = 8;
+  EigenfaceModel M = trainEigenfaces(D, P);
+  // Projecting the mean face yields (near) zero coefficients.
+  std::vector<double> Coef = M.project(M.Mean);
+  for (double C : Coef)
+    EXPECT_NEAR(C, 0.0, 1e-9);
+}

@@ -1,0 +1,139 @@
+//===- tests/GraphPartTest.cpp - partitioner substrate tests --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graphpart/Partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wbt;
+using namespace wbt::gp;
+
+namespace {
+
+/// Two cliques joined by a single edge: the obvious bisection cuts 1.
+Graph twoCliques(int Size = 8) {
+  Graph G;
+  G.Adj.assign(static_cast<size_t>(2 * Size), {});
+  G.VertexWeight.assign(static_cast<size_t>(2 * Size), 1.0);
+  for (int C = 0; C != 2; ++C)
+    for (int A = 0; A != Size; ++A)
+      for (int B = A + 1; B != Size; ++B)
+        G.addEdge(C * Size + A, C * Size + B, 1.0);
+  G.addEdge(0, Size, 1.0);
+  return G;
+}
+
+} // namespace
+
+TEST(GraphTest, EdgeCutCountsCrossEdgesOnce) {
+  Graph G = twoCliques(4);
+  std::vector<int> Split(8);
+  for (int I = 0; I != 8; ++I)
+    Split[static_cast<size_t>(I)] = I < 4 ? 0 : 1;
+  EXPECT_DOUBLE_EQ(edgeCut(G, Split), 1.0);
+  std::vector<int> AllSame(8, 0);
+  EXPECT_DOUBLE_EQ(edgeCut(G, AllSame), 0.0);
+}
+
+TEST(PartitionerTest, FindsObviousBisection) {
+  Graph G = twoCliques(10);
+  PartitionParams P;
+  P.NumParts = 2;
+  P.CoarsenTo = 8;
+  P.RefinePasses = 6;
+  P.Seed = 3;
+  PartitionResult R = partition(G, P);
+  EXPECT_DOUBLE_EQ(R.EdgeCut, 1.0);
+  // Each clique lands in one part.
+  std::set<int> PartsA, PartsB;
+  for (int I = 0; I != 10; ++I) {
+    PartsA.insert(R.Assignment[static_cast<size_t>(I)]);
+    PartsB.insert(R.Assignment[static_cast<size_t>(10 + I)]);
+  }
+  EXPECT_EQ(PartsA.size(), 1u);
+  EXPECT_EQ(PartsB.size(), 1u);
+  EXPECT_NE(*PartsA.begin(), *PartsB.begin());
+}
+
+TEST(PartitionerTest, RespectsBalanceRoughly) {
+  PlantedGraph PG = makePlantedGraph(4, 0);
+  PartitionParams P;
+  P.NumParts = 4;
+  P.Imbalance = 0.05;
+  P.Seed = 5;
+  PartitionResult R = partition(PG.G, P);
+  EXPECT_LE(R.BalanceRatio, 1.25); // initial growth can overshoot a bit
+  // All parts used.
+  std::set<int> Used(R.Assignment.begin(), R.Assignment.end());
+  EXPECT_EQ(Used.size(), 4u);
+}
+
+TEST(PartitionerTest, CoarseningStopsAtThreshold) {
+  PlantedGraph PG = makePlantedGraph(6, 1);
+  PartitionParams P;
+  P.NumParts = 4;
+  P.CoarsenTo = 30;
+  P.Seed = 7;
+  PartitionResult R = partition(PG.G, P);
+  EXPECT_LE(R.CoarsestSize, PG.G.numVertices());
+  EXPECT_GE(R.Levels, 1);
+}
+
+TEST(PartitionerTest, RefinementImprovesCut) {
+  PlantedGraph PG = makePlantedGraph(8, 2);
+  PartitionParams NoRefine;
+  NoRefine.NumParts = 4;
+  NoRefine.RefinePasses = 0;
+  NoRefine.Seed = 9;
+  PartitionParams Refined = NoRefine;
+  Refined.RefinePasses = 6;
+  double CutNo = partition(PG.G, NoRefine).EdgeCut;
+  double CutYes = partition(PG.G, Refined).EdgeCut;
+  EXPECT_LE(CutYes, CutNo);
+}
+
+TEST(PartitionerTest, RecoversPlantedCommunities) {
+  PlantedGraphOptions Opts;
+  Opts.Communities = 4;
+  Opts.VerticesPerCommunity = 40;
+  Opts.IntraProb = 0.3;
+  Opts.InterProb = 0.005;
+  PlantedGraph PG = makePlantedGraph(10, 3, Opts);
+  PartitionParams P;
+  P.NumParts = 4;
+  P.CoarsenTo = 32;
+  P.RefinePasses = 8;
+  P.Imbalance = 0.1;
+  P.Seed = 11;
+  PartitionResult R = partition(PG.G, P);
+  // Majority of each planted community in one part.
+  int Agreement = 0;
+  for (int C = 0; C != 4; ++C) {
+    std::map<int, int> Votes;
+    for (int V = 0; V != PG.G.numVertices(); ++V)
+      if (PG.TrueCommunity[static_cast<size_t>(V)] == C)
+        ++Votes[R.Assignment[static_cast<size_t>(V)]];
+    int Best = 0;
+    for (auto &[Part, Count] : Votes)
+      Best = std::max(Best, Count);
+    Agreement += Best;
+  }
+  EXPECT_GT(Agreement, PG.G.numVertices() * 7 / 10);
+}
+
+TEST(PlantedGraphTest, DeterministicAndDense) {
+  PlantedGraph A = makePlantedGraph(12, 4), B = makePlantedGraph(12, 4);
+  ASSERT_EQ(A.G.numVertices(), B.G.numVertices());
+  long EdgesA = 0, EdgesB = 0;
+  for (int V = 0; V != A.G.numVertices(); ++V) {
+    EdgesA += static_cast<long>(A.G.Adj[static_cast<size_t>(V)].size());
+    EdgesB += static_cast<long>(B.G.Adj[static_cast<size_t>(V)].size());
+  }
+  EXPECT_EQ(EdgesA, EdgesB);
+  EXPECT_GT(EdgesA, A.G.numVertices()); // connected-ish density
+}

@@ -1,0 +1,289 @@
+//===- tests/ImageTest.cpp - image substrate tests ------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Canny.h"
+#include "image/Ssim.h"
+#include "image/Synthetic.h"
+#include "image/Watershed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+using namespace wbt;
+using namespace wbt::img;
+
+namespace {
+
+/// A sharp vertical step edge at X = W/2.
+Image stepImage(int W = 32, int H = 32) {
+  Image I(W, H);
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X != W; ++X)
+      I.at(X, Y) = X < W / 2 ? 0.2f : 0.8f;
+  return I;
+}
+
+} // namespace
+
+TEST(ImageTest, MaskRoundTrip) {
+  Image I(4, 2);
+  I.at(1, 0) = 1.0f;
+  I.at(3, 1) = 0.7f;
+  std::vector<uint8_t> M = I.toMask();
+  EXPECT_EQ(M[1], 1);
+  EXPECT_EQ(M[7], 1);
+  EXPECT_EQ(M[0], 0);
+  Image Back = Image::fromMask(M, 4, 2);
+  EXPECT_FLOAT_EQ(Back.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(Back.at(0, 0), 0.0f);
+}
+
+TEST(ImageTest, ClampedBorderAccess) {
+  Image I = stepImage(8, 8);
+  EXPECT_FLOAT_EQ(I.atClamped(-5, 3), I.at(0, 3));
+  EXPECT_FLOAT_EQ(I.atClamped(100, 3), I.at(7, 3));
+  EXPECT_FLOAT_EQ(I.atClamped(2, -1), I.at(2, 0));
+}
+
+TEST(ImageTest, PgmRoundTrip) {
+  std::string Path = testing::TempDir() + "/wbt_img.pgm";
+  Image I = stepImage(16, 12);
+  ASSERT_TRUE(I.writePgm(Path));
+  Image Back;
+  ASSERT_TRUE(Image::readPgm(Path, Back));
+  ASSERT_EQ(Back.width(), 16);
+  ASSERT_EQ(Back.height(), 12);
+  for (int Y = 0; Y != 12; ++Y)
+    for (int X = 0; X != 16; ++X)
+      EXPECT_NEAR(Back.at(X, Y), I.at(X, Y), 1.0 / 255.0 + 1e-6);
+  std::remove(Path.c_str());
+}
+
+TEST(FiltersTest, GaussianKernelNormalized) {
+  for (double Sigma : {0.3, 0.8, 1.5, 3.0}) {
+    std::vector<float> K = gaussianKernel(Sigma);
+    EXPECT_EQ(K.size() % 2, 1u);
+    double Sum = std::accumulate(K.begin(), K.end(), 0.0);
+    EXPECT_NEAR(Sum, 1.0, 1e-5) << "sigma " << Sigma;
+    // Symmetric and peaked at the center.
+    size_t Mid = K.size() / 2;
+    for (size_t I = 0; I != Mid; ++I) {
+      EXPECT_FLOAT_EQ(K[I], K[K.size() - 1 - I]);
+      EXPECT_LE(K[I], K[Mid]);
+    }
+  }
+}
+
+TEST(FiltersTest, SmoothingPreservesFlatRegions) {
+  Image Flat(16, 16, 0.5f);
+  Image Out = gaussianSmooth(Flat, 1.2);
+  for (float P : Out.pixels())
+    EXPECT_NEAR(P, 0.5f, 1e-5);
+}
+
+TEST(FiltersTest, SmoothingReducesSharpness) {
+  Image I = stepImage();
+  double Before = laplacianSharpness(I);
+  double After = laplacianSharpness(gaussianSmooth(I, 2.0));
+  EXPECT_LT(After, Before);
+}
+
+TEST(FiltersTest, SobelFindsVerticalEdge) {
+  Gradient G = sobel(stepImage());
+  // Maximum magnitude sits on the step column(s); direction bin 0 means a
+  // horizontal gradient.
+  float MaxMag = G.Magnitude.maxValue();
+  EXPECT_GT(MaxMag, 0.5f);
+  int W = G.Magnitude.width();
+  EXPECT_GE(G.Magnitude.at(W / 2, 16), MaxMag * 0.9f);
+  EXPECT_EQ(G.Direction[16 * 32 + W / 2], 0);
+  // Interior far from the edge is flat.
+  EXPECT_NEAR(G.Magnitude.at(4, 16), 0.0f, 1e-4);
+}
+
+TEST(CannyTest, FindsStepEdgeCleanly) {
+  std::vector<uint8_t> Edges = canny(stepImage(), 1.0, 0.3, 0.7);
+  // Edge pixels exist and concentrate near the step column.
+  int W = 32;
+  long Total = 0, NearStep = 0;
+  for (int Y = 0; Y != 32; ++Y)
+    for (int X = 0; X != 32; ++X)
+      if (Edges[static_cast<size_t>(Y) * W + X]) {
+        ++Total;
+        NearStep += std::abs(X - W / 2) <= 2;
+      }
+  EXPECT_GT(Total, 16);
+  EXPECT_GE(NearStep, Total * 9 / 10);
+}
+
+TEST(CannyTest, BlankImageHasNoEdges) {
+  std::vector<uint8_t> Edges = canny(Image(16, 16, 0.4f), 1.0, 0.3, 0.7);
+  EXPECT_DOUBLE_EQ(edgeFraction(Edges), 0.0);
+}
+
+TEST(CannyTest, HigherThresholdsGiveFewerEdges) {
+  Scene S = makeScene(3, 0);
+  double LowFrac = edgeFraction(canny(S.Picture, 1.0, 0.1, 0.2));
+  double HighFrac = edgeFraction(canny(S.Picture, 1.0, 0.5, 0.9));
+  EXPECT_GE(LowFrac, HighFrac);
+}
+
+TEST(CannyTest, HysteresisConnectsWeakToStrong) {
+  // A magnitude ridge that decays: weak pixels chain back to the strong
+  // seed and must all be kept; an isolated weak pixel must not.
+  Image S(9, 3, 0.0f);
+  S.at(1, 1) = 1.0f;
+  S.at(2, 1) = 0.5f;
+  S.at(3, 1) = 0.45f;
+  S.at(7, 1) = 0.5f; // isolated weak pixel
+  std::vector<uint8_t> Mask = hysteresis(S, 0.4, 0.9);
+  EXPECT_EQ(Mask[1 * 9 + 1], 1);
+  EXPECT_EQ(Mask[1 * 9 + 2], 1);
+  EXPECT_EQ(Mask[1 * 9 + 3], 1);
+  EXPECT_EQ(Mask[1 * 9 + 7], 0);
+}
+
+TEST(CannyTest, NmsThinsEdges) {
+  Gradient G = sobel(gaussianSmooth(stepImage(), 1.0));
+  Image Thin = nonMaxSuppress(G);
+  // Along each row the suppressed response should have fewer non-zeros
+  // than the raw magnitude.
+  long RawNonZero = 0, ThinNonZero = 0;
+  for (int X = 0; X != 32; ++X) {
+    RawNonZero += G.Magnitude.at(X, 16) > 0.05f;
+    ThinNonZero += Thin.at(X, 16) > 0.05f;
+  }
+  EXPECT_LT(ThinNonZero, RawNonZero);
+  EXPECT_GE(ThinNonZero, 1);
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne) {
+  Scene S = makeScene(5, 1);
+  EXPECT_NEAR(ssim(S.Picture, S.Picture), 1.0, 1e-9);
+}
+
+TEST(SsimTest, DifferentImagesScoreLower) {
+  Scene A = makeScene(5, 1), B = makeScene(5, 2);
+  EXPECT_LT(ssim(A.Picture, B.Picture), 0.9);
+}
+
+TEST(SsimTest, DegradesMonotonicallyWithNoise) {
+  Image Base = stepImage(64, 64);
+  Rng R(7);
+  auto Noisy = [&](double Sigma) {
+    Image N = Base;
+    Rng R2(7);
+    for (float &P : N.pixels())
+      P = static_cast<float>(
+          std::clamp(P + R2.gaussian(0, Sigma), 0.0, 1.0));
+    return ssim(Base, N);
+  };
+  double S1 = Noisy(0.02), S2 = Noisy(0.1), S3 = Noisy(0.3);
+  EXPECT_GT(S1, S2);
+  EXPECT_GT(S2, S3);
+  (void)R;
+}
+
+TEST(SsimTest, BoundaryF1PerfectAndShifted) {
+  Scene S = makeScene(9, 0);
+  EXPECT_NEAR(boundaryF1(S.TrueEdges, S.TrueEdges, S.Picture.width(),
+                         S.Picture.height()),
+              1.0, 1e-9);
+  // A one-pixel shift stays high with tolerance 1, drops with 0.
+  int W = S.Picture.width(), H = S.Picture.height();
+  std::vector<uint8_t> Shifted(S.TrueEdges.size(), 0);
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 1; X != W; ++X)
+      Shifted[static_cast<size_t>(Y) * W + X] =
+          S.TrueEdges[static_cast<size_t>(Y) * W + X - 1];
+  EXPECT_GT(boundaryF1(Shifted, S.TrueEdges, W, H, 1), 0.9);
+  EXPECT_LT(boundaryF1(Shifted, S.TrueEdges, W, H, 0), 0.5);
+}
+
+TEST(WatershedTest, SegmentsWellSeparatedShapes) {
+  SceneOptions Opts;
+  Opts.NoiseLo = 0.005;
+  Opts.NoiseHi = 0.01;
+  Opts.BlurHi = 0.2;
+  Scene S = makeScene(11, 0, Opts);
+  Segmentation Seg = watershed(S.Picture, 1.0, 0.25, 20);
+  EXPECT_GE(Seg.NumBasins, 2);
+  // Most pixels carry a basin label.
+  long Labeled = 0;
+  for (int L : Seg.Labels)
+    Labeled += L > 0;
+  EXPECT_GT(Labeled, static_cast<long>(Seg.Labels.size()) * 3 / 4);
+}
+
+TEST(WatershedTest, MarkerDepthControlsBasinCount) {
+  Scene S = makeScene(13, 1);
+  Segmentation Few = watershed(S.Picture, 1.2, 0.08, 4);
+  Segmentation Many = watershed(S.Picture, 1.2, 0.5, 4);
+  // A higher marker threshold floods more seeds together or splits more
+  // aggressively; the counts must differ and both runs must label pixels.
+  EXPECT_NE(Few.NumBasins, Many.NumBasins);
+  EXPECT_GT(Few.NumBasins, 0);
+}
+
+TEST(WatershedTest, MinBasinMergesSmallBasins) {
+  Scene S = makeScene(17, 2);
+  Segmentation NoMerge = watershed(S.Picture, 0.8, 0.3, 1);
+  Segmentation Merge = watershed(S.Picture, 0.8, 0.3, 120);
+  EXPECT_LE(Merge.NumBasins, NoMerge.NumBasins);
+}
+
+TEST(WatershedTest, BoundaryMaskMatchesLabels) {
+  Scene S = makeScene(19, 3);
+  Segmentation Seg = watershed(S.Picture, 1.0, 0.2, 10);
+  std::vector<uint8_t> Mask = Seg.boundaryMask();
+  for (size_t I = 0; I != Mask.size(); ++I)
+    EXPECT_EQ(Mask[I] == 1, Seg.Labels[I] == 0);
+}
+
+TEST(SyntheticTest, DeterministicPerSeedAndIndex) {
+  Scene A = makeScene(21, 4), B = makeScene(21, 4), C = makeScene(21, 5);
+  EXPECT_EQ(A.Picture.pixels(), B.Picture.pixels());
+  EXPECT_NE(A.Picture.pixels(), C.Picture.pixels());
+}
+
+TEST(SyntheticTest, GroundTruthEdgesBoundLabels) {
+  Scene S = makeScene(23, 6);
+  int W = S.Picture.width(), H = S.Picture.height();
+  // Every horizontal label change must be marked as an edge.
+  for (int Y = 0; Y != H; ++Y)
+    for (int X = 0; X + 1 != W; ++X) {
+      size_t I = static_cast<size_t>(Y) * W + X;
+      if (S.TrueLabels[I] != S.TrueLabels[I + 1]) {
+        EXPECT_TRUE(S.TrueEdges[I]) << X << "," << Y;
+      }
+    }
+}
+
+TEST(SyntheticTest, ShapesArePresent) {
+  Scene S = makeScene(29, 7);
+  std::set<int> Labels(S.TrueLabels.begin(), S.TrueLabels.end());
+  EXPECT_GE(static_cast<int>(Labels.size()), 2); // background + shapes
+  EXPECT_GE(S.NumShapes, 3);
+}
+
+// Property: on clean scenes, the true edges score best; Canny with a
+// reasonable configuration beats Canny with a degenerate one.
+TEST(CannyQualityTest, ReasonableParamsBeatDegenerate) {
+  int Better = 0;
+  for (int I = 0; I != 5; ++I) {
+    Scene S = makeScene(31, I);
+    int W = S.Picture.width(), H = S.Picture.height();
+    double Good = ssimMasks(canny(S.Picture, 1.0, 0.25, 0.6), S.TrueEdges, W,
+                            H);
+    double Bad = ssimMasks(canny(S.Picture, 0.05, 0.9, 0.95), S.TrueEdges, W,
+                           H);
+    Better += Good >= Bad;
+  }
+  EXPECT_GE(Better, 4);
+}

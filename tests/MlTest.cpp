@@ -1,0 +1,287 @@
+//===- tests/MlTest.cpp - SVM / C4.5 substrate tests ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/C45.h"
+#include "ml/Svm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wbt;
+using namespace wbt::ml;
+
+namespace {
+
+/// Linearly separable binary set: class by sign of x0.
+MlDataset separableSet(int N = 60) {
+  MlDataset D;
+  D.NumClasses = 2;
+  D.NumFeatures = 2;
+  Rng R(1);
+  for (int I = 0; I != N; ++I) {
+    double X0 = R.uniform(-2.0, 2.0);
+    if (std::fabs(X0) < 0.4)
+      X0 += X0 >= 0 ? 0.4 : -0.4;
+    D.X.push_back({X0, R.uniform(-1.0, 1.0)});
+    D.Y.push_back(X0 > 0 ? 1 : 0);
+  }
+  return D;
+}
+
+/// XOR-style set: only non-linear kernels separate it.
+MlDataset xorSet(int N = 80) {
+  MlDataset D;
+  D.NumClasses = 2;
+  D.NumFeatures = 2;
+  Rng R(2);
+  for (int I = 0; I != N; ++I) {
+    double A = R.uniform(-1.0, 1.0), B = R.uniform(-1.0, 1.0);
+    if (std::fabs(A) < 0.15 || std::fabs(B) < 0.15) {
+      --I;
+      continue;
+    }
+    D.X.push_back({A, B});
+    D.Y.push_back(A * B > 0 ? 1 : 0);
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(MlDatasetTest, GeneratorShapesAreConsistent) {
+  MlDataset D = makeClassificationDataset(5, 0);
+  EXPECT_EQ(D.X.size(), D.Y.size());
+  EXPECT_EQ(static_cast<int>(D.X[0].size()), D.NumFeatures);
+  std::set<int> Classes(D.Y.begin(), D.Y.end());
+  EXPECT_LE(static_cast<int>(Classes.size()), D.NumClasses);
+  EXPECT_GE(static_cast<int>(Classes.size()), 2);
+}
+
+TEST(MlDatasetTest, KFoldPartitionsDisjointAndComplete) {
+  for (int K : {2, 3, 5}) {
+    std::set<size_t> AllTest;
+    for (int F = 0; F != K; ++F) {
+      std::vector<size_t> Train, Test;
+      kFoldIndices(50, K, F, Train, Test);
+      EXPECT_EQ(Train.size() + Test.size(), 50u);
+      for (size_t T : Test) {
+        EXPECT_TRUE(AllTest.insert(T).second) << "index in two folds";
+      }
+      std::set<size_t> TrainSet(Train.begin(), Train.end());
+      for (size_t T : Test)
+        EXPECT_FALSE(TrainSet.count(T));
+    }
+    EXPECT_EQ(AllTest.size(), 50u);
+  }
+}
+
+TEST(MlDatasetTest, SubsetSelectsRows) {
+  MlDataset D = makeClassificationDataset(5, 1);
+  MlDataset S = subset(D, {0, 2, 4});
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S.X[1], D.X[2]);
+  EXPECT_EQ(S.Y[2], D.Y[4]);
+}
+
+TEST(MlDatasetTest, ErrorRateCounts) {
+  EXPECT_DOUBLE_EQ(errorRate({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(errorRate({1, 0, 3, 0}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(SvmTest, LinearKernelSeparatesLinearData) {
+  MlDataset D = separableSet();
+  SvmParams P;
+  P.Kernel = KernelKind::Linear;
+  P.C = 10.0;
+  Rng R(3);
+  MultiSvm M = trainMultiSvm(D, P, R);
+  EXPECT_LT(svmError(M, D), 0.05);
+}
+
+TEST(SvmTest, RbfKernelSolvesXor) {
+  MlDataset D = xorSet();
+  SvmParams Rbf;
+  Rbf.Kernel = KernelKind::Rbf;
+  Rbf.C = 10.0;
+  Rbf.Gamma = 2.0;
+  Rng R1(4), R2(4);
+  double RbfErr = svmError(trainMultiSvm(D, Rbf, R1), D);
+  SvmParams Lin;
+  Lin.Kernel = KernelKind::Linear;
+  Lin.C = 10.0;
+  double LinErr = svmError(trainMultiSvm(D, Lin, R2), D);
+  EXPECT_LT(RbfErr, 0.1);
+  EXPECT_GT(LinErr, 0.25); // linear cannot express XOR
+}
+
+TEST(SvmTest, KernelValues) {
+  SvmParams P;
+  std::vector<double> A{1, 0}, B{0, 1};
+  P.Kernel = KernelKind::Linear;
+  EXPECT_DOUBLE_EQ(kernel(P, A, B), 0.0);
+  EXPECT_DOUBLE_EQ(kernel(P, A, A), 1.0);
+  P.Kernel = KernelKind::Rbf;
+  P.Gamma = 1.0;
+  EXPECT_DOUBLE_EQ(kernel(P, A, A), 1.0);
+  EXPECT_NEAR(kernel(P, A, B), std::exp(-2.0), 1e-12);
+  P.Kernel = KernelKind::Poly;
+  P.Gamma = 1.0;
+  P.Coef0 = 1.0;
+  P.Degree = 2;
+  EXPECT_DOUBLE_EQ(kernel(P, A, A), 4.0); // (1*1 + 1)^2
+}
+
+TEST(SvmTest, TinyCUnderfits) {
+  MlDataset D = xorSet();
+  SvmParams P;
+  P.Kernel = KernelKind::Rbf;
+  P.Gamma = 2.0;
+  P.C = 1e-4;
+  Rng R(5);
+  // With an almost-zero box constraint the model stays near-constant.
+  EXPECT_GT(svmError(trainMultiSvm(D, P, R), D), 0.2);
+}
+
+TEST(SvmTest, MultiClassCoversAllClasses) {
+  MlDatasetOptions Opts;
+  Opts.MinClasses = 3;
+  Opts.MaxClasses = 3;
+  Opts.Samples = 90;
+  Opts.SpreadLo = 0.3;
+  Opts.SpreadHi = 0.4;
+  Opts.LabelNoise = 0.0;
+  MlDataset D = makeClassificationDataset(6, 0, Opts);
+  SvmParams P;
+  P.C = 5.0;
+  P.Gamma = 0.3;
+  Rng R(6);
+  MultiSvm M = trainMultiSvm(D, P, R);
+  EXPECT_EQ(M.NumClasses, 3);
+  EXPECT_EQ(static_cast<int>(M.PerClass.size()), 3);
+  std::set<int> Predicted;
+  for (const auto &Row : D.X)
+    Predicted.insert(M.predict(Row));
+  EXPECT_EQ(Predicted.size(), 3u);
+  EXPECT_LT(svmError(M, D), 0.25);
+}
+
+TEST(SvmTest, BalancedClassesHelpSkewedData) {
+  // 90/10 class skew: the balanced box constraint must not ignore the
+  // minority class.
+  MlDataset D;
+  D.NumClasses = 2;
+  D.NumFeatures = 2;
+  Rng R(7);
+  for (int I = 0; I != 90; ++I) {
+    D.X.push_back({R.gaussian(-1, 0.5), R.gaussian(0, 0.5)});
+    D.Y.push_back(0);
+  }
+  for (int I = 0; I != 10; ++I) {
+    D.X.push_back({R.gaussian(1.5, 0.3), R.gaussian(0, 0.3)});
+    D.Y.push_back(1);
+  }
+  SvmParams P;
+  P.C = 0.05;
+  P.Gamma = 1.0;
+  P.BalanceClasses = true;
+  Rng R2(8);
+  MultiSvm M = trainMultiSvm(D, P, R2);
+  long MinorityRight = 0;
+  for (int I = 90; I != 100; ++I)
+    MinorityRight += M.predict(D.X[static_cast<size_t>(I)]) == 1;
+  EXPECT_GE(MinorityRight, 7);
+}
+
+TEST(C45Test, LearnsAxisAlignedRule) {
+  MlDataset D = separableSet();
+  C45Params P;
+  C45Tree T = trainC45(D, P);
+  EXPECT_LT(c45Error(T, D), 0.05);
+  EXPECT_FALSE(T.Root->IsLeaf);
+  EXPECT_EQ(T.Root->Feature, 0); // splits on the informative feature
+}
+
+TEST(C45Test, MinCasesLimitsTreeGrowth) {
+  MlDataset D = makeClassificationDataset(9, 0);
+  C45Params Loose;
+  Loose.MinCases = 1;
+  Loose.Confidence = 0.9; // effectively unpruned
+  C45Params Tight;
+  Tight.MinCases = 25;
+  Tight.Confidence = 0.9;
+  long LooseNodes = trainC45(D, Loose).nodeCount();
+  long TightNodes = trainC45(D, Tight).nodeCount();
+  EXPECT_LT(TightNodes, LooseNodes);
+}
+
+TEST(C45Test, LowConfidencePrunesMore) {
+  MlDataset D = makeClassificationDataset(10, 1);
+  C45Params Unpruned;
+  Unpruned.Confidence = 0.9;
+  Unpruned.MinCases = 2;
+  C45Params Pruned;
+  Pruned.Confidence = 0.01;
+  Pruned.MinCases = 2;
+  EXPECT_LE(trainC45(D, Pruned).nodeCount(),
+            trainC45(D, Unpruned).nodeCount());
+}
+
+TEST(C45Test, PruningImprovesGeneralizationOnNoisyData) {
+  MlDatasetOptions Opts;
+  Opts.Samples = 240;
+  Opts.LabelNoise = 0.2;
+  Opts.SpreadLo = 1.0;
+  Opts.SpreadHi = 1.0;
+  int PrunedWins = 0;
+  for (int Trial = 0; Trial != 5; ++Trial) {
+    MlDataset D = makeClassificationDataset(11, Trial, Opts);
+    std::vector<size_t> TrainIdx, TestIdx;
+    halfSplit(D.size(), TrainIdx, TestIdx);
+    MlDataset Train = subset(D, TrainIdx), Test = subset(D, TestIdx);
+    C45Params Overfit;
+    Overfit.Confidence = 0.95;
+    Overfit.MinCases = 1;
+    C45Params Pruned;
+    Pruned.Confidence = 0.1;
+    Pruned.MinCases = 6;
+    double OverfitTest = c45Error(trainC45(Train, Overfit), Test);
+    double PrunedTest = c45Error(trainC45(Train, Pruned), Test);
+    PrunedWins += PrunedTest <= OverfitTest + 1e-9;
+  }
+  EXPECT_GE(PrunedWins, 3);
+}
+
+TEST(C45Test, PredictAllMatchesPredict) {
+  MlDataset D = makeClassificationDataset(12, 2);
+  C45Tree T = trainC45(D, C45Params());
+  std::vector<int> All = T.predictAll(D.X);
+  for (size_t I = 0; I != D.size(); ++I)
+    EXPECT_EQ(All[I], T.predict(D.X[I]));
+}
+
+// Property sweep: the SVM hyper-parameters matter — a tuned-ish RBF
+// configuration beats a degenerate gamma on held-out data.
+class SvmSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(SvmSweepTest, SaneGammaBeatsDegenerate) {
+  MlDataset D = makeClassificationDataset(13, GetParam());
+  std::vector<size_t> TrainIdx, TestIdx;
+  halfSplit(D.size(), TrainIdx, TestIdx);
+  MlDataset Train = subset(D, TrainIdx), Test = subset(D, TestIdx);
+  SvmParams Sane;
+  Sane.C = 2.0;
+  Sane.Gamma = 0.2;
+  SvmParams Degenerate;
+  Degenerate.C = 2.0;
+  Degenerate.Gamma = 500.0; // memorizes training points
+  Rng R1(14), R2(14);
+  double SaneErr = svmError(trainMultiSvm(Train, Sane, R1), Test);
+  double DegenErr = svmError(trainMultiSvm(Train, Degenerate, R2), Test);
+  EXPECT_LE(SaneErr, DegenErr + 0.05) << "dataset " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, SvmSweepTest, testing::Values(0, 1, 2));

@@ -1,0 +1,205 @@
+//===- tests/ParamTest.cpp - param library tests --------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "param/ConfigSpace.h"
+#include "param/Distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wbt;
+
+namespace {
+
+ConfigSpace makeSpace() {
+  ConfigSpace S;
+  S.addDouble("sigma", 0.1, 2.0, 0.6);
+  S.addDouble("c", 0.001, 1000.0, 1.0, /*LogScale=*/true);
+  S.addInt("k", 2, 30, 8);
+  S.addBool("shrink", true);
+  S.addEnum("kernel", {"linear", "rbf", "poly"}, 1);
+  return S;
+}
+
+} // namespace
+
+TEST(ConfigSpaceTest, DefaultConfigMatchesSpecs) {
+  ConfigSpace S = makeSpace();
+  Config C = S.defaultConfig();
+  ASSERT_EQ(C.Values.size(), 5u);
+  EXPECT_DOUBLE_EQ(C.asDouble(0), 0.6);
+  EXPECT_DOUBLE_EQ(C.asDouble(1), 1.0);
+  EXPECT_EQ(C.asInt(2), 8);
+  EXPECT_TRUE(C.asBool(3));
+  EXPECT_EQ(C.asEnum(4), 1u);
+}
+
+TEST(ConfigSpaceTest, IndexOfAndContains) {
+  ConfigSpace S = makeSpace();
+  EXPECT_EQ(S.indexOf("k"), 2u);
+  EXPECT_TRUE(S.contains("kernel"));
+  EXPECT_FALSE(S.contains("nonexistent"));
+}
+
+TEST(ConfigSpaceTest, RandomConfigStaysLegal) {
+  ConfigSpace S = makeSpace();
+  Rng R(5);
+  for (int I = 0; I != 500; ++I) {
+    Config C = S.randomConfig(R);
+    EXPECT_GE(C.asDouble(0), 0.1);
+    EXPECT_LE(C.asDouble(0), 2.0);
+    EXPECT_GE(C.asDouble(1), 0.001);
+    EXPECT_LE(C.asDouble(1), 1000.0 + 1e-9);
+    EXPECT_GE(C.asInt(2), 2);
+    EXPECT_LE(C.asInt(2), 30);
+    EXPECT_LT(C.asEnum(4), 3u);
+  }
+}
+
+TEST(ConfigSpaceTest, RandomEnumCoversAllChoices) {
+  ConfigSpace S = makeSpace();
+  Rng R(6);
+  std::set<size_t> Seen;
+  for (int I = 0; I != 300; ++I)
+    Seen.insert(S.randomConfig(R).asEnum(4));
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(ConfigSpaceTest, MutateStaysLegal) {
+  ConfigSpace S = makeSpace();
+  Rng R(7);
+  Config C = S.defaultConfig();
+  for (int I = 0; I != 500; ++I) {
+    C = S.mutate(C, R, 0.3);
+    EXPECT_GE(C.asDouble(0), 0.1);
+    EXPECT_LE(C.asDouble(0), 2.0);
+    EXPECT_GE(C.asInt(2), 2);
+    EXPECT_LE(C.asInt(2), 30);
+    double B = C.Values[3];
+    EXPECT_TRUE(B == 0.0 || B == 1.0);
+  }
+}
+
+TEST(ConfigSpaceTest, MutateWithZeroProbIsIdentity) {
+  ConfigSpace S = makeSpace();
+  Rng R(8);
+  Config C = S.randomConfig(R);
+  Config M = S.mutate(C, R, 0.3, /*MutateProb=*/0.0);
+  EXPECT_EQ(C.Values, M.Values);
+}
+
+TEST(ConfigSpaceTest, CrossoverPicksFromParents) {
+  ConfigSpace S = makeSpace();
+  Rng R(9);
+  Config A = S.randomConfig(R), B = S.randomConfig(R);
+  for (int I = 0; I != 50; ++I) {
+    Config C = S.crossover(A, B, R);
+    for (size_t J = 0; J != C.Values.size(); ++J)
+      EXPECT_TRUE(C.Values[J] == A.Values[J] || C.Values[J] == B.Values[J]);
+  }
+}
+
+TEST(ConfigSpaceTest, ClampSnapsDiscreteKinds) {
+  ConfigSpace S = makeSpace();
+  Config C = S.defaultConfig();
+  C.Values[0] = 99.0;
+  C.Values[2] = 7.4;
+  C.Values[4] = 12.0;
+  S.clamp(C);
+  EXPECT_DOUBLE_EQ(C.asDouble(0), 2.0);
+  EXPECT_EQ(C.asInt(2), 7);
+  EXPECT_EQ(C.asEnum(4), 2u);
+}
+
+TEST(ConfigSpaceTest, DescribeIsReadable) {
+  ConfigSpace S = makeSpace();
+  std::string D = S.describe(S.defaultConfig());
+  EXPECT_NE(D.find("sigma=0.6"), std::string::npos);
+  EXPECT_NE(D.find("kernel=rbf"), std::string::npos);
+  EXPECT_NE(D.find("shrink=true"), std::string::npos);
+}
+
+TEST(DistributionTest, UniformSampleRange) {
+  Rng R(1);
+  Distribution D = Distribution::uniform(2.0, 4.0);
+  for (int I = 0; I != 500; ++I) {
+    double X = D.sample(R);
+    EXPECT_GE(X, 2.0);
+    EXPECT_LT(X, 4.0);
+  }
+  EXPECT_DOUBLE_EQ(D.defaultValue(), 3.0);
+}
+
+TEST(DistributionTest, LogUniformSampleRange) {
+  Rng R(2);
+  Distribution D = Distribution::logUniform(0.01, 100.0);
+  for (int I = 0; I != 500; ++I) {
+    double X = D.sample(R);
+    EXPECT_GE(X, 0.01);
+    EXPECT_LE(X, 100.0 + 1e-9);
+  }
+  EXPECT_NEAR(D.defaultValue(), 1.0, 1e-9);
+}
+
+TEST(DistributionTest, UniformIntSampleInclusive) {
+  Rng R(3);
+  Distribution D = Distribution::uniformInt(1, 6);
+  std::set<int> Seen;
+  for (int I = 0; I != 600; ++I)
+    Seen.insert(static_cast<int>(D.sample(R)));
+  EXPECT_EQ(Seen.size(), 6u);
+}
+
+TEST(DistributionTest, GaussianTruncates) {
+  Rng R(4);
+  Distribution D = Distribution::gaussian(0.0, 10.0, -1.0, 1.0);
+  for (int I = 0; I != 500; ++I) {
+    double X = D.sample(R);
+    EXPECT_GE(X, -1.0);
+    EXPECT_LE(X, 1.0);
+  }
+}
+
+TEST(DistributionTest, ChoicePicksOnlyCandidates) {
+  Rng R(5);
+  Distribution D = Distribution::choice({1.0, 4.0, 9.0});
+  for (int I = 0; I != 200; ++I) {
+    double X = D.sample(R);
+    EXPECT_TRUE(X == 1.0 || X == 4.0 || X == 9.0);
+  }
+  EXPECT_DOUBLE_EQ(D.defaultValue(), 1.0);
+}
+
+TEST(DistributionTest, PerturbStaysInSupport) {
+  Rng R(6);
+  Distribution U = Distribution::uniform(0.0, 1.0);
+  Distribution L = Distribution::logUniform(0.1, 10.0);
+  Distribution I = Distribution::uniformInt(0, 100);
+  double X = 0.5, Y = 1.0, Z = 50.0;
+  for (int K = 0; K != 500; ++K) {
+    X = U.perturb(X, R);
+    Y = L.perturb(Y, R);
+    Z = I.perturb(Z, R);
+    EXPECT_GE(X, 0.0);
+    EXPECT_LE(X, 1.0);
+    EXPECT_GE(Y, 0.1);
+    EXPECT_LE(Y, 10.0);
+    EXPECT_GE(Z, 0.0);
+    EXPECT_LE(Z, 100.0);
+    EXPECT_DOUBLE_EQ(Z, std::round(Z));
+  }
+}
+
+TEST(DistributionTest, PerturbMovesLocally) {
+  // A small-scale perturbation should usually stay near the current value.
+  Rng R(7);
+  Distribution U = Distribution::uniform(0.0, 1.0);
+  int Near = 0;
+  for (int K = 0; K != 200; ++K)
+    Near += std::fabs(U.perturb(0.5, R, 0.05) - 0.5) < 0.2;
+  EXPECT_GT(Near, 180);
+}

@@ -1,0 +1,336 @@
+//===- tests/PropertyTest.cpp - cross-module property tests ---------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+// Deeper invariants across the tuning machinery: quantile calculus,
+// engine determinism and equivalences, auto-tune boundedness, CV/split
+// composition, and black-box technique behavior under stress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "blackbox/SearchDriver.h"
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+using namespace wbt;
+
+namespace {
+
+using BodyFn =
+    std::function<std::optional<double>(const double &, SampleContext &)>;
+using AggFactory =
+    std::function<std::unique_ptr<Aggregator<double, double>>()>;
+
+AggFactory bestMax() {
+  return [] { return std::make_unique<BestScoreAggregator<double>>(false); };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Distribution quantile calculus
+//===----------------------------------------------------------------------===//
+
+class QuantileTest : public testing::TestWithParam<int> {};
+
+TEST_P(QuantileTest, MonotoneAndInSupport) {
+  Distribution D = Distribution::uniform(0, 1);
+  switch (GetParam()) {
+  case 0:
+    D = Distribution::uniform(-3.0, 7.0);
+    break;
+  case 1:
+    D = Distribution::logUniform(0.01, 100.0);
+    break;
+  case 2:
+    D = Distribution::uniformInt(2, 19);
+    break;
+  case 3:
+    D = Distribution::gaussian(1.0, 2.0, -5.0, 7.0);
+    break;
+  default:
+    D = Distribution::choice({1.0, 2.0, 4.0, 8.0});
+    break;
+  }
+  double Prev = -1e300;
+  for (double U = 0.0; U <= 1.0 + 1e-12; U += 0.05) {
+    double Q = D.quantile(U);
+    EXPECT_GE(Q, D.lo() - 1e-9);
+    EXPECT_LE(Q, D.hi() + 1e-9);
+    EXPECT_GE(Q, Prev - 1e-9) << "quantile must be monotone, U=" << U;
+    Prev = Q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, QuantileTest, testing::Values(0, 1, 2, 3, 4));
+
+TEST(QuantileTest, MedianOfUniformIsMidpoint) {
+  Distribution D = Distribution::uniform(10.0, 20.0);
+  EXPECT_NEAR(D.quantile(0.5), 15.0, 1e-12);
+}
+
+TEST(QuantileTest, GaussianMedianIsMean) {
+  Distribution D = Distribution::gaussian(3.0, 1.5, -10.0, 10.0);
+  EXPECT_NEAR(D.quantile(0.5), 3.0, 1e-6);
+}
+
+TEST(QuantileTest, IntQuantileCoversAllValuesUniformly) {
+  Distribution D = Distribution::uniformInt(0, 3);
+  std::set<int> Seen;
+  for (double U = 0.01; U < 1.0; U += 0.02)
+    Seen.insert(static_cast<int>(D.quantile(U)));
+  EXPECT_EQ(Seen, (std::set<int>{0, 1, 2, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// Engine equivalences and determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a one-stage max-score pipeline and returns the final value.
+double runMaxPipeline(int Samples, unsigned Workers, bool Incremental,
+                      bool UseAlg1, uint64_t Seed) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = Samples;
+  O.Incremental = Incremental;
+  P.addStage<double, double, double>(
+      "s", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  RunOptions RO;
+  RO.Workers = Workers;
+  RO.Seed = Seed;
+  RO.UseAlg1Scheduler = UseAlg1;
+  return P.run(std::any(0.0), RO).finalAs<double>(0);
+}
+
+} // namespace
+
+TEST(EnginePropertyTest, ResultIndependentOfWorkerCount) {
+  // Max over a fixed sample set is order-insensitive, so the outcome must
+  // not depend on the parallelism or the scheduler flavor.
+  double Reference = runMaxPipeline(64, 1, true, true, 99);
+  for (unsigned Workers : {2u, 4u, 8u})
+    EXPECT_DOUBLE_EQ(runMaxPipeline(64, Workers, true, true, 99), Reference);
+  EXPECT_DOUBLE_EQ(runMaxPipeline(64, 4, true, false, 99), Reference);
+}
+
+TEST(EnginePropertyTest, BatchAndIncrementalAgree) {
+  // For a commutative aggregator both collection modes must give the same
+  // answer.
+  double Inc = runMaxPipeline(48, 4, true, true, 7);
+  double Batch = runMaxPipeline(48, 4, false, true, 7);
+  EXPECT_DOUBLE_EQ(Inc, Batch);
+}
+
+TEST(EnginePropertyTest, MoreSamplesNeverHurtMaxAggregation) {
+  // Sample sets under one seed are nested prefixes, so max is monotone.
+  double S16 = runMaxPipeline(16, 1, true, true, 31);
+  double S64 = runMaxPipeline(64, 1, true, true, 31);
+  EXPECT_LE(S16, S64 + 1e-12);
+}
+
+TEST(EnginePropertyTest, AutoTuneRespectsMaxSamples) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 4;
+  O.AutoTuneSamples = true;
+  O.MaxSamples = 32;
+  std::atomic<long> Bodies{0};
+  P.addStage<double, double, double>(
+      "auto", O,
+      BodyFn([&](const double &, SampleContext &Ctx) -> std::optional<double> {
+        Bodies.fetch_add(1);
+        // Score always improves with more samples (max of uniforms), so
+        // auto-tune doubles until MaxSamples stops it.
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  P.setAutoTuneScore<double>(
+      [](const std::vector<double> &Outs) { return Outs.empty() ? 0 : Outs[0]; });
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 3});
+  // 4 + 8 + 16 + 32 = 60 is the absolute ceiling of doubling attempts.
+  EXPECT_LE(Bodies.load(), 60);
+  EXPECT_LE(Rep.Stages[0].AutoTuneRetries, 3);
+}
+
+TEST(EnginePropertyTest, SplitTimesCvMultiplies) {
+  // Stage 1 splits into 3; stage 2 uses 4 SVGs x 2 folds per tuning
+  // process: sample accounting must multiply exactly.
+  Pipeline P;
+  StageOptions S1;
+  S1.NumSamples = 6;
+  P.addStage<double, double, double>(
+      "split3", S1,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(X);
+        return X;
+      }),
+      BatchAggregator<double, double>::Fn(
+          [](std::vector<std::pair<SampleInfo, double>> &&Rs) {
+            std::vector<double> Outs;
+            for (size_t I = 0; I != 3 && I < Rs.size(); ++I)
+              Outs.push_back(Rs[I].second);
+            return Outs;
+          }));
+  StageOptions S2;
+  S2.NumSamples = 4;
+  S2.KFolds = 2;
+  P.addStage<double, double, double>(
+      "cv", S2,
+      BodyFn([](const double &In, SampleContext &Ctx) -> std::optional<double> {
+        double Y = Ctx.sample("y", Distribution::uniform(0.0, 1.0));
+        Ctx.setScore(Y);
+        return In + Y + Ctx.fold() * 0.0;
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 5});
+  EXPECT_EQ(Rep.Stages[0].SamplesRun, 6);
+  EXPECT_EQ(Rep.Stages[1].TuningProcesses, 3);
+  EXPECT_EQ(Rep.Stages[1].SamplesRun, 3 * 4 * 2);
+  EXPECT_EQ(Rep.Finals.size(), 3u);
+}
+
+TEST(EnginePropertyTest, LatinHypercubeStrategyInEngine) {
+  // With exactly N samples and the LHS strategy, the N drawn values land
+  // in N distinct strata.
+  const int N = 16;
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = N;
+  O.Strategy = [] { return makeLatinHypercubeStrategy(N, 77); };
+  std::mutex M;
+  std::vector<double> Drawn;
+  P.addStage<double, double, double>(
+      "lhs", O,
+      BodyFn([&](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        {
+          std::lock_guard<std::mutex> Lock(M);
+          Drawn.push_back(X);
+        }
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  P.run(std::any(0.0), RunOptions{.Seed = 8});
+  ASSERT_EQ(Drawn.size(), static_cast<size_t>(N));
+  std::set<int> Strata;
+  for (double X : Drawn)
+    Strata.insert(std::min(N - 1, static_cast<int>(X * N)));
+  EXPECT_EQ(Strata.size(), static_cast<size_t>(N));
+}
+
+TEST(EnginePropertyTest, EmptyAggregationEndsPipelineGracefully) {
+  // A stage whose aggregator returns nothing terminates that tuning
+  // process; downstream stages never run.
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 4;
+  P.addStage<double, double, double>(
+      "empty", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        Ctx.setScore(1.0);
+        return 1.0;
+      }),
+      BatchAggregator<double, double>::Fn(
+          [](std::vector<std::pair<SampleInfo, double>> &&) {
+            return std::vector<double>{};
+          }));
+  std::atomic<int> Stage2Runs{0};
+  StageOptions O2;
+  O2.NumSamples = 4;
+  P.addStage<double, double, double>(
+      "after", O2,
+      BodyFn([&](const double &, SampleContext &Ctx) -> std::optional<double> {
+        Stage2Runs.fetch_add(1);
+        Ctx.setScore(1.0);
+        return 1.0;
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0), RunOptions{.Seed = 9});
+  EXPECT_TRUE(Rep.Finals.empty());
+  EXPECT_EQ(Stage2Runs.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Black-box baseline properties
+//===----------------------------------------------------------------------===//
+
+TEST(BlackboxPropertyTest, MoreBudgetNeverWorse) {
+  ConfigSpace S;
+  S.addDouble("x", 0.0, 1.0, 0.5);
+  S.addDouble("y", 0.0, 1.0, 0.5);
+  auto Objective = [](const Config &C) {
+    double X = C.asDouble(0), Y = C.asDouble(1);
+    return -((X - 0.42) * (X - 0.42) + (Y - 0.77) * (Y - 0.77));
+  };
+  double Prev = -1e18;
+  for (long Evals : {20L, 100L, 500L}) {
+    bb::SearchDriver D;
+    bb::DriverOptions O;
+    O.MaxEvals = Evals;
+    O.Seed = 13;
+    double Best = D.run(S, Objective, O).BestScore;
+    EXPECT_GE(Best, Prev - 1e-12) << Evals;
+    Prev = Best;
+  }
+}
+
+TEST(BlackboxPropertyTest, HandlesConstantObjective) {
+  ConfigSpace S;
+  S.addDouble("x", 0.0, 1.0, 0.5);
+  bb::SearchDriver D;
+  bb::DriverOptions O;
+  O.MaxEvals = 50;
+  O.Seed = 14;
+  bb::DriverResult R = D.run(S, [](const Config &) { return 1.0; }, O);
+  EXPECT_DOUBLE_EQ(R.BestScore, 1.0);
+  EXPECT_EQ(R.Evals, 50);
+}
+
+TEST(BlackboxPropertyTest, SingleParamBooleanSpace) {
+  ConfigSpace S;
+  S.addBool("flag", false);
+  bb::SearchDriver D;
+  bb::DriverOptions O;
+  O.MaxEvals = 30;
+  O.Seed = 15;
+  bb::DriverResult R =
+      D.run(S, [](const Config &C) { return C.asBool(0) ? 1.0 : 0.0; }, O);
+  EXPECT_TRUE(R.Best.asBool(0));
+}
+
+TEST(BlackboxPropertyTest, NeedleInHaystackUsuallyFoundByEnsemble) {
+  // A narrow peak on a plateau: random search alone would need ~400
+  // draws on average; the ensemble with bandit credit should find it
+  // reliably within 2000.
+  ConfigSpace S;
+  S.addDouble("x", 0.0, 1.0, 0.0);
+  bb::SearchDriver D;
+  bb::DriverOptions O;
+  O.MaxEvals = 2000;
+  O.Seed = 16;
+  bb::DriverResult R = D.run(
+      S,
+      [](const Config &C) {
+        double X = C.asDouble(0);
+        return std::fabs(X - 0.314) < 0.02 ? 1.0 - std::fabs(X - 0.314) : 0.0;
+      },
+      O);
+  EXPECT_GT(R.BestScore, 0.97);
+}

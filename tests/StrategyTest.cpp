@@ -1,0 +1,161 @@
+//===- tests/StrategyTest.cpp - sampling strategy tests -------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "strategy/SamplingStrategy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wbt;
+
+TEST(RandomStrategyTest, DrawsInsideSupport) {
+  auto S = makeRandomStrategy();
+  EXPECT_EQ(S->name(), "RAND");
+  Rng R(1);
+  Distribution D = Distribution::uniform(1.0, 3.0);
+  for (int I = 0; I != 200; ++I) {
+    double X = S->draw(I, "x", D, R);
+    EXPECT_GE(X, 1.0);
+    EXPECT_LT(X, 3.0);
+  }
+}
+
+TEST(McmcStrategyTest, DrawsInsideSupport) {
+  auto S = makeMcmcStrategy();
+  EXPECT_EQ(S->name(), "MCMC");
+  Rng R(2);
+  Distribution D = Distribution::uniform(-1.0, 1.0);
+  for (int I = 0; I != 200; ++I) {
+    double X = S->draw(I, "x", D, R);
+    S->feedback(I, -std::fabs(X)); // prefer 0
+    EXPECT_GE(X, -1.0);
+    EXPECT_LE(X, 1.0);
+  }
+}
+
+TEST(McmcStrategyTest, ChainMovesTowardHighScores) {
+  // Reward values near 0.9; the accepted chain should concentrate there.
+  auto S = makeMcmcStrategy(/*Temperature=*/0.05, /*Scale=*/0.2);
+  Rng R(3);
+  Distribution D = Distribution::uniform(0.0, 1.0);
+  double Last = 0.0;
+  for (int I = 0; I != 400; ++I) {
+    double X = S->draw(I, "x", D, R);
+    S->feedback(I, -std::fabs(X - 0.9));
+    Last = X;
+  }
+  double Tail = 0.0;
+  int TailCount = 0;
+  for (int I = 400; I != 500; ++I) {
+    Tail += std::fabs(S->draw(I, "x", D, R) - 0.9);
+    ++TailCount;
+  }
+  (void)Last;
+  // Average distance of late proposals from the optimum should be well
+  // under the ~0.37 expected from uniform draws.
+  EXPECT_LT(Tail / TailCount, 0.25);
+}
+
+TEST(McmcStrategyTest, SharedValueAcrossVariables) {
+  // Each variable keeps its own chain coordinate.
+  auto S = makeMcmcStrategy();
+  Rng R(4);
+  Distribution DA = Distribution::uniform(0.0, 1.0);
+  Distribution DB = Distribution::uniform(100.0, 200.0);
+  double A = S->draw(0, "a", DA, R);
+  double B = S->draw(0, "b", DB, R);
+  EXPECT_LE(A, 1.0);
+  EXPECT_GE(B, 100.0);
+}
+
+TEST(LatinHypercubeTest, StrataAreDistinct) {
+  const int N = 10;
+  auto S = makeLatinHypercubeStrategy(N, /*Seed=*/7);
+  EXPECT_EQ(S->name(), "LHS");
+  Rng R(5);
+  Distribution D = Distribution::uniform(0.0, 1.0);
+  std::vector<bool> StratumHit(N, false);
+  for (int I = 0; I != N; ++I) {
+    double X = S->draw(I, "x", D, R);
+    int Stratum = std::min(N - 1, static_cast<int>(X * N));
+    EXPECT_FALSE(StratumHit[Stratum]) << "stratum hit twice";
+    StratumHit[Stratum] = true;
+  }
+  for (int I = 0; I != N; ++I)
+    EXPECT_TRUE(StratumHit[I]);
+}
+
+TEST(LatinHypercubeTest, IntDistributionYieldsIntegers) {
+  auto S = makeLatinHypercubeStrategy(8, 9);
+  Rng R(6);
+  Distribution D = Distribution::uniformInt(0, 7);
+  for (int I = 0; I != 8; ++I) {
+    double X = S->draw(I, "k", D, R);
+    EXPECT_DOUBLE_EQ(X, std::floor(X));
+    EXPECT_GE(X, 0.0);
+    EXPECT_LE(X, 7.0);
+  }
+}
+
+// Property sweep: every strategy respects every distribution's support.
+class StrategySupportTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StrategySupportTest, DrawsStayInSupport) {
+  int StrategyKind = std::get<0>(GetParam());
+  int DistKind = std::get<1>(GetParam());
+
+  std::unique_ptr<SamplingStrategy> S;
+  switch (StrategyKind) {
+  case 0:
+    S = makeRandomStrategy();
+    break;
+  case 1:
+    S = makeMcmcStrategy();
+    break;
+  default:
+    S = makeLatinHypercubeStrategy(64, 11);
+    break;
+  }
+
+  Distribution D = Distribution::uniform(0, 1);
+  double Lo = 0.0, Hi = 1.0;
+  switch (DistKind) {
+  case 0:
+    D = Distribution::uniform(-5.0, 5.0);
+    Lo = -5.0;
+    Hi = 5.0;
+    break;
+  case 1:
+    D = Distribution::logUniform(0.001, 1000.0);
+    Lo = 0.001;
+    Hi = 1000.0;
+    break;
+  case 2:
+    D = Distribution::uniformInt(-3, 12);
+    Lo = -3;
+    Hi = 12;
+    break;
+  default:
+    D = Distribution::gaussian(0.0, 2.0, -4.0, 4.0);
+    Lo = -4.0;
+    Hi = 4.0;
+    break;
+  }
+
+  Rng R(100 + StrategyKind * 10 + DistKind);
+  for (int I = 0; I != 64; ++I) {
+    double X = S->draw(I, "v", D, R);
+    EXPECT_GE(X, Lo - 1e-9);
+    EXPECT_LE(X, Hi + 1e-9);
+    S->feedback(I, X);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategiesAllDists, StrategySupportTest,
+                         testing::Combine(testing::Values(0, 1, 2),
+                                          testing::Values(0, 1, 2, 3)));

@@ -1,0 +1,213 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteBuffer.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+using namespace wbt;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    double X = R.uniform(-2.5, 3.5);
+    EXPECT_GE(X, -2.5);
+    EXPECT_LT(X, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(R.uniformInt(0, 4));
+  EXPECT_EQ(Seen.size(), 5u);
+  EXPECT_TRUE(Seen.count(0));
+  EXPECT_TRUE(Seen.count(4));
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double X = R.logUniform(0.01, 100.0);
+    EXPECT_GE(X, 0.01);
+    EXPECT_LE(X, 100.0 * (1 + 1e-12));
+  }
+}
+
+TEST(RngTest, GaussianHasRoughMoments) {
+  Rng R(13);
+  std::vector<double> Xs;
+  for (int I = 0; I != 20000; ++I)
+    Xs.push_back(R.gaussian(5.0, 2.0));
+  EXPECT_NEAR(mean(Xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(Xs), 2.0, 0.1);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng Parent(99);
+  Rng A = Parent.split();
+  Rng B = Parent.split();
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng R(3);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(StatisticsTest, MeanMedianVariance) {
+  std::vector<double> Xs{1, 2, 3, 4, 10};
+  EXPECT_DOUBLE_EQ(mean(Xs), 4.0);
+  EXPECT_DOUBLE_EQ(median(Xs), 3.0);
+  EXPECT_NEAR(variance(Xs), 10.0, 1e-12);
+}
+
+TEST(StatisticsTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatisticsTest, EmptySequences) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_EQ(argMin({}), 0u);
+}
+
+TEST(StatisticsTest, Rmse) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(StatisticsTest, ArgMinArgMax) {
+  std::vector<double> Xs{3, 1, 4, 1.5, 9};
+  EXPECT_EQ(argMin(Xs), 1u);
+  EXPECT_EQ(argMax(Xs), 4u);
+}
+
+TEST(StatisticsTest, PearsonPerfectCorrelation) {
+  std::vector<double> A{1, 2, 3, 4};
+  std::vector<double> B{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(A, B), 1.0, 1e-12);
+  std::vector<double> C{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(A, C), -1.0, 1e-12);
+}
+
+TEST(ByteBufferTest, RoundTripScalars) {
+  ByteWriter W;
+  W.write<int32_t>(-7);
+  W.write<double>(3.25);
+  W.write<uint8_t>(200);
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.read<int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(R.read<double>(), 3.25);
+  EXPECT_EQ(R.read<uint8_t>(), 200);
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, RoundTripStringAndVector) {
+  ByteWriter W;
+  W.writeString("hello world");
+  W.writeVector<double>({1.5, 2.5, -3.5});
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readString(), "hello world");
+  std::vector<double> V = R.readVector<double>();
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_DOUBLE_EQ(V[2], -3.5);
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(ByteBufferTest, ShortReadSetsNotOk) {
+  ByteWriter W;
+  W.write<int32_t>(1);
+  ByteReader R(W.bytes());
+  (void)R.read<int64_t>();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ByteBufferTest, FileRoundTrip) {
+  std::string Path = testing::TempDir() + "/wbt_bytes_test.bin";
+  ByteWriter W;
+  W.writeString("file payload");
+  ASSERT_TRUE(writeFileBytes(Path, W.bytes()));
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(readFileBytes(Path, Back));
+  ByteReader R(Back);
+  EXPECT_EQ(R.readString(), "file payload");
+  std::remove(Path.c_str());
+}
+
+TEST(ByteBufferTest, MissingFileReadFails) {
+  std::vector<uint8_t> Back;
+  EXPECT_FALSE(readFileBytes("/nonexistent/dir/file.bin", Back));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasks) {
+  ThreadPool Pool(2);
+  Pool.waitIdle();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&] {
+    for (int I = 0; I != 10; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+  });
+  // waitIdle observes the nested submissions because the outer task stays
+  // active until they are queued.
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 10);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + 1.0;
+  EXPECT_GE(T.seconds(), 0.0);
+  EXPECT_LT(T.seconds(), 10.0);
+}
