@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_canny.dir/bench_canny.cpp.o"
+  "CMakeFiles/bench_canny.dir/bench_canny.cpp.o.d"
+  "bench_canny"
+  "bench_canny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_canny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

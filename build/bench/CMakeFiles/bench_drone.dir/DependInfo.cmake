@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_drone.cpp" "bench/CMakeFiles/bench_drone.dir/bench_drone.cpp.o" "gcc" "bench/CMakeFiles/bench_drone.dir/bench_drone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/wbt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wbt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/wbt_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregate/CMakeFiles/wbt_aggregate.dir/DependInfo.cmake"
+  "/root/repo/build/src/blackbox/CMakeFiles/wbt_blackbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/param/CMakeFiles/wbt_param.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/wbt_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wbt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wbt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/wbt_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/wbt_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/wbt_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphpart/CMakeFiles/wbt_graphpart.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/wbt_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/wbt_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

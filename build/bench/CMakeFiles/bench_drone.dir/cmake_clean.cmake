@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drone.dir/bench_drone.cpp.o"
+  "CMakeFiles/bench_drone.dir/bench_drone.cpp.o.d"
+  "bench_drone"
+  "bench_drone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phylip.dir/bench_phylip.cpp.o"
+  "CMakeFiles/bench_phylip.dir/bench_phylip.cpp.o.d"
+  "bench_phylip"
+  "bench_phylip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phylip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

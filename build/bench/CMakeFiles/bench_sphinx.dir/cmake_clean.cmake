@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sphinx.dir/bench_sphinx.cpp.o"
+  "CMakeFiles/bench_sphinx.dir/bench_sphinx.cpp.o.d"
+  "bench_sphinx"
+  "bench_sphinx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sphinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

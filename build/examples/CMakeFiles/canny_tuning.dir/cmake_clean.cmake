@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canny_tuning.dir/canny_tuning.cpp.o"
+  "CMakeFiles/canny_tuning.dir/canny_tuning.cpp.o.d"
+  "canny_tuning"
+  "canny_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canny_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

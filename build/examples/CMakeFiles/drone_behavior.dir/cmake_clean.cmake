@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_behavior.dir/drone_behavior.cpp.o"
+  "CMakeFiles/drone_behavior.dir/drone_behavior.cpp.o.d"
+  "drone_behavior"
+  "drone_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_runtime.dir/fork_runtime.cpp.o"
+  "CMakeFiles/fork_runtime.dir/fork_runtime.cpp.o.d"
+  "fork_runtime"
+  "fork_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_mcmc.dir/kmeans_mcmc.cpp.o"
+  "CMakeFiles/kmeans_mcmc.dir/kmeans_mcmc.cpp.o.d"
+  "kmeans_mcmc"
+  "kmeans_mcmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_mcmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("param")
+subdirs("strategy")
+subdirs("aggregate")
+subdirs("core")
+subdirs("blackbox")
+subdirs("proc")
+subdirs("semantics")
+subdirs("image")
+subdirs("cluster")
+subdirs("ml")
+subdirs("bio")
+subdirs("speech")
+subdirs("recsys")
+subdirs("graphpart")
+subdirs("face")
+subdirs("drone")
+subdirs("apps")

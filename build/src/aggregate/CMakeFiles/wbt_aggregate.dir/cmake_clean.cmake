@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_aggregate.dir/Aggregators.cpp.o"
+  "CMakeFiles/wbt_aggregate.dir/Aggregators.cpp.o.d"
+  "libwbt_aggregate.a"
+  "libwbt_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

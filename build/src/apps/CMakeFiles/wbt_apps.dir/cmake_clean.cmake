@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_apps.dir/Apps.cpp.o"
+  "CMakeFiles/wbt_apps.dir/Apps.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsBio.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsBio.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsCluster.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsCluster.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsDrone.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsDrone.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsImage.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsImage.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsMisc.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsMisc.cpp.o.d"
+  "CMakeFiles/wbt_apps.dir/AppsMl.cpp.o"
+  "CMakeFiles/wbt_apps.dir/AppsMl.cpp.o.d"
+  "libwbt_apps.a"
+  "libwbt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

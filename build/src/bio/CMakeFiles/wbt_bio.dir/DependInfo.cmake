@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/Fasta.cpp" "src/bio/CMakeFiles/wbt_bio.dir/Fasta.cpp.o" "gcc" "src/bio/CMakeFiles/wbt_bio.dir/Fasta.cpp.o.d"
+  "/root/repo/src/bio/Phylip.cpp" "src/bio/CMakeFiles/wbt_bio.dir/Phylip.cpp.o" "gcc" "src/bio/CMakeFiles/wbt_bio.dir/Phylip.cpp.o.d"
+  "/root/repo/src/bio/Sequences.cpp" "src/bio/CMakeFiles/wbt_bio.dir/Sequences.cpp.o" "gcc" "src/bio/CMakeFiles/wbt_bio.dir/Sequences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

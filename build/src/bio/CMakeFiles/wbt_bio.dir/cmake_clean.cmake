@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_bio.dir/Fasta.cpp.o"
+  "CMakeFiles/wbt_bio.dir/Fasta.cpp.o.d"
+  "CMakeFiles/wbt_bio.dir/Phylip.cpp.o"
+  "CMakeFiles/wbt_bio.dir/Phylip.cpp.o.d"
+  "CMakeFiles/wbt_bio.dir/Sequences.cpp.o"
+  "CMakeFiles/wbt_bio.dir/Sequences.cpp.o.d"
+  "libwbt_bio.a"
+  "libwbt_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

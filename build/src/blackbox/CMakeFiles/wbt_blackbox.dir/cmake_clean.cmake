@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_blackbox.dir/SearchDriver.cpp.o"
+  "CMakeFiles/wbt_blackbox.dir/SearchDriver.cpp.o.d"
+  "CMakeFiles/wbt_blackbox.dir/Technique.cpp.o"
+  "CMakeFiles/wbt_blackbox.dir/Technique.cpp.o.d"
+  "libwbt_blackbox.a"
+  "libwbt_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/Dataset.cpp" "src/cluster/CMakeFiles/wbt_cluster.dir/Dataset.cpp.o" "gcc" "src/cluster/CMakeFiles/wbt_cluster.dir/Dataset.cpp.o.d"
+  "/root/repo/src/cluster/DbScan.cpp" "src/cluster/CMakeFiles/wbt_cluster.dir/DbScan.cpp.o" "gcc" "src/cluster/CMakeFiles/wbt_cluster.dir/DbScan.cpp.o.d"
+  "/root/repo/src/cluster/KMeans.cpp" "src/cluster/CMakeFiles/wbt_cluster.dir/KMeans.cpp.o" "gcc" "src/cluster/CMakeFiles/wbt_cluster.dir/KMeans.cpp.o.d"
+  "/root/repo/src/cluster/Scores.cpp" "src/cluster/CMakeFiles/wbt_cluster.dir/Scores.cpp.o" "gcc" "src/cluster/CMakeFiles/wbt_cluster.dir/Scores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_cluster.dir/Dataset.cpp.o"
+  "CMakeFiles/wbt_cluster.dir/Dataset.cpp.o.d"
+  "CMakeFiles/wbt_cluster.dir/DbScan.cpp.o"
+  "CMakeFiles/wbt_cluster.dir/DbScan.cpp.o.d"
+  "CMakeFiles/wbt_cluster.dir/KMeans.cpp.o"
+  "CMakeFiles/wbt_cluster.dir/KMeans.cpp.o.d"
+  "CMakeFiles/wbt_cluster.dir/Scores.cpp.o"
+  "CMakeFiles/wbt_cluster.dir/Scores.cpp.o.d"
+  "libwbt_cluster.a"
+  "libwbt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/wbt_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/wbt_core.dir/Scheduler.cpp.o"
+  "CMakeFiles/wbt_core.dir/Scheduler.cpp.o.d"
+  "libwbt_core.a"
+  "libwbt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

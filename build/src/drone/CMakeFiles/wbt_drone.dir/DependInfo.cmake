@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drone/Control.cpp" "src/drone/CMakeFiles/wbt_drone.dir/Control.cpp.o" "gcc" "src/drone/CMakeFiles/wbt_drone.dir/Control.cpp.o.d"
+  "/root/repo/src/drone/Quad.cpp" "src/drone/CMakeFiles/wbt_drone.dir/Quad.cpp.o" "gcc" "src/drone/CMakeFiles/wbt_drone.dir/Quad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

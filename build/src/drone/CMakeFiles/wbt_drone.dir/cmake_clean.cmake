@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_drone.dir/Control.cpp.o"
+  "CMakeFiles/wbt_drone.dir/Control.cpp.o.d"
+  "CMakeFiles/wbt_drone.dir/Quad.cpp.o"
+  "CMakeFiles/wbt_drone.dir/Quad.cpp.o.d"
+  "libwbt_drone.a"
+  "libwbt_drone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

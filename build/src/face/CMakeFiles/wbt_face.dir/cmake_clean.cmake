@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_face.dir/Eigenfaces.cpp.o"
+  "CMakeFiles/wbt_face.dir/Eigenfaces.cpp.o.d"
+  "libwbt_face.a"
+  "libwbt_face.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_graphpart.dir/Partitioner.cpp.o"
+  "CMakeFiles/wbt_graphpart.dir/Partitioner.cpp.o.d"
+  "libwbt_graphpart.a"
+  "libwbt_graphpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_graphpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/Canny.cpp" "src/image/CMakeFiles/wbt_image.dir/Canny.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Canny.cpp.o.d"
+  "/root/repo/src/image/Filters.cpp" "src/image/CMakeFiles/wbt_image.dir/Filters.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Filters.cpp.o.d"
+  "/root/repo/src/image/Image.cpp" "src/image/CMakeFiles/wbt_image.dir/Image.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Image.cpp.o.d"
+  "/root/repo/src/image/Ssim.cpp" "src/image/CMakeFiles/wbt_image.dir/Ssim.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Ssim.cpp.o.d"
+  "/root/repo/src/image/Synthetic.cpp" "src/image/CMakeFiles/wbt_image.dir/Synthetic.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Synthetic.cpp.o.d"
+  "/root/repo/src/image/Watershed.cpp" "src/image/CMakeFiles/wbt_image.dir/Watershed.cpp.o" "gcc" "src/image/CMakeFiles/wbt_image.dir/Watershed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_image.dir/Canny.cpp.o"
+  "CMakeFiles/wbt_image.dir/Canny.cpp.o.d"
+  "CMakeFiles/wbt_image.dir/Filters.cpp.o"
+  "CMakeFiles/wbt_image.dir/Filters.cpp.o.d"
+  "CMakeFiles/wbt_image.dir/Image.cpp.o"
+  "CMakeFiles/wbt_image.dir/Image.cpp.o.d"
+  "CMakeFiles/wbt_image.dir/Ssim.cpp.o"
+  "CMakeFiles/wbt_image.dir/Ssim.cpp.o.d"
+  "CMakeFiles/wbt_image.dir/Synthetic.cpp.o"
+  "CMakeFiles/wbt_image.dir/Synthetic.cpp.o.d"
+  "CMakeFiles/wbt_image.dir/Watershed.cpp.o"
+  "CMakeFiles/wbt_image.dir/Watershed.cpp.o.d"
+  "libwbt_image.a"
+  "libwbt_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_ml.dir/C45.cpp.o"
+  "CMakeFiles/wbt_ml.dir/C45.cpp.o.d"
+  "CMakeFiles/wbt_ml.dir/Dataset.cpp.o"
+  "CMakeFiles/wbt_ml.dir/Dataset.cpp.o.d"
+  "CMakeFiles/wbt_ml.dir/Svm.cpp.o"
+  "CMakeFiles/wbt_ml.dir/Svm.cpp.o.d"
+  "libwbt_ml.a"
+  "libwbt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

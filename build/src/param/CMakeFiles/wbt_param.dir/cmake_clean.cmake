@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_param.dir/ConfigSpace.cpp.o"
+  "CMakeFiles/wbt_param.dir/ConfigSpace.cpp.o.d"
+  "CMakeFiles/wbt_param.dir/Distribution.cpp.o"
+  "CMakeFiles/wbt_param.dir/Distribution.cpp.o.d"
+  "libwbt_param.a"
+  "libwbt_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/Runtime.cpp" "src/proc/CMakeFiles/wbt_proc.dir/Runtime.cpp.o" "gcc" "src/proc/CMakeFiles/wbt_proc.dir/Runtime.cpp.o.d"
+  "/root/repo/src/proc/SharedControl.cpp" "src/proc/CMakeFiles/wbt_proc.dir/SharedControl.cpp.o" "gcc" "src/proc/CMakeFiles/wbt_proc.dir/SharedControl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/param/CMakeFiles/wbt_param.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

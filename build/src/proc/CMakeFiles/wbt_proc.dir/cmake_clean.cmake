@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_proc.dir/Runtime.cpp.o"
+  "CMakeFiles/wbt_proc.dir/Runtime.cpp.o.d"
+  "CMakeFiles/wbt_proc.dir/SharedControl.cpp.o"
+  "CMakeFiles/wbt_proc.dir/SharedControl.cpp.o.d"
+  "libwbt_proc.a"
+  "libwbt_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_recsys.dir/Slim.cpp.o"
+  "CMakeFiles/wbt_recsys.dir/Slim.cpp.o.d"
+  "libwbt_recsys.a"
+  "libwbt_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_semantics.dir/Machine.cpp.o"
+  "CMakeFiles/wbt_semantics.dir/Machine.cpp.o.d"
+  "libwbt_semantics.a"
+  "libwbt_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_speech.dir/Recognizer.cpp.o"
+  "CMakeFiles/wbt_speech.dir/Recognizer.cpp.o.d"
+  "libwbt_speech.a"
+  "libwbt_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_strategy.dir/SamplingStrategy.cpp.o"
+  "CMakeFiles/wbt_strategy.dir/SamplingStrategy.cpp.o.d"
+  "libwbt_strategy.a"
+  "libwbt_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wbt_support.dir/ByteBuffer.cpp.o"
+  "CMakeFiles/wbt_support.dir/ByteBuffer.cpp.o.d"
+  "CMakeFiles/wbt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/wbt_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/wbt_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/wbt_support.dir/ThreadPool.cpp.o.d"
+  "libwbt_support.a"
+  "libwbt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wbt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blackbox.dir/BlackboxTest.cpp.o"
+  "CMakeFiles/test_blackbox.dir/BlackboxTest.cpp.o.d"
+  "test_blackbox"
+  "test_blackbox.pdb"
+  "test_blackbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

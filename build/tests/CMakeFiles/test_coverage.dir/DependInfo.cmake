@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CoverageTest.cpp" "tests/CMakeFiles/test_coverage.dir/CoverageTest.cpp.o" "gcc" "tests/CMakeFiles/test_coverage.dir/CoverageTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/wbt_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wbt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wbt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/wbt_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/wbt_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/recsys/CMakeFiles/wbt_recsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphpart/CMakeFiles/wbt_graphpart.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/wbt_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wbt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drone.dir/DroneTest.cpp.o"
+  "CMakeFiles/test_drone.dir/DroneTest.cpp.o.d"
+  "test_drone"
+  "test_drone.pdb"
+  "test_drone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

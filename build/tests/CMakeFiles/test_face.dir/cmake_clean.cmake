@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_face.dir/FaceTest.cpp.o"
+  "CMakeFiles/test_face.dir/FaceTest.cpp.o.d"
+  "test_face"
+  "test_face.pdb"
+  "test_face[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

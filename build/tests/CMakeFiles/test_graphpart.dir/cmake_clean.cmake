@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphpart.dir/GraphPartTest.cpp.o"
+  "CMakeFiles/test_graphpart.dir/GraphPartTest.cpp.o.d"
+  "test_graphpart"
+  "test_graphpart.pdb"
+  "test_graphpart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recsys.dir/RecsysTest.cpp.o"
+  "CMakeFiles/test_recsys.dir/RecsysTest.cpp.o.d"
+  "test_recsys"
+  "test_recsys.pdb"
+  "test_recsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_param[1]_include.cmake")
+include("/root/repo/build/tests/test_strategy[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregate[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_blackbox[1]_include.cmake")
+include("/root/repo/build/tests/test_proc[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_image[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_bio[1]_include.cmake")
+include("/root/repo/build/tests/test_speech[1]_include.cmake")
+include("/root/repo/build/tests/test_recsys[1]_include.cmake")
+include("/root/repo/build/tests/test_graphpart[1]_include.cmake")
+include("/root/repo/build/tests/test_face[1]_include.cmake")
+include("/root/repo/build/tests/test_drone[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
