@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 using namespace wbt;
 using namespace wbt::img;
@@ -65,6 +66,12 @@ int main() {
                           SampleContext &Ctx) -> std::optional<Smoothed> {
             Smoothed Out;
             Out.Sigma = Ctx.sample("sigma", Distribution::uniform(0.2, 3.0));
+            // Injected misbehaving trial: one run throws instead of
+            // returning. The engine contains it (reported as Failed) —
+            // sampling runs are disposable, exactly like crashed
+            // processes in the fork runtime.
+            if (Ctx.sampleIndex() == 7)
+              throw std::runtime_error("injected trial failure");
             Image Blur = gaussianSmooth(In, Out.Sigma);
             Out.Sharpness = laplacianSharpness(Blur) / (BaseSharpness + 1e-9);
             // AggregateGaussian's pruning: drop improperly smoothed runs.
@@ -120,8 +127,9 @@ int main() {
 
   std::printf("tuning funnel:\n");
   for (const StageReport &St : Report.Stages)
-    std::printf("  %-14s: %ld samples, %ld pruned, %ld splits\n",
-                St.Name.c_str(), St.SamplesRun, St.Pruned, St.Splits);
+    std::printf("  %-14s: %ld samples, %ld pruned, %ld failed, %ld splits\n",
+                St.Name.c_str(), St.SamplesRun, St.Pruned, St.Failed,
+                St.Splits);
   std::printf("SSIM vs expert ground truth: untuned %.3f -> tuned %.3f\n",
               ssimMasks(Untuned, S.TrueEdges, W, H),
               ssimMasks(Tuned, S.TrueEdges, W, H));

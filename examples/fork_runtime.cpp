@@ -16,8 +16,11 @@
 
 #include "proc/Runtime.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace wbt;
 using namespace wbt::proc;
@@ -85,6 +88,37 @@ int main() {
                 MySigma);
     Rt.finishAndExit();
   }
+
+  // ---- Region 3 (root): fault tolerance. Sampling processes are
+  // disposable — one crashes, one hangs past the region timeout — and the
+  // supervisor reaps both, reclaims their pool slots, and reports their
+  // terminal status through the AggregationView. ---------------------------
+  RegionOptions Ro;
+  Ro.TimeoutSec = 0.5; // wall-clock budget for the whole region
+  Ro.MaxRetries = 1;   // one spare replaces the first failed sample
+  Rt.sampling(6, Ro);
+  double Gain = Rt.sample("gain", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 1)
+      abort(); // injected crash: e.g. a segfaulting candidate config
+    if (Rt.sampleIndex() == 4)
+      sleep(30); // injected hang: killed by the region timeout
+    Rt.aggregate("gain", encodeDouble(Gain), nullptr);
+  }
+  Rt.aggregate("gain", encodeDouble(0), [&](AggregationView &V) {
+    std::printf("supervisor: %d committed, %d crashed, %d timed out, "
+                "%d spare(s) activated\n",
+                V.countStatus(SampleStatus::Committed),
+                V.countStatus(SampleStatus::Crashed),
+                V.countStatus(SampleStatus::TimedOut),
+                V.spawned() - 6 - V.countStatus(SampleStatus::Unused));
+    for (int I = 0; I != V.spawned(); ++I)
+      if (V.status(I) == SampleStatus::Crashed)
+        std::printf("supervisor: sample %d died on signal %d\n", I,
+                    V.crashSignal(I));
+  });
+  std::printf("root: pool slots reclaimed — %d of %u free (root holds one)\n",
+              Rt.freeSlots(), Rt.maxPool());
 
   // Root: wait for the split children, then read the cross-process vote.
   Rt.finish(); // waits for all descendants

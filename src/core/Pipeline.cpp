@@ -73,6 +73,7 @@ struct StageExec : std::enable_shared_from_this<StageExec> {
   std::mutex Mutex;
   int Pending = 0;
   long PrunedLocal = 0;
+  long FailedLocal = 0;
   std::vector<std::pair<SampleInfo, std::any>> BatchBuffer;
   std::vector<std::map<std::string, double>> Drawn;
   size_t LiveBytes = 0;
@@ -84,7 +85,8 @@ struct StageExec : std::enable_shared_from_this<StageExec> {
 
   void launch();
   void runOne(int Sample, int Fold);
-  void deliver(const SampleInfo &Info, std::any &&Result);
+  void deliver(const SampleInfo &Info, std::any &&Result,
+               bool Failed = false);
   void complete();
   void continueWith(std::vector<std::any> &&Outs);
 
@@ -96,6 +98,7 @@ void StageExec::launch() {
   Drawn.assign(static_cast<size_t>(N), {});
   Pending = N * K;
   PrunedLocal = 0;
+  FailedLocal = 0;
   LiveBytes = 0;
   Agg = Stage->MakeAgg();
   const StageOptions &Opts = Stage->Opts;
@@ -124,15 +127,27 @@ void StageExec::runOne(int Sample, int Fold) {
       (static_cast<uint64_t>(Attempt) << 32) +
           (static_cast<uint64_t>(Sample) << 8) + static_cast<uint64_t>(Fold));
   SampleContext Ctx(this, Info, Rng(Seed));
-  std::any Result = Stage->Body(*Input, Ctx);
-  deliver(Ctx.Info, std::move(Result));
+  // A throwing body must still reach deliver(): Pending would otherwise
+  // never hit zero and the stage's aggregation would be lost. Sampling
+  // runs are disposable — a failed one simply commits nothing.
+  std::any Result;
+  bool Failed = false;
+  try {
+    Result = Stage->Body(*Input, Ctx);
+  } catch (...) {
+    Failed = true;
+  }
+  deliver(Ctx.Info, std::move(Result), Failed);
 }
 
-void StageExec::deliver(const SampleInfo &Info, std::any &&Result) {
+void StageExec::deliver(const SampleInfo &Info, std::any &&Result,
+                        bool Failed) {
   bool Done = false;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    if (Info.HasScore)
+    if (Failed)
+      ++FailedLocal;
+    if (Info.HasScore && !Failed)
       Strategy->feedback(Info.Sample, Info.Score);
     if (Result.has_value()) {
       if (Stage->Opts.Incremental) {
@@ -143,7 +158,7 @@ void StageExec::deliver(const SampleInfo &Info, std::any &&Result) {
         LiveBytes += Stage->Opts.ResultBytesHint;
         PeakLiveBytes = std::max(PeakLiveBytes, LiveBytes);
       }
-    } else {
+    } else if (!Failed) {
       ++PrunedLocal;
     }
     Done = --Pending == 0;
@@ -179,6 +194,7 @@ void StageExec::complete() {
       ++Rep.AutoTuneRetries;
     Rep.SamplesRun += static_cast<long>(N) * K;
     Rep.Pruned += PrunedLocal;
+    Rep.Failed += FailedLocal;
     Rep.PeakLiveBytes = std::max(Rep.PeakLiveBytes, PeakLiveBytes);
     if (Outs.size() > 1)
       Rep.Splits += static_cast<long>(Outs.size()) - 1;

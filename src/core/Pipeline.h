@@ -211,6 +211,10 @@ struct StageReport {
   long SamplesRun = 0;
   /// Runs that pruned themselves (@check failed / body returned nullopt).
   long Pruned = 0;
+  /// Runs whose body threw. Treated like pruned runs (no committed
+  /// result), but counted separately — a failure is a defect signal, a
+  /// prune is a strategy signal.
+  long Failed = 0;
   /// Continuation states produced in excess of one per tuning process.
   long Splits = 0;
   /// Auto-tune attempts beyond the first.

@@ -62,6 +62,13 @@ void Scheduler::waitIdle() {
   });
 }
 
+bool Scheduler::waitIdleFor(std::chrono::milliseconds Timeout) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return AllDone.wait_for(Lock, Timeout, [this] {
+    return SamplingQueue.empty() && TuningQueue.empty() && Active == 0;
+  });
+}
+
 Scheduler::Stats Scheduler::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return TheStats;
@@ -118,10 +125,20 @@ void Scheduler::workerLoop() {
       else
         ++TheStats.TuningTasks;
     }
-    T.Fn();
+    // A throwing task must not unwind into std::thread (std::terminate)
+    // or leak its Active count (waitIdle would hang): contain it, count
+    // it, and keep the worker alive — in-process samples are as
+    // disposable as forked ones.
+    bool Failed = false;
+    try {
+      T.Fn();
+    } catch (...) {
+      Failed = true;
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       --Active;
+      TheStats.TasksFailed += Failed;
       if (SamplingQueue.empty() && TuningQueue.empty() && Active == 0)
         AllDone.notify_all();
     }

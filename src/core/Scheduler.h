@@ -26,6 +26,7 @@
 #ifndef WBT_CORE_SCHEDULER_H
 #define WBT_CORE_SCHEDULER_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,6 +56,10 @@ public:
     /// Times a tuning task was passed over because the gate was closed.
     size_t TuningDeferrals = 0;
     size_t MaxQueueLength = 0;
+    /// Tasks whose body threw; the exception is swallowed so one bad
+    /// sample cannot take down the pool (mirrors the disposable-sample
+    /// semantics of the fork runtime).
+    size_t TasksFailed = 0;
   };
 
   explicit Scheduler(const Options &Opts);
@@ -73,6 +78,9 @@ public:
   /// Blocks until all submitted tasks — including tasks they submitted —
   /// have finished.
   void waitIdle();
+
+  /// Bounded waitIdle(): returns true once idle, false on timeout.
+  bool waitIdleFor(std::chrono::milliseconds Timeout);
 
   Stats stats() const;
   unsigned workers() const { return NumWorkers; }

@@ -8,11 +8,17 @@
 
 #include "proc/SharedControl.h"
 
+#include <ftw.h>
+#include <signal.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,13 +56,15 @@ bool makeDir(const std::string &Path) {
   return mkdir(Path.c_str(), 0700) == 0 || errno == EEXIST;
 }
 
-/// Recursively removes \p Path (files and directories created by us only).
+int removeTreeEntry(const char *Path, const struct stat *, int,
+                    struct FTW *) {
+  return ::remove(Path);
+}
+
+/// Recursively removes \p Path with a direct depth-first traversal —
+/// no shell, no quoting, no extra fork on the teardown path.
 void removeTree(const std::string &Path) {
-  std::string Cmd = "rm -rf '" + Path + "'";
-  // The run directory is created via mkdtemp under our control; paths
-  // never contain quotes.
-  int Rc = std::system(Cmd.c_str());
-  (void)Rc;
+  nftw(Path.c_str(), removeTreeEntry, /*MaxFds=*/16, FTW_DEPTH | FTW_PHYS);
 }
 
 std::string sampleFilePath(const std::string &RegionDir,
@@ -64,15 +72,71 @@ std::string sampleFilePath(const std::string &RegionDir,
   return RegionDir + "/" + Var + "." + std::to_string(I);
 }
 
+/// CLOCK_MONOTONIC now, in seconds.
+double monoNow() {
+  timespec T;
+  clock_gettime(CLOCK_MONOTONIC, &T);
+  return static_cast<double>(T.tv_sec) +
+         static_cast<double>(T.tv_nsec) * 1e-9;
+}
+
+/// Spare parking commands (ChildSlot::Command).
+enum SpareCommand : int32_t { SpPark = 0, SpActivate = 1, SpDiscard = 2 };
+
 } // namespace
+
+namespace wbt {
+namespace proc {
+
+/// Supervision record of one sampling child. Lives in the per-region
+/// MAP_SHARED child table, so both the child and the supervising tuning
+/// process see it. The SlotHeld/BarrierLeft flags carry cleanup ownership:
+/// whoever wins the atomic exchange performs the release, which makes pool
+/// slot and barrier reclamation exactly-once even when the supervisor
+/// reclaims on behalf of a child that died mid-exit.
+struct ChildSlot {
+  std::atomic<int32_t> Pid;
+  std::atomic<int32_t> SlotHeld;    // 1 while a pool slot is owned
+  std::atomic<int32_t> BarrierLeft; // 1 once the barrier has been left
+  std::atomic<int32_t> InBarrier;   // 1 while blocked in @sync
+  std::atomic<int32_t> Status;      // SampleStatus
+  std::atomic<int32_t> Signal;
+  std::atomic<int32_t> Command;     // SpareCommand (spares only)
+};
+
+/// Header of the per-region shared child table; ChildSlot[NumSlots]
+/// follows it in memory.
+struct RegionTable {
+  SharedLock ParkLock; // spare parking: guards Command + wakes spares
+  int32_t NumMains;
+  int32_t NumSlots; // mains + spares
+};
+
+} // namespace proc
+} // namespace wbt
+
+static ChildSlot *slotsOf(RegionTable *T) {
+  return reinterpret_cast<ChildSlot *>(T + 1);
+}
+
+static SampleStatus statusOf(const ChildSlot &S) {
+  return static_cast<SampleStatus>(S.Status.load(std::memory_order_relaxed));
+}
 
 //===----------------------------------------------------------------------===//
 // AggregationView
 //===----------------------------------------------------------------------===//
 
+int AggregationView::countStatus(SampleStatus S) const {
+  int N = 0;
+  for (const SampleRecord &R : Records)
+    N += R.Status == S;
+  return N;
+}
+
 std::vector<int> AggregationView::committed(const std::string &Var) const {
   std::vector<int> Out;
-  for (int I = 0; I != Spawned; ++I)
+  for (int I = 0, E = spawned(); I != E; ++I)
     if (access(sampleFilePath(RegionDir, Var, I).c_str(), R_OK) == 0)
       Out.push_back(I);
   return Out;
@@ -147,12 +211,27 @@ void Runtime::finish() {
   assert(Inited && "finish() before init()");
   assert(isTuning() && "sampling processes terminate in aggregate()");
   // Reap our own split children first; their finish() already waited for
-  // theirs, so this transitively covers all descendants.
-  for (pid_t Pid : SplitChildren)
-    waitpid(Pid, nullptr, 0);
+  // theirs, so this transitively covers all descendants. A split child
+  // that died before reaching finish() left its live-tuning-process count
+  // and pool slot behind — reclaim them on its behalf so the root cannot
+  // hang in waitLiveTuningProcesses().
+  for (pid_t Pid : SplitChildren) {
+    int St = 0;
+    if (waitpid(Pid, &St, 0) != Pid)
+      continue;
+    if (!(WIFEXITED(St) && WEXITSTATUS(St) == 0)) {
+      std::fprintf(stderr,
+                   "wbtuner: split tuning process %d died abnormally "
+                   "(status 0x%x); reclaiming its accounting\n",
+                   static_cast<int>(Pid), St);
+      Ctl->tuningProcessExited();
+      Ctl->releaseSlot();
+    }
+  }
   SplitChildren.clear();
   if (IsRoot) {
-    Ctl->waitLiveTuningProcesses(1);
+    while (!Ctl->waitLiveTuningProcessesTimed(1, 100)) {
+    }
     Ctl->releaseSlot();
     if (!Opts.KeepFiles)
       removeTree(Opts.RunDir);
@@ -176,15 +255,202 @@ std::string Runtime::regionDir(uint64_t Region) const {
 
 void Runtime::exitChild() {
   // Controlled exit of a sampling process: leave the region barrier so a
-  // pending @sync cannot deadlock, then return the pool slot. _exit(2)
-  // skips stdio teardown, so flush what the user printed first.
+  // pending @sync cannot deadlock, then return the pool slot. The
+  // exchange flags hand cleanup to the supervisor if we lose the race
+  // with a timeout kill. _exit(2) skips stdio teardown, so flush what the
+  // user printed first.
   std::fflush(nullptr);
-  Ctl->barrierLeave(BarrierSlot);
-  Ctl->releaseSlot();
+  ChildSlot &S = slotsOf(Table)[ChildIndex];
+  if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
+    Ctl->barrierLeave(BarrierSlot);
+  if (S.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
+    Ctl->releaseSlot();
+  Ctl->childEventNotify();
   _exit(0);
 }
 
-void Runtime::sampling(int N, SamplingKind Kind) {
+void Runtime::parkAsSpare(int Idx) {
+  ChildSlot &S = slotsOf(Table)[Idx];
+  // Give the pool slot back while parked; re-acquire on activation.
+  if (S.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
+    Ctl->releaseSlot();
+  int32_t Cmd = SpPark;
+  pthread_mutex_lock(&Table->ParkLock.Mutex);
+  while ((Cmd = S.Command.load(std::memory_order_relaxed)) == SpPark)
+    pthread_cond_wait(&Table->ParkLock.Cond, &Table->ParkLock.Mutex);
+  pthread_mutex_unlock(&Table->ParkLock.Mutex);
+  if (Cmd == SpDiscard) {
+    std::fflush(nullptr);
+    Ctl->childEventNotify();
+    _exit(0);
+  }
+  // Activated: take a real sampling slot and run the region body with the
+  // fresh RNG stream this index was seeded with.
+  Ctl->acquireSlot(/*IsTuning=*/false);
+  S.SlotHeld.store(1, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Supervisor internals (tuning side)
+//===----------------------------------------------------------------------===//
+
+bool Runtime::regionDeadlinePassed() const {
+  return RegionHasDeadline && monoNow() > RegionDeadline;
+}
+
+/// Reaps child \p Idx if it has exited; classifies its terminal status
+/// and reclaims whatever it still owned. Returns true if newly reaped.
+bool Runtime::reapOne(int Idx, bool Block) {
+  ChildSlot &S = slotsOf(Table)[Idx];
+  pid_t Pid = S.Pid.load(std::memory_order_relaxed);
+  if (Reaped[Idx] || Pid <= 0)
+    return false;
+  int St = 0;
+  if (waitpid(Pid, &St, Block ? 0 : WNOHANG) != Pid)
+    return false;
+  Reaped[Idx] = true;
+
+  bool CleanExit = WIFEXITED(St) && WEXITSTATUS(St) == 0;
+  SampleStatus Cur = statusOf(S);
+  if (!CleanExit) {
+    // killStragglers() already recorded TimedOut for its victims; any
+    // other abnormal death is a crash.
+    if (Cur != SampleStatus::TimedOut) {
+      S.Status.store(static_cast<int32_t>(SampleStatus::Crashed),
+                     std::memory_order_relaxed);
+      S.Signal.store(WIFSIGNALED(St) ? WTERMSIG(St) : 0,
+                     std::memory_order_relaxed);
+      Ctl->noteCrash();
+    }
+  } else if (Cur == SampleStatus::Running) {
+    // Exited zero without committing or pruning through the primitives:
+    // semantically a prune (no file in the store).
+    S.Status.store(static_cast<int32_t>(SampleStatus::Pruned),
+                   std::memory_order_relaxed);
+  }
+
+  // Reclaim the pool slot and barrier membership the child still owned.
+  // Exchange semantics make this a no-op for children that cleaned up
+  // themselves in exitChild().
+  if (S.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
+    Ctl->releaseSlot();
+  if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
+    Ctl->barrierReclaimDead(BarrierSlot, &S.InBarrier);
+  return true;
+}
+
+/// One WNOHANG pass over every child. Activates retry spares for newly
+/// found crashed/timed-out samples when allowed. Returns the number of
+/// children the region still has to wait for.
+int Runtime::sweepChildren() {
+  ChildSlot *Slots = slotsOf(Table);
+  int NumSlots = Table->NumSlots;
+  for (int I = 0; I != NumSlots; ++I) {
+    bool Counted = I < RegionN ||
+                   Slots[I].Command.load(std::memory_order_relaxed) ==
+                       SpActivate;
+    if (!Counted)
+      continue; // parked spares are discarded at region end
+    if (!reapOne(I, /*Block=*/false))
+      continue;
+    SampleStatus St = statusOf(Slots[I]);
+    if ((St == SampleStatus::Crashed || St == SampleStatus::TimedOut) &&
+        !RegionUsedSync)
+      activateSpare();
+  }
+  int Live = 0;
+  for (int I = 0; I != NumSlots; ++I) {
+    bool Counted = I < RegionN ||
+                   Slots[I].Command.load(std::memory_order_relaxed) ==
+                       SpActivate;
+    Live += Counted && !Reaped[I] &&
+            Slots[I].Pid.load(std::memory_order_relaxed) > 0;
+  }
+  return Live;
+}
+
+/// Wakes the next parked spare to replace a failed sample. Returns false
+/// when no spare is left.
+bool Runtime::activateSpare() {
+  ChildSlot *Slots = slotsOf(Table);
+  while (NextSpare < NumSpares) {
+    int Idx = RegionN + NextSpare++;
+    ChildSlot &S = Slots[Idx];
+    if (S.Pid.load(std::memory_order_relaxed) <= 0 || Reaped[Idx])
+      continue; // its fork failed, or it died while parked
+    // The spare will owe a barrierLeave like any live child.
+    Ctl->barrierAdd(BarrierSlot, +1);
+    S.BarrierLeft.store(0, std::memory_order_relaxed);
+    S.Status.store(static_cast<int32_t>(SampleStatus::Running),
+                   std::memory_order_relaxed);
+    pthread_mutex_lock(&Table->ParkLock.Mutex);
+    S.Command.store(SpActivate, std::memory_order_relaxed);
+    pthread_cond_broadcast(&Table->ParkLock.Cond);
+    pthread_mutex_unlock(&Table->ParkLock.Mutex);
+    return true;
+  }
+  return false;
+}
+
+/// Region deadline enforcement: SIGKILL every child that is still running
+/// the body, reclaiming its resources first (claim-then-kill keeps the
+/// slot accounting exact). Parked spares are left for discardSpares().
+void Runtime::killStragglers() {
+  ChildSlot *Slots = slotsOf(Table);
+  for (int I = 0, E = Table->NumSlots; I != E; ++I) {
+    ChildSlot &S = Slots[I];
+    bool Counted =
+        I < RegionN || S.Command.load(std::memory_order_relaxed) == SpActivate;
+    pid_t Pid = S.Pid.load(std::memory_order_relaxed);
+    if (!Counted || Reaped[I] || Pid <= 0)
+      continue;
+    int32_t Expect = static_cast<int32_t>(SampleStatus::Running);
+    if (S.Status.compare_exchange_strong(
+            Expect, static_cast<int32_t>(SampleStatus::TimedOut),
+            std::memory_order_relaxed))
+      Ctl->noteTimeout();
+    // Claim the child's resources before the kill so it cannot die
+    // between claiming and releasing them itself.
+    if (S.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
+      Ctl->releaseSlot();
+    if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
+      Ctl->barrierReclaimDead(BarrierSlot, &S.InBarrier);
+    kill(Pid, SIGKILL);
+    reapOne(I, /*Block=*/true);
+  }
+}
+
+/// Tells every still-parked spare to exit and reaps it.
+void Runtime::discardSpares() {
+  if (!NumSpares)
+    return;
+  ChildSlot *Slots = slotsOf(Table);
+  pthread_mutex_lock(&Table->ParkLock.Mutex);
+  for (int J = 0; J != NumSpares; ++J) {
+    ChildSlot &S = Slots[RegionN + J];
+    int32_t Expect = SpPark;
+    S.Command.compare_exchange_strong(Expect, SpDiscard,
+                                      std::memory_order_relaxed);
+  }
+  pthread_cond_broadcast(&Table->ParkLock.Cond);
+  pthread_mutex_unlock(&Table->ParkLock.Mutex);
+  for (int J = 0; J != NumSpares; ++J)
+    reapOne(RegionN + J, /*Block=*/true);
+}
+
+void Runtime::destroyRegionTable() {
+  if (Table) {
+    munmap(Table, TableBytes);
+    Table = nullptr;
+    TableBytes = 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+void Runtime::sampling(int N, const RegionOptions &Ro) {
   assert(Inited && "sampling() before init()");
   assert(N > 0 && "region needs at least one sample");
   // Rule [SAMPLING] only applies in a tuning process; in a sampling
@@ -198,34 +464,85 @@ void Runtime::sampling(int N, SamplingKind Kind) {
   makeDir(Dir);
 
   RegionN = N;
-  RegionKind = Kind;
-  BarrierSlot = static_cast<int>(
-      mixSeed(TpId, RegionCounter) % static_cast<uint64_t>(NumBarrierSlots));
+  RegionKind = Ro.Kind;
+  RegionUsedSync = false;
+  NextSpare = 0;
+  NumSpares = Ro.MaxRetries >= 0 ? Ro.MaxRetries : Opts.MaxRetries;
+  double TimeoutSec =
+      Ro.TimeoutSec >= 0 ? Ro.TimeoutSec : Opts.SampleTimeoutSec;
+  RegionHasDeadline = TimeoutSec > 0;
+  RegionDeadline = RegionHasDeadline ? monoNow() + TimeoutSec : 0;
+
+  BarrierSlot = Ctl->acquireBarrierSlot();
   Ctl->barrierReset(BarrierSlot, N);
-  ChildPids.clear();
-  ChildPids.reserve(N);
+
+  int NumSlots = N + NumSpares;
+  TableBytes = sizeof(RegionTable) +
+               static_cast<size_t>(NumSlots) * sizeof(ChildSlot);
+  void *Mem = mmap(nullptr, TableBytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  assert(Mem != MAP_FAILED && "mmap of region child table failed");
+  std::memset(Mem, 0, TableBytes);
+  Table = static_cast<RegionTable *>(Mem);
+  Table->ParkLock.init();
+  Table->NumMains = N;
+  Table->NumSlots = NumSlots;
+  ChildSlot *Slots = slotsOf(Table);
+  for (int I = 0; I != NumSlots; ++I) {
+    bool IsSpare = I >= N;
+    // Spares are outside the barrier until activated; mains owe a leave.
+    Slots[I].BarrierLeft.store(IsSpare ? 1 : 0, std::memory_order_relaxed);
+    Slots[I].Status.store(
+        static_cast<int32_t>(IsSpare ? SampleStatus::Unused
+                                     : SampleStatus::Running),
+        std::memory_order_relaxed);
+  }
+  Reaped.assign(static_cast<size_t>(NumSlots), 0);
 
   // Flush stdio before forking so children do not replay the parent's
   // buffered output.
   std::fflush(nullptr);
-  for (int I = 0; I != N; ++I) {
-    // Alg. 1: a sampling spawn waits only for a free slot.
-    Ctl->acquireSlot(/*IsTuning=*/false);
-    pid_t Pid = fork();
-    assert(Pid >= 0 && "fork failed");
+  for (int I = 0; I != NumSlots; ++I) {
+    ChildSlot &S = Slots[I];
+    // Alg. 1: a sampling spawn waits only for a free slot. The wait is
+    // supervised: while blocked, reap children that already died so their
+    // leaked slots cannot starve the spawn loop.
+    while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50))
+      sweepChildren();
+    S.SlotHeld.store(1, std::memory_order_relaxed);
+    pid_t Pid = I == Opts.DebugFailForkAt ? -1 : fork();
+    if (Pid < 0) {
+      // The sample never existed: release the reserved slot, shrink the
+      // barrier, record the failure, and carry on with the region.
+      S.SlotHeld.store(0, std::memory_order_relaxed);
+      Ctl->releaseSlot();
+      if (S.BarrierLeft.exchange(1, std::memory_order_relaxed) == 0)
+        Ctl->barrierLeave(BarrierSlot);
+      S.Status.store(static_cast<int32_t>(SampleStatus::ForkFailed),
+                     std::memory_order_relaxed);
+      Ctl->noteForkFailure();
+      Reaped[I] = 1;
+      std::fprintf(stderr,
+                   "wbtuner: fork failed for sample %d of region %llu "
+                   "(tp %llu); skipping it\n",
+                   I, static_cast<unsigned long long>(RegionCounter),
+                   static_cast<unsigned long long>(TpId));
+      continue;
+    }
     if (Pid == 0) {
       // Sampling child: it owns the slot just acquired and releases it in
-      // exitChild().
+      // exitChild() (or when parking, for spares).
       Mode = ModeKind::Sampling;
       ChildIndex = I;
       RegionActive = true;
-      ChildPids.clear();
       SplitChildren.clear();
       TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
                            (RegionCounter << 20) + static_cast<uint64_t>(I)));
+      if (I >= N)
+        parkAsSpare(I); // returns only if activated as a replacement
       return;
     }
-    ChildPids.push_back(Pid);
+    S.Pid.store(static_cast<int32_t>(Pid), std::memory_order_relaxed);
   }
   RegionActive = true;
 }
@@ -241,13 +558,15 @@ double Runtime::sample(const std::string &Name, const Distribution &D) {
   // Stratified: child I deterministically owns stratum perm(I), where
   // perm is an affine map with a name-derived multiplier (coprime to N)
   // and offset, so different variables get different stratum orders.
+  // Retry spares (index >= N) fold back into the stratum space.
   uint64_t N = static_cast<uint64_t>(RegionN);
   uint64_t H = hashName(Name);
   uint64_t Mult = (H | 1) % N;
   if (Mult == 0 || gcd64(Mult, N) != 1)
     Mult = 1;
   uint64_t Offset = (H >> 17) % N;
-  uint64_t Stratum = (static_cast<uint64_t>(ChildIndex) * Mult + Offset) % N;
+  uint64_t Stratum =
+      ((static_cast<uint64_t>(ChildIndex) % N) * Mult + Offset) % N;
   double U = (static_cast<double>(Stratum) + 0.5) / static_cast<double>(N);
   return D.quantile(U);
 }
@@ -257,18 +576,31 @@ void Runtime::check(bool Ok) {
   // Rule [CHECK] applies only in sampling processes.
   if (!isSampling() || Ok)
     return;
+  slotsOf(Table)[ChildIndex].Status.store(
+      static_cast<int32_t>(SampleStatus::Pruned), std::memory_order_relaxed);
   exitChild();
 }
 
 void Runtime::sync(const std::function<void()> &BarrierCb) {
   assert(Inited && RegionActive && "sync() outside a sampling region");
   if (isSampling()) {
-    // Rule [SYNC-S]: notify the tuning process, wait to be released.
-    Ctl->barrierArriveAndWait(BarrierSlot);
+    // Rule [SYNC-S]: notify the tuning process, wait to be released. The
+    // InBarrier flag lets the supervisor repair the counts if we die here.
+    Ctl->barrierArriveAndWait(BarrierSlot,
+                              &slotsOf(Table)[ChildIndex].InBarrier);
     return;
   }
-  // Rule [SYNC-T]: wait for every live child, run the callback, release.
-  Ctl->barrierWaitAll(BarrierSlot);
+  // Rule [SYNC-T]: wait for every live child — in bounded slices, reaping
+  // dead children between them so a crashed child cannot deadlock the
+  // barrier — then run the callback and release. Retry spares are never
+  // activated once a region synced (a replacement cannot replay the
+  // barriers it missed).
+  RegionUsedSync = true;
+  while (!Ctl->barrierWaitAllTimed(BarrierSlot, 50)) {
+    sweepChildren();
+    if (regionDeadlinePassed())
+      killStragglers();
+  }
   if (BarrierCb)
     BarrierCb();
   Ctl->barrierRelease(BarrierSlot);
@@ -289,18 +621,43 @@ void Runtime::aggregate(const std::string &Var,
                         const std::function<void(AggregationView &)> &Cb) {
   assert(Inited && RegionActive && "aggregate() outside a sampling region");
   if (isSampling()) {
-    // Rule [AGGR-S]: commit this run's outcome and terminate.
+    // Rule [AGGR-S]: commit this run's outcome and terminate. The commit
+    // is atomic (temp file + rename), so dying mid-write can never leave
+    // a torn file that committed() would count.
     writeFileBytes(sampleFilePath(regionDir(RegionCounter), Var, ChildIndex),
                    Bytes);
+    slotsOf(Table)[ChildIndex].Status.store(
+        static_cast<int32_t>(SampleStatus::Committed),
+        std::memory_order_relaxed);
     exitChild();
   }
-  // Rule [AGGR-T]: wait for all children, then aggregate. A child that
-  // exits without committing (pruned by @check, or crashed) simply has no
-  // file in the store.
-  for (pid_t Pid : ChildPids)
-    waitpid(Pid, nullptr, 0);
-  ChildPids.clear();
-  AggregationView View(regionDir(RegionCounter), RegionN);
+  // Rule [AGGR-T]: supervise the children until all have terminated —
+  // bounded waits punctuated by WNOHANG reaps, the region deadline, and
+  // retry-spare activation — then aggregate. A child that exits without
+  // committing (pruned by @check, or crashed) simply has no file in the
+  // store.
+  for (;;) {
+    int Live = sweepChildren();
+    if (Live == 0)
+      break;
+    if (regionDeadlinePassed()) {
+      killStragglers();
+      continue;
+    }
+    Ctl->childEventWaitTimed(50);
+  }
+  discardSpares();
+
+  std::vector<AggregationView::SampleRecord> Records(
+      static_cast<size_t>(Table->NumSlots));
+  ChildSlot *Slots = slotsOf(Table);
+  for (size_t I = 0, E = Records.size(); I != E; ++I) {
+    Records[I].Status = statusOf(Slots[I]);
+    Records[I].Signal = Slots[I].Signal.load(std::memory_order_relaxed);
+  }
+  destroyRegionTable();
+  Ctl->releaseBarrierSlot(BarrierSlot);
+  AggregationView View(regionDir(RegionCounter), std::move(Records));
   RegionActive = false;
   if (Cb)
     Cb(View);
@@ -314,7 +671,17 @@ bool Runtime::split() {
   Ctl->acquireSlot(/*IsTuning=*/true);
   std::fflush(nullptr); // keep buffered stdio out of the child
   pid_t Pid = fork();
-  assert(Pid >= 0 && "fork failed");
+  if (Pid < 0) {
+    // Undo the reservation: the child tuning process never existed.
+    Ctl->releaseSlot();
+    Ctl->tuningProcessExited();
+    Ctl->noteForkFailure();
+    std::fprintf(stderr,
+                 "wbtuner: fork failed for split of tuning process %llu; "
+                 "continuing without the child\n",
+                 static_cast<unsigned long long>(TpId));
+    return false;
+  }
   if (Pid != 0) {
     SplitChildren.push_back(Pid);
     return false;
@@ -328,8 +695,17 @@ bool Runtime::split() {
   makeDir(TpDir);
   RegionCounter = 0;
   RegionActive = false;
-  ChildPids.clear();
   SplitChildren.clear();
+  // The parent's live region (we are usually forked from inside its
+  // aggregation callback) is not ours to supervise: drop our view of its
+  // child table and barrier.
+  if (Table) {
+    munmap(Table, TableBytes);
+    Table = nullptr;
+    TableBytes = 0;
+  }
+  Reaped.clear();
+  NumSpares = 0;
   TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
   return true;
 }
@@ -346,6 +722,12 @@ bool Runtime::load(const std::string &Name, std::vector<uint8_t> &Out) const {
   assert(Inited && "load() before init()");
   return readFileBytes(Opts.RunDir + "/exposed/" + Name, Out);
 }
+
+int Runtime::freeSlots() const { return Ctl->freeSlots(); }
+unsigned Runtime::maxPool() const { return Ctl->maxPool(); }
+uint64_t Runtime::crashedSamples() const { return Ctl->crashedTotal(); }
+uint64_t Runtime::timedOutSamples() const { return Ctl->timedOutTotal(); }
+uint64_t Runtime::forkFailures() const { return Ctl->forkFailedTotal(); }
 
 void Runtime::sharedScalarAdd(int Cell, double X) { Ctl->scalarAdd(Cell, X); }
 void Runtime::sharedScalarReset(int Cell) { Ctl->scalarReset(Cell); }

@@ -30,14 +30,28 @@
 /// expensive region code with isSampling() if the tuning process should
 /// not duplicate it.
 ///
+/// Failure semantics: sampling processes are disposable, and the tuning
+/// process supervises them. A child that crashes (signal, nonzero exit),
+/// is killed by the optional per-region wall-clock timeout, or whose
+/// fork(2) failed outright is reaped by the supervisor inside sync() and
+/// aggregate(): its pool slot is reclaimed, the region barrier's expected
+/// count is repaired, and its terminal SampleStatus is surfaced through
+/// AggregationView. An opt-in retry policy (RuntimeOptions::MaxRetries)
+/// pre-forks spare sampling processes that park before the region body and
+/// replace crashed/timed-out samples with fresh RNG streams. One bad
+/// sample can therefore never wedge a run — see DESIGN.md, "Failure
+/// semantics".
+///
 /// The aggregation store is file-backed exactly as in paper Sec. III-B1:
 /// each sampling process commits its result variables into per-index files
-/// inside a directory owned by its tuning process. The process pool and
-/// the 75% tuning-spawn gate (Alg. 1) live in shared memory
-/// (proc/SharedControl.h). Limitations vs. the in-process engine
-/// (core/Pipeline.h): feedback-driven strategies (MCMC) are not available
-/// across processes, and the caller must be single-threaded when invoking
-/// sampling()/split() (standard fork discipline).
+/// inside a directory owned by its tuning process; commits are atomic
+/// (write-to-temp + rename), so a child killed mid-commit leaves no
+/// torn file behind. The process pool and the 75% tuning-spawn gate
+/// (Alg. 1) live in shared memory (proc/SharedControl.h). Limitations vs.
+/// the in-process engine (core/Pipeline.h): feedback-driven strategies
+/// (MCMC) are not available across processes, and the caller must be
+/// single-threaded when invoking sampling()/split() (standard fork
+/// discipline).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +72,7 @@ namespace wbt {
 namespace proc {
 
 class SharedControl;
+struct RegionTable;
 
 /// Sampling strategies available across processes.
 enum class SamplingKind {
@@ -66,6 +81,24 @@ enum class SamplingKind {
   /// Deterministic stratification: child i lands in stratum
   /// perm(i) of each variable's quantile space.
   Stratified,
+};
+
+/// Terminal state of one sampling child, as observed by the supervisor.
+enum class SampleStatus : int32_t {
+  /// Still running (only visible while the region is live).
+  Running = 0,
+  /// Committed its result through aggregate()/commitExtra().
+  Committed,
+  /// Exited voluntarily without committing (@check pruned it).
+  Pruned,
+  /// Died abnormally (signal or nonzero exit); see crashSignal().
+  Crashed,
+  /// Killed by the supervisor after the region wall-clock timeout.
+  TimedOut,
+  /// fork(2) failed; the sample never existed.
+  ForkFailed,
+  /// A retry spare that was never activated (no failures to replace).
+  Unused,
 };
 
 struct RuntimeOptions {
@@ -80,17 +113,53 @@ struct RuntimeOptions {
   size_t VoteSlots = 1u << 20;
   /// Keep the run directory on finish() (debugging).
   bool KeepFiles = false;
+  /// Per-region wall-clock budget in seconds; stragglers are SIGKILLed
+  /// and reported as SampleStatus::TimedOut. 0 disables the timeout.
+  /// Overridable per region via RegionOptions::TimeoutSec.
+  double SampleTimeoutSec = 0.0;
+  /// Spare sampling processes pre-forked per region; each crashed or
+  /// timed-out sample is replaced by one spare (fresh RNG stream) until
+  /// they run out. 0 disables retries. Regions that use sync() never
+  /// activate spares (a replacement cannot replay missed barriers).
+  int MaxRetries = 0;
+  /// Testing hook: make the fork of main-sample \p DebugFailForkAt fail
+  /// as if fork(2) returned -1. Negative = disabled.
+  int DebugFailForkAt = -1;
+};
+
+/// Per-region overrides for sampling().
+struct RegionOptions {
+  SamplingKind Kind = SamplingKind::Random;
+  /// Region wall-clock budget; < 0 inherits RuntimeOptions::SampleTimeoutSec.
+  double TimeoutSec = -1.0;
+  /// Retry spares for this region; < 0 inherits RuntimeOptions::MaxRetries.
+  int MaxRetries = -1;
 };
 
 /// Read access to one region's committed sample results (the aggregation
 /// store of the owning tuning process), passed to aggregation callbacks.
 class AggregationView {
 public:
-  AggregationView(std::string RegionDir, int Spawned)
-      : RegionDir(std::move(RegionDir)), Spawned(Spawned) {}
+  /// One per-child supervision record.
+  struct SampleRecord {
+    SampleStatus Status = SampleStatus::Running;
+    /// Terminating signal for Crashed children (0 if it exited nonzero).
+    int Signal = 0;
+  };
 
-  /// Number of sampling processes the region spawned.
-  int spawned() const { return Spawned; }
+  AggregationView(std::string RegionDir, std::vector<SampleRecord> Records)
+      : RegionDir(std::move(RegionDir)), Records(std::move(Records)) {}
+
+  /// Number of sample slots in the region: the requested samples plus any
+  /// retry spares (activated or not).
+  int spawned() const { return static_cast<int>(Records.size()); }
+
+  /// Terminal status of child \p I.
+  SampleStatus status(int I) const { return Records[I].Status; }
+  /// Terminating signal of a Crashed child (0 otherwise).
+  int crashSignal(int I) const { return Records[I].Signal; }
+  /// Number of children whose terminal status is \p S.
+  int countStatus(SampleStatus S) const;
 
   /// Indices of children that committed variable \p Var (ascending).
   /// Children pruned by @check or crashed do not appear.
@@ -107,7 +176,7 @@ public:
 
 private:
   std::string RegionDir;
-  int Spawned;
+  std::vector<SampleRecord> Records;
 };
 
 /// The per-process runtime singleton.
@@ -135,7 +204,14 @@ public:
   /// @sampling(n, cbStrgy): forks \p N sampling children (through the
   /// pool gate). Both the parent (tuning mode) and the children (sampling
   /// mode) return and execute the region body.
-  void sampling(int N, SamplingKind Kind = SamplingKind::Random);
+  void sampling(int N, SamplingKind Kind = SamplingKind::Random) {
+    RegionOptions Ro;
+    Ro.Kind = Kind;
+    sampling(N, Ro);
+  }
+
+  /// sampling() with per-region timeout/retry overrides.
+  void sampling(int N, const RegionOptions &Ro);
 
   /// @sample(x, cbDist): draws this run's value of \p Name; the tuning
   /// process observes D.defaultValue() (the rule is a no-op in T mode).
@@ -147,7 +223,9 @@ public:
 
   /// @sync(cbBarrier): all live sampling children of the current region
   /// block; once every one arrived, \p BarrierCb runs in the tuning
-  /// process, then everyone proceeds.
+  /// process, then everyone proceeds. Children that died before arriving
+  /// are reaped and removed from the barrier, so a crash cannot deadlock
+  /// the sync.
   ///
   /// A region that uses sync() needs all its children alive at once, so
   /// its sample count must not exceed MaxPool - 1 or the pool gate
@@ -155,9 +233,10 @@ public:
   void sync(const std::function<void()> &BarrierCb);
 
   /// @aggregate(x, cbAggr): a sampling process commits \p Bytes as \p Var
-  /// into the aggregation store and terminates. The tuning process waits
-  /// for all children, then runs \p Cb over the committed results and
-  /// continues.
+  /// into the aggregation store and terminates. The tuning process
+  /// supervises the children — reaping crashes, enforcing the region
+  /// timeout, activating retry spares — then runs \p Cb over the
+  /// committed results and continues.
   void aggregate(const std::string &Var, const std::vector<uint8_t> &Bytes,
                  const std::function<void(AggregationView &)> &Cb);
 
@@ -167,9 +246,10 @@ public:
   void commitExtra(const std::string &Var, const std::vector<uint8_t> &Bytes);
 
   /// @split(): forks a new tuning process (through the 75% gate).
-  /// \returns true in the child, false in the parent. The child inherits
-  /// the regular store (the entire address space) but owns a fresh
-  /// aggregation store, per rule [SPLIT].
+  /// \returns true in the child, false in the parent (also false when
+  /// fork(2) fails, after logging and releasing the reserved slot). The
+  /// child inherits the regular store (the entire address space) but owns
+  /// a fresh aggregation store, per rule [SPLIT].
   bool split();
 
   /// @expose(x): publishes \p Bytes under \p Name in the run-global
@@ -186,10 +266,23 @@ public:
   bool isSampling() const { return Mode == ModeKind::Sampling; }
   bool isTuning() const { return Mode == ModeKind::Tuning; }
   /// Child index within the current region, or -1 in a tuning process.
+  /// Retry spares observe indices >= the region's requested sample count.
   int sampleIndex() const { return isSampling() ? ChildIndex : -1; }
   uint64_t tuningProcessId() const { return TpId; }
   /// Deterministic per-process random stream.
   Rng &rng() { return TheRng; }
+
+  //===--------------------------------------------------------------------===
+  // Supervisor diagnostics
+  //===--------------------------------------------------------------------===
+
+  /// Free pool slots right now (slot-reclaim accounting checks).
+  int freeSlots() const;
+  unsigned maxPool() const;
+  /// Run-wide counts of abnormal sample outcomes.
+  uint64_t crashedSamples() const;
+  uint64_t timedOutSamples() const;
+  uint64_t forkFailures() const;
 
   //===--------------------------------------------------------------------===
   // Shared incremental aggregation (paper Sec. IV-B across processes)
@@ -216,6 +309,18 @@ private:
 
   std::string regionDir(uint64_t Region) const;
   [[noreturn]] void exitChild();
+  /// Spare child: blocks until activated (returns, to run the region body)
+  /// or discarded (_exits, never returns).
+  void parkAsSpare(int Idx);
+
+  // Supervisor internals (tuning side of a live region).
+  bool reapOne(int Idx, bool Block);
+  int sweepChildren();
+  void killStragglers();
+  bool regionDeadlinePassed() const;
+  bool activateSpare();
+  void discardSpares();
+  void destroyRegionTable();
 
   RuntimeOptions Opts;
   std::unique_ptr<SharedControl> Ctl;
@@ -233,7 +338,14 @@ private:
   SamplingKind RegionKind = SamplingKind::Random;
   int BarrierSlot = 0;
   int ChildIndex = -1;
-  std::vector<pid_t> ChildPids;   // tuning side
+  RegionTable *Table = nullptr; // per-region shared child table
+  size_t TableBytes = 0;
+  int NumSpares = 0;
+  int NextSpare = 0;           // next unactivated spare (tuning side)
+  bool RegionUsedSync = false; // disables spare activation
+  bool RegionHasDeadline = false;
+  double RegionDeadline = 0;      // CLOCK_MONOTONIC seconds
+  std::vector<char> Reaped;       // per-child, tuning side
   std::vector<pid_t> SplitChildren;
 };
 

@@ -7,9 +7,11 @@
 #include "proc/SharedControl.h"
 
 #include <sys/mman.h>
+#include <time.h>
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -17,26 +19,36 @@
 using namespace wbt;
 using namespace wbt::proc;
 
+void SharedLock::init() {
+  pthread_mutexattr_t MA;
+  pthread_mutexattr_init(&MA);
+  pthread_mutexattr_setpshared(&MA, PTHREAD_PROCESS_SHARED);
+  pthread_mutex_init(&Mutex, &MA);
+  pthread_mutexattr_destroy(&MA);
+  pthread_condattr_t CA;
+  pthread_condattr_init(&CA);
+  pthread_condattr_setpshared(&CA, PTHREAD_PROCESS_SHARED);
+  // Timed waits measure against CLOCK_MONOTONIC so a wall-clock step can
+  // neither stall nor fire the supervisor's bounded sleeps.
+  pthread_condattr_setclock(&CA, CLOCK_MONOTONIC);
+  pthread_cond_init(&Cond, &CA);
+  pthread_condattr_destroy(&CA);
+}
+
 namespace {
 
-/// A pthread mutex + condvar pair configured for cross-process use.
-struct SharedLock {
-  pthread_mutex_t Mutex;
-  pthread_cond_t Cond;
-
-  void init() {
-    pthread_mutexattr_t MA;
-    pthread_mutexattr_init(&MA);
-    pthread_mutexattr_setpshared(&MA, PTHREAD_PROCESS_SHARED);
-    pthread_mutex_init(&Mutex, &MA);
-    pthread_mutexattr_destroy(&MA);
-    pthread_condattr_t CA;
-    pthread_condattr_init(&CA);
-    pthread_condattr_setpshared(&CA, PTHREAD_PROCESS_SHARED);
-    pthread_cond_init(&Cond, &CA);
-    pthread_condattr_destroy(&CA);
+/// Absolute CLOCK_MONOTONIC deadline \p Ms from now.
+timespec deadlineIn(int Ms) {
+  timespec T;
+  clock_gettime(CLOCK_MONOTONIC, &T);
+  T.tv_sec += Ms / 1000;
+  T.tv_nsec += static_cast<long>(Ms % 1000) * 1000000L;
+  if (T.tv_nsec >= 1000000000L) {
+    ++T.tv_sec;
+    T.tv_nsec -= 1000000000L;
   }
-};
+  return T;
+}
 
 struct Barrier {
   SharedLock Lock;
@@ -71,6 +83,19 @@ struct SharedLayout {
   uint64_t NextTp;
 
   Barrier Barriers[NumBarrierSlots];
+
+  // Barrier-slot free-list (stack of slot indices).
+  SharedLock BarrierAllocLock;
+  int BarrierFree[NumBarrierSlots];
+  int BarrierFreeCount;
+
+  // Child-exit event channel + supervisor counters.
+  SharedLock ChildEventLock;
+  uint64_t ChildEvents;
+  std::atomic<uint64_t> CrashedTotal;
+  std::atomic<uint64_t> TimedOutTotal;
+  std::atomic<uint64_t> ForkFailedTotal;
+
   ScalarCell Scalars[NumScalarCells];
 
   // Vote buffer.
@@ -116,6 +141,13 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
 
   for (Barrier &B : Layout->Barriers)
     B.Lock.init();
+  Layout->BarrierAllocLock.init();
+  for (int I = 0; I != NumBarrierSlots; ++I)
+    Layout->BarrierFree[I] = NumBarrierSlots - 1 - I; // pop low slots first
+  Layout->BarrierFreeCount = NumBarrierSlots;
+
+  Layout->ChildEventLock.init();
+
   for (ScalarCell &C : Layout->Scalars) {
     C.Lock.init();
     C.Min = std::numeric_limits<double>::infinity();
@@ -148,6 +180,31 @@ void SharedControl::acquireSlot(bool IsTuning) {
   }
   --Layout->FreeSlots;
   pthread_mutex_unlock(&Layout->PoolLock.Mutex);
+}
+
+bool SharedControl::acquireSlotTimed(bool IsTuning, int TimeoutMs) {
+  assert(Layout && "shared control not initialized");
+  if (!Layout->UseScheduler)
+    return true;
+  timespec Deadline = deadlineIn(TimeoutMs);
+  pthread_mutex_lock(&Layout->PoolLock.Mutex);
+  bool Taken = false;
+  for (;;) {
+    double Threshold =
+        IsTuning ? 0.75 * static_cast<double>(Layout->MaxPool) : 0.0;
+    bool IdlePool = Layout->FreeSlots == static_cast<int>(Layout->MaxPool);
+    if (Layout->FreeSlots > Threshold || (IsTuning && IdlePool)) {
+      --Layout->FreeSlots;
+      Taken = true;
+      break;
+    }
+    if (pthread_cond_timedwait(&Layout->PoolLock.Cond,
+                               &Layout->PoolLock.Mutex, &Deadline) ==
+        ETIMEDOUT)
+      break;
+  }
+  pthread_mutex_unlock(&Layout->PoolLock.Mutex);
+  return Taken;
 }
 
 void SharedControl::releaseSlot() {
@@ -192,6 +249,20 @@ void SharedControl::waitLiveTuningProcesses(int Remaining) {
   pthread_mutex_unlock(&Layout->TpLock.Mutex);
 }
 
+bool SharedControl::waitLiveTuningProcessesTimed(int Remaining,
+                                                 int TimeoutMs) {
+  timespec Deadline = deadlineIn(TimeoutMs);
+  pthread_mutex_lock(&Layout->TpLock.Mutex);
+  while (Layout->LiveTps > Remaining) {
+    if (pthread_cond_timedwait(&Layout->TpLock.Cond, &Layout->TpLock.Mutex,
+                               &Deadline) == ETIMEDOUT)
+      break;
+  }
+  bool Done = Layout->LiveTps <= Remaining;
+  pthread_mutex_unlock(&Layout->TpLock.Mutex);
+  return Done;
+}
+
 int SharedControl::liveTuningProcesses() const {
   pthread_mutex_lock(&Layout->TpLock.Mutex);
   int N = Layout->LiveTps;
@@ -210,6 +281,25 @@ uint64_t SharedControl::nextTpId() {
 // Barriers
 //===----------------------------------------------------------------------===//
 
+int SharedControl::acquireBarrierSlot() {
+  pthread_mutex_lock(&Layout->BarrierAllocLock.Mutex);
+  while (Layout->BarrierFreeCount == 0)
+    pthread_cond_wait(&Layout->BarrierAllocLock.Cond,
+                      &Layout->BarrierAllocLock.Mutex);
+  int Slot = Layout->BarrierFree[--Layout->BarrierFreeCount];
+  pthread_mutex_unlock(&Layout->BarrierAllocLock.Mutex);
+  return Slot;
+}
+
+void SharedControl::releaseBarrierSlot(int Slot) {
+  pthread_mutex_lock(&Layout->BarrierAllocLock.Mutex);
+  assert(Layout->BarrierFreeCount < NumBarrierSlots &&
+         "barrier slot freed twice");
+  Layout->BarrierFree[Layout->BarrierFreeCount++] = Slot;
+  pthread_cond_broadcast(&Layout->BarrierAllocLock.Cond);
+  pthread_mutex_unlock(&Layout->BarrierAllocLock.Mutex);
+}
+
 void SharedControl::barrierReset(int Slot, int Expected) {
   Barrier &B = Layout->Barriers[Slot];
   pthread_mutex_lock(&B.Lock.Mutex);
@@ -218,20 +308,48 @@ void SharedControl::barrierReset(int Slot, int Expected) {
   pthread_mutex_unlock(&B.Lock.Mutex);
 }
 
-void SharedControl::barrierArriveAndWait(int Slot) {
+void SharedControl::barrierAdd(int Slot, int Delta) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  B.Expected += Delta;
+  pthread_cond_broadcast(&B.Lock.Cond);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierArriveAndWait(int Slot,
+                                         std::atomic<int32_t> *InBarrier) {
   Barrier &B = Layout->Barriers[Slot];
   pthread_mutex_lock(&B.Lock.Mutex);
   ++B.Arrived;
+  if (InBarrier)
+    InBarrier->store(1, std::memory_order_relaxed);
   uint64_t Gen = B.Generation;
   pthread_cond_broadcast(&B.Lock.Cond);
   while (B.Generation == Gen)
     pthread_cond_wait(&B.Lock.Cond, &B.Lock.Mutex);
+  if (InBarrier)
+    InBarrier->store(0, std::memory_order_relaxed);
   pthread_mutex_unlock(&B.Lock.Mutex);
 }
 
 void SharedControl::barrierLeave(int Slot) {
   Barrier &B = Layout->Barriers[Slot];
   pthread_mutex_lock(&B.Lock.Mutex);
+  --B.Expected;
+  pthread_cond_broadcast(&B.Lock.Cond);
+  pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+void SharedControl::barrierReclaimDead(int Slot,
+                                       std::atomic<int32_t> *InBarrier) {
+  Barrier &B = Layout->Barriers[Slot];
+  pthread_mutex_lock(&B.Lock.Mutex);
+  // If the child died blocked inside barrierArriveAndWait(), undo its
+  // arrival too; the Arrived > 0 guard covers a death racing the release
+  // of the generation (Arrived already reset for the next one).
+  if (InBarrier && InBarrier->exchange(0, std::memory_order_relaxed) == 1 &&
+      B.Arrived > 0)
+    --B.Arrived;
   --B.Expected;
   pthread_cond_broadcast(&B.Lock.Cond);
   pthread_mutex_unlock(&B.Lock.Mutex);
@@ -245,6 +363,20 @@ void SharedControl::barrierWaitAll(int Slot) {
   pthread_mutex_unlock(&B.Lock.Mutex);
 }
 
+bool SharedControl::barrierWaitAllTimed(int Slot, int TimeoutMs) {
+  Barrier &B = Layout->Barriers[Slot];
+  timespec Deadline = deadlineIn(TimeoutMs);
+  pthread_mutex_lock(&B.Lock.Mutex);
+  while (B.Arrived < B.Expected) {
+    if (pthread_cond_timedwait(&B.Lock.Cond, &B.Lock.Mutex, &Deadline) ==
+        ETIMEDOUT)
+      break;
+  }
+  bool Satisfied = B.Arrived >= B.Expected;
+  pthread_mutex_unlock(&B.Lock.Mutex);
+  return Satisfied;
+}
+
 void SharedControl::barrierRelease(int Slot) {
   Barrier &B = Layout->Barriers[Slot];
   pthread_mutex_lock(&B.Lock.Mutex);
@@ -252,6 +384,49 @@ void SharedControl::barrierRelease(int Slot) {
   ++B.Generation;
   pthread_cond_broadcast(&B.Lock.Cond);
   pthread_mutex_unlock(&B.Lock.Mutex);
+}
+
+//===----------------------------------------------------------------------===//
+// Child events + supervisor counters
+//===----------------------------------------------------------------------===//
+
+void SharedControl::childEventNotify() {
+  pthread_mutex_lock(&Layout->ChildEventLock.Mutex);
+  ++Layout->ChildEvents;
+  pthread_cond_broadcast(&Layout->ChildEventLock.Cond);
+  pthread_mutex_unlock(&Layout->ChildEventLock.Mutex);
+}
+
+void SharedControl::childEventWaitTimed(int TimeoutMs) {
+  timespec Deadline = deadlineIn(TimeoutMs);
+  pthread_mutex_lock(&Layout->ChildEventLock.Mutex);
+  uint64_t Seen = Layout->ChildEvents;
+  while (Layout->ChildEvents == Seen) {
+    if (pthread_cond_timedwait(&Layout->ChildEventLock.Cond,
+                               &Layout->ChildEventLock.Mutex,
+                               &Deadline) == ETIMEDOUT)
+      break;
+  }
+  pthread_mutex_unlock(&Layout->ChildEventLock.Mutex);
+}
+
+void SharedControl::noteCrash() {
+  Layout->CrashedTotal.fetch_add(1, std::memory_order_relaxed);
+}
+void SharedControl::noteTimeout() {
+  Layout->TimedOutTotal.fetch_add(1, std::memory_order_relaxed);
+}
+void SharedControl::noteForkFailure() {
+  Layout->ForkFailedTotal.fetch_add(1, std::memory_order_relaxed);
+}
+uint64_t SharedControl::crashedTotal() const {
+  return Layout->CrashedTotal.load(std::memory_order_relaxed);
+}
+uint64_t SharedControl::timedOutTotal() const {
+  return Layout->TimedOutTotal.load(std::memory_order_relaxed);
+}
+uint64_t SharedControl::forkFailedTotal() const {
+  return Layout->ForkFailedTotal.load(std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

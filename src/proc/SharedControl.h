@@ -11,16 +11,23 @@
 ///
 ///  * the process pool of paper Alg. 1 (slot counter + the 75% tuning
 ///    admission gate) — the cross-process counterpart of core/Scheduler;
-///  * barrier slots for @sync;
+///  * barrier slots for @sync, handed out through a shared free-list so
+///    concurrent tuning processes can never collide on one slot;
 ///  * the live-tuning-process counter that lets the root wait for @split
 ///    descendants;
+///  * a child-event condvar that sampling children pulse on exit, so the
+///    supervising tuning process can sleep in bounded waits instead of
+///    blocking indefinitely in waitpid(2);
+///  * crash/timeout/fork-failure counters (diagnostics for the child
+///    supervisor);
 ///  * shared accumulators for incremental aggregation across processes
 ///    (paper Sec. IV-B: shared min/max/avg cells and a vote buffer that
 ///    replaces one-shot file aggregation).
 ///
 /// Everything is built from process-shared pthread primitives inside one
 /// mmap(MAP_SHARED | MAP_ANONYMOUS) region; no names leak into the
-/// filesystem.
+/// filesystem. Condition variables use CLOCK_MONOTONIC so the timed waits
+/// that drive the supervisor are immune to wall-clock steps.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +36,7 @@
 
 #include <pthread.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -42,8 +50,17 @@ struct SharedLayout;
 
 /// Number of shared scalar-accumulator cells available via scalarCell().
 constexpr int NumScalarCells = 16;
-/// Number of barrier slots; regions reuse them round-robin.
+/// Number of barrier slots; allocated through a shared free-list.
 constexpr int NumBarrierSlots = 64;
+
+/// A pthread mutex + condvar pair configured for cross-process use.
+/// Lives inside shared mappings only (POD; init() before first use).
+struct SharedLock {
+  pthread_mutex_t Mutex;
+  pthread_cond_t Cond;
+
+  void init();
+};
 
 /// Owner handle over the mmap'd control block.
 class SharedControl {
@@ -66,6 +83,10 @@ public:
 
   /// Blocks until a pool slot is free; \p IsTuning applies the 75% gate.
   void acquireSlot(bool IsTuning);
+  /// Bounded acquireSlot(): waits at most \p TimeoutMs and returns whether
+  /// a slot was taken. Lets the supervised spawn loop in sampling() reap
+  /// dead children (reclaiming their leaked slots) between attempts.
+  bool acquireSlotTimed(bool IsTuning, int TimeoutMs);
   /// Returns a slot to the pool.
   void releaseSlot();
   /// Free slots right now (diagnostics only).
@@ -78,10 +99,14 @@ public:
 
   /// Called by a parent immediately before forking a tuning child.
   void tuningProcessForked();
-  /// Called by a tuning process when it finishes.
+  /// Called by a tuning process when it finishes (or by its parent on its
+  /// behalf when it died without reaching finish()).
   void tuningProcessExited();
   /// Blocks until only \p Remaining tuning processes are alive.
   void waitLiveTuningProcesses(int Remaining);
+  /// Bounded variant: waits at most \p TimeoutMs; returns true once only
+  /// \p Remaining tuning processes are alive.
+  bool waitLiveTuningProcessesTimed(int Remaining, int TimeoutMs);
   int liveTuningProcesses() const;
   /// Draws a fresh unique tuning-process id.
   uint64_t nextTpId();
@@ -90,18 +115,56 @@ public:
   // Barriers for @sync.
   //===--------------------------------------------------------------------===
 
+  /// Draws a free barrier slot from the shared free-list (blocks if all
+  /// NumBarrierSlots are in use). Regions own their slot until
+  /// releaseBarrierSlot().
+  int acquireBarrierSlot();
+  /// Returns a barrier slot to the free-list.
+  void releaseBarrierSlot(int Slot);
+
   /// Child side: announce arrival at barrier \p Slot and block until the
-  /// tuning process releases the generation.
-  void barrierArriveAndWait(int Slot);
+  /// tuning process releases the generation. \p InBarrier, when non-null,
+  /// is raised while the caller is blocked (it lives in a shared child
+  /// table and lets the supervisor repair the counts if the caller dies
+  /// at the barrier).
+  void barrierArriveAndWait(int Slot,
+                            std::atomic<int32_t> *InBarrier = nullptr);
   /// Child side: a child that will never arrive (pruned / committed)
   /// leaves the barrier's expected set.
   void barrierLeave(int Slot);
   /// Tuning side: set the number of children expected at barrier \p Slot.
   void barrierReset(int Slot, int Expected);
+  /// Tuning side: grow/shrink the expected count (retry respawns).
+  void barrierAdd(int Slot, int Delta);
   /// Tuning side: block until every still-live child has arrived.
   void barrierWaitAll(int Slot);
+  /// Bounded variant of barrierWaitAll(): waits at most \p TimeoutMs and
+  /// returns true once the barrier is satisfied.
+  bool barrierWaitAllTimed(int Slot, int TimeoutMs);
   /// Tuning side: open the next generation, releasing every waiter.
   void barrierRelease(int Slot);
+  /// Supervisor side: remove a dead child from barrier \p Slot — undo its
+  /// arrival if \p InBarrier says it died blocked there, and shrink the
+  /// expected count.
+  void barrierReclaimDead(int Slot, std::atomic<int32_t> *InBarrier);
+
+  //===--------------------------------------------------------------------===
+  // Child events + supervisor counters.
+  //===--------------------------------------------------------------------===
+
+  /// Pulsed by sampling children as they exit so a supervising tuning
+  /// process wakes promptly from childEventWaitTimed().
+  void childEventNotify();
+  /// Sleeps until the next child event or \p TimeoutMs, whichever first.
+  /// Abnormal deaths emit no event, so callers must re-poll on timeout.
+  void childEventWaitTimed(int TimeoutMs);
+
+  void noteCrash();
+  void noteTimeout();
+  void noteForkFailure();
+  uint64_t crashedTotal() const;
+  uint64_t timedOutTotal() const;
+  uint64_t forkFailedTotal() const;
 
   //===--------------------------------------------------------------------===
   // Shared accumulators (incremental aggregation, paper Sec. IV-B).

@@ -94,6 +94,85 @@ TEST(SchedulerTest, SamplingPriorityPrefersSmallTodo) {
   EXPECT_EQ(Order, (std::vector<int>{5, 10, 20, 30}));
 }
 
+TEST(SchedulerTest, ThrowingTaskDoesNotKillWorker) {
+  // A throwing task body must neither terminate the process nor leak the
+  // Active count (which would hang waitIdle); later tasks still run.
+  Scheduler::Options Opts;
+  Opts.Workers = 2;
+  Scheduler S(Opts);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 8; ++I)
+    S.submitSampling(8 - I, [&Count, I] {
+      if (I % 2 == 0)
+        throw std::runtime_error("injected");
+      Count.fetch_add(1);
+    });
+  S.submitTuning([&Count] { Count.fetch_add(1); });
+  S.waitIdle();
+  EXPECT_EQ(Count.load(), 5);
+  Scheduler::Stats St = S.stats();
+  EXPECT_EQ(St.TasksRun, 9u);
+  EXPECT_EQ(St.TasksFailed, 4u);
+}
+
+TEST(SchedulerTest, WaitIdleForTimesOutWhileBusy) {
+  Scheduler::Options Opts;
+  Opts.Workers = 1;
+  Scheduler S(Opts);
+  std::atomic<bool> Release{false};
+  S.submitSampling(0, [&] {
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  EXPECT_FALSE(S.waitIdleFor(std::chrono::milliseconds(20)));
+  Release.store(true);
+  EXPECT_TRUE(S.waitIdleFor(std::chrono::milliseconds(5000)));
+}
+
+TEST(PipelineTest, ThrowingBodyCountsAsFailedRun) {
+  // A stage body that throws must not wedge the stage (Pending never
+  // reaching zero) — it is contained, counted, and the other runs still
+  // aggregate.
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 16;
+  P.addStage<double, double, double>(
+      "s", O,
+      BodyFn([](const double &, SampleContext &Ctx) -> std::optional<double> {
+        double X = Ctx.sample("x", Distribution::uniform(0.0, 1.0));
+        if (Ctx.sampleIndex() % 4 == 0)
+          throw std::runtime_error("injected");
+        Ctx.setScore(X);
+        return X;
+      }),
+      bestMax());
+  RunOptions RO;
+  RO.Seed = 77;
+  RO.Workers = 4;
+  RunReport Rep = P.run(std::any(0.0), RO);
+  ASSERT_EQ(Rep.Finals.size(), 1u);
+  EXPECT_EQ(Rep.Stages[0].Failed, 4);
+  EXPECT_EQ(Rep.Stages[0].Pruned, 0);
+  EXPECT_GT(Rep.finalAs<double>(0), 0.0);
+}
+
+TEST(PipelineTest, AllBodiesThrowingStillCompletes) {
+  Pipeline P;
+  StageOptions O;
+  O.NumSamples = 8;
+  P.addStage<double, double, double>(
+      "s", O,
+      BodyFn([](const double &, SampleContext &) -> std::optional<double> {
+        throw std::runtime_error("always");
+      }),
+      bestMax());
+  RunReport Rep = P.run(std::any(0.0));
+  // No survivors: like all-pruned, the tuning process ends with no
+  // continuation, but run() must return rather than hang.
+  EXPECT_TRUE(Rep.Finals.empty());
+  EXPECT_EQ(Rep.Stages[0].Failed, 8);
+}
+
 TEST(PipelineTest, SingleStageFindsGoodParameter) {
   Pipeline P;
   StageOptions O;

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -560,4 +561,396 @@ TEST(ProcRuntimeTest, KeepFilesPreservesAggregationStore) {
 
 TEST(ProcRuntimeTest, ConsecutiveSyncBarriers) {
   EXPECT_EQ(runScenario(scenarioConsecutiveSyncBarriers), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure paths: the child supervisor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int scenarioChildAborts() {
+  // A sampling child that abort()s never runs its cleanup; the supervisor
+  // must reap it, reclaim its pool slot, and report Crashed(SIGABRT).
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 16;
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 4;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 1)
+      abort();
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  int Committed = -1, Crashed = -1, Sig = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    for (int I = 0; I != V.spawned(); ++I)
+      if (V.status(I) == SampleStatus::Crashed)
+        Sig = V.crashSignal(I);
+  });
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(Sig == SIGABRT, 4);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 5); // slot reclaimed
+  CHECK_OR(Rt.crashedSamples() == 1, 6);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioChildKilledBeforeCommit() {
+  // SIGKILL leaves no chance to clean up at all — the hardest death.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 17;
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 5;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 2)
+      raise(SIGKILL);
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  int Committed = -1, Crashed = -1, Sig = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = static_cast<int>(V.committed("x").size());
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    Sig = V.crashSignal(2);
+  });
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(Sig == SIGKILL, 4);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 5);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioAllPruned() {
+  // Every child pruned by @check: aggregate() must still complete, with
+  // an empty committed set and N Pruned records.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 18;
+  Rt.init(Opts);
+
+  const int N = 6;
+  Rt.sampling(N);
+  (void)Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  Rt.check(!Rt.isSampling()); // prunes every sampling child
+  if (Rt.isSampling())
+    return 199; // unreachable
+  int Committed = -1, Pruned = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = static_cast<int>(V.committed("x").size());
+    Pruned = V.countStatus(SampleStatus::Pruned);
+  });
+  CHECK_OR(Committed == 0, 2);
+  CHECK_OR(Pruned == N, 3);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioTimeoutKillsStraggler() {
+  // One child sleeps far past the region budget; the supervisor SIGKILLs
+  // it and reports TimedOut while the others commit normally.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 19;
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 4;
+  RegionOptions Ro;
+  Ro.TimeoutSec = 0.3;
+  Rt.sampling(N, Ro);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 0)
+      sleep(30); // far past the budget; SIGKILL arrives first
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  int Committed = -1, TimedOut = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+    TimedOut = V.countStatus(SampleStatus::TimedOut);
+  });
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(TimedOut == 1, 3);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 4);
+  CHECK_OR(Rt.timedOutSamples() == 1, 5);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioAbortPlusTimeout() {
+  // Acceptance scenario: one child abort()s AND another sleeps past the
+  // region timeout. aggregate() must complete without deadlock, both pool
+  // slots must be reclaimed, and both statuses must be surfaced.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 20;
+  Opts.SampleTimeoutSec = 0.4; // via RuntimeOptions, not the override
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 5;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 1)
+      abort();
+    if (Rt.sampleIndex() == 3)
+      sleep(30);
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  int Committed = -1, Crashed = -1, TimedOut = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    TimedOut = V.countStatus(SampleStatus::TimedOut);
+  });
+  CHECK_OR(Committed == N - 2, 2);
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(TimedOut == 1, 4);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 5); // both slots reclaimed
+  Rt.finish();
+  return 0;
+}
+
+int scenarioRetryRespawnsSpares() {
+  // With MaxRetries, a crashed sample is replaced by a pre-forked spare
+  // running a fresh RNG stream (index >= N).
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 10;
+  Opts.Seed = 21;
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 4;
+  RegionOptions Ro;
+  Ro.MaxRetries = 2;
+  Rt.sampling(N, Ro);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 0)
+      abort(); // the spare that replaces it has index >= N
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  int Committed = -1, Crashed = -1, Unused = -1, SpareCommitted = 0;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    Unused = V.countStatus(SampleStatus::Unused);
+    for (int I = N; I != V.spawned(); ++I)
+      SpareCommitted += V.status(I) == SampleStatus::Committed;
+  });
+  CHECK_OR(Committed == N, 2); // the spare restored full coverage
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(Unused == 1, 4); // the second spare was never needed
+  CHECK_OR(SpareCommitted == 1, 5);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 6);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioForkFailureSkipsSample() {
+  // A failed fork(2) (injected via the testing hook) must skip the sample
+  // cleanly — no bogus pid in the wait set, barrier and slot accounting
+  // intact — instead of the old assert/UB path.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 22;
+  Opts.DebugFailForkAt = 2;
+  Rt.init(Opts);
+
+  int FreeBefore = Rt.freeSlots();
+  const int N = 4;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  int Committed = -1, ForkFailed = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+    ForkFailed = V.countStatus(SampleStatus::ForkFailed);
+  });
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(ForkFailed == 1, 3);
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 4);
+  CHECK_OR(Rt.forkFailures() == 1, 5);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioCrashBeforeSyncBarrier() {
+  // A child that dies before reaching @sync must be removed from the
+  // barrier's expected set or every surviving process deadlocks.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 23;
+  Rt.init(Opts);
+
+  const int N = 4;
+  Rt.sampling(N);
+  (void)Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    if (Rt.sampleIndex() == 3)
+      abort(); // dies before arriving at the barrier
+    Rt.sharedScalarAdd(5, 1.0);
+  }
+  double AtBarrier = -1;
+  Rt.sync([&] { AtBarrier = static_cast<double>(Rt.sharedScalarCount(5)); });
+  if (Rt.isSampling())
+    Rt.aggregate("done", encodeDouble(1), nullptr);
+  int Crashed = -1, Committed = -1;
+  Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    Committed = V.countStatus(SampleStatus::Committed);
+  });
+  CHECK_OR(AtBarrier == N - 1, 2); // survivors all arrived
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(Committed == N - 1, 4);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioConcurrentRegionsDistinctBarriers() {
+  // Two post-split tuning processes run sync regions concurrently; the
+  // shared barrier free-list must hand them distinct slots (the old
+  // hash-based choice could collide and corrupt the counts).
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 16;
+  Opts.Seed = 24;
+  Rt.init(Opts);
+
+  bool Child = false;
+  for (int I = 0; I != 2 && !Child; ++I)
+    Child = Rt.split();
+
+  // Every tuning process (root + 2 children) runs its own sync region.
+  const int N = 3;
+  Rt.sampling(N);
+  (void)Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  int Cell = 6;
+  if (Rt.isSampling())
+    Rt.sharedScalarAdd(Cell, 1.0);
+  double Arrived = -1;
+  Rt.sync([&] { Arrived = 1; });
+  if (Rt.isSampling())
+    Rt.aggregate("done", encodeDouble(1), nullptr);
+  int Committed = -1;
+  Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+  });
+  if (Child) {
+    if (Committed == N && Arrived == 1)
+      Rt.sharedScalarAdd(7, 1.0);
+    Rt.finishAndExit();
+  }
+  CHECK_OR(Committed == N, 2);
+  CHECK_OR(Arrived == 1, 3);
+  while (Rt.sharedScalarCount(7) < 2)
+    usleep(1000);
+  CHECK_OR(Rt.sharedScalarCount(7) == 2, 4); // both children succeeded
+  // All 3 * N sampling children contributed.
+  CHECK_OR(Rt.sharedScalarCount(Cell) == 3 * N, 5);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioTornCommitNotCounted() {
+  // Commits are temp-file + rename: a file that was still being written
+  // when its child died must not appear in committed(). We approximate by
+  // checking that a crashed child (killed between commitExtra and
+  // aggregate) left either a complete value or nothing.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 25;
+  Rt.init(Opts);
+
+  const int N = 4;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    Rt.commitExtra("partial", encodeDouble(X));
+    if (Rt.sampleIndex() == 1)
+      raise(SIGKILL); // dies after one commit, before aggregate
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  }
+  bool AllComplete = true;
+  int PartialCount = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    std::vector<int> Idx = V.committed("partial");
+    PartialCount = static_cast<int>(Idx.size());
+    for (int I : Idx) {
+      double Y = V.loadDouble("partial", I, -1.0);
+      AllComplete = AllComplete && Y >= 0.0 && Y <= 1.0;
+    }
+  });
+  // The killed child completed commitExtra, so all N partials exist and
+  // every one decodes to a full, untorn value.
+  CHECK_OR(PartialCount == N, 2);
+  CHECK_OR(AllComplete, 3);
+  Rt.finish();
+  return 0;
+}
+
+} // namespace
+
+TEST(ProcFailureTest, ChildAbortIsReapedAndReported) {
+  EXPECT_EQ(runScenario(scenarioChildAborts), 0);
+}
+
+TEST(ProcFailureTest, SigkilledChildBeforeCommit) {
+  EXPECT_EQ(runScenario(scenarioChildKilledBeforeCommit), 0);
+}
+
+TEST(ProcFailureTest, AllChildrenPruned) {
+  EXPECT_EQ(runScenario(scenarioAllPruned), 0);
+}
+
+TEST(ProcFailureTest, TimeoutKillsStraggler) {
+  EXPECT_EQ(runScenario(scenarioTimeoutKillsStraggler), 0);
+}
+
+TEST(ProcFailureTest, AbortPlusTimeoutReclaimsBothSlots) {
+  EXPECT_EQ(runScenario(scenarioAbortPlusTimeout), 0);
+}
+
+TEST(ProcFailureTest, RetryRespawnsSpareSamples) {
+  EXPECT_EQ(runScenario(scenarioRetryRespawnsSpares), 0);
+}
+
+TEST(ProcFailureTest, ForkFailureSkipsSample) {
+  EXPECT_EQ(runScenario(scenarioForkFailureSkipsSample), 0);
+}
+
+TEST(ProcFailureTest, CrashBeforeSyncDoesNotDeadlock) {
+  EXPECT_EQ(runScenario(scenarioCrashBeforeSyncBarrier), 0);
+}
+
+TEST(ProcFailureTest, ConcurrentRegionsGetDistinctBarriers) {
+  EXPECT_EQ(runScenario(scenarioConcurrentRegionsDistinctBarriers), 0);
+}
+
+TEST(ProcFailureTest, CommitsAreAtomic) {
+  EXPECT_EQ(runScenario(scenarioTornCommitNotCounted), 0);
 }
