@@ -13,14 +13,22 @@
 //   +i : incremental aggregation
 //   +s : incremental aggregation + the Alg. 1 scheduler
 //
-// and additionally the effect of @check pruning (the Canny funnel).
+// and additionally the effect of @check pruning (the Canny funnel), and
+// the same Fig. 10 shape in the real fork runtime: the aggregation-store
+// ablation Files vs Shm vs Shm+incremental-folding (commit latency,
+// tuning-side aggregation latency, end-to-end region throughput).
+//
+// `--json` writes the store-ablation rows to BENCH_optimizations.json at
+// the repo root.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "proc/Runtime.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 
 using namespace wbt;
@@ -100,9 +108,98 @@ std::pair<double, size_t> runConfig(const WorkloadSpec &W, bool Incremental,
   return {T.seconds(), Rep.Stages[0].PeakLiveBytes};
 }
 
+//===----------------------------------------------------------------------===//
+// Fork-runtime store ablation (Fig. 10's shape outside the in-process
+// engine).
+//===----------------------------------------------------------------------===//
+
+/// One measured configuration of the fork-runtime store ablation.
+struct StoreAblationRow {
+  const char *Name;
+  double CommitUs;      // mean per-commit latency inside the children
+  double AggregateMs;   // tuning-side aggregation time, summed
+  double RegionsPerSec; // end-to-end region throughput
+  double TotalSec;
+};
+
+/// Scalar cell reserved for publishing child-side commit latencies to
+/// the tuning process (cells 0-7 are claimed by examples/tests).
+constexpr int CommitLatencyCell = 8;
+
+/// Runs `Regions` fork-runtime regions of `N` samples each, with every
+/// child committing a `PayloadDoubles`-element vector, and measures the
+/// three Fig. 10 quantities for one store configuration.
+StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
+                                bool Fold) {
+  using namespace wbt::proc;
+  constexpr int Regions = 6;
+  constexpr int N = 32;
+  constexpr size_t PayloadDoubles = 256;
+
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 123;
+  Opts.Backend = B;
+  Opts.ShmSlabRecords = 1u << 14;
+  Opts.ShmSlabBytes = 8u << 20;
+  Rt.init(Opts);
+  Rt.sharedScalarReset(CommitLatencyCell);
+
+  double AggregateSec = 0;
+  Timer Total;
+  for (int R = 0; R != Regions; ++R) {
+    Rt.sampling(N);
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      std::vector<double> Vec(PayloadDoubles, X);
+      std::vector<uint8_t> Bytes = encodeVector(Vec);
+      Timer Commit;
+      Rt.commitExtra("v", Bytes);
+      Rt.sharedScalarAdd(CommitLatencyCell, Commit.seconds() * 1e6);
+      Rt.aggregate("done", encodeDouble(X), nullptr);
+    }
+    MeanVectorAccumulator *Acc = Fold ? &Rt.foldMeanVector("v") : nullptr;
+    std::vector<double> Mean;
+    Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
+      Timer Agg;
+      if (Acc) {
+        // Incremental: commits were folded during the supervisor sweeps;
+        // only the O(accumulator) result extraction remains.
+        Mean = Acc->result();
+      } else {
+        // One-shot: the classic read-everything-at-the-barrier storm.
+        MeanVectorAccumulator OneShot;
+        for (int I : V.committed("v"))
+          OneShot.add(V.loadDoubles("v", I));
+        Mean = OneShot.result();
+      }
+      AggregateSec += Agg.seconds();
+    });
+    if (Mean.size() != PayloadDoubles)
+      std::fprintf(stderr, "store ablation: bad mean size %zu\n", Mean.size());
+  }
+  double TotalSec = Total.seconds();
+  StoreAblationRow Row;
+  Row.Name = Name;
+  Row.CommitUs = Rt.sharedScalarMean(CommitLatencyCell);
+  Row.AggregateMs = AggregateSec * 1e3;
+  Row.RegionsPerSec = Regions / TotalSec;
+  Row.TotalSec = TotalSec;
+  Rt.finish();
+  return Row;
+}
+
 } // namespace
 
-int main() {
+#ifndef WBT_SOURCE_ROOT
+#define WBT_SOURCE_ROOT "."
+#endif
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  for (int I = 1; I != argc; ++I)
+    Json |= std::strcmp(argv[I], "--json") == 0;
   std::printf("=== Fig. 10: optimization effects (o = one-shot+FIFO, "
               "+i = incremental, +s = +Alg.1 scheduler) ===\n");
   std::printf("%-10s | %9s %12s | %9s %12s | %9s %12s\n", "workload",
@@ -174,6 +271,46 @@ int main() {
                 Prune ? "on" : "off", Rep.Stages[0].Pruned,
                 Rep.Stages[0].SamplesRun, Rep.TotalSamples);
   }
-  std::printf("(paper Sec. II-D: 200 samples, 78 pruned, 122 survive)\n");
+  std::printf("(paper Sec. II-D: 200 samples, 78 pruned, 122 survive)\n\n");
+
+  //===------------------------------------------------------------------===//
+  // Fork-runtime aggregation-store ablation: Files vs Shm vs Shm+fold.
+  //===------------------------------------------------------------------===//
+  std::printf("=== Fork-runtime store ablation (6 regions x 32 samples, "
+              "2KiB payloads) ===\n");
+  std::printf("%-10s | %11s | %12s | %11s\n", "config", "commit", "aggregate",
+              "regions/s");
+  StoreAblationRow Rows[] = {
+      runStoreConfig("files", proc::StoreBackend::Files, /*Fold=*/false),
+      runStoreConfig("shm", proc::StoreBackend::Shm, /*Fold=*/false),
+      runStoreConfig("shm+fold", proc::StoreBackend::Shm, /*Fold=*/true),
+  };
+  for (const StoreAblationRow &R : Rows)
+    std::printf("%-10s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
+                R.AggregateMs, R.RegionsPerSec);
+  std::printf("(shm should beat files on commit latency; folding should "
+              "collapse the barrier-time aggregation)\n");
+
+  if (Json) {
+    const char *Path = WBT_SOURCE_ROOT "/BENCH_optimizations.json";
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path);
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"store_ablation\": [\n");
+    size_t NumRows = sizeof(Rows) / sizeof(Rows[0]);
+    for (size_t I = 0; I != NumRows; ++I)
+      std::fprintf(F,
+                   "    {\"config\": \"%s\", \"commit_us\": %.3f, "
+                   "\"aggregate_ms\": %.3f, \"regions_per_sec\": %.2f, "
+                   "\"total_sec\": %.4f}%s\n",
+                   Rows[I].Name, Rows[I].CommitUs, Rows[I].AggregateMs,
+                   Rows[I].RegionsPerSec, Rows[I].TotalSec,
+                   I + 1 == NumRows ? "" : ",");
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("wrote %s\n", Path);
+  }
   return 0;
 }

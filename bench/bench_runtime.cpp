@@ -6,19 +6,29 @@
 //
 // google-benchmark timings of the tuner machinery itself: scheduler task
 // throughput (Alg. 1 vs FIFO), aggregation strategies, sampling
-// strategies, and a full in-process pipeline per sample. These quantify
+// strategies, a full in-process pipeline per sample, and the fork
+// runtime's aggregation-store backends (Files vs Shm: per-commit latency,
+// tuning-side aggregation, and end-to-end region cost). These quantify
 // the framework overhead that the paper's "reasonable overhead" claim
 // rests on.
+//
+// `--json` additionally writes the results to BENCH_runtime.json at the
+// repo root (the perf-trajectory artifact CI's bench-smoke step checks).
 //
 //===----------------------------------------------------------------------===//
 
 #include "aggregate/Aggregators.h"
 #include "core/Pipeline.h"
+#include "proc/Runtime.h"
+#include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 
 using namespace wbt;
 
@@ -113,6 +123,163 @@ void BM_DedupVectors(benchmark::State &State) {
 }
 BENCHMARK(BM_DedupVectors);
 
+//===----------------------------------------------------------------------===//
+// Fork-runtime aggregation store: Files vs Shm.
+//===----------------------------------------------------------------------===//
+
+constexpr int CommitBatch = 256;
+
+/// Per-commit latency of the file backend: write(2) + rename(2) per
+/// commit, the paper's Sec. III-B1 mechanism. Arg = payload bytes.
+void BM_CommitFiles(benchmark::State &State) {
+  size_t Payload = static_cast<size_t>(State.range(0));
+  std::vector<uint8_t> Bytes(Payload, 0x5a);
+  char Template[] = "/tmp/wbtuner-bench.XXXXXX";
+  std::string Dir = mkdtemp(Template);
+  for (auto _ : State)
+    for (int I = 0; I != CommitBatch; ++I)
+      writeFileBytes(Dir + "/x." + std::to_string(I), Bytes);
+  State.SetItemsProcessed(State.iterations() * CommitBatch);
+  for (int I = 0; I != CommitBatch; ++I)
+    std::remove((Dir + "/x." + std::to_string(I)).c_str());
+  rmdir(Dir.c_str());
+}
+BENCHMARK(BM_CommitFiles)->Arg(64)->Arg(4096);
+
+/// Per-commit latency of the shared-memory slab: payload memcpy + one
+/// release-store, no syscalls. Arg = payload bytes.
+void BM_CommitShm(benchmark::State &State) {
+  size_t Payload = static_cast<size_t>(State.range(0));
+  std::vector<uint8_t> Bytes(Payload, 0x5a);
+  proc::SlabConfig Slab;
+  Slab.Records = CommitBatch;
+  Slab.ArenaBytes = (Payload + 64) * CommitBatch;
+  for (auto _ : State) {
+    State.PauseTiming(); // fresh slab per batch (bump allocators)
+    proc::SharedControl Ctl;
+    Ctl.init(/*MaxPool=*/2, /*VoteSlots=*/16, /*UseScheduler=*/true, Slab);
+    State.ResumeTiming();
+    for (int I = 0; I != CommitBatch; ++I)
+      benchmark::DoNotOptimize(
+          Ctl.slabCommit(0, 1, "x", I, Bytes.data(), Bytes.size()));
+  }
+  State.SetItemsProcessed(State.iterations() * CommitBatch);
+}
+BENCHMARK(BM_CommitShm)->Arg(64)->Arg(4096);
+
+/// Tuning-side one-shot aggregation cost over N pre-committed 8-byte
+/// results: the open/read/close-per-sample storm vs one slab scan.
+void BM_AggregateFiles(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  char Template[] = "/tmp/wbtuner-bench.XXXXXX";
+  std::string Dir = mkdtemp(Template);
+  for (int I = 0; I != N; ++I)
+    writeFileBytes(Dir + "/x." + std::to_string(I),
+                   proc::encodeDouble(static_cast<double>(I)));
+  std::vector<uint8_t> Bytes;
+  for (auto _ : State) {
+    ScalarAccumulator Acc;
+    for (int I = 0; I != N; ++I)
+      if (readFileBytes(Dir + "/x." + std::to_string(I), Bytes))
+        Acc.add(proc::decodeDouble(Bytes));
+    benchmark::DoNotOptimize(Acc.mean());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  for (int I = 0; I != N; ++I)
+    std::remove((Dir + "/x." + std::to_string(I)).c_str());
+  rmdir(Dir.c_str());
+}
+BENCHMARK(BM_AggregateFiles)->Arg(32)->Arg(256);
+
+void BM_AggregateShm(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  proc::SlabConfig Slab;
+  Slab.Records = static_cast<size_t>(N);
+  Slab.ArenaBytes = static_cast<size_t>(N) * 64;
+  proc::SharedControl Ctl;
+  Ctl.init(/*MaxPool=*/2, /*VoteSlots=*/16, /*UseScheduler=*/true, Slab);
+  for (int I = 0; I != N; ++I) {
+    std::vector<uint8_t> B = proc::encodeDouble(static_cast<double>(I));
+    Ctl.slabCommit(0, 1, "x", I, B.data(), B.size());
+  }
+  for (auto _ : State) {
+    ScalarAccumulator Acc;
+    proc::SlabEntryView E;
+    for (size_t I = 0, End = Ctl.slabAllocated(); I != End; ++I)
+      if (Ctl.slabEntry(I, E)) {
+        ByteReader R(E.Data, E.Size);
+        Acc.add(R.read<double>());
+      }
+    benchmark::DoNotOptimize(Acc.mean());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_AggregateShm)->Arg(32)->Arg(256);
+
+/// End-to-end fork-runtime region (fork N children, each commits one
+/// double; tuning side folds + aggregates). Arg0: 0 = Files, 1 = Shm.
+/// Fixed iteration count keeps the bump-allocated slab within capacity.
+void BM_RegionAggregate(benchmark::State &State) {
+  proc::StoreBackend B = State.range(0) ? proc::StoreBackend::Shm
+                                        : proc::StoreBackend::Files;
+  const int N = 32;
+  proc::Runtime &Rt = proc::Runtime::get();
+  proc::RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 42;
+  Opts.Backend = B;
+  Opts.ShmSlabRecords = 1u << 12;
+  Rt.init(Opts);
+  for (auto _ : State) {
+    Rt.sampling(N);
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("x2", proc::encodeDouble(X * X), nullptr);
+    ScalarAccumulator &Acc = Rt.foldScalar("x2");
+    Rt.aggregate("x2", proc::encodeDouble(0),
+                 [&](proc::AggregationView &) {});
+    benchmark::DoNotOptimize(Acc.mean());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+  Rt.finish();
+}
+BENCHMARK(BM_RegionAggregate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(40)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+#ifndef WBT_SOURCE_ROOT
+#define WBT_SOURCE_ROOT "."
+#endif
+
+/// BENCHMARK_MAIN plus a `--json` convenience flag that routes the
+/// results to <repo>/BENCH_runtime.json (benchmark's own JSON format).
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  bool Json = false;
+  for (auto It = Args.begin(); It != Args.end();) {
+    if (std::strcmp(*It, "--json") == 0) {
+      Json = true;
+      It = Args.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  std::string OutArg =
+      std::string("--benchmark_out=") + WBT_SOURCE_ROOT + "/BENCH_runtime.json";
+  std::string FmtArg = "--benchmark_out_format=json";
+  if (Json) {
+    Args.push_back(OutArg.data());
+    Args.push_back(FmtArg.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 //
 // Drives the faithful fork-based runtime (proc/Runtime.h): real sampling
-// processes created with fork(2), a file-backed aggregation store, the
-// shared-memory Alg. 1 pool, @check pruning, @split tuning processes and
-// cross-process majority voting. This is the paper's Fig. 4 programming
-// model verbatim — primitives inserted into straight-line code.
+// processes created with fork(2), the shared-memory aggregation store
+// with incremental tuning-side folding, the shared-memory Alg. 1 pool,
+// @check pruning, @split tuning processes and cross-process majority
+// voting. This is the paper's Fig. 4 programming model verbatim —
+// primitives inserted into straight-line code.
 //
 // Build and run:  ./examples/fork_runtime
 //
@@ -46,12 +47,22 @@ int main() {
     Rt.aggregate("intermediate", encodeDouble(Intermediate), nullptr);
   }
 
+  // Incremental folding: with the default Shm store backend the tuning
+  // process folds each child's commit into this accumulator during its
+  // supervision sweeps, so the statistics are ready at the barrier
+  // without re-reading every sample.
+  ScalarAccumulator &Fold = Rt.foldScalar("intermediate");
+
   double MySigma = 0, MyIntermediate = 0;
   bool IsSplitChild = false;
   Rt.aggregate("intermediate", encodeDouble(0), [&](AggregationView &V) {
     std::vector<int> Committed = V.committed("intermediate");
     std::printf("tuning process: %zu of %d samples survived @check\n",
                 Committed.size(), V.spawned());
+    std::printf("tuning process: folded mean over %zu commits = %.3f "
+                "(%llu via the shm slab)\n",
+                Fold.count(), Fold.mean(),
+                static_cast<unsigned long long>(Rt.shmCommits()));
     int Kept = 0;
     for (int I : Committed) {
       double Val = V.loadDouble("intermediate", I);

@@ -103,6 +103,14 @@ void ScalarAccumulator::add(double X) {
   Sum += X;
 }
 
+void ScalarAccumulator::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  N = 0;
+  Min = std::numeric_limits<double>::infinity();
+  Max = -std::numeric_limits<double>::infinity();
+  Sum = 0.0;
+}
+
 void VoteAccumulator::add(const std::vector<uint8_t> &Mask) {
   std::lock_guard<std::mutex> Lock(Mutex);
   if (Counts.empty())
@@ -112,6 +120,12 @@ void VoteAccumulator::add(const std::vector<uint8_t> &Mask) {
     if (Mask[I])
       ++Counts[I];
   ++N;
+}
+
+void VoteAccumulator::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  N = 0;
+  Counts.clear();
 }
 
 std::vector<uint8_t> VoteAccumulator::result(double Threshold) const {
@@ -131,6 +145,12 @@ void MeanVectorAccumulator::add(const std::vector<double> &Xs) {
   for (size_t I = 0, E = Xs.size(); I != E; ++I)
     Sums[I] += Xs[I];
   ++N;
+}
+
+void MeanVectorAccumulator::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  N = 0;
+  Sums.clear();
 }
 
 std::vector<double> MeanVectorAccumulator::result() const {

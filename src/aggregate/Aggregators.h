@@ -68,6 +68,8 @@ std::vector<size_t> dedupVectors(const std::vector<std::vector<double>> &Items,
 class ScalarAccumulator {
 public:
   void add(double X);
+  /// Back to the empty state (accumulator reuse across regions).
+  void reset();
   size_t count() const { return N; }
   double min() const { return N ? Min : std::numeric_limits<double>::infinity(); }
   double max() const {
@@ -118,6 +120,8 @@ class VoteAccumulator {
 public:
   /// Fixes the mask size on the first add(); later masks must match.
   void add(const std::vector<uint8_t> &Mask);
+  /// Back to the empty state; the next add() fixes a new mask size.
+  void reset();
   size_t runs() const { return N; }
 
   /// Mask of elements set in more than \p Threshold of the runs.
@@ -133,6 +137,8 @@ private:
 class MeanVectorAccumulator {
 public:
   void add(const std::vector<double> &Xs);
+  /// Back to the empty state; the next add() fixes a new vector size.
+  void reset();
   size_t runs() const { return N; }
   std::vector<double> result() const;
 

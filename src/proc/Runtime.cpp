@@ -124,6 +124,79 @@ static SampleStatus statusOf(const ChildSlot &S) {
 }
 
 //===----------------------------------------------------------------------===//
+// Region readers (aggregation-store backends)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// StoreBackend::Files: one file per (variable, child) under the cached
+/// region directory.
+class FileRegionReader : public RegionReader {
+public:
+  explicit FileRegionReader(std::string Dir) : Dir(std::move(Dir)) {}
+
+  bool has(const std::string &Var, int I) const override {
+    return access(sampleFilePath(Dir, Var, I).c_str(), R_OK) == 0;
+  }
+  bool load(const std::string &Var, int I,
+            std::vector<uint8_t> &Out) const override {
+    return readFileBytes(sampleFilePath(Dir, Var, I), Out);
+  }
+
+private:
+  std::string Dir;
+};
+
+/// StoreBackend::Shm: index of the region's published slab records,
+/// built with one scan when the region barrier resolves. Payload
+/// pointers reference the shared mapping (valid for the Runtime's
+/// lifetime). Misses fall through to the file reader, which covers the
+/// oversized-payload and slab-overflow fallbacks.
+class ShmRegionReader : public RegionReader {
+public:
+  ShmRegionReader(const SharedControl &Ctl, uint64_t Tp, uint64_t Region,
+                  size_t SlabStart, int NumSlots, std::string Dir)
+      : Files(std::move(Dir)) {
+    SlabEntryView E;
+    for (size_t Idx = SlabStart, End = Ctl.slabAllocated(); Idx != End; ++Idx) {
+      if (!Ctl.slabEntry(Idx, E))
+        continue;
+      if (E.Tp != Tp || E.Region != Region || E.Child < 0 ||
+          E.Child >= NumSlots)
+        continue;
+      // Map overwrite = last commit wins, matching the file backend.
+      Entries[std::string(E.Name)][E.Child] = {E.Data, E.Size};
+    }
+  }
+
+  bool has(const std::string &Var, int I) const override {
+    auto It = Entries.find(Var);
+    if (It != Entries.end() && It->second.count(I))
+      return true;
+    return Files.has(Var, I);
+  }
+  bool load(const std::string &Var, int I,
+            std::vector<uint8_t> &Out) const override {
+    auto It = Entries.find(Var);
+    if (It != Entries.end()) {
+      auto Jt = It->second.find(I);
+      if (Jt != It->second.end()) {
+        Out.assign(Jt->second.first, Jt->second.first + Jt->second.second);
+        return true;
+      }
+    }
+    return Files.load(Var, I, Out);
+  }
+
+private:
+  std::map<std::string, std::map<int, std::pair<const uint8_t *, uint32_t>>>
+      Entries;
+  FileRegionReader Files;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
 // AggregationView
 //===----------------------------------------------------------------------===//
 
@@ -135,16 +208,20 @@ int AggregationView::countStatus(SampleStatus S) const {
 }
 
 std::vector<int> AggregationView::committed(const std::string &Var) const {
+  // The status table answers "did child I commit?" without touching the
+  // store backend; the presence check then only runs for Committed
+  // children (distinguishing the aggregate() variable from commitExtra()
+  // variables a given child may not have written).
   std::vector<int> Out;
   for (int I = 0, E = spawned(); I != E; ++I)
-    if (access(sampleFilePath(RegionDir, Var, I).c_str(), R_OK) == 0)
+    if (Records[I].Status == SampleStatus::Committed && Store->has(Var, I))
       Out.push_back(I);
   return Out;
 }
 
 bool AggregationView::loadBytes(const std::string &Var, int I,
                                 std::vector<uint8_t> &Out) const {
-  return readFileBytes(sampleFilePath(RegionDir, Var, I), Out);
+  return Store->load(Var, I, Out);
 }
 
 double AggregationView::loadDouble(const std::string &Var, int I,
@@ -194,7 +271,15 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   makeDir(Opts.RunDir + "/exposed");
 
   Ctl = std::make_unique<SharedControl>();
-  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler);
+  SlabConfig Slab;
+  if (Opts.Backend == StoreBackend::Shm) {
+    Slab.Records = Opts.ShmSlabRecords;
+    Slab.ArenaBytes = Opts.ShmSlabBytes;
+  } else {
+    Slab.Records = 0; // Files backend: no slab at all
+    Slab.ArenaBytes = 0;
+  }
+  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler, Slab);
 
   Inited = true;
   IsRoot = true;
@@ -203,6 +288,19 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   TpDir = Opts.RunDir + "/tp0";
   makeDir(TpDir);
   TheRng = Rng(mixSeed(Opts.Seed, 0));
+  // Reset per-run state so a root that called finish() can init() again
+  // in the same process (backend equivalence tests, benchmarks).
+  RegionCounter = 0;
+  RegionActive = false;
+  SplitChildren.clear();
+  Reaped.clear();
+  NumSpares = 0;
+  RegionDirPath.clear();
+  RegionSlabStart = 0;
+  FoldScalars.clear();
+  FoldVotes.clear();
+  FoldMeanVecs.clear();
+  FoldedPairs.clear();
   // The root tuning process occupies a pool slot like any other process.
   Ctl->acquireSlot(/*IsTuning=*/true);
 }
@@ -366,6 +464,10 @@ int Runtime::sweepChildren() {
     Live += Counted && !Reaped[I] &&
             Slots[I].Pid.load(std::memory_order_relaxed) > 0;
   }
+  // Fold freshly published slab commits while we are here anyway — this
+  // is what makes aggregate() O(1) per sample: by the time the last
+  // child exits, nearly everything has already been folded.
+  foldSlabCommits();
   return Live;
 }
 
@@ -447,6 +549,122 @@ void Runtime::destroyRegionTable() {
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental folding (tuning side)
+//===----------------------------------------------------------------------===//
+
+ScalarAccumulator &Runtime::foldScalar(const std::string &Var) {
+  return FoldScalars[Var];
+}
+VoteAccumulator &Runtime::foldVote(const std::string &Var) {
+  return FoldVotes[Var];
+}
+MeanVectorAccumulator &Runtime::foldMeanVector(const std::string &Var) {
+  return FoldMeanVecs[Var];
+}
+
+/// Folds one committed payload into every accumulator registered for
+/// \p Var, at most once per (Var, Child). Payloads that fail to decode
+/// are skipped (the pair is still marked, matching one-shot aggregation
+/// over loadDouble()/loadMask()/loadDoubles() defaults).
+void Runtime::foldEntryBytes(const std::string &Var, int Child,
+                             const uint8_t *Data, size_t Size) {
+  std::pair<std::string, int> Key(Var, Child);
+  if (FoldedPairs.count(Key))
+    return;
+  bool Registered = false;
+  auto Si = FoldScalars.find(Var);
+  if (Si != FoldScalars.end()) {
+    ByteReader R(Data, Size);
+    double X = R.read<double>();
+    if (R.ok())
+      Si->second.add(X);
+    Registered = true;
+  }
+  auto Vi = FoldVotes.find(Var);
+  if (Vi != FoldVotes.end()) {
+    ByteReader R(Data, Size);
+    std::vector<uint8_t> Mask = R.readVector<uint8_t>();
+    if (R.ok() && !Mask.empty())
+      Vi->second.add(Mask);
+    Registered = true;
+  }
+  auto Mi = FoldMeanVecs.find(Var);
+  if (Mi != FoldMeanVecs.end()) {
+    ByteReader R(Data, Size);
+    std::vector<double> Xs = R.readVector<double>();
+    if (R.ok() && !Xs.empty())
+      Mi->second.add(Xs);
+    Registered = true;
+  }
+  if (Registered)
+    FoldedPairs.insert(std::move(Key));
+}
+
+/// One pass over the region's slab window, folding every published
+/// commit of a child that has reached Committed. Children still Running
+/// are revisited on the next sweep (their commitExtra() records become
+/// foldable only once the final status says the run succeeded); crashed
+/// or pruned children are never folded, mirroring committed().
+void Runtime::foldSlabCommits() {
+  if (!Table ||
+      (FoldScalars.empty() && FoldVotes.empty() && FoldMeanVecs.empty()))
+    return;
+  ChildSlot *Slots = slotsOf(Table);
+  SlabEntryView E;
+  for (size_t Idx = RegionSlabStart, End = Ctl->slabAllocated(); Idx != End;
+       ++Idx) {
+    if (!Ctl->slabEntry(Idx, E))
+      continue; // unpublished (in flight, or its writer died mid-commit)
+    if (E.Tp != TpId || E.Region != RegionCounter)
+      continue;
+    if (E.Child < 0 || E.Child >= Table->NumSlots)
+      continue;
+    if (statusOf(Slots[E.Child]) != SampleStatus::Committed)
+      continue;
+    foldEntryBytes(std::string(E.Name), E.Child, E.Data, E.Size);
+  }
+}
+
+/// Folds every registered (Var, Committed child) pair the slab sweeps
+/// did not cover: file-fallback commits under Shm, and the entire
+/// region under the Files backend.
+void Runtime::foldRemaining(
+    const RegionReader &Store,
+    const std::vector<AggregationView::SampleRecord> &Records) {
+  if (FoldScalars.empty() && FoldVotes.empty() && FoldMeanVecs.empty())
+    return;
+  std::vector<std::string> Vars;
+  for (const auto &KV : FoldScalars)
+    Vars.push_back(KV.first);
+  for (const auto &KV : FoldVotes)
+    Vars.push_back(KV.first);
+  for (const auto &KV : FoldMeanVecs)
+    Vars.push_back(KV.first);
+  std::vector<uint8_t> Bytes;
+  for (const std::string &Var : Vars) {
+    for (size_t I = 0, E = Records.size(); I != E; ++I) {
+      int Child = static_cast<int>(I);
+      if (Records[I].Status != SampleStatus::Committed)
+        continue;
+      if (FoldedPairs.count({Var, Child}))
+        continue;
+      if (!Store.load(Var, Child, Bytes))
+        continue;
+      foldEntryBytes(Var, Child, Bytes.data(), Bytes.size());
+    }
+  }
+}
+
+std::shared_ptr<const RegionReader> Runtime::makeRegionReader() const {
+  if (Opts.Backend == StoreBackend::Shm)
+    return std::make_shared<ShmRegionReader>(*Ctl, TpId, RegionCounter,
+                                             RegionSlabStart,
+                                             Table ? Table->NumSlots : 0,
+                                             RegionDirPath);
+  return std::make_shared<FileRegionReader>(RegionDirPath);
+}
+
+//===----------------------------------------------------------------------===//
 // Primitives
 //===----------------------------------------------------------------------===//
 
@@ -460,8 +678,19 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   assert(!RegionActive && "nested @sampling regions are not supported");
 
   ++RegionCounter;
-  std::string Dir = regionDir(RegionCounter);
-  makeDir(Dir);
+  // Cache the region directory once; every file commit/load reuses it
+  // instead of rebuilding the path strings.
+  RegionDirPath = regionDir(RegionCounter);
+  makeDir(RegionDirPath);
+  // Fresh fold state; references returned by foldScalar() & friends for
+  // the previous region die here.
+  FoldScalars.clear();
+  FoldVotes.clear();
+  FoldMeanVecs.clear();
+  FoldedPairs.clear();
+  // Slab entries allocated before this point cannot belong to this
+  // region; sweeps scan [RegionSlabStart, slabAllocated()).
+  RegionSlabStart = Ctl->slabAllocated();
 
   RegionN = N;
   RegionKind = Ro.Kind;
@@ -606,14 +835,34 @@ void Runtime::sync(const std::function<void()> &BarrierCb) {
   Ctl->barrierRelease(BarrierSlot);
 }
 
+/// Routes one commit (sampling side) per the configured backend: slab
+/// first under Shm, file store for the Files backend and for payloads
+/// the slab will not take (oversized, directory/arena overflow,
+/// over-long name). Either way the commit is torn-proof: the slab
+/// publishes with a release-store after the payload, the file path
+/// writes to a temp file and renames.
+void Runtime::commitBytes(const std::string &Var,
+                          const std::vector<uint8_t> &Bytes) {
+  if (Opts.Backend == StoreBackend::Shm) {
+    if (Bytes.size() <= Opts.ShmRecordThreshold) {
+      if (Ctl->slabCommit(TpId, RegionCounter, Var, ChildIndex, Bytes.data(),
+                          Bytes.size(),
+                          ChildIndex == Opts.DebugKillMidCommitAt))
+        return;
+    } else {
+      Ctl->noteSlabFallback();
+    }
+  }
+  writeFileBytes(sampleFilePath(RegionDirPath, Var, ChildIndex), Bytes);
+}
+
 void Runtime::commitExtra(const std::string &Var,
                           const std::vector<uint8_t> &Bytes) {
   assert(Inited && "commitExtra() before init()");
   if (!isSampling())
     return;
   assert(RegionActive && "commit outside a sampling region");
-  writeFileBytes(sampleFilePath(regionDir(RegionCounter), Var, ChildIndex),
-                 Bytes);
+  commitBytes(Var, Bytes);
 }
 
 void Runtime::aggregate(const std::string &Var,
@@ -622,20 +871,24 @@ void Runtime::aggregate(const std::string &Var,
   assert(Inited && RegionActive && "aggregate() outside a sampling region");
   if (isSampling()) {
     // Rule [AGGR-S]: commit this run's outcome and terminate. The commit
-    // is atomic (temp file + rename), so dying mid-write can never leave
-    // a torn file that committed() would count.
-    writeFileBytes(sampleFilePath(regionDir(RegionCounter), Var, ChildIndex),
-                   Bytes);
+    // is atomic under either backend (slab publish word / temp file +
+    // rename), so dying mid-write can never leave a torn record that
+    // committed() would count. The payload lands before the Committed
+    // status store, so the tuning-side folding sweep never sees a
+    // Committed child whose aggregate() variable is missing.
+    commitBytes(Var, Bytes);
     slotsOf(Table)[ChildIndex].Status.store(
         static_cast<int32_t>(SampleStatus::Committed),
-        std::memory_order_relaxed);
+        std::memory_order_release);
     exitChild();
   }
   // Rule [AGGR-T]: supervise the children until all have terminated —
   // bounded waits punctuated by WNOHANG reaps, the region deadline, and
   // retry-spare activation — then aggregate. A child that exits without
-  // committing (pruned by @check, or crashed) simply has no file in the
-  // store.
+  // committing (pruned by @check, or crashed) simply has no record in
+  // the store. Registered fold accumulators were filled incrementally
+  // during the sweeps; foldRemaining() below tops them up with whatever
+  // went through the file path.
   for (;;) {
     int Live = sweepChildren();
     if (Live == 0)
@@ -655,9 +908,15 @@ void Runtime::aggregate(const std::string &Var,
     Records[I].Status = statusOf(Slots[I]);
     Records[I].Signal = Slots[I].Signal.load(std::memory_order_relaxed);
   }
+  // Final folding pass with every child reaped (waitpid(2) ordered all
+  // their stores before ours): first the slab, then the file-path
+  // stragglers through the reader.
+  foldSlabCommits();
+  std::shared_ptr<const RegionReader> Reader = makeRegionReader();
+  foldRemaining(*Reader, Records);
   destroyRegionTable();
   Ctl->releaseBarrierSlot(BarrierSlot);
-  AggregationView View(regionDir(RegionCounter), std::move(Records));
+  AggregationView View(std::move(Reader), std::move(Records));
   RegionActive = false;
   if (Cb)
     Cb(View);
@@ -706,6 +965,12 @@ bool Runtime::split() {
   }
   Reaped.clear();
   NumSpares = 0;
+  RegionDirPath.clear();
+  RegionSlabStart = 0;
+  FoldScalars.clear();
+  FoldVotes.clear();
+  FoldMeanVecs.clear();
+  FoldedPairs.clear();
   TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
   return true;
 }
@@ -728,6 +993,8 @@ unsigned Runtime::maxPool() const { return Ctl->maxPool(); }
 uint64_t Runtime::crashedSamples() const { return Ctl->crashedTotal(); }
 uint64_t Runtime::timedOutSamples() const { return Ctl->timedOutTotal(); }
 uint64_t Runtime::forkFailures() const { return Ctl->forkFailedTotal(); }
+uint64_t Runtime::shmCommits() const { return Ctl->slabPublishedTotal(); }
+uint64_t Runtime::storeFallbacks() const { return Ctl->slabFallbackTotal(); }
 
 void Runtime::sharedScalarAdd(int Cell, double X) { Ctl->scalarAdd(Cell, X); }
 void Runtime::sharedScalarReset(int Cell) { Ctl->scalarReset(Cell); }

@@ -42,30 +42,44 @@
 /// sample can therefore never wedge a run — see DESIGN.md, "Failure
 /// semantics".
 ///
-/// The aggregation store is file-backed exactly as in paper Sec. III-B1:
-/// each sampling process commits its result variables into per-index files
-/// inside a directory owned by its tuning process; commits are atomic
-/// (write-to-temp + rename), so a child killed mid-commit leaves no
-/// torn file behind. The process pool and the 75% tuning-spawn gate
-/// (Alg. 1) live in shared memory (proc/SharedControl.h). Limitations vs.
-/// the in-process engine (core/Pipeline.h): feedback-driven strategies
-/// (MCMC) are not available across processes, and the caller must be
-/// single-threaded when invoking sampling()/split() (standard fork
-/// discipline).
+/// The aggregation store has two backends (RuntimeOptions::Backend).
+/// StoreBackend::Files is the paper's Sec. III-B1 design: each sampling
+/// process commits its result variables into per-index files inside a
+/// directory owned by its tuning process; commits are atomic
+/// (write-to-temp + rename), so a child killed mid-commit leaves no torn
+/// file behind. StoreBackend::Shm (the default) commits through a
+/// MAP_SHARED slab in the control block instead: payload first, then a
+/// release-store publication word, giving the same torn-commit defense
+/// without the write+rename syscall pair; oversized payloads and slab
+/// overflow transparently fall back to the file path. On top of either
+/// backend, foldScalar()/foldVote()/foldMeanVector() register tuning-side
+/// incremental aggregation (paper Sec. IV-B): under Shm, commits are
+/// folded into the accumulators as the supervisor observes them during
+/// its WNOHANG sweeps, so aggregate() is O(1) per sample instead of an
+/// O(N * vars) file-read storm at the barrier. The process pool and the
+/// 75% tuning-spawn gate (Alg. 1) live in shared memory
+/// (proc/SharedControl.h). Limitations vs. the in-process engine
+/// (core/Pipeline.h): feedback-driven strategies (MCMC) are not
+/// available across processes, and the caller must be single-threaded
+/// when invoking sampling()/split() (standard fork discipline).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WBT_PROC_RUNTIME_H
 #define WBT_PROC_RUNTIME_H
 
+#include "aggregate/Aggregators.h"
 #include "param/Distribution.h"
 #include "support/ByteBuffer.h"
 
 #include <sys/types.h>
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wbt {
@@ -101,6 +115,17 @@ enum class SampleStatus : int32_t {
   Unused,
 };
 
+/// Backend of the per-region aggregation store.
+enum class StoreBackend {
+  /// Paper Sec. III-B1: one file per (variable, child), atomic via
+  /// temp-file + rename(2).
+  Files,
+  /// Shared-memory commit slab in the control block; release-store
+  /// publication replaces rename as the torn-commit defense. Oversized
+  /// payloads and slab overflow fall back to Files transparently.
+  Shm,
+};
+
 struct RuntimeOptions {
   /// Root directory for the run's stores; empty = fresh mkdtemp(3) dir.
   std::string RunDir;
@@ -125,6 +150,20 @@ struct RuntimeOptions {
   /// Testing hook: make the fork of main-sample \p DebugFailForkAt fail
   /// as if fork(2) returned -1. Negative = disabled.
   int DebugFailForkAt = -1;
+  /// Where commits land; see StoreBackend.
+  StoreBackend Backend = StoreBackend::Shm;
+  /// Commit-slab directory entries (Shm backend). Every commit consumes
+  /// one; overflow falls back to files.
+  size_t ShmSlabRecords = 4096;
+  /// Commit-slab payload arena bytes (Shm backend).
+  size_t ShmSlabBytes = 1u << 20;
+  /// Payloads larger than this bypass the slab and go to a file even
+  /// under the Shm backend (keeps the arena for small hot commits).
+  size_t ShmRecordThreshold = 16u << 10;
+  /// Testing hook: child \p DebugKillMidCommitAt SIGKILLs itself after
+  /// writing its slab payload but before publishing it (torn-commit
+  /// test). Negative = disabled.
+  int DebugKillMidCommitAt = -1;
 };
 
 /// Per-region overrides for sampling().
@@ -134,6 +173,20 @@ struct RegionOptions {
   double TimeoutSec = -1.0;
   /// Retry spares for this region; < 0 inherits RuntimeOptions::MaxRetries.
   int MaxRetries = -1;
+};
+
+/// Backend-neutral read access to one region's committed results. The
+/// Runtime builds the concrete reader (file directory scan or slab scan)
+/// when the region's aggregate() barrier resolves.
+class RegionReader {
+public:
+  virtual ~RegionReader() = default;
+  /// Whether child \p I committed \p Var.
+  virtual bool has(const std::string &Var, int I) const = 0;
+  /// Reads child \p I's committed bytes of \p Var. \returns false if
+  /// absent.
+  virtual bool load(const std::string &Var, int I,
+                    std::vector<uint8_t> &Out) const = 0;
 };
 
 /// Read access to one region's committed sample results (the aggregation
@@ -147,8 +200,9 @@ public:
     int Signal = 0;
   };
 
-  AggregationView(std::string RegionDir, std::vector<SampleRecord> Records)
-      : RegionDir(std::move(RegionDir)), Records(std::move(Records)) {}
+  AggregationView(std::shared_ptr<const RegionReader> Store,
+                  std::vector<SampleRecord> Records)
+      : Store(std::move(Store)), Records(std::move(Records)) {}
 
   /// Number of sample slots in the region: the requested samples plus any
   /// retry spares (activated or not).
@@ -161,8 +215,13 @@ public:
   /// Number of children whose terminal status is \p S.
   int countStatus(SampleStatus S) const;
 
-  /// Indices of children that committed variable \p Var (ascending).
-  /// Children pruned by @check or crashed do not appear.
+  /// Indices of children that committed variable \p Var (ascending),
+  /// read from the supervisor's per-child status table plus a store
+  /// presence check — no per-sample access(2) scan. Children pruned by
+  /// @check or crashed do not appear; in particular a crashed child's
+  /// partial commitExtra() results are not surfaced here (the paper's
+  /// "a crashed sample has no file in the store"), though loadBytes()
+  /// still reads them raw.
   std::vector<int> committed(const std::string &Var) const;
 
   /// @loadS(x, i): raw committed bytes of \p Var from child \p I.
@@ -175,7 +234,7 @@ public:
   std::vector<uint8_t> loadMask(const std::string &Var, int I) const;
 
 private:
-  std::string RegionDir;
+  std::shared_ptr<const RegionReader> Store;
   std::vector<SampleRecord> Records;
 };
 
@@ -300,6 +359,31 @@ public:
   std::vector<uint8_t> sharedVoteResult(double Threshold = 0.5) const;
   void sharedVoteReset();
 
+  //===--------------------------------------------------------------------===
+  // Tuning-side incremental folding (paper Sec. IV-B over the store)
+  //===--------------------------------------------------------------------===
+
+  /// Registers variable \p Var for incremental aggregation and returns
+  /// its accumulator. Call in the tuning process between sampling() and
+  /// aggregate(); under the Shm backend each commit of \p Var is folded
+  /// into the accumulator as the supervisor observes it (O(1) per
+  /// sample), and any file-fallback commits are folded before the
+  /// aggregation callback runs, so the accumulator is complete —
+  /// covering exactly the Committed children — by the time \p Cb sees
+  /// the AggregationView. The reference is valid until the next
+  /// sampling(). foldScalar expects encodeDouble() payloads, foldVote
+  /// encodeVector<uint8_t>() masks, foldMeanVector
+  /// encodeVector<double>().
+  ScalarAccumulator &foldScalar(const std::string &Var);
+  VoteAccumulator &foldVote(const std::string &Var);
+  MeanVectorAccumulator &foldMeanVector(const std::string &Var);
+
+  /// Run-wide store diagnostics: commits published through the slab, and
+  /// commits that fell back to the file path (oversized payload, slab
+  /// overflow, or over-long variable name).
+  uint64_t shmCommits() const;
+  uint64_t storeFallbacks() const;
+
   const std::string &runDir() const { return Opts.RunDir; }
 
 private:
@@ -308,6 +392,20 @@ private:
   enum class ModeKind { Tuning, Sampling };
 
   std::string regionDir(uint64_t Region) const;
+  /// Routes one commit to the slab or the file store per Backend /
+  /// threshold / capacity (sampling side).
+  void commitBytes(const std::string &Var, const std::vector<uint8_t> &Bytes);
+  /// Builds the region's RegionReader once its barrier resolved.
+  std::shared_ptr<const RegionReader> makeRegionReader() const;
+  /// Folds newly published slab commits of the live region into the
+  /// registered accumulators (called from supervisor sweeps).
+  void foldSlabCommits();
+  /// Folds whatever registered (Var, child) pairs the slab sweep missed
+  /// — file-fallback commits and the whole Files backend.
+  void foldRemaining(const RegionReader &Store,
+                     const std::vector<AggregationView::SampleRecord> &Records);
+  void foldEntryBytes(const std::string &Var, int Child, const uint8_t *Data,
+                      size_t Size);
   [[noreturn]] void exitChild();
   /// Spare child: blocks until activated (returns, to run the region body)
   /// or discarded (_exits, never returns).
@@ -347,6 +445,15 @@ private:
   double RegionDeadline = 0;      // CLOCK_MONOTONIC seconds
   std::vector<char> Reaped;       // per-child, tuning side
   std::vector<pid_t> SplitChildren;
+
+  // Aggregation-store state of the current region.
+  std::string RegionDirPath; // cached regionDir(RegionCounter)
+  size_t RegionSlabStart = 0; // slab watermark at sampling(); earlier
+                              // entries cannot belong to this region
+  std::map<std::string, ScalarAccumulator> FoldScalars;
+  std::map<std::string, VoteAccumulator> FoldVotes;
+  std::map<std::string, MeanVectorAccumulator> FoldMeanVecs;
+  std::set<std::pair<std::string, int>> FoldedPairs;
 };
 
 //===----------------------------------------------------------------------===//

@@ -6,6 +6,7 @@
 
 #include "proc/SharedControl.h"
 
+#include <signal.h>
 #include <sys/mman.h>
 #include <time.h>
 
@@ -65,6 +66,23 @@ struct ScalarCell {
   uint64_t Count;
 };
 
+/// One directory entry of the commit slab. Fixed size, so readers can
+/// scan the directory without ever needing an unpublished record's
+/// length. Ready is the publication word: 0 until the payload, name and
+/// every other field are in place.
+struct SlabRecord {
+  std::atomic<uint32_t> Ready;
+  uint32_t Size;
+  uint64_t Tp;
+  uint64_t Region;
+  uint64_t ArenaOff;
+  int32_t Child;
+  uint32_t NameLen;
+  char Name[wbt::proc::SlabVarNameMax];
+};
+
+constexpr uint64_t alignUp8(uint64_t X) { return (X + 7) & ~uint64_t(7); }
+
 } // namespace
 
 namespace wbt {
@@ -103,7 +121,20 @@ struct SharedLayout {
   uint64_t VoteRuns;
   uint64_t VoteSize;     // elements used (fixed by first add)
   uint64_t VoteCapacity; // elements available
-  // uint32_t VoteCounts[VoteCapacity] follows the struct in memory.
+
+  // Commit slab: bump allocators + capacities. The directory and arena
+  // follow the vote counts in the mapping (offsets fixed at init).
+  std::atomic<uint64_t> SlabNext;      // directory entries handed out
+  std::atomic<uint64_t> SlabArenaNext; // arena bytes handed out
+  std::atomic<uint64_t> SlabPublished;
+  std::atomic<uint64_t> SlabFallbacks;
+  uint64_t SlabRecCap;
+  uint64_t SlabArenaCap;
+  uint64_t SlabRecByteOff;   // directory offset from the mapping base
+  uint64_t SlabArenaByteOff; // arena offset from the mapping base
+
+  // uint32_t VoteCounts[VoteCapacity], then SlabRecord[SlabRecCap], then
+  // uint8_t Arena[SlabArenaCap] follow the struct in memory.
 };
 
 } // namespace proc
@@ -113,22 +144,38 @@ static uint32_t *voteCounts(SharedLayout *L) {
   return reinterpret_cast<uint32_t *>(L + 1);
 }
 
+static SlabRecord *slabRecords(SharedLayout *L) {
+  return reinterpret_cast<SlabRecord *>(reinterpret_cast<uint8_t *>(L) +
+                                        L->SlabRecByteOff);
+}
+
+static uint8_t *slabArena(SharedLayout *L) {
+  return reinterpret_cast<uint8_t *>(L) + L->SlabArenaByteOff;
+}
+
 SharedControl::~SharedControl() {
   if (Layout)
     munmap(Layout, MappedBytes);
 }
 
 void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
-                         bool UseScheduler) {
+                         bool UseScheduler, const SlabConfig &Slab) {
   assert(!Layout && "SharedControl initialized twice");
   if (MaxPool == 0)
     MaxPool = std::max(2u, std::thread::hardware_concurrency());
-  MappedBytes = sizeof(SharedLayout) + VoteSlots * sizeof(uint32_t);
+  uint64_t RecByteOff =
+      alignUp8(sizeof(SharedLayout) + VoteSlots * sizeof(uint32_t));
+  uint64_t ArenaByteOff = RecByteOff + Slab.Records * sizeof(SlabRecord);
+  MappedBytes = ArenaByteOff + alignUp8(Slab.ArenaBytes);
   void *Mem = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   assert(Mem != MAP_FAILED && "mmap of shared control block failed");
   std::memset(Mem, 0, MappedBytes);
   Layout = static_cast<SharedLayout *>(Mem);
+  Layout->SlabRecCap = Slab.Records;
+  Layout->SlabArenaCap = Slab.ArenaBytes;
+  Layout->SlabRecByteOff = RecByteOff;
+  Layout->SlabArenaByteOff = ArenaByteOff;
 
   Layout->PoolLock.init();
   Layout->FreeSlots = static_cast<int>(MaxPool);
@@ -427,6 +474,88 @@ uint64_t SharedControl::timedOutTotal() const {
 }
 uint64_t SharedControl::forkFailedTotal() const {
   return Layout->ForkFailedTotal.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Commit slab
+//===----------------------------------------------------------------------===//
+
+bool SharedControl::slabCommit(uint64_t Tp, uint64_t Region,
+                               const std::string &Var, int Child,
+                               const uint8_t *Data, size_t Size,
+                               bool DebugDieBeforePublish) {
+  SharedLayout *L = Layout;
+  if (L->SlabRecCap == 0 || Var.size() > SlabVarNameMax ||
+      Size > std::numeric_limits<uint32_t>::max()) {
+    noteSlabFallback();
+    return false;
+  }
+  // Bump-allocate a directory entry and payload space. Rejected
+  // allocations stay consumed (the counters only grow), which keeps the
+  // fast path a single fetch_add with no retry loop; the lost bytes are
+  // bounded by the one commit that hit the boundary.
+  uint64_t Idx = L->SlabNext.fetch_add(1, std::memory_order_relaxed);
+  if (Idx >= L->SlabRecCap) {
+    noteSlabFallback();
+    return false;
+  }
+  uint64_t Need = alignUp8(Size);
+  uint64_t Off = L->SlabArenaNext.fetch_add(Need, std::memory_order_relaxed);
+  if (Off + Need > L->SlabArenaCap) {
+    noteSlabFallback();
+    return false;
+  }
+  SlabRecord &R = slabRecords(L)[Idx];
+  R.Size = static_cast<uint32_t>(Size);
+  R.Tp = Tp;
+  R.Region = Region;
+  R.ArenaOff = Off;
+  R.Child = Child;
+  R.NameLen = static_cast<uint32_t>(Var.size());
+  std::memcpy(R.Name, Var.data(), Var.size());
+  if (Size)
+    std::memcpy(slabArena(L) + Off, Data, Size);
+  if (DebugDieBeforePublish)
+    raise(SIGKILL); // torn-commit test: die with the record unpublished
+  L->SlabPublished.fetch_add(1, std::memory_order_relaxed);
+  // Publication point: everything above must be visible before Ready.
+  R.Ready.store(1, std::memory_order_release);
+  return true;
+}
+
+size_t SharedControl::slabAllocated() const {
+  uint64_t N = Layout->SlabNext.load(std::memory_order_acquire);
+  return static_cast<size_t>(std::min<uint64_t>(N, Layout->SlabRecCap));
+}
+
+bool SharedControl::slabEntry(size_t Idx, SlabEntryView &Out) const {
+  SharedLayout *L = Layout;
+  if (Idx >= slabAllocated())
+    return false;
+  SlabRecord &R = slabRecords(L)[Idx];
+  // Acquire pairs with the writer's release: a published record's
+  // payload and header are fully visible; an unpublished one is absent.
+  if (R.Ready.load(std::memory_order_acquire) != 1)
+    return false;
+  Out.Tp = R.Tp;
+  Out.Region = R.Region;
+  Out.Child = R.Child;
+  Out.Name = std::string_view(R.Name, R.NameLen);
+  Out.Data = slabArena(L) + R.ArenaOff;
+  Out.Size = R.Size;
+  return true;
+}
+
+uint64_t SharedControl::slabPublishedTotal() const {
+  return Layout->SlabPublished.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::slabFallbackTotal() const {
+  return Layout->SlabFallbacks.load(std::memory_order_relaxed);
+}
+
+void SharedControl::noteSlabFallback() {
+  Layout->SlabFallbacks.fetch_add(1, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

@@ -22,7 +22,17 @@
 ///    supervisor);
 ///  * shared accumulators for incremental aggregation across processes
 ///    (paper Sec. IV-B: shared min/max/avg cells and a vote buffer that
-///    replaces one-shot file aggregation).
+///    replaces one-shot file aggregation);
+///  * the **commit slab**: a lock-free shared-memory aggregation store
+///    that replaces the per-commit write(2)+rename(2) pair of the file
+///    backend. A fixed directory of commit records plus a payload arena,
+///    both bump-allocated with atomic counters; a committing child fills
+///    its record and payload first and only then publishes with a
+///    release-store of the record's Ready word. A child SIGKILLed
+///    mid-commit leaves the slot allocated but unpublished, so readers
+///    can never observe a torn record — the shared-memory equivalent of
+///    the temp-file+rename defense. Capacity or record-size overflow is
+///    reported to the caller, which falls back to the file path.
 ///
 /// Everything is built from process-shared pthread primitives inside one
 /// mmap(MAP_SHARED | MAP_ANONYMOUS) region; no names leak into the
@@ -39,6 +49,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace wbt {
@@ -52,6 +64,29 @@ struct SharedLayout;
 constexpr int NumScalarCells = 16;
 /// Number of barrier slots; allocated through a shared free-list.
 constexpr int NumBarrierSlots = 64;
+/// Longest variable name a slab record can hold inline; longer names
+/// fall back to the file store.
+constexpr size_t SlabVarNameMax = 40;
+
+/// Sizing of the shared commit slab (0 records disables it entirely, as
+/// the Files backend does).
+struct SlabConfig {
+  /// Directory entries (one per commit record).
+  size_t Records = 4096;
+  /// Payload arena bytes shared by all records.
+  size_t ArenaBytes = 1u << 20;
+};
+
+/// One published commit record viewed in place. Name/Data point into the
+/// shared mapping and stay valid for the SharedControl's lifetime.
+struct SlabEntryView {
+  uint64_t Tp = 0;
+  uint64_t Region = 0;
+  int32_t Child = -1;
+  std::string_view Name;
+  const uint8_t *Data = nullptr;
+  uint32_t Size = 0;
+};
 
 /// A pthread mutex + condvar pair configured for cross-process use.
 /// Lives inside shared mappings only (POD; init() before first use).
@@ -73,8 +108,10 @@ public:
 
   /// Maps and initializes the region. \p MaxPool is MAX_POOL_SIZE;
   /// \p VoteSlots sizes the shared majority-vote buffer;
-  /// \p UseScheduler false disables pool gating (Fig. 10 ablation).
-  void init(unsigned MaxPool, size_t VoteSlots, bool UseScheduler);
+  /// \p UseScheduler false disables pool gating (Fig. 10 ablation);
+  /// \p Slab sizes the shared commit slab.
+  void init(unsigned MaxPool, size_t VoteSlots, bool UseScheduler,
+            const SlabConfig &Slab = SlabConfig());
   bool initialized() const { return Layout != nullptr; }
 
   //===--------------------------------------------------------------------===
@@ -165,6 +202,32 @@ public:
   uint64_t crashedTotal() const;
   uint64_t timedOutTotal() const;
   uint64_t forkFailedTotal() const;
+
+  //===--------------------------------------------------------------------===
+  // Commit slab (shared-memory aggregation store).
+  //===--------------------------------------------------------------------===
+
+  /// Publishes one commit record for (\p Tp, \p Region, \p Var, \p Child).
+  /// Payload first, then a release-store of the Ready word — a writer
+  /// killed at any point leaves the record unpublished. \returns false
+  /// (bumping the fallback counter) when the directory or arena is full
+  /// or \p Var exceeds SlabVarNameMax; the caller then uses the file
+  /// path. \p DebugDieBeforePublish is a testing hook: the caller
+  /// SIGKILLs itself after the payload write but before publication.
+  bool slabCommit(uint64_t Tp, uint64_t Region, const std::string &Var,
+                  int Child, const uint8_t *Data, size_t Size,
+                  bool DebugDieBeforePublish = false);
+  /// Directory entries handed out so far (clamped to capacity). Readers
+  /// scan [0, slabAllocated()); unpublished entries read as absent.
+  size_t slabAllocated() const;
+  /// Reads entry \p Idx if it has been published.
+  bool slabEntry(size_t Idx, SlabEntryView &Out) const;
+  /// Counts the Runtime's store diagnostics are built from.
+  uint64_t slabPublishedTotal() const;
+  uint64_t slabFallbackTotal() const;
+  /// Lets the commit path count a fallback it decided on before reaching
+  /// slabCommit (oversized payload under the Shm backend).
+  void noteSlabFallback();
 
   //===--------------------------------------------------------------------===
   // Shared accumulators (incremental aggregation, paper Sec. IV-B).

@@ -8,15 +8,14 @@
 
 #include <cstdio>
 
-bool wbt::writeFileBytes(const std::string &Path,
-                         const std::vector<uint8_t> &Bytes) {
+bool wbt::writeFileBytes(const std::string &Path, const uint8_t *Data,
+                         size_t Size) {
   std::string Tmp = Path + ".tmp";
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
-  size_t Written =
-      Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
-  bool Ok = Written == Bytes.size() && std::fclose(F) == 0;
+  size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
+  bool Ok = Written == Size && std::fclose(F) == 0;
   if (!Ok) {
     std::remove(Tmp.c_str());
     return false;
@@ -24,6 +23,11 @@ bool wbt::writeFileBytes(const std::string &Path,
   // rename(2) is atomic within a filesystem, so a concurrent reader either
   // sees the complete new file or nothing.
   return std::rename(Tmp.c_str(), Path.c_str()) == 0;
+}
+
+bool wbt::writeFileBytes(const std::string &Path,
+                         const std::vector<uint8_t> &Bytes) {
+  return writeFileBytes(Path, Bytes.data(), Bytes.size());
 }
 
 bool wbt::readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {

@@ -115,8 +115,11 @@ private:
   bool Ok = true;
 };
 
-/// Writes \p Bytes to \p Path atomically (write to temp, rename).
-/// \returns true on success.
+/// Writes \p Size bytes at \p Data to \p Path atomically (write to temp,
+/// rename). \returns true on success.
+bool writeFileBytes(const std::string &Path, const uint8_t *Data, size_t Size);
+
+/// Vector convenience over the span overload.
 bool writeFileBytes(const std::string &Path, const std::vector<uint8_t> &Bytes);
 
 /// Reads the whole file at \p Path. \returns false if it cannot be read.

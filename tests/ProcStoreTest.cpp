@@ -1,0 +1,291 @@
+//===- tests/ProcStoreTest.cpp - aggregation-store backend tests ----------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+// Coverage for the shared-memory aggregation store (StoreBackend::Shm):
+// torn commits stay unpublished, oversized payloads and slab exhaustion
+// fall back to the file path, and a parameterized sweep asserts the Files
+// and Shm backends agree — both on committed()/loadBytes() and on the
+// incremental fold accumulators vs one-shot aggregation.
+//
+// Like ProcTest.cpp, every scenario runs in a forked child because the
+// runtime is a per-process singleton.
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace wbt;
+using namespace wbt::proc;
+
+namespace {
+
+/// Runs \p Scenario in a forked child; returns its exit code.
+int runScenario(int (*Scenario)()) {
+  pid_t Pid = fork();
+  if (Pid == 0)
+    _exit(Scenario());
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
+}
+
+#define CHECK_OR(COND, CODE)                                                   \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      return CODE;                                                             \
+  } while (false)
+
+int scenarioTornSlabCommitUnpublished() {
+  // A child SIGKILLed after writing its slab payload but before the
+  // Ready release-store must look exactly like a crash before any
+  // commit: the record is invisible to committed() and loadBytes().
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 31;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.DebugKillMidCommitAt = 1;
+  Rt.init(Opts);
+
+  const int N = 4;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x2", encodeDouble(X * X), nullptr);
+
+  ScalarAccumulator &Acc = Rt.foldScalar("x2");
+  int Committed = -1, Crashed = -1;
+  bool TornInvisible = true;
+  Rt.aggregate("x2", encodeDouble(0), [&](AggregationView &V) {
+    Committed = static_cast<int>(V.committed("x2").size());
+    Crashed = V.countStatus(SampleStatus::Crashed);
+    std::vector<uint8_t> Bytes;
+    TornInvisible = !V.loadBytes("x2", 1, Bytes);
+  });
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(Crashed == 1, 3);
+  CHECK_OR(TornInvisible, 4);
+  // The fold saw exactly the published commits.
+  CHECK_OR(Acc.count() == static_cast<size_t>(N - 1), 5);
+  // Nothing fell back to files; the torn record consumed a slot but was
+  // never published.
+  CHECK_OR(Rt.shmCommits() == static_cast<uint64_t>(N - 1), 6);
+  CHECK_OR(Rt.storeFallbacks() == 0, 7);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioOversizedPayloadFallsBack() {
+  // Payloads above ShmRecordThreshold (and over-long variable names)
+  // bypass the slab and land in the file store; reads are transparent.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 32;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.ShmRecordThreshold = 64;
+  Rt.init(Opts);
+
+  const int N = 3;
+  const std::string LongName(60, 'n'); // > SlabVarNameMax
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    std::vector<double> Big(256, X); // 8 + 256*8 bytes > threshold
+    Rt.commitExtra("big", encodeVector(Big));
+    Rt.commitExtra(LongName, encodeDouble(X));
+    Rt.aggregate("small", encodeDouble(X), nullptr);
+  }
+  int Committed = -1;
+  bool BigOk = true, LongOk = true;
+  Rt.aggregate("small", encodeDouble(0), [&](AggregationView &V) {
+    Committed = static_cast<int>(V.committed("small").size());
+    for (int I : V.committed("small")) {
+      std::vector<double> Big = V.loadDoubles("big", I);
+      BigOk = BigOk && Big.size() == 256 && Big[0] == Big[255];
+      LongOk = LongOk && V.loadDouble(LongName, I, -1.0) >= 0.0;
+    }
+  });
+  CHECK_OR(Committed == N, 2);
+  CHECK_OR(BigOk, 3);
+  CHECK_OR(LongOk, 4);
+  // Per child: "big" (oversized) and the long name fell back, "small"
+  // went through the slab.
+  CHECK_OR(Rt.storeFallbacks() == static_cast<uint64_t>(2 * N), 5);
+  CHECK_OR(Rt.shmCommits() == static_cast<uint64_t>(N), 6);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioSlabExhaustionOverflows() {
+  // A slab with fewer records than commits must degrade gracefully: the
+  // overflow goes to files and every result is still readable. A second
+  // region on the exhausted slab works entirely through the fallback.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 33;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.ShmSlabRecords = 4;
+  Rt.init(Opts);
+
+  for (int Region = 0; Region != 2; ++Region) {
+    const int N = 6;
+    Rt.sampling(N);
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("x2", encodeDouble(X * X), nullptr);
+    ScalarAccumulator &Acc = Rt.foldScalar("x2");
+    int Committed = -1;
+    bool AllReadable = true;
+    Rt.aggregate("x2", encodeDouble(0), [&](AggregationView &V) {
+      std::vector<int> Idx = V.committed("x2");
+      Committed = static_cast<int>(Idx.size());
+      for (int I : Idx)
+        AllReadable = AllReadable && V.loadDouble("x2", I, -1.0) >= 0.0;
+    });
+    CHECK_OR(Committed == N, 10 + Region);
+    CHECK_OR(AllReadable, 20 + Region);
+    // The fold covers slab and file commits alike.
+    CHECK_OR(Acc.count() == static_cast<size_t>(N), 30 + Region);
+  }
+  CHECK_OR(Rt.shmCommits() <= 4, 2);
+  CHECK_OR(Rt.storeFallbacks() >= 8, 3);
+  Rt.finish();
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Files-vs-Shm equivalence sweep
+//===----------------------------------------------------------------------===//
+
+/// Parameters reach the forked scenario through file-scope globals (the
+/// scenario signature carries no arguments; fork(2) snapshots them).
+int GEquivKind = 0;
+int GEquivN = 0;
+
+struct BackendResults {
+  int Committed = -1;
+  size_t FoldCount = 0;
+  double FoldMin = 0, FoldMax = 0, FoldMean = 0;
+  double OneShotMean = 0;
+  std::vector<uint8_t> Vote;
+  std::vector<double> MeanVec;
+};
+
+int runOneBackend(StoreBackend B, BackendResults &R) {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 77; // same seed => identical per-child draws per backend
+  Opts.Backend = B;
+  Rt.init(Opts);
+
+  Rt.sampling(GEquivN, static_cast<SamplingKind>(GEquivKind));
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling()) {
+    std::vector<uint8_t> Mask(16);
+    for (size_t J = 0; J != Mask.size(); ++J)
+      Mask[J] = std::fmod(X * static_cast<double>(J + 1), 1.0) > 0.5;
+    Rt.commitExtra("mask", encodeVector(Mask));
+    std::vector<double> Vec{X, X * X, 1.0 - X};
+    Rt.commitExtra("vec", encodeVector(Vec));
+    Rt.aggregate("score", encodeDouble(X * X), nullptr);
+  }
+  ScalarAccumulator &Acc = Rt.foldScalar("score");
+  VoteAccumulator &Votes = Rt.foldVote("mask");
+  MeanVectorAccumulator &Means = Rt.foldMeanVector("vec");
+
+  double OneShotSum = 0;
+  Rt.aggregate("score", encodeDouble(0), [&](AggregationView &V) {
+    std::vector<int> Idx = V.committed("score");
+    R.Committed = static_cast<int>(Idx.size());
+    for (int I : Idx)
+      OneShotSum += V.loadDouble("score", I);
+  });
+  R.FoldCount = Acc.count();
+  R.FoldMin = Acc.min();
+  R.FoldMax = Acc.max();
+  R.FoldMean = Acc.mean();
+  R.OneShotMean = R.Committed ? OneShotSum / R.Committed : 0;
+  R.Vote = Votes.result(0.5);
+  R.MeanVec = Means.result();
+  Rt.finish();
+  return 0;
+}
+
+int scenarioBackendEquivalence() {
+  BackendResults Files, Shm;
+  CHECK_OR(runOneBackend(StoreBackend::Files, Files) == 0, 2);
+  // Root finish() tears the runtime down completely, so the same process
+  // can re-init with the other backend.
+  CHECK_OR(runOneBackend(StoreBackend::Shm, Shm) == 0, 3);
+
+  CHECK_OR(Files.Committed == GEquivN, 4);
+  CHECK_OR(Shm.Committed == GEquivN, 5);
+  CHECK_OR(Files.FoldCount == static_cast<size_t>(GEquivN), 6);
+  CHECK_OR(Shm.FoldCount == Files.FoldCount, 7);
+  // Folding order differs between backends (slab observation order vs
+  // index order), so means compare under a tolerance; min/max and votes
+  // are order-free and must match exactly.
+  CHECK_OR(Shm.FoldMin == Files.FoldMin, 8);
+  CHECK_OR(Shm.FoldMax == Files.FoldMax, 9);
+  CHECK_OR(std::fabs(Shm.FoldMean - Files.FoldMean) < 1e-12, 10);
+  CHECK_OR(Shm.Vote == Files.Vote, 11);
+  CHECK_OR(Shm.MeanVec.size() == Files.MeanVec.size(), 12);
+  for (size_t I = 0; I != Shm.MeanVec.size(); ++I)
+    CHECK_OR(std::fabs(Shm.MeanVec[I] - Files.MeanVec[I]) < 1e-12, 13);
+  // Incremental folding agrees with one-shot aggregation over the view.
+  CHECK_OR(std::fabs(Files.FoldMean - Files.OneShotMean) < 1e-9, 14);
+  CHECK_OR(std::fabs(Shm.FoldMean - Shm.OneShotMean) < 1e-9, 15);
+  return 0;
+}
+
+struct EquivParam {
+  SamplingKind Kind;
+  int N;
+};
+
+class StoreEquivalenceTest : public ::testing::TestWithParam<EquivParam> {};
+
+} // namespace
+
+TEST(ProcStoreTest, TornSlabCommitStaysUnpublished) {
+  EXPECT_EQ(runScenario(scenarioTornSlabCommitUnpublished), 0);
+}
+
+TEST(ProcStoreTest, OversizedPayloadFallsBackToFiles) {
+  EXPECT_EQ(runScenario(scenarioOversizedPayloadFallsBack), 0);
+}
+
+TEST(ProcStoreTest, SlabExhaustionOverflowsToFiles) {
+  EXPECT_EQ(runScenario(scenarioSlabExhaustionOverflows), 0);
+}
+
+TEST_P(StoreEquivalenceTest, FilesAndShmAgree) {
+  GEquivKind = static_cast<int>(GetParam().Kind);
+  GEquivN = GetParam().N;
+  EXPECT_EQ(runScenario(scenarioBackendEquivalence), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoreEquivalenceTest,
+    ::testing::Values(EquivParam{SamplingKind::Random, 4},
+                      EquivParam{SamplingKind::Random, 32},
+                      EquivParam{SamplingKind::Stratified, 4},
+                      EquivParam{SamplingKind::Stratified, 32}),
+    [](const ::testing::TestParamInfo<EquivParam> &Info) {
+      std::string Name = Info.param.Kind == SamplingKind::Random
+                             ? "Random"
+                             : "Stratified";
+      return Name + std::to_string(Info.param.N);
+    });
