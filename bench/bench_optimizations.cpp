@@ -128,9 +128,11 @@ constexpr int CommitLatencyCell = 8;
 
 /// Runs `Regions` fork-runtime regions of `N` samples each, with every
 /// child committing a `PayloadDoubles`-element vector, and measures the
-/// three Fig. 10 quantities for one store configuration.
+/// three Fig. 10 quantities for one store configuration. `Pool` enters
+/// each region through samplingRegion() (worker-pool leases, one fork
+/// per worker) instead of sampling() (one fork per sample).
 StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
-                                bool Fold) {
+                                bool Fold, bool Pool) {
   using namespace wbt::proc;
   constexpr int Regions = 6;
   constexpr int N = 32;
@@ -149,35 +151,43 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   double AggregateSec = 0;
   Timer Total;
   for (int R = 0; R != Regions; ++R) {
-    Rt.sampling(N);
-    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-    if (Rt.isSampling()) {
-      std::vector<double> Vec(PayloadDoubles, X);
-      std::vector<uint8_t> Bytes = encodeVector(Vec);
-      Timer Commit;
-      Rt.commitExtra("v", Bytes);
-      Rt.sharedScalarAdd(CommitLatencyCell, Commit.seconds() * 1e6);
-      Rt.aggregate("done", encodeDouble(X), nullptr);
-    }
-    MeanVectorAccumulator *Acc = Fold ? &Rt.foldMeanVector("v") : nullptr;
-    std::vector<double> Mean;
-    Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
-      Timer Agg;
-      if (Acc) {
-        // Incremental: commits were folded during the supervisor sweeps;
-        // only the O(accumulator) result extraction remains.
-        Mean = Acc->result();
-      } else {
-        // One-shot: the classic read-everything-at-the-barrier storm.
-        MeanVectorAccumulator OneShot;
-        for (int I : V.committed("v"))
-          OneShot.add(V.loadDoubles("v", I));
-        Mean = OneShot.result();
+    auto Body = [&] {
+      double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+      if (Rt.isSampling()) {
+        std::vector<double> Vec(PayloadDoubles, X);
+        std::vector<uint8_t> Bytes = encodeVector(Vec);
+        Timer Commit;
+        Rt.commitExtra("v", Bytes);
+        Rt.sharedScalarAdd(CommitLatencyCell, Commit.seconds() * 1e6);
+        Rt.aggregate("done", encodeDouble(X), nullptr);
       }
-      AggregateSec += Agg.seconds();
-    });
-    if (Mean.size() != PayloadDoubles)
-      std::fprintf(stderr, "store ablation: bad mean size %zu\n", Mean.size());
+      MeanVectorAccumulator *Acc = Fold ? &Rt.foldMeanVector("v") : nullptr;
+      std::vector<double> Mean;
+      Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
+        Timer Agg;
+        if (Acc) {
+          // Incremental: commits were folded during the supervisor
+          // sweeps; only the O(accumulator) result extraction remains.
+          Mean = Acc->result();
+        } else {
+          // One-shot: the classic read-everything-at-the-barrier storm.
+          MeanVectorAccumulator OneShot;
+          for (int I : V.committed("v"))
+            OneShot.add(V.loadDoubles("v", I));
+          Mean = OneShot.result();
+        }
+        AggregateSec += Agg.seconds();
+      });
+      if (Mean.size() != PayloadDoubles)
+        std::fprintf(stderr, "store ablation: bad mean size %zu\n",
+                     Mean.size());
+    };
+    if (Pool) {
+      Rt.samplingRegion(N, Body);
+    } else {
+      Rt.sampling(N);
+      Body();
+    }
   }
   double TotalSec = Total.seconds();
   StoreAblationRow Row;
@@ -195,11 +205,24 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
 #ifndef WBT_SOURCE_ROOT
 #define WBT_SOURCE_ROOT "."
 #endif
+#ifndef WBT_BUILD_TYPE
+#define WBT_BUILD_TYPE "unknown"
+#endif
 
 int main(int argc, char **argv) {
-  bool Json = false;
-  for (int I = 1; I != argc; ++I)
+  bool Json = false, StoreOnly = false;
+  for (int I = 1; I != argc; ++I) {
     Json |= std::strcmp(argv[I], "--json") == 0;
+    StoreOnly |= std::strcmp(argv[I], "--store-only") == 0;
+  }
+  if (std::strcmp(WBT_BUILD_TYPE, "Release") != 0)
+    std::fprintf(stderr,
+                 "WARNING: bench_optimizations built as '%s', not Release; "
+                 "numbers are not comparable to the committed artifacts\n",
+                 WBT_BUILD_TYPE);
+  // `--store-only` skips the in-process engine ablations (CI's bench
+  // smoke only checks the fork-runtime store rows).
+  if (!StoreOnly) {
   std::printf("=== Fig. 10: optimization effects (o = one-shot+FIFO, "
               "+i = incremental, +s = +Alg.1 scheduler) ===\n");
   std::printf("%-10s | %9s %12s | %9s %12s | %9s %12s\n", "workload",
@@ -272,24 +295,32 @@ int main(int argc, char **argv) {
                 Rep.Stages[0].SamplesRun, Rep.TotalSamples);
   }
   std::printf("(paper Sec. II-D: 200 samples, 78 pruned, 122 survive)\n\n");
+  } // !StoreOnly
 
   //===------------------------------------------------------------------===//
-  // Fork-runtime aggregation-store ablation: Files vs Shm vs Shm+fold.
+  // Fork-runtime aggregation-store ablation: Files vs Shm vs Shm+fold vs
+  // Shm+fold through the worker pool (forks amortized across leases).
   //===------------------------------------------------------------------===//
   std::printf("=== Fork-runtime store ablation (6 regions x 32 samples, "
               "2KiB payloads) ===\n");
-  std::printf("%-10s | %11s | %12s | %11s\n", "config", "commit", "aggregate",
+  std::printf("%-20s | %11s | %12s | %11s\n", "config", "commit", "aggregate",
               "regions/s");
   StoreAblationRow Rows[] = {
-      runStoreConfig("files", proc::StoreBackend::Files, /*Fold=*/false),
-      runStoreConfig("shm", proc::StoreBackend::Shm, /*Fold=*/false),
-      runStoreConfig("shm+fold", proc::StoreBackend::Shm, /*Fold=*/true),
+      runStoreConfig("files", proc::StoreBackend::Files, /*Fold=*/false,
+                     /*Pool=*/false),
+      runStoreConfig("shm", proc::StoreBackend::Shm, /*Fold=*/false,
+                     /*Pool=*/false),
+      runStoreConfig("shm+fold", proc::StoreBackend::Shm, /*Fold=*/true,
+                     /*Pool=*/false),
+      runStoreConfig("shm+fold+workerpool", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true),
   };
   for (const StoreAblationRow &R : Rows)
-    std::printf("%-10s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
+    std::printf("%-20s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
                 R.AggregateMs, R.RegionsPerSec);
   std::printf("(shm should beat files on commit latency; folding should "
-              "collapse the barrier-time aggregation)\n");
+              "collapse the barrier-time aggregation; the worker pool "
+              "should lift region throughput further)\n");
 
   if (Json) {
     const char *Path = WBT_SOURCE_ROOT "/BENCH_optimizations.json";
@@ -298,7 +329,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot write %s\n", Path);
       return 1;
     }
-    std::fprintf(F, "{\n  \"store_ablation\": [\n");
+    std::fprintf(F, "{\n  \"build_type\": \"%s\",\n  \"store_ablation\": [\n",
+                 WBT_BUILD_TYPE);
     size_t NumRows = sizeof(Rows) / sizeof(Rows[0]);
     for (size_t I = 0; I != NumRows; ++I)
       std::fprintf(F,

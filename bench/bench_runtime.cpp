@@ -28,6 +28,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 
 using namespace wbt;
@@ -216,12 +217,15 @@ void BM_AggregateShm(benchmark::State &State) {
 }
 BENCHMARK(BM_AggregateShm)->Arg(32)->Arg(256);
 
-/// End-to-end fork-runtime region (fork N children, each commits one
-/// double; tuning side folds + aggregates). Arg0: 0 = Files, 1 = Shm.
-/// Fixed iteration count keeps the bump-allocated slab within capacity.
+/// End-to-end fork-runtime region (N samples, each commits one double;
+/// tuning side folds + aggregates). Arg0: 0 = Files (fork-per-sample),
+/// 1 = Shm (fork-per-sample), 2 = Shm through the worker pool (one fork
+/// per worker, leases amortize the rest). Fixed iteration count keeps
+/// the bump-allocated slab within capacity.
 void BM_RegionAggregate(benchmark::State &State) {
   proc::StoreBackend B = State.range(0) ? proc::StoreBackend::Shm
                                         : proc::StoreBackend::Files;
+  bool Pool = State.range(0) == 2;
   const int N = 32;
   proc::Runtime &Rt = proc::Runtime::get();
   proc::RuntimeOptions Opts;
@@ -231,14 +235,22 @@ void BM_RegionAggregate(benchmark::State &State) {
   Opts.ShmSlabRecords = 1u << 12;
   Rt.init(Opts);
   for (auto _ : State) {
-    Rt.sampling(N);
-    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-    if (Rt.isSampling())
-      Rt.aggregate("x2", proc::encodeDouble(X * X), nullptr);
-    ScalarAccumulator &Acc = Rt.foldScalar("x2");
-    Rt.aggregate("x2", proc::encodeDouble(0),
-                 [&](proc::AggregationView &) {});
-    benchmark::DoNotOptimize(Acc.mean());
+    ScalarAccumulator *Acc = nullptr;
+    auto Body = [&] {
+      double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+      if (Rt.isSampling())
+        Rt.aggregate("x2", proc::encodeDouble(X * X), nullptr);
+      Acc = &Rt.foldScalar("x2");
+      Rt.aggregate("x2", proc::encodeDouble(0),
+                   [&](proc::AggregationView &) {});
+    };
+    if (Pool) {
+      Rt.samplingRegion(N, Body);
+    } else {
+      Rt.sampling(N);
+      Body();
+    }
+    benchmark::DoNotOptimize(Acc->mean());
   }
   State.SetItemsProcessed(State.iterations() * N);
   Rt.finish();
@@ -246,6 +258,7 @@ void BM_RegionAggregate(benchmark::State &State) {
 BENCHMARK(BM_RegionAggregate)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Iterations(40)
     ->Unit(benchmark::kMillisecond);
 
@@ -254,10 +267,21 @@ BENCHMARK(BM_RegionAggregate)
 #ifndef WBT_SOURCE_ROOT
 #define WBT_SOURCE_ROOT "."
 #endif
+#ifndef WBT_BUILD_TYPE
+#define WBT_BUILD_TYPE "unknown"
+#endif
 
 /// BENCHMARK_MAIN plus a `--json` convenience flag that routes the
 /// results to <repo>/BENCH_runtime.json (benchmark's own JSON format).
 int main(int argc, char **argv) {
+  if (std::strcmp(WBT_BUILD_TYPE, "Release") != 0)
+    std::fprintf(stderr,
+                 "WARNING: bench_runtime built as '%s', not Release; "
+                 "numbers are not comparable to the committed artifacts\n",
+                 WBT_BUILD_TYPE);
+  // Stamp the build type into the JSON context so a debug-built artifact
+  // is detectable after the fact (CI greps for Release).
+  benchmark::AddCustomContext("wbt_build_type", WBT_BUILD_TYPE);
   std::vector<char *> Args(argv, argv + argc);
   bool Json = false;
   for (auto It = Args.begin(); It != Args.end();) {

@@ -7,7 +7,9 @@
 #include "proc/Runtime.h"
 
 #include "proc/SharedControl.h"
+#include "strategy/SamplingStrategy.h"
 
+#include <dirent.h>
 #include <ftw.h>
 #include <signal.h>
 #include <sys/mman.h>
@@ -16,6 +18,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cerrno>
@@ -23,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
+#include <string_view>
 
 using namespace wbt;
 using namespace wbt::proc;
@@ -34,22 +38,6 @@ uint64_t mixSeed(uint64_t X, uint64_t Y) {
   Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
   return Z ^ (Z >> 31);
-}
-
-uint64_t hashName(const std::string &S) {
-  uint64_t H = 1469598103934665603ULL;
-  for (char C : S)
-    H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
-  return H;
-}
-
-uint64_t gcd64(uint64_t A, uint64_t B) {
-  while (B) {
-    uint64_t T = A % B;
-    A = B;
-    B = T;
-  }
-  return A;
 }
 
 bool makeDir(const std::string &Path) {
@@ -83,6 +71,47 @@ double monoNow() {
 /// Spare parking commands (ChildSlot::Command).
 enum SpareCommand : int32_t { SpPark = 0, SpActivate = 1, SpDiscard = 2 };
 
+/// Lifecycle of one sample lease in a worker-pool region. Terminal states
+/// translate to SampleStatus when the region resolves.
+enum LeaseState : int32_t {
+  LsPending = 0, // not yet claimed
+  LsClaimed,     // a worker is running it
+  LsReturned,    // orphaned by a dead worker; awaiting re-claim
+  LsCommitted,
+  LsPruned,
+  LsCrashed,
+  LsTimedOut,
+  LsForkFailed, // no worker ever existed to run it
+};
+
+/// A worker re-runs an orphaned lease at most once: the original attempt
+/// plus one retry. A lease whose second owner also dies is Crashed — the
+/// sample itself is the likely killer.
+constexpr int32_t MaxLeaseAttempts = 2;
+
+SampleStatus leaseSampleStatus(int32_t Ls) {
+  switch (Ls) {
+  case LsCommitted:
+    return SampleStatus::Committed;
+  case LsPruned:
+    return SampleStatus::Pruned;
+  case LsTimedOut:
+    return SampleStatus::TimedOut;
+  case LsForkFailed:
+    return SampleStatus::ForkFailed;
+  default:
+    // LsCrashed, plus any non-terminal state that slipped through (the
+    // settle loop should have retired them all): count it as a crash
+    // rather than pretend the sample ran.
+    return SampleStatus::Crashed;
+  }
+}
+
+/// Thrown inside a pool worker to unwind one lease's body invocation —
+/// check() pruning the lease, or aggregate() after the commit — and
+/// caught in workerLoop(), which then claims the next index.
+struct LeaseEnd {};
+
 } // namespace
 
 namespace wbt {
@@ -102,14 +131,28 @@ struct ChildSlot {
   std::atomic<int32_t> Status;      // SampleStatus
   std::atomic<int32_t> Signal;
   std::atomic<int32_t> Command;     // SpareCommand (spares only)
+  std::atomic<int32_t> CurrentLease; // claimed sample index, -1 between
+                                     // leases (pool workers only)
+};
+
+/// Per-sample lease record of a worker-pool region. Lives in the shared
+/// child table after the worker slots; the supervisor and every worker
+/// see the same state machine (LeaseState).
+struct LeaseCell {
+  std::atomic<int32_t> State;    // LeaseState
+  std::atomic<int32_t> Signal;   // terminating signal of a crashed owner
+  std::atomic<int32_t> Attempts; // times a worker started this lease
 };
 
 /// Header of the per-region shared child table; ChildSlot[NumSlots]
-/// follows it in memory.
+/// follows it in memory, then LeaseCell[NumLeases] in pool mode.
 struct RegionTable {
   SharedLock ParkLock; // spare parking: guards Command + wakes spares
   int32_t NumMains;
-  int32_t NumSlots; // mains + spares
+  int32_t NumSlots;  // mains + spares (pool mode: workers + respawns)
+  int32_t PoolMode;  // 1 for samplingRegion() regions
+  int32_t NumLeases; // sample count N (pool mode only)
+  std::atomic<int32_t> LeasesReturned; // LsReturned cells awaiting re-claim
 };
 
 } // namespace proc
@@ -117,6 +160,10 @@ struct RegionTable {
 
 static ChildSlot *slotsOf(RegionTable *T) {
   return reinterpret_cast<ChildSlot *>(T + 1);
+}
+
+static LeaseCell *leasesOf(RegionTable *T) {
+  return reinterpret_cast<LeaseCell *>(slotsOf(T) + T->NumSlots);
 }
 
 static SampleStatus statusOf(const ChildSlot &S) {
@@ -130,21 +177,57 @@ static SampleStatus statusOf(const ChildSlot &S) {
 namespace {
 
 /// StoreBackend::Files: one file per (variable, child) under the cached
-/// region directory.
+/// region directory. Readers are built only after every child of the
+/// region is reaped, so one readdir(3) pass at construction sees the
+/// complete store; has() then answers from the in-memory index instead
+/// of an access(2) per call, which kept @loadS-heavy aggregation
+/// callbacks — and every Shm-backend fallback miss — quadratic in
+/// filesystem round-trips.
 class FileRegionReader : public RegionReader {
 public:
-  explicit FileRegionReader(std::string Dir) : Dir(std::move(Dir)) {}
+  explicit FileRegionReader(std::string InDir) : Dir(std::move(InDir)) {
+    DIR *D = opendir(Dir.c_str());
+    if (!D)
+      return;
+    while (dirent *E = readdir(D)) {
+      // Commit files are named "<var>.<child>"; anything else in the
+      // directory (".", "..", an unrenamed ".tmp" of a writer killed
+      // mid-commit) has a non-numeric suffix and is skipped.
+      std::string_view Name(E->d_name);
+      size_t Dot = Name.rfind('.');
+      if (Dot == std::string_view::npos || Dot == 0 ||
+          Dot + 1 == Name.size())
+        continue;
+      int Child = 0;
+      bool Numeric = true;
+      for (size_t I = Dot + 1; I != Name.size(); ++I) {
+        if (Name[I] < '0' || Name[I] > '9') {
+          Numeric = false;
+          break;
+        }
+        Child = Child * 10 + (Name[I] - '0');
+      }
+      if (!Numeric)
+        continue;
+      Index[std::string(Name.substr(0, Dot))].insert(Child);
+    }
+    closedir(D);
+  }
 
   bool has(const std::string &Var, int I) const override {
-    return access(sampleFilePath(Dir, Var, I).c_str(), R_OK) == 0;
+    auto It = Index.find(Var);
+    return It != Index.end() && It->second.count(I);
   }
   bool load(const std::string &Var, int I,
             std::vector<uint8_t> &Out) const override {
+    if (!has(Var, I))
+      return false;
     return readFileBytes(sampleFilePath(Dir, Var, I), Out);
   }
 
 private:
   std::string Dir;
+  std::map<std::string, std::set<int>> Index;
 };
 
 /// StoreBackend::Shm: index of the region's published slab records,
@@ -301,6 +384,13 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   FoldVotes.clear();
   FoldMeanVecs.clear();
   FoldedPairs.clear();
+  RegionIsPool = false;
+  RegionWorkers = 0;
+  LeaseSlot = -1;
+  RespawnsUsed = 0;
+  RegionBody = nullptr;
+  PoolWorker = false;
+  WorkerIndex = -1;
   // The root tuning process occupies a pool slot like any other process.
   Ctl->acquireSlot(/*IsTuning=*/true);
 }
@@ -358,7 +448,9 @@ void Runtime::exitChild() {
   // with a timeout kill. _exit(2) skips stdio teardown, so flush what the
   // user printed first.
   std::fflush(nullptr);
-  ChildSlot &S = slotsOf(Table)[ChildIndex];
+  // Pool workers live in slot WorkerIndex; ChildIndex is their current
+  // sample lease, which indexes the lease table, not the slot array.
+  ChildSlot &S = slotsOf(Table)[PoolWorker ? WorkerIndex : ChildIndex];
   if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
     Ctl->barrierLeave(BarrierSlot);
   if (S.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
@@ -434,7 +526,38 @@ bool Runtime::reapOne(int Idx, bool Block) {
     Ctl->releaseSlot();
   if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
     Ctl->barrierReclaimDead(BarrierSlot, &S.InBarrier);
+  if (Table->PoolMode)
+    reclaimWorkerLease(Idx);
   return true;
+}
+
+/// A reaped pool worker may have died mid-lease; decide that lease's
+/// fate. First death of the lease's owner returns it to the pool for a
+/// survivor to re-claim; a repeat offender (or a timeout kill) retires
+/// it with the worker's terminal status, since re-running a sample that
+/// kills its workers — or has already blown the region deadline — only
+/// wastes the rest of the pool.
+void Runtime::reclaimWorkerLease(int SlotIdx) {
+  ChildSlot &S = slotsOf(Table)[SlotIdx];
+  int Idx = S.CurrentLease.exchange(-1, std::memory_order_acq_rel);
+  if (Idx < 0 || Idx >= Table->NumLeases)
+    return;
+  LeaseCell &L = leasesOf(Table)[Idx];
+  int32_t Expect = LsClaimed;
+  bool Timed = statusOf(S) == SampleStatus::TimedOut;
+  if (!Timed && L.Attempts.load(std::memory_order_relaxed) < MaxLeaseAttempts) {
+    if (L.State.compare_exchange_strong(Expect, LsReturned,
+                                        std::memory_order_acq_rel)) {
+      Table->LeasesReturned.fetch_add(1, std::memory_order_release);
+      Ctl->noteLeaseReclaim();
+    }
+    return;
+  }
+  if (L.State.compare_exchange_strong(Expect,
+                                      Timed ? LsTimedOut : LsCrashed,
+                                      std::memory_order_acq_rel))
+    L.Signal.store(S.Signal.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
 }
 
 /// One WNOHANG pass over every child. Activates retry spares for newly
@@ -443,22 +566,33 @@ bool Runtime::reapOne(int Idx, bool Block) {
 int Runtime::sweepChildren() {
   ChildSlot *Slots = slotsOf(Table);
   int NumSlots = Table->NumSlots;
+  bool Pool = Table->PoolMode != 0;
   for (int I = 0; I != NumSlots; ++I) {
-    bool Counted = I < RegionN ||
+    // Pool mode has no parked spares: every slot with a pid is a worker
+    // (initial or respawned) and is supervised.
+    bool Counted = Pool || I < RegionN ||
                    Slots[I].Command.load(std::memory_order_relaxed) ==
                        SpActivate;
     if (!Counted)
       continue; // parked spares are discarded at region end
-    if (!reapOne(I, /*Block=*/false))
+    // A child whose slot and barrier share are already released is inside
+    // exitChild() with only _exit(2) left (or is a kill victim): its wake
+    // event fired before the zombie existed, so a WNOHANG pass can miss
+    // it and stall a full event-wait timeout. Reaping it blocking is
+    // bounded — no user code runs past that point.
+    bool Exiting =
+        Slots[I].SlotHeld.load(std::memory_order_acquire) == 0 &&
+        Slots[I].BarrierLeft.load(std::memory_order_acquire) == 1;
+    if (!reapOne(I, /*Block=*/Exiting))
       continue;
     SampleStatus St = statusOf(Slots[I]);
     if ((St == SampleStatus::Crashed || St == SampleStatus::TimedOut) &&
-        !RegionUsedSync)
+        !RegionUsedSync && !Pool)
       activateSpare();
   }
   int Live = 0;
   for (int I = 0; I != NumSlots; ++I) {
-    bool Counted = I < RegionN ||
+    bool Counted = Pool || I < RegionN ||
                    Slots[I].Command.load(std::memory_order_relaxed) ==
                        SpActivate;
     Live += Counted && !Reaped[I] &&
@@ -501,8 +635,8 @@ void Runtime::killStragglers() {
   ChildSlot *Slots = slotsOf(Table);
   for (int I = 0, E = Table->NumSlots; I != E; ++I) {
     ChildSlot &S = Slots[I];
-    bool Counted =
-        I < RegionN || S.Command.load(std::memory_order_relaxed) == SpActivate;
+    bool Counted = Table->PoolMode || I < RegionN ||
+                   S.Command.load(std::memory_order_relaxed) == SpActivate;
     pid_t Pid = S.Pid.load(std::memory_order_relaxed);
     if (!Counted || Reaped[I] || Pid <= 0)
       continue;
@@ -617,10 +751,20 @@ void Runtime::foldSlabCommits() {
       continue; // unpublished (in flight, or its writer died mid-commit)
     if (E.Tp != TpId || E.Region != RegionCounter)
       continue;
-    if (E.Child < 0 || E.Child >= Table->NumSlots)
-      continue;
-    if (statusOf(Slots[E.Child]) != SampleStatus::Committed)
-      continue;
+    // Pool mode: Child is a lease index, and the gate is the lease's own
+    // state — the committing worker is usually still alive and Running.
+    if (Table->PoolMode) {
+      if (E.Child < 0 || E.Child >= Table->NumLeases)
+        continue;
+      if (leasesOf(Table)[E.Child].State.load(std::memory_order_acquire) !=
+          LsCommitted)
+        continue;
+    } else {
+      if (E.Child < 0 || E.Child >= Table->NumSlots)
+        continue;
+      if (statusOf(Slots[E.Child]) != SampleStatus::Committed)
+        continue;
+    }
     foldEntryBytes(std::string(E.Name), E.Child, E.Data, E.Size);
   }
 }
@@ -656,10 +800,13 @@ void Runtime::foldRemaining(
 }
 
 std::shared_ptr<const RegionReader> Runtime::makeRegionReader() const {
+  // Record indices run over sample slots in fork mode and over leases in
+  // pool mode.
+  int NumRecords =
+      !Table ? 0 : (Table->PoolMode ? Table->NumLeases : Table->NumSlots);
   if (Opts.Backend == StoreBackend::Shm)
     return std::make_shared<ShmRegionReader>(*Ctl, TpId, RegionCounter,
-                                             RegionSlabStart,
-                                             Table ? Table->NumSlots : 0,
+                                             RegionSlabStart, NumRecords,
                                              RegionDirPath);
   return std::make_shared<FileRegionReader>(RegionDirPath);
 }
@@ -695,6 +842,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   RegionN = N;
   RegionKind = Ro.Kind;
   RegionUsedSync = false;
+  RegionIsPool = false;
   NextSpare = 0;
   NumSpares = Ro.MaxRetries >= 0 ? Ro.MaxRetries : Opts.MaxRetries;
   double TimeoutSec =
@@ -776,6 +924,302 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   RegionActive = true;
 }
 
+//===----------------------------------------------------------------------===//
+// Worker-pool sampling regions
+//===----------------------------------------------------------------------===//
+
+/// Forks one pool worker into child-table slot \p SlotIdx (initial spawn
+/// and wipe-out respawns share this path). The caller has already set up
+/// the slot's barrier membership. In the child this never returns.
+void Runtime::forkPoolWorker(int SlotIdx) {
+  ChildSlot &S = slotsOf(Table)[SlotIdx];
+  // Alg. 1: a sampling spawn waits only for a free slot; the wait is
+  // supervised so dead workers' leaked slots cannot starve it.
+  while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50))
+    sweepChildren();
+  S.SlotHeld.store(1, std::memory_order_relaxed);
+  std::fflush(nullptr);
+  pid_t Pid = SlotIdx == Opts.DebugFailForkAt ? -1 : fork();
+  if (Pid < 0) {
+    // This worker never existed: release its slot and barrier share. Its
+    // prospective leases stay with the counter for the other workers.
+    S.SlotHeld.store(0, std::memory_order_relaxed);
+    Ctl->releaseSlot();
+    if (S.BarrierLeft.exchange(1, std::memory_order_relaxed) == 0)
+      Ctl->barrierLeave(BarrierSlot);
+    S.Status.store(static_cast<int32_t>(SampleStatus::ForkFailed),
+                   std::memory_order_relaxed);
+    Ctl->noteForkFailure();
+    Reaped[SlotIdx] = 1;
+    std::fprintf(stderr,
+                 "wbtuner: fork failed for pool worker %d of region %llu "
+                 "(tp %llu); continuing with fewer workers\n",
+                 SlotIdx, static_cast<unsigned long long>(RegionCounter),
+                 static_cast<unsigned long long>(TpId));
+    return;
+  }
+  if (Pid == 0) {
+    Mode = ModeKind::Sampling;
+    PoolWorker = true;
+    WorkerIndex = SlotIdx;
+    RegionActive = true;
+    SplitChildren.clear();
+    workerLoop();
+  }
+  S.Pid.store(static_cast<int32_t>(Pid), std::memory_order_relaxed);
+}
+
+/// Sampling side of a pool region: claim a sample index, impersonate the
+/// fork-per-sample child of that index (same ChildIndex, same RNG
+/// stream), run the body, repeat until the region is drained.
+void Runtime::workerLoop() {
+  ChildSlot &Me = slotsOf(Table)[WorkerIndex];
+  LeaseCell *Leases = leasesOf(Table);
+  for (;;) {
+    int Idx = claimLease();
+    if (Idx < 0)
+      break;
+    LeaseCell &L = Leases[Idx];
+    L.Attempts.fetch_add(1, std::memory_order_relaxed);
+    L.State.store(LsClaimed, std::memory_order_relaxed);
+    // Publish which lease we hold before running user code: if we die in
+    // the body, the supervisor reads CurrentLease to return the lease.
+    Me.CurrentLease.store(Idx, std::memory_order_release);
+    ChildIndex = Idx;
+    // The per-index reseed that makes pool draws bitwise-identical to a
+    // fork-per-sample child of the same index (same formula as
+    // sampling()'s child branch).
+    TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
+                         (RegionCounter << 20) + static_cast<uint64_t>(Idx)));
+    try {
+      RegionBody();
+      // Returning without reaching aggregate() is a voluntary prune,
+      // mirroring a fork-mode child that exits cleanly mid-body.
+      int32_t Expect = LsClaimed;
+      L.State.compare_exchange_strong(Expect, LsPruned,
+                                      std::memory_order_relaxed);
+    } catch (const LeaseEnd &) {
+      // check() pruned the lease or aggregate() committed it.
+    }
+    Me.CurrentLease.store(-1, std::memory_order_release);
+    // Wake the supervisor so freshly committed leases fold while the
+    // rest of the pool keeps running.
+    Ctl->childEventNotify();
+  }
+  ChildIndex = -1;
+  exitChild();
+}
+
+/// Next sample index for this worker: a lease returned by a dead worker
+/// first (re-run path), else the shared claim counter. -1 once both are
+/// exhausted.
+int Runtime::claimLease() {
+  LeaseCell *Leases = leasesOf(Table);
+  int N = Table->NumLeases;
+  for (;;) {
+    if (Table->LeasesReturned.load(std::memory_order_acquire) > 0) {
+      for (int I = 0; I != N; ++I) {
+        int32_t Expect = LsReturned;
+        if (Leases[I].State.compare_exchange_strong(
+                Expect, LsClaimed, std::memory_order_acq_rel)) {
+          Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
+          return I;
+        }
+      }
+      // Another worker won every visible return; fall through and retry
+      // via the counter.
+    }
+    int64_t Idx = Ctl->leaseClaim(LeaseSlot);
+    if (Idx < N)
+      return static_cast<int>(Idx);
+    // Counter drained. A lease may still be returned after this check —
+    // the supervisor's wipe-out path (settlePoolLeases) covers that by
+    // forking a fresh worker, so exiting here is safe.
+    if (Table->LeasesReturned.load(std::memory_order_acquire) == 0)
+      return -1;
+  }
+}
+
+/// Live == 0 with the region not yet drained: decide every open lease's
+/// fate. Orphans (claimed by a worker that died, or lost inside the
+/// claim window) are returned for re-running and one replacement worker
+/// is forked per pass, bounded by a respawn budget of N; past the budget
+/// — or past the region deadline — the stragglers are retired in place.
+/// Returns true once every lease is terminal.
+bool Runtime::settlePoolLeases() {
+  LeaseCell *Leases = leasesOf(Table);
+  int N = Table->NumLeases;
+  int64_t CounterNext = Ctl->leaseNext(LeaseSlot);
+  bool DeadlinePassed = regionDeadlinePassed();
+  bool BudgetLeft = RespawnsUsed < N;
+  int Open = 0;
+  for (int I = 0; I != N; ++I) {
+    LeaseCell &L = Leases[I];
+    int32_t St = L.State.load(std::memory_order_acquire);
+    if (St == LsCommitted || St == LsPruned || St == LsCrashed ||
+        St == LsTimedOut || St == LsForkFailed)
+      continue;
+    if (DeadlinePassed || !BudgetLeft) {
+      // No more re-running: retire in place. Never-attempted leases are
+      // ForkFailed (no process ever existed to run them) unless the
+      // clock, not the pool, is what ran out.
+      int32_t Final =
+          DeadlinePassed
+              ? LsTimedOut
+              : (L.Attempts.load(std::memory_order_relaxed) == 0
+                     ? LsForkFailed
+                     : LsCrashed);
+      if (St == LsReturned)
+        Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
+      L.State.store(Final, std::memory_order_relaxed);
+      continue;
+    }
+    if (St == LsClaimed) {
+      // Its owner is dead (nothing is live); route it through the same
+      // return-or-retire policy the reaper applies.
+      if (L.Attempts.load(std::memory_order_relaxed) < MaxLeaseAttempts) {
+        L.State.store(LsReturned, std::memory_order_relaxed);
+        Table->LeasesReturned.fetch_add(1, std::memory_order_release);
+        Ctl->noteLeaseReclaim();
+      } else {
+        L.State.store(LsCrashed, std::memory_order_relaxed);
+        continue;
+      }
+    } else if (St == LsPending && I < CounterNext) {
+      // The counter passed this index but no claim mark ever landed: the
+      // claimant died inside claimLease(). Make it re-claimable.
+      L.State.store(LsReturned, std::memory_order_relaxed);
+      Table->LeasesReturned.fetch_add(1, std::memory_order_release);
+      Ctl->noteLeaseReclaim();
+    }
+    ++Open;
+  }
+  if (Open == 0)
+    return true;
+  // Fork one replacement worker into the next respawn slot; if its fork
+  // fails the budget still shrinks, so this loop terminates.
+  int SlotIdx = RegionWorkers + RespawnsUsed++;
+  ChildSlot &S = slotsOf(Table)[SlotIdx];
+  S.Status.store(static_cast<int32_t>(SampleStatus::Running),
+                 std::memory_order_relaxed);
+  S.CurrentLease.store(-1, std::memory_order_relaxed);
+  S.BarrierLeft.store(0, std::memory_order_relaxed);
+  Ctl->barrierAdd(BarrierSlot, +1);
+  Reaped[SlotIdx] = 0;
+  forkPoolWorker(SlotIdx);
+  return false;
+}
+
+/// Region deadline in a pool region: killStragglers() already marked the
+/// live workers TimedOut (their claimed leases follow suit through
+/// reclaimWorkerLease); everything still unclaimed or returned can never
+/// run inside the budget either.
+void Runtime::markLeasesTimedOut() {
+  LeaseCell *Leases = leasesOf(Table);
+  for (int I = 0, N = Table->NumLeases; I != N; ++I) {
+    for (int32_t From : {LsPending, LsReturned, LsClaimed}) {
+      int32_t Expect = From;
+      if (Leases[I].State.compare_exchange_strong(
+              Expect, LsTimedOut, std::memory_order_acq_rel)) {
+        if (From == LsReturned)
+          Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+void Runtime::samplingRegion(int N, const RegionOptions &Ro,
+                             const std::function<void()> &Body) {
+  assert(Inited && "samplingRegion() before init()");
+  assert(N > 0 && "region needs at least one sample");
+  assert(Body && "samplingRegion() needs a body callback");
+  // Rule [SAMPLING] only applies in a tuning process; a sampling process
+  // (fork-mode child or pool worker) must not open nested regions.
+  if (isSampling())
+    return;
+  assert(!RegionActive && "nested @sampling regions are not supported");
+
+  ++RegionCounter;
+  RegionDirPath = regionDir(RegionCounter);
+  makeDir(RegionDirPath);
+  FoldScalars.clear();
+  FoldVotes.clear();
+  FoldMeanVecs.clear();
+  FoldedPairs.clear();
+  RegionSlabStart = Ctl->slabAllocated();
+
+  RegionN = N;
+  RegionKind = Ro.Kind;
+  RegionUsedSync = false;
+  NumSpares = 0; // lease retry replaces spare-based retry
+  NextSpare = 0;
+  double TimeoutSec =
+      Ro.TimeoutSec >= 0 ? Ro.TimeoutSec : Opts.SampleTimeoutSec;
+  RegionHasDeadline = TimeoutSec > 0;
+  RegionDeadline = RegionHasDeadline ? monoNow() + TimeoutSec : 0;
+
+  RegionIsPool = true;
+  RegionBody = Body;
+  RespawnsUsed = 0;
+  // The tuning process holds a pool slot of its own, so W == maxPool
+  // would deadlock the spawn loop.
+  int MaxWorkers = std::max(1, static_cast<int>(Ctl->maxPool()) - 1);
+  int W = Ro.Workers > 0
+              ? Ro.Workers
+              : (Opts.WorkerPool > 0 ? static_cast<int>(Opts.WorkerPool)
+                                     : MaxWorkers);
+  W = std::max(1, std::min({W, MaxWorkers, N}));
+  RegionWorkers = W;
+
+  LeaseSlot = Ctl->acquireLeaseSlot();
+  Ctl->leaseReset(LeaseSlot);
+  BarrierSlot = Ctl->acquireBarrierSlot();
+  Ctl->barrierReset(BarrierSlot, W);
+
+  // W worker slots plus N respawn slots (used only when every worker
+  // died with leases still open — at most one respawn per lease), then
+  // the lease table.
+  int NumSlots = W + N;
+  TableBytes = sizeof(RegionTable) +
+               static_cast<size_t>(NumSlots) * sizeof(ChildSlot) +
+               static_cast<size_t>(N) * sizeof(LeaseCell);
+  void *Mem = mmap(nullptr, TableBytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  assert(Mem != MAP_FAILED && "mmap of region child table failed");
+  std::memset(Mem, 0, TableBytes);
+  Table = static_cast<RegionTable *>(Mem);
+  Table->ParkLock.init();
+  Table->NumMains = W;
+  Table->NumSlots = NumSlots;
+  Table->PoolMode = 1;
+  Table->NumLeases = N;
+  ChildSlot *Slots = slotsOf(Table);
+  for (int I = 0; I != NumSlots; ++I) {
+    bool IsRespawn = I >= W;
+    Slots[I].BarrierLeft.store(IsRespawn ? 1 : 0, std::memory_order_relaxed);
+    Slots[I].Status.store(
+        static_cast<int32_t>(IsRespawn ? SampleStatus::Unused
+                                       : SampleStatus::Running),
+        std::memory_order_relaxed);
+    Slots[I].CurrentLease.store(-1, std::memory_order_relaxed);
+  }
+  // Lease cells: memset already made them {LsPending, 0, 0}.
+  Reaped.assign(static_cast<size_t>(NumSlots), 0);
+
+  // Forked children enter workerLoop() inside forkPoolWorker() and never
+  // come back here; past this loop we are always the tuning process.
+  for (int I = 0; I != W; ++I)
+    forkPoolWorker(I);
+
+  // Tuning side: run the body once ourselves. Sampling primitives no-op,
+  // and the body's aggregate() call performs the supervision above.
+  RegionActive = true;
+  Body();
+  assert(!RegionActive && "samplingRegion() body must call aggregate()");
+  RegionBody = nullptr;
+}
+
 double Runtime::sample(const std::string &Name, const Distribution &D) {
   assert(Inited && "sample() before init()");
   // Rule [SAMPLE] applies only in sampling processes; the tuning process
@@ -784,18 +1228,14 @@ double Runtime::sample(const std::string &Name, const Distribution &D) {
     return D.defaultValue();
   if (RegionKind == SamplingKind::Random)
     return D.sample(TheRng);
-  // Stratified: child I deterministically owns stratum perm(I), where
-  // perm is an affine map with a name-derived multiplier (coprime to N)
-  // and offset, so different variables get different stratum orders.
-  // Retry spares (index >= N) fold back into the stratum space.
+  // Stratified: the run owning sample index I deterministically lands in
+  // stratum perm(I) — stratifiedStratum()'s name-keyed affine
+  // permutation. Retry spares (index >= N) fold back into the stratum
+  // space; pool workers key on the claimed lease index, so coverage is
+  // independent of which worker runs which sample.
   uint64_t N = static_cast<uint64_t>(RegionN);
-  uint64_t H = hashName(Name);
-  uint64_t Mult = (H | 1) % N;
-  if (Mult == 0 || gcd64(Mult, N) != 1)
-    Mult = 1;
-  uint64_t Offset = (H >> 17) % N;
   uint64_t Stratum =
-      ((static_cast<uint64_t>(ChildIndex) % N) * Mult + Offset) % N;
+      stratifiedStratum(Name, static_cast<uint64_t>(ChildIndex), N);
   double U = (static_cast<double>(Stratum) + 0.5) / static_cast<double>(N);
   return D.quantile(U);
 }
@@ -805,6 +1245,13 @@ void Runtime::check(bool Ok) {
   // Rule [CHECK] applies only in sampling processes.
   if (!isSampling() || Ok)
     return;
+  if (PoolWorker) {
+    // Prune only the current lease; the worker survives to claim the
+    // next sample index.
+    leasesOf(Table)[ChildIndex].State.store(LsPruned,
+                                            std::memory_order_relaxed);
+    throw LeaseEnd();
+  }
   slotsOf(Table)[ChildIndex].Status.store(
       static_cast<int32_t>(SampleStatus::Pruned), std::memory_order_relaxed);
   exitChild();
@@ -812,6 +1259,10 @@ void Runtime::check(bool Ok) {
 
 void Runtime::sync(const std::function<void()> &BarrierCb) {
   assert(Inited && RegionActive && "sync() outside a sampling region");
+  // A pool worker runs its leases one after another, so there is no
+  // moment when all samples exist to meet at a barrier.
+  assert(!(Table && Table->PoolMode) &&
+         "sync() is not supported in worker-pool regions");
   if (isSampling()) {
     // Rule [SYNC-S]: notify the tuning process, wait to be released. The
     // InBarrier flag lets the supervisor repair the counts if we die here.
@@ -877,6 +1328,13 @@ void Runtime::aggregate(const std::string &Var,
     // status store, so the tuning-side folding sweep never sees a
     // Committed child whose aggregate() variable is missing.
     commitBytes(Var, Bytes);
+    if (PoolWorker) {
+      // The lease is done, not the worker: publish completion and unwind
+      // back into workerLoop() for the next sample index.
+      leasesOf(Table)[ChildIndex].State.store(LsCommitted,
+                                              std::memory_order_release);
+      throw LeaseEnd();
+    }
     slotsOf(Table)[ChildIndex].Status.store(
         static_cast<int32_t>(SampleStatus::Committed),
         std::memory_order_release);
@@ -888,25 +1346,50 @@ void Runtime::aggregate(const std::string &Var,
   // committing (pruned by @check, or crashed) simply has no record in
   // the store. Registered fold accumulators were filled incrementally
   // during the sweeps; foldRemaining() below tops them up with whatever
-  // went through the file path.
+  // went through the file path. Pool mode additionally requires every
+  // lease to reach a terminal state: all workers exiting with leases
+  // still open (a wipe-out) makes settlePoolLeases() return the orphans
+  // and fork a replacement worker.
   for (;;) {
+    // Snapshot the event counter before the sweep: an exit event posted
+    // while we are sweeping must not be lost to the wait below (with a
+    // small worker pool that stall would be the last worker's exit, a
+    // full 50 ms of dead time per region).
+    uint64_t EventsSeen = Ctl->childEventCount();
     int Live = sweepChildren();
-    if (Live == 0)
-      break;
-    if (regionDeadlinePassed()) {
-      killStragglers();
+    if (Live == 0) {
+      if (!RegionIsPool || settlePoolLeases())
+        break;
       continue;
     }
-    Ctl->childEventWaitTimed(50);
+    if (regionDeadlinePassed()) {
+      killStragglers();
+      if (RegionIsPool)
+        markLeasesTimedOut();
+      continue;
+    }
+    Ctl->childEventWaitTimed(50, EventsSeen);
   }
   discardSpares();
 
-  std::vector<AggregationView::SampleRecord> Records(
-      static_cast<size_t>(Table->NumSlots));
-  ChildSlot *Slots = slotsOf(Table);
-  for (size_t I = 0, E = Records.size(); I != E; ++I) {
-    Records[I].Status = statusOf(Slots[I]);
-    Records[I].Signal = Slots[I].Signal.load(std::memory_order_relaxed);
+  std::vector<AggregationView::SampleRecord> Records;
+  if (RegionIsPool) {
+    // Pool mode reports per-sample records from the lease table; the
+    // worker slots are an execution detail.
+    Records.resize(static_cast<size_t>(Table->NumLeases));
+    LeaseCell *Leases = leasesOf(Table);
+    for (size_t I = 0, E = Records.size(); I != E; ++I) {
+      Records[I].Status =
+          leaseSampleStatus(Leases[I].State.load(std::memory_order_acquire));
+      Records[I].Signal = Leases[I].Signal.load(std::memory_order_relaxed);
+    }
+  } else {
+    Records.resize(static_cast<size_t>(Table->NumSlots));
+    ChildSlot *Slots = slotsOf(Table);
+    for (size_t I = 0, E = Records.size(); I != E; ++I) {
+      Records[I].Status = statusOf(Slots[I]);
+      Records[I].Signal = Slots[I].Signal.load(std::memory_order_relaxed);
+    }
   }
   // Final folding pass with every child reaped (waitpid(2) ordered all
   // their stores before ours): first the slab, then the file-path
@@ -916,6 +1399,11 @@ void Runtime::aggregate(const std::string &Var,
   foldRemaining(*Reader, Records);
   destroyRegionTable();
   Ctl->releaseBarrierSlot(BarrierSlot);
+  if (RegionIsPool) {
+    Ctl->releaseLeaseSlot(LeaseSlot);
+    LeaseSlot = -1;
+    RegionIsPool = false;
+  }
   AggregationView View(std::move(Reader), std::move(Records));
   RegionActive = false;
   if (Cb)
@@ -971,6 +1459,13 @@ bool Runtime::split() {
   FoldVotes.clear();
   FoldMeanVecs.clear();
   FoldedPairs.clear();
+  RegionIsPool = false;
+  RegionWorkers = 0;
+  LeaseSlot = -1;
+  RespawnsUsed = 0;
+  RegionBody = nullptr;
+  PoolWorker = false;
+  WorkerIndex = -1;
   TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
   return true;
 }
@@ -993,6 +1488,7 @@ unsigned Runtime::maxPool() const { return Ctl->maxPool(); }
 uint64_t Runtime::crashedSamples() const { return Ctl->crashedTotal(); }
 uint64_t Runtime::timedOutSamples() const { return Ctl->timedOutTotal(); }
 uint64_t Runtime::forkFailures() const { return Ctl->forkFailedTotal(); }
+uint64_t Runtime::leaseReclaims() const { return Ctl->leaseReclaimsTotal(); }
 uint64_t Runtime::shmCommits() const { return Ctl->slabPublishedTotal(); }
 uint64_t Runtime::storeFallbacks() const { return Ctl->slabFallbackTotal(); }
 

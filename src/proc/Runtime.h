@@ -42,6 +42,12 @@
 /// sample can therefore never wedge a run — see DESIGN.md, "Failure
 /// semantics".
 ///
+/// Runtime::samplingRegion() is the worker-pool variant of a sampling
+/// region: min(N, pool) long-lived workers claim sample indices from a
+/// shared lease counter instead of paying one fork(2) per sample, with
+/// per-index RNG reseeding keeping every draw bitwise-identical to the
+/// fork-per-sample mode — see DESIGN.md, "Worker-pool sampling".
+///
 /// The aggregation store has two backends (RuntimeOptions::Backend).
 /// StoreBackend::Files is the paper's Sec. III-B1 design: each sampling
 /// process commits its result variables into per-index files inside a
@@ -164,6 +170,10 @@ struct RuntimeOptions {
   /// writing its slab payload but before publishing it (torn-commit
   /// test). Negative = disabled.
   int DebugKillMidCommitAt = -1;
+  /// Workers forked per samplingRegion() (worker-pool mode); the actual
+  /// count is min(N, WorkerPool, MaxPool - 1). 0 = MaxPool - 1.
+  /// Overridable per region via RegionOptions::Workers.
+  unsigned WorkerPool = 0;
 };
 
 /// Per-region overrides for sampling().
@@ -173,6 +183,9 @@ struct RegionOptions {
   double TimeoutSec = -1.0;
   /// Retry spares for this region; < 0 inherits RuntimeOptions::MaxRetries.
   int MaxRetries = -1;
+  /// Workers for this region under samplingRegion(); <= 0 inherits
+  /// RuntimeOptions::WorkerPool. Ignored by fork-per-sample sampling().
+  int Workers = 0;
 };
 
 /// Backend-neutral read access to one region's committed results. The
@@ -272,6 +285,37 @@ public:
   /// sampling() with per-region timeout/retry overrides.
   void sampling(int N, const RegionOptions &Ro);
 
+  /// Worker-pool variant of a sampling region: forks only
+  /// min(N, RegionOptions::Workers, MaxPool - 1) long-lived sampling
+  /// workers instead of one process per sample. Each worker claims sample
+  /// indices from a lock-free lease counter and runs \p Body once per
+  /// claimed index; commits flow through the regular store, so the
+  /// tuning side's incremental folding overlaps with still-running
+  /// workers. \p Body must therefore be re-entrant: it runs many times in
+  /// one worker process, and writes it makes to process-local state leak
+  /// into the worker's later leases (keep per-sample state inside the
+  /// body; derive everything varying from sample()/sampleIndex()).
+  ///
+  /// Observable behavior matches sampling() exactly: the worker reseeds
+  /// its RNG per claimed index with the same stream a fork-per-sample
+  /// child of that index would get, so Random and Stratified draws are
+  /// bitwise-identical; sampleIndex() reports the claimed index; check()
+  /// prunes just the current lease (the worker moves on); a worker that
+  /// dies has its unfinished lease returned to the pool and re-claimed
+  /// (once) by a survivor. sync() is not supported — workers run their
+  /// leases at different times, so there is no cross-sample barrier.
+  ///
+  /// The tuning process also runs \p Body once (sampling primitives
+  /// no-op as usual), and the body must reach aggregate(), which is
+  /// where the supervision happens; samplingRegion() returns after the
+  /// aggregation callback.
+  void samplingRegion(int N, const RegionOptions &Ro,
+                      const std::function<void()> &Body);
+
+  void samplingRegion(int N, const std::function<void()> &Body) {
+    samplingRegion(N, RegionOptions(), Body);
+  }
+
   /// @sample(x, cbDist): draws this run's value of \p Name; the tuning
   /// process observes D.defaultValue() (the rule is a no-op in T mode).
   double sample(const std::string &Name, const Distribution &D);
@@ -326,7 +370,12 @@ public:
   bool isTuning() const { return Mode == ModeKind::Tuning; }
   /// Child index within the current region, or -1 in a tuning process.
   /// Retry spares observe indices >= the region's requested sample count.
+  /// In a worker-pool region this is the currently claimed sample index,
+  /// not the worker's slot (see poolWorkerIndex()).
   int sampleIndex() const { return isSampling() ? ChildIndex : -1; }
+  /// Worker slot within a samplingRegion() pool, or -1 outside one.
+  /// Unlike sampleIndex(), this identifies the long-lived process.
+  int poolWorkerIndex() const { return PoolWorker ? WorkerIndex : -1; }
   uint64_t tuningProcessId() const { return TpId; }
   /// Deterministic per-process random stream.
   Rng &rng() { return TheRng; }
@@ -342,6 +391,8 @@ public:
   uint64_t crashedSamples() const;
   uint64_t timedOutSamples() const;
   uint64_t forkFailures() const;
+  /// Leases of dead workers returned for re-claiming (worker-pool mode).
+  uint64_t leaseReclaims() const;
 
   //===--------------------------------------------------------------------===
   // Shared incremental aggregation (paper Sec. IV-B across processes)
@@ -420,6 +471,14 @@ private:
   void discardSpares();
   void destroyRegionTable();
 
+  // Worker-pool internals (samplingRegion).
+  [[noreturn]] void workerLoop();
+  int claimLease();
+  void forkPoolWorker(int SlotIdx);
+  void reclaimWorkerLease(int SlotIdx);
+  bool settlePoolLeases();
+  void markLeasesTimedOut();
+
   RuntimeOptions Opts;
   std::unique_ptr<SharedControl> Ctl;
   bool Inited = false;
@@ -445,6 +504,15 @@ private:
   double RegionDeadline = 0;      // CLOCK_MONOTONIC seconds
   std::vector<char> Reaped;       // per-child, tuning side
   std::vector<pid_t> SplitChildren;
+
+  // Worker-pool region state (samplingRegion).
+  bool RegionIsPool = false;
+  int RegionWorkers = 0; // workers forked (tuning side)
+  int LeaseSlot = -1;    // SharedControl lease-counter slot
+  int RespawnsUsed = 0;  // replacement workers forked after a wipe-out
+  std::function<void()> RegionBody; // re-run by workers and respawns
+  bool PoolWorker = false;          // this process is a pool worker
+  int WorkerIndex = -1;             // its slot in the region table
 
   // Aggregation-store state of the current region.
   std::string RegionDirPath; // cached regionDir(RegionCounter)

@@ -107,6 +107,14 @@ struct SharedLayout {
   int BarrierFree[NumBarrierSlots];
   int BarrierFreeCount;
 
+  // Sample-lease counters (worker-pool regions): a free-list of slots,
+  // each holding one lock-free monotone claim counter.
+  SharedLock LeaseAllocLock;
+  int LeaseFree[NumLeaseSlots];
+  int LeaseFreeCount;
+  std::atomic<int64_t> LeaseNext[NumLeaseSlots];
+  std::atomic<uint64_t> LeaseReclaims;
+
   // Child-exit event channel + supervisor counters.
   SharedLock ChildEventLock;
   uint64_t ChildEvents;
@@ -192,6 +200,11 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   for (int I = 0; I != NumBarrierSlots; ++I)
     Layout->BarrierFree[I] = NumBarrierSlots - 1 - I; // pop low slots first
   Layout->BarrierFreeCount = NumBarrierSlots;
+
+  Layout->LeaseAllocLock.init();
+  for (int I = 0; I != NumLeaseSlots; ++I)
+    Layout->LeaseFree[I] = NumLeaseSlots - 1 - I;
+  Layout->LeaseFreeCount = NumLeaseSlots;
 
   Layout->ChildEventLock.init();
 
@@ -434,6 +447,48 @@ void SharedControl::barrierRelease(int Slot) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sample-lease counters
+//===----------------------------------------------------------------------===//
+
+int SharedControl::acquireLeaseSlot() {
+  pthread_mutex_lock(&Layout->LeaseAllocLock.Mutex);
+  while (Layout->LeaseFreeCount == 0)
+    pthread_cond_wait(&Layout->LeaseAllocLock.Cond,
+                      &Layout->LeaseAllocLock.Mutex);
+  int Slot = Layout->LeaseFree[--Layout->LeaseFreeCount];
+  pthread_mutex_unlock(&Layout->LeaseAllocLock.Mutex);
+  return Slot;
+}
+
+void SharedControl::releaseLeaseSlot(int Slot) {
+  pthread_mutex_lock(&Layout->LeaseAllocLock.Mutex);
+  assert(Layout->LeaseFreeCount < NumLeaseSlots && "lease slot freed twice");
+  Layout->LeaseFree[Layout->LeaseFreeCount++] = Slot;
+  pthread_cond_broadcast(&Layout->LeaseAllocLock.Cond);
+  pthread_mutex_unlock(&Layout->LeaseAllocLock.Mutex);
+}
+
+void SharedControl::leaseReset(int Slot) {
+  Layout->LeaseNext[Slot].store(0, std::memory_order_release);
+}
+
+int64_t SharedControl::leaseClaim(int Slot) {
+  return Layout->LeaseNext[Slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t SharedControl::leaseNext(int Slot) const {
+  return Layout->LeaseNext[Slot].load(std::memory_order_acquire);
+}
+
+void SharedControl::noteLeaseReclaim() {
+  Layout->LeaseReclaims.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::leaseReclaimsTotal() const {
+  return Layout->LeaseReclaims.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
 // Child events + supervisor counters
 //===----------------------------------------------------------------------===//
 
@@ -444,10 +499,20 @@ void SharedControl::childEventNotify() {
   pthread_mutex_unlock(&Layout->ChildEventLock.Mutex);
 }
 
+uint64_t SharedControl::childEventCount() const {
+  pthread_mutex_lock(&Layout->ChildEventLock.Mutex);
+  uint64_t C = Layout->ChildEvents;
+  pthread_mutex_unlock(&Layout->ChildEventLock.Mutex);
+  return C;
+}
+
 void SharedControl::childEventWaitTimed(int TimeoutMs) {
+  childEventWaitTimed(TimeoutMs, childEventCount());
+}
+
+void SharedControl::childEventWaitTimed(int TimeoutMs, uint64_t Seen) {
   timespec Deadline = deadlineIn(TimeoutMs);
   pthread_mutex_lock(&Layout->ChildEventLock.Mutex);
-  uint64_t Seen = Layout->ChildEvents;
   while (Layout->ChildEvents == Seen) {
     if (pthread_cond_timedwait(&Layout->ChildEventLock.Cond,
                                &Layout->ChildEventLock.Mutex,

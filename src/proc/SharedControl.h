@@ -64,6 +64,9 @@ struct SharedLayout;
 constexpr int NumScalarCells = 16;
 /// Number of barrier slots; allocated through a shared free-list.
 constexpr int NumBarrierSlots = 64;
+/// Number of lease-counter slots for worker-pool sampling regions;
+/// allocated through a shared free-list like barrier slots.
+constexpr int NumLeaseSlots = 64;
 /// Longest variable name a slab record can hold inline; longer names
 /// fall back to the file store.
 constexpr size_t SlabVarNameMax = 40;
@@ -186,15 +189,53 @@ public:
   void barrierReclaimDead(int Slot, std::atomic<int32_t> *InBarrier);
 
   //===--------------------------------------------------------------------===
+  // Sample-lease counters (worker-pool sampling regions).
+  //===--------------------------------------------------------------------===
+  //
+  // A worker-pool region (Runtime::samplingRegion) forks min(N, pool)
+  // long-lived workers instead of N one-shot children; each worker claims
+  // sample indices from a lock-free monotone counter until the region is
+  // drained. Only the counter lives here — the per-lease state table is
+  // part of the region's own shared child table, next to the slots it
+  // already supervises.
+
+  /// Draws a free lease-counter slot (blocks if all NumLeaseSlots are in
+  /// use). Regions own their slot until releaseLeaseSlot().
+  int acquireLeaseSlot();
+  /// Returns a lease slot to the free-list.
+  void releaseLeaseSlot(int Slot);
+  /// Tuning side: rewind the claim counter of \p Slot to zero before the
+  /// workers fork.
+  void leaseReset(int Slot);
+  /// Worker side: claims the next sample index (lock-free fetch_add). The
+  /// caller bounds the result against the region's N; over-claims past N
+  /// are harmless and simply tell the worker the region is drained.
+  int64_t leaseClaim(int Slot);
+  /// Next unclaimed index (acquire load; supervisor orphan scans).
+  int64_t leaseNext(int Slot) const;
+  /// Bumped by the supervisor each time a dead worker's unfinished lease
+  /// is returned for another worker to re-claim.
+  void noteLeaseReclaim();
+  uint64_t leaseReclaimsTotal() const;
+
+  //===--------------------------------------------------------------------===
   // Child events + supervisor counters.
   //===--------------------------------------------------------------------===
 
   /// Pulsed by sampling children as they exit so a supervising tuning
   /// process wakes promptly from childEventWaitTimed().
   void childEventNotify();
+  /// Current value of the event counter. Snapshot this *before* sweeping
+  /// children, then pass it to the counted childEventWaitTimed overload:
+  /// an event posted during the sweep then returns immediately instead of
+  /// being lost until the next event or timeout.
+  uint64_t childEventCount() const;
   /// Sleeps until the next child event or \p TimeoutMs, whichever first.
   /// Abnormal deaths emit no event, so callers must re-poll on timeout.
   void childEventWaitTimed(int TimeoutMs);
+  /// Like the above, but returns immediately if the counter has already
+  /// advanced past \p Seen (a childEventCount() snapshot).
+  void childEventWaitTimed(int TimeoutMs, uint64_t Seen);
 
   void noteCrash();
   void noteTimeout();

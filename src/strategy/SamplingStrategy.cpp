@@ -149,3 +149,26 @@ std::unique_ptr<SamplingStrategy>
 wbt::makeLatinHypercubeStrategy(int TotalRuns, uint64_t Seed) {
   return std::make_unique<LatinHypercubeStrategy>(TotalRuns, Seed);
 }
+
+uint64_t wbt::stratifiedStratum(const std::string &Name, uint64_t RunIdx,
+                                uint64_t N) {
+  if (N == 0)
+    return 0;
+  // FNV-1a of the variable name seeds the permutation parameters.
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name)
+    H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
+  // An affine map I -> (I * Mult + Offset) mod N permutes [0, N) exactly
+  // when gcd(Mult, N) == 1; degrade to the identity multiplier otherwise.
+  uint64_t Mult = (H | 1) % N;
+  uint64_t A = Mult, B = N;
+  while (B) {
+    uint64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  if (Mult == 0 || A != 1)
+    Mult = 1;
+  uint64_t Offset = (H >> 17) % N;
+  return ((RunIdx % N) * Mult + Offset) % N;
+}

@@ -60,6 +60,17 @@ std::unique_ptr<SamplingStrategy> makeMcmcStrategy(double Temperature = 1.0,
 std::unique_ptr<SamplingStrategy> makeLatinHypercubeStrategy(int TotalRuns,
                                                              uint64_t Seed);
 
+/// Stratum of sampling run \p RunIdx for variable \p Name among \p N
+/// strata: an affine permutation of [0, N) whose multiplier (forced
+/// coprime to N) and offset derive from the variable name, so different
+/// variables visit the strata in different orders while each run still
+/// covers every variable's range exactly once across N runs. Shared by
+/// the fork runtime's Stratified regions (proc/Runtime.cpp), where
+/// worker-pool mode keys it on the *claimed sample index* rather than the
+/// worker index so lease distribution cannot change coverage.
+uint64_t stratifiedStratum(const std::string &Name, uint64_t RunIdx,
+                           uint64_t N);
+
 } // namespace wbt
 
 #endif // WBT_STRATEGY_SAMPLINGSTRATEGY_H

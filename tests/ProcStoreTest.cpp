@@ -172,6 +172,7 @@ int scenarioSlabExhaustionOverflows() {
 /// scenario signature carries no arguments; fork(2) snapshots them).
 int GEquivKind = 0;
 int GEquivN = 0;
+int GEquivPool = 0; // 1 = worker-pool region (samplingRegion)
 
 struct BackendResults {
   int Committed = -1;
@@ -190,32 +191,46 @@ int runOneBackend(StoreBackend B, BackendResults &R) {
   Opts.Backend = B;
   Rt.init(Opts);
 
-  Rt.sampling(GEquivN, static_cast<SamplingKind>(GEquivKind));
-  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-  if (Rt.isSampling()) {
-    std::vector<uint8_t> Mask(16);
-    for (size_t J = 0; J != Mask.size(); ++J)
-      Mask[J] = std::fmod(X * static_cast<double>(J + 1), 1.0) > 0.5;
-    Rt.commitExtra("mask", encodeVector(Mask));
-    std::vector<double> Vec{X, X * X, 1.0 - X};
-    Rt.commitExtra("vec", encodeVector(Vec));
-    Rt.aggregate("score", encodeDouble(X * X), nullptr);
+  // The region body is identical in fork-per-sample and worker-pool mode;
+  // only the way it is entered differs. Fold accumulators are registered on
+  // the tuning side before the final aggregate() either way.
+  ScalarAccumulator *Acc = nullptr;
+  double OneShotSum = 0;
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      std::vector<uint8_t> Mask(16);
+      for (size_t J = 0; J != Mask.size(); ++J)
+        Mask[J] = std::fmod(X * static_cast<double>(J + 1), 1.0) > 0.5;
+      Rt.commitExtra("mask", encodeVector(Mask));
+      std::vector<double> Vec{X, X * X, 1.0 - X};
+      Rt.commitExtra("vec", encodeVector(Vec));
+      Rt.aggregate("score", encodeDouble(X * X), nullptr);
+    }
+    Acc = &Rt.foldScalar("score");
+    Rt.foldVote("mask");
+    Rt.foldMeanVector("vec");
+    Rt.aggregate("score", encodeDouble(0), [&](AggregationView &V) {
+      std::vector<int> Idx = V.committed("score");
+      R.Committed = static_cast<int>(Idx.size());
+      for (int I : Idx)
+        OneShotSum += V.loadDouble("score", I);
+    });
+  };
+  if (GEquivPool) {
+    RegionOptions Ro;
+    Ro.Kind = static_cast<SamplingKind>(GEquivKind);
+    Rt.samplingRegion(GEquivN, Ro, Body);
+  } else {
+    Rt.sampling(GEquivN, static_cast<SamplingKind>(GEquivKind));
+    Body();
   }
-  ScalarAccumulator &Acc = Rt.foldScalar("score");
   VoteAccumulator &Votes = Rt.foldVote("mask");
   MeanVectorAccumulator &Means = Rt.foldMeanVector("vec");
-
-  double OneShotSum = 0;
-  Rt.aggregate("score", encodeDouble(0), [&](AggregationView &V) {
-    std::vector<int> Idx = V.committed("score");
-    R.Committed = static_cast<int>(Idx.size());
-    for (int I : Idx)
-      OneShotSum += V.loadDouble("score", I);
-  });
-  R.FoldCount = Acc.count();
-  R.FoldMin = Acc.min();
-  R.FoldMax = Acc.max();
-  R.FoldMean = Acc.mean();
+  R.FoldCount = Acc->count();
+  R.FoldMin = Acc->min();
+  R.FoldMax = Acc->max();
+  R.FoldMean = Acc->mean();
   R.OneShotMean = R.Committed ? OneShotSum / R.Committed : 0;
   R.Vote = Votes.result(0.5);
   R.MeanVec = Means.result();
@@ -253,6 +268,7 @@ int scenarioBackendEquivalence() {
 struct EquivParam {
   SamplingKind Kind;
   int N;
+  bool Pool = false;
 };
 
 class StoreEquivalenceTest : public ::testing::TestWithParam<EquivParam> {};
@@ -274,6 +290,7 @@ TEST(ProcStoreTest, SlabExhaustionOverflowsToFiles) {
 TEST_P(StoreEquivalenceTest, FilesAndShmAgree) {
   GEquivKind = static_cast<int>(GetParam().Kind);
   GEquivN = GetParam().N;
+  GEquivPool = GetParam().Pool ? 1 : 0;
   EXPECT_EQ(runScenario(scenarioBackendEquivalence), 0);
 }
 
@@ -282,10 +299,15 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(EquivParam{SamplingKind::Random, 4},
                       EquivParam{SamplingKind::Random, 32},
                       EquivParam{SamplingKind::Stratified, 4},
-                      EquivParam{SamplingKind::Stratified, 32}),
+                      EquivParam{SamplingKind::Stratified, 32},
+                      EquivParam{SamplingKind::Random, 4, true},
+                      EquivParam{SamplingKind::Random, 32, true},
+                      EquivParam{SamplingKind::Stratified, 4, true},
+                      EquivParam{SamplingKind::Stratified, 32, true}),
     [](const ::testing::TestParamInfo<EquivParam> &Info) {
       std::string Name = Info.param.Kind == SamplingKind::Random
                              ? "Random"
                              : "Stratified";
-      return Name + std::to_string(Info.param.N);
+      return Name + std::to_string(Info.param.N) +
+             (Info.param.Pool ? "Pool" : "");
     });
