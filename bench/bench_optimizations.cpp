@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "obs/Metrics.h"
 #include "proc/Runtime.h"
 #include "support/Timer.h"
 
@@ -120,6 +121,7 @@ struct StoreAblationRow {
   double AggregateMs;   // tuning-side aggregation time, summed
   double RegionsPerSec; // end-to-end region throughput
   double TotalSec;
+  obs::RuntimeMetrics Metrics; // snapshot taken just before finish()
 };
 
 /// Scalar cell reserved for publishing child-side commit latencies to
@@ -130,9 +132,12 @@ constexpr int CommitLatencyCell = 8;
 /// child committing a `PayloadDoubles`-element vector, and measures the
 /// three Fig. 10 quantities for one store configuration. `Pool` enters
 /// each region through samplingRegion() (worker-pool leases, one fork
-/// per worker) instead of sampling() (one fork per sample).
+/// per worker) instead of sampling() (one fork per sample). A non-null
+/// `TracePath` turns the event ring on, measuring tracing's cost against
+/// the identical untraced configuration.
 StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
-                                bool Fold, bool Pool) {
+                                bool Fold, bool Pool,
+                                const char *TracePath = nullptr) {
   using namespace wbt::proc;
   constexpr int Regions = 6;
   constexpr int N = 32;
@@ -145,6 +150,8 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Opts.Backend = B;
   Opts.ShmSlabRecords = 1u << 14;
   Opts.ShmSlabBytes = 8u << 20;
+  if (TracePath)
+    Opts.TracePath = TracePath;
   Rt.init(Opts);
   Rt.sharedScalarReset(CommitLatencyCell);
 
@@ -196,6 +203,7 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Row.AggregateMs = AggregateSec * 1e3;
   Row.RegionsPerSec = Regions / TotalSec;
   Row.TotalSec = TotalSec;
+  Row.Metrics = Rt.metrics();
   Rt.finish();
   return Row;
 }
@@ -314,13 +322,21 @@ int main(int argc, char **argv) {
                      /*Pool=*/false),
       runStoreConfig("shm+fold+workerpool", proc::StoreBackend::Shm,
                      /*Fold=*/true, /*Pool=*/true),
+      // Tracing ablation: same configuration as the workerpool row with
+      // the event ring and exporter live. The untraced row above doubles
+      // as the "tracing compiled in but disabled" baseline (tracing is
+      // always compiled in); CI asserts the two are within 1%.
+      runStoreConfig("shm+fold+workerpool+trace", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true,
+                     WBT_SOURCE_ROOT "/BENCH_trace.json"),
   };
   for (const StoreAblationRow &R : Rows)
-    std::printf("%-20s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
+    std::printf("%-25s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
                 R.AggregateMs, R.RegionsPerSec);
   std::printf("(shm should beat files on commit latency; folding should "
               "collapse the barrier-time aggregation; the worker pool "
-              "should lift region throughput further)\n");
+              "should lift region throughput further; tracing should cost "
+              "almost nothing)\n");
 
   if (Json) {
     const char *Path = WBT_SOURCE_ROOT "/BENCH_optimizations.json";
@@ -332,14 +348,16 @@ int main(int argc, char **argv) {
     std::fprintf(F, "{\n  \"build_type\": \"%s\",\n  \"store_ablation\": [\n",
                  WBT_BUILD_TYPE);
     size_t NumRows = sizeof(Rows) / sizeof(Rows[0]);
-    for (size_t I = 0; I != NumRows; ++I)
+    for (size_t I = 0; I != NumRows; ++I) {
       std::fprintf(F,
                    "    {\"config\": \"%s\", \"commit_us\": %.3f, "
                    "\"aggregate_ms\": %.3f, \"regions_per_sec\": %.2f, "
-                   "\"total_sec\": %.4f}%s\n",
+                   "\"total_sec\": %.4f,\n     \"metrics\": ",
                    Rows[I].Name, Rows[I].CommitUs, Rows[I].AggregateMs,
-                   Rows[I].RegionsPerSec, Rows[I].TotalSec,
-                   I + 1 == NumRows ? "" : ",");
+                   Rows[I].RegionsPerSec, Rows[I].TotalSec);
+      obs::writeMetricsJson(F, Rows[I].Metrics);
+      std::fprintf(F, "}%s\n", I + 1 == NumRows ? "" : ",");
+    }
     std::fprintf(F, "  ]\n}\n");
     std::fclose(F);
     std::printf("wrote %s\n", Path);

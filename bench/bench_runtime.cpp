@@ -19,6 +19,7 @@
 
 #include "aggregate/Aggregators.h"
 #include "core/Pipeline.h"
+#include "obs/Metrics.h"
 #include "proc/Runtime.h"
 #include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
@@ -220,12 +221,17 @@ BENCHMARK(BM_AggregateShm)->Arg(32)->Arg(256);
 /// End-to-end fork-runtime region (N samples, each commits one double;
 /// tuning side folds + aggregates). Arg0: 0 = Files (fork-per-sample),
 /// 1 = Shm (fork-per-sample), 2 = Shm through the worker pool (one fork
-/// per worker, leases amortize the rest). Fixed iteration count keeps
-/// the bump-allocated slab within capacity.
+/// per worker, leases amortize the rest), 3 = the pool configuration
+/// with event tracing live (arm 2 doubles as its tracing-disabled
+/// baseline — tracing is always compiled in). Fixed iteration count
+/// keeps the bump-allocated slab within capacity.
 void BM_RegionAggregate(benchmark::State &State) {
   proc::StoreBackend B = State.range(0) ? proc::StoreBackend::Shm
                                         : proc::StoreBackend::Files;
-  bool Pool = State.range(0) == 2;
+  bool Pool = State.range(0) >= 2;
+  bool Trace = State.range(0) == 3;
+  std::string TracePath =
+      "/tmp/wbt-bench-trace." + std::to_string(getpid()) + ".json";
   const int N = 32;
   proc::Runtime &Rt = proc::Runtime::get();
   proc::RuntimeOptions Opts;
@@ -233,6 +239,8 @@ void BM_RegionAggregate(benchmark::State &State) {
   Opts.Seed = 42;
   Opts.Backend = B;
   Opts.ShmSlabRecords = 1u << 12;
+  if (Trace)
+    Opts.TracePath = TracePath;
   Rt.init(Opts);
   for (auto _ : State) {
     ScalarAccumulator *Acc = nullptr;
@@ -253,12 +261,24 @@ void BM_RegionAggregate(benchmark::State &State) {
     benchmark::DoNotOptimize(Acc->mean());
   }
   State.SetItemsProcessed(State.iterations() * N);
+  // Surface the runtime's own accounting next to the timing so the
+  // --json artifact carries store and tracing behavior per arm.
+  obs::RuntimeMetrics M = Rt.metrics();
+  State.counters["shm_commits"] = static_cast<double>(M.ShmCommits);
+  State.counters["file_fallbacks"] = static_cast<double>(M.FileFallbacks);
+  State.counters["trace_events"] = static_cast<double>(M.TraceEvents);
+  State.counters["trace_drops"] = static_cast<double>(M.TraceDrops);
+  State.counters["fork_p50_us"] = M.ForkLatency.quantileUs(0.5);
+  State.counters["commit_p50_us"] = M.CommitLatency.quantileUs(0.5);
   Rt.finish();
+  if (Trace)
+    std::remove(TracePath.c_str());
 }
 BENCHMARK(BM_RegionAggregate)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(3)
     ->Iterations(40)
     ->Unit(benchmark::kMillisecond);
 

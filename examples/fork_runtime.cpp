@@ -13,6 +13,10 @@
 //
 // Build and run:  ./examples/fork_runtime
 //
+// Set WBT_TRACE=/path/to/trace.json (or RuntimeOptions::TracePath) to
+// record every fork, lease, commit, and region of the run as a Chrome
+// trace-event file — open it in Perfetto or chrome://tracing.
+//
 //===----------------------------------------------------------------------===//
 
 #include "proc/Runtime.h"
@@ -150,6 +154,23 @@ int main() {
                   PoolFold->mean());
     });
   });
+
+  // Metrics are collected whether or not tracing is on; snapshot them
+  // before finish() tears the shared mapping down.
+  obs::RuntimeMetrics M = Rt.metrics();
+  std::printf("metrics: %llu regions (%.1f/s), %llu shm commits, %llu file "
+              "fallbacks, %llu crashed, %llu timed out, %llu lease "
+              "reclaims, fork p50 %.0fus, commit p50 %.0fus\n",
+              static_cast<unsigned long long>(M.RegionsResolved),
+              M.regionsPerSec(),
+              static_cast<unsigned long long>(M.ShmCommits),
+              static_cast<unsigned long long>(M.FileFallbacks),
+              static_cast<unsigned long long>(M.CrashedSamples),
+              static_cast<unsigned long long>(M.TimedOutSamples),
+              static_cast<unsigned long long>(M.LeaseReclaims),
+              M.ForkLatency.quantileUs(0.5), M.CommitLatency.quantileUs(0.5));
+  if (Rt.traceEnabled())
+    std::printf("tracing: writing %s at finish()\n", Rt.tracePath().c_str());
 
   // Root: wait for the split children, then read the cross-process vote.
   Rt.finish(); // waits for all descendants

@@ -1,0 +1,95 @@
+//===- obs/Metrics.cpp - Runtime counters and histograms ------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+namespace wbt {
+namespace obs {
+
+const char *fallbackReasonName(FallbackReason R) {
+  switch (R) {
+  case FallbackReason::Oversized:
+    return "oversized";
+  case FallbackReason::LongName:
+    return "long_name";
+  case FallbackReason::Exhausted:
+    return "exhausted";
+  }
+  return "unknown";
+}
+
+int latencyBucket(uint64_t Ns) {
+  uint64_t Us = Ns / 1000;
+  if (Us < 2)
+    return 0;
+  int B = 63 - __builtin_clzll(Us);
+  return B < NumHistBuckets ? B : NumHistBuckets - 1;
+}
+
+uint64_t latencyBucketLowUs(int B) { return B == 0 ? 0 : uint64_t(1) << B; }
+
+uint64_t HistogramSnapshot::total() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}
+
+double HistogramSnapshot::meanUs() const {
+  uint64_t N = total();
+  return N ? double(SumNs) / double(N) / 1000.0 : 0.0;
+}
+
+double HistogramSnapshot::quantileUs(double Q) const {
+  uint64_t N = total();
+  if (!N)
+    return 0.0;
+  uint64_t Want = uint64_t(Q * double(N));
+  if (Want >= N)
+    Want = N - 1;
+  uint64_t Seen = 0;
+  for (int B = 0; B != NumHistBuckets; ++B) {
+    Seen += Counts[B];
+    if (Seen > Want)
+      return double(uint64_t(1) << (B + 1)); // bucket upper bound
+  }
+  return double(uint64_t(1) << NumHistBuckets);
+}
+
+void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
+  std::fprintf(F,
+               "{\"regions_resolved\": %llu, \"regions_per_sec\": %.2f, "
+               "\"shm_commits\": %llu, \"file_fallbacks\": %llu",
+               (unsigned long long)M.RegionsResolved, M.regionsPerSec(),
+               (unsigned long long)M.ShmCommits,
+               (unsigned long long)M.FileFallbacks);
+  for (int R = 0; R != NumFallbackReasons; ++R)
+    std::fprintf(F, ", \"fallback_%s\": %llu",
+                 fallbackReasonName(FallbackReason(R)),
+                 (unsigned long long)M.Fallbacks[R]);
+  std::fprintf(F,
+               ", \"crashed\": %llu, \"timed_out\": %llu, "
+               "\"fork_failures\": %llu, \"lease_reclaims\": %llu, "
+               "\"retries\": %llu, \"slab_records_hw\": %llu, "
+               "\"slab_bytes_hw\": %llu, \"trace_events\": %llu, "
+               "\"trace_drops\": %llu, \"fork_p50_us\": %.1f, "
+               "\"fork_mean_us\": %.1f, \"commit_p50_us\": %.1f, "
+               "\"commit_mean_us\": %.1f}",
+               (unsigned long long)M.CrashedSamples,
+               (unsigned long long)M.TimedOutSamples,
+               (unsigned long long)M.ForkFailures,
+               (unsigned long long)M.LeaseReclaims,
+               (unsigned long long)M.Retries,
+               (unsigned long long)M.SlabRecordsHighWater,
+               (unsigned long long)M.SlabBytesHighWater,
+               (unsigned long long)M.TraceEvents,
+               (unsigned long long)M.TraceDrops, M.ForkLatency.quantileUs(0.5),
+               M.ForkLatency.meanUs(), M.CommitLatency.quantileUs(0.5),
+               M.CommitLatency.meanUs());
+}
+
+} // namespace obs
+} // namespace wbt

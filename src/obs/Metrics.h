@@ -1,0 +1,102 @@
+//===- obs/Metrics.h - Runtime counters and histograms ----------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Always-on runtime metrics: shared-memory counter/histogram cells that
+// SharedControl embeds in its mapping, and the plain-value snapshot
+// (`RuntimeMetrics`) that Runtime::metrics() returns and the bench
+// `--json` emitters embed next to the build-type provenance. Unlike the
+// event ring, metrics are collected whether or not tracing is enabled —
+// a fetch_add per commit is cheap enough to leave on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_OBS_METRICS_H
+#define WBT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace wbt {
+namespace obs {
+
+/// Why a shm commit was routed to the file store instead of the slab.
+enum class FallbackReason : uint8_t {
+  Oversized = 0, ///< payload above ShmRecordThreshold or > 4 GiB
+  LongName = 1,  ///< variable name longer than the slab's inline field
+  Exhausted = 2, ///< slab records or payload arena ran out
+};
+constexpr int NumFallbackReasons = 3;
+
+const char *fallbackReasonName(FallbackReason R);
+
+/// Fixed log2 latency buckets: bucket B counts samples in
+/// [2^B, 2^{B+1}) microseconds (bucket 0 also absorbs sub-microsecond
+/// samples, the last bucket is open-ended).
+constexpr int NumHistBuckets = 16;
+
+/// Which bucket a latency falls in.
+int latencyBucket(uint64_t Ns);
+
+/// Inclusive lower bound of bucket B, in microseconds.
+uint64_t latencyBucketLowUs(int B);
+
+/// Shared-memory histogram cell. POD-layout, zero-initialized by the
+/// mapping's memset; concurrent writers only fetch_add.
+struct LatencyHistogram {
+  std::atomic<uint64_t> Counts[NumHistBuckets];
+  std::atomic<uint64_t> SumNs;
+
+  void record(uint64_t Ns) {
+    Counts[latencyBucket(Ns)].fetch_add(1, std::memory_order_relaxed);
+    SumNs.fetch_add(Ns, std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value copy of a LatencyHistogram.
+struct HistogramSnapshot {
+  uint64_t Counts[NumHistBuckets] = {};
+  uint64_t SumNs = 0;
+
+  uint64_t total() const;
+  double meanUs() const;
+  /// Upper-bound estimate of the Q-quantile (Q in [0,1]), microseconds.
+  double quantileUs(double Q) const;
+};
+
+/// One coherent snapshot of the run's counters, queryable from
+/// Runtime::metrics() at any point while the runtime is initialized.
+struct RuntimeMetrics {
+  uint64_t RegionsResolved = 0;
+  double ElapsedSec = 0; ///< since Runtime::init
+  uint64_t ShmCommits = 0;
+  uint64_t FileFallbacks = 0; ///< sum over Fallbacks[]
+  uint64_t Fallbacks[NumFallbackReasons] = {};
+  uint64_t CrashedSamples = 0;
+  uint64_t TimedOutSamples = 0;
+  uint64_t ForkFailures = 0;
+  uint64_t LeaseReclaims = 0; ///< dead-worker lease re-runs
+  uint64_t Retries = 0;       ///< spare activations + pool respawns
+  uint64_t SlabRecordsHighWater = 0;
+  uint64_t SlabBytesHighWater = 0;
+  uint64_t TraceEvents = 0;
+  uint64_t TraceDrops = 0;
+  HistogramSnapshot ForkLatency;
+  HistogramSnapshot CommitLatency;
+
+  double regionsPerSec() const {
+    return ElapsedSec > 0 ? double(RegionsResolved) / ElapsedSec : 0.0;
+  }
+};
+
+/// Writes the snapshot as one JSON object (no trailing newline) — the
+/// shared shape both bench --json emitters embed under "metrics".
+void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M);
+
+} // namespace obs
+} // namespace wbt
+
+#endif // WBT_OBS_METRICS_H

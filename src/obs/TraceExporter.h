@@ -1,0 +1,47 @@
+//===- obs/TraceExporter.h - Chrome trace-event JSON ------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Renders drained trace events as Chrome trace-event JSON, loadable in
+// Perfetto / chrome://tracing: one track per pid (pid == tid), span
+// kinds as "B"/"E" duration events, forks as "X" complete events, the
+// rest as instants. Spans left open by a killed process get synthesized
+// closing events so begin/end always balance per pid. Tuning processes
+// created by @split persist their drained events as binary fragment
+// files in the run directory; the root reads them back and writes one
+// merged JSON file at finish().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_OBS_TRACEEXPORTER_H
+#define WBT_OBS_TRACEEXPORTER_H
+
+#include "obs/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace obs {
+
+/// Renders `Events` (any order; sorted internally) as a complete Chrome
+/// trace JSON document.
+std::string chromeTraceJson(std::vector<TraceEvent> Events);
+
+/// chromeTraceJson + write to `Path`. Returns false on I/O error.
+bool writeChromeTrace(const std::string &Path, std::vector<TraceEvent> Events);
+
+/// Persists raw events for a @split tuning process (atomic via rename).
+bool writeTraceFragment(const std::string &Path,
+                        const std::vector<TraceEvent> &Events);
+
+/// Appends a fragment's events to `Out`. Returns false when the file is
+/// missing or truncated (partial records are discarded, not surfaced).
+bool readTraceFragment(const std::string &Path, std::vector<TraceEvent> &Out);
+
+} // namespace obs
+} // namespace wbt
+
+#endif // WBT_OBS_TRACEEXPORTER_H

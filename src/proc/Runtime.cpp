@@ -6,6 +6,7 @@
 
 #include "proc/Runtime.h"
 
+#include "obs/TraceExporter.h"
 #include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
 
@@ -344,14 +345,31 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   assert(!Inited && "proc runtime initialized twice");
   Opts = InOpts;
   if (Opts.RunDir.empty()) {
-    char Template[] = "/tmp/wbtuner.XXXXXX";
-    char *Dir = mkdtemp(Template);
+    // Respect TMPDIR like the mktemp(3) family does; /tmp is the
+    // fallback, not the policy.
+    const char *Tmp = getenv("TMPDIR");
+    std::string Templ =
+        std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/wbtuner.XXXXXX";
+    std::vector<char> Buf(Templ.begin(), Templ.end());
+    Buf.push_back('\0');
+    char *Dir = mkdtemp(Buf.data());
     assert(Dir && "mkdtemp failed");
     Opts.RunDir = Dir;
   } else {
     makeDir(Opts.RunDir);
   }
   makeDir(Opts.RunDir + "/exposed");
+
+  // Tracing is opt-in: RuntimeOptions::TracePath, or WBT_TRACE for runs
+  // that cannot change code. Off means the ring is not even mapped and
+  // every tracepoint is one predictable untaken branch.
+  TracePathEff = Opts.TracePath;
+  if (TracePathEff.empty()) {
+    const char *Env = getenv("WBT_TRACE");
+    if (Env && *Env)
+      TracePathEff = Env;
+  }
+  TraceOn = !TracePathEff.empty();
 
   Ctl = std::make_unique<SharedControl>();
   SlabConfig Slab;
@@ -362,7 +380,9 @@ void Runtime::init(const RuntimeOptions &InOpts) {
     Slab.Records = 0; // Files backend: no slab at all
     Slab.ArenaBytes = 0;
   }
-  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler, Slab);
+  TraceConfig Trace;
+  Trace.Records = TraceOn ? Opts.TraceRingRecords : 0;
+  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler, Slab, Trace);
 
   Inited = true;
   IsRoot = true;
@@ -380,6 +400,9 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   NumSpares = 0;
   RegionDirPath.clear();
   RegionSlabStart = 0;
+  RegionShmStart = 0;
+  std::fill(std::begin(RegionFallbackStart), std::end(RegionFallbackStart),
+            0);
   FoldScalars.clear();
   FoldVotes.clear();
   FoldMeanVecs.clear();
@@ -391,6 +414,8 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   RegionBody = nullptr;
   PoolWorker = false;
   WorkerIndex = -1;
+  TraceBuf.clear();
+  InitTime = monoNow();
   // The root tuning process occupies a pool slot like any other process.
   Ctl->acquireSlot(/*IsTuning=*/true);
 }
@@ -420,12 +445,26 @@ void Runtime::finish() {
   if (IsRoot) {
     while (!Ctl->waitLiveTuningProcessesTimed(1, 100)) {
     }
+    // Every descendant is gone: take the final drain (skipping cells a
+    // killed writer left unpublished), merge @split fragments, and write
+    // the Chrome trace before the run directory disappears.
+    if (TraceOn) {
+      drainTraceEvents(/*Final=*/true);
+      exportTrace();
+    }
     Ctl->releaseSlot();
     if (!Opts.KeepFiles)
       removeTree(Opts.RunDir);
     Inited = false;
     Ctl.reset();
     return;
+  }
+  // A @split tuning process parks its drained events as a binary
+  // fragment for the root to merge. No skip-drain here: other tuning
+  // processes' children may still be writing.
+  if (TraceOn) {
+    drainTraceEvents(/*Final=*/false);
+    writeTraceFragmentFile();
   }
   Ctl->tuningProcessExited();
   Ctl->releaseSlot();
@@ -447,6 +486,10 @@ void Runtime::exitChild() {
   // exchange flags hand cleanup to the supervisor if we lose the race
   // with a timeout kill. _exit(2) skips stdio teardown, so flush what the
   // user printed first.
+  traceEmit(PoolWorker ? obs::EventKind::WorkerEnd
+                       : obs::EventKind::SampleEnd,
+            RegionCounter,
+            static_cast<uint64_t>(PoolWorker ? WorkerIndex : ChildIndex));
   std::fflush(nullptr);
   // Pool workers live in slot WorkerIndex; ChildIndex is their current
   // sample lease, which indexes the lease table, not the slot array.
@@ -478,6 +521,7 @@ void Runtime::parkAsSpare(int Idx) {
   // fresh RNG stream this index was seeded with.
   Ctl->acquireSlot(/*IsTuning=*/false);
   S.SlotHeld.store(1, std::memory_order_release);
+  traceEmit(obs::EventKind::SchedAdmit, 0, static_cast<uint64_t>(Idx));
 }
 
 //===----------------------------------------------------------------------===//
@@ -550,6 +594,7 @@ void Runtime::reclaimWorkerLease(int SlotIdx) {
                                         std::memory_order_acq_rel)) {
       Table->LeasesReturned.fetch_add(1, std::memory_order_release);
       Ctl->noteLeaseReclaim();
+      traceEmit(obs::EventKind::LeaseReclaim, static_cast<uint64_t>(Idx));
     }
     return;
   }
@@ -602,6 +647,9 @@ int Runtime::sweepChildren() {
   // is what makes aggregate() O(1) per sample: by the time the last
   // child exits, nearly everything has already been folded.
   foldSlabCommits();
+  // ... and drain the trace ring on the same schedule, so children's
+  // events free ring cells while the region is still running.
+  drainTraceEvents(/*Final=*/false);
   return Live;
 }
 
@@ -623,6 +671,8 @@ bool Runtime::activateSpare() {
     S.Command.store(SpActivate, std::memory_order_relaxed);
     pthread_cond_broadcast(&Table->ParkLock.Cond);
     pthread_mutex_unlock(&Table->ParkLock.Mutex);
+    Ctl->noteRetry();
+    traceEmit(obs::EventKind::SpareActivate, static_cast<uint64_t>(Idx));
     return true;
   }
   return false;
@@ -651,6 +701,8 @@ void Runtime::killStragglers() {
       Ctl->releaseSlot();
     if (S.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
       Ctl->barrierReclaimDead(BarrierSlot, &S.InBarrier);
+    traceEmit(obs::EventKind::Kill, static_cast<uint64_t>(I),
+              static_cast<uint64_t>(Pid));
     kill(Pid, SIGKILL);
     reapOne(I, /*Block=*/true);
   }
@@ -730,8 +782,10 @@ void Runtime::foldEntryBytes(const std::string &Var, int Child,
       Mi->second.add(Xs);
     Registered = true;
   }
-  if (Registered)
+  if (Registered) {
     FoldedPairs.insert(std::move(Key));
+    traceEmit(obs::EventKind::Fold, static_cast<uint64_t>(Child));
+  }
 }
 
 /// One pass over the region's slab window, folding every published
@@ -838,6 +892,14 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   // Slab entries allocated before this point cannot belong to this
   // region; sweeps scan [RegionSlabStart, slabAllocated()).
   RegionSlabStart = Ctl->slabAllocated();
+  // Store-counter watermarks: AggregationView reports per-region deltas
+  // against these.
+  RegionShmStart = Ctl->slabPublishedTotal();
+  for (int R = 0; R != obs::NumFallbackReasons; ++R)
+    RegionFallbackStart[R] =
+        Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R));
+  traceEmit(obs::EventKind::RegionBegin, RegionCounter,
+            static_cast<uint64_t>(N));
 
   RegionN = N;
   RegionKind = Ro.Kind;
@@ -884,9 +946,13 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
     // Alg. 1: a sampling spawn waits only for a free slot. The wait is
     // supervised: while blocked, reap children that already died so their
     // leaked slots cannot starve the spawn loop.
-    while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50))
+    while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50)) {
+      traceEmit(obs::EventKind::SchedDefer, 0, static_cast<uint64_t>(I));
       sweepChildren();
+    }
+    traceEmit(obs::EventKind::SchedAdmit, 0, static_cast<uint64_t>(I));
     S.SlotHeld.store(1, std::memory_order_relaxed);
+    double ForkT0 = monoNow();
     pid_t Pid = I == Opts.DebugFailForkAt ? -1 : fork();
     if (Pid < 0) {
       // The sample never existed: release the reserved slot, shrink the
@@ -917,8 +983,13 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
                            (RegionCounter << 20) + static_cast<uint64_t>(I)));
       if (I >= N)
         parkAsSpare(I); // returns only if activated as a replacement
+      traceEmit(obs::EventKind::SampleBegin, RegionCounter,
+                static_cast<uint64_t>(ChildIndex));
       return;
     }
+    uint64_t ForkNs = static_cast<uint64_t>((monoNow() - ForkT0) * 1e9);
+    Ctl->recordForkLatency(ForkNs);
+    traceEmit(obs::EventKind::Fork, static_cast<uint64_t>(Pid), ForkNs);
     S.Pid.store(static_cast<int32_t>(Pid), std::memory_order_relaxed);
   }
   RegionActive = true;
@@ -935,10 +1006,14 @@ void Runtime::forkPoolWorker(int SlotIdx) {
   ChildSlot &S = slotsOf(Table)[SlotIdx];
   // Alg. 1: a sampling spawn waits only for a free slot; the wait is
   // supervised so dead workers' leaked slots cannot starve it.
-  while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50))
+  while (!Ctl->acquireSlotTimed(/*IsTuning=*/false, 50)) {
+    traceEmit(obs::EventKind::SchedDefer, 0, static_cast<uint64_t>(SlotIdx));
     sweepChildren();
+  }
+  traceEmit(obs::EventKind::SchedAdmit, 0, static_cast<uint64_t>(SlotIdx));
   S.SlotHeld.store(1, std::memory_order_relaxed);
   std::fflush(nullptr);
+  double ForkT0 = monoNow();
   pid_t Pid = SlotIdx == Opts.DebugFailForkAt ? -1 : fork();
   if (Pid < 0) {
     // This worker never existed: release its slot and barrier share. Its
@@ -964,8 +1039,13 @@ void Runtime::forkPoolWorker(int SlotIdx) {
     WorkerIndex = SlotIdx;
     RegionActive = true;
     SplitChildren.clear();
-    workerLoop();
+    traceEmit(obs::EventKind::WorkerBegin, RegionCounter,
+              static_cast<uint64_t>(SlotIdx));
+    workerLoop(); // never returns
   }
+  uint64_t ForkNs = static_cast<uint64_t>((monoNow() - ForkT0) * 1e9);
+  Ctl->recordForkLatency(ForkNs);
+  traceEmit(obs::EventKind::Fork, static_cast<uint64_t>(Pid), ForkNs);
   S.Pid.store(static_cast<int32_t>(Pid), std::memory_order_relaxed);
 }
 
@@ -986,6 +1066,8 @@ void Runtime::workerLoop() {
     // the body, the supervisor reads CurrentLease to return the lease.
     Me.CurrentLease.store(Idx, std::memory_order_release);
     ChildIndex = Idx;
+    traceEmit(obs::EventKind::LeaseBegin, RegionCounter,
+              static_cast<uint64_t>(Idx));
     // The per-index reseed that makes pool draws bitwise-identical to a
     // fork-per-sample child of the same index (same formula as
     // sampling()'s child branch).
@@ -1001,6 +1083,9 @@ void Runtime::workerLoop() {
     } catch (const LeaseEnd &) {
       // check() pruned the lease or aggregate() committed it.
     }
+    traceEmit(obs::EventKind::LeaseEnd, RegionCounter,
+              static_cast<uint64_t>(Idx),
+              static_cast<uint16_t>(L.State.load(std::memory_order_relaxed)));
     Me.CurrentLease.store(-1, std::memory_order_release);
     // Wake the supervisor so freshly committed leases fold while the
     // rest of the pool keeps running.
@@ -1081,6 +1166,7 @@ bool Runtime::settlePoolLeases() {
         L.State.store(LsReturned, std::memory_order_relaxed);
         Table->LeasesReturned.fetch_add(1, std::memory_order_release);
         Ctl->noteLeaseReclaim();
+        traceEmit(obs::EventKind::LeaseReclaim, static_cast<uint64_t>(I));
       } else {
         L.State.store(LsCrashed, std::memory_order_relaxed);
         continue;
@@ -1091,6 +1177,7 @@ bool Runtime::settlePoolLeases() {
       L.State.store(LsReturned, std::memory_order_relaxed);
       Table->LeasesReturned.fetch_add(1, std::memory_order_release);
       Ctl->noteLeaseReclaim();
+      traceEmit(obs::EventKind::LeaseReclaim, static_cast<uint64_t>(I));
     }
     ++Open;
   }
@@ -1106,6 +1193,8 @@ bool Runtime::settlePoolLeases() {
   S.BarrierLeft.store(0, std::memory_order_relaxed);
   Ctl->barrierAdd(BarrierSlot, +1);
   Reaped[SlotIdx] = 0;
+  Ctl->noteRetry();
+  traceEmit(obs::EventKind::Respawn, static_cast<uint64_t>(SlotIdx));
   forkPoolWorker(SlotIdx);
   return false;
 }
@@ -1148,6 +1237,12 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   FoldMeanVecs.clear();
   FoldedPairs.clear();
   RegionSlabStart = Ctl->slabAllocated();
+  RegionShmStart = Ctl->slabPublishedTotal();
+  for (int R = 0; R != obs::NumFallbackReasons; ++R)
+    RegionFallbackStart[R] =
+        Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R));
+  traceEmit(obs::EventKind::RegionBegin, RegionCounter,
+            static_cast<uint64_t>(N));
 
   RegionN = N;
   RegionKind = Ro.Kind;
@@ -1294,17 +1389,36 @@ void Runtime::sync(const std::function<void()> &BarrierCb) {
 /// writes to a temp file and renames.
 void Runtime::commitBytes(const std::string &Var,
                           const std::vector<uint8_t> &Bytes) {
+  double T0 = monoNow();
+  bool FellBack = false;
+  obs::FallbackReason Why = obs::FallbackReason::Exhausted;
   if (Opts.Backend == StoreBackend::Shm) {
-    if (Bytes.size() <= Opts.ShmRecordThreshold) {
-      if (Ctl->slabCommit(TpId, RegionCounter, Var, ChildIndex, Bytes.data(),
-                          Bytes.size(),
-                          ChildIndex == Opts.DebugKillMidCommitAt))
-        return;
+    if (Bytes.size() > Opts.ShmRecordThreshold) {
+      // Oversized payloads are routed around the slab without touching
+      // it, so the per-reason counter is bumped here, not in slabCommit.
+      Ctl->noteSlabFallback(obs::FallbackReason::Oversized);
+      FellBack = true;
+      Why = obs::FallbackReason::Oversized;
+    } else if (Ctl->slabCommit(TpId, RegionCounter, Var, ChildIndex,
+                               Bytes.data(), Bytes.size(),
+                               ChildIndex == Opts.DebugKillMidCommitAt)) {
+      uint64_t Ns = static_cast<uint64_t>((monoNow() - T0) * 1e9);
+      Ctl->recordCommitLatency(Ns);
+      traceEmit(obs::EventKind::StoreCommit, /*Backend=*/0, Ns);
+      return;
     } else {
-      Ctl->noteSlabFallback();
+      // slabCommit counted the refusal; reconstruct the reason for the
+      // trace record (same classification order as slabCommit).
+      FellBack = true;
+      Why = Var.size() > SlabVarNameMax ? obs::FallbackReason::LongName
+                                        : obs::FallbackReason::Exhausted;
     }
   }
   writeFileBytes(sampleFilePath(RegionDirPath, Var, ChildIndex), Bytes);
+  uint64_t Ns = static_cast<uint64_t>((monoNow() - T0) * 1e9);
+  Ctl->recordCommitLatency(Ns);
+  traceEmit(obs::EventKind::StoreCommit, /*Backend=*/1, Ns,
+            FellBack ? static_cast<uint16_t>(Why) + 1 : 0);
 }
 
 void Runtime::commitExtra(const std::string &Var,
@@ -1404,7 +1518,18 @@ void Runtime::aggregate(const std::string &Var,
     LeaseSlot = -1;
     RegionIsPool = false;
   }
-  AggregationView View(std::move(Reader), std::move(Records));
+  AggregationView::StoreCounters SC;
+  SC.ShmCommits = Ctl->slabPublishedTotal() - RegionShmStart;
+  for (int R = 0; R != obs::NumFallbackReasons; ++R)
+    SC.Fallbacks[R] = Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R)) -
+                      RegionFallbackStart[R];
+  Ctl->noteRegionResolved();
+  traceEmit(obs::EventKind::RegionEnd, RegionCounter);
+  // Every child of this region is reaped, so an unpublished cell can only
+  // be a torn writer (or a concurrent tuning process, whose claim the
+  // ring recovers from) — skip instead of stalling the ring.
+  drainTraceEvents(/*Final=*/true);
+  AggregationView View(std::move(Reader), std::move(Records), SC);
   RegionActive = false;
   if (Cb)
     Cb(View);
@@ -1416,7 +1541,9 @@ bool Runtime::split() {
   Ctl->tuningProcessForked();
   // Alg. 1: a tuning spawn waits for the 75% gate.
   Ctl->acquireSlot(/*IsTuning=*/true);
+  traceEmit(obs::EventKind::SchedAdmit, /*Tuning=*/1);
   std::fflush(nullptr); // keep buffered stdio out of the child
+  double ForkT0 = monoNow();
   pid_t Pid = fork();
   if (Pid < 0) {
     // Undo the reservation: the child tuning process never existed.
@@ -1430,6 +1557,10 @@ bool Runtime::split() {
     return false;
   }
   if (Pid != 0) {
+    uint64_t ForkNs = static_cast<uint64_t>((monoNow() - ForkT0) * 1e9);
+    Ctl->recordForkLatency(ForkNs);
+    traceEmit(obs::EventKind::Fork, static_cast<uint64_t>(Pid), ForkNs,
+              /*Split=*/1);
     SplitChildren.push_back(Pid);
     return false;
   }
@@ -1455,6 +1586,12 @@ bool Runtime::split() {
   NumSpares = 0;
   RegionDirPath.clear();
   RegionSlabStart = 0;
+  RegionShmStart = 0;
+  std::fill(std::begin(RegionFallbackStart), std::end(RegionFallbackStart),
+            0);
+  // Drained events belong to the parent; ours start fresh (the parent
+  // merges our fragment at root finish()).
+  TraceBuf.clear();
   FoldScalars.clear();
   FoldVotes.clear();
   FoldMeanVecs.clear();
@@ -1491,6 +1628,66 @@ uint64_t Runtime::forkFailures() const { return Ctl->forkFailedTotal(); }
 uint64_t Runtime::leaseReclaims() const { return Ctl->leaseReclaimsTotal(); }
 uint64_t Runtime::shmCommits() const { return Ctl->slabPublishedTotal(); }
 uint64_t Runtime::storeFallbacks() const { return Ctl->slabFallbackTotal(); }
+
+obs::RuntimeMetrics Runtime::metrics() const {
+  obs::RuntimeMetrics M;
+  M.RegionsResolved = Ctl->regionsResolvedTotal();
+  M.ElapsedSec = monoNow() - InitTime;
+  M.ShmCommits = Ctl->slabPublishedTotal();
+  M.FileFallbacks = Ctl->slabFallbackTotal();
+  for (int R = 0; R != obs::NumFallbackReasons; ++R)
+    M.Fallbacks[R] = Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R));
+  M.CrashedSamples = Ctl->crashedTotal();
+  M.TimedOutSamples = Ctl->timedOutTotal();
+  M.ForkFailures = Ctl->forkFailedTotal();
+  M.LeaseReclaims = Ctl->leaseReclaimsTotal();
+  M.Retries = Ctl->retriesTotal();
+  M.SlabRecordsHighWater = Ctl->slabRecordsHighWater();
+  M.SlabBytesHighWater = Ctl->slabBytesHighWater();
+  M.TraceEvents = Ctl->traceEmittedTotal();
+  M.TraceDrops = Ctl->traceDropsTotal();
+  M.ForkLatency = Ctl->forkLatencySnapshot();
+  M.CommitLatency = Ctl->commitLatencySnapshot();
+  return M;
+}
+
+void Runtime::traceEmitSlow(obs::EventKind Kind, uint64_t A, uint64_t B,
+                            uint16_t Arg) {
+  Ctl->traceEmit(obs::makeEvent(Kind, A, B, Arg));
+}
+
+void Runtime::drainTraceEvents(bool Final) {
+  // Only tuning processes consume the ring; children are producers only.
+  if (!TraceOn || !isTuning())
+    return;
+  Ctl->traceDrain(TraceBuf, /*SkipUnpublished=*/Final);
+}
+
+void Runtime::writeTraceFragmentFile() {
+  std::string Path = Opts.RunDir + "/obs-frag." + std::to_string(TpId) + ".bin";
+  if (!obs::writeTraceFragment(Path, TraceBuf))
+    std::fprintf(stderr, "wbtuner: failed to write trace fragment %s\n",
+                 Path.c_str());
+  TraceBuf.clear();
+}
+
+void Runtime::exportTrace() {
+  // Merge the fragments @split tuning processes left in the run dir; the
+  // exporter re-sorts by timestamp, so order does not matter here.
+  DIR *D = opendir(Opts.RunDir.c_str());
+  if (D) {
+    while (dirent *E = readdir(D)) {
+      if (std::strncmp(E->d_name, "obs-frag.", 9) != 0)
+        continue;
+      obs::readTraceFragment(Opts.RunDir + "/" + E->d_name, TraceBuf);
+    }
+    closedir(D);
+  }
+  if (!obs::writeChromeTrace(TracePathEff, std::move(TraceBuf)))
+    std::fprintf(stderr, "wbtuner: failed to write trace file %s\n",
+                 TracePathEff.c_str());
+  TraceBuf.clear();
+}
 
 void Runtime::sharedScalarAdd(int Cell, double X) { Ctl->scalarAdd(Cell, X); }
 void Runtime::sharedScalarReset(int Cell) { Ctl->scalarReset(Cell); }

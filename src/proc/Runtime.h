@@ -75,6 +75,8 @@
 #define WBT_PROC_RUNTIME_H
 
 #include "aggregate/Aggregators.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "param/Distribution.h"
 #include "support/ByteBuffer.h"
 
@@ -174,6 +176,17 @@ struct RuntimeOptions {
   /// count is min(N, WorkerPool, MaxPool - 1). 0 = MaxPool - 1.
   /// Overridable per region via RegionOptions::Workers.
   unsigned WorkerPool = 0;
+  /// Chrome trace-event JSON output path. Non-empty enables event
+  /// tracing: every process writes fixed-size records into a shared
+  /// lock-free ring, the tuning process drains them during supervisor
+  /// sweeps, and the root writes the merged trace here at finish().
+  /// Empty consults the WBT_TRACE environment variable; tracing stays
+  /// off (and the ring unmapped) when both are unset.
+  std::string TracePath;
+  /// Capacity of the shared trace-event ring, in records (rounded up to
+  /// a power of two). A full ring drops events and counts them in
+  /// RuntimeMetrics::TraceDrops rather than ever blocking a child.
+  size_t TraceRingRecords = 8192;
 };
 
 /// Per-region overrides for sampling().
@@ -213,9 +226,23 @@ public:
     int Signal = 0;
   };
 
+  /// Region-lifetime deltas of the run-wide store counters, attributed
+  /// to this region's open->resolve window. Concurrent @split regions
+  /// share the underlying counters, so under concurrent tuning processes
+  /// read these as attribution of the window, not a sealed ledger.
+  struct StoreCounters {
+    uint64_t ShmCommits = 0;
+    uint64_t Fallbacks[obs::NumFallbackReasons] = {};
+  };
+
   AggregationView(std::shared_ptr<const RegionReader> Store,
                   std::vector<SampleRecord> Records)
       : Store(std::move(Store)), Records(std::move(Records)) {}
+
+  AggregationView(std::shared_ptr<const RegionReader> Store,
+                  std::vector<SampleRecord> Records, StoreCounters Counters)
+      : Store(std::move(Store)), Records(std::move(Records)),
+        Counters(Counters) {}
 
   /// Number of sample slots in the region: the requested samples plus any
   /// retry spares (activated or not).
@@ -246,9 +273,24 @@ public:
   std::vector<double> loadDoubles(const std::string &Var, int I) const;
   std::vector<uint8_t> loadMask(const std::string &Var, int I) const;
 
+  /// Store-path accounting for this region: commits that landed in the
+  /// shm slab, and commits routed to the file store, by reason. Counted
+  /// whether or not tracing is enabled.
+  uint64_t shmCommits() const { return Counters.ShmCommits; }
+  uint64_t fileFallbacks(obs::FallbackReason R) const {
+    return Counters.Fallbacks[int(R)];
+  }
+  uint64_t fileFallbackTotal() const {
+    uint64_t N = 0;
+    for (uint64_t C : Counters.Fallbacks)
+      N += C;
+    return N;
+  }
+
 private:
   std::shared_ptr<const RegionReader> Store;
   std::vector<SampleRecord> Records;
+  StoreCounters Counters;
 };
 
 /// The per-process runtime singleton.
@@ -435,6 +477,18 @@ public:
   uint64_t shmCommits() const;
   uint64_t storeFallbacks() const;
 
+  //===--------------------------------------------------------------------===
+  // Observability (src/obs)
+  //===--------------------------------------------------------------------===
+
+  /// One coherent snapshot of the run's counters and latency histograms
+  /// (always collected; valid while the runtime is initialized).
+  obs::RuntimeMetrics metrics() const;
+  /// Whether event tracing is active (TracePath / WBT_TRACE was set).
+  bool traceEnabled() const { return TraceOn; }
+  /// Effective trace output path ("" when tracing is off).
+  const std::string &tracePath() const { return TracePathEff; }
+
   const std::string &runDir() const { return Opts.RunDir; }
 
 private:
@@ -457,6 +511,22 @@ private:
                      const std::vector<AggregationView::SampleRecord> &Records);
   void foldEntryBytes(const std::string &Var, int Child, const uint8_t *Data,
                       size_t Size);
+  /// Emits one trace event into the shared ring; single-branch no-op
+  /// when tracing is off (the <1% disabled-path budget).
+  void traceEmit(obs::EventKind Kind, uint64_t A = 0, uint64_t B = 0,
+                 uint16_t Arg = 0) {
+    if (TraceOn)
+      traceEmitSlow(Kind, A, B, Arg);
+  }
+  void traceEmitSlow(obs::EventKind Kind, uint64_t A, uint64_t B,
+                     uint16_t Arg);
+  /// Drains the ring into TraceBuf (tuning side, supervisor sweeps).
+  /// \p Final skips cells left unpublished by dead writers.
+  void drainTraceEvents(bool Final);
+  /// Root: merges @split fragments and writes the Chrome trace JSON.
+  /// Non-root tuning processes persist their TraceBuf as a fragment.
+  void exportTrace();
+  void writeTraceFragmentFile();
   [[noreturn]] void exitChild();
   /// Spare child: blocks until activated (returns, to run the region body)
   /// or discarded (_exits, never returns).
@@ -483,6 +553,10 @@ private:
   std::unique_ptr<SharedControl> Ctl;
   bool Inited = false;
   bool IsRoot = false;
+  bool TraceOn = false;
+  std::string TracePathEff;
+  std::vector<obs::TraceEvent> TraceBuf; // drained events (tuning side)
+  double InitTime = 0; // monotonic seconds at init() (metrics elapsed)
   ModeKind Mode = ModeKind::Tuning;
   uint64_t TpId = 0;
   std::string TpDir;
@@ -518,6 +592,9 @@ private:
   std::string RegionDirPath; // cached regionDir(RegionCounter)
   size_t RegionSlabStart = 0; // slab watermark at sampling(); earlier
                               // entries cannot belong to this region
+  // Store-counter watermarks at region open (AggregationView deltas).
+  uint64_t RegionShmStart = 0;
+  uint64_t RegionFallbackStart[obs::NumFallbackReasons] = {};
   std::map<std::string, ScalarAccumulator> FoldScalars;
   std::map<std::string, VoteAccumulator> FoldVotes;
   std::map<std::string, MeanVectorAccumulator> FoldMeanVecs;

@@ -141,8 +141,18 @@ struct SharedLayout {
   uint64_t SlabRecByteOff;   // directory offset from the mapping base
   uint64_t SlabArenaByteOff; // arena offset from the mapping base
 
+  // Observability (src/obs): always-on metric cells, plus the offset of
+  // the opt-in trace ring (0 when tracing is disabled).
+  std::atomic<uint64_t> SlabFallbackReasons[obs::NumFallbackReasons];
+  std::atomic<uint64_t> RegionsResolved;
+  std::atomic<uint64_t> Retries;
+  obs::LatencyHistogram ForkLatency;
+  obs::LatencyHistogram CommitLatency;
+  uint64_t TraceByteOff;
+
   // uint32_t VoteCounts[VoteCapacity], then SlabRecord[SlabRecCap], then
-  // uint8_t Arena[SlabArenaCap] follow the struct in memory.
+  // uint8_t Arena[SlabArenaCap], then the optional TraceRingLayout follow
+  // the struct in memory.
 };
 
 } // namespace proc
@@ -161,20 +171,29 @@ static uint8_t *slabArena(SharedLayout *L) {
   return reinterpret_cast<uint8_t *>(L) + L->SlabArenaByteOff;
 }
 
+static wbt::obs::TraceRingLayout *traceRing(SharedLayout *L) {
+  if (!L->TraceByteOff)
+    return nullptr;
+  return reinterpret_cast<wbt::obs::TraceRingLayout *>(
+      reinterpret_cast<uint8_t *>(L) + L->TraceByteOff);
+}
+
 SharedControl::~SharedControl() {
   if (Layout)
     munmap(Layout, MappedBytes);
 }
 
 void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
-                         bool UseScheduler, const SlabConfig &Slab) {
+                         bool UseScheduler, const SlabConfig &Slab,
+                         const TraceConfig &Trace) {
   assert(!Layout && "SharedControl initialized twice");
   if (MaxPool == 0)
     MaxPool = std::max(2u, std::thread::hardware_concurrency());
   uint64_t RecByteOff =
       alignUp8(sizeof(SharedLayout) + VoteSlots * sizeof(uint32_t));
   uint64_t ArenaByteOff = RecByteOff + Slab.Records * sizeof(SlabRecord);
-  MappedBytes = ArenaByteOff + alignUp8(Slab.ArenaBytes);
+  uint64_t TraceByteOff = ArenaByteOff + alignUp8(Slab.ArenaBytes);
+  MappedBytes = TraceByteOff + obs::traceRingBytes(Trace.Records);
   void *Mem = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   assert(Mem != MAP_FAILED && "mmap of shared control block failed");
@@ -184,6 +203,10 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   Layout->SlabArenaCap = Slab.ArenaBytes;
   Layout->SlabRecByteOff = RecByteOff;
   Layout->SlabArenaByteOff = ArenaByteOff;
+  if (Trace.Records) {
+    Layout->TraceByteOff = TraceByteOff;
+    obs::traceRingInit(traceRing(Layout), Trace.Records);
+  }
 
   Layout->PoolLock.init();
   Layout->FreeSlots = static_cast<int>(MaxPool);
@@ -550,9 +573,16 @@ bool SharedControl::slabCommit(uint64_t Tp, uint64_t Region,
                                const uint8_t *Data, size_t Size,
                                bool DebugDieBeforePublish) {
   SharedLayout *L = Layout;
-  if (L->SlabRecCap == 0 || Var.size() > SlabVarNameMax ||
-      Size > std::numeric_limits<uint32_t>::max()) {
-    noteSlabFallback();
+  if (Var.size() > SlabVarNameMax) {
+    noteSlabFallback(obs::FallbackReason::LongName);
+    return false;
+  }
+  if (Size > std::numeric_limits<uint32_t>::max()) {
+    noteSlabFallback(obs::FallbackReason::Oversized);
+    return false;
+  }
+  if (L->SlabRecCap == 0) {
+    noteSlabFallback(obs::FallbackReason::Exhausted);
     return false;
   }
   // Bump-allocate a directory entry and payload space. Rejected
@@ -561,13 +591,13 @@ bool SharedControl::slabCommit(uint64_t Tp, uint64_t Region,
   // bounded by the one commit that hit the boundary.
   uint64_t Idx = L->SlabNext.fetch_add(1, std::memory_order_relaxed);
   if (Idx >= L->SlabRecCap) {
-    noteSlabFallback();
+    noteSlabFallback(obs::FallbackReason::Exhausted);
     return false;
   }
   uint64_t Need = alignUp8(Size);
   uint64_t Off = L->SlabArenaNext.fetch_add(Need, std::memory_order_relaxed);
   if (Off + Need > L->SlabArenaCap) {
-    noteSlabFallback();
+    noteSlabFallback(obs::FallbackReason::Exhausted);
     return false;
   }
   SlabRecord &R = slabRecords(L)[Idx];
@@ -619,8 +649,97 @@ uint64_t SharedControl::slabFallbackTotal() const {
   return Layout->SlabFallbacks.load(std::memory_order_relaxed);
 }
 
-void SharedControl::noteSlabFallback() {
+uint64_t SharedControl::slabFallbacks(obs::FallbackReason R) const {
+  return Layout->SlabFallbackReasons[int(R)].load(std::memory_order_relaxed);
+}
+
+void SharedControl::noteSlabFallback(obs::FallbackReason R) {
   Layout->SlabFallbacks.fetch_add(1, std::memory_order_relaxed);
+  Layout->SlabFallbackReasons[int(R)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::slabRecordsHighWater() const {
+  return std::min(Layout->SlabNext.load(std::memory_order_relaxed),
+                  Layout->SlabRecCap);
+}
+
+uint64_t SharedControl::slabBytesHighWater() const {
+  return std::min(Layout->SlabArenaNext.load(std::memory_order_relaxed),
+                  Layout->SlabArenaCap);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: trace ring + metric cells
+//===----------------------------------------------------------------------===//
+
+bool SharedControl::traceEnabled() const {
+  return Layout && Layout->TraceByteOff != 0;
+}
+
+bool SharedControl::traceEmit(const obs::TraceEvent &Ev,
+                              bool DebugDieBeforePublish) {
+  obs::TraceRingLayout *Ring = traceRing(Layout);
+  if (!Ring)
+    return false;
+  return obs::traceRingEmit(Ring, Ev, DebugDieBeforePublish);
+}
+
+size_t SharedControl::traceDrain(std::vector<obs::TraceEvent> &Out,
+                                 bool SkipUnpublished) {
+  obs::TraceRingLayout *Ring = traceRing(Layout);
+  if (!Ring)
+    return 0;
+  return obs::traceRingDrain(Ring, Out, SkipUnpublished);
+}
+
+uint64_t SharedControl::traceDropsTotal() const {
+  obs::TraceRingLayout *Ring = traceRing(Layout);
+  return Ring ? Ring->Drops.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t SharedControl::traceEmittedTotal() const {
+  obs::TraceRingLayout *Ring = traceRing(Layout);
+  return Ring ? Ring->Published.load(std::memory_order_relaxed) : 0;
+}
+
+void SharedControl::recordForkLatency(uint64_t Ns) {
+  Layout->ForkLatency.record(Ns);
+}
+
+void SharedControl::recordCommitLatency(uint64_t Ns) {
+  Layout->CommitLatency.record(Ns);
+}
+
+void SharedControl::noteRegionResolved() {
+  Layout->RegionsResolved.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedControl::noteRetry() {
+  Layout->Retries.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::regionsResolvedTotal() const {
+  return Layout->RegionsResolved.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::retriesTotal() const {
+  return Layout->Retries.load(std::memory_order_relaxed);
+}
+
+static obs::HistogramSnapshot snapshotOf(const obs::LatencyHistogram &H) {
+  obs::HistogramSnapshot S;
+  for (int B = 0; B != obs::NumHistBuckets; ++B)
+    S.Counts[B] = H.Counts[B].load(std::memory_order_relaxed);
+  S.SumNs = H.SumNs.load(std::memory_order_relaxed);
+  return S;
+}
+
+obs::HistogramSnapshot SharedControl::forkLatencySnapshot() const {
+  return snapshotOf(Layout->ForkLatency);
+}
+
+obs::HistogramSnapshot SharedControl::commitLatencySnapshot() const {
+  return snapshotOf(Layout->CommitLatency);
 }
 
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,9 @@
 #ifndef WBT_PROC_SHAREDCONTROL_H
 #define WBT_PROC_SHAREDCONTROL_H
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <pthread.h>
 
 #include <atomic>
@@ -80,6 +83,12 @@ struct SlabConfig {
   size_t ArenaBytes = 1u << 20;
 };
 
+/// Sizing of the shared trace-event ring (0 records = tracing disabled;
+/// the ring is then not even mapped).
+struct TraceConfig {
+  size_t Records = 0;
+};
+
 /// One published commit record viewed in place. Name/Data point into the
 /// shared mapping and stay valid for the SharedControl's lifetime.
 struct SlabEntryView {
@@ -112,9 +121,11 @@ public:
   /// Maps and initializes the region. \p MaxPool is MAX_POOL_SIZE;
   /// \p VoteSlots sizes the shared majority-vote buffer;
   /// \p UseScheduler false disables pool gating (Fig. 10 ablation);
-  /// \p Slab sizes the shared commit slab.
+  /// \p Slab sizes the shared commit slab; \p Trace sizes the shared
+  /// trace-event ring (disabled by default).
   void init(unsigned MaxPool, size_t VoteSlots, bool UseScheduler,
-            const SlabConfig &Slab = SlabConfig());
+            const SlabConfig &Slab = SlabConfig(),
+            const TraceConfig &Trace = TraceConfig());
   bool initialized() const { return Layout != nullptr; }
 
   //===--------------------------------------------------------------------===
@@ -266,9 +277,42 @@ public:
   /// Counts the Runtime's store diagnostics are built from.
   uint64_t slabPublishedTotal() const;
   uint64_t slabFallbackTotal() const;
-  /// Lets the commit path count a fallback it decided on before reaching
-  /// slabCommit (oversized payload under the Shm backend).
-  void noteSlabFallback();
+  /// Per-reason slice of slabFallbackTotal().
+  uint64_t slabFallbacks(obs::FallbackReason R) const;
+  /// Counts a shm->file fallback under \p R. slabCommit calls this for
+  /// the overflows it detects itself; the commit path calls it for the
+  /// decisions it makes before reaching slabCommit (oversized payload
+  /// under the Shm backend).
+  void noteSlabFallback(obs::FallbackReason R);
+  /// Slab occupancy high-water marks. The allocators are bump-only, so
+  /// these are just the counters clamped to capacity — free to read.
+  uint64_t slabRecordsHighWater() const;
+  uint64_t slabBytesHighWater() const;
+
+  //===--------------------------------------------------------------------===
+  // Observability: trace ring + metric cells (src/obs).
+  //===--------------------------------------------------------------------===
+
+  /// Whether init() mapped a trace ring (TraceConfig::Records != 0).
+  bool traceEnabled() const;
+  /// Emits one event into the shared ring; drops (and counts) when full.
+  /// No-op returning false when tracing is disabled.
+  bool traceEmit(const obs::TraceEvent &Ev, bool DebugDieBeforePublish = false);
+  /// Drains published events into \p Out (see obs::traceRingDrain for the
+  /// SkipUnpublished contract). Returns events appended.
+  size_t traceDrain(std::vector<obs::TraceEvent> &Out, bool SkipUnpublished);
+  uint64_t traceDropsTotal() const;
+  uint64_t traceEmittedTotal() const;
+
+  /// Always-on latency histograms and run counters.
+  void recordForkLatency(uint64_t Ns);
+  void recordCommitLatency(uint64_t Ns);
+  void noteRegionResolved();
+  void noteRetry();
+  uint64_t regionsResolvedTotal() const;
+  uint64_t retriesTotal() const;
+  obs::HistogramSnapshot forkLatencySnapshot() const;
+  obs::HistogramSnapshot commitLatencySnapshot() const;
 
   //===--------------------------------------------------------------------===
   // Shared accumulators (incremental aggregation, paper Sec. IV-B).

@@ -1,0 +1,489 @@
+//===- tests/ObsTest.cpp - observability subsystem tests ------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+// Coverage for src/obs: the shared trace ring (overflow drops, ordering,
+// wraparound, torn-writer recovery), the latency histograms, the Chrome
+// trace-event exporter (span balance, synthesized closers, fragment
+// round-trip), and runtime-level scenarios that produce a trace file from
+// a pool region with a killed worker and count ring drops under a
+// deliberately tiny ring.
+//
+// Runtime scenarios run in a forked child because the runtime is a
+// per-process singleton.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceExporter.h"
+#include "proc/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace wbt;
+using namespace wbt::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Trace ring
+//===----------------------------------------------------------------------===//
+
+/// Heap-backed ring for the single-process tests; the runtime maps the
+/// same layout MAP_SHARED.
+struct RingBuf {
+  void *Mem;
+  TraceRingLayout *L;
+  explicit RingBuf(size_t Records) {
+    size_t Bytes = traceRingBytes(Records);
+    Mem = std::aligned_alloc(64, (Bytes + 63) / 64 * 64);
+    traceRingInit(Mem, Records);
+    L = static_cast<TraceRingLayout *>(Mem);
+  }
+  ~RingBuf() { std::free(Mem); }
+};
+
+TraceEvent ev(EventKind K, uint64_t A, uint64_t Ts = 0, int32_t Pid = 0) {
+  TraceEvent E = makeEvent(K, A);
+  if (Ts)
+    E.TsNs = Ts;
+  if (Pid)
+    E.Pid = Pid;
+  return E;
+}
+
+TEST(TraceRing, EmitDrainOrder) {
+  RingBuf R(8);
+  for (uint64_t I = 0; I != 5; ++I)
+    ASSERT_TRUE(traceRingEmit(R.L, ev(EventKind::Fold, I)));
+  EXPECT_EQ(R.L->Published.load(), 5u);
+  EXPECT_EQ(R.L->Drops.load(), 0u);
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(traceRingDrain(R.L, Out, /*SkipUnpublished=*/false), 5u);
+  ASSERT_EQ(Out.size(), 5u);
+  for (uint64_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(Out[I].A, I);
+    EXPECT_EQ(EventKind(Out[I].Kind), EventKind::Fold);
+  }
+}
+
+TEST(TraceRing, OverflowDropsWithoutCorruption) {
+  RingBuf R(8);
+  for (uint64_t I = 0; I != 8; ++I)
+    ASSERT_TRUE(traceRingEmit(R.L, ev(EventKind::Fold, I)));
+  // Full: further emits are dropped, counted, and never block.
+  EXPECT_FALSE(traceRingEmit(R.L, ev(EventKind::Fold, 100)));
+  EXPECT_FALSE(traceRingEmit(R.L, ev(EventKind::Fold, 101)));
+  EXPECT_EQ(R.L->Drops.load(), 2u);
+  // The 8 records emitted before the overflow are intact and in order.
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(traceRingDrain(R.L, Out, false), 8u);
+  for (uint64_t I = 0; I != 8; ++I)
+    EXPECT_EQ(Out[I].A, I);
+  // Drained cells are reusable.
+  EXPECT_TRUE(traceRingEmit(R.L, ev(EventKind::Fold, 200)));
+}
+
+TEST(TraceRing, WrapAround) {
+  RingBuf R(8);
+  uint64_t Next = 0;
+  for (int Round = 0; Round != 6; ++Round) {
+    for (int I = 0; I != 6; ++I)
+      ASSERT_TRUE(traceRingEmit(R.L, ev(EventKind::Fold, Next + I)));
+    std::vector<TraceEvent> Out;
+    ASSERT_EQ(traceRingDrain(R.L, Out, false), 6u);
+    for (int I = 0; I != 6; ++I)
+      EXPECT_EQ(Out[I].A, Next + I);
+    Next += 6;
+  }
+  EXPECT_EQ(R.L->Drops.load(), 0u);
+}
+
+TEST(TraceRing, TornWriterLeavesAtMostOneUnpublishedRecord) {
+  // A writer SIGKILLed between claiming a cell and publishing it (the
+  // shared-memory analogue of the torn slab commit) must cost exactly
+  // that one record: a plain drain stops in front of it, a skip drain
+  // counts it as a drop and recovers the records behind it.
+  size_t Bytes = traceRingBytes(8);
+  void *Mem = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(Mem, MAP_FAILED);
+  traceRingInit(Mem, 8);
+  TraceRingLayout *L = static_cast<TraceRingLayout *>(Mem);
+
+  ASSERT_TRUE(traceRingEmit(L, ev(EventKind::Fold, 0)));
+  ASSERT_TRUE(traceRingEmit(L, ev(EventKind::Fold, 1)));
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    traceRingEmit(L, ev(EventKind::Fold, 2), /*DebugDieBeforePublish=*/true);
+    _exit(0); // unreachable
+  }
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  ASSERT_TRUE(WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL);
+  // The dead writer claimed slot 2 but never published it.
+  EXPECT_EQ(L->Head.load(), 3u);
+  EXPECT_EQ(L->Published.load(), 2u);
+  // A live writer lands behind the torn cell.
+  ASSERT_TRUE(traceRingEmit(L, ev(EventKind::Fold, 3)));
+
+  // Conservative drain: returns everything before the torn cell, then
+  // stops (the writer might still be alive mid-publish).
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(traceRingDrain(L, Out, /*SkipUnpublished=*/false), 2u);
+  EXPECT_EQ(Out[0].A, 0u);
+  EXPECT_EQ(Out[1].A, 1u);
+  // Final drain: the torn cell is skipped as a drop, the record behind
+  // it is recovered.
+  Out.clear();
+  uint64_t DropsBefore = L->Drops.load();
+  EXPECT_EQ(traceRingDrain(L, Out, /*SkipUnpublished=*/true), 1u);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].A, 3u);
+  EXPECT_EQ(L->Drops.load(), DropsBefore + 1);
+  munmap(Mem, Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histograms
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket B covers [2^B, 2^{B+1}) microseconds; bucket 0 absorbs
+  // everything under 2us; the last bucket is open-ended.
+  EXPECT_EQ(latencyBucket(0), 0);
+  EXPECT_EQ(latencyBucket(1999), 0);           // 1.999us
+  EXPECT_EQ(latencyBucket(2000), 1);           // 2us
+  EXPECT_EQ(latencyBucket(3999), 1);           // 3.999us
+  EXPECT_EQ(latencyBucket(4000), 2);           // 4us
+  EXPECT_EQ(latencyBucket(1000ull * 1000), 9); // 1ms = 1000us
+  EXPECT_EQ(latencyBucket(~0ull), NumHistBuckets - 1);
+}
+
+TEST(Histogram, RecordAndSnapshot) {
+  LatencyHistogram H = {};
+  H.record(1000);      // 1us   -> bucket 0
+  H.record(5000);      // 5us   -> bucket 2
+  H.record(5000);      // 5us   -> bucket 2
+  H.record(300000);    // 300us -> bucket 8
+  HistogramSnapshot S;
+  S.SumNs = H.SumNs.load();
+  for (size_t I = 0; I != NumHistBuckets; ++I)
+    S.Counts[I] = H.Counts[I].load();
+  EXPECT_EQ(S.total(), 4u);
+  EXPECT_NEAR(S.meanUs(), (1 + 5 + 5 + 300) / 4.0, 1e-9);
+  // p50 falls in bucket 2 ([4us, 8us)); the quantile reports its upper
+  // bound.
+  EXPECT_DOUBLE_EQ(S.quantileUs(0.5), 8.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporter
+//===----------------------------------------------------------------------===//
+
+size_t countSub(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t P = Hay.find(Needle); P != std::string::npos;
+       P = Hay.find(Needle, P + 1))
+    ++N;
+  return N;
+}
+
+/// Counts "B" minus "E" records per pid by scanning the fixed record
+/// prefix the exporter writes; 0 for every pid means balanced tracks.
+std::map<int, int> spanBalance(const std::string &Json) {
+  std::map<int, int> Bal;
+  const std::string Key = "\"ph\": \"";
+  for (size_t P = Json.find(Key); P != std::string::npos;
+       P = Json.find(Key, P + 1)) {
+    char Ph = Json[P + Key.size()];
+    size_t PidPos = Json.find("\"pid\": ", P);
+    if (PidPos == std::string::npos)
+      break;
+    int Pid = std::atoi(Json.c_str() + PidPos + 7);
+    if (Ph == 'B')
+      ++Bal[Pid];
+    else if (Ph == 'E')
+      --Bal[Pid];
+  }
+  return Bal;
+}
+
+bool bracesBalanced(const std::string &S) {
+  long Brace = 0, Bracket = 0;
+  bool InStr = false;
+  for (size_t I = 0; I != S.size(); ++I) {
+    char C = S[I];
+    if (InStr) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InStr = false;
+      continue;
+    }
+    if (C == '"')
+      InStr = true;
+    else if (C == '{')
+      ++Brace;
+    else if (C == '}')
+      --Brace;
+    else if (C == '[')
+      ++Bracket;
+    else if (C == ']')
+      --Bracket;
+    if (Brace < 0 || Bracket < 0)
+      return false;
+  }
+  return Brace == 0 && Bracket == 0 && !InStr;
+}
+
+TEST(TraceExporter, SpanBalanceWithSynthesizedClosers) {
+  // pid 11 is a tuning process with a closed region; pid 22 is a worker
+  // killed with its worker and lease spans still open.
+  std::vector<TraceEvent> Events;
+  Events.push_back(ev(EventKind::RegionBegin, 1, 1000, 11));
+  Events.push_back(ev(EventKind::WorkerBegin, 1, 2000, 22));
+  Events.push_back(ev(EventKind::LeaseBegin, 1, 3000, 22));
+  Events.push_back(ev(EventKind::RegionEnd, 1, 9000, 11));
+  std::string Json = chromeTraceJson(Events);
+
+  EXPECT_TRUE(bracesBalanced(Json));
+  std::map<int, int> Bal = spanBalance(Json);
+  EXPECT_EQ(Bal[11], 0);
+  EXPECT_EQ(Bal[22], 0);
+  // The killed worker's two spans were closed synthetically at the trace
+  // horizon.
+  EXPECT_EQ(countSub(Json, "\"synthesized\": 1"), 2u);
+  // Track metadata names both processes.
+  EXPECT_EQ(countSub(Json, "\"args\": {\"name\": \"tuning\"}"), 1u);
+  EXPECT_EQ(countSub(Json, "\"args\": {\"name\": \"worker\"}"), 1u);
+}
+
+TEST(TraceExporter, UnmatchedEndSkipped) {
+  // A lease end whose begin was dropped by a full ring must not emit an
+  // unbalanced "E".
+  std::vector<TraceEvent> Events;
+  Events.push_back(ev(EventKind::LeaseEnd, 1, 1000, 5));
+  std::string Json = chromeTraceJson(Events);
+  EXPECT_TRUE(bracesBalanced(Json));
+  EXPECT_EQ(countSub(Json, "\"ph\": \"E\""), 0u);
+}
+
+TEST(TraceExporter, CompleteAndInstantEvents) {
+  std::vector<TraceEvent> Events;
+  TraceEvent Commit = ev(EventKind::StoreCommit, /*Backend=*/1, 5000, 7);
+  Commit.B = 2000; // 2us latency
+  Commit.Arg = uint16_t(FallbackReason::LongName) + 1;
+  Events.push_back(Commit);
+  TraceEvent Fork = ev(EventKind::Fork, 1234, 6000, 7);
+  Fork.B = 3000;
+  Events.push_back(Fork);
+  Events.push_back(ev(EventKind::Kill, 2, 7000, 7));
+  std::string Json = chromeTraceJson(Events);
+  EXPECT_TRUE(bracesBalanced(Json));
+  EXPECT_EQ(countSub(Json, "\"name\": \"commit-file\""), 1u);
+  EXPECT_EQ(countSub(Json, "\"fallback\": \"long_name\""), 1u);
+  EXPECT_EQ(countSub(Json, "\"name\": \"fork\""), 1u);
+  EXPECT_EQ(countSub(Json, "\"ph\": \"i\""), 1u);
+}
+
+TEST(TraceExporter, FragmentRoundTrip) {
+  std::string Path =
+      "/tmp/wbt-obs-frag-test." + std::to_string(getpid()) + ".bin";
+  std::vector<TraceEvent> In;
+  for (uint64_t I = 0; I != 3; ++I)
+    In.push_back(ev(EventKind::Fold, I, 1000 + I, 9));
+  ASSERT_TRUE(writeTraceFragment(Path, In));
+  std::vector<TraceEvent> Out;
+  ASSERT_TRUE(readTraceFragment(Path, Out));
+  ASSERT_EQ(Out.size(), 3u);
+  for (uint64_t I = 0; I != 3; ++I)
+    EXPECT_EQ(Out[I].A, I);
+
+  // Truncate mid-record: the reader keeps the complete prefix and
+  // reports the damage.
+  ASSERT_EQ(truncate(Path.c_str(),
+                     16 + sizeof(TraceEvent) + sizeof(TraceEvent) / 2),
+            0);
+  Out.clear();
+  EXPECT_FALSE(readTraceFragment(Path, Out));
+  EXPECT_EQ(Out.size(), 1u);
+  unlink(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime-level scenarios
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Scenario in a forked child; returns its exit code.
+int runScenario(int (*Scenario)()) {
+  pid_t Pid = fork();
+  if (Pid == 0)
+    _exit(Scenario());
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
+}
+
+#define CHECK_OR(COND, CODE)                                                   \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      return CODE;                                                             \
+  } while (false)
+
+int scenarioPoolRegionTraceFile() {
+  // A pool region with one killed worker, traced to a file: after
+  // finish() the file must hold balanced span tracks for every pid and
+  // the span/event names the exporter promises.
+  using namespace wbt::proc;
+  std::string Path =
+      "/tmp/wbt-obs-trace-test." + std::to_string(getpid()) + ".json";
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 45;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.TracePath = Path;
+  Rt.init(Opts);
+  CHECK_OR(Rt.traceEnabled(), 2);
+
+  const int N = 12;
+  int Committed = -1;
+  RegionOptions Ro;
+  Ro.Workers = 2;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.poolWorkerIndex() == 0)
+      raise(SIGKILL); // dies holding its first lease
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Committed = V.countStatus(SampleStatus::Committed);
+    });
+  });
+  CHECK_OR(Committed == N, 3);
+  RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.LeaseReclaims >= 1, 4);
+  CHECK_OR(M.TraceEvents > 0, 5);
+  CHECK_OR(M.RegionsResolved == 1, 6);
+  CHECK_OR(M.ShmCommits == static_cast<uint64_t>(N), 7);
+  Rt.finish();
+
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  CHECK_OR(F != nullptr, 8);
+  std::string Json;
+  char Buf[4096];
+  size_t R;
+  while ((R = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Json.append(Buf, R);
+  std::fclose(F);
+  unlink(Path.c_str());
+
+  CHECK_OR(!Json.empty() && Json[0] == '{', 9);
+  CHECK_OR(bracesBalanced(Json), 10);
+  // Spans balance on every track, the killed worker's included.
+  for (const auto &[Pid, Bal] : spanBalance(Json))
+    CHECK_OR(Bal == 0, 11);
+  // The advertised event families all appear.
+  CHECK_OR(countSub(Json, "\"name\": \"region\"") >= 2, 12); // B + E
+  CHECK_OR(countSub(Json, "\"name\": \"lease\"") >= 2, 13);
+  CHECK_OR(countSub(Json, "\"name\": \"fork\"") >= 2, 14);
+  CHECK_OR(countSub(Json, "\"name\": \"commit-shm\"") >= 1, 15);
+  CHECK_OR(countSub(Json, "\"name\": \"worker\"") >= 1, 16);
+  CHECK_OR(countSub(Json, "\"name\": \"lease-reclaim\"") >= 1, 17);
+  return 0;
+}
+
+int scenarioTinyRingCountsDrops() {
+  // An 8-cell ring under a fork-mode region that emits dozens of events
+  // before the first supervisor drain: the overflow is counted, the
+  // drained prefix is intact, and nothing blocks.
+  using namespace wbt::proc;
+  std::string Path =
+      "/tmp/wbt-obs-drop-test." + std::to_string(getpid()) + ".json";
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  // MaxPool above the sample count: the spawn loop never waits (and so
+  // never sweeps/drains) before aggregate(), guaranteeing the parent
+  // alone overflows the ring with SchedAdmit + Fork events.
+  Opts.MaxPool = 16;
+  Opts.Seed = 46;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.TracePath = Path;
+  Opts.TraceRingRecords = 4; // rounds up to the 8-cell floor
+  Rt.init(Opts);
+
+  const int N = 8;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  int Committed = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+  });
+  CHECK_OR(Committed == N, 2);
+  RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.TraceDrops >= 1, 3);
+  CHECK_OR(M.TraceEvents >= 8, 4); // a full ring's worth survived
+  Rt.finish();
+  unlink(Path.c_str());
+  return 0;
+}
+
+int scenarioTmpdirHonored() {
+  // Satellite: the file-store root honors TMPDIR instead of hard-coding
+  // /tmp.
+  using namespace wbt::proc;
+  std::string Root = "/tmp/wbt-tmpdir-test." + std::to_string(getpid());
+  CHECK_OR(mkdir(Root.c_str(), 0755) == 0, 2);
+  setenv("TMPDIR", Root.c_str(), 1);
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 4;
+  Opts.Seed = 47;
+  Rt.init(Opts);
+  CHECK_OR(Rt.runDir().rfind(Root + "/wbtuner.", 0) == 0, 3);
+  Rt.sampling(2);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  int Committed = -1;
+  Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+    Committed = V.countStatus(SampleStatus::Committed);
+  });
+  CHECK_OR(Committed == 2, 4);
+  Rt.finish();
+  // finish() removed its run dir; only our (now empty) root remains.
+  CHECK_OR(rmdir(Root.c_str()) == 0, 5);
+  return 0;
+}
+
+TEST(ObsRuntime, PoolRegionTraceFile) {
+  EXPECT_EQ(runScenario(scenarioPoolRegionTraceFile), 0);
+}
+
+TEST(ObsRuntime, TinyRingCountsDrops) {
+  EXPECT_EQ(runScenario(scenarioTinyRingCountsDrops), 0);
+}
+
+TEST(ObsRuntime, TmpdirHonored) {
+  EXPECT_EQ(runScenario(scenarioTmpdirHonored), 0);
+}
+
+} // namespace

@@ -249,6 +249,10 @@ int scenarioPoolKilledWorkerLeaseRerun() {
   CHECK_OR(Rt.crashedSamples() == 1, 3);
   CHECK_OR(Rt.leaseReclaims() >= 1, 4);
   CHECK_OR(Rt.freeSlots() == FreeBefore, 5); // dead worker's slot reclaimed
+  // The dead worker's re-run is visible in the metrics snapshot too.
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.LeaseReclaims >= 1, 6);
+  CHECK_OR(M.CrashedSamples == 1, 7);
   Rt.finish();
   return 0;
 }

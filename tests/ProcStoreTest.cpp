@@ -107,6 +107,7 @@ int scenarioOversizedPayloadFallsBack() {
   }
   int Committed = -1;
   bool BigOk = true, LongOk = true;
+  uint64_t ViewShm = 0, ViewOversized = 0, ViewLongName = 0, ViewExhausted = 0;
   Rt.aggregate("small", encodeDouble(0), [&](AggregationView &V) {
     Committed = static_cast<int>(V.committed("small").size());
     for (int I : V.committed("small")) {
@@ -114,6 +115,10 @@ int scenarioOversizedPayloadFallsBack() {
       BigOk = BigOk && Big.size() == 256 && Big[0] == Big[255];
       LongOk = LongOk && V.loadDouble(LongName, I, -1.0) >= 0.0;
     }
+    ViewShm = V.shmCommits();
+    ViewOversized = V.fileFallbacks(obs::FallbackReason::Oversized);
+    ViewLongName = V.fileFallbacks(obs::FallbackReason::LongName);
+    ViewExhausted = V.fileFallbacks(obs::FallbackReason::Exhausted);
   });
   CHECK_OR(Committed == N, 2);
   CHECK_OR(BigOk, 3);
@@ -122,6 +127,20 @@ int scenarioOversizedPayloadFallsBack() {
   // went through the slab.
   CHECK_OR(Rt.storeFallbacks() == static_cast<uint64_t>(2 * N), 5);
   CHECK_OR(Rt.shmCommits() == static_cast<uint64_t>(N), 6);
+  // Per-reason attribution: visible in the region's AggregationView
+  // window and the run-wide metrics snapshot, tracing disabled or not.
+  CHECK_OR(ViewShm == static_cast<uint64_t>(N), 7);
+  CHECK_OR(ViewOversized == static_cast<uint64_t>(N), 8);
+  CHECK_OR(ViewLongName == static_cast<uint64_t>(N), 9);
+  CHECK_OR(ViewExhausted == 0, 10);
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Oversized)] ==
+               static_cast<uint64_t>(N),
+           11);
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::LongName)] ==
+               static_cast<uint64_t>(N),
+           12);
+  CHECK_OR(M.FileFallbacks == static_cast<uint64_t>(2 * N), 13);
   Rt.finish();
   return 0;
 }
@@ -160,6 +179,12 @@ int scenarioSlabExhaustionOverflows() {
   }
   CHECK_OR(Rt.shmCommits() <= 4, 2);
   CHECK_OR(Rt.storeFallbacks() >= 8, 3);
+  // Every fallback here is slab exhaustion (records ran out), and the
+  // per-reason counters say so.
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Exhausted)] >= 8, 4);
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Oversized)] == 0, 5);
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::LongName)] == 0, 6);
   Rt.finish();
   return 0;
 }
