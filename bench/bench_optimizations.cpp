@@ -134,10 +134,13 @@ constexpr int CommitLatencyCell = 8;
 /// each region through samplingRegion() (worker-pool leases, one fork
 /// per worker) instead of sampling() (one fork per sample). A non-null
 /// `TracePath` turns the event ring on, measuring tracing's cost against
-/// the identical untraced configuration.
+/// the identical untraced configuration. A non-null `InjectPlan` arms
+/// fault injection with that plan text (use a never-firing clause to
+/// price the armed-but-idle wrapper checks).
 StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
                                 bool Fold, bool Pool,
-                                const char *TracePath = nullptr) {
+                                const char *TracePath = nullptr,
+                                const char *InjectPlan = nullptr) {
   using namespace wbt::proc;
   constexpr int Regions = 6;
   constexpr int N = 32;
@@ -152,6 +155,8 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Opts.ShmSlabBytes = 8u << 20;
   if (TracePath)
     Opts.TracePath = TracePath;
+  if (InjectPlan)
+    Opts.InjectPlan = InjectPlan;
   Rt.init(Opts);
   Rt.sharedScalarReset(CommitLatencyCell);
 
@@ -329,14 +334,22 @@ int main(int argc, char **argv) {
       runStoreConfig("shm+fold+workerpool+trace", proc::StoreBackend::Shm,
                      /*Fold=*/true, /*Pool=*/true,
                      WBT_SOURCE_ROOT "/BENCH_trace.json"),
+      // Fault-injection ablation: same configuration as the workerpool
+      // row with injection armed but a clause that never fires (ordinal
+      // far past any call count), so only the per-syscall plan lookups
+      // are priced. The untraced workerpool row doubles as the disarmed
+      // baseline; CI asserts the two are within noise.
+      runStoreConfig("shm+fold+workerpool+inject", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true, nullptr,
+                     "fork@n1000000:EAGAIN"),
   };
   for (const StoreAblationRow &R : Rows)
     std::printf("%-25s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
                 R.AggregateMs, R.RegionsPerSec);
   std::printf("(shm should beat files on commit latency; folding should "
               "collapse the barrier-time aggregation; the worker pool "
-              "should lift region throughput further; tracing should cost "
-              "almost nothing)\n");
+              "should lift region throughput further; tracing and armed "
+              "fault injection should cost almost nothing)\n");
 
   if (Json) {
     const char *Path = WBT_SOURCE_ROOT "/BENCH_optimizations.json";

@@ -1,0 +1,98 @@
+//===- inject/Sys.cpp - Injectable syscall wrappers -----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "inject/Sys.h"
+
+#include "inject/Inject.h"
+
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace wbt;
+
+pid_t sys::forkProcess() {
+  if (int E = inject::onCall(inject::Site::Fork)) {
+    errno = E;
+    return -1;
+  }
+  return ::fork();
+}
+
+void *sys::mmapShared(size_t Bytes) {
+  if (int E = inject::onCall(inject::Site::Mmap)) {
+    errno = E;
+    return MAP_FAILED;
+  }
+  return ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+}
+
+char *sys::makeTempDir(char *Templ) {
+  if (int E = inject::onCall(inject::Site::Mkdtemp)) {
+    errno = E;
+    return nullptr;
+  }
+  return ::mkdtemp(Templ);
+}
+
+bool sys::makeDir(const std::string &Path) {
+  if (int E = inject::onCall(inject::Site::Mkdir)) {
+    errno = E;
+    return false;
+  }
+  return ::mkdir(Path.c_str(), 0700) == 0 || errno == EEXIST;
+}
+
+pid_t sys::waitPid(pid_t Pid, int *Status, int Flags) {
+  for (;;) {
+    // Injected EINTR takes the same retry edge as the real thing, so an
+    // EINTR storm exercises exactly the loop that used to be missing.
+    if (int E = inject::onCall(inject::Site::Waitpid)) {
+      if (E == EINTR)
+        continue;
+      errno = E;
+      return -1;
+    }
+    pid_t R = ::waitpid(Pid, Status, Flags);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R;
+  }
+}
+
+DIR *sys::openDir(const char *Path) {
+  if (int E = inject::onCall(inject::Site::Opendir)) {
+    errno = E;
+    return nullptr;
+  }
+  return ::opendir(Path);
+}
+
+int sys::removePath(const char *Path) {
+  if (int E = inject::onCall(inject::Site::Unlink)) {
+    errno = E;
+    return -1;
+  }
+  return ::remove(Path);
+}
+
+void sys::fatal(const char *Fmt, ...) {
+  std::va_list Ap;
+  va_start(Ap, Fmt);
+  std::fputs("wbtuner: fatal: ", stderr);
+  std::vfprintf(stderr, Fmt, Ap);
+  std::fputc('\n', stderr);
+  va_end(Ap);
+  std::fflush(nullptr);
+  std::abort();
+}

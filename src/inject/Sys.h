@@ -1,0 +1,68 @@
+//===- inject/Sys.h - Injectable syscall wrappers ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over the fork runtime's hazardous syscalls. Each one
+/// consults the armed fault-injection plan (inject/Inject.h) before the
+/// real call — a single predicted branch when disarmed — and each fixes
+/// one class of syscall-handling bug in place:
+///
+///  * waitPid retries EINTR instead of letting an interrupted wait read
+///    as "child not exited" (which leaked split-child accounting and
+///    could hang the root in waitLiveTuningProcesses);
+///  * fatal() reports and aborts in every build type, replacing
+///    assert()s that compile out under NDEBUG and let init continue
+///    with a garbage run directory.
+///
+/// Injected failures set errno exactly like the kernel would, so call
+/// sites cannot tell (and must not care) whether a failure is real.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_INJECT_SYS_H
+#define WBT_INJECT_SYS_H
+
+#include <dirent.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+
+namespace wbt {
+namespace sys {
+
+/// fork(2). Injection: returns -1 with the planned errno.
+pid_t forkProcess();
+
+/// mmap(2) of an anonymous MAP_SHARED region. Returns MAP_FAILED (with
+/// errno) on failure, injected or real.
+void *mmapShared(size_t Bytes);
+
+/// mkdtemp(3) over \p Templ (modified in place). Null + errno on failure.
+char *makeTempDir(char *Templ);
+
+/// mkdir(2), mode 0700; an existing directory counts as success.
+/// Returns false with errno set on failure.
+bool makeDir(const std::string &Path);
+
+/// waitpid(2) that retries while the wait is interrupted (EINTR), real
+/// or injected — an interrupted wait is not a verdict on the child.
+pid_t waitPid(pid_t Pid, int *Status, int Flags);
+
+/// opendir(3). Null + errno on failure.
+DIR *openDir(const char *Path);
+
+/// remove(3) — the unlink site (run-directory teardown).
+int removePath(const char *Path);
+
+/// Reports a fatal runtime error and aborts, in every build type.
+[[noreturn]] void fatal(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sys
+} // namespace wbt
+
+#endif // WBT_INJECT_SYS_H

@@ -172,5 +172,47 @@ const char *eventKindName(EventKind Kind) {
   return "unknown";
 }
 
+const char *eventPointName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::None:
+    return "none";
+  case EventKind::RegionBegin:
+    return "region.begin";
+  case EventKind::RegionEnd:
+    return "region.end";
+  case EventKind::SampleBegin:
+    return "sample.begin";
+  case EventKind::SampleEnd:
+    return "sample.end";
+  case EventKind::WorkerBegin:
+    return "worker.begin";
+  case EventKind::WorkerEnd:
+    return "worker.end";
+  case EventKind::LeaseBegin:
+    return "lease.begin";
+  case EventKind::LeaseEnd:
+    return "lease.end";
+  case EventKind::Fork:
+    return "fork";
+  case EventKind::StoreCommit:
+    return "commit";
+  case EventKind::Fold:
+    return "fold";
+  case EventKind::Kill:
+    return "kill";
+  case EventKind::Respawn:
+    return "respawn";
+  case EventKind::SpareActivate:
+    return "spare-activate";
+  case EventKind::LeaseReclaim:
+    return "lease-reclaim";
+  case EventKind::SchedAdmit:
+    return "sched-admit";
+  case EventKind::SchedDefer:
+    return "sched-defer";
+  }
+  return "unknown";
+}
+
 } // namespace obs
 } // namespace wbt

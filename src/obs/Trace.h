@@ -114,8 +114,14 @@ size_t traceRingDrain(TraceRingLayout *L, std::vector<TraceEvent> &Out,
 TraceEvent makeEvent(EventKind Kind, uint64_t A = 0, uint64_t B = 0,
                      uint16_t Arg = 0);
 
-/// Human-readable name of an event kind ("fork", "lease", ...).
+/// Human-readable name of an event kind ("fork", "lease", ...). Begin
+/// and End of one span share a name (exporter track labels).
 const char *eventKindName(EventKind Kind);
+
+/// Unique per-kind trace-point name ("sample.begin", "commit", ...) —
+/// the names fault-injection kill clauses (`tp.<name>@...:kill`) match
+/// on, so Begin and End points are distinguishable.
+const char *eventPointName(EventKind Kind);
 
 } // namespace obs
 } // namespace wbt

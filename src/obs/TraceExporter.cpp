@@ -207,6 +207,23 @@ bool readTraceFragment(const std::string &Path, std::vector<TraceEvent> &Out) {
             std::memcmp(Magic, FragMagic, sizeof(Magic)) == 0 &&
             std::fread(&N, sizeof(N), 1, F) == 1;
   if (Ok && N) {
+    // A corrupt header could claim any count; cap it by what the file
+    // can actually hold before sizing the output buffer.
+    long DataPos = std::ftell(F);
+    if (DataPos >= 0 && std::fseek(F, 0, SEEK_END) == 0) {
+      long EndPos = std::ftell(F);
+      uint64_t Cap = EndPos > DataPos
+                         ? static_cast<uint64_t>(EndPos - DataPos) /
+                               sizeof(TraceEvent)
+                         : 0;
+      if (N > Cap) {
+        N = Cap;
+        Ok = false;
+      }
+      std::fseek(F, DataPos, SEEK_SET);
+    }
+  }
+  if (N) {
     size_t Base = Out.size();
     Out.resize(Base + N);
     size_t Read = std::fread(&Out[Base], sizeof(TraceEvent), N, F);

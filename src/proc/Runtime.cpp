@@ -6,6 +6,7 @@
 
 #include "proc/Runtime.h"
 
+#include "inject/Sys.h"
 #include "obs/TraceExporter.h"
 #include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
@@ -41,13 +42,20 @@ uint64_t mixSeed(uint64_t X, uint64_t Y) {
   return Z ^ (Z >> 31);
 }
 
-bool makeDir(const std::string &Path) {
-  return mkdir(Path.c_str(), 0700) == 0 || errno == EEXIST;
+bool makeDir(const std::string &Path) { return sys::makeDir(Path); }
+
+/// makeDir for directories the runtime can survive without (per-region
+/// stores, split tp dirs): failure is reported, not fatal — commits
+/// into the missing directory fail cleanly and read as absent.
+void makeDirOrWarn(const std::string &Path) {
+  if (!makeDir(Path))
+    std::fprintf(stderr, "wbtuner: cannot create directory %s: %s\n",
+                 Path.c_str(), std::strerror(errno));
 }
 
 int removeTreeEntry(const char *Path, const struct stat *, int,
                     struct FTW *) {
-  return ::remove(Path);
+  return sys::removePath(Path);
 }
 
 /// Recursively removes \p Path with a direct depth-first traversal —
@@ -344,6 +352,29 @@ Runtime &Runtime::get() {
 void Runtime::init(const RuntimeOptions &InOpts) {
   assert(!Inited && "proc runtime initialized twice");
   Opts = InOpts;
+
+  // Arm fault injection before the first wrapped syscall, so init's own
+  // mkdtemp/mkdir calls are injectable. A malformed plan is a hard
+  // error: silently running without the requested faults would make a
+  // soak run vacuously green.
+  std::string PlanText = Opts.InjectPlan;
+  if (PlanText.empty()) {
+    const char *Env = getenv("WBT_INJECT");
+    if (Env && *Env)
+      PlanText = Env;
+  }
+  if (!PlanText.empty()) {
+    std::string Err;
+    if (!inject::armText(PlanText, Err))
+      sys::fatal("bad WBT_INJECT plan: %s", Err.c_str());
+  } else {
+    inject::disarm();
+  }
+
+  // Run-directory failures here were previously assert()s, which
+  // compile out under NDEBUG and let execution continue with a garbage
+  // RunDir; every store write of the run then lands nowhere. Fail
+  // loudly in all build types instead.
   if (Opts.RunDir.empty()) {
     // Respect TMPDIR like the mktemp(3) family does; /tmp is the
     // fallback, not the policy.
@@ -352,13 +383,18 @@ void Runtime::init(const RuntimeOptions &InOpts) {
         std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/wbtuner.XXXXXX";
     std::vector<char> Buf(Templ.begin(), Templ.end());
     Buf.push_back('\0');
-    char *Dir = mkdtemp(Buf.data());
-    assert(Dir && "mkdtemp failed");
+    char *Dir = sys::makeTempDir(Buf.data());
+    if (!Dir)
+      sys::fatal("mkdtemp %s failed: %s", Templ.c_str(),
+                 std::strerror(errno));
     Opts.RunDir = Dir;
-  } else {
-    makeDir(Opts.RunDir);
+  } else if (!makeDir(Opts.RunDir)) {
+    sys::fatal("cannot create run directory %s: %s", Opts.RunDir.c_str(),
+               std::strerror(errno));
   }
-  makeDir(Opts.RunDir + "/exposed");
+  if (!makeDir(Opts.RunDir + "/exposed"))
+    sys::fatal("cannot create exposed store %s/exposed: %s",
+               Opts.RunDir.c_str(), std::strerror(errno));
 
   // Tracing is opt-in: RuntimeOptions::TracePath, or WBT_TRACE for runs
   // that cannot change code. Off means the ring is not even mapped and
@@ -389,7 +425,9 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   Mode = ModeKind::Tuning;
   TpId = 0;
   TpDir = Opts.RunDir + "/tp0";
-  makeDir(TpDir);
+  if (!makeDir(TpDir))
+    sys::fatal("cannot create tuning-process directory %s: %s",
+               TpDir.c_str(), std::strerror(errno));
   TheRng = Rng(mixSeed(Opts.Seed, 0));
   // Reset per-run state so a root that called finish() can init() again
   // in the same process (backend equivalence tests, benchmarks).
@@ -430,7 +468,11 @@ void Runtime::finish() {
   // hang in waitLiveTuningProcesses().
   for (pid_t Pid : SplitChildren) {
     int St = 0;
-    if (waitpid(Pid, &St, 0) != Pid)
+    // sys::waitPid retries EINTR internally: an interrupted wait used to
+    // read as "child handled", skipping both the reap and the abnormal-
+    // death reclamation below — a zombie plus, if the child died before
+    // finish(), a root hang in waitLiveTuningProcesses().
+    if (sys::waitPid(Pid, &St, 0) != Pid)
       continue;
     if (!(WIFEXITED(St) && WEXITSTATUS(St) == 0)) {
       std::fprintf(stderr,
@@ -457,6 +499,7 @@ void Runtime::finish() {
       removeTree(Opts.RunDir);
     Inited = false;
     Ctl.reset();
+    inject::disarm();
     return;
   }
   // A @split tuning process parks its drained events as a binary
@@ -540,7 +583,11 @@ bool Runtime::reapOne(int Idx, bool Block) {
   if (Reaped[Idx] || Pid <= 0)
     return false;
   int St = 0;
-  if (waitpid(Pid, &St, Block ? 0 : WNOHANG) != Pid)
+  // EINTR retries live inside sys::waitPid: an interrupted *blocking*
+  // wait here used to read as "child not exited", so the exiting-child
+  // fast path re-armed a full event-wait timeout — and the child's
+  // lease/slot reclamation was deferred a sweep.
+  if (sys::waitPid(Pid, &St, Block ? 0 : WNOHANG) != Pid)
     return false;
   Reaped[Idx] = true;
 
@@ -882,7 +929,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   // Cache the region directory once; every file commit/load reuses it
   // instead of rebuilding the path strings.
   RegionDirPath = regionDir(RegionCounter);
-  makeDir(RegionDirPath);
+  makeDirOrWarn(RegionDirPath);
   // Fresh fold state; references returned by foldScalar() & friends for
   // the previous region die here.
   FoldScalars.clear();
@@ -918,9 +965,10 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   int NumSlots = N + NumSpares;
   TableBytes = sizeof(RegionTable) +
                static_cast<size_t>(NumSlots) * sizeof(ChildSlot);
-  void *Mem = mmap(nullptr, TableBytes, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  assert(Mem != MAP_FAILED && "mmap of region child table failed");
+  void *Mem = sys::mmapShared(TableBytes);
+  if (Mem == MAP_FAILED)
+    sys::fatal("mmap of region child table (%zu bytes) failed: %s",
+               TableBytes, std::strerror(errno));
   std::memset(Mem, 0, TableBytes);
   Table = static_cast<RegionTable *>(Mem);
   Table->ParkLock.init();
@@ -953,7 +1001,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
     traceEmit(obs::EventKind::SchedAdmit, 0, static_cast<uint64_t>(I));
     S.SlotHeld.store(1, std::memory_order_relaxed);
     double ForkT0 = monoNow();
-    pid_t Pid = I == Opts.DebugFailForkAt ? -1 : fork();
+    pid_t Pid = I == Opts.DebugFailForkAt ? -1 : sys::forkProcess();
     if (Pid < 0) {
       // The sample never existed: release the reserved slot, shrink the
       // barrier, record the failure, and carry on with the region.
@@ -979,6 +1027,9 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
       ChildIndex = I;
       RegionActive = true;
       SplitChildren.clear();
+      if (inject::armed())
+        inject::tagProcess(mixSeed(TpId, (RegionCounter << 20) +
+                                             static_cast<uint64_t>(I)));
       TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
                            (RegionCounter << 20) + static_cast<uint64_t>(I)));
       if (I >= N)
@@ -1014,7 +1065,7 @@ void Runtime::forkPoolWorker(int SlotIdx) {
   S.SlotHeld.store(1, std::memory_order_relaxed);
   std::fflush(nullptr);
   double ForkT0 = monoNow();
-  pid_t Pid = SlotIdx == Opts.DebugFailForkAt ? -1 : fork();
+  pid_t Pid = SlotIdx == Opts.DebugFailForkAt ? -1 : sys::forkProcess();
   if (Pid < 0) {
     // This worker never existed: release its slot and barrier share. Its
     // prospective leases stay with the counter for the other workers.
@@ -1039,6 +1090,9 @@ void Runtime::forkPoolWorker(int SlotIdx) {
     WorkerIndex = SlotIdx;
     RegionActive = true;
     SplitChildren.clear();
+    if (inject::armed())
+      inject::tagProcess(mixSeed(TpId, (RegionCounter << 20) + 0xF00D +
+                                           static_cast<uint64_t>(SlotIdx)));
     traceEmit(obs::EventKind::WorkerBegin, RegionCounter,
               static_cast<uint64_t>(SlotIdx));
     workerLoop(); // never returns
@@ -1231,7 +1285,7 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
 
   ++RegionCounter;
   RegionDirPath = regionDir(RegionCounter);
-  makeDir(RegionDirPath);
+  makeDirOrWarn(RegionDirPath);
   FoldScalars.clear();
   FoldVotes.clear();
   FoldMeanVecs.clear();
@@ -1279,9 +1333,10 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   TableBytes = sizeof(RegionTable) +
                static_cast<size_t>(NumSlots) * sizeof(ChildSlot) +
                static_cast<size_t>(N) * sizeof(LeaseCell);
-  void *Mem = mmap(nullptr, TableBytes, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  assert(Mem != MAP_FAILED && "mmap of region child table failed");
+  void *Mem = sys::mmapShared(TableBytes);
+  if (Mem == MAP_FAILED)
+    sys::fatal("mmap of region child table (%zu bytes) failed: %s",
+               TableBytes, std::strerror(errno));
   std::memset(Mem, 0, TableBytes);
   Table = static_cast<RegionTable *>(Mem);
   Table->ParkLock.init();
@@ -1544,7 +1599,7 @@ bool Runtime::split() {
   traceEmit(obs::EventKind::SchedAdmit, /*Tuning=*/1);
   std::fflush(nullptr); // keep buffered stdio out of the child
   double ForkT0 = monoNow();
-  pid_t Pid = fork();
+  pid_t Pid = sys::forkProcess();
   if (Pid < 0) {
     // Undo the reservation: the child tuning process never existed.
     Ctl->releaseSlot();
@@ -1570,7 +1625,9 @@ bool Runtime::split() {
   IsRoot = false;
   TpId = Ctl->nextTpId();
   TpDir = Opts.RunDir + "/tp" + std::to_string(TpId);
-  makeDir(TpDir);
+  makeDirOrWarn(TpDir);
+  if (inject::armed())
+    inject::tagProcess(mixSeed(TpId, 0x5B117));
   RegionCounter = 0;
   RegionActive = false;
   SplitChildren.clear();
@@ -1671,15 +1728,45 @@ void Runtime::writeTraceFragmentFile() {
   TraceBuf.clear();
 }
 
+namespace {
+
+/// True for exactly "obs-frag.<digits>.bin" — the names
+/// writeTraceFragmentFile produces. A leftover ".tmp" of a killed
+/// writer, or any stray file, must not reach the fragment parser.
+bool isTraceFragmentName(const char *Name) {
+  std::string_view V(Name);
+  if (V.size() < 14 || V.substr(0, 9) != "obs-frag." ||
+      V.substr(V.size() - 4) != ".bin")
+    return false;
+  std::string_view Id = V.substr(9, V.size() - 13);
+  for (char C : Id)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+} // namespace
+
 void Runtime::exportTrace() {
   // Merge the fragments @split tuning processes left in the run dir; the
-  // exporter re-sorts by timestamp, so order does not matter here.
-  DIR *D = opendir(Opts.RunDir.c_str());
-  if (D) {
+  // exporter re-sorts by timestamp, so order does not matter here. A
+  // run dir we cannot list, or a fragment that fails to parse, loses
+  // those events but must not lose the export of everything else.
+  DIR *D = sys::openDir(Opts.RunDir.c_str());
+  if (!D) {
+    std::fprintf(stderr,
+                 "wbtuner: cannot list run dir %s for trace fragments: %s\n",
+                 Opts.RunDir.c_str(), std::strerror(errno));
+  } else {
     while (dirent *E = readdir(D)) {
-      if (std::strncmp(E->d_name, "obs-frag.", 9) != 0)
+      if (!isTraceFragmentName(E->d_name))
         continue;
-      obs::readTraceFragment(Opts.RunDir + "/" + E->d_name, TraceBuf);
+      std::string Path = Opts.RunDir + "/" + E->d_name;
+      if (!obs::readTraceFragment(Path, TraceBuf))
+        std::fprintf(stderr,
+                     "wbtuner: trace fragment %s is corrupt or truncated; "
+                     "merged what was readable\n",
+                     Path.c_str());
     }
     closedir(D);
   }

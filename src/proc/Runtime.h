@@ -75,6 +75,7 @@
 #define WBT_PROC_RUNTIME_H
 
 #include "aggregate/Aggregators.h"
+#include "inject/Inject.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "param/Distribution.h"
@@ -187,6 +188,13 @@ struct RuntimeOptions {
   /// a power of two). A full ring drops events and counts them in
   /// RuntimeMetrics::TraceDrops rather than ever blocking a child.
   size_t TraceRingRecords = 8192;
+  /// Fault-injection plan armed at init() (see inject/Inject.h for the
+  /// grammar): deterministic syscall failures, EINTR storms, short
+  /// writes, and SIGKILLs at named trace points, all replayable from
+  /// the plan text. Empty consults the WBT_INJECT environment variable;
+  /// injection stays disarmed (every hook one predicted branch) when
+  /// both are unset. A malformed plan aborts init loudly.
+  std::string InjectPlan;
 };
 
 /// Per-region overrides for sampling().
@@ -512,9 +520,14 @@ private:
   void foldEntryBytes(const std::string &Var, int Child, const uint8_t *Data,
                       size_t Size);
   /// Emits one trace event into the shared ring; single-branch no-op
-  /// when tracing is off (the <1% disabled-path budget).
+  /// when tracing is off (the <1% disabled-path budget). Trace points
+  /// double as fault-injection kill points — the armed() check runs
+  /// even with tracing off, so `tp.<name>@...:kill` clauses work
+  /// without paying for the ring.
   void traceEmit(obs::EventKind Kind, uint64_t A = 0, uint64_t B = 0,
                  uint16_t Arg = 0) {
+    if (inject::armed())
+      inject::onTracePoint(obs::eventPointName(Kind));
     if (TraceOn)
       traceEmitSlow(Kind, A, B, Arg);
   }

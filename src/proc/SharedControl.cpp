@@ -6,6 +6,8 @@
 
 #include "proc/SharedControl.h"
 
+#include "inject/Sys.h"
+
 #include <signal.h>
 #include <sys/mman.h>
 #include <time.h>
@@ -194,9 +196,12 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   uint64_t ArenaByteOff = RecByteOff + Slab.Records * sizeof(SlabRecord);
   uint64_t TraceByteOff = ArenaByteOff + alignUp8(Slab.ArenaBytes);
   MappedBytes = TraceByteOff + obs::traceRingBytes(Trace.Records);
-  void *Mem = mmap(nullptr, MappedBytes, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  assert(Mem != MAP_FAILED && "mmap of shared control block failed");
+  // assert() compiles out under NDEBUG; a failed mapping here must be
+  // loud in every build type — nothing downstream can run without it.
+  void *Mem = sys::mmapShared(MappedBytes);
+  if (Mem == MAP_FAILED)
+    sys::fatal("mmap of shared control block (%zu bytes) failed: %s",
+               MappedBytes, std::strerror(errno));
   std::memset(Mem, 0, MappedBytes);
   Layout = static_cast<SharedLayout *>(Mem);
   Layout->SlabRecCap = Slab.Records;
@@ -252,12 +257,17 @@ void SharedControl::acquireSlot(bool IsTuning) {
   pthread_mutex_lock(&Layout->PoolLock.Mutex);
   for (;;) {
     // Alg. 1 line 8: sampling threshold is 0; tuning threshold is 75% of
-    // the pool ("it has to wait if 25% processes are occupied").
+    // the pool ("it has to wait if 25% processes are occupied"). The slot
+    // the requesting tuning process itself holds is not occupancy: counting
+    // it makes the gate unsatisfiable for MaxPool <= 4 (FreeSlots can never
+    // exceed MaxPool - 1 while the caller is alive), and split() hangs
+    // forever. Crediting the caller's slot also subsumes the old
+    // idle-pool escape, so progress on an otherwise idle pool still holds.
     double Threshold =
         IsTuning ? 0.75 * static_cast<double>(Layout->MaxPool) : 0.0;
-    // The gate never blocks a fully idle pool, so progress is guaranteed.
-    bool IdlePool = Layout->FreeSlots == static_cast<int>(Layout->MaxPool);
-    if (Layout->FreeSlots > Threshold || (IsTuning && IdlePool))
+    double Free =
+        static_cast<double>(Layout->FreeSlots) + (IsTuning ? 1.0 : 0.0);
+    if (Free > Threshold)
       break;
     pthread_cond_wait(&Layout->PoolLock.Cond, &Layout->PoolLock.Mutex);
   }
@@ -273,10 +283,12 @@ bool SharedControl::acquireSlotTimed(bool IsTuning, int TimeoutMs) {
   pthread_mutex_lock(&Layout->PoolLock.Mutex);
   bool Taken = false;
   for (;;) {
+    // Same gate as acquireSlot(), caller's own tuning slot excluded.
     double Threshold =
         IsTuning ? 0.75 * static_cast<double>(Layout->MaxPool) : 0.0;
-    bool IdlePool = Layout->FreeSlots == static_cast<int>(Layout->MaxPool);
-    if (Layout->FreeSlots > Threshold || (IsTuning && IdlePool)) {
+    double Free =
+        static_cast<double>(Layout->FreeSlots) + (IsTuning ? 1.0 : 0.0);
+    if (Free > Threshold) {
       --Layout->FreeSlots;
       Taken = true;
       break;

@@ -6,6 +6,9 @@
 
 #include "support/ByteBuffer.h"
 
+#include "inject/Inject.h"
+
+#include <cerrno>
 #include <cstdio>
 
 bool wbt::writeFileBytes(const std::string &Path, const uint8_t *Data,
@@ -14,10 +17,20 @@ bool wbt::writeFileBytes(const std::string &Path, const uint8_t *Data,
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
-  size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
-  bool Ok = Written == Size && std::fclose(F) == 0;
+  // Fault injection (write site): an injected failure may still write a
+  // prefix of the payload first — a mid-write ENOSPC. Either way the
+  // temp file is discarded, so a torn payload can never be renamed into
+  // a visible store entry.
+  size_t Allowed = Size;
+  int InjectErr = inject::onWrite(Size, Allowed);
+  size_t Attempt = InjectErr ? Allowed : Size;
+  size_t Written = Attempt ? std::fwrite(Data, 1, Attempt, F) : 0;
+  bool CloseOk = std::fclose(F) == 0; // exactly once, even on short writes
+  bool Ok = !InjectErr && Written == Size && CloseOk;
   if (!Ok) {
     std::remove(Tmp.c_str());
+    if (InjectErr)
+      errno = InjectErr;
     return false;
   }
   // rename(2) is atomic within a filesystem, so a concurrent reader either
@@ -31,6 +44,10 @@ bool wbt::writeFileBytes(const std::string &Path,
 }
 
 bool wbt::readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  if (int E = inject::onCall(inject::Site::Read)) {
+    errno = E;
+    return false;
+  }
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return false;

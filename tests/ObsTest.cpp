@@ -326,6 +326,39 @@ TEST(TraceExporter, FragmentRoundTrip) {
   unlink(Path.c_str());
 }
 
+TEST(TraceExporter, CorruptFragmentHeaderCountIsClamped) {
+  // A valid magic followed by a garbage record count used to size the
+  // output buffer straight from the header — a multi-GB allocation from
+  // a 16-byte file. The count must be clamped to what the file holds.
+  std::string Path =
+      "/tmp/wbt-obs-frag-corrupt." + std::to_string(getpid()) + ".bin";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  const char Magic[8] = {'W', 'B', 'T', 'F', '1', 0, 0, 0};
+  uint64_t HugeN = uint64_t(1) << 56;
+  ASSERT_EQ(std::fwrite(Magic, 1, sizeof(Magic), F), sizeof(Magic));
+  ASSERT_EQ(std::fwrite(&HugeN, sizeof(HugeN), 1, F), 1u);
+  // One complete record follows; the header claims 2^56.
+  TraceEvent One = ev(EventKind::Fold, 42, 0, 0);
+  ASSERT_EQ(std::fwrite(&One, sizeof(One), 1, F), 1u);
+  std::fclose(F);
+
+  std::vector<TraceEvent> Out;
+  EXPECT_FALSE(readTraceFragment(Path, Out));
+  ASSERT_EQ(Out.size(), 1u); // the one real record survives
+  EXPECT_EQ(Out[0].A, 42u);
+
+  // Garbage magic is rejected outright.
+  F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fwrite("garbage!", 1, 8, F), 8u);
+  std::fclose(F);
+  Out.clear();
+  EXPECT_FALSE(readTraceFragment(Path, Out));
+  EXPECT_TRUE(Out.empty());
+  unlink(Path.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Runtime-level scenarios
 //===----------------------------------------------------------------------===//

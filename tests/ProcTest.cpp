@@ -462,6 +462,30 @@ int scenarioDeepSplitChain() {
   return 0;
 }
 
+int scenarioSplitOnSmallPool() {
+  // Regression: the tuning gate used to count the caller's own held slot
+  // as occupancy, so with MaxPool <= 4 FreeSlots could never exceed the
+  // 75% threshold and split() blocked forever (stress_runtime seed 124).
+  // The alarm turns a regressed deadlock into a fast signal death.
+  alarm(20);
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 4;
+  Opts.Seed = 15;
+  Rt.init(Opts);
+
+  if (Rt.split()) {
+    Rt.sharedScalarAdd(1, 7.0);
+    Rt.finishAndExit();
+  }
+  while (Rt.sharedScalarCount(1) < 1)
+    usleep(1000);
+  CHECK_OR(Rt.sharedScalarMax(1) == 7.0, 2);
+  Rt.finish();
+  alarm(0);
+  return 0;
+}
+
 int scenarioStratifiedDecorrelatesVariables() {
   // Two variables in one stratified region must not be perfectly
   // correlated across children (name-hash permutations differ).
@@ -549,6 +573,10 @@ int scenarioConsecutiveSyncBarriers() {
 }
 
 } // namespace
+
+TEST(ProcRuntimeTest, SplitCompletesOnSmallPool) {
+  EXPECT_EQ(runScenario(scenarioSplitOnSmallPool), 0);
+}
 
 TEST(ProcRuntimeTest, DeepSplitChains) {
   EXPECT_EQ(runScenario(scenarioDeepSplitChain), 0);
