@@ -89,7 +89,8 @@ constexpr SiteToken SiteTokens[] = {
     {"mkdtemp", Site::Mkdtemp}, {"mkdir", Site::Mkdir},
     {"waitpid", Site::Waitpid}, {"write", Site::Write},
     {"read", Site::Read},       {"unlink", Site::Unlink},
-    {"opendir", Site::Opendir}, {"tp", Site::TracePoint},
+    {"opendir", Site::Opendir}, {"zygote", Site::Zygote},
+    {"tp", Site::TracePoint},
 };
 
 bool parseUint(const std::string &S, uint64_t &Out) {

@@ -19,7 +19,7 @@
 ///   item   := 'seed=' N | clause
 ///   clause := site '@' sel ':' act
 ///   site   := fork | mmap | mkdtemp | mkdir | waitpid | write | read
-///           | unlink | opendir | 'tp.' point-name
+///           | unlink | opendir | zygote | 'tp.' point-name
 ///   sel    := 'n' N        -- eligible from the Nth call on (1-based,
 ///                             per process; children inherit counters)
 ///           | 'p' FLOAT    -- each eligible call fires with probability
@@ -82,6 +82,7 @@ enum class Site : int {
   Read,
   Unlink,
   Opendir,
+  Zygote,
   TracePoint,
 };
 constexpr int NumSites = static_cast<int>(Site::TracePoint) + 1;

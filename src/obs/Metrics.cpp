@@ -74,7 +74,9 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                ", \"crashed\": %llu, \"timed_out\": %llu, "
                "\"fork_failures\": %llu, \"lease_reclaims\": %llu, "
                "\"retries\": %llu, \"slab_records_hw\": %llu, "
-               "\"slab_bytes_hw\": %llu, \"trace_events\": %llu, "
+               "\"slab_bytes_hw\": %llu, \"zygote_respawns\": %llu, "
+               "\"zygote_restores\": %llu, \"remove_failures\": %llu, "
+               "\"trace_events\": %llu, "
                "\"trace_drops\": %llu, \"fork_p50_us\": %.1f, "
                "\"fork_mean_us\": %.1f, \"commit_p50_us\": %.1f, "
                "\"commit_mean_us\": %.1f}",
@@ -85,6 +87,9 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                (unsigned long long)M.Retries,
                (unsigned long long)M.SlabRecordsHighWater,
                (unsigned long long)M.SlabBytesHighWater,
+               (unsigned long long)M.ZygoteRespawns,
+               (unsigned long long)M.ZygoteRestores,
+               (unsigned long long)M.RemoveFailures,
                (unsigned long long)M.TraceEvents,
                (unsigned long long)M.TraceDrops, M.ForkLatency.quantileUs(0.5),
                M.ForkLatency.meanUs(), M.CommitLatency.quantileUs(0.5),

@@ -82,6 +82,9 @@ struct RuntimeMetrics {
   uint64_t Retries = 0;       ///< spare activations + pool respawns
   uint64_t SlabRecordsHighWater = 0;
   uint64_t SlabBytesHighWater = 0;
+  uint64_t ZygoteRespawns = 0; ///< nursery refills after a zygote died
+  uint64_t ZygoteRestores = 0; ///< parked zygotes woken into a region
+  uint64_t RemoveFailures = 0; ///< run-dir entries removeTree failed on
   uint64_t TraceEvents = 0;
   uint64_t TraceDrops = 0;
   HistogramSnapshot ForkLatency;

@@ -168,6 +168,10 @@ const char *eventKindName(EventKind Kind) {
     return "sched-admit";
   case EventKind::SchedDefer:
     return "sched-defer";
+  case EventKind::ZygoteSpawn:
+    return "zygote-spawn";
+  case EventKind::ZygoteRestore:
+    return "zygote-restore";
   }
   return "unknown";
 }
@@ -210,6 +214,10 @@ const char *eventPointName(EventKind Kind) {
     return "sched-admit";
   case EventKind::SchedDefer:
     return "sched-defer";
+  case EventKind::ZygoteSpawn:
+    return "zygote.spawn";
+  case EventKind::ZygoteRestore:
+    return "zygote.restore";
   }
   return "unknown";
 }

@@ -45,17 +45,6 @@ EventKind beginOf(EventKind End) {
   }
 }
 
-void appendf(std::string &Out, const char *Fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-void appendf(std::string &Out, const char *Fmt, ...) {
-  char Buf[256];
-  va_list Ap;
-  va_start(Ap, Fmt);
-  vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
-  va_end(Ap);
-  Out += Buf;
-}
-
 /// Common prefix of one trace record: {"name":...,"ph":..,"pid","tid","ts"}.
 void openRecord(std::string &Out, bool &First, const char *Name,
                 const char *Ph, int32_t Pid, double TsUs) {
@@ -69,6 +58,27 @@ void openRecord(std::string &Out, bool &First, const char *Name,
 }
 
 } // namespace
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  va_list Ap2;
+  va_copy(Ap2, Ap);
+  char Buf[256];
+  int Need = vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (Need >= 0 && size_t(Need) < sizeof(Buf)) {
+    Out.append(Buf, size_t(Need));
+  } else if (Need >= 0) {
+    // The stack buffer truncated the record; re-format into the exact
+    // size so long names never emit torn JSON.
+    size_t Base = Out.size();
+    Out.resize(Base + size_t(Need) + 1);
+    vsnprintf(&Out[Base], size_t(Need) + 1, Fmt, Ap2);
+    Out.resize(Base + size_t(Need));
+  }
+  va_end(Ap2);
+}
 
 std::string chromeTraceJson(std::vector<TraceEvent> Events) {
   std::stable_sort(Events.begin(), Events.end(),

@@ -26,6 +26,12 @@
 namespace wbt {
 namespace obs {
 
+/// printf-appends to `Out`, growing past the internal stack buffer when
+/// the formatted record is longer (long names must never truncate into
+/// torn JSON). Exposed for tests.
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /// Renders `Events` (any order; sorted internally) as a complete Chrome
 /// trace JSON document.
 std::string chromeTraceJson(std::vector<TraceEvent> Events);

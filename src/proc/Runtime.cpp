@@ -12,7 +12,6 @@
 #include "strategy/SamplingStrategy.h"
 
 #include <dirent.h>
-#include <ftw.h>
 #include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
@@ -53,15 +52,58 @@ void makeDirOrWarn(const std::string &Path) {
                  Path.c_str(), std::strerror(errno));
 }
 
-int removeTreeEntry(const char *Path, const struct stat *, int,
-                    struct FTW *) {
-  return sys::removePath(Path);
+std::atomic<uint64_t> GRemoveFailures{0};
+
+void warnRemoveFailure(const std::string &Path) {
+  GRemoveFailures.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr, "wbtuner: cannot remove %s: %s\n", Path.c_str(),
+               std::strerror(errno));
 }
 
-/// Recursively removes \p Path with a direct depth-first traversal —
-/// no shell, no quoting, no extra fork on the teardown path.
-void removeTree(const std::string &Path) {
-  nftw(Path.c_str(), removeTreeEntry, /*MaxFds=*/16, FTW_DEPTH | FTW_PHYS);
+/// Depth-first removal of one entry; returns how many entries could not
+/// be removed. Failures are warned and counted, and the walk continues
+/// past them — one undeletable entry must not strand its siblings. (An
+/// earlier nftw(3)-based walk stopped at the first failing callback and
+/// discarded nftw's return value, so a single EACCES leaked the rest of
+/// the run directory without a word.) Symlinks are never followed; the
+/// depth cap bounds pathological nesting under the run dir.
+uint64_t removeTreeRec(const std::string &Path, int Depth) {
+  struct stat St;
+  if (lstat(Path.c_str(), &St) != 0) {
+    if (errno == ENOENT)
+      return 0;
+    warnRemoveFailure(Path);
+    return 1;
+  }
+  uint64_t Failures = 0;
+  if (S_ISDIR(St.st_mode) && Depth < 64) {
+    DIR *D = sys::openDir(Path.c_str());
+    if (!D) {
+      warnRemoveFailure(Path);
+      return 1;
+    }
+    std::vector<std::string> Names;
+    while (dirent *E = readdir(D)) {
+      std::string_view Name(E->d_name);
+      if (Name != "." && Name != "..")
+        Names.emplace_back(Name);
+    }
+    closedir(D);
+    for (const std::string &Name : Names)
+      Failures += removeTreeRec(Path + "/" + Name, Depth + 1);
+  }
+  if (sys::removePath(Path.c_str()) != 0 && errno != ENOENT) {
+    warnRemoveFailure(Path);
+    ++Failures;
+  }
+  return Failures;
+}
+
+/// Recursively removes \p Path with a direct depth-first traversal — no
+/// shell, no quoting, no extra fork on the teardown path. Returns false
+/// when some entry survived (already warned and counted).
+bool removeTree(const std::string &Path) {
+  return removeTreeRec(Path, 0) == 0;
 }
 
 std::string sampleFilePath(const std::string &RegionDir,
@@ -178,6 +220,57 @@ static LeaseCell *leasesOf(RegionTable *T) {
 static SampleStatus statusOf(const ChildSlot &S) {
   return static_cast<SampleStatus>(S.Status.load(std::memory_order_relaxed));
 }
+
+uint64_t proc::removeTreeFailures() {
+  return GRemoveFailures.load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Zygote board
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Zygote-board commands (ZygoteBoard::Command).
+enum ZygoteCommand : int32_t { ZbRun = 0, ZbExit = 1 };
+
+/// Sample capacity of the zygote board's embedded region table; regions
+/// with more samples fall back to forked pool workers.
+constexpr int ZygoteLeaseCap = 4096;
+
+/// Shared rendezvous of the zygote nursery. Lives in the opaque tail of
+/// the control-block mapping (SharedControl::auxRegion), so every
+/// zygote — forked once, at nursery spawn — sees it at the same address
+/// for the whole run. A RegionTable with room for
+/// ChildSlot[Zygotes + ZygoteLeaseCap] + LeaseCell[ZygoteLeaseCap]
+/// follows in memory: each zygote region points Runtime::Table at it,
+/// so the entire pool supervision machinery (sweeps, crash/timeout
+/// lease reclaim, respawns, straggler kills) runs unchanged on top.
+struct ZygoteBoard {
+  SharedLock Lock; ///< guards Generation/Command; wakes parked zygotes
+  std::atomic<uint64_t> Generation;
+  std::atomic<int32_t> Command; ///< ZygoteCommand
+  // Region snapshot of the current generation — the tuned-parameter
+  // state a woken zygote restores. Published before the Generation bump
+  // (under Lock) that wakes the nursery.
+  uint64_t Region;
+  int32_t N;
+  int32_t Kind;
+  int32_t LeaseSlot;
+  int32_t BarrierSlot;
+};
+
+RegionTable *zygoteTableOf(ZygoteBoard *B) {
+  return reinterpret_cast<RegionTable *>(B + 1);
+}
+
+size_t zygoteBoardBytes(int Zygotes) {
+  return sizeof(ZygoteBoard) + sizeof(RegionTable) +
+         (static_cast<size_t>(Zygotes) + ZygoteLeaseCap) * sizeof(ChildSlot) +
+         static_cast<size_t>(ZygoteLeaseCap) * sizeof(LeaseCell);
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Region readers (aggregation-store backends)
@@ -418,7 +511,15 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   }
   TraceConfig Trace;
   Trace.Records = TraceOn ? Opts.TraceRingRecords : 0;
-  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler, Slab, Trace);
+  size_t AuxBytes =
+      Opts.Zygotes > 0 ? zygoteBoardBytes(static_cast<int>(Opts.Zygotes)) : 0;
+  Ctl->init(Opts.MaxPool, Opts.VoteSlots, Opts.UseScheduler, Slab, Trace,
+            AuxBytes);
+  if (AuxBytes) {
+    auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
+    B->Lock.init();
+    zygoteTableOf(B)->ParkLock.init();
+  }
 
   Inited = true;
   IsRoot = true;
@@ -452,6 +553,11 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   RegionBody = nullptr;
   PoolWorker = false;
   WorkerIndex = -1;
+  ZygotesSpawned = false;
+  NumZygotes = 0;
+  ZygotePids.clear();
+  ZygoteRespawnsLeft = 0;
+  RegionIsZygote = false;
   TraceBuf.clear();
   InitTime = monoNow();
   // The root tuning process occupies a pool slot like any other process.
@@ -485,6 +591,10 @@ void Runtime::finish() {
   }
   SplitChildren.clear();
   if (IsRoot) {
+    // Retire the nursery before the all-descendants wait: parked zygotes
+    // hold no pool slot and no live-tuning-process count, so nothing
+    // below would ever reap them.
+    shutdownZygotes();
     while (!Ctl->waitLiveTuningProcessesTimed(1, 100)) {
     }
     // Every descendant is gone: take the final drain (skipping cells a
@@ -590,6 +700,10 @@ bool Runtime::reapOne(int Idx, bool Block) {
   if (sys::waitPid(Pid, &St, Block ? 0 : WNOHANG) != Pid)
     return false;
   Reaped[Idx] = true;
+  // A dead zygote leaves the nursery; the next zygote region refills the
+  // slot from the respawn budget.
+  if (RegionIsZygote && Idx < NumZygotes)
+    ZygotePids[Idx] = 0;
 
   bool CleanExit = WIFEXITED(St) && WEXITSTATUS(St) == 0;
   SampleStatus Cur = statusOf(S);
@@ -661,18 +775,28 @@ int Runtime::sweepChildren() {
   bool Pool = Table->PoolMode != 0;
   for (int I = 0; I != NumSlots; ++I) {
     // Pool mode has no parked spares: every slot with a pid is a worker
-    // (initial or respawned) and is supervised.
-    bool Counted = Pool || I < RegionN ||
-                   Slots[I].Command.load(std::memory_order_relaxed) ==
-                       SpActivate;
+    // (initial or respawned) and is supervised. Zygote nursery slots are
+    // the exception — they are supervised only while activated into the
+    // region; once re-parked (Command back to SpPark) they run no user
+    // code and never exit.
+    bool ZygoteSlot = RegionIsZygote && I < NumZygotes;
+    bool Counted =
+        ZygoteSlot
+            ? Slots[I].Command.load(std::memory_order_acquire) == SpActivate
+            : Pool || I < RegionN ||
+                  Slots[I].Command.load(std::memory_order_relaxed) ==
+                      SpActivate;
     if (!Counted)
       continue; // parked spares are discarded at region end
     // A child whose slot and barrier share are already released is inside
     // exitChild() with only _exit(2) left (or is a kill victim): its wake
     // event fired before the zombie existed, so a WNOHANG pass can miss
     // it and stall a full event-wait timeout. Reaping it blocking is
-    // bounded — no user code runs past that point.
+    // bounded — no user code runs past that point. Except zygotes: a
+    // drained zygote releases both flags and then parks instead of
+    // exiting, so a blocking wait on it would hang forever.
     bool Exiting =
+        !ZygoteSlot &&
         Slots[I].SlotHeld.load(std::memory_order_acquire) == 0 &&
         Slots[I].BarrierLeft.load(std::memory_order_acquire) == 1;
     if (!reapOne(I, /*Block=*/Exiting))
@@ -684,9 +808,12 @@ int Runtime::sweepChildren() {
   }
   int Live = 0;
   for (int I = 0; I != NumSlots; ++I) {
-    bool Counted = Pool || I < RegionN ||
-                   Slots[I].Command.load(std::memory_order_relaxed) ==
-                       SpActivate;
+    bool Counted =
+        RegionIsZygote && I < NumZygotes
+            ? Slots[I].Command.load(std::memory_order_acquire) == SpActivate
+            : Pool || I < RegionN ||
+                  Slots[I].Command.load(std::memory_order_relaxed) ==
+                      SpActivate;
     Live += Counted && !Reaped[I] &&
             Slots[I].Pid.load(std::memory_order_relaxed) > 0;
   }
@@ -732,8 +859,13 @@ void Runtime::killStragglers() {
   ChildSlot *Slots = slotsOf(Table);
   for (int I = 0, E = Table->NumSlots; I != E; ++I) {
     ChildSlot &S = Slots[I];
-    bool Counted = Table->PoolMode || I < RegionN ||
-                   S.Command.load(std::memory_order_relaxed) == SpActivate;
+    // Parked (or already re-parked) zygotes are not stragglers: only
+    // nursery slots still activated into the region can be killed.
+    bool Counted =
+        RegionIsZygote && I < NumZygotes
+            ? S.Command.load(std::memory_order_acquire) == SpActivate
+            : Table->PoolMode || I < RegionN ||
+                  S.Command.load(std::memory_order_relaxed) == SpActivate;
     pid_t Pid = S.Pid.load(std::memory_order_relaxed);
     if (!Counted || Reaped[I] || Pid <= 0)
       continue;
@@ -775,7 +907,10 @@ void Runtime::discardSpares() {
 
 void Runtime::destroyRegionTable() {
   if (Table) {
-    munmap(Table, TableBytes);
+    // The zygote board's table lives inside the control-block mapping —
+    // the nursery parks on it between regions; drop the pointer only.
+    if (!RegionIsZygote)
+      munmap(Table, TableBytes);
     Table = nullptr;
     TableBytes = 0;
   }
@@ -927,9 +1062,10 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
 
   ++RegionCounter;
   // Cache the region directory once; every file commit/load reuses it
-  // instead of rebuilding the path strings.
+  // instead of rebuilding the path strings. The directory itself is
+  // created lazily by the first file-fallback commit: pure-shm regions
+  // never touch the filesystem at all.
   RegionDirPath = regionDir(RegionCounter);
-  makeDirOrWarn(RegionDirPath);
   // Fresh fold state; references returned by foldScalar() & friends for
   // the previous region die here.
   FoldScalars.clear();
@@ -1105,8 +1241,10 @@ void Runtime::forkPoolWorker(int SlotIdx) {
 
 /// Sampling side of a pool region: claim a sample index, impersonate the
 /// fork-per-sample child of that index (same ChildIndex, same RNG
-/// stream), run the body, repeat until the region is drained.
-void Runtime::workerLoop() {
+/// stream), run the body, repeat until the region is drained. Shared by
+/// one-shot pool workers (workerLoop) and zygotes, which park and run it
+/// again for the next region.
+void Runtime::runLeases() {
   ChildSlot &Me = slotsOf(Table)[WorkerIndex];
   LeaseCell *Leases = leasesOf(Table);
   for (;;) {
@@ -1146,6 +1284,10 @@ void Runtime::workerLoop() {
     Ctl->childEventNotify();
   }
   ChildIndex = -1;
+}
+
+void Runtime::workerLoop() {
+  runLeases();
   exitChild();
 }
 
@@ -1284,8 +1426,7 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   assert(!RegionActive && "nested @sampling regions are not supported");
 
   ++RegionCounter;
-  RegionDirPath = regionDir(RegionCounter);
-  makeDirOrWarn(RegionDirPath);
+  RegionDirPath = regionDir(RegionCounter); // created lazily on fallback
   FoldScalars.clear();
   FoldVotes.clear();
   FoldMeanVecs.clear();
@@ -1319,6 +1460,19 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
               : (Opts.WorkerPool > 0 ? static_cast<int>(Opts.WorkerPool)
                                      : MaxWorkers);
   W = std::max(1, std::min({W, MaxWorkers, N}));
+
+  // Zygote nursery: eligible regions run on pre-forked parked workers
+  // woken through the shared board — no per-region fork, no per-region
+  // table mmap. Root tuning process only (a @split tp would need a
+  // nursery of its own), bounded by the board's lease capacity.
+  if (Opts.Zygotes > 0 && IsRoot && N <= ZygoteLeaseCap) {
+    openZygoteRegion(N, W);
+    RegionActive = true;
+    Body();
+    assert(!RegionActive && "samplingRegion() body must call aggregate()");
+    RegionBody = nullptr;
+    return;
+  }
   RegionWorkers = W;
 
   LeaseSlot = Ctl->acquireLeaseSlot();
@@ -1368,6 +1522,245 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   Body();
   assert(!RegionActive && "samplingRegion() body must call aggregate()");
   RegionBody = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Zygote nursery
+//===----------------------------------------------------------------------===//
+
+/// Ensures the nursery matches Opts.Zygotes: the first call forks every
+/// zygote (lazily, at the first eligible region, so the region body is
+/// already part of the forked image); later calls refill slots whose
+/// zygote died, bounded by the run-wide respawn budget.
+void Runtime::spawnZygotes() {
+  if (!ZygotesSpawned) {
+    NumZygotes = static_cast<int>(Opts.Zygotes);
+    ZygotePids.assign(static_cast<size_t>(NumZygotes), 0);
+    ZygoteRespawnsLeft = Opts.ZygoteRespawnBudget;
+    ZygotesSpawned = true;
+    for (int I = 0; I != NumZygotes; ++I)
+      spawnZygoteInto(I);
+    return;
+  }
+  for (int I = 0; I != NumZygotes; ++I) {
+    if (ZygotePids[I] != 0 || ZygoteRespawnsLeft == 0)
+      continue;
+    --ZygoteRespawnsLeft;
+    if (spawnZygoteInto(I)) {
+      Ctl->noteZygoteRespawn();
+      traceEmit(obs::EventKind::Respawn, static_cast<uint64_t>(I));
+    }
+  }
+}
+
+/// Forks one zygote into nursery slot \p Slot. In the child this never
+/// returns. Returns false if the fork failed (warned; the nursery just
+/// runs short).
+bool Runtime::spawnZygoteInto(int Slot) {
+  auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
+  // Snapshot the generation in the parent, before the fork: a zygote
+  // that is slow to reach its first park must still see the wake of the
+  // region about to be opened, so its "already seen" mark cannot come
+  // from its own (possibly later) first read.
+  uint64_t StartGen = B->Generation.load(std::memory_order_relaxed);
+  std::fflush(nullptr);
+  double ForkT0 = monoNow();
+  pid_t Pid = sys::forkZygote();
+  if (Pid < 0) {
+    Ctl->noteForkFailure();
+    std::fprintf(stderr,
+                 "wbtuner: fork failed for zygote %d (tp %llu): %s; "
+                 "continuing with fewer zygotes\n",
+                 Slot, static_cast<unsigned long long>(TpId),
+                 std::strerror(errno));
+    return false;
+  }
+  if (Pid == 0)
+    zygoteLoop(Slot, StartGen); // never returns
+  uint64_t ForkNs = static_cast<uint64_t>((monoNow() - ForkT0) * 1e9);
+  Ctl->recordForkLatency(ForkNs);
+  traceEmit(obs::EventKind::ZygoteSpawn, static_cast<uint64_t>(Slot), ForkNs);
+  ZygotePids[Slot] = Pid;
+  return true;
+}
+
+/// A zygote's whole life: park on the board until a generation bump (or
+/// shutdown), restore the published region's tuned-parameter identity,
+/// run leases like any pool worker, drain, re-park. Draws are bitwise-
+/// identical to fork-mode sampling because runLeases() reseeds per lease
+/// from (seed, tp, region, index) — nothing depends on process age.
+void Runtime::zygoteLoop(int Slot, uint64_t StartGen) {
+  Mode = ModeKind::Sampling;
+  PoolWorker = true;
+  WorkerIndex = Slot;
+  SplitChildren.clear();
+  ZygotesSpawned = false;
+  ZygotePids.clear();
+  auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
+  Table = zygoteTableOf(B);
+  TableBytes = 0;
+  ChildSlot &Me = slotsOf(Table)[Slot];
+  uint64_t SeenGen = StartGen;
+  for (;;) {
+    pthread_mutex_lock(&B->Lock.Mutex);
+    while (B->Generation.load(std::memory_order_relaxed) == SeenGen &&
+           B->Command.load(std::memory_order_relaxed) != ZbExit)
+      pthread_cond_wait(&B->Lock.Cond, &B->Lock.Mutex);
+    int32_t Cmd = B->Command.load(std::memory_order_relaxed);
+    SeenGen = B->Generation.load(std::memory_order_relaxed);
+    pthread_mutex_unlock(&B->Lock.Mutex);
+    if (Cmd == ZbExit) {
+      std::fflush(nullptr);
+      Ctl->childEventNotify();
+      _exit(0);
+    }
+    if (Me.Command.load(std::memory_order_acquire) != SpActivate)
+      continue; // not a participant of this region; park again
+    // Restore the region snapshot the supervisor published before the
+    // generation bump (the board Lock ordered it ahead of our wake).
+    RegionCounter = B->Region;
+    RegionN = B->N;
+    RegionKind = static_cast<SamplingKind>(B->Kind);
+    LeaseSlot = B->LeaseSlot;
+    BarrierSlot = B->BarrierSlot;
+    RegionDirPath = regionDir(RegionCounter);
+    RegionActive = true;
+    // Same per-process injection identity a forked worker of this slot
+    // would have, so fault plans replay identically across modes.
+    if (inject::armed())
+      inject::tagProcess(mixSeed(TpId, (RegionCounter << 20) + 0xF00D +
+                                           static_cast<uint64_t>(Slot)));
+    // Parked zygotes hold no pool slot; take one for the region like an
+    // activated spare does.
+    Ctl->acquireSlot(/*IsTuning=*/false);
+    Me.SlotHeld.store(1, std::memory_order_release);
+    Ctl->noteZygoteRestore();
+    traceEmit(obs::EventKind::ZygoteRestore, RegionCounter,
+              static_cast<uint64_t>(Slot));
+    traceEmit(obs::EventKind::WorkerBegin, RegionCounter,
+              static_cast<uint64_t>(Slot));
+    runLeases();
+    traceEmit(obs::EventKind::WorkerEnd, RegionCounter,
+              static_cast<uint64_t>(Slot));
+    // Drain like exitChild(), but park instead of exiting. The exchanges
+    // keep slot/barrier reclamation exactly-once against a straggler
+    // kill racing the park; the SpPark store is what tells the
+    // supervisor this zygote is done with the region.
+    std::fflush(nullptr);
+    if (Me.BarrierLeft.exchange(1, std::memory_order_acq_rel) == 0)
+      Ctl->barrierLeave(BarrierSlot);
+    if (Me.SlotHeld.exchange(0, std::memory_order_acq_rel) == 1)
+      Ctl->releaseSlot();
+    RegionActive = false;
+    Me.Command.store(SpPark, std::memory_order_release);
+    Ctl->childEventNotify();
+  }
+}
+
+/// Opens a pool region on the zygote board instead of a fresh table:
+/// reset the board's slots and lease cells for this region, publish the
+/// region snapshot, and wake the nursery with a generation bump. No
+/// fork, no mmap — the board lives in the control-block mapping every
+/// zygote already shares. Returns the number of participants.
+int Runtime::openZygoteRegion(int N, int MaxW) {
+  spawnZygotes();
+  auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
+  RegionTable *T = zygoteTableOf(B);
+  Table = T;
+  TableBytes = 0;
+  RegionIsZygote = true;
+  int Z = NumZygotes;
+  RegionWorkers = Z; // respawn slots start after the nursery slots
+
+  LeaseSlot = Ctl->acquireLeaseSlot();
+  Ctl->leaseReset(LeaseSlot);
+  BarrierSlot = Ctl->acquireBarrierSlot();
+
+  int NumSlots = Z + N;
+  T->NumMains = Z;
+  T->NumSlots = NumSlots;
+  T->PoolMode = 1;
+  T->NumLeases = N;
+  T->LeasesReturned.store(0, std::memory_order_relaxed);
+  ChildSlot *Slots = slotsOf(T);
+  // Live zygotes become participants up to the worker cap; the rest (and
+  // dead slots the respawn budget could not refill) sit this region out.
+  int Want = std::min(MaxW, N);
+  int P = 0;
+  for (int I = 0; I != Z; ++I) {
+    ChildSlot &S = Slots[I];
+    bool Part = ZygotePids[I] > 0 && P < Want;
+    S.Pid.store(static_cast<int32_t>(ZygotePids[I]),
+                std::memory_order_relaxed);
+    S.SlotHeld.store(0, std::memory_order_relaxed);
+    S.BarrierLeft.store(Part ? 0 : 1, std::memory_order_relaxed);
+    S.InBarrier.store(0, std::memory_order_relaxed);
+    S.Status.store(static_cast<int32_t>(Part ? SampleStatus::Running
+                                             : SampleStatus::Unused),
+                   std::memory_order_relaxed);
+    S.Signal.store(0, std::memory_order_relaxed);
+    S.Command.store(Part ? SpActivate : SpPark, std::memory_order_relaxed);
+    S.CurrentLease.store(-1, std::memory_order_relaxed);
+    P += Part;
+  }
+  for (int I = Z; I != NumSlots; ++I) {
+    // Respawn slots, filled by settlePoolLeases() only if the whole
+    // participant set dies with leases open.
+    ChildSlot &S = Slots[I];
+    S.Pid.store(0, std::memory_order_relaxed);
+    S.SlotHeld.store(0, std::memory_order_relaxed);
+    S.BarrierLeft.store(1, std::memory_order_relaxed);
+    S.InBarrier.store(0, std::memory_order_relaxed);
+    S.Status.store(static_cast<int32_t>(SampleStatus::Unused),
+                   std::memory_order_relaxed);
+    S.Signal.store(0, std::memory_order_relaxed);
+    S.Command.store(SpPark, std::memory_order_relaxed);
+    S.CurrentLease.store(-1, std::memory_order_relaxed);
+  }
+  LeaseCell *Leases = leasesOf(T);
+  for (int I = 0; I != N; ++I) {
+    Leases[I].State.store(LsPending, std::memory_order_relaxed);
+    Leases[I].Signal.store(0, std::memory_order_relaxed);
+    Leases[I].Attempts.store(0, std::memory_order_relaxed);
+  }
+  Reaped.assign(static_cast<size_t>(NumSlots), 0);
+  Ctl->barrierReset(BarrierSlot, P);
+
+  // Publish the region snapshot, then wake the nursery; the board mutex
+  // orders everything above ahead of every woken zygote's reads.
+  B->Region = RegionCounter;
+  B->N = N;
+  B->Kind = static_cast<int32_t>(RegionKind);
+  B->LeaseSlot = LeaseSlot;
+  B->BarrierSlot = BarrierSlot;
+  pthread_mutex_lock(&B->Lock.Mutex);
+  B->Generation.fetch_add(1, std::memory_order_relaxed);
+  pthread_cond_broadcast(&B->Lock.Cond);
+  pthread_mutex_unlock(&B->Lock.Mutex);
+  return P;
+}
+
+/// Root finish(): wake every parked zygote with ZbExit and reap it. The
+/// wait is blocking but bounded — a woken zygote runs no user code
+/// between the wake and its _exit(2).
+void Runtime::shutdownZygotes() {
+  if (!ZygotesSpawned)
+    return;
+  auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
+  pthread_mutex_lock(&B->Lock.Mutex);
+  B->Command.store(ZbExit, std::memory_order_relaxed);
+  pthread_cond_broadcast(&B->Lock.Cond);
+  pthread_mutex_unlock(&B->Lock.Mutex);
+  for (int I = 0; I != NumZygotes; ++I) {
+    if (ZygotePids[I] <= 0)
+      continue;
+    int St = 0;
+    sys::waitPid(ZygotePids[I], &St, 0);
+    ZygotePids[I] = 0;
+  }
+  ZygotesSpawned = false;
+  NumZygotes = 0;
+  ZygotePids.clear();
 }
 
 double Runtime::sample(const std::string &Name, const Distribution &D) {
@@ -1469,6 +1862,10 @@ void Runtime::commitBytes(const std::string &Var,
                                         : obs::FallbackReason::Exhausted;
     }
   }
+  // Lazy region directory: pure-shm regions never create it; the first
+  // file-fallback commit pays the mkdir (idempotent — EEXIST from a
+  // sibling's earlier fallback is success) right before the write.
+  makeDirOrWarn(RegionDirPath);
   writeFileBytes(sampleFilePath(RegionDirPath, Var, ChildIndex), Bytes);
   uint64_t Ns = static_cast<uint64_t>((monoNow() - T0) * 1e9);
   Ctl->recordCommitLatency(Ns);
@@ -1567,6 +1964,7 @@ void Runtime::aggregate(const std::string &Var,
   std::shared_ptr<const RegionReader> Reader = makeRegionReader();
   foldRemaining(*Reader, Records);
   destroyRegionTable();
+  RegionIsZygote = false;
   Ctl->releaseBarrierSlot(BarrierSlot);
   if (RegionIsPool) {
     Ctl->releaseLeaseSlot(LeaseSlot);
@@ -1635,7 +2033,10 @@ bool Runtime::split() {
   // aggregation callback) is not ours to supervise: drop our view of its
   // child table and barrier.
   if (Table) {
-    munmap(Table, TableBytes);
+    // A zygote-board table is part of the control-block mapping (see
+    // destroyRegionTable); only a per-region table is ours to unmap.
+    if (!RegionIsZygote)
+      munmap(Table, TableBytes);
     Table = nullptr;
     TableBytes = 0;
   }
@@ -1660,6 +2061,12 @@ bool Runtime::split() {
   RegionBody = nullptr;
   PoolWorker = false;
   WorkerIndex = -1;
+  // The nursery belongs to the root; a split tp forks plain workers.
+  ZygotesSpawned = false;
+  NumZygotes = 0;
+  ZygotePids.clear();
+  ZygoteRespawnsLeft = 0;
+  RegionIsZygote = false;
   TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
   return true;
 }
@@ -1701,6 +2108,9 @@ obs::RuntimeMetrics Runtime::metrics() const {
   M.Retries = Ctl->retriesTotal();
   M.SlabRecordsHighWater = Ctl->slabRecordsHighWater();
   M.SlabBytesHighWater = Ctl->slabBytesHighWater();
+  M.ZygoteRespawns = Ctl->zygoteRespawnsTotal();
+  M.ZygoteRestores = Ctl->zygoteRestoresTotal();
+  M.RemoveFailures = removeTreeFailures();
   M.TraceEvents = Ctl->traceEmittedTotal();
   M.TraceDrops = Ctl->traceDropsTotal();
   M.ForkLatency = Ctl->forkLatencySnapshot();

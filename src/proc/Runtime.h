@@ -195,6 +195,26 @@ struct RuntimeOptions {
   /// injection stays disarmed (every hook one predicted branch) when
   /// both are unset. A malformed plan aborts init loudly.
   std::string InjectPlan;
+  /// Pre-forked parked sampling processes ("zygotes") for
+  /// samplingRegion(): forked once, at the first eligible region, then
+  /// woken per region through a shared board — restoring the region's
+  /// tuned-parameter identity (ordinal, sample count, kind, RNG
+  /// streams) from shared memory instead of being re-forked. Draws stay
+  /// bitwise-identical to fork-mode sampling because the per-lease RNG
+  /// reseed depends only on (seed, tp, region, index). Root tuning
+  /// process only; regions with more samples than the board's lease
+  /// capacity fall back to forked workers. Constraint: the nursery
+  /// snapshots the process image — including the first region's body
+  /// closure — at spawn, so every zygote-eligible region of a run must
+  /// use one body whose behavior derives from runtime queries
+  /// (sample(), sampleIndex(), regionOrdinal()), not from freshly
+  /// captured per-region state. 0 disables.
+  unsigned Zygotes = 0;
+  /// Run-wide budget of replacement zygotes forked when the supervisor
+  /// finds nursery members dead (fault injection, straggler kills).
+  /// Dead slots past the budget shrink the nursery; a fully dead
+  /// nursery degrades to plain forked respawn workers.
+  unsigned ZygoteRespawnBudget = 8;
 };
 
 /// Per-region overrides for sampling().
@@ -426,6 +446,10 @@ public:
   /// Worker slot within a samplingRegion() pool, or -1 outside one.
   /// Unlike sampleIndex(), this identifies the long-lived process.
   int poolWorkerIndex() const { return PoolWorker ? WorkerIndex : -1; }
+  /// Ordinal of the current (most recently opened) sampling region.
+  /// Zygote-mode bodies branch on this instead of capturing per-region
+  /// state (the nursery's body closure is frozen at spawn).
+  uint64_t regionOrdinal() const { return RegionCounter; }
   uint64_t tuningProcessId() const { return TpId; }
   /// Deterministic per-process random stream.
   Rng &rng() { return TheRng; }
@@ -556,11 +580,20 @@ private:
 
   // Worker-pool internals (samplingRegion).
   [[noreturn]] void workerLoop();
+  void runLeases();
   int claimLease();
   void forkPoolWorker(int SlotIdx);
   void reclaimWorkerLease(int SlotIdx);
   bool settlePoolLeases();
   void markLeasesTimedOut();
+
+  // Zygote nursery (pre-forked parked workers; root tuning side except
+  // zygoteLoop, which is the zygote's whole life).
+  [[noreturn]] void zygoteLoop(int Slot, uint64_t StartGen);
+  void spawnZygotes();
+  bool spawnZygoteInto(int Slot);
+  int openZygoteRegion(int N, int MaxW);
+  void shutdownZygotes();
 
   RuntimeOptions Opts;
   std::unique_ptr<SharedControl> Ctl;
@@ -601,6 +634,13 @@ private:
   bool PoolWorker = false;          // this process is a pool worker
   int WorkerIndex = -1;             // its slot in the region table
 
+  // Zygote nursery state (root tuning side).
+  bool ZygotesSpawned = false;
+  int NumZygotes = 0;            // nursery slots (== Opts.Zygotes)
+  std::vector<pid_t> ZygotePids; // per nursery slot; 0 = dead
+  unsigned ZygoteRespawnsLeft = 0;
+  bool RegionIsZygote = false; // current region runs on the board
+
   // Aggregation-store state of the current region.
   std::string RegionDirPath; // cached regionDir(RegionCounter)
   size_t RegionSlabStart = 0; // slab watermark at sampling(); earlier
@@ -613,6 +653,10 @@ private:
   std::map<std::string, MeanVectorAccumulator> FoldMeanVecs;
   std::set<std::pair<std::string, int>> FoldedPairs;
 };
+
+/// Process-local count of entries removeTree() failed to remove (warned
+/// on stderr, surfaced as RuntimeMetrics::RemoveFailures).
+uint64_t removeTreeFailures();
 
 //===----------------------------------------------------------------------===//
 // Typed commit/expose helpers

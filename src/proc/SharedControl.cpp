@@ -150,11 +150,14 @@ struct SharedLayout {
   std::atomic<uint64_t> Retries;
   obs::LatencyHistogram ForkLatency;
   obs::LatencyHistogram CommitLatency;
+  std::atomic<uint64_t> ZygoteRespawns;
+  std::atomic<uint64_t> ZygoteRestores;
   uint64_t TraceByteOff;
+  uint64_t AuxByteOff; // opaque init() tail (zygote board); 0 = none
 
   // uint32_t VoteCounts[VoteCapacity], then SlabRecord[SlabRecCap], then
-  // uint8_t Arena[SlabArenaCap], then the optional TraceRingLayout follow
-  // the struct in memory.
+  // uint8_t Arena[SlabArenaCap], then the optional TraceRingLayout, then
+  // the optional AuxBytes tail follow the struct in memory.
 };
 
 } // namespace proc
@@ -187,7 +190,7 @@ SharedControl::~SharedControl() {
 
 void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
                          bool UseScheduler, const SlabConfig &Slab,
-                         const TraceConfig &Trace) {
+                         const TraceConfig &Trace, size_t AuxBytes) {
   assert(!Layout && "SharedControl initialized twice");
   if (MaxPool == 0)
     MaxPool = std::max(2u, std::thread::hardware_concurrency());
@@ -195,7 +198,9 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
       alignUp8(sizeof(SharedLayout) + VoteSlots * sizeof(uint32_t));
   uint64_t ArenaByteOff = RecByteOff + Slab.Records * sizeof(SlabRecord);
   uint64_t TraceByteOff = ArenaByteOff + alignUp8(Slab.ArenaBytes);
-  MappedBytes = TraceByteOff + obs::traceRingBytes(Trace.Records);
+  uint64_t AuxByteOff =
+      alignUp8(TraceByteOff + obs::traceRingBytes(Trace.Records));
+  MappedBytes = AuxByteOff + AuxBytes;
   // assert() compiles out under NDEBUG; a failed mapping here must be
   // loud in every build type — nothing downstream can run without it.
   void *Mem = sys::mmapShared(MappedBytes);
@@ -212,6 +217,8 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
     Layout->TraceByteOff = TraceByteOff;
     obs::traceRingInit(traceRing(Layout), Trace.Records);
   }
+  if (AuxBytes)
+    Layout->AuxByteOff = AuxByteOff;
 
   Layout->PoolLock.init();
   Layout->FreeSlots = static_cast<int>(MaxPool);
@@ -730,12 +737,34 @@ void SharedControl::noteRetry() {
   Layout->Retries.fetch_add(1, std::memory_order_relaxed);
 }
 
+void SharedControl::noteZygoteRespawn() {
+  Layout->ZygoteRespawns.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedControl::noteZygoteRestore() {
+  Layout->ZygoteRestores.fetch_add(1, std::memory_order_relaxed);
+}
+
 uint64_t SharedControl::regionsResolvedTotal() const {
   return Layout->RegionsResolved.load(std::memory_order_relaxed);
 }
 
 uint64_t SharedControl::retriesTotal() const {
   return Layout->Retries.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::zygoteRespawnsTotal() const {
+  return Layout->ZygoteRespawns.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::zygoteRestoresTotal() const {
+  return Layout->ZygoteRestores.load(std::memory_order_relaxed);
+}
+
+void *SharedControl::auxRegion() const {
+  if (!Layout || !Layout->AuxByteOff)
+    return nullptr;
+  return reinterpret_cast<uint8_t *>(Layout) + Layout->AuxByteOff;
 }
 
 static obs::HistogramSnapshot snapshotOf(const obs::LatencyHistogram &H) {

@@ -468,6 +468,178 @@ TEST(InjectRuntime, TraceExportSurvivesOpendirFailure) {
 }
 
 //===----------------------------------------------------------------------===//
+// Lazy region directories (observed through injection call counters,
+// which tick while a plan is armed — the clauses below never fire)
+//===----------------------------------------------------------------------===//
+
+/// A pure-shm region must not touch the filesystem at all: no mkdir at
+/// region open, no unlink at region close. Before the lazy-dir change,
+/// every region paid a mkdir even when every commit stayed in the slab.
+int scenarioPureShmRegionTouchesNoDirs() {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 21;
+  Opts.Backend = StoreBackend::Shm;
+  // Never-firing clauses (ordinal one million): arming them makes the
+  // per-site call counters observable without perturbing anything.
+  Opts.InjectPlan = "mkdir@n1000000:EACCES;unlink@n1000000:EACCES";
+  Rt.init(Opts);
+
+  uint64_t MkdirBefore = inject::callCount(inject::Site::Mkdir);
+  uint64_t UnlinkBefore = inject::callCount(inject::Site::Unlink);
+  const int N = 6;
+  int Committed = -1;
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Committed = V.countStatus(SampleStatus::Committed);
+    });
+  };
+  // Both entry modes: fork-per-sample and the worker pool.
+  Rt.sampling(N);
+  Body();
+  CHECK_OR(Committed == N, 2);
+  Rt.samplingRegion(N, Body);
+  CHECK_OR(Committed == N, 3);
+  CHECK_OR(inject::callCount(inject::Site::Mkdir) == MkdirBefore, 4);
+  CHECK_OR(inject::callCount(inject::Site::Unlink) == UnlinkBefore, 5);
+  Rt.finish();
+  return 0;
+}
+
+TEST(InjectRuntime, PureShmRegionTouchesNoDirs) {
+  EXPECT_EQ(runScenario(scenarioPureShmRegionTouchesNoDirs), 0);
+}
+
+/// The lazy directory still appears when needed: an oversized payload
+/// falls back to the file store, whose first commit creates the region
+/// dir on demand — and the value aggregates correctly through it.
+int scenarioOversizedFallbackCreatesDirOnDemand() {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 22;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.ShmRecordThreshold = 256; // force big payloads to the file store
+  Rt.init(Opts);
+
+  const int N = 4;
+  std::vector<double> Got(N, -1.0);
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(1.0, 2.0));
+  if (Rt.isSampling()) {
+    std::vector<double> Big(256, X); // 2 KiB payload, above the threshold
+    Rt.aggregate("big", encodeVector(Big), nullptr);
+  }
+  Rt.aggregate("big", encodeVector(std::vector<double>()),
+               [&](AggregationView &V) {
+    for (int I : V.committed("big"))
+      Got[I] = V.loadDoubles("big", I).at(128);
+  });
+  for (int I = 0; I != N; ++I)
+    CHECK_OR(Got[I] >= 1.0 && Got[I] <= 2.0, 10 + I);
+  CHECK_OR(Rt.metrics().FileFallbacks >= static_cast<uint64_t>(N), 2);
+  Rt.finish();
+  return 0;
+}
+
+TEST(InjectRuntime, OversizedFallbackCreatesDirOnDemand) {
+  EXPECT_EQ(runScenario(scenarioOversizedFallbackCreatesDirOnDemand), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// removeTree failure accounting (the nftw-return regression)
+//===----------------------------------------------------------------------===//
+
+/// An undeletable entry during run-dir teardown must be warned about and
+/// counted — the old nftw-based walk discarded its own return value, so
+/// the leak was silent. The walk also keeps going: siblings of the
+/// failed entry are still removed.
+int scenarioRemoveTreeCountsFailures() {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 23;
+  Opts.Backend = StoreBackend::Files; // every commit is a file
+  Opts.InjectPlan = "unlink@n1:EACCES";
+  Rt.init(Opts);
+  std::string RunDir = Rt.runDir();
+
+  const int N = 3;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x", encodeDouble(X), nullptr);
+  Rt.aggregate("x", encodeDouble(0), [](AggregationView &) {});
+  CHECK_OR(removeTreeFailures() == 0, 2);
+  Rt.finish(); // teardown hits the injected EACCES on its first unlink
+  CHECK_OR(removeTreeFailures() >= 1, 3);
+  // The failed entry (and its ancestor chain) leaked; everything else
+  // was still visited, so the leak is the injected file plus bare
+  // directories — no sibling sample files survive.
+  inject::disarm();
+  CHECK_OR(access(RunDir.c_str(), F_OK) == 0, 4); // leak is visible
+  int SampleFiles = 0;
+  std::string TpDir = RunDir + "/tp0/r1";
+  if (DIR *D = opendir(TpDir.c_str())) {
+    while (dirent *E = readdir(D))
+      SampleFiles += E->d_name[0] != '.';
+    closedir(D);
+  }
+  CHECK_OR(SampleFiles <= 1, 5); // at most the one EACCES victim
+  // Clean up for real now that injection is off.
+  std::string Cmd = "rm -rf '" + RunDir + "'";
+  CHECK_OR(std::system(Cmd.c_str()) == 0, 6);
+  return 0;
+}
+
+TEST(InjectRuntime, RemoveTreeCountsFailures) {
+  EXPECT_EQ(runScenario(scenarioRemoveTreeCountsFailures), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Zygote spawn failures
+//===----------------------------------------------------------------------===//
+
+/// The zygote site fails nursery spawns without touching regular forks:
+/// a nursery that comes up short still drains the region through the
+/// zygotes that did spawn.
+int scenarioZygoteSpawnFailureDegrades() {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 24;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.Zygotes = 2;
+  Opts.InjectPlan = "zygote@n1:EAGAIN";
+  Rt.init(Opts);
+
+  const int N = 6;
+  int Committed = -1;
+  Rt.samplingRegion(N, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Committed = V.countStatus(SampleStatus::Committed);
+    });
+  });
+  CHECK_OR(Committed == N, 2); // the surviving zygote drained everything
+  CHECK_OR(Rt.forkFailures() == 1, 3);
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.ZygoteRestores >= 1, 4);
+  Rt.finish();
+  return 0;
+}
+
+TEST(InjectRuntime, ZygoteSpawnFailureDegrades) {
+  EXPECT_EQ(runScenario(scenarioZygoteSpawnFailureDegrades), 0);
+}
+
+//===----------------------------------------------------------------------===//
 // Satellite bug #2: init failures must be loud in every build type.
 // These were assert()s before — under NDEBUG (the CI Release build)
 // they compiled out and init continued with a garbage run directory.

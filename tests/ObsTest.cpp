@@ -326,6 +326,28 @@ TEST(TraceExporter, FragmentRoundTrip) {
   unlink(Path.c_str());
 }
 
+TEST(TraceExporter, AppendfGrowsPastStackBuffer) {
+  // appendf used a fixed 256-byte stack buffer and never checked
+  // vsnprintf's return value, so any record longer than that was
+  // silently truncated mid-JSON. Long output must now be re-formatted
+  // into an exact-size buffer, byte-complete.
+  std::string LongName(500, 'n');
+  std::string Out = "prefix:";
+  appendf(Out, "{\"name\": \"%s\", \"v\": %d}", LongName.c_str(), 7);
+  std::string Expect = "prefix:{\"name\": \"" + LongName + "\", \"v\": 7}";
+  EXPECT_EQ(Out, Expect);
+  // Short output still takes the stack-buffer fast path.
+  appendf(Out, "+%d", 42);
+  EXPECT_EQ(Out, Expect + "+42");
+  // Exactly at the boundary (255 chars + NUL fits, 256 does not).
+  for (size_t Len : {255u, 256u, 257u}) {
+    std::string Pad(Len, 'x');
+    std::string S;
+    appendf(S, "%s", Pad.c_str());
+    EXPECT_EQ(S, Pad);
+  }
+}
+
 TEST(TraceExporter, CorruptFragmentHeaderCountIsClamped) {
   // A valid magic followed by a garbage record count used to size the
   // output buffer straight from the header — a multi-GB allocation from

@@ -257,6 +257,155 @@ int scenarioPoolKilledWorkerLeaseRerun() {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Zygote nursery
+//===----------------------------------------------------------------------===//
+
+/// Runs several regions with one shared body (the zygote contract: the
+/// nursery snapshots the body at spawn) and concatenates each region's
+/// committed draws. Mode 0 = fork-per-sample, 1 = forked worker pool,
+/// 2 = zygotes.
+int collectManyRegionValues(int Mode, std::vector<double> &Out) {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 99;
+  Opts.Backend = StoreBackend::Shm;
+  if (Mode == 2)
+    Opts.Zygotes = 3;
+  Rt.init(Opts);
+
+  const int N = 12, Regions = 3;
+  Out.clear();
+  std::vector<double> Got;
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    double Y = Rt.sample("y", Distribution::logUniform(1e-3, 1e3));
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X * Y), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      for (int I : V.committed("x"))
+        Got[I] = V.loadDouble("x", I);
+    });
+  };
+  for (int R = 0; R != Regions; ++R) {
+    Got.assign(N, -1.0);
+    if (Mode == 0) {
+      Rt.sampling(N, static_cast<SamplingKind>(GPoolKind));
+      Body();
+    } else {
+      RegionOptions Ro;
+      Ro.Kind = static_cast<SamplingKind>(GPoolKind);
+      Ro.Workers = 3; // N > workers: every worker runs several leases
+      Rt.samplingRegion(N, Ro, Body);
+    }
+    for (double V : Got)
+      CHECK_OR(V >= 0.0, 2);
+    Out.insert(Out.end(), Got.begin(), Got.end());
+  }
+  if (Mode == 2) {
+    // The regions really ran on restored zygotes, not fresh forks.
+    obs::RuntimeMetrics M = Rt.metrics();
+    CHECK_OR(M.ZygoteRestores >= Regions, 3);
+    CHECK_OR(M.ZygoteRespawns == 0, 4);
+  }
+  Rt.finish();
+  return 0;
+}
+
+int scenarioZygoteMatchesForkSampling() {
+  // The acceptance criterion: draws of a zygote-backed region are
+  // bitwise-identical to fork-per-sample draws, across several regions
+  // (so restored-state regions, not just the nursery's first, match).
+  std::vector<double> ForkVals, ZygoteVals;
+  CHECK_OR(collectManyRegionValues(0, ForkVals) == 0, 3);
+  CHECK_OR(collectManyRegionValues(2, ZygoteVals) == 0, 4);
+  CHECK_OR(ForkVals.size() == ZygoteVals.size(), 5);
+  for (size_t I = 0; I != ForkVals.size(); ++I)
+    CHECK_OR(ZygoteVals[I] == ForkVals[I], 10 + static_cast<int>(I));
+  return 0;
+}
+
+int scenarioZygoteKilledRespawns() {
+  // Zygote 0 SIGKILLs itself mid-lease in region 1. The lease is re-run
+  // by the survivor, and region 2 runs on a nursery refilled from the
+  // respawn budget — both regions commit every sample.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 45;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.Zygotes = 2;
+  Rt.init(Opts);
+  int FreeBefore = Rt.freeSlots();
+
+  const int N = 8;
+  int Committed = -1;
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.regionOrdinal() == 1 && Rt.poolWorkerIndex() == 0)
+      raise(SIGKILL); // dies holding its first lease, region 1 only
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Committed = V.countStatus(SampleStatus::Committed);
+    });
+  };
+  for (int R = 0; R != 2; ++R) {
+    RegionOptions Ro;
+    Ro.Workers = 2;
+    Rt.samplingRegion(N, Ro, Body);
+    CHECK_OR(Committed == N, 2 + R);
+  }
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.ZygoteRespawns >= 1, 10); // the nursery was refilled
+  CHECK_OR(M.CrashedSamples >= 1, 11);
+  CHECK_OR(M.LeaseReclaims >= 1, 12);
+  CHECK_OR(M.ZygoteRestores >= 3, 13); // 2 in region 1, >=1 in region 2
+  CHECK_OR(Rt.freeSlots() == FreeBefore, 14); // dead zygote's slot reclaimed
+  Rt.finish();
+  return 0;
+}
+
+int scenarioZygoteTimeoutAndRecovery() {
+  // A stuck lease in a zygote region: the straggling zygote is killed,
+  // the lease retires as TimedOut, and the next region still works on
+  // what is left of the nursery.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 46;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.Zygotes = 2;
+  Rt.init(Opts);
+
+  const int N = 6;
+  int Committed = -1, TimedOut = -1;
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling() && Rt.regionOrdinal() == 1 && Rt.sampleIndex() == 2)
+      sleep(30); // far past the budget; SIGKILL arrives first
+    if (Rt.isSampling())
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Committed = V.countStatus(SampleStatus::Committed);
+      TimedOut = V.countStatus(SampleStatus::TimedOut);
+    });
+  };
+  RegionOptions Ro;
+  Ro.Workers = 2;
+  Ro.TimeoutSec = 0.5;
+  Rt.samplingRegion(N, Ro, Body);
+  CHECK_OR(Committed == N - 1, 2);
+  CHECK_OR(TimedOut == 1, 3);
+  CHECK_OR(Rt.timedOutSamples() >= 1, 4);
+  Rt.samplingRegion(N, Ro, Body); // ordinal 2: nobody sleeps
+  CHECK_OR(Committed == N, 5);
+  CHECK_OR(TimedOut == 0, 6);
+  Rt.finish();
+  return 0;
+}
+
 int scenarioPoolTimeoutRetiresLeases() {
   // One lease sleeps past the region budget. Its worker is killed, the
   // lease retires as TimedOut, and the rest of the region is unharmed.
@@ -353,4 +502,22 @@ TEST(ProcPoolTest, TimeoutRetiresLeases) {
 
 TEST(ProcPoolTest, ForkFailureMeansFewerWorkers) {
   EXPECT_EQ(runScenario(scenarioPoolForkFailureFewerWorkers), 0);
+}
+
+TEST(ProcPoolTest, ZygoteMatchesForkSamplingRandom) {
+  GPoolKind = static_cast<int>(SamplingKind::Random);
+  EXPECT_EQ(runScenario(scenarioZygoteMatchesForkSampling), 0);
+}
+
+TEST(ProcPoolTest, ZygoteMatchesForkSamplingStratified) {
+  GPoolKind = static_cast<int>(SamplingKind::Stratified);
+  EXPECT_EQ(runScenario(scenarioZygoteMatchesForkSampling), 0);
+}
+
+TEST(ProcPoolTest, ZygoteKilledRespawns) {
+  EXPECT_EQ(runScenario(scenarioZygoteKilledRespawns), 0);
+}
+
+TEST(ProcPoolTest, ZygoteTimeoutAndRecovery) {
+  EXPECT_EQ(runScenario(scenarioZygoteTimeoutAndRecovery), 0);
 }

@@ -69,6 +69,7 @@ struct Schedule {
   bool Pool = false;      // samplingRegion instead of fork-per-sample
   int N = 4;              // samples per region
   int Workers = 0;        // pool mode worker override
+  int Zygotes = 0;        // pool mode: pre-forked parked workers
   int MaxPool = 6;
   int Retries = 0;        // fork-mode spares
   double TimeoutSec = 0;  // region deadline; 0 = none
@@ -89,6 +90,10 @@ Schedule expand(uint64_t Seed) {
   S.N = 2 + int(R.pick(7)); // 2..8
   S.MaxPool = 4 + int(R.pick(5));
   S.Workers = S.Pool ? 1 + int(R.pick(4)) : 0;
+  // Half the pool schedules run on a zygote nursery, so the soak covers
+  // park/restore/respawn against every fault below (kill points land on
+  // zygotes, deadlines kill active zygotes, crashes burn the budget).
+  S.Zygotes = S.Pool && R.chance(50) ? 1 + int(R.pick(4)) : 0;
   S.Regions = 1 + int(R.pick(2));
   S.Split = R.chance(25);
   S.Trace = R.chance(30);
@@ -141,12 +146,12 @@ Schedule expand(uint64_t Seed) {
 std::string describe(const Schedule &S) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
-                "seed %" PRIu64 ": %s %s N=%d pool=%d/%d regions=%d "
-                "retries=%d timeout=%.2f split=%d trace=%d crash=%d "
-                "slow=%d plan='%s'",
+                "seed %" PRIu64 ": %s %s N=%d pool=%d/%d zygotes=%d "
+                "regions=%d retries=%d timeout=%.2f split=%d trace=%d "
+                "crash=%d slow=%d plan='%s'",
                 S.Seed, S.Backend == StoreBackend::Shm ? "shm" : "files",
                 S.Pool ? "workers" : "fork", S.N, S.Workers, S.MaxPool,
-                S.Regions, S.Retries, S.TimeoutSec, int(S.Split),
+                S.Zygotes, S.Regions, S.Retries, S.TimeoutSec, int(S.Split),
                 int(S.Trace), S.CrashIdx, S.SlowIdx, S.Plan.c_str());
   return Buf;
 }
@@ -236,6 +241,7 @@ int runSchedule(const Schedule &S) {
   Opts.Backend = S.Backend;
   Opts.InjectPlan = S.Plan;
   Opts.TracePath = TracePath;
+  Opts.Zygotes = unsigned(S.Zygotes);
   Rt.init(Opts);
   std::string RunDir = Rt.runDir();
 
