@@ -140,11 +140,15 @@ constexpr int CommitLatencyCell = 8;
 /// fault injection with that plan text (use a never-firing clause to
 /// price the armed-but-idle wrapper checks). `Zygotes` > 0 runs pool
 /// regions on a pre-forked nursery of that many parked workers.
+/// `Pipeline` > 1 runs the timed regions as one regionBatch() call with
+/// that many regions in flight. `HugePages` requests THP backing for
+/// the shared mappings.
 StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
                                 bool Fold, bool Pool,
                                 const char *TracePath = nullptr,
                                 const char *InjectPlan = nullptr,
-                                unsigned Zygotes = 0, int Regions = 6) {
+                                unsigned Zygotes = 0, int Regions = 6,
+                                int Pipeline = 1, bool HugePages = false) {
   using namespace wbt::proc;
   // Untimed regions run first so one-time costs (shm slab creation, COW
   // page faults, zygote nursery spawn, trace-file open) don't land in
@@ -169,6 +173,7 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Opts.ShmSlabRecords = 1u << 16;
   Opts.ShmSlabBytes = 64u << 20;
   Opts.Zygotes = Zygotes;
+  Opts.HugePages = HugePages;
   if (TracePath)
     Opts.TracePath = TracePath;
   if (InjectPlan)
@@ -177,38 +182,38 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Rt.sharedScalarReset(CommitLatencyCell);
 
   double AggregateSec = 0;
-  auto RunRegion = [&] {
-    auto Body = [&] {
-      double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-      if (Rt.isSampling()) {
-        std::vector<double> Vec(PayloadDoubles, X);
-        std::vector<uint8_t> Bytes = encodeVector(Vec);
-        Timer Commit;
-        Rt.commitExtra("v", Bytes);
-        Rt.sharedScalarAdd(CommitLatencyCell, Commit.seconds() * 1e6);
-        Rt.aggregate("done", encodeDouble(X), nullptr);
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      std::vector<double> Vec(PayloadDoubles, X);
+      std::vector<uint8_t> Bytes = encodeVector(Vec);
+      Timer Commit;
+      Rt.commitExtra("v", Bytes);
+      Rt.sharedScalarAdd(CommitLatencyCell, Commit.seconds() * 1e6);
+      Rt.aggregate("done", encodeDouble(X), nullptr);
+    }
+    MeanVectorAccumulator *Acc = Fold ? &Rt.foldMeanVector("v") : nullptr;
+    std::vector<double> Mean;
+    Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
+      Timer Agg;
+      if (Acc) {
+        // Incremental: commits were folded during the supervisor
+        // sweeps; only the O(accumulator) result extraction remains.
+        Mean = Acc->result();
+      } else {
+        // One-shot: the classic read-everything-at-the-barrier storm.
+        MeanVectorAccumulator OneShot;
+        for (int I : V.committed("v"))
+          OneShot.add(V.loadDoubles("v", I));
+        Mean = OneShot.result();
       }
-      MeanVectorAccumulator *Acc = Fold ? &Rt.foldMeanVector("v") : nullptr;
-      std::vector<double> Mean;
-      Rt.aggregate("done", encodeDouble(0), [&](AggregationView &V) {
-        Timer Agg;
-        if (Acc) {
-          // Incremental: commits were folded during the supervisor
-          // sweeps; only the O(accumulator) result extraction remains.
-          Mean = Acc->result();
-        } else {
-          // One-shot: the classic read-everything-at-the-barrier storm.
-          MeanVectorAccumulator OneShot;
-          for (int I : V.committed("v"))
-            OneShot.add(V.loadDoubles("v", I));
-          Mean = OneShot.result();
-        }
-        AggregateSec += Agg.seconds();
-      });
-      if (Mean.size() != PayloadDoubles)
-        std::fprintf(stderr, "store ablation: bad mean size %zu\n",
-                     Mean.size());
-    };
+      AggregateSec += Agg.seconds();
+    });
+    if (Mean.size() != PayloadDoubles)
+      std::fprintf(stderr, "store ablation: bad mean size %zu\n",
+                   Mean.size());
+  };
+  auto RunRegion = [&] {
     if (Pool) {
       Rt.samplingRegion(N, Body);
     } else {
@@ -216,17 +221,28 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
       Body();
     }
   };
+  // Pipeline > 1 times whole regionBatch() calls instead of sequential
+  // regions: one lease table spans the batch, workers roll region to
+  // region while the tuning side folds and delivers in order.
+  auto RunSpan = [&](int Count) {
+    if (Pipeline > 1 && Pool) {
+      proc::RegionOptions Ro;
+      Ro.Pipeline = Pipeline;
+      Rt.regionBatch(Count, N, Ro, Body);
+    } else {
+      for (int R = 0; R != Count; ++R)
+        RunRegion();
+    }
+  };
 
-  for (int R = 0; R != WarmupRegions; ++R)
-    RunRegion();
+  RunSpan(WarmupRegions);
   // Warmup done: drop its contributions and start measuring.
   Rt.sharedScalarReset(CommitLatencyCell);
   AggregateSec = 0;
   double BestSec = std::numeric_limits<double>::infinity();
   for (int T = 0; T != Trials; ++T) {
     Timer Trial;
-    for (int R = 0; R != Regions; ++R)
-      RunRegion();
+    RunSpan(Regions);
     BestSec = std::min(BestSec, Trial.seconds());
   }
   StoreAblationRow Row;
@@ -387,6 +403,23 @@ int main(int argc, char **argv) {
                      /*Fold=*/true, /*Pool=*/true,
                      WBT_SOURCE_ROOT "/BENCH_trace_zygote.json", nullptr,
                      /*Zygotes=*/8, /*Regions=*/96),
+      // Pipelined-batch ablation: the zygote configuration's regions run
+      // as one regionBatch() with 4 regions in flight, so workers sample
+      // region R+1..R+4 while the tuning side folds and delivers region
+      // R. This removes the per-region drain stall — the last serial
+      // cost left after zygotes remove the forks.
+      runStoreConfig("shm+fold+zygote+batch", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true, nullptr, nullptr,
+                     /*Zygotes=*/8, /*Regions=*/96, /*Pipeline=*/4),
+      // Huge-page ablation: same batch configuration with
+      // madvise(MADV_HUGEPAGE) requested for the shared slab and control
+      // mappings. Advisory only — the row prices the request, and the
+      // thp_granted/thp_declined counters in the JSON record whether the
+      // kernel honored it.
+      runStoreConfig("shm+fold+zygote+batch+hugepage", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true, nullptr, nullptr,
+                     /*Zygotes=*/8, /*Regions=*/96, /*Pipeline=*/4,
+                     /*HugePages=*/true),
   };
   for (const StoreAblationRow &R : Rows)
     std::printf("%-25s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
@@ -394,7 +427,8 @@ int main(int argc, char **argv) {
   std::printf("(shm should beat files on commit latency; folding should "
               "collapse the barrier-time aggregation; the worker pool "
               "should lift region throughput further; zygotes should "
-              "remove the last per-region forks; tracing and armed "
+              "remove the last per-region forks; pipelined batches "
+              "should overlap sampling with delivery; tracing and armed "
               "fault injection should cost almost nothing)\n");
 
   if (Json) {

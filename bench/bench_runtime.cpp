@@ -270,6 +270,10 @@ void BM_RegionAggregate(benchmark::State &State) {
   State.counters["trace_drops"] = static_cast<double>(M.TraceDrops);
   State.counters["fork_p50_us"] = M.ForkLatency.quantileUs(0.5);
   State.counters["commit_p50_us"] = M.CommitLatency.quantileUs(0.5);
+  State.counters["slab_recycles"] = static_cast<double>(M.SlabRecycles);
+  State.counters["slab_epoch_hw"] = static_cast<double>(M.SlabEpochHighWater);
+  State.counters["thp_granted"] = static_cast<double>(M.ThpGranted);
+  State.counters["thp_declined"] = static_cast<double>(M.ThpDeclined);
   Rt.finish();
   if (Trace)
     std::remove(TracePath.c_str());

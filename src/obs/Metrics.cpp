@@ -74,7 +74,9 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                ", \"crashed\": %llu, \"timed_out\": %llu, "
                "\"fork_failures\": %llu, \"lease_reclaims\": %llu, "
                "\"retries\": %llu, \"slab_records_hw\": %llu, "
-               "\"slab_bytes_hw\": %llu, \"zygote_respawns\": %llu, "
+               "\"slab_bytes_hw\": %llu, \"slab_recycles\": %llu, "
+               "\"slab_epoch_hw\": %llu, \"thp_granted\": %llu, "
+               "\"thp_declined\": %llu, \"zygote_respawns\": %llu, "
                "\"zygote_restores\": %llu, \"remove_failures\": %llu, "
                "\"trace_events\": %llu, "
                "\"trace_drops\": %llu, \"fork_p50_us\": %.1f, "
@@ -87,6 +89,10 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                (unsigned long long)M.Retries,
                (unsigned long long)M.SlabRecordsHighWater,
                (unsigned long long)M.SlabBytesHighWater,
+               (unsigned long long)M.SlabRecycles,
+               (unsigned long long)M.SlabEpochHighWater,
+               (unsigned long long)M.ThpGranted,
+               (unsigned long long)M.ThpDeclined,
                (unsigned long long)M.ZygoteRespawns,
                (unsigned long long)M.ZygoteRestores,
                (unsigned long long)M.RemoveFailures,

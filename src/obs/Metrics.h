@@ -80,8 +80,12 @@ struct RuntimeMetrics {
   uint64_t ForkFailures = 0;
   uint64_t LeaseReclaims = 0; ///< dead-worker lease re-runs
   uint64_t Retries = 0;       ///< spare activations + pool respawns
-  uint64_t SlabRecordsHighWater = 0;
-  uint64_t SlabBytesHighWater = 0;
+  uint64_t SlabRecordsHighWater = 0; ///< cumulative across recycling epochs
+  uint64_t SlabBytesHighWater = 0;   ///< cumulative across recycling epochs
+  uint64_t SlabRecycles = 0;         ///< epoch resets of the commit slab
+  uint64_t SlabEpochHighWater = 0;   ///< largest single-epoch record count
+  uint64_t ThpGranted = 0;  ///< madvise(MADV_HUGEPAGE) accepted at init
+  uint64_t ThpDeclined = 0; ///< huge pages asked for but refused
   uint64_t ZygoteRespawns = 0; ///< nursery refills after a zygote died
   uint64_t ZygoteRestores = 0; ///< parked zygotes woken into a region
   uint64_t RemoveFailures = 0; ///< run-dir entries removeTree failed on

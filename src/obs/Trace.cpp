@@ -172,6 +172,13 @@ const char *eventKindName(EventKind Kind) {
     return "zygote-spawn";
   case EventKind::ZygoteRestore:
     return "zygote-restore";
+  case EventKind::BatchBegin:
+  case EventKind::BatchEnd:
+    return "batch";
+  case EventKind::BatchRoll:
+    return "batch-roll";
+  case EventKind::SlabRecycle:
+    return "slab-recycle";
   }
   return "unknown";
 }
@@ -218,6 +225,14 @@ const char *eventPointName(EventKind Kind) {
     return "zygote.spawn";
   case EventKind::ZygoteRestore:
     return "zygote.restore";
+  case EventKind::BatchBegin:
+    return "batch.begin";
+  case EventKind::BatchEnd:
+    return "batch.end";
+  case EventKind::BatchRoll:
+    return "batch.roll";
+  case EventKind::SlabRecycle:
+    return "slab.recycle";
   }
   return "unknown";
 }

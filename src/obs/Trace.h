@@ -58,6 +58,10 @@ enum class EventKind : uint16_t {
   SchedDefer,    ///< pool full, acquire timed out; B = slot/sample index
   ZygoteSpawn,   ///< tuning: A = zygote slot, B = fork latency ns
   ZygoteRestore, ///< zygote: A = region ordinal, B = zygote slot
+  BatchBegin,    ///< tuning: A = first region ordinal, B = region count
+  BatchEnd,      ///< tuning: A = first region ordinal, B = region count
+  BatchRoll,     ///< worker: A = region ordinal rolled into, B = lease index
+  SlabRecycle,   ///< tuning: A = new slab epoch, B = records retired
 };
 
 /// One fixed-size trace record. 32 bytes, POD, safe to write from a

@@ -22,12 +22,14 @@ namespace {
 
 bool isBegin(EventKind K) {
   return K == EventKind::RegionBegin || K == EventKind::SampleBegin ||
-         K == EventKind::WorkerBegin || K == EventKind::LeaseBegin;
+         K == EventKind::WorkerBegin || K == EventKind::LeaseBegin ||
+         K == EventKind::BatchBegin;
 }
 
 bool isEnd(EventKind K) {
   return K == EventKind::RegionEnd || K == EventKind::SampleEnd ||
-         K == EventKind::WorkerEnd || K == EventKind::LeaseEnd;
+         K == EventKind::WorkerEnd || K == EventKind::LeaseEnd ||
+         K == EventKind::BatchEnd;
 }
 
 EventKind beginOf(EventKind End) {
@@ -40,6 +42,8 @@ EventKind beginOf(EventKind End) {
     return EventKind::WorkerBegin;
   case EventKind::LeaseEnd:
     return EventKind::LeaseBegin;
+  case EventKind::BatchEnd:
+    return EventKind::BatchBegin;
   default:
     return End;
   }

@@ -119,6 +119,20 @@ double monoNow() {
          static_cast<double>(T.tv_nsec) * 1e-9;
 }
 
+/// CLOCK_MONOTONIC deadline \p Ms from now, for the monotonic-clock
+/// condvars (SharedLock::init).
+timespec monoDeadlineIn(int Ms) {
+  timespec T;
+  clock_gettime(CLOCK_MONOTONIC, &T);
+  T.tv_sec += Ms / 1000;
+  T.tv_nsec += static_cast<long>(Ms % 1000) * 1000000L;
+  if (T.tv_nsec >= 1000000000L) {
+    T.tv_nsec -= 1000000000L;
+    ++T.tv_sec;
+  }
+  return T;
+}
+
 /// Spare parking commands (ChildSlot::Command).
 enum SpareCommand : int32_t { SpPark = 0, SpActivate = 1, SpDiscard = 2 };
 
@@ -204,6 +218,18 @@ struct RegionTable {
   int32_t PoolMode;  // 1 for samplingRegion() regions
   int32_t NumLeases; // sample count N (pool mode only)
   std::atomic<int32_t> LeasesReturned; // LsReturned cells awaiting re-claim
+  // Pipelined batches (regionBatch): the lease table spans BatchCount
+  // regions of BatchN samples each; lease Idx belongs to region
+  // BatchBase + Idx / BatchN at local sample index Idx % BatchN.
+  // Non-batched regions set BatchCount = 1 and BatchN = NumLeases so
+  // the mapping degenerates to the identity.
+  int32_t BatchCount;
+  int32_t BatchN;
+  uint64_t BatchBase;
+  // Workers may only run leases below this bound; the supervisor raises
+  // it (under ParkLock) as deliveries complete, which is what caps the
+  // number of in-flight regions at Pipeline.
+  std::atomic<int64_t> ClaimLimit;
 };
 
 } // namespace proc
@@ -336,15 +362,20 @@ private:
 /// built with one scan when the region barrier resolves. Payload
 /// pointers reference the shared mapping (valid for the Runtime's
 /// lifetime). Misses fall through to the file reader, which covers the
-/// oversized-payload and slab-overflow fallbacks.
+/// oversized-payload and slab-overflow fallbacks. Slab recycling can
+/// retire this view's records after the fact: the reader snapshots the
+/// slab epoch at construction, and once the epoch moves on it answers
+/// from the file store alone (the documented degradation for views that
+/// outlive their region — see DESIGN.md, slab recycling).
 class ShmRegionReader : public RegionReader {
 public:
-  ShmRegionReader(const SharedControl &Ctl, uint64_t Tp, uint64_t Region,
+  ShmRegionReader(const SharedControl &InCtl, uint64_t Tp, uint64_t Region,
                   size_t SlabStart, int NumSlots, std::string Dir)
-      : Files(std::move(Dir)) {
+      : Ctl(&InCtl), Epoch(InCtl.slabEpoch()), Files(std::move(Dir)) {
     SlabEntryView E;
-    for (size_t Idx = SlabStart, End = Ctl.slabAllocated(); Idx != End; ++Idx) {
-      if (!Ctl.slabEntry(Idx, E))
+    for (size_t Idx = SlabStart, End = InCtl.slabAllocated(); Idx != End;
+         ++Idx) {
+      if (!InCtl.slabEntry(Idx, E))
         continue;
       if (E.Tp != Tp || E.Region != Region || E.Child < 0 ||
           E.Child >= NumSlots)
@@ -355,25 +386,36 @@ public:
   }
 
   bool has(const std::string &Var, int I) const override {
-    auto It = Entries.find(Var);
-    if (It != Entries.end() && It->second.count(I))
-      return true;
+    if (fresh()) {
+      auto It = Entries.find(Var);
+      if (It != Entries.end() && It->second.count(I))
+        return true;
+    }
     return Files.has(Var, I);
   }
   bool load(const std::string &Var, int I,
             std::vector<uint8_t> &Out) const override {
-    auto It = Entries.find(Var);
-    if (It != Entries.end()) {
-      auto Jt = It->second.find(I);
-      if (Jt != It->second.end()) {
-        Out.assign(Jt->second.first, Jt->second.first + Jt->second.second);
-        return true;
+    if (fresh()) {
+      auto It = Entries.find(Var);
+      if (It != Entries.end()) {
+        auto Jt = It->second.find(I);
+        if (Jt != It->second.end()) {
+          Out.assign(Jt->second.first, Jt->second.first + Jt->second.second);
+          return true;
+        }
       }
     }
     return Files.load(Var, I, Out);
   }
 
 private:
+  /// The cached payload pointers are valid only while the slab epoch they
+  /// were scanned under is still current; slabRecycle() invalidates them
+  /// wholesale by bumping the epoch.
+  bool fresh() const { return Ctl->slabEpoch() == Epoch; }
+
+  const SharedControl *Ctl;
+  uint64_t Epoch;
   std::map<std::string, std::map<int, std::pair<const uint8_t *, uint32_t>>>
       Entries;
   FileRegionReader Files;
@@ -509,6 +551,7 @@ void Runtime::init(const RuntimeOptions &InOpts) {
     Slab.Records = 0; // Files backend: no slab at all
     Slab.ArenaBytes = 0;
   }
+  Slab.HugePages = Opts.HugePages;
   TraceConfig Trace;
   Trace.Records = TraceOn ? Opts.TraceRingRecords : 0;
   size_t AuxBytes =
@@ -549,10 +592,15 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   RegionIsPool = false;
   RegionWorkers = 0;
   LeaseSlot = -1;
+  LeaseIndex = -1;
   RespawnsUsed = 0;
   RegionBody = nullptr;
   PoolWorker = false;
   WorkerIndex = -1;
+  BatchActive = false;
+  BatchRegions = 0;
+  BatchN = 0;
+  BatchBase = 0;
   ZygotesSpawned = false;
   NumZygotes = 0;
   ZygotePids.clear();
@@ -989,10 +1037,20 @@ void Runtime::foldSlabCommits() {
       continue;
     // Pool mode: Child is a lease index, and the gate is the lease's own
     // state — the committing worker is usually still alive and Running.
+    // In a batch, Child is the region-local sample index; the lease cell
+    // lives at the region's window offset in the shared table.
     if (Table->PoolMode) {
-      if (E.Child < 0 || E.Child >= Table->NumLeases)
+      if (E.Child < 0 || E.Child >= Table->BatchN)
         continue;
-      if (leasesOf(Table)[E.Child].State.load(std::memory_order_acquire) !=
+      int64_t LIdx =
+          Table->BatchCount > 1
+              ? static_cast<int64_t>(E.Region - Table->BatchBase) *
+                        Table->BatchN +
+                    E.Child
+              : E.Child;
+      if (LIdx < 0 || LIdx >= Table->NumLeases)
+        continue;
+      if (leasesOf(Table)[LIdx].State.load(std::memory_order_acquire) !=
           LsCommitted)
         continue;
     } else {
@@ -1037,9 +1095,13 @@ void Runtime::foldRemaining(
 
 std::shared_ptr<const RegionReader> Runtime::makeRegionReader() const {
   // Record indices run over sample slots in fork mode and over leases in
-  // pool mode.
+  // pool mode; a batch delivery reads one region's window of BatchN
+  // samples (slab records carry region-local child indices).
   int NumRecords =
-      !Table ? 0 : (Table->PoolMode ? Table->NumLeases : Table->NumSlots);
+      !Table ? 0
+             : (Table->PoolMode ? (Table->BatchCount > 1 ? Table->BatchN
+                                                         : Table->NumLeases)
+                                : Table->NumSlots);
   if (Opts.Backend == StoreBackend::Shm)
     return std::make_shared<ShmRegionReader>(*Ctl, TpId, RegionCounter,
                                              RegionSlabStart, NumRecords,
@@ -1059,6 +1121,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   if (isSampling())
     return;
   assert(!RegionActive && "nested @sampling regions are not supported");
+  maybeRecycleSlab();
 
   ++RegionCounter;
   // Cache the region directory once; every file commit/load reuses it
@@ -1245,45 +1308,139 @@ void Runtime::forkPoolWorker(int SlotIdx) {
 /// one-shot pool workers (workerLoop) and zygotes, which park and run it
 /// again for the next region.
 void Runtime::runLeases() {
-  ChildSlot &Me = slotsOf(Table)[WorkerIndex];
-  LeaseCell *Leases = leasesOf(Table);
   for (;;) {
-    int Idx = claimLease();
+    int Idx = Table->BatchCount > 1 ? claimLeaseGated() : claimLease();
     if (Idx < 0)
       break;
-    LeaseCell &L = Leases[Idx];
-    L.Attempts.fetch_add(1, std::memory_order_relaxed);
-    L.State.store(LsClaimed, std::memory_order_relaxed);
-    // Publish which lease we hold before running user code: if we die in
-    // the body, the supervisor reads CurrentLease to return the lease.
-    Me.CurrentLease.store(Idx, std::memory_order_release);
-    ChildIndex = Idx;
-    traceEmit(obs::EventKind::LeaseBegin, RegionCounter,
-              static_cast<uint64_t>(Idx));
-    // The per-index reseed that makes pool draws bitwise-identical to a
-    // fork-per-sample child of the same index (same formula as
-    // sampling()'s child branch).
-    TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
-                         (RegionCounter << 20) + static_cast<uint64_t>(Idx)));
-    try {
-      RegionBody();
-      // Returning without reaching aggregate() is a voluntary prune,
-      // mirroring a fork-mode child that exits cleanly mid-body.
-      int32_t Expect = LsClaimed;
-      L.State.compare_exchange_strong(Expect, LsPruned,
-                                      std::memory_order_relaxed);
-    } catch (const LeaseEnd &) {
-      // check() pruned the lease or aggregate() committed it.
-    }
-    traceEmit(obs::EventKind::LeaseEnd, RegionCounter,
-              static_cast<uint64_t>(Idx),
-              static_cast<uint16_t>(L.State.load(std::memory_order_relaxed)));
-    Me.CurrentLease.store(-1, std::memory_order_release);
-    // Wake the supervisor so freshly committed leases fold while the
-    // rest of the pool keeps running.
-    Ctl->childEventNotify();
+    runOneLease(Idx);
   }
   ChildIndex = -1;
+  LeaseIndex = -1;
+}
+
+/// Batch-mode claim: returned leases first, then a bounded counter claim
+/// that never passes the pipeline's claim limit. A gated worker parks
+/// WITHOUT holding an index — an index claimed before parking belongs to
+/// a region whose delivery then stalls until the sleeping holder gets
+/// rescheduled (observed as multi-ms pipeline hiccups every K regions on
+/// loaded machines, and as outright deadlock when the holder's region
+/// also had a returned lease nobody could pick up). Servicing returns
+/// while gated keeps a dead worker's lease from wedging the delivery
+/// window the supervisor is waiting on. Limit raises broadcast under
+/// ParkLock, so the timed wait only pays its 50 ms on a missed reclaim,
+/// never as a steady-state cost. Returns -1 once the counter is drained
+/// and no returned leases remain.
+int Runtime::claimLeaseGated() {
+  int N = Table->NumLeases;
+  for (;;) {
+    int Ret = claimReturnedLease();
+    if (Ret >= 0)
+      return Ret;
+    int64_t Bound = std::min<int64_t>(
+        Table->ClaimLimit.load(std::memory_order_acquire), N);
+    int64_t Idx = Ctl->leaseClaimBounded(LeaseSlot, Bound);
+    if (Idx >= 0)
+      return static_cast<int>(Idx);
+    if (Ctl->leaseNext(LeaseSlot) >= N &&
+        Table->LeasesReturned.load(std::memory_order_acquire) == 0)
+      return -1;
+    timespec Deadline = monoDeadlineIn(50);
+    pthread_mutex_lock(&Table->ParkLock.Mutex);
+    if (Table->LeasesReturned.load(std::memory_order_acquire) == 0 &&
+        Table->ClaimLimit.load(std::memory_order_acquire) <=
+            Ctl->leaseNext(LeaseSlot))
+      pthread_cond_timedwait(&Table->ParkLock.Cond, &Table->ParkLock.Mutex,
+                             &Deadline);
+    pthread_mutex_unlock(&Table->ParkLock.Mutex);
+  }
+}
+
+/// Runs one claimed lease to its terminal state: impersonate the
+/// fork-per-sample child of that index, run the body, publish the
+/// outcome.
+void Runtime::runOneLease(int Idx) {
+  ChildSlot &Me = slotsOf(Table)[WorkerIndex];
+  if (Table->BatchCount > 1) {
+    // Roll into the lease's region: same region identity a worker forked
+    // for that region alone would carry. Re-claimed returns can roll
+    // backwards into an earlier region; the next counter claim rolls
+    // forward again.
+    uint64_t Reg = Table->BatchBase +
+                   static_cast<uint64_t>(Idx) /
+                       static_cast<uint64_t>(Table->BatchN);
+    if (Reg != RegionCounter) {
+      RegionCounter = Reg;
+      RegionDirPath = regionDir(RegionCounter);
+      RegionN = Table->BatchN;
+      traceEmit(obs::EventKind::BatchRoll, RegionCounter,
+                static_cast<uint64_t>(Idx));
+    }
+  }
+  int Local = Table->BatchCount > 1 ? Idx % Table->BatchN : Idx;
+  LeaseCell &L = leasesOf(Table)[Idx];
+  L.Attempts.fetch_add(1, std::memory_order_relaxed);
+  L.State.store(LsClaimed, std::memory_order_relaxed);
+  // Publish which lease we hold before running user code: if we die in
+  // the body, the supervisor reads CurrentLease to return the lease.
+  Me.CurrentLease.store(Idx, std::memory_order_release);
+  // ChildIndex is the region-local sample index (what sample() strata
+  // and commit records see); LeaseIndex addresses the shared lease
+  // table, which in a batch spans every region's window.
+  ChildIndex = Local;
+  LeaseIndex = Idx;
+  traceEmit(obs::EventKind::LeaseBegin, RegionCounter,
+            static_cast<uint64_t>(Idx));
+  // The per-index reseed that makes pool draws bitwise-identical to a
+  // fork-per-sample child of the same index (same formula as
+  // sampling()'s child branch).
+  TheRng = Rng(mixSeed(mixSeed(Opts.Seed, TpId),
+                       (RegionCounter << 20) + static_cast<uint64_t>(Local)));
+  try {
+    RegionBody();
+    // Returning without reaching aggregate() is a voluntary prune,
+    // mirroring a fork-mode child that exits cleanly mid-body.
+    int32_t Expect = LsClaimed;
+    L.State.compare_exchange_strong(Expect, LsPruned,
+                                    std::memory_order_relaxed);
+  } catch (const LeaseEnd &) {
+    // check() pruned the lease or aggregate() committed it.
+  }
+  traceEmit(obs::EventKind::LeaseEnd, RegionCounter,
+            static_cast<uint64_t>(Idx),
+            static_cast<uint16_t>(L.State.load(std::memory_order_relaxed)));
+  Me.CurrentLease.store(-1, std::memory_order_release);
+  if (Table->BatchCount > 1) {
+    // One supervisor wakeup per settled region window instead of per
+    // lease: each notify costs the supervisor a sleep/wake round trip,
+    // and a batch delivery can only advance when its whole window is
+    // terminal anyway. The last finisher of a window is guaranteed to
+    // see every cell terminal (the terminal stores above are release,
+    // these loads acquire); two leases finishing back-to-back can at
+    // worst both notify, which is harmless.
+    LeaseCell *Leases = leasesOf(Table);
+    int64_t Reg = static_cast<int64_t>(Idx) / Table->BatchN;
+    bool Settled = true;
+    for (int64_t I = Reg * Table->BatchN, E = I + Table->BatchN; I != E; ++I) {
+      int32_t St = Leases[I].State.load(std::memory_order_acquire);
+      if (St == LsPending || St == LsClaimed || St == LsReturned) {
+        Settled = false;
+        break;
+      }
+    }
+    if (Settled)
+      Ctl->childEventNotify();
+    return;
+  }
+  // Wake the supervisor so freshly committed leases fold while the
+  // rest of the pool keeps running.
+  Ctl->childEventNotify();
+}
+
+int Runtime::sampleAttempt() const {
+  if (!isSampling() || !PoolWorker || LeaseIndex < 0)
+    return 1;
+  return static_cast<int>(
+      leasesOf(Table)[LeaseIndex].Attempts.load(std::memory_order_relaxed));
 }
 
 void Runtime::workerLoop() {
@@ -1294,22 +1451,31 @@ void Runtime::workerLoop() {
 /// Next sample index for this worker: a lease returned by a dead worker
 /// first (re-run path), else the shared claim counter. -1 once both are
 /// exhausted.
-int Runtime::claimLease() {
+/// Claims one returned (orphaned-and-recovered) lease, if any is
+/// visible, via CAS on the cell state. Returns its index or -1.
+int Runtime::claimReturnedLease() {
+  if (Table->LeasesReturned.load(std::memory_order_acquire) <= 0)
+    return -1;
   LeaseCell *Leases = leasesOf(Table);
   int N = Table->NumLeases;
-  for (;;) {
-    if (Table->LeasesReturned.load(std::memory_order_acquire) > 0) {
-      for (int I = 0; I != N; ++I) {
-        int32_t Expect = LsReturned;
-        if (Leases[I].State.compare_exchange_strong(
-                Expect, LsClaimed, std::memory_order_acq_rel)) {
-          Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
-          return I;
-        }
-      }
-      // Another worker won every visible return; fall through and retry
-      // via the counter.
+  for (int I = 0; I != N; ++I) {
+    int32_t Expect = LsReturned;
+    if (Leases[I].State.compare_exchange_strong(Expect, LsClaimed,
+                                                std::memory_order_acq_rel)) {
+      Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
+      return I;
     }
+  }
+  // Another worker won every visible return.
+  return -1;
+}
+
+int Runtime::claimLease() {
+  int N = Table->NumLeases;
+  for (;;) {
+    int Ret = claimReturnedLease();
+    if (Ret >= 0)
+      return Ret;
     int64_t Idx = Ctl->leaseClaim(LeaseSlot);
     if (Idx < N)
       return static_cast<int>(Idx);
@@ -1424,6 +1590,7 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   if (isSampling())
     return;
   assert(!RegionActive && "nested @sampling regions are not supported");
+  maybeRecycleSlab();
 
   ++RegionCounter;
   RegionDirPath = regionDir(RegionCounter); // created lazily on fallback
@@ -1466,13 +1633,31 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   // table mmap. Root tuning process only (a @split tp would need a
   // nursery of its own), bounded by the board's lease capacity.
   if (Opts.Zygotes > 0 && IsRoot && N <= ZygoteLeaseCap) {
-    openZygoteRegion(N, W);
+    openZygoteRegion(N, N, W, N);
     RegionActive = true;
     Body();
     assert(!RegionActive && "samplingRegion() body must call aggregate()");
     RegionBody = nullptr;
     return;
   }
+  openPoolTable(W, N, N);
+
+  // Tuning side: run the body once ourselves. Sampling primitives no-op,
+  // and the body's aggregate() call performs the supervision above.
+  RegionActive = true;
+  Body();
+  assert(!RegionActive && "samplingRegion() body must call aggregate()");
+  RegionBody = nullptr;
+}
+
+/// Maps the fresh per-region child table + lease table and forks \p W
+/// pool workers into it. \p TotalLeases is N for a plain pool region and
+/// Regions * N for a batch (one flat lease space over every region's
+/// window); \p ClaimInit seeds the batch claim limit — TotalLeases when
+/// not batching, so the gate in runLeases() never parks anyone. Forked
+/// children enter workerLoop() inside forkPoolWorker() and never return;
+/// past the fork loop we are always the tuning process.
+void Runtime::openPoolTable(int W, int TotalLeases, int64_t ClaimInit) {
   RegionWorkers = W;
 
   LeaseSlot = Ctl->acquireLeaseSlot();
@@ -1480,13 +1665,13 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   BarrierSlot = Ctl->acquireBarrierSlot();
   Ctl->barrierReset(BarrierSlot, W);
 
-  // W worker slots plus N respawn slots (used only when every worker
-  // died with leases still open — at most one respawn per lease), then
-  // the lease table.
-  int NumSlots = W + N;
+  // W worker slots plus one respawn slot per lease (used only when every
+  // worker died with leases still open — at most one respawn per lease),
+  // then the lease table.
+  int NumSlots = W + TotalLeases;
   TableBytes = sizeof(RegionTable) +
                static_cast<size_t>(NumSlots) * sizeof(ChildSlot) +
-               static_cast<size_t>(N) * sizeof(LeaseCell);
+               static_cast<size_t>(TotalLeases) * sizeof(LeaseCell);
   void *Mem = sys::mmapShared(TableBytes);
   if (Mem == MAP_FAILED)
     sys::fatal("mmap of region child table (%zu bytes) failed: %s",
@@ -1497,7 +1682,11 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   Table->NumMains = W;
   Table->NumSlots = NumSlots;
   Table->PoolMode = 1;
-  Table->NumLeases = N;
+  Table->NumLeases = TotalLeases;
+  Table->BatchCount = BatchActive ? BatchRegions : 1;
+  Table->BatchN = BatchActive ? BatchN : TotalLeases;
+  Table->BatchBase = RegionCounter;
+  Table->ClaimLimit.store(ClaimInit, std::memory_order_release);
   ChildSlot *Slots = slotsOf(Table);
   for (int I = 0; I != NumSlots; ++I) {
     bool IsRespawn = I >= W;
@@ -1511,17 +1700,143 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   // Lease cells: memset already made them {LsPending, 0, 0}.
   Reaped.assign(static_cast<size_t>(NumSlots), 0);
 
-  // Forked children enter workerLoop() inside forkPoolWorker() and never
-  // come back here; past this loop we are always the tuning process.
   for (int I = 0; I != W; ++I)
     forkPoolWorker(I);
+}
 
-  // Tuning side: run the body once ourselves. Sampling primitives no-op,
-  // and the body's aggregate() call performs the supervision above.
-  RegionActive = true;
-  Body();
-  assert(!RegionActive && "samplingRegion() body must call aggregate()");
+/// Raises the batch claim limit and wakes workers parked on it. Shares
+/// ParkLock with spare parking — both are rare, coarse wakeups.
+void Runtime::advanceClaimLimit(int64_t NewLimit) {
+  if (!Table || Table->ClaimLimit.load(std::memory_order_acquire) >= NewLimit)
+    return;
+  pthread_mutex_lock(&Table->ParkLock.Mutex);
+  Table->ClaimLimit.store(NewLimit, std::memory_order_release);
+  pthread_cond_broadcast(&Table->ParkLock.Cond);
+  pthread_mutex_unlock(&Table->ParkLock.Mutex);
+}
+
+/// Epoch-based slab recycling: between regions, when this is the sole
+/// live tuning process (no @split siblings, no sampling children — so
+/// structurally nobody can be mid-commit or mid-scan) and the slab is
+/// at least half full, retire every published record and reset the bump
+/// allocators. Long runs then reuse the same slab instead of degrading
+/// to Exhausted file fallbacks once the cumulative commit volume passes
+/// the slab's capacity. Parked zygotes never touch the slab, so they
+/// don't block recycling.
+void Runtime::maybeRecycleSlab() {
+  if (Opts.Backend != StoreBackend::Shm || !IsRoot || RegionActive)
+    return;
+  if (Ctl->liveTuningProcesses() != 1 || !Ctl->slabNeedsRecycle())
+    return;
+  uint64_t Retired = Ctl->slabAllocated();
+  Ctl->slabRecycle();
+  traceEmit(obs::EventKind::SlabRecycle, Ctl->slabEpoch(), Retired);
+}
+
+void Runtime::regionBatch(int Regions, int N, const RegionOptions &Ro,
+                          const std::function<void()> &Body) {
+  assert(Inited && "regionBatch() before init()");
+  assert(Regions > 0 && N > 0 && "batch needs regions and samples");
+  assert(Body && "regionBatch() needs a body callback");
+  // Rule [SAMPLING] only applies in a tuning process; a sampling process
+  // must not open nested regions.
+  if (isSampling())
+    return;
+  int K = std::min(Ro.Pipeline, Regions);
+  if (K <= 1 || Regions == 1) {
+    // Degenerate pipeline: plain sequential regions, same results.
+    for (int R = 0; R != Regions; ++R)
+      samplingRegion(N, Ro, Body);
+    return;
+  }
+  assert(!RegionActive && "nested @sampling regions are not supported");
+  maybeRecycleSlab();
+
+  int64_t Total = static_cast<int64_t>(Regions) * N;
+  BatchActive = true;
+  BatchRegions = Regions;
+  BatchN = N;
+  BatchBase = RegionCounter + 1;
+  RegionCounter = BatchBase; // forked workers start in the first region
+  RegionDirPath = regionDir(RegionCounter);
+  RegionN = N;
+  RegionKind = Ro.Kind;
+  RegionUsedSync = false;
+  NumSpares = 0;
+  NextSpare = 0;
+  RegionIsPool = true;
+  RegionBody = Body;
+  RespawnsUsed = 0;
+  double TimeoutSec =
+      Ro.TimeoutSec >= 0 ? Ro.TimeoutSec : Opts.SampleTimeoutSec;
+  // One slab watermark for every delivery: by the time region R is
+  // delivered, commits of regions > R may already be published; each
+  // delivery rescans the batch window and folds only its own region's
+  // records (the E.Region filter).
+  RegionSlabStart = Ctl->slabAllocated();
+
+  int MaxWorkers = std::max(1, static_cast<int>(Ctl->maxPool()) - 1);
+  int W = Ro.Workers > 0
+              ? Ro.Workers
+              : (Opts.WorkerPool > 0 ? static_cast<int>(Opts.WorkerPool)
+                                     : MaxWorkers);
+  W = std::min(W, MaxWorkers);
+  if (Total < W)
+    W = static_cast<int>(Total);
+  W = std::max(1, W);
+
+  traceEmit(obs::EventKind::BatchBegin, BatchBase,
+            static_cast<uint64_t>(Regions));
+  // Workers may sample up to K regions ahead of the oldest undelivered
+  // one; each completed delivery slides the window forward.
+  int64_t ClaimInit = std::min<int64_t>(Total, static_cast<int64_t>(K) * N);
+  if (Opts.Zygotes > 0 && IsRoot && Total <= ZygoteLeaseCap)
+    openZygoteRegion(N, static_cast<int>(Total), W, ClaimInit);
+  else
+    openPoolTable(W, static_cast<int>(Total), ClaimInit);
+
+  // Deliver each region in submission order. The body runs with exactly
+  // the region identity sequential samplingRegion() calls would give it;
+  // its aggregate() call waits only for this region's lease window.
+  for (int R = 0; R != Regions; ++R) {
+    RegionCounter = BatchBase + static_cast<uint64_t>(R);
+    RegionDirPath = regionDir(RegionCounter);
+    FoldScalars.clear();
+    FoldVotes.clear();
+    FoldMeanVecs.clear();
+    FoldedPairs.clear();
+    // Store-counter watermarks are per-delivery: a batch region's counts
+    // attribute commits by when they were published, not which region
+    // produced them (overlap makes exact attribution impossible here).
+    RegionShmStart = Ctl->slabPublishedTotal();
+    for (int F = 0; F != obs::NumFallbackReasons; ++F)
+      RegionFallbackStart[F] =
+          Ctl->slabFallbacks(static_cast<obs::FallbackReason>(F));
+    RegionHasDeadline = TimeoutSec > 0;
+    RegionDeadline = RegionHasDeadline ? monoNow() + TimeoutSec : 0;
+    traceEmit(obs::EventKind::RegionBegin, RegionCounter,
+              static_cast<uint64_t>(N));
+    RegionActive = true;
+    Body();
+    assert(!RegionActive && "regionBatch() body must call aggregate()");
+    advanceClaimLimit(
+        std::min<int64_t>(Total, static_cast<int64_t>(R + 1 + K) * N));
+  }
+  traceEmit(obs::EventKind::BatchEnd, BatchBase,
+            static_cast<uint64_t>(Regions));
+
+  // The teardown aggregate() skipped for every delivery.
+  destroyRegionTable();
+  RegionIsZygote = false;
+  Ctl->releaseBarrierSlot(BarrierSlot);
+  Ctl->releaseLeaseSlot(LeaseSlot);
+  LeaseSlot = -1;
+  RegionIsPool = false;
   RegionBody = nullptr;
+  BatchActive = false;
+  BatchRegions = 0;
+  BatchN = 0;
+  BatchBase = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1661,8 +1976,13 @@ void Runtime::zygoteLoop(int Slot, uint64_t StartGen) {
 /// reset the board's slots and lease cells for this region, publish the
 /// region snapshot, and wake the nursery with a generation bump. No
 /// fork, no mmap — the board lives in the control-block mapping every
-/// zygote already shares. Returns the number of participants.
-int Runtime::openZygoteRegion(int N, int MaxW) {
+/// zygote already shares. A pipelined batch opens the board ONCE for the
+/// whole run of regions: \p TotalLeases spans every region's window and
+/// the nursery is woken a single time, so zygotes roll from one region's
+/// last lease straight into the next without re-parking. Returns the
+/// number of participants.
+int Runtime::openZygoteRegion(int N, int TotalLeases, int MaxW,
+                              int64_t ClaimInit) {
   spawnZygotes();
   auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
   RegionTable *T = zygoteTableOf(B);
@@ -1676,16 +1996,22 @@ int Runtime::openZygoteRegion(int N, int MaxW) {
   Ctl->leaseReset(LeaseSlot);
   BarrierSlot = Ctl->acquireBarrierSlot();
 
-  int NumSlots = Z + N;
+  int NumSlots = Z + TotalLeases;
   T->NumMains = Z;
   T->NumSlots = NumSlots;
   T->PoolMode = 1;
-  T->NumLeases = N;
+  T->NumLeases = TotalLeases;
   T->LeasesReturned.store(0, std::memory_order_relaxed);
+  // The board table persists across regions (no memset): the batch
+  // fields must be stored explicitly every time.
+  T->BatchCount = BatchActive ? BatchRegions : 1;
+  T->BatchN = BatchActive ? BatchN : TotalLeases;
+  T->BatchBase = RegionCounter;
+  T->ClaimLimit.store(ClaimInit, std::memory_order_release);
   ChildSlot *Slots = slotsOf(T);
   // Live zygotes become participants up to the worker cap; the rest (and
   // dead slots the respawn budget could not refill) sit this region out.
-  int Want = std::min(MaxW, N);
+  int Want = std::min(MaxW, TotalLeases);
   int P = 0;
   for (int I = 0; I != Z; ++I) {
     ChildSlot &S = Slots[I];
@@ -1718,7 +2044,7 @@ int Runtime::openZygoteRegion(int N, int MaxW) {
     S.CurrentLease.store(-1, std::memory_order_relaxed);
   }
   LeaseCell *Leases = leasesOf(T);
-  for (int I = 0; I != N; ++I) {
+  for (int I = 0; I != TotalLeases; ++I) {
     Leases[I].State.store(LsPending, std::memory_order_relaxed);
     Leases[I].Signal.store(0, std::memory_order_relaxed);
     Leases[I].Attempts.store(0, std::memory_order_relaxed);
@@ -1791,7 +2117,7 @@ void Runtime::check(bool Ok) {
   if (PoolWorker) {
     // Prune only the current lease; the worker survives to claim the
     // next sample index.
-    leasesOf(Table)[ChildIndex].State.store(LsPruned,
+    leasesOf(Table)[LeaseIndex].State.store(LsPruned,
                                             std::memory_order_relaxed);
     throw LeaseEnd();
   }
@@ -1897,7 +2223,7 @@ void Runtime::aggregate(const std::string &Var,
     if (PoolWorker) {
       // The lease is done, not the worker: publish completion and unwind
       // back into workerLoop() for the next sample index.
-      leasesOf(Table)[ChildIndex].State.store(LsCommitted,
+      leasesOf(Table)[LeaseIndex].State.store(LsCommitted,
                                               std::memory_order_release);
       throw LeaseEnd();
     }
@@ -1916,6 +2242,33 @@ void Runtime::aggregate(const std::string &Var,
   // lease to reach a terminal state: all workers exiting with leases
   // still open (a wipe-out) makes settlePoolLeases() return the orphans
   // and fork a replacement worker.
+  //
+  // Pipelined batch: this delivery only waits for its own region's lease
+  // window to settle — workers are meanwhile already sampling the next
+  // regions, which is the whole point. Only the batch's last delivery
+  // waits for the workers themselves to exit.
+  bool Batched = BatchActive;
+  bool LastDelivery =
+      !Batched ||
+      RegionCounter == BatchBase + static_cast<uint64_t>(BatchRegions) - 1;
+  size_t W0 =
+      Batched ? static_cast<size_t>(RegionCounter - BatchBase) *
+                    static_cast<size_t>(BatchN)
+              : 0;
+  size_t WindowN = Batched ? static_cast<size_t>(BatchN)
+                           : (RegionIsPool
+                                  ? static_cast<size_t>(Table->NumLeases)
+                                  : 0);
+  auto windowSettled = [&]() {
+    LeaseCell *Leases = leasesOf(Table);
+    for (size_t I = W0, E = W0 + WindowN; I != E; ++I) {
+      int32_t St = Leases[I].State.load(std::memory_order_acquire);
+      if (St != LsCommitted && St != LsPruned && St != LsCrashed &&
+          St != LsTimedOut && St != LsForkFailed)
+        return false;
+    }
+    return true;
+  };
   for (;;) {
     // Snapshot the event counter before the sweep: an exit event posted
     // while we are sweeping must not be lost to the wait below (with a
@@ -1923,6 +2276,8 @@ void Runtime::aggregate(const std::string &Var,
     // full 50 ms of dead time per region).
     uint64_t EventsSeen = Ctl->childEventCount();
     int Live = sweepChildren();
+    if (Batched && windowSettled() && (!LastDelivery || Live == 0))
+      break;
     if (Live == 0) {
       if (!RegionIsPool || settlePoolLeases())
         break;
@@ -1941,9 +2296,10 @@ void Runtime::aggregate(const std::string &Var,
   std::vector<AggregationView::SampleRecord> Records;
   if (RegionIsPool) {
     // Pool mode reports per-sample records from the lease table; the
-    // worker slots are an execution detail.
-    Records.resize(static_cast<size_t>(Table->NumLeases));
-    LeaseCell *Leases = leasesOf(Table);
+    // worker slots are an execution detail. A batch delivery reads its
+    // region's window of the shared table.
+    Records.resize(WindowN);
+    LeaseCell *Leases = leasesOf(Table) + W0;
     for (size_t I = 0, E = Records.size(); I != E; ++I) {
       Records[I].Status =
           leaseSampleStatus(Leases[I].State.load(std::memory_order_acquire));
@@ -1957,19 +2313,40 @@ void Runtime::aggregate(const std::string &Var,
       Records[I].Signal = Slots[I].Signal.load(std::memory_order_relaxed);
     }
   }
-  // Final folding pass with every child reaped (waitpid(2) ordered all
-  // their stores before ours): first the slab, then the file-path
-  // stragglers through the reader.
+  // Final folding pass with every lease of this window terminal (their
+  // publishing stores ordered before our acquire loads above): first the
+  // slab, then the file-path stragglers through the reader.
   foldSlabCommits();
   std::shared_ptr<const RegionReader> Reader = makeRegionReader();
   foldRemaining(*Reader, Records);
-  destroyRegionTable();
-  RegionIsZygote = false;
-  Ctl->releaseBarrierSlot(BarrierSlot);
-  if (RegionIsPool) {
-    Ctl->releaseLeaseSlot(LeaseSlot);
-    LeaseSlot = -1;
-    RegionIsPool = false;
+  if (Batched) {
+    // Slide the fold sweep's low-water mark past everything this
+    // delivery (and earlier ones) fully consumed, so the next delivery
+    // rescans only the pipeline's in-flight window instead of the whole
+    // batch prefix (O(K*N) per delivery instead of O(R*N)). Stop at the
+    // first record we cannot prove consumed: unpublished (its writer may
+    // be mid-commit for a future region) or belonging to an undelivered
+    // region.
+    SlabEntryView E;
+    for (size_t End = Ctl->slabAllocated(); RegionSlabStart != End;
+         ++RegionSlabStart) {
+      if (!Ctl->slabEntry(RegionSlabStart, E))
+        break;
+      if (E.Tp == TpId && E.Region > RegionCounter)
+        break;
+    }
+  }
+  if (!Batched) {
+    // A batch keeps its table, worker set, and lease/barrier slots alive
+    // across deliveries; regionBatch() tears them down after the last.
+    destroyRegionTable();
+    RegionIsZygote = false;
+    Ctl->releaseBarrierSlot(BarrierSlot);
+    if (RegionIsPool) {
+      Ctl->releaseLeaseSlot(LeaseSlot);
+      LeaseSlot = -1;
+      RegionIsPool = false;
+    }
   }
   AggregationView::StoreCounters SC;
   SC.ShmCommits = Ctl->slabPublishedTotal() - RegionShmStart;
@@ -1980,8 +2357,11 @@ void Runtime::aggregate(const std::string &Var,
   traceEmit(obs::EventKind::RegionEnd, RegionCounter);
   // Every child of this region is reaped, so an unpublished cell can only
   // be a torn writer (or a concurrent tuning process, whose claim the
-  // ring recovers from) — skip instead of stalling the ring.
-  drainTraceEvents(/*Final=*/true);
+  // ring recovers from) — skip instead of stalling the ring. Mid-batch
+  // deliveries still have live writers, so they must NOT skip: a cell a
+  // live worker is about to publish would be counted as a drop and the
+  // ring's tail would run past it.
+  drainTraceEvents(/*Final=*/LastDelivery);
   AggregationView View(std::move(Reader), std::move(Records), SC);
   RegionActive = false;
   if (Cb)
@@ -2057,10 +2437,15 @@ bool Runtime::split() {
   RegionIsPool = false;
   RegionWorkers = 0;
   LeaseSlot = -1;
+  LeaseIndex = -1;
   RespawnsUsed = 0;
   RegionBody = nullptr;
   PoolWorker = false;
   WorkerIndex = -1;
+  BatchActive = false;
+  BatchRegions = 0;
+  BatchN = 0;
+  BatchBase = 0;
   // The nursery belongs to the root; a split tp forks plain workers.
   ZygotesSpawned = false;
   NumZygotes = 0;
@@ -2108,6 +2493,10 @@ obs::RuntimeMetrics Runtime::metrics() const {
   M.Retries = Ctl->retriesTotal();
   M.SlabRecordsHighWater = Ctl->slabRecordsHighWater();
   M.SlabBytesHighWater = Ctl->slabBytesHighWater();
+  M.SlabRecycles = Ctl->slabRecyclesTotal();
+  M.SlabEpochHighWater = Ctl->slabEpochRecordsHighWater();
+  M.ThpGranted = Ctl->thpGranted();
+  M.ThpDeclined = Ctl->thpDeclined();
   M.ZygoteRespawns = Ctl->zygoteRespawnsTotal();
   M.ZygoteRestores = Ctl->zygoteRestoresTotal();
   M.RemoveFailures = removeTreeFailures();

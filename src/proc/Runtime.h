@@ -215,6 +215,12 @@ struct RuntimeOptions {
   /// Dead slots past the budget shrink the nursery; a fully dead
   /// nursery degrades to plain forked respawn workers.
   unsigned ZygoteRespawnBudget = 8;
+  /// Ask the kernel to back the shared control block (commit slab +
+  /// trace ring) with transparent huge pages (madvise(MADV_HUGEPAGE)).
+  /// Advisory: shmem THP is a kernel policy knob, so the request may be
+  /// declined — the run proceeds on regular pages and the outcome is
+  /// surfaced as RuntimeMetrics::ThpGranted / ThpDeclined.
+  bool HugePages = false;
 };
 
 /// Per-region overrides for sampling().
@@ -227,6 +233,11 @@ struct RegionOptions {
   /// Workers for this region under samplingRegion(); <= 0 inherits
   /// RuntimeOptions::WorkerPool. Ignored by fork-per-sample sampling().
   int Workers = 0;
+  /// Sampling regions kept in flight by regionBatch(): while the tuning
+  /// process folds and delivers region R, workers may sample regions
+  /// R+1 .. R+Pipeline. <= 1 degenerates to sequential samplingRegion()
+  /// calls. Ignored outside regionBatch().
+  int Pipeline = 1;
 };
 
 /// Backend-neutral read access to one region's committed results. The
@@ -386,6 +397,30 @@ public:
     samplingRegion(N, RegionOptions(), Body);
   }
 
+  /// Pipelined batch of \p Regions identical sampling regions of \p N
+  /// samples each, every one running \p Body: one worker set (or the
+  /// zygote nursery, woken once for the whole batch) claims leases from
+  /// a single counter spanning all Regions * N samples, rolling from
+  /// region R's last lease straight into region R+1 without re-parking,
+  /// while the tuning process folds and delivers finished regions behind
+  /// them. Up to RegionOptions::Pipeline regions run ahead of the
+  /// delivery point; results are delivered in submission order, and \p
+  /// Body observes exactly what Regions sequential samplingRegion()
+  /// calls would show it — same region ordinals, same sample indices,
+  /// bitwise-identical draws via the per-lease RNG reseed. \p Body must
+  /// satisfy the zygote-body constraint (derive behavior from runtime
+  /// queries, not captured per-region state) whenever it branches per
+  /// region. Pipeline <= 1 or Regions == 1 literally runs the
+  /// sequential loop. See DESIGN.md, "Pipelined region batches".
+  void regionBatch(int Regions, int N, const RegionOptions &Ro,
+                   const std::function<void()> &Body);
+
+  void regionBatch(int Regions, int N, const std::function<void()> &Body) {
+    RegionOptions Ro;
+    Ro.Pipeline = Regions;
+    regionBatch(Regions, N, Ro, Body);
+  }
+
   /// @sample(x, cbDist): draws this run's value of \p Name; the tuning
   /// process observes D.defaultValue() (the rule is a no-op in T mode).
   double sample(const std::string &Name, const Distribution &D);
@@ -446,6 +481,13 @@ public:
   /// Worker slot within a samplingRegion() pool, or -1 outside one.
   /// Unlike sampleIndex(), this identifies the long-lived process.
   int poolWorkerIndex() const { return PoolWorker ? WorkerIndex : -1; }
+  /// Attempt number (1-based) of the current sample. A pool lease being
+  /// re-run after its previous holder died observes 2, 3, ...; fork-mode
+  /// samples and tuning processes always observe 1. Lets a body act on
+  /// exactly one attempt of a given index regardless of which worker
+  /// claims it (the re-runner's own increment orders after the dead
+  /// holder's in the cell's modification order).
+  int sampleAttempt() const;
   /// Ordinal of the current (most recently opened) sampling region.
   /// Zygote-mode bodies branch on this instead of capturing per-region
   /// state (the nursery's body closure is frozen at spawn).
@@ -578,21 +620,34 @@ private:
   void discardSpares();
   void destroyRegionTable();
 
-  // Worker-pool internals (samplingRegion).
+  // Worker-pool internals (samplingRegion / regionBatch).
   [[noreturn]] void workerLoop();
   void runLeases();
+  void runOneLease(int Idx);
   int claimLease();
+  int claimLeaseGated();
+  int claimReturnedLease();
   void forkPoolWorker(int SlotIdx);
   void reclaimWorkerLease(int SlotIdx);
   bool settlePoolLeases();
   void markLeasesTimedOut();
+  /// Maps the per-region child table and forks \p W pool workers with
+  /// \p TotalLeases lease cells (a batch spans several regions' worth).
+  void openPoolTable(int W, int TotalLeases, int64_t ClaimInit);
+  /// Raises the batch pipeline gate to \p NewLimit and wakes gate-blocked
+  /// workers. No-op on plain regions.
+  void advanceClaimLimit(int64_t NewLimit);
+  /// Recycles the commit slab between regions when it is safe (root
+  /// tuning process, sole live tuning process, no open region) and the
+  /// current epoch has consumed at least half the slab.
+  void maybeRecycleSlab();
 
   // Zygote nursery (pre-forked parked workers; root tuning side except
   // zygoteLoop, which is the zygote's whole life).
   [[noreturn]] void zygoteLoop(int Slot, uint64_t StartGen);
   void spawnZygotes();
   bool spawnZygoteInto(int Slot);
-  int openZygoteRegion(int N, int MaxW);
+  int openZygoteRegion(int N, int TotalLeases, int MaxW, int64_t ClaimInit);
   void shutdownZygotes();
 
   RuntimeOptions Opts;
@@ -633,6 +688,14 @@ private:
   std::function<void()> RegionBody; // re-run by workers and respawns
   bool PoolWorker = false;          // this process is a pool worker
   int WorkerIndex = -1;             // its slot in the region table
+  int LeaseIndex = -1; // claimed lease cell; == sample index except in a
+                       // batch, where ChildIndex is the within-region one
+
+  // Pipelined batch state (regionBatch, tuning side).
+  bool BatchActive = false;
+  int BatchRegions = 0;    // regions in the open batch
+  int BatchN = 0;          // samples per region (uniform)
+  uint64_t BatchBase = 0;  // ordinal of the batch's first region
 
   // Zygote nursery state (root tuning side).
   bool ZygotesSpawned = false;

@@ -152,6 +152,20 @@ struct SharedLayout {
   obs::LatencyHistogram CommitLatency;
   std::atomic<uint64_t> ZygoteRespawns;
   std::atomic<uint64_t> ZygoteRestores;
+
+  // Epoch-based slab recycling (written only by the root tuning process,
+  // single-threaded, between regions; atomics because every process may
+  // read them through the metrics accessors).
+  std::atomic<uint64_t> SlabEpoch;
+  std::atomic<uint64_t> SlabRecycles;
+  std::atomic<uint64_t> SlabRetiredRecords; // summed over retired epochs
+  std::atomic<uint64_t> SlabRetiredBytes;
+  std::atomic<uint64_t> SlabEpochRecHW; // largest single-epoch record count
+
+  // Transparent-huge-page advice outcome (SlabConfig::HugePages).
+  std::atomic<uint64_t> ThpGranted;
+  std::atomic<uint64_t> ThpDeclined;
+
   uint64_t TraceByteOff;
   uint64_t AuxByteOff; // opaque init() tail (zygote board); 0 = none
 
@@ -207,12 +221,27 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   if (Mem == MAP_FAILED)
     sys::fatal("mmap of shared control block (%zu bytes) failed: %s",
                MappedBytes, std::strerror(errno));
+  // Advise huge pages before first touch so the initial memset can fault
+  // the mapping in as huge pages. Advisory only: anonymous MAP_SHARED
+  // memory is shmem, whose THP policy is a kernel knob — madvise may
+  // succeed or fail (EINVAL on old kernels), and either way the run
+  // proceeds; the outcome is only counted.
+  bool ThpAsked = false, ThpOk = false;
+  if (Slab.HugePages) {
+    ThpAsked = true;
+#ifdef MADV_HUGEPAGE
+    ThpOk = madvise(Mem, MappedBytes, MADV_HUGEPAGE) == 0;
+#endif
+  }
   std::memset(Mem, 0, MappedBytes);
   Layout = static_cast<SharedLayout *>(Mem);
   Layout->SlabRecCap = Slab.Records;
   Layout->SlabArenaCap = Slab.ArenaBytes;
   Layout->SlabRecByteOff = RecByteOff;
   Layout->SlabArenaByteOff = ArenaByteOff;
+  if (ThpAsked)
+    (ThpOk ? Layout->ThpGranted : Layout->ThpDeclined)
+        .fetch_add(1, std::memory_order_relaxed);
   if (Trace.Records) {
     Layout->TraceByteOff = TraceByteOff;
     obs::traceRingInit(traceRing(Layout), Trace.Records);
@@ -518,6 +547,15 @@ int64_t SharedControl::leaseClaim(int Slot) {
   return Layout->LeaseNext[Slot].fetch_add(1, std::memory_order_relaxed);
 }
 
+int64_t SharedControl::leaseClaimBounded(int Slot, int64_t Bound) {
+  std::atomic<int64_t> &Next = Layout->LeaseNext[Slot];
+  int64_t Cur = Next.load(std::memory_order_relaxed);
+  while (Cur < Bound)
+    if (Next.compare_exchange_weak(Cur, Cur + 1, std::memory_order_relaxed))
+      return Cur;
+  return -1;
+}
+
 int64_t SharedControl::leaseNext(int Slot) const {
   return Layout->LeaseNext[Slot].load(std::memory_order_acquire);
 }
@@ -678,13 +716,75 @@ void SharedControl::noteSlabFallback(obs::FallbackReason R) {
 }
 
 uint64_t SharedControl::slabRecordsHighWater() const {
-  return std::min(Layout->SlabNext.load(std::memory_order_relaxed),
+  return Layout->SlabRetiredRecords.load(std::memory_order_relaxed) +
+         std::min(Layout->SlabNext.load(std::memory_order_relaxed),
                   Layout->SlabRecCap);
 }
 
 uint64_t SharedControl::slabBytesHighWater() const {
-  return std::min(Layout->SlabArenaNext.load(std::memory_order_relaxed),
+  return Layout->SlabRetiredBytes.load(std::memory_order_relaxed) +
+         std::min(Layout->SlabArenaNext.load(std::memory_order_relaxed),
                   Layout->SlabArenaCap);
+}
+
+uint64_t SharedControl::slabEpoch() const {
+  return Layout->SlabEpoch.load(std::memory_order_acquire);
+}
+
+bool SharedControl::slabNeedsRecycle() const {
+  SharedLayout *L = Layout;
+  if (L->SlabRecCap == 0)
+    return false;
+  uint64_t Recs = std::min(L->SlabNext.load(std::memory_order_relaxed),
+                           L->SlabRecCap);
+  uint64_t Bytes = std::min(L->SlabArenaNext.load(std::memory_order_relaxed),
+                            L->SlabArenaCap);
+  return Recs >= L->SlabRecCap / 2 || Bytes >= L->SlabArenaCap / 2;
+}
+
+void SharedControl::slabRecycle() {
+  SharedLayout *L = Layout;
+  if (L->SlabRecCap == 0)
+    return;
+  uint64_t Recs = std::min(L->SlabNext.load(std::memory_order_relaxed),
+                           L->SlabRecCap);
+  uint64_t Bytes = std::min(L->SlabArenaNext.load(std::memory_order_relaxed),
+                            L->SlabArenaCap);
+  // Clear the consumed Ready flags before resetting the allocators: a
+  // stale Ready=1 entry racing a fresh writer on the same index would
+  // let a reader see a half-written record as published.
+  SlabRecord *Recs0 = slabRecords(L);
+  for (uint64_t I = 0; I != Recs; ++I)
+    Recs0[I].Ready.store(0, std::memory_order_relaxed);
+  L->SlabRetiredRecords.fetch_add(Recs, std::memory_order_relaxed);
+  L->SlabRetiredBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  uint64_t HW = L->SlabEpochRecHW.load(std::memory_order_relaxed);
+  if (Recs > HW)
+    L->SlabEpochRecHW.store(Recs, std::memory_order_relaxed);
+  L->SlabArenaNext.store(0, std::memory_order_relaxed);
+  // Release so a process that observes the reset directory (or the new
+  // epoch) also observes the cleared Ready flags above.
+  L->SlabNext.store(0, std::memory_order_release);
+  L->SlabEpoch.fetch_add(1, std::memory_order_release);
+  L->SlabRecycles.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::slabRecyclesTotal() const {
+  return Layout->SlabRecycles.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::slabEpochRecordsHighWater() const {
+  uint64_t Cur = std::min(Layout->SlabNext.load(std::memory_order_relaxed),
+                          Layout->SlabRecCap);
+  return std::max(Layout->SlabEpochRecHW.load(std::memory_order_relaxed), Cur);
+}
+
+uint64_t SharedControl::thpGranted() const {
+  return Layout->ThpGranted.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::thpDeclined() const {
+  return Layout->ThpDeclined.load(std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

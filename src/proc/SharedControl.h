@@ -81,6 +81,12 @@ struct SlabConfig {
   size_t Records = 4096;
   /// Payload arena bytes shared by all records.
   size_t ArenaBytes = 1u << 20;
+  /// Ask the kernel for transparent huge pages over the whole control
+  /// mapping (madvise(MADV_HUGEPAGE) — the slab arena and trace ring
+  /// dominate it). Advisory: the kernel may decline (shmem THP policy,
+  /// old kernels); the outcome is counted in thpGranted()/thpDeclined()
+  /// and the run proceeds on regular pages either way.
+  bool HugePages = false;
 };
 
 /// Sizing of the shared trace-event ring (0 records = tracing disabled;
@@ -228,6 +234,12 @@ public:
   /// caller bounds the result against the region's N; over-claims past N
   /// are harmless and simply tell the worker the region is drained.
   int64_t leaseClaim(int Slot);
+  /// Worker side, pipelined batches: claims the next sample index only
+  /// if it lies below \p Bound, else returns -1 without claiming. The
+  /// claim-limit gate must reject BEFORE the claim — an index claimed
+  /// and then parked on belongs to a region whose delivery would stall
+  /// until its sleeping holder is rescheduled.
+  int64_t leaseClaimBounded(int Slot, int64_t Bound);
   /// Next unclaimed index (acquire load; supervisor orphan scans).
   int64_t leaseNext(int Slot) const;
   /// Bumped by the supervisor each time a dead worker's unfinished lease
@@ -290,10 +302,44 @@ public:
   /// decisions it makes before reaching slabCommit (oversized payload
   /// under the Shm backend).
   void noteSlabFallback(obs::FallbackReason R);
-  /// Slab occupancy high-water marks. The allocators are bump-only, so
-  /// these are just the counters clamped to capacity — free to read.
+  /// Slab occupancy high-water marks, cumulative across recycling
+  /// epochs: records/bytes retired by slabRecycle() plus the current
+  /// epoch's bump counters (clamped to capacity). For runs that never
+  /// recycle these are the plain clamped counters, as before.
   uint64_t slabRecordsHighWater() const;
   uint64_t slabBytesHighWater() const;
+
+  //===--------------------------------------------------------------------===
+  // Epoch-based slab recycling.
+  //===--------------------------------------------------------------------===
+
+  /// Monotone recycling epoch; bumped by every slabRecycle(). Readers
+  /// holding raw slab pointers (ShmRegionReader) snapshot this and treat
+  /// an epoch mismatch as "my records are gone".
+  uint64_t slabEpoch() const;
+  /// True once the current epoch has consumed at least half the record
+  /// directory or half the payload arena — the trigger the runtime uses
+  /// so short runs never pay for a recycle sweep.
+  bool slabNeedsRecycle() const;
+  /// Resets the bump allocators to an empty slab and bumps the epoch.
+  /// ONLY safe when no process can be mid-commit or mid-scan: the
+  /// runtime calls it between regions, from the root tuning process,
+  /// when it is the only live tuning process and no region is open.
+  /// Ready flags of consumed records are cleared first so a stale
+  /// record can never alias a fresh allocation.
+  void slabRecycle();
+  uint64_t slabRecyclesTotal() const;
+  /// Largest single-epoch record count seen — the "how big does the
+  /// slab actually need to be" number once recycling decouples capacity
+  /// from run length.
+  uint64_t slabEpochRecordsHighWater() const;
+
+  /// Transparent-huge-page outcome counters for SlabConfig::HugePages:
+  /// one of the two is bumped per init() that asked (granted when
+  /// madvise(MADV_HUGEPAGE) accepted the mapping, declined when the
+  /// kernel refused or the platform lacks the advice flag).
+  uint64_t thpGranted() const;
+  uint64_t thpDeclined() const;
 
   //===--------------------------------------------------------------------===
   // Observability: trace ring + metric cells (src/obs).

@@ -38,10 +38,16 @@ namespace {
 /// process-wide, so every scenario gets a fresh process.
 int runScenario(int (*Scenario)()) {
   pid_t Pid = fork();
-  if (Pid == 0)
+  if (Pid == 0) {
+    // Own process group: a scenario that fails a check exits without
+    // finish(), and the group-wide SIGKILL below reaps the parked
+    // workers it abandons before they can wedge the test's output pipe.
+    setpgid(0, 0);
     _exit(Scenario());
+  }
   int Status = 0;
   waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
 }
 

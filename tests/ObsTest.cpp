@@ -388,10 +388,16 @@ TEST(TraceExporter, CorruptFragmentHeaderCountIsClamped) {
 /// Runs \p Scenario in a forked child; returns its exit code.
 int runScenario(int (*Scenario)()) {
   pid_t Pid = fork();
-  if (Pid == 0)
+  if (Pid == 0) {
+    // Own process group: a scenario that fails a check exits without
+    // finish(), and the group-wide SIGKILL below reaps the parked
+    // workers it abandons before they can wedge the test's output pipe.
+    setpgid(0, 0);
     _exit(Scenario());
+  }
   int Status = 0;
   waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
 }
 
@@ -423,8 +429,8 @@ int scenarioPoolRegionTraceFile() {
   Ro.Workers = 2;
   Rt.samplingRegion(N, Ro, [&] {
     double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-    if (Rt.poolWorkerIndex() == 0)
-      raise(SIGKILL); // dies holding its first lease
+    if (Rt.sampleIndex() == 0 && Rt.sampleAttempt() == 1)
+      raise(SIGKILL); // first holder of lease 0 dies holding it
     if (Rt.isSampling())
       Rt.aggregate("x", encodeDouble(X), nullptr);
     Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {

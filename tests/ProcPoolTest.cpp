@@ -39,10 +39,16 @@ namespace {
 /// Runs \p Scenario in a forked child; returns its exit code.
 int runScenario(int (*Scenario)()) {
   pid_t Pid = fork();
-  if (Pid == 0)
+  if (Pid == 0) {
+    // Own process group: a scenario that fails a check exits without
+    // finish(), and the group-wide SIGKILL below reaps the parked
+    // workers it abandons before they can wedge the test's output pipe.
+    setpgid(0, 0);
     _exit(Scenario());
+  }
   int Status = 0;
   waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
 }
 
@@ -237,8 +243,8 @@ int scenarioPoolKilledWorkerLeaseRerun() {
   Ro.Workers = 2;
   Rt.samplingRegion(N, Ro, [&] {
     double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-    if (Rt.poolWorkerIndex() == 0)
-      raise(SIGKILL); // dies holding its first lease
+    if (Rt.sampleIndex() == 0 && Rt.sampleAttempt() == 1)
+      raise(SIGKILL); // first holder of lease 0 dies holding it
     if (Rt.isSampling())
       Rt.aggregate("x", encodeDouble(X), nullptr);
     Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
@@ -264,47 +270,54 @@ int scenarioPoolKilledWorkerLeaseRerun() {
 /// Runs several regions with one shared body (the zygote contract: the
 /// nursery snapshots the body at spawn) and concatenates each region's
 /// committed draws. Mode 0 = fork-per-sample, 1 = forked worker pool,
-/// 2 = zygotes.
+/// 2 = zygotes, 3 = zygote-backed pipelined batch (regionBatch).
 int collectManyRegionValues(int Mode, std::vector<double> &Out) {
   Runtime &Rt = Runtime::get();
   RuntimeOptions Opts;
   Opts.MaxPool = 8;
   Opts.Seed = 99;
   Opts.Backend = StoreBackend::Shm;
-  if (Mode == 2)
+  if (Mode >= 2)
     Opts.Zygotes = 3;
   Rt.init(Opts);
 
   const int N = 12, Regions = 3;
   Out.clear();
-  std::vector<double> Got;
   auto Body = [&] {
     double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
     double Y = Rt.sample("y", Distribution::logUniform(1e-3, 1e3));
     if (Rt.isSampling())
       Rt.aggregate("x", encodeDouble(X * Y), nullptr);
     Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      std::vector<double> Got(N, -1.0);
       for (int I : V.committed("x"))
         Got[I] = V.loadDouble("x", I);
+      Out.insert(Out.end(), Got.begin(), Got.end());
     });
   };
-  for (int R = 0; R != Regions; ++R) {
-    Got.assign(N, -1.0);
-    if (Mode == 0) {
-      Rt.sampling(N, static_cast<SamplingKind>(GPoolKind));
-      Body();
-    } else {
-      RegionOptions Ro;
-      Ro.Kind = static_cast<SamplingKind>(GPoolKind);
-      Ro.Workers = 3; // N > workers: every worker runs several leases
-      Rt.samplingRegion(N, Ro, Body);
+  RegionOptions Ro;
+  Ro.Kind = static_cast<SamplingKind>(GPoolKind);
+  Ro.Workers = 3; // N > workers: every worker runs several leases
+  if (Mode == 3) {
+    Ro.Pipeline = 2;
+    Rt.regionBatch(Regions, N, Ro, Body);
+  } else {
+    for (int R = 0; R != Regions; ++R) {
+      if (Mode == 0) {
+        Rt.sampling(N, static_cast<SamplingKind>(GPoolKind));
+        Body();
+      } else {
+        Rt.samplingRegion(N, Ro, Body);
+      }
     }
-    for (double V : Got)
-      CHECK_OR(V >= 0.0, 2);
-    Out.insert(Out.end(), Got.begin(), Got.end());
   }
-  if (Mode == 2) {
-    // The regions really ran on restored zygotes, not fresh forks.
+  CHECK_OR(Out.size() == static_cast<size_t>(N * Regions), 5);
+  for (double V : Out)
+    CHECK_OR(V >= 0.0, 2);
+  if (Mode >= 2) {
+    // The regions really ran on restored zygotes, not fresh forks. A
+    // batch wakes the nursery once for all of its regions, so it sees
+    // one restore per zygote instead of one per region per zygote.
     obs::RuntimeMetrics M = Rt.metrics();
     CHECK_OR(M.ZygoteRestores >= Regions, 3);
     CHECK_OR(M.ZygoteRespawns == 0, 4);
@@ -326,10 +339,26 @@ int scenarioZygoteMatchesForkSampling() {
   return 0;
 }
 
+int scenarioBatchZygoteMatchesForkSampling() {
+  // A pipelined batch riding the zygote nursery (the fastest region
+  // entry path) still produces draws bitwise-identical to plain
+  // fork-per-sample regions of the same ordinals.
+  std::vector<double> ForkVals, BatchVals;
+  CHECK_OR(collectManyRegionValues(0, ForkVals) == 0, 3);
+  CHECK_OR(collectManyRegionValues(3, BatchVals) == 0, 4);
+  CHECK_OR(ForkVals.size() == BatchVals.size(), 5);
+  for (size_t I = 0; I != ForkVals.size(); ++I)
+    CHECK_OR(BatchVals[I] == ForkVals[I], 10 + static_cast<int>(I));
+  return 0;
+}
+
 int scenarioZygoteKilledRespawns() {
-  // Zygote 0 SIGKILLs itself mid-lease in region 1. The lease is re-run
-  // by the survivor, and region 2 runs on a nursery refilled from the
-  // respawn budget — both regions commit every sample.
+  // Whichever zygote first claims lease 0 SIGKILLs itself mid-lease in
+  // region 1 (keyed on the lease, not the worker slot: on one core a
+  // zygote can drain every lease before its sibling wakes, so a
+  // worker-keyed kill intermittently never fires). The lease is re-run
+  // off the respawn budget, and region 2 runs on a refilled nursery —
+  // both regions commit every sample.
   Runtime &Rt = Runtime::get();
   RuntimeOptions Opts;
   Opts.MaxPool = 8;
@@ -343,8 +372,9 @@ int scenarioZygoteKilledRespawns() {
   int Committed = -1;
   auto Body = [&] {
     double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
-    if (Rt.regionOrdinal() == 1 && Rt.poolWorkerIndex() == 0)
-      raise(SIGKILL); // dies holding its first lease, region 1 only
+    if (Rt.regionOrdinal() == 1 && Rt.sampleIndex() == 0 &&
+        Rt.sampleAttempt() == 1)
+      raise(SIGKILL); // first holder of lease 0 dies, region 1 only
     if (Rt.isSampling())
       Rt.aggregate("x", encodeDouble(X), nullptr);
     Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
@@ -512,6 +542,16 @@ TEST(ProcPoolTest, ZygoteMatchesForkSamplingRandom) {
 TEST(ProcPoolTest, ZygoteMatchesForkSamplingStratified) {
   GPoolKind = static_cast<int>(SamplingKind::Stratified);
   EXPECT_EQ(runScenario(scenarioZygoteMatchesForkSampling), 0);
+}
+
+TEST(ProcPoolTest, BatchZygoteMatchesForkSamplingRandom) {
+  GPoolKind = static_cast<int>(SamplingKind::Random);
+  EXPECT_EQ(runScenario(scenarioBatchZygoteMatchesForkSampling), 0);
+}
+
+TEST(ProcPoolTest, BatchZygoteMatchesForkSamplingStratified) {
+  GPoolKind = static_cast<int>(SamplingKind::Stratified);
+  EXPECT_EQ(runScenario(scenarioBatchZygoteMatchesForkSampling), 0);
 }
 
 TEST(ProcPoolTest, ZygoteKilledRespawns) {

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -28,13 +29,21 @@ using namespace wbt::proc;
 
 namespace {
 
-/// Runs \p Scenario in a forked child; returns its exit code.
+/// Runs \p Scenario in a forked child; returns its exit code. The child
+/// gets its own process group, and the group is SIGKILLed once the child
+/// is reaped: a scenario that fails a check exits without finish(), and
+/// the parked workers or zygotes it abandons would otherwise outlive the
+/// test holding its output pipe open (which wedges ctest, not just the
+/// one test).
 int runScenario(int (*Scenario)()) {
   pid_t Pid = fork();
-  if (Pid == 0)
+  if (Pid == 0) {
+    setpgid(0, 0);
     _exit(Scenario());
+  }
   int Status = 0;
   waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
 }
 
@@ -146,9 +155,11 @@ int scenarioOversizedPayloadFallsBack() {
 }
 
 int scenarioSlabExhaustionOverflows() {
-  // A slab with fewer records than commits must degrade gracefully: the
-  // overflow goes to files and every result is still readable. A second
-  // region on the exhausted slab works entirely through the fallback.
+  // A slab with fewer records than one region's commits must degrade
+  // gracefully: the overflow goes to files and every result is still
+  // readable. Between regions the slab recycles (its single region
+  // consumed more than half the records), so the second region gets a
+  // fresh slab window instead of working entirely through the fallback.
   Runtime &Rt = Runtime::get();
   RuntimeOptions Opts;
   Opts.MaxPool = 8;
@@ -177,14 +188,21 @@ int scenarioSlabExhaustionOverflows() {
     // The fold covers slab and file commits alike.
     CHECK_OR(Acc.count() == static_cast<size_t>(N), 30 + Region);
   }
-  CHECK_OR(Rt.shmCommits() <= 4, 2);
-  CHECK_OR(Rt.storeFallbacks() >= 8, 3);
+  // Per region: 4 slab commits, then 2 exhaustion fallbacks. The recycle
+  // between regions is what keeps region 2 on the slab path.
+  CHECK_OR(Rt.shmCommits() == 8, 2);
+  CHECK_OR(Rt.storeFallbacks() == 4, 3);
   // Every fallback here is slab exhaustion (records ran out), and the
   // per-reason counters say so.
   obs::RuntimeMetrics M = Rt.metrics();
-  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Exhausted)] >= 8, 4);
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Exhausted)] == 4, 4);
   CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Oversized)] == 0, 5);
   CHECK_OR(M.Fallbacks[int(obs::FallbackReason::LongName)] == 0, 6);
+  CHECK_OR(M.SlabRecycles == 1, 7);
+  // The cumulative high-water mark spans epochs; the per-epoch one is
+  // bounded by the slab's capacity.
+  CHECK_OR(M.SlabRecordsHighWater == 8, 8);
+  CHECK_OR(M.SlabEpochHighWater == 4, 9);
   Rt.finish();
   return 0;
 }
@@ -298,6 +316,188 @@ struct EquivParam {
 
 class StoreEquivalenceTest : public ::testing::TestWithParam<EquivParam> {};
 
+//===----------------------------------------------------------------------===//
+// Batched-vs-sequential equivalence
+//===----------------------------------------------------------------------===//
+
+int GBatchKind = 0;
+int GBatchK = 0;    // regionBatch pipeline depth on the batched side
+int GBatchKill = 0; // kill one worker mid-batch on the batched side
+
+constexpr int BatchRegions = 4;
+constexpr int BatchSamples = 6;
+
+/// What one delivered region looked like from the tuning side. Values
+/// holds every sample's "score" by index — with the per-lease RNG
+/// reseed these must be bitwise-identical between a pipelined batch and
+/// the sequential samplingRegion() loop.
+struct RegionResults {
+  int Committed = -1;
+  size_t FoldCount = 0;
+  double FoldMin = 0, FoldMax = 0;
+  std::vector<double> Values;
+};
+
+int runBatchedRun(int K, const char *Plan, std::vector<RegionResults> &Out) {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 91;
+  Opts.Backend = StoreBackend::Shm;
+  if (Plan)
+    Opts.InjectPlan = Plan;
+  Rt.init(Opts);
+
+  auto Body = [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("score", encodeDouble(X * X), nullptr);
+    ScalarAccumulator &Acc = Rt.foldScalar("score");
+    Rt.aggregate("score", encodeDouble(0), [&](AggregationView &V) {
+      RegionResults R;
+      R.Committed = static_cast<int>(V.committed("score").size());
+      for (int I = 0; I != BatchSamples; ++I)
+        R.Values.push_back(V.loadDouble("score", I, -1.0));
+      // Folding finished before the callback; min/max/count are
+      // order-free, so they compare exactly (means are not: the slab
+      // fold order differs under pipelining).
+      R.FoldCount = Acc.count();
+      R.FoldMin = Acc.min();
+      R.FoldMax = Acc.max();
+      Out.push_back(std::move(R));
+    });
+  };
+
+  RegionOptions Ro;
+  Ro.Kind = static_cast<SamplingKind>(GBatchKind);
+  Ro.Pipeline = K;
+  if (Plan) {
+    // One worker claims leases in index order, which makes the kill
+    // plan's trace-point ordinal land on a specific lease (see
+    // scenarioBatchEquivalence); the replacement worker forked after
+    // the kill inherits the tuning side's much smaller ordinal counter
+    // and drains the remaining leases without reaching it again.
+    Ro.Workers = 1;
+  }
+  if (K > 1) {
+    Rt.regionBatch(BatchRegions, BatchSamples, Ro, Body);
+  } else {
+    for (int R = 0; R != BatchRegions; ++R)
+      Rt.samplingRegion(BatchSamples, Ro, Body);
+  }
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+  // The kill must actually have happened (the dead worker's lease was
+  // returned); CrashedSamples still ticks for the dead process, but the
+  // per-region Committed == N checks prove the lease itself re-ran.
+  if (Plan && M.LeaseReclaims == 0)
+    return 50;
+  return 0;
+}
+
+int scenarioBatchEquivalence() {
+  std::vector<RegionResults> Seq, Bat;
+  CHECK_OR(runBatchedRun(1, nullptr, Seq) == 0, 2);
+  // The 'n' selector counts every tp.* call in the process, and the
+  // single worker inherits one (batch.begin) and emits three per lease
+  // (lease.begin, store.commit, lease.end): lease Idx begins at ordinal
+  // 2 + 3*Idx. n53 therefore SIGKILLs the worker entering lease 17 —
+  // region 2 of 4, mid-pipeline. The lease comes back as Returned, and
+  // the replacement re-runs it with an identical reseed, so the batch
+  // must still match the sequential run exactly.
+  const char *Plan = GBatchKill ? "tp.lease.begin@n53:kill" : nullptr;
+  int Rc = runBatchedRun(GBatchK, Plan, Bat);
+  CHECK_OR(Rc == 0, Rc ? Rc : 3);
+
+  CHECK_OR(Seq.size() == static_cast<size_t>(BatchRegions), 4);
+  CHECK_OR(Bat.size() == Seq.size(), 5);
+  for (size_t R = 0; R != Seq.size(); ++R) {
+    CHECK_OR(Seq[R].Committed == BatchSamples, 10 + static_cast<int>(R));
+    CHECK_OR(Bat[R].Committed == Seq[R].Committed, 20 + static_cast<int>(R));
+    // Bitwise identity, not tolerance: same seed, same per-lease reseed.
+    CHECK_OR(Bat[R].Values == Seq[R].Values, 30 + static_cast<int>(R));
+    CHECK_OR(Bat[R].FoldCount == Seq[R].FoldCount, 40 + static_cast<int>(R));
+    CHECK_OR(Bat[R].FoldMin == Seq[R].FoldMin, 60 + static_cast<int>(R));
+    CHECK_OR(Bat[R].FoldMax == Seq[R].FoldMax, 70 + static_cast<int>(R));
+  }
+  return 0;
+}
+
+struct BatchParam {
+  SamplingKind Kind;
+  int K;
+  bool Kill = false;
+};
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<BatchParam> {};
+
+//===----------------------------------------------------------------------===//
+// Slab recycling and huge pages
+//===----------------------------------------------------------------------===//
+
+int scenarioSlabRecyclingLongRun() {
+  // A run committing 10x the slab's record capacity must never hit the
+  // exhaustion fallback: each region fits, and the epoch recycle between
+  // regions keeps reclaiming the consumed window.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 35;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.ShmSlabRecords = 64;
+  Rt.init(Opts);
+
+  const int Regions = 40, N = 16; // 640 records through a 64-record slab
+  for (int Region = 0; Region != Regions; ++Region) {
+    Rt.sampling(N);
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling())
+      Rt.aggregate("x2", encodeDouble(X * X), nullptr);
+    int Committed = -1;
+    Rt.aggregate("x2", encodeDouble(0), [&](AggregationView &V) {
+      Committed = static_cast<int>(V.committed("x2").size());
+    });
+    CHECK_OR(Committed == N, 3);
+  }
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(Rt.shmCommits() == static_cast<uint64_t>(Regions * N), 4);
+  CHECK_OR(M.Fallbacks[int(obs::FallbackReason::Exhausted)] == 0, 5);
+  CHECK_OR(Rt.storeFallbacks() == 0, 6);
+  // Half-capacity trigger: a recycle at least every other region.
+  CHECK_OR(M.SlabRecycles >= static_cast<uint64_t>(Regions / 2 - 1), 7);
+  CHECK_OR(M.SlabRecordsHighWater == static_cast<uint64_t>(Regions * N), 8);
+  CHECK_OR(M.SlabEpochHighWater <= 64, 9);
+  Rt.finish();
+  return 0;
+}
+
+int scenarioHugePagesAdvisory() {
+  // HugePages is advisory: the kernel may decline. The contract is that
+  // the request was made and accounted, and the run still works.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 36;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.HugePages = true;
+  Rt.init(Opts);
+
+  const int N = 4;
+  Rt.sampling(N);
+  double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+  if (Rt.isSampling())
+    Rt.aggregate("x2", encodeDouble(X * X), nullptr);
+  int Committed = -1;
+  Rt.aggregate("x2", encodeDouble(0), [&](AggregationView &V) {
+    Committed = static_cast<int>(V.committed("x2").size());
+  });
+  CHECK_OR(Committed == N, 2);
+  obs::RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.ThpGranted + M.ThpDeclined >= 1, 3);
+  Rt.finish();
+  return 0;
+}
+
 } // namespace
 
 TEST(ProcStoreTest, TornSlabCommitStaysUnpublished) {
@@ -310,6 +510,14 @@ TEST(ProcStoreTest, OversizedPayloadFallsBackToFiles) {
 
 TEST(ProcStoreTest, SlabExhaustionOverflowsToFiles) {
   EXPECT_EQ(runScenario(scenarioSlabExhaustionOverflows), 0);
+}
+
+TEST(ProcStoreTest, SlabRecyclingSustainsLongRuns) {
+  EXPECT_EQ(runScenario(scenarioSlabRecyclingLongRun), 0);
+}
+
+TEST(ProcStoreTest, HugePagesAdvisoryIsAccounted) {
+  EXPECT_EQ(runScenario(scenarioHugePagesAdvisory), 0);
 }
 
 TEST_P(StoreEquivalenceTest, FilesAndShmAgree) {
@@ -335,4 +543,27 @@ INSTANTIATE_TEST_SUITE_P(
                              : "Stratified";
       return Name + std::to_string(Info.param.N) +
              (Info.param.Pool ? "Pool" : "");
+    });
+
+TEST_P(BatchEquivalenceTest, BatchedMatchesSequential) {
+  GBatchKind = static_cast<int>(GetParam().Kind);
+  GBatchK = GetParam().K;
+  GBatchKill = GetParam().Kill ? 1 : 0;
+  EXPECT_EQ(runScenario(scenarioBatchEquivalence), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BatchEquivalenceTest,
+    ::testing::Values(BatchParam{SamplingKind::Random, 2},
+                      BatchParam{SamplingKind::Random, 4},
+                      BatchParam{SamplingKind::Stratified, 2},
+                      BatchParam{SamplingKind::Stratified, 4},
+                      BatchParam{SamplingKind::Random, 2, true},
+                      BatchParam{SamplingKind::Stratified, 4, true}),
+    [](const ::testing::TestParamInfo<BatchParam> &Info) {
+      std::string Name = Info.param.Kind == SamplingKind::Random
+                             ? "Random"
+                             : "Stratified";
+      return Name + "K" + std::to_string(Info.param.K) +
+             (Info.param.Kill ? "Kill" : "");
     });

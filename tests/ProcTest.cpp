@@ -25,13 +25,21 @@ using namespace wbt::proc;
 
 namespace {
 
-/// Runs \p Scenario in a forked child; returns its exit code.
+/// Runs \p Scenario in a forked child; returns its exit code. The child
+/// gets its own process group, and the group is SIGKILLed once the child
+/// is reaped: a scenario that fails a check exits without finish(), and
+/// the parked workers or zygotes it abandons would otherwise outlive the
+/// test holding its output pipe open (which wedges ctest, not just the
+/// one test).
 int runScenario(int (*Scenario)()) {
   pid_t Pid = fork();
-  if (Pid == 0)
+  if (Pid == 0) {
+    setpgid(0, 0);
     _exit(Scenario());
+  }
   int Status = 0;
   waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
   return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
 }
 

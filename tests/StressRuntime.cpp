@@ -70,6 +70,7 @@ struct Schedule {
   int N = 4;              // samples per region
   int Workers = 0;        // pool mode worker override
   int Zygotes = 0;        // pool mode: pre-forked parked workers
+  int Pipeline = 1;       // > 1: regions run as one pipelined batch
   int MaxPool = 6;
   int Retries = 0;        // fork-mode spares
   double TimeoutSec = 0;  // region deadline; 0 = none
@@ -94,7 +95,11 @@ Schedule expand(uint64_t Seed) {
   // park/restore/respawn against every fault below (kill points land on
   // zygotes, deadlines kill active zygotes, crashes burn the budget).
   S.Zygotes = S.Pool && R.chance(50) ? 1 + int(R.pick(4)) : 0;
-  S.Regions = 1 + int(R.pick(2));
+  // Half the pool/zygote schedules run their regions as one pipelined
+  // batch, so the soak hits the shared lease table, the claim-limit
+  // gate, and mid-batch rolls with every fault below.
+  S.Pipeline = S.Pool && R.chance(50) ? 2 + int(R.pick(3)) : 1;
+  S.Regions = S.Pipeline > 1 ? 2 + int(R.pick(2)) : 1 + int(R.pick(2));
   S.Split = R.chance(25);
   S.Trace = R.chance(30);
   if (!S.Pool && R.chance(30))
@@ -111,7 +116,7 @@ Schedule expand(uint64_t Seed) {
   // unlink site would leave the run directory behind — those have their
   // own directed tests in InjectTest.cpp.
   char Buf[128];
-  switch (R.pick(6)) {
+  switch (R.pick(7)) {
   case 0:
     break; // disarmed run
   case 1:
@@ -135,6 +140,12 @@ Schedule expand(uint64_t Seed) {
                   2 + int(R.pick(3)));
     S.Plan = Buf;
     break;
+  case 6:
+    // Worker dies rolling from one batch region into the next: its
+    // claimed lease must come back and re-run. A no-op for schedules
+    // that never emit batch.roll (non-batched, or single-worker luck).
+    S.Plan = "tp.batch.roll@n1:kill";
+    break;
   }
   // Post-commit kill point, stacked on top sometimes: dying between the
   // commit and the exit must not unbalance any ledger.
@@ -147,12 +158,13 @@ std::string describe(const Schedule &S) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "seed %" PRIu64 ": %s %s N=%d pool=%d/%d zygotes=%d "
-                "regions=%d retries=%d timeout=%.2f split=%d trace=%d "
-                "crash=%d slow=%d plan='%s'",
+                "pipeline=%d regions=%d retries=%d timeout=%.2f split=%d "
+                "trace=%d crash=%d slow=%d plan='%s'",
                 S.Seed, S.Backend == StoreBackend::Shm ? "shm" : "files",
                 S.Pool ? "workers" : "fork", S.N, S.Workers, S.MaxPool,
-                S.Zygotes, S.Regions, S.Retries, S.TimeoutSec, int(S.Split),
-                int(S.Trace), S.CrashIdx, S.SlowIdx, S.Plan.c_str());
+                S.Zygotes, S.Pipeline, S.Regions, S.Retries, S.TimeoutSec,
+                int(S.Split), int(S.Trace), S.CrashIdx, S.SlowIdx,
+                S.Plan.c_str());
   return Buf;
 }
 
@@ -183,12 +195,14 @@ enum : int {
   TraceMissing = 16,     // tracing was on but no trace file appeared
 };
 
-/// One sampling region (either mode). Returns 0 or a failure exit code.
-int runOneRegion(Runtime &Rt, const Schedule &S, int Region) {
+/// Runs \p Regions sampling regions (fork mode, worker pool, or one
+/// pipelined batch when \p Batch). Returns 0 or a failure exit code.
+int runRegions(Runtime &Rt, const Schedule &S, bool Batch, int Regions) {
   RegionOptions Ro;
   Ro.TimeoutSec = S.TimeoutSec > 0 ? S.TimeoutSec : -1.0;
   Ro.MaxRetries = S.Retries;
   Ro.Workers = S.Workers;
+  Ro.Pipeline = S.Pipeline;
 
   int Failure = 0;
   auto Check = [&](AggregationView &V) {
@@ -217,13 +231,17 @@ int runOneRegion(Runtime &Rt, const Schedule &S, int Region) {
     Rt.aggregate("x", encodeDouble(X), Check);
   };
 
-  if (S.Pool) {
-    Rt.samplingRegion(S.N, Ro, Body);
+  if (Batch) {
+    Rt.regionBatch(Regions, S.N, Ro, Body);
+  } else if (S.Pool) {
+    for (int R = 0; R != Regions; ++R)
+      Rt.samplingRegion(S.N, Ro, Body);
   } else {
-    Rt.sampling(S.N, Ro);
-    Body();
+    for (int R = 0; R != Regions; ++R) {
+      Rt.sampling(S.N, Ro);
+      Body();
+    }
   }
-  (void)Region;
   return Failure;
 }
 
@@ -249,15 +267,14 @@ int runSchedule(const Schedule &S) {
     // Split child: one region of its own, then a clean exit. Its exit
     // code folds into the root's reap; invariant failures surface as an
     // abnormal split-child death the root logs (and ZombieLeft below).
-    int Code = runOneRegion(Rt, S, /*Region=*/100);
+    int Code = runRegions(Rt, S, /*Batch=*/false, 1);
     if (Code)
       _exit(Code);
     Rt.finishAndExit();
   }
 
-  for (int R = 0; R != S.Regions; ++R)
-    if (int Code = runOneRegion(Rt, S, R))
-      return Code;
+  if (int Code = runRegions(Rt, S, S.Pool && S.Pipeline > 1, S.Regions))
+    return Code;
 
   // Slot conservation: every sampling child and split descendant gone,
   // only this root still holds its slot. Without a split child the pool
