@@ -28,6 +28,8 @@
 #include "proc/Runtime.h"
 #include "support/Timer.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -142,13 +144,15 @@ constexpr int CommitLatencyCell = 8;
 /// regions on a pre-forked nursery of that many parked workers.
 /// `Pipeline` > 1 runs the timed regions as one regionBatch() call with
 /// that many regions in flight. `HugePages` requests THP backing for
-/// the shared mappings.
+/// the shared mappings. `NetAgents` > 0 adds that many remote sampling
+/// agents over localhost TCP, racing the local pool for lease ranges.
 StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
                                 bool Fold, bool Pool,
                                 const char *TracePath = nullptr,
                                 const char *InjectPlan = nullptr,
                                 unsigned Zygotes = 0, int Regions = 6,
-                                int Pipeline = 1, bool HugePages = false) {
+                                int Pipeline = 1, bool HugePages = false,
+                                unsigned NetAgents = 0) {
   using namespace wbt::proc;
   // Untimed regions run first so one-time costs (shm slab creation, COW
   // page faults, zygote nursery spawn, trace-file open) don't land in
@@ -174,6 +178,7 @@ StoreAblationRow runStoreConfig(const char *Name, proc::StoreBackend B,
   Opts.ShmSlabBytes = 64u << 20;
   Opts.Zygotes = Zygotes;
   Opts.HugePages = HugePages;
+  Opts.NetAgents = NetAgents;
   if (TracePath)
     Opts.TracePath = TracePath;
   if (InjectPlan)
@@ -420,6 +425,17 @@ int main(int argc, char **argv) {
                      /*Fold=*/true, /*Pool=*/true, nullptr, nullptr,
                      /*Zygotes=*/8, /*Regions=*/96, /*Pipeline=*/4,
                      /*HugePages=*/true),
+      // Distributed ablation: the batch configuration plus 4 remote
+      // sampling agents connected over localhost TCP, claiming lease
+      // ranges out of the same shared counter and streaming commits
+      // back in batched frames. On one machine this prices the wire
+      // protocol against the shm fast path (agents mostly add parallel
+      // sampling processes); across machines the same rows would show
+      // throughput past the single-host ceiling.
+      runStoreConfig("shm+fold+zygote+batch+net4", proc::StoreBackend::Shm,
+                     /*Fold=*/true, /*Pool=*/true, nullptr, nullptr,
+                     /*Zygotes=*/8, /*Regions=*/96, /*Pipeline=*/4,
+                     /*HugePages=*/false, /*NetAgents=*/4),
   };
   for (const StoreAblationRow &R : Rows)
     std::printf("%-25s | %9.2fus | %10.3fms | %11.1f\n", R.Name, R.CommitUs,
@@ -438,8 +454,24 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "cannot write %s\n", Path);
       return 1;
     }
-    std::fprintf(F, "{\n  \"build_type\": \"%s\",\n  \"store_ablation\": [\n",
-                 WBT_BUILD_TYPE);
+    // Host provenance: throughput numbers are only comparable across
+    // runs of the same machine shape, so record where they came from.
+    char Host[256] = {0};
+    if (gethostname(Host, sizeof(Host) - 1) != 0)
+      std::strcpy(Host, "unknown");
+    long CoresOnline = sysconf(_SC_NPROCESSORS_ONLN);
+    long CoresConfigured = sysconf(_SC_NPROCESSORS_CONF);
+    double PeakRegionsPerSec = 0;
+    for (const StoreAblationRow &R : Rows)
+      PeakRegionsPerSec = std::max(PeakRegionsPerSec, R.RegionsPerSec);
+    std::fprintf(F,
+                 "{\n  \"build_type\": \"%s\",\n"
+                 "  \"host\": {\"hostname\": \"%s\", \"cores_online\": %ld, "
+                 "\"cores_configured\": %ld},\n"
+                 "  \"regions_per_sec\": %.2f,\n"
+                 "  \"store_ablation\": [\n",
+                 WBT_BUILD_TYPE, Host, CoresOnline, CoresConfigured,
+                 PeakRegionsPerSec);
     size_t NumRows = sizeof(Rows) / sizeof(Rows[0]);
     for (size_t I = 0; I != NumRows; ++I) {
       std::fprintf(F,

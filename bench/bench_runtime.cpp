@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 using namespace wbt;
 
@@ -304,8 +305,17 @@ int main(int argc, char **argv) {
                  "numbers are not comparable to the committed artifacts\n",
                  WBT_BUILD_TYPE);
   // Stamp the build type into the JSON context so a debug-built artifact
-  // is detectable after the fact (CI greps for Release).
+  // is detectable after the fact (CI greps for Release), plus host
+  // provenance: numbers are only comparable on the same machine shape.
   benchmark::AddCustomContext("wbt_build_type", WBT_BUILD_TYPE);
+  char Host[256] = {0};
+  if (gethostname(Host, sizeof(Host) - 1) != 0)
+    std::strcpy(Host, "unknown");
+  benchmark::AddCustomContext("wbt_hostname", Host);
+  benchmark::AddCustomContext(
+      "wbt_cores_online", std::to_string(sysconf(_SC_NPROCESSORS_ONLN)));
+  benchmark::AddCustomContext(
+      "wbt_cores_configured", std::to_string(sysconf(_SC_NPROCESSORS_CONF)));
   std::vector<char *> Args(argv, argv + argc);
   bool Json = false;
   for (auto It = Args.begin(); It != Args.end();) {

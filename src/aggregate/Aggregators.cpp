@@ -23,6 +23,8 @@ const char *wbt::aggregationKindName(AggregationKind K) {
     return "MV";
   case AggregationKind::Dedup:
     return "DEDUP";
+  case AggregationKind::Tournament:
+    return "TOURNAMENT";
   case AggregationKind::Custom:
     return "CUSTOM";
   }
@@ -93,6 +95,88 @@ wbt::dedupVectors(const std::vector<std::vector<double>> &Items,
         return false;
     return true;
   });
+}
+
+/// Fraction of (a, b) cross pairs that \p A wins against \p B; ties count
+/// half. 0.5 (a drawn duel) when either side has no samples.
+static double duelWinRate(const std::vector<double> &A,
+                          const std::vector<double> &B, bool Minimize) {
+  if (A.empty() || B.empty())
+    return 0.5;
+  double Wins = 0.0;
+  for (double X : A)
+    for (double Y : B) {
+      if (X == Y)
+        Wins += 0.5;
+      else if ((X < Y) == Minimize)
+        Wins += 1.0;
+    }
+  return Wins / (static_cast<double>(A.size()) * static_cast<double>(B.size()));
+}
+
+static size_t tournamentWinner(const std::vector<std::vector<double>> &Configs,
+                               bool Minimize) {
+  size_t N = Configs.size();
+  if (!N)
+    return static_cast<size_t>(-1);
+  std::vector<double> Copeland(N, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I + 1; J != N; ++J) {
+      double R = duelWinRate(Configs[I], Configs[J], Minimize);
+      if (R > 0.5)
+        Copeland[I] += 1.0;
+      else if (R < 0.5)
+        Copeland[J] += 1.0;
+      else {
+        Copeland[I] += 0.5;
+        Copeland[J] += 0.5;
+      }
+    }
+  size_t Best = 0;
+  for (size_t I = 1; I != N; ++I) {
+    if (Copeland[I] > Copeland[Best]) {
+      Best = I;
+      continue;
+    }
+    if (Copeland[I] == Copeland[Best]) {
+      double MeanI = aggregateAvg(Configs[I]);
+      double MeanBest = aggregateAvg(Configs[Best]);
+      if (Minimize ? MeanI < MeanBest : MeanI > MeanBest)
+        Best = I;
+    }
+  }
+  return Best;
+}
+
+size_t wbt::tournamentSelect(const std::vector<std::vector<double>> &Configs,
+                             bool Minimize) {
+  return tournamentWinner(Configs, Minimize);
+}
+
+void TournamentAccumulator::add(size_t Config, double Score) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Config >= Samples.size())
+    Samples.resize(Config + 1);
+  Samples[Config].push_back(Score);
+  ++N;
+}
+
+void TournamentAccumulator::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  N = 0;
+  Samples.clear();
+}
+
+size_t TournamentAccumulator::configs() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Samples.size();
+}
+
+size_t TournamentAccumulator::result(bool Minimize) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!N)
+    return static_cast<size_t>(-1);
+  return tournamentWinner(Samples, Minimize);
 }
 
 void ScalarAccumulator::add(double X) {

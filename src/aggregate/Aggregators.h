@@ -26,8 +26,17 @@
 
 namespace wbt {
 
-/// The built-in aggregation strategy names of paper Table I column 6.
-enum class AggregationKind { Min, Max, Avg, MajorityVote, Dedup, Custom };
+/// The built-in aggregation strategy names of paper Table I column 6, plus
+/// TOURNAMENT (pairwise-duel selection for noisy remote measurements).
+enum class AggregationKind {
+  Min,
+  Max,
+  Avg,
+  MajorityVote,
+  Dedup,
+  Tournament,
+  Custom
+};
 
 /// Printable name ("MIN", "MV", ...).
 const char *aggregationKindName(AggregationKind K);
@@ -58,6 +67,17 @@ dedupIndices(size_t Count, const std::function<bool(size_t, size_t)> &Same);
 /// DEDUP over double vectors with an L-inf tolerance.
 std::vector<size_t> dedupVectors(const std::vector<std::vector<double>> &Items,
                                  double Tolerance);
+
+/// Tournament (pairwise-duel) selection over per-config sample vectors.
+/// Every pair of configs duels: config A beats config B when A's samples
+/// win strictly more than half of all (a, b) cross pairs (ties split).
+/// The winner is the config with the highest Copeland score (duels won,
+/// half a point per drawn duel); mean score breaks remaining ties. Robust
+/// to heavy-tailed measurement noise that corrupts AVG: an occasional
+/// huge outlier shifts a mean arbitrarily but flips almost no duels.
+/// Returns the winning index, or `(size_t)-1` when \p Configs is empty.
+size_t tournamentSelect(const std::vector<std::vector<double>> &Configs,
+                        bool Minimize = true);
 
 //===----------------------------------------------------------------------===//
 // Incremental accumulators (paper Sec. IV-B).
@@ -131,6 +151,29 @@ private:
   mutable std::mutex Mutex;
   size_t N = 0;
   std::vector<uint32_t> Counts;
+};
+
+/// Streaming tournament selector: per-config samples accumulate as runs
+/// finish, the tuning side asks for the pairwise-duel winner after the
+/// region barrier. Memory is O(total samples) — duels need the full
+/// per-config distributions, not a running moment.
+class TournamentAccumulator {
+public:
+  /// Record one score for config \p Config (configs may arrive in any
+  /// order; the table grows to cover the largest index seen).
+  void add(size_t Config, double Score);
+  /// Back to the empty state (accumulator reuse across regions).
+  void reset();
+  size_t configs() const;
+  size_t runs() const { return N; }
+
+  /// Index of the duel winner, `(size_t)-1` when no scores were added.
+  size_t result(bool Minimize = true) const;
+
+private:
+  mutable std::mutex Mutex;
+  size_t N = 0;
+  std::vector<std::vector<double>> Samples;
 };
 
 /// Streaming elementwise mean over fixed-size double vectors.

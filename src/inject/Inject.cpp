@@ -61,10 +61,15 @@ struct ErrnoName {
 };
 
 constexpr ErrnoName ErrnoNames[] = {
-    {"EINTR", EINTR},   {"EAGAIN", EAGAIN}, {"ENOMEM", ENOMEM},
-    {"ENOSPC", ENOSPC}, {"EACCES", EACCES}, {"EIO", EIO},
-    {"EMFILE", EMFILE}, {"ENFILE", ENFILE}, {"ENOENT", ENOENT},
-    {"ECHILD", ECHILD}, {"EBADF", EBADF},   {"EROFS", EROFS},
+    {"EINTR", EINTR},   {"EAGAIN", EAGAIN},
+    {"ENOMEM", ENOMEM}, {"ENOSPC", ENOSPC},
+    {"EACCES", EACCES}, {"EIO", EIO},
+    {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
+    {"ENOENT", ENOENT}, {"ECHILD", ECHILD},
+    {"EBADF", EBADF},   {"EROFS", EROFS},
+    {"ECONNREFUSED", ECONNREFUSED},
+    {"ECONNRESET", ECONNRESET},
+    {"EPIPE", EPIPE},   {"ETIMEDOUT", ETIMEDOUT},
 };
 
 int errnoFromName(const std::string &Name) {
@@ -90,7 +95,9 @@ constexpr SiteToken SiteTokens[] = {
     {"waitpid", Site::Waitpid}, {"write", Site::Write},
     {"read", Site::Read},       {"unlink", Site::Unlink},
     {"opendir", Site::Opendir}, {"zygote", Site::Zygote},
-    {"tp", Site::TracePoint},
+    {"socket", Site::Socket},   {"connect", Site::Connect},
+    {"accept", Site::Accept},   {"send", Site::Send},
+    {"recv", Site::Recv},       {"tp", Site::TracePoint},
 };
 
 bool parseUint(const std::string &S, uint64_t &Out) {
@@ -177,12 +184,12 @@ bool parseClause(const std::string &Item, Clause &C, std::string &Err) {
     return true;
   }
   if (Act == "short") {
-    if (C.S != Site::Write) {
-      Err = "'short' is only valid at the write site ('" + Item + "')";
+    if (C.S != Site::Write && C.S != Site::Send) {
+      Err = "'short' is only valid at the write/send sites ('" + Item + "')";
       return false;
     }
     C.Short = true;
-    C.Err = ENOSPC;
+    C.Err = C.S == Site::Send ? EPIPE : ENOSPC;
     return true;
   }
   C.Err = errnoFromName(Act);
@@ -229,6 +236,14 @@ int onCallSlow(Site S) {
 
 int onWriteSlow(size_t Size, size_t &Allowed) {
   Clause *C = decide(Site::Write);
+  if (!C)
+    return 0;
+  Allowed = C->Short ? Size / 2 : 0;
+  return C->Err;
+}
+
+int onSendSlow(size_t Size, size_t &Allowed) {
+  Clause *C = decide(Site::Send);
   if (!C)
     return 0;
   Allowed = C->Short ? Size / 2 : 0;

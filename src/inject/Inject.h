@@ -19,7 +19,8 @@
 ///   item   := 'seed=' N | clause
 ///   clause := site '@' sel ':' act
 ///   site   := fork | mmap | mkdtemp | mkdir | waitpid | write | read
-///           | unlink | opendir | zygote | 'tp.' point-name
+///           | unlink | opendir | zygote | socket | connect | accept
+///           | send | recv | 'tp.' point-name
 ///   sel    := 'n' N        -- eligible from the Nth call on (1-based,
 ///                             per process; children inherit counters)
 ///           | 'p' FLOAT    -- each eligible call fires with probability
@@ -29,7 +30,10 @@
 ///                                   (default 1 for 'n', unlimited for
 ///                                   'p'; '*0' = unlimited)
 ///           | 'short' ['*' count] -- write site: truncate the write
-///                                    halfway, then fail with ENOSPC
+///                                    halfway, then fail with ENOSPC;
+///                                    send site: push half the frame
+///                                    onto the wire, then fail with
+///                                    EPIPE (a genuinely torn frame)
 ///           | 'kill' ['*' count]  -- SIGKILL the calling process
 ///                                    (trace-point sites)
 ///
@@ -38,6 +42,8 @@
 ///   fork@n2:EAGAIN               the 2nd fork of each process fails once
 ///   mkdtemp@n1:EACCES            init's run-directory creation fails
 ///   write@p0.1:short             10% of file-store writes truncate
+///   connect@n1:ECONNREFUSED      an agent's first connect is refused
+///   send@n3:short                the 3rd send tears a frame mid-wire
 ///   tp.sample.begin@n1:kill      SIGKILL at the first sample trace point
 ///   seed=7;fork@p0.05:EAGAIN*3   seeded probabilistic fork failures
 ///
@@ -83,6 +89,11 @@ enum class Site : int {
   Unlink,
   Opendir,
   Zygote,
+  Socket,
+  Connect,
+  Accept,
+  Send,
+  Recv,
   TracePoint,
 };
 constexpr int NumSites = static_cast<int>(Site::TracePoint) + 1;
@@ -121,6 +132,7 @@ extern std::atomic<bool> GArmed;
 /// Slow paths; only reached while a plan is armed.
 int onCallSlow(Site S);
 int onWriteSlow(size_t Size, size_t &Allowed);
+int onSendSlow(size_t Size, size_t &Allowed);
 void onTracePointSlow(const char *Name);
 } // namespace detail
 
@@ -143,6 +155,15 @@ inline int onWrite(size_t Size, size_t &Allowed) {
   if (!armed())
     return 0;
   return detail::onWriteSlow(Size, Allowed);
+}
+
+/// Send-site variant: on failure \p Allowed is how many of \p Size
+/// bytes the wrapper should still push onto the wire before failing
+/// (torn frames — the peer reads a half-written length-prefixed frame).
+inline int onSend(size_t Size, size_t &Allowed) {
+  if (!armed())
+    return 0;
+  return detail::onSendSlow(Size, Allowed);
 }
 
 /// Kill-point hook, called from the runtime's trace points with the

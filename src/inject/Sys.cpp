@@ -8,7 +8,10 @@
 
 #include "inject/Inject.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -92,6 +95,89 @@ int sys::removePath(const char *Path) {
     return -1;
   }
   return ::remove(Path);
+}
+
+int sys::socketCreate() {
+  if (int E = inject::onCall(inject::Site::Socket)) {
+    errno = E;
+    return -1;
+  }
+  return ::socket(AF_INET, SOCK_STREAM, 0);
+}
+
+int sys::connectTo(int Fd, const std::string &Addr, uint16_t Port) {
+  if (int E = inject::onCall(inject::Site::Connect)) {
+    errno = E;
+    return -1;
+  }
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Addr.c_str(), &Sa.sin_addr) != 1) {
+    errno = EINVAL;
+    return -1;
+  }
+  for (;;) {
+    int R = ::connect(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa));
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R;
+  }
+}
+
+int sys::acceptConn(int Fd) {
+  if (int E = inject::onCall(inject::Site::Accept)) {
+    errno = E;
+    return -1;
+  }
+  for (;;) {
+    int R = ::accept(Fd, nullptr, nullptr);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R;
+  }
+}
+
+/// send(2) until \p Size bytes of \p Buf are on the wire or the socket
+/// fails; EINTR retried, SIGPIPE suppressed (errors surface as EPIPE).
+static ssize_t sendAll(int Fd, const void *Buf, size_t Size) {
+  const char *P = static_cast<const char *>(Buf);
+  size_t Sent = 0;
+  while (Sent < Size) {
+    ssize_t R = ::send(Fd, P + Sent, Size - Sent, MSG_NOSIGNAL);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      return -1;
+    Sent += static_cast<size_t>(R);
+  }
+  return static_cast<ssize_t>(Size);
+}
+
+ssize_t sys::sendBytes(int Fd, const void *Buf, size_t Size) {
+  size_t Allowed = 0;
+  if (int E = inject::onSend(Size, Allowed)) {
+    // A torn frame must really reach the peer: push the allowed prefix
+    // onto the wire, then fail as if the connection died mid-send.
+    if (Allowed)
+      sendAll(Fd, Buf, Allowed);
+    errno = E;
+    return -1;
+  }
+  return sendAll(Fd, Buf, Size);
+}
+
+ssize_t sys::recvBytes(int Fd, void *Buf, size_t Size) {
+  if (int E = inject::onCall(inject::Site::Recv)) {
+    errno = E;
+    return -1;
+  }
+  for (;;) {
+    ssize_t R = ::recv(Fd, Buf, Size, 0);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R;
+  }
 }
 
 void sys::fatal(const char *Fmt, ...) {

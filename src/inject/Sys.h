@@ -29,6 +29,7 @@
 #include <sys/types.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace wbt {
@@ -61,6 +62,29 @@ DIR *openDir(const char *Path);
 
 /// remove(3) — the unlink site (run-directory teardown).
 int removePath(const char *Path);
+
+/// socket(2), AF_INET stream. -1 + errno on failure.
+int socketCreate();
+
+/// connect(2) of \p Fd to the IPv4 address \p Addr at \p Port, retrying
+/// EINTR. -1 + errno on failure (ECONNREFUSED drives agent reconnect
+/// backoff, real or injected).
+int connectTo(int Fd, const std::string &Addr, uint16_t Port);
+
+/// accept(2) on listening \p Fd, retrying EINTR. -1 + errno on failure;
+/// EAGAIN when \p Fd is non-blocking and no connection is pending.
+int acceptConn(int Fd);
+
+/// Full send(2) of \p Size bytes (MSG_NOSIGNAL, partial sends retried).
+/// Returns \p Size, or -1 + errno. An injected 'short' pushes half the
+/// bytes onto the wire before failing with EPIPE, so the peer reads a
+/// genuinely torn length-prefixed frame.
+ssize_t sendBytes(int Fd, const void *Buf, size_t Size);
+
+/// recv(2), retrying EINTR. Returns bytes read (0 = orderly shutdown),
+/// or -1 + errno; EAGAIN when \p Fd is non-blocking and nothing is
+/// buffered.
+ssize_t recvBytes(int Fd, void *Buf, size_t Size);
 
 /// Reports a fatal runtime error and aborts, in every build type.
 [[noreturn]] void fatal(const char *Fmt, ...)

@@ -1,0 +1,279 @@
+//===- net/LeaseServer.cpp - Tuning-side lease-range server ---------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/LeaseServer.h"
+
+#include "inject/Sys.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace wbt;
+using namespace wbt::net;
+
+LeaseServer::~LeaseServer() { closeAll(); }
+
+bool LeaseServer::listen(const std::string &Addr) {
+  int Fd = sys::socketCreate();
+  if (Fd < 0)
+    return false;
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = 0; // ephemeral: the kernel picks, getsockname reports
+  if (::inet_pton(AF_INET, Addr.c_str(), &Sa.sin_addr) != 1 ||
+      ::bind(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return false;
+  }
+  // Non-blocking accept: the pump polls first, but a connection that
+  // vanishes between poll and accept must not wedge the supervisor.
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  socklen_t Len = sizeof(Sa);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sa), &Len) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return false;
+  }
+  ListenFd = Fd;
+  Port = ntohs(Sa.sin_port);
+  return true;
+}
+
+void LeaseServer::openRegion(uint64_t TpId, uint64_t Base, uint32_t Regions,
+                             uint32_t N, uint32_t Kind) {
+  ++Gen;
+  RegionIsOpen = true;
+  Cur.Gen = Gen;
+  Cur.TpId = TpId;
+  Cur.Base = Base;
+  Cur.Regions = Regions;
+  Cur.N = N;
+  Cur.Kind = Kind;
+  std::vector<uint8_t> Frame = encodeRegionOpen(Cur);
+  for (size_t I = Conns.size(); I-- != 0;) {
+    if (!Conns[I]->HaveHello)
+      continue;
+    if (!sendFrame(*Conns[I], Frame))
+      disconnect(I);
+  }
+}
+
+void LeaseServer::closeRegion() {
+  if (!RegionIsOpen)
+    return;
+  RegionIsOpen = false;
+  std::vector<uint8_t> Frame = encodeRegionClose(Gen);
+  for (size_t I = Conns.size(); I-- != 0;) {
+    Conn &C = *Conns[I];
+    // A settled region has no owned leases left; an early teardown hands
+    // any leftovers back to the runtime's retry machinery.
+    for (int64_t L : C.Owned)
+      if (CB.Return && CB.Return(L))
+        ++Stats.LeasesReturned;
+    C.Owned.clear();
+    if (C.HaveHello && !sendFrame(C, Frame))
+      disconnect(I);
+  }
+}
+
+void LeaseServer::pump(int TimeoutMs, int WakeFd) {
+  std::vector<pollfd> Pfds;
+  Pfds.reserve(Conns.size() + 2);
+  size_t ListenAt = static_cast<size_t>(-1), WakeAt = static_cast<size_t>(-1);
+  if (ListenFd >= 0) {
+    ListenAt = Pfds.size();
+    Pfds.push_back({ListenFd, POLLIN, 0});
+  }
+  if (WakeFd >= 0) {
+    WakeAt = Pfds.size();
+    Pfds.push_back({WakeFd, POLLIN, 0});
+  }
+  size_t ConnBase = Pfds.size();
+  for (const std::unique_ptr<Conn> &C : Conns)
+    Pfds.push_back({C->Fd, POLLIN, 0});
+
+  int R = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+  if (R <= 0)
+    return; // timeout or EINTR: the supervisor loop re-enters
+  if (ListenAt != static_cast<size_t>(-1) && (Pfds[ListenAt].revents & POLLIN))
+    acceptReady();
+  (void)WakeAt; // the caller drains the eventfd after every pump
+  // Walk connections back to front so disconnect()'s swap-and-pop never
+  // disturbs an index we have yet to visit.
+  for (size_t I = Conns.size(); I-- != 0;) {
+    if (I >= Pfds.size() - ConnBase)
+      continue; // accepted this round; no revents yet
+    short Ev = Pfds[ConnBase + I].revents;
+    if (!Ev)
+      continue;
+    if (!readConn(*Conns[I]))
+      disconnect(I);
+  }
+}
+
+void LeaseServer::acceptReady() {
+  for (;;) {
+    int Fd = sys::acceptConn(ListenFd);
+    if (Fd < 0)
+      return; // EAGAIN (drained) or an injected failure: try next pump
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    ++Stats.Accepts;
+    Conns.push_back(std::move(C));
+  }
+}
+
+bool LeaseServer::readConn(Conn &C) {
+  uint8_t Buf[64 * 1024];
+  ssize_t R = sys::recvBytes(C.Fd, Buf, sizeof(Buf));
+  if (R == 0)
+    return false; // orderly shutdown
+  if (R < 0)
+    return errno == EAGAIN; // real errors (or injected ones) drop the conn
+  C.In.append(Buf, static_cast<size_t>(R));
+  std::vector<uint8_t> Payload;
+  while (C.In.next(Payload)) {
+    ++Stats.Frames;
+    if (!handleFrame(C, Payload))
+      return false;
+  }
+  return !C.In.corrupt();
+}
+
+bool LeaseServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
+  switch (frameType(Payload)) {
+  case FrameType::Hello: {
+    uint32_t Id = 0;
+    if (!decodeHello(Payload, Id))
+      return false;
+    C.HaveHello = true;
+    C.AgentId = Id;
+    if (!SeenAgents.insert(Id).second)
+      ++Stats.Reconnects;
+    traceHook(obs::EventKind::NetAccept, Id, Gen);
+    // Late joiner / reconnect during an open region: push the identity
+    // it missed so it can start claiming immediately.
+    if (RegionIsOpen)
+      return sendFrame(C, encodeRegionOpen(Cur));
+    return true;
+  }
+  case FrameType::ClaimReq: {
+    ClaimReqMsg M;
+    if (!decodeClaimReq(Payload, M) || !C.HaveHello)
+      return false;
+    ClaimRespMsg Resp;
+    Resp.Gen = M.Gen;
+    if (!RegionIsOpen || M.Gen != Gen) {
+      Resp.Closed = true; // stale generation: stop asking for this one
+    } else if (CB.Claim) {
+      Resp.Leases = CB.Claim(M.Want);
+      for (int64_t L : Resp.Leases)
+        C.Owned.insert(L);
+      Stats.RemoteLeases += Resp.Leases.size();
+      if (!Resp.Leases.empty())
+        traceHook(obs::EventKind::NetClaim, C.AgentId, Resp.Leases.size());
+    }
+    return sendFrame(C, encodeClaimResp(Resp));
+  }
+  case FrameType::CommitBatch: {
+    CommitBatchMsg M;
+    if (!decodeCommitBatch(Payload, M) || !C.HaveHello)
+      return false;
+    if (M.Gen != Gen)
+      return true; // a previous region's stragglers: drop whole frame
+    for (const LeaseResult &L : M.Leases) {
+      // Ownership is the at-most-once guard: a lease this connection no
+      // longer owns was returned on a disconnect and belongs to someone
+      // else now — its result must not apply twice.
+      if (C.Owned.erase(L.Lease) == 0)
+        continue;
+      if (CB.Commit)
+        CB.Commit(L);
+    }
+    return true;
+  }
+  case FrameType::Shutdown:
+  case FrameType::RegionOpen:
+  case FrameType::ClaimResp:
+  case FrameType::RegionClose:
+  case FrameType::None:
+    return false; // not something an agent may send
+  }
+  return false;
+}
+
+bool LeaseServer::sendFrame(Conn &C, const std::vector<uint8_t> &Frame) {
+  return sys::sendBytes(C.Fd, Frame.data(), Frame.size()) ==
+         static_cast<ssize_t>(Frame.size());
+}
+
+void LeaseServer::disconnect(size_t Idx) {
+  Conn &C = *Conns[Idx];
+  uint64_t Returned = 0;
+  for (int64_t L : C.Owned)
+    if (CB.Return && CB.Return(L)) {
+      ++Stats.LeasesReturned;
+      ++Returned;
+    }
+  traceHook(obs::EventKind::NetDisconnect, C.AgentId, Returned);
+  ::close(C.Fd);
+  Conns[Idx] = std::move(Conns.back());
+  Conns.pop_back();
+}
+
+void LeaseServer::dropConnections() {
+  while (!Conns.empty())
+    disconnect(Conns.size() - 1);
+}
+
+void LeaseServer::broadcastShutdown() {
+  std::vector<uint8_t> Frame = encodeShutdown();
+  for (size_t I = Conns.size(); I-- != 0;)
+    if (!sendFrame(*Conns[I], Frame))
+      disconnect(I);
+}
+
+void LeaseServer::closeAll() {
+  for (const std::unique_ptr<Conn> &C : Conns)
+    ::close(C->Fd);
+  Conns.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+size_t LeaseServer::ownedLeases() const {
+  size_t N = 0;
+  for (const std::unique_ptr<Conn> &C : Conns)
+    N += C->Owned.size();
+  return N;
+}
+
+bool LeaseServer::ownsLease(int64_t Lease) const {
+  for (const std::unique_ptr<Conn> &C : Conns)
+    if (C->Owned.count(Lease))
+      return true;
+  return false;
+}
+
+void LeaseServer::traceHook(obs::EventKind Kind, uint64_t A, uint64_t B) {
+  if (CB.Trace)
+    CB.Trace(Kind, A, B);
+}

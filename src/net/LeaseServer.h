@@ -1,0 +1,160 @@
+//===- net/LeaseServer.h - Tuning-side lease-range server -------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tuning process' end of the distributed lease protocol. Remote
+/// sampling agents connect over TCP, claim lease ranges out of the same
+/// shared claim counter local pool workers race on, run the samples in
+/// their own process, and stream results back in CommitBatch frames.
+///
+/// The server is deliberately *threadless*: it owns non-blocking-accept
+/// sockets and a poll(2) pump that the runtime's aggregate() supervisor
+/// loop calls in place of its plain timed wait. One poll covers the
+/// listening socket, every agent connection, and the SharedControl
+/// eventfd, so the supervisor still wakes instantly on local child
+/// events while also reacting to remote frames — no locks, no threads,
+/// no second supervisor.
+///
+/// All lease-state decisions stay in the runtime via callbacks: the
+/// server only enforces the protocol invariants that make remote
+/// execution exactly-once — per-connection *owned sets* (a commit for a
+/// lease this connection does not own is stale and dropped) and the
+/// region *generation* (frames from a previous region are dropped). A
+/// disconnect — orderly, reset, or a SIGKILLed agent mid-frame — hands
+/// every still-owned lease back to the runtime, which reuses the same
+/// one-retry return machinery that covers crashed local workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_NET_LEASESERVER_H
+#define WBT_NET_LEASESERVER_H
+
+#include "net/Wire.h"
+#include "obs/Trace.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace net {
+
+/// Process-local protocol counters (the server only lives in the root
+/// tuning process, so plain fields suffice).
+struct NetStats {
+  uint64_t Accepts = 0;        ///< connections accepted
+  uint64_t Reconnects = 0;     ///< Hellos from an agent id seen before
+  uint64_t RemoteLeases = 0;   ///< leases granted over the wire
+  uint64_t LeasesReturned = 0; ///< owned leases returned on disconnect
+  uint64_t Frames = 0;         ///< complete frames received
+};
+
+class LeaseServer {
+public:
+  struct Callbacks {
+    /// Claim up to \p Want leases for a remote agent (returned-first,
+    /// then the bounded shared counter — the runtime's policy). The
+    /// runtime must mark every returned index claimed before this
+    /// returns.
+    std::function<std::vector<int64_t>(uint32_t Want)> Claim;
+    /// Apply one lease result. Only called while the sending connection
+    /// owns the lease; the runtime still guards with its state CAS, so
+    /// a lease the region timed out is dropped, not double-counted.
+    std::function<void(const LeaseResult &R)> Commit;
+    /// A disconnected agent's still-owned lease. The runtime decides:
+    /// return it for another worker (true) or retire it (false).
+    std::function<bool(int64_t Lease)> Return;
+    /// Optional trace emit hook (NetAccept/NetClaim/NetDisconnect).
+    std::function<void(obs::EventKind Kind, uint64_t A, uint64_t B)> Trace;
+  };
+
+  explicit LeaseServer(Callbacks CB) : CB(std::move(CB)) {}
+  ~LeaseServer();
+
+  LeaseServer(const LeaseServer &) = delete;
+  LeaseServer &operator=(const LeaseServer &) = delete;
+
+  /// Binds and listens on \p Addr with an ephemeral port. False + errno
+  /// on failure (the runtime then runs local-only).
+  bool listen(const std::string &Addr);
+  uint16_t port() const { return Port; }
+
+  /// Opens a lease window for agents: bumps the generation and pushes
+  /// the region identity to every connected agent (late joiners get it
+  /// at Hello).
+  void openRegion(uint64_t TpId, uint64_t Base, uint32_t Regions, uint32_t N,
+                  uint32_t Kind);
+  /// Ends the window: agents are told, stale frames die on the
+  /// generation check from here on. Leftover owned leases (none, unless
+  /// the caller is tearing down early) are handed to Callbacks::Return.
+  void closeRegion();
+  bool regionOpen() const { return RegionIsOpen; }
+  uint64_t generation() const { return Gen; }
+
+  /// One supervisor wait: polls listen + connections + \p WakeFd for up
+  /// to \p TimeoutMs, then accepts, reads, and dispatches whatever is
+  /// ready. WakeFd (the SharedControl eventfd) only shortens the wait;
+  /// the caller drains it.
+  void pump(int TimeoutMs, int WakeFd = -1);
+
+  /// Whether the open region still has remotely owned leases — the
+  /// supervisor must keep pumping instead of settling the region.
+  bool busy() const { return RegionIsOpen && ownedLeases() != 0; }
+  size_t ownedLeases() const;
+  bool ownsLease(int64_t Lease) const;
+  size_t connections() const { return Conns.size(); }
+
+  /// Deadline path: drops every connection, returning owned leases
+  /// through Callbacks::Return (which, past the deadline, retires them
+  /// as timed out). Agents reconnect on their own for the next region.
+  void dropConnections();
+
+  /// Best-effort Shutdown broadcast before the runtime SIGKILLs the
+  /// agent processes.
+  void broadcastShutdown();
+
+  /// Closes every descriptor without running callbacks. For split
+  /// children that inherited the fds but must not touch lease state.
+  void closeAll();
+
+  const NetStats &stats() const { return Stats; }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    bool HaveHello = false;
+    uint32_t AgentId = 0;
+    FrameBuffer In;
+    std::set<int64_t> Owned;
+  };
+
+  void acceptReady();
+  /// One recv + frame dispatch round. False when the connection died.
+  bool readConn(Conn &C);
+  bool handleFrame(Conn &C, const std::vector<uint8_t> &Payload);
+  /// False when the send failed and the caller must disconnect.
+  bool sendFrame(Conn &C, const std::vector<uint8_t> &Frame);
+  void disconnect(size_t Idx);
+  void traceHook(obs::EventKind Kind, uint64_t A, uint64_t B);
+
+  Callbacks CB;
+  int ListenFd = -1;
+  uint16_t Port = 0;
+  std::vector<std::unique_ptr<Conn>> Conns;
+  std::set<uint32_t> SeenAgents;
+  bool RegionIsOpen = false;
+  uint64_t Gen = 0;
+  RegionOpenMsg Cur;
+  NetStats Stats;
+};
+
+} // namespace net
+} // namespace wbt
+
+#endif // WBT_NET_LEASESERVER_H

@@ -1,0 +1,228 @@
+//===- net/Wire.cpp - Lease-protocol frame encoding -----------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+
+#include "support/ByteBuffer.h"
+
+#include <cstring>
+
+using namespace wbt;
+using namespace wbt::net;
+
+namespace {
+
+/// Wraps a finished payload in the 4-byte length prefix.
+std::vector<uint8_t> finishFrame(ByteWriter &Payload) {
+  std::vector<uint8_t> Body = Payload.take();
+  ByteWriter Frame;
+  Frame.write<uint32_t>(static_cast<uint32_t>(Body.size()));
+  std::vector<uint8_t> Out = Frame.take();
+  Out.insert(Out.end(), Body.begin(), Body.end());
+  return Out;
+}
+
+ByteWriter beginPayload(FrameType T) {
+  ByteWriter W;
+  W.write<uint8_t>(static_cast<uint8_t>(T));
+  return W;
+}
+
+/// Positions \p Payload past the type byte, verifying it is \p T.
+bool beginDecode(const std::vector<uint8_t> &Payload, FrameType T,
+                 ByteReader &R) {
+  if (frameType(Payload) != T)
+    return false;
+  R.read<uint8_t>(); // the type byte
+  return R.ok();
+}
+
+} // namespace
+
+std::vector<uint8_t> net::encodeHello(uint32_t AgentId) {
+  ByteWriter W = beginPayload(FrameType::Hello);
+  W.write<uint32_t>(AgentId);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeRegionOpen(const RegionOpenMsg &M) {
+  ByteWriter W = beginPayload(FrameType::RegionOpen);
+  W.write<uint64_t>(M.Gen);
+  W.write<uint64_t>(M.TpId);
+  W.write<uint64_t>(M.Base);
+  W.write<uint32_t>(M.Regions);
+  W.write<uint32_t>(M.N);
+  W.write<uint32_t>(M.Kind);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeClaimReq(const ClaimReqMsg &M) {
+  ByteWriter W = beginPayload(FrameType::ClaimReq);
+  W.write<uint64_t>(M.Gen);
+  W.write<uint32_t>(M.Want);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeClaimResp(const ClaimRespMsg &M) {
+  ByteWriter W = beginPayload(FrameType::ClaimResp);
+  W.write<uint64_t>(M.Gen);
+  W.write<uint8_t>(M.Closed ? 1 : 0);
+  W.writeVector<int64_t>(M.Leases);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeCommitBatch(const CommitBatchMsg &M) {
+  ByteWriter W = beginPayload(FrameType::CommitBatch);
+  W.write<uint64_t>(M.Gen);
+  W.write<uint32_t>(static_cast<uint32_t>(M.Leases.size()));
+  for (const LeaseResult &L : M.Leases) {
+    W.write<int64_t>(L.Lease);
+    W.write<uint8_t>(static_cast<uint8_t>(L.Outcome));
+    W.write<uint32_t>(static_cast<uint32_t>(L.Vars.size()));
+    for (const CommitVar &V : L.Vars) {
+      W.writeString(V.Name);
+      W.writeVector<uint8_t>(V.Bytes);
+    }
+  }
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeRegionClose(uint64_t Gen) {
+  ByteWriter W = beginPayload(FrameType::RegionClose);
+  W.write<uint64_t>(Gen);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> net::encodeShutdown() {
+  ByteWriter W = beginPayload(FrameType::Shutdown);
+  return finishFrame(W);
+}
+
+FrameType net::frameType(const std::vector<uint8_t> &Payload) {
+  if (Payload.empty())
+    return FrameType::None;
+  uint8_t T = Payload[0];
+  if (T == 0 || T > static_cast<uint8_t>(FrameType::Shutdown))
+    return FrameType::None;
+  return static_cast<FrameType>(T);
+}
+
+bool net::decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::Hello, R))
+    return false;
+  AgentId = R.read<uint32_t>();
+  return R.ok();
+}
+
+bool net::decodeRegionOpen(const std::vector<uint8_t> &Payload,
+                           RegionOpenMsg &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::RegionOpen, R))
+    return false;
+  Out.Gen = R.read<uint64_t>();
+  Out.TpId = R.read<uint64_t>();
+  Out.Base = R.read<uint64_t>();
+  Out.Regions = R.read<uint32_t>();
+  Out.N = R.read<uint32_t>();
+  Out.Kind = R.read<uint32_t>();
+  return R.ok() && Out.N != 0 && Out.Regions != 0;
+}
+
+bool net::decodeClaimReq(const std::vector<uint8_t> &Payload,
+                         ClaimReqMsg &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::ClaimReq, R))
+    return false;
+  Out.Gen = R.read<uint64_t>();
+  Out.Want = R.read<uint32_t>();
+  return R.ok();
+}
+
+bool net::decodeClaimResp(const std::vector<uint8_t> &Payload,
+                          ClaimRespMsg &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::ClaimResp, R))
+    return false;
+  Out.Gen = R.read<uint64_t>();
+  Out.Closed = R.read<uint8_t>() != 0;
+  Out.Leases = R.readVector<int64_t>();
+  return R.ok();
+}
+
+bool net::decodeCommitBatch(const std::vector<uint8_t> &Payload,
+                            CommitBatchMsg &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::CommitBatch, R))
+    return false;
+  Out.Gen = R.read<uint64_t>();
+  uint32_t Count = R.read<uint32_t>();
+  if (!R.ok())
+    return false;
+  Out.Leases.clear();
+  Out.Leases.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    LeaseResult L;
+    L.Lease = R.read<int64_t>();
+    uint8_t Outc = R.read<uint8_t>();
+    if (Outc != static_cast<uint8_t>(LeaseOutcome::Committed) &&
+        Outc != static_cast<uint8_t>(LeaseOutcome::Pruned))
+      return false;
+    L.Outcome = static_cast<LeaseOutcome>(Outc);
+    uint32_t Vars = R.read<uint32_t>();
+    if (!R.ok())
+      return false;
+    for (uint32_t V = 0; V != Vars; ++V) {
+      CommitVar CV;
+      CV.Name = R.readString();
+      CV.Bytes = R.readVector<uint8_t>();
+      if (!R.ok())
+        return false;
+      L.Vars.push_back(std::move(CV));
+    }
+    Out.Leases.push_back(std::move(L));
+  }
+  return R.ok();
+}
+
+bool net::decodeRegionClose(const std::vector<uint8_t> &Payload,
+                            uint64_t &Gen) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::RegionClose, R))
+    return false;
+  Gen = R.read<uint64_t>();
+  return R.ok();
+}
+
+void FrameBuffer::append(const uint8_t *Data, size_t Size) {
+  // Compact the consumed prefix before growing, so a long-lived
+  // connection never accumulates its whole history.
+  if (Pos && Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  } else if (Pos > 4096 && Pos > Buf.size() / 2) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + Size);
+}
+
+bool FrameBuffer::next(std::vector<uint8_t> &Out) {
+  if (Corrupt || Buf.size() - Pos < sizeof(uint32_t))
+    return false;
+  uint32_t Len = 0;
+  std::memcpy(&Len, Buf.data() + Pos, sizeof(Len));
+  if (Len > MaxFrameBytes) {
+    Corrupt = true;
+    return false;
+  }
+  if (Buf.size() - Pos < sizeof(uint32_t) + Len)
+    return false;
+  const uint8_t *Body = Buf.data() + Pos + sizeof(uint32_t);
+  Out.assign(Body, Body + Len);
+  Pos += sizeof(uint32_t) + Len;
+  return true;
+}

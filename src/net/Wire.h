@@ -1,0 +1,158 @@
+//===- net/Wire.h - Lease-protocol frame encoding ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frame layout of the distributed lease protocol. Every frame is a
+/// 4-byte native-endian payload length followed by the payload, whose
+/// first byte is the FrameType. Payloads are encoded with the same
+/// ByteWriter/ByteReader pair the aggregation stores use, so remote
+/// commit bytes are byte-for-byte what a local child would have written
+/// into the shm slab — which is what keeps mixed local/remote regions
+/// bitwise-compatible in aggregate results.
+///
+/// Conversation shape (one tuning process, N sampling agents):
+///
+///   agent  -> server   Hello{agent id}           once per connection
+///   server -> agent    RegionOpen{gen, identity} per region / batch
+///   agent  -> server   ClaimReq{gen, want}       repeat
+///   server -> agent    ClaimResp{gen, leases, closed}
+///   agent  -> server   CommitBatch{gen, results} one per claim granted
+///   server -> agent    RegionClose{gen}          region settled
+///   server -> agent    Shutdown{}                teardown
+///
+/// Every region-scoped frame carries the server's monotone *generation*;
+/// a frame whose generation is not the current one is dropped, which is
+/// what makes half-dead agents that wake up mid-teardown harmless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_NET_WIRE_H
+#define WBT_NET_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace net {
+
+enum class FrameType : uint8_t {
+  None = 0,
+  Hello,
+  RegionOpen,
+  ClaimReq,
+  ClaimResp,
+  CommitBatch,
+  RegionClose,
+  Shutdown,
+};
+
+/// A frame longer than this is a protocol error (a torn length prefix
+/// read as garbage), not a big message — the peer is disconnected.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// How one remotely run lease ended (mirrors the terminal LeaseStates a
+/// local worker can store).
+enum class LeaseOutcome : uint8_t {
+  Committed = 1, ///< the body reached @aggregate; Vars carry the commits
+  Pruned = 2,    ///< the body was pruned (@check(false) or fell through)
+};
+
+/// Region identity pushed to agents: enough to rebuild the exact
+/// per-lease RNG seeds and child indices a local worker would use.
+/// Covers both plain pool regions (Regions == 1) and pipelined batches
+/// (Regions == BatchCount over one flat lease table of Regions * N).
+struct RegionOpenMsg {
+  uint64_t Gen = 0;
+  uint64_t TpId = 0;
+  uint64_t Base = 0;    ///< first region ordinal of the window
+  uint32_t Regions = 1; ///< regions sharing the flat lease table
+  uint32_t N = 0;       ///< samples per region
+  uint32_t Kind = 0;    ///< SamplingKind (stratified draws need it)
+};
+
+struct ClaimReqMsg {
+  uint64_t Gen = 0;
+  uint32_t Want = 0; ///< lease-range size the agent asks for
+};
+
+struct ClaimRespMsg {
+  uint64_t Gen = 0;
+  bool Closed = false; ///< region is gone; stop asking this generation
+  std::vector<int64_t> Leases; ///< flat lease indices granted
+};
+
+/// One committed variable of one lease (name + encoded payload).
+struct CommitVar {
+  std::string Name;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Everything one lease produced.
+struct LeaseResult {
+  int64_t Lease = -1;
+  LeaseOutcome Outcome = LeaseOutcome::Pruned;
+  std::vector<CommitVar> Vars;
+};
+
+struct CommitBatchMsg {
+  uint64_t Gen = 0;
+  std::vector<LeaseResult> Leases;
+};
+
+//===----------------------------------------------------------------------===//
+// Encoding. Each returns a complete frame (length prefix included).
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> encodeHello(uint32_t AgentId);
+std::vector<uint8_t> encodeRegionOpen(const RegionOpenMsg &M);
+std::vector<uint8_t> encodeClaimReq(const ClaimReqMsg &M);
+std::vector<uint8_t> encodeClaimResp(const ClaimRespMsg &M);
+std::vector<uint8_t> encodeCommitBatch(const CommitBatchMsg &M);
+std::vector<uint8_t> encodeRegionClose(uint64_t Gen);
+std::vector<uint8_t> encodeShutdown();
+
+//===----------------------------------------------------------------------===//
+// Decoding over one extracted payload (FrameBuffer::next output).
+//===----------------------------------------------------------------------===//
+
+/// First byte of \p Payload, or FrameType::None when empty/unknown.
+FrameType frameType(const std::vector<uint8_t> &Payload);
+
+bool decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId);
+bool decodeRegionOpen(const std::vector<uint8_t> &Payload, RegionOpenMsg &Out);
+bool decodeClaimReq(const std::vector<uint8_t> &Payload, ClaimReqMsg &Out);
+bool decodeClaimResp(const std::vector<uint8_t> &Payload, ClaimRespMsg &Out);
+bool decodeCommitBatch(const std::vector<uint8_t> &Payload,
+                       CommitBatchMsg &Out);
+bool decodeRegionClose(const std::vector<uint8_t> &Payload, uint64_t &Gen);
+
+/// Incremental frame splitter over a byte stream. Append whatever recv
+/// returned; next() hands out complete payloads in order. A partial
+/// frame (torn send, mid-read disconnect) simply never completes and is
+/// discarded with the buffer.
+class FrameBuffer {
+public:
+  void append(const uint8_t *Data, size_t Size);
+  /// Moves the next complete payload into \p Out. False when no
+  /// complete frame is buffered.
+  bool next(std::vector<uint8_t> &Out);
+  /// A length prefix exceeded MaxFrameBytes — the stream is garbage and
+  /// the connection must be dropped.
+  bool corrupt() const { return Corrupt; }
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Pos = 0;
+  bool Corrupt = false;
+};
+
+} // namespace net
+} // namespace wbt
+
+#endif // WBT_NET_WIRE_H

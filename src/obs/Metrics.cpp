@@ -76,9 +76,12 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                "\"retries\": %llu, \"slab_records_hw\": %llu, "
                "\"slab_bytes_hw\": %llu, \"slab_recycles\": %llu, "
                "\"slab_epoch_hw\": %llu, \"thp_granted\": %llu, "
-               "\"thp_declined\": %llu, \"zygote_respawns\": %llu, "
+               "\"thp_declined\": %llu, \"hugetlb_granted\": %llu, "
+               "\"hugetlb_declined\": %llu, \"zygote_respawns\": %llu, "
                "\"zygote_restores\": %llu, \"remove_failures\": %llu, "
-               "\"trace_events\": %llu, "
+               "\"net_agents\": %llu, \"net_reconnects\": %llu, "
+               "\"net_remote_leases\": %llu, \"net_leases_returned\": %llu, "
+               "\"net_frames\": %llu, \"trace_events\": %llu, "
                "\"trace_drops\": %llu, \"fork_p50_us\": %.1f, "
                "\"fork_mean_us\": %.1f, \"commit_p50_us\": %.1f, "
                "\"commit_mean_us\": %.1f}",
@@ -93,9 +96,16 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                (unsigned long long)M.SlabEpochHighWater,
                (unsigned long long)M.ThpGranted,
                (unsigned long long)M.ThpDeclined,
+               (unsigned long long)M.HugetlbGranted,
+               (unsigned long long)M.HugetlbDeclined,
                (unsigned long long)M.ZygoteRespawns,
                (unsigned long long)M.ZygoteRestores,
                (unsigned long long)M.RemoveFailures,
+               (unsigned long long)M.NetAgents,
+               (unsigned long long)M.NetReconnects,
+               (unsigned long long)M.NetRemoteLeases,
+               (unsigned long long)M.NetLeasesReturned,
+               (unsigned long long)M.NetFrames,
                (unsigned long long)M.TraceEvents,
                (unsigned long long)M.TraceDrops, M.ForkLatency.quantileUs(0.5),
                M.ForkLatency.meanUs(), M.CommitLatency.quantileUs(0.5),

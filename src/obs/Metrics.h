@@ -86,9 +86,16 @@ struct RuntimeMetrics {
   uint64_t SlabEpochHighWater = 0;   ///< largest single-epoch record count
   uint64_t ThpGranted = 0;  ///< madvise(MADV_HUGEPAGE) accepted at init
   uint64_t ThpDeclined = 0; ///< huge pages asked for but refused
+  uint64_t HugetlbGranted = 0;  ///< mmap(MAP_HUGETLB) reservation held
+  uint64_t HugetlbDeclined = 0; ///< hugetlbfs refused; fell back to THP
   uint64_t ZygoteRespawns = 0; ///< nursery refills after a zygote died
   uint64_t ZygoteRestores = 0; ///< parked zygotes woken into a region
   uint64_t RemoveFailures = 0; ///< run-dir entries removeTree failed on
+  uint64_t NetAgents = 0;         ///< remote sampling agents spawned
+  uint64_t NetReconnects = 0;     ///< agent connections re-accepted
+  uint64_t NetRemoteLeases = 0;   ///< leases granted over the wire
+  uint64_t NetLeasesReturned = 0; ///< remote leases returned on disconnect
+  uint64_t NetFrames = 0;         ///< protocol frames the server received
   uint64_t TraceEvents = 0;
   uint64_t TraceDrops = 0;
   HistogramSnapshot ForkLatency;

@@ -179,6 +179,14 @@ const char *eventKindName(EventKind Kind) {
     return "batch-roll";
   case EventKind::SlabRecycle:
     return "slab-recycle";
+  case EventKind::NetAccept:
+    return "net-accept";
+  case EventKind::NetClaim:
+    return "net-claim";
+  case EventKind::NetCommitFrame:
+    return "net-frame";
+  case EventKind::NetDisconnect:
+    return "net-disconnect";
   }
   return "unknown";
 }
@@ -233,6 +241,14 @@ const char *eventPointName(EventKind Kind) {
     return "batch.roll";
   case EventKind::SlabRecycle:
     return "slab.recycle";
+  case EventKind::NetAccept:
+    return "net.accept";
+  case EventKind::NetClaim:
+    return "net.claim";
+  case EventKind::NetCommitFrame:
+    return "net.frame";
+  case EventKind::NetDisconnect:
+    return "net.disconnect";
   }
   return "unknown";
 }

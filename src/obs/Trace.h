@@ -62,6 +62,10 @@ enum class EventKind : uint16_t {
   BatchEnd,      ///< tuning: A = first region ordinal, B = region count
   BatchRoll,     ///< worker: A = region ordinal rolled into, B = lease index
   SlabRecycle,   ///< tuning: A = new slab epoch, B = records retired
+  NetAccept,     ///< tuning: A = agent id, B = net generation
+  NetClaim,      ///< tuning: A = agent id, B = leases granted
+  NetCommitFrame,///< agent: A = lease count in frame, B = net generation
+  NetDisconnect, ///< tuning: A = agent id, B = leases returned
 };
 
 /// One fixed-size trace record. 32 bytes, POD, safe to write from a

@@ -7,6 +7,8 @@
 #include "proc/Runtime.h"
 
 #include "inject/Sys.h"
+#include "net/AgentChannel.h"
+#include "net/LeaseServer.h"
 #include "obs/TraceExporter.h"
 #include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
@@ -606,6 +608,34 @@ void Runtime::init(const RuntimeOptions &InOpts) {
   ZygotePids.clear();
   ZygoteRespawnsLeft = 0;
   RegionIsZygote = false;
+  NetServer.reset();
+  NetAgentPids.clear();
+  NetSpawned = false;
+  NetAgentMode = false;
+  AgentVars.clear();
+  AgentCommitted = false;
+  // Distributed sampling: open the lease server now so its port exists
+  // before any region; the agent processes themselves are forked lazily
+  // at the first worker-pool region (like the zygote nursery, so the
+  // region body is part of the forked image). A listen failure is not
+  // fatal — the run degrades to local-only sampling.
+  if (Opts.NetAgents > 0) {
+    net::LeaseServer::Callbacks CB;
+    CB.Claim = [this](uint32_t Want) { return netClaimLeases(Want); };
+    CB.Commit = [this](const net::LeaseResult &R) { netApplyCommit(R); };
+    CB.Return = [this](int64_t Lease) { return netReturnLease(Lease); };
+    CB.Trace = [this](obs::EventKind Kind, uint64_t A, uint64_t B) {
+      traceEmit(Kind, A, B);
+    };
+    auto Srv = std::make_unique<net::LeaseServer>(std::move(CB));
+    if (Srv->listen(Opts.NetListenAddress))
+      NetServer = std::move(Srv);
+    else
+      std::fprintf(stderr,
+                   "wbtuner: lease server cannot listen on %s: %s; "
+                   "running local-only\n",
+                   Opts.NetListenAddress.c_str(), std::strerror(errno));
+  }
   TraceBuf.clear();
   InitTime = monoNow();
   // The root tuning process occupies a pool slot like any other process.
@@ -639,9 +669,10 @@ void Runtime::finish() {
   }
   SplitChildren.clear();
   if (IsRoot) {
-    // Retire the nursery before the all-descendants wait: parked zygotes
-    // hold no pool slot and no live-tuning-process count, so nothing
-    // below would ever reap them.
+    // Retire the sampling agents and the nursery before the
+    // all-descendants wait: neither holds a pool slot or a
+    // live-tuning-process count, so nothing below would ever reap them.
+    shutdownNetAgents();
     shutdownZygotes();
     while (!Ctl->waitLiveTuningProcessesTimed(1, 100)) {
     }
@@ -1226,6 +1257,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
       ChildIndex = I;
       RegionActive = true;
       SplitChildren.clear();
+      closeInheritedNetFds();
       if (inject::armed())
         inject::tagProcess(mixSeed(TpId, (RegionCounter << 20) +
                                              static_cast<uint64_t>(I)));
@@ -1289,6 +1321,7 @@ void Runtime::forkPoolWorker(int SlotIdx) {
     WorkerIndex = SlotIdx;
     RegionActive = true;
     SplitChildren.clear();
+    closeInheritedNetFds();
     if (inject::armed())
       inject::tagProcess(mixSeed(TpId, (RegionCounter << 20) + 0xF00D +
                                            static_cast<uint64_t>(SlotIdx)));
@@ -1500,12 +1533,20 @@ bool Runtime::settlePoolLeases() {
   bool DeadlinePassed = regionDeadlinePassed();
   bool BudgetLeft = RespawnsUsed < N;
   int Open = 0;
+  int RemoteOwned = 0;
   for (int I = 0; I != N; ++I) {
     LeaseCell &L = Leases[I];
     int32_t St = L.State.load(std::memory_order_acquire);
     if (St == LsCommitted || St == LsPruned || St == LsCrashed ||
         St == LsTimedOut || St == LsForkFailed)
       continue;
+    if (NetServer && NetServer->ownsLease(I)) {
+      // Remotely owned by a live agent: not ours to settle. (The busy()
+      // gate in aggregate() keeps the normal path from ever reaching
+      // this; it guards early-teardown callers.)
+      ++RemoteOwned;
+      continue;
+    }
     if (DeadlinePassed || !BudgetLeft) {
       // No more re-running: retire in place. Never-attempted leases are
       // ForkFailed (no process ever existed to run them) unless the
@@ -1544,7 +1585,7 @@ bool Runtime::settlePoolLeases() {
     ++Open;
   }
   if (Open == 0)
-    return true;
+    return RemoteOwned == 0;
   // Fork one replacement worker into the next respawn slot; if its fork
   // fails the budget still shrinks, so this loop terminates.
   int SlotIdx = RegionWorkers + RespawnsUsed++;
@@ -1628,12 +1669,18 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
                                      : MaxWorkers);
   W = std::max(1, std::min({W, MaxWorkers, N}));
 
+  // Distributed agents fork here, lazily, for the same reason zygotes
+  // do: the region body must already be part of their image.
+  if (NetServer)
+    spawnNetAgents();
+
   // Zygote nursery: eligible regions run on pre-forked parked workers
   // woken through the shared board — no per-region fork, no per-region
   // table mmap. Root tuning process only (a @split tp would need a
   // nursery of its own), bounded by the board's lease capacity.
   if (Opts.Zygotes > 0 && IsRoot && N <= ZygoteLeaseCap) {
     openZygoteRegion(N, N, W, N);
+    netOpenRegion();
     RegionActive = true;
     Body();
     assert(!RegionActive && "samplingRegion() body must call aggregate()");
@@ -1641,6 +1688,7 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
     return;
   }
   openPoolTable(W, N, N);
+  netOpenRegion();
 
   // Tuning side: run the body once ourselves. Sampling primitives no-op,
   // and the body's aggregate() call performs the supervision above.
@@ -1790,10 +1838,15 @@ void Runtime::regionBatch(int Regions, int N, const RegionOptions &Ro,
   // Workers may sample up to K regions ahead of the oldest undelivered
   // one; each completed delivery slides the window forward.
   int64_t ClaimInit = std::min<int64_t>(Total, static_cast<int64_t>(K) * N);
+  if (NetServer)
+    spawnNetAgents();
   if (Opts.Zygotes > 0 && IsRoot && Total <= ZygoteLeaseCap)
     openZygoteRegion(N, static_cast<int>(Total), W, ClaimInit);
   else
     openPoolTable(W, static_cast<int>(Total), ClaimInit);
+  // One lease window spans the whole batch, mirroring the local claim
+  // counter: agents roll across regions without a round-trip per region.
+  netOpenRegion();
 
   // Deliver each region in submission order. The body runs with exactly
   // the region identity sequential samplingRegion() calls would give it;
@@ -1826,6 +1879,7 @@ void Runtime::regionBatch(int Regions, int N, const RegionOptions &Ro,
             static_cast<uint64_t>(Regions));
 
   // The teardown aggregate() skipped for every delivery.
+  netCloseRegion();
   destroyRegionTable();
   RegionIsZygote = false;
   Ctl->releaseBarrierSlot(BarrierSlot);
@@ -1911,6 +1965,11 @@ void Runtime::zygoteLoop(int Slot, uint64_t StartGen) {
   SplitChildren.clear();
   ZygotesSpawned = false;
   ZygotePids.clear();
+  // Inherited agent connections are the server's, not ours; holding dup'd
+  // fds open would keep an agent from ever seeing a server-side EOF.
+  closeInheritedNetFds();
+  NetAgentPids.clear();
+  NetSpawned = false;
   auto *B = static_cast<ZygoteBoard *>(Ctl->auxRegion());
   Table = zygoteTableOf(B);
   TableBytes = 0;
@@ -2089,6 +2148,336 @@ void Runtime::shutdownZygotes() {
   ZygotePids.clear();
 }
 
+//===----------------------------------------------------------------------===//
+// Distributed sampling agents
+//===----------------------------------------------------------------------===//
+
+/// Forked children must not keep dup'd copies of the server's sockets:
+/// a connection the server closes would otherwise never read as EOF to
+/// its agent. closeAll() runs no lease-state callbacks, so this is safe
+/// in any child.
+void Runtime::closeInheritedNetFds() {
+  if (NetServer) {
+    NetServer->closeAll();
+    NetServer.reset();
+  }
+}
+
+/// Forks the agent processes, once, at the first net-eligible region —
+/// the same lazy-spawn idea as the zygote nursery, and with the same
+/// constraint: every later region must run the same body closure the
+/// agents were forked with. Agents take no pool slot (they stand in for
+/// remote machines, which would not share this host's pool either).
+void Runtime::spawnNetAgents() {
+  if (NetSpawned || !NetServer)
+    return;
+  NetSpawned = true;
+  uint16_t Port = NetServer->port();
+  for (unsigned I = 0; I != Opts.NetAgents; ++I) {
+    std::fflush(nullptr);
+    pid_t Pid = sys::forkProcess();
+    if (Pid < 0) {
+      Ctl->noteForkFailure();
+      std::fprintf(stderr,
+                   "wbtuner: fork failed for sampling agent %u: %s; "
+                   "continuing with fewer agents\n",
+                   I + 1, std::strerror(errno));
+      continue;
+    }
+    if (Pid == 0)
+      netAgentLoop(I + 1, Port); // never returns
+    NetAgentPids.push_back(Pid);
+  }
+}
+
+/// Root finish(): best-effort Shutdown broadcast (an idle agent exits
+/// cleanly), then SIGKILL + reap — an agent mid-lease runs no cleanup
+/// worth waiting for.
+void Runtime::shutdownNetAgents() {
+  if (NetServer)
+    NetServer->broadcastShutdown();
+  for (pid_t Pid : NetAgentPids) {
+    kill(Pid, SIGKILL);
+    int St = 0;
+    sys::waitPid(Pid, &St, 0);
+  }
+  NetAgentPids.clear();
+  NetSpawned = false;
+  NetServer.reset();
+}
+
+/// Opens the server's lease window over the region (or, in a batch, the
+/// whole flat lease space), so agents can start claiming. The window
+/// carries everything an agent needs to impersonate a local worker:
+/// batch geometry for the lease→region mapping and the sampling kind
+/// for stratified draws.
+void Runtime::netOpenRegion() {
+  if (!NetServer || !Table || !Table->PoolMode)
+    return;
+  NetServer->openRegion(TpId, Table->BatchBase,
+                        static_cast<uint32_t>(Table->BatchCount),
+                        static_cast<uint32_t>(Table->BatchN),
+                        static_cast<uint32_t>(RegionKind));
+}
+
+void Runtime::netCloseRegion() {
+  if (NetServer)
+    NetServer->closeRegion();
+}
+
+/// Server callback: claim up to \p Want leases for a remote agent.
+/// Returned leases first (the re-run path local workers also prefer),
+/// then the bounded shared counter — the identical policy of
+/// claimLeaseGated(), just batched. The claim marks (LsClaimed,
+/// Attempts) are applied here, in the tuning process, so by the time
+/// anyone else looks a remote claim is indistinguishable from a local
+/// one.
+std::vector<int64_t> Runtime::netClaimLeases(uint32_t Want) {
+  std::vector<int64_t> Out;
+  if (!Table || !Table->PoolMode || !RegionIsPool)
+    return Out;
+  LeaseCell *Leases = leasesOf(Table);
+  int N = Table->NumLeases;
+  while (Out.size() < Want) {
+    int64_t Idx = -1;
+    if (Table->LeasesReturned.load(std::memory_order_acquire) > 0) {
+      for (int I = 0; I != N; ++I) {
+        int32_t Expect = LsReturned;
+        if (Leases[I].State.compare_exchange_strong(
+                Expect, LsClaimed, std::memory_order_acq_rel)) {
+          Table->LeasesReturned.fetch_sub(1, std::memory_order_relaxed);
+          Idx = I;
+          break;
+        }
+      }
+    }
+    if (Idx < 0) {
+      int64_t Bound = std::min<int64_t>(
+          Table->ClaimLimit.load(std::memory_order_acquire), N);
+      Idx = Ctl->leaseClaimBounded(LeaseSlot, Bound);
+      if (Idx < 0)
+        break; // drained (or pipeline-gated): the agent re-asks later
+      Leases[Idx].State.store(LsClaimed, std::memory_order_relaxed);
+    }
+    Leases[Idx].Attempts.fetch_add(1, std::memory_order_relaxed);
+    Out.push_back(Idx);
+  }
+  return Out;
+}
+
+/// Server callback: apply one remotely run lease's result. The state CAS
+/// comes FIRST: a lease the supervisor already retired (deadline settle)
+/// must not land its payload — exactly-once means a late result is
+/// dropped whole, leaving no trace in the store.
+void Runtime::netApplyCommit(const net::LeaseResult &R) {
+  if (!Table || !Table->PoolMode || R.Lease < 0 ||
+      R.Lease >= Table->NumLeases)
+    return;
+  LeaseCell &L = leasesOf(Table)[R.Lease];
+  bool Committed = R.Outcome == net::LeaseOutcome::Committed;
+  int32_t Expect = LsClaimed;
+  if (!L.State.compare_exchange_strong(Expect,
+                                       Committed ? LsCommitted : LsPruned,
+                                       std::memory_order_acq_rel))
+    return;
+  if (!Committed)
+    return;
+  // Batch lease → (region, local sample index), same mapping the
+  // folding sweep uses; non-batch tables have BatchN == NumLeases so
+  // this degenerates to the identity.
+  uint64_t Reg = Table->BatchBase + static_cast<uint64_t>(R.Lease) /
+                                        static_cast<uint64_t>(Table->BatchN);
+  int Child = static_cast<int>(R.Lease % Table->BatchN);
+  for (const net::CommitVar &V : R.Vars) {
+    // Same slab-first routing as commitBytes() on the sampling side, so
+    // a remote commit's stored bytes are identical to a local one's.
+    if (Opts.Backend == StoreBackend::Shm) {
+      if (V.Bytes.size() <= Opts.ShmRecordThreshold) {
+        if (Ctl->slabCommit(TpId, Reg, V.Name, Child, V.Bytes.data(),
+                            V.Bytes.size(), false))
+          continue;
+      } else {
+        Ctl->noteSlabFallback(obs::FallbackReason::Oversized);
+      }
+    }
+    std::string Dir = regionDir(Reg);
+    makeDirOrWarn(Dir);
+    writeFileBytes(sampleFilePath(Dir, V.Name, Child), V.Bytes);
+  }
+}
+
+/// Server callback: a disconnected agent's still-owned lease. Inside the
+/// region budget it goes back to the pool through the same one-retry
+/// machinery that covers crashed local workers; past the deadline it is
+/// retired as timed out, and a second-time orphan as crashed.
+bool Runtime::netReturnLease(int64_t Lease) {
+  if (!Table || !Table->PoolMode || Lease < 0 || Lease >= Table->NumLeases)
+    return false;
+  LeaseCell &L = leasesOf(Table)[Lease];
+  int32_t Expect = LsClaimed;
+  if (regionDeadlinePassed()) {
+    L.State.compare_exchange_strong(Expect, LsTimedOut,
+                                    std::memory_order_acq_rel);
+    return false;
+  }
+  if (L.Attempts.load(std::memory_order_relaxed) < MaxLeaseAttempts) {
+    if (L.State.compare_exchange_strong(Expect, LsReturned,
+                                        std::memory_order_acq_rel)) {
+      Table->LeasesReturned.fetch_add(1, std::memory_order_release);
+      Ctl->noteLeaseReclaim();
+      traceEmit(obs::EventKind::LeaseReclaim, static_cast<uint64_t>(Lease));
+      return true;
+    }
+    return false;
+  }
+  L.State.compare_exchange_strong(Expect, LsCrashed,
+                                  std::memory_order_acq_rel);
+  return false;
+}
+
+/// An agent's whole life: connect, Hello, then claim lease ranges and
+/// stream CommitBatch frames back until Shutdown. The agent never
+/// touches the lease table, the slab, or the pool gate — its only use of
+/// the inherited shared mapping is lock-free trace emission. Any socket
+/// failure (injected partitions and torn frames included) resets to a
+/// clean reconnect; whatever it had claimed has already been handed back
+/// by the server's disconnect path.
+void Runtime::netAgentLoop(uint32_t AgentId, uint16_t Port) {
+  Mode = ModeKind::Sampling;
+  NetAgentMode = true;
+  PoolWorker = false;
+  WorkerIndex = -1;
+  SplitChildren.clear();
+  // The region tables and the nursery belong to the tuning process.
+  Table = nullptr;
+  TableBytes = 0;
+  ZygotesSpawned = false;
+  NumZygotes = 0;
+  ZygotePids.clear();
+  closeInheritedNetFds();
+  NetAgentPids.clear();
+  if (inject::armed())
+    inject::tagProcess(mixSeed(TpId, 0xA6E47ULL + AgentId));
+  net::AgentChannel Chan(Opts.NetListenAddress, Port, AgentId);
+  net::RegionOpenMsg Region;
+  bool WindowOpen = false;
+  std::vector<uint8_t> Payload;
+  for (;;) {
+    if (!Chan.connected() && !Chan.ensureConnected())
+      break; // the server is gone for good
+    if (!WindowOpen) {
+      // Park on the wire until the next window (or Shutdown).
+      if (!Chan.recvFrame(Payload))
+        continue;
+      if (net::frameType(Payload) == net::FrameType::Shutdown)
+        break;
+      if (net::frameType(Payload) == net::FrameType::RegionOpen &&
+          net::decodeRegionOpen(Payload, Region))
+        WindowOpen = true;
+      continue;
+    }
+    net::ClaimReqMsg Req;
+    Req.Gen = Region.Gen;
+    Req.Want = std::max(1u, Opts.NetLeaseChunk);
+    if (!Chan.sendFrame(net::encodeClaimReq(Req)))
+      continue;
+    // Wait for the matching ClaimResp; a RegionOpen or RegionClose
+    // arriving instead moves the window and abandons this claim.
+    net::ClaimRespMsg Resp;
+    bool HaveResp = false;
+    while (Chan.recvFrame(Payload)) {
+      net::FrameType T = net::frameType(Payload);
+      if (T == net::FrameType::ClaimResp) {
+        HaveResp =
+            net::decodeClaimResp(Payload, Resp) && Resp.Gen == Region.Gen;
+        break;
+      }
+      if (T == net::FrameType::RegionOpen) {
+        if (net::decodeRegionOpen(Payload, Region))
+          break; // newer window: re-ask under its generation
+        continue;
+      }
+      if (T == net::FrameType::RegionClose) {
+        uint64_t Gen = 0;
+        if (net::decodeRegionClose(Payload, Gen) && Gen == Region.Gen)
+          WindowOpen = false;
+        break;
+      }
+      if (T == net::FrameType::Shutdown) {
+        std::fflush(nullptr);
+        _exit(0);
+      }
+    }
+    if (!HaveResp)
+      continue;
+    if (Resp.Closed) {
+      WindowOpen = false;
+      continue;
+    }
+    if (Resp.Leases.empty()) {
+      // The local pool drained the counter for now (or the pipeline gate
+      // is down): ask again shortly instead of hammering the server.
+      ::usleep(1000);
+      continue;
+    }
+    net::CommitBatchMsg Batch;
+    Batch.Gen = Region.Gen;
+    for (int64_t Idx : Resp.Leases)
+      Batch.Leases.push_back(netRunLease(Region, Idx));
+    // The frame tracepoint fires BEFORE the send: a `tp.net.frame:kill`
+    // plan kills the agent with results computed but the commit frame
+    // unsent — exactly the lease loss the reclaim machinery must eat.
+    traceEmit(obs::EventKind::NetCommitFrame,
+              static_cast<uint64_t>(Batch.Leases.size()), Region.Gen);
+    Chan.sendFrame(net::encodeCommitBatch(Batch));
+  }
+  std::fflush(nullptr);
+  Ctl->childEventNotify();
+  _exit(0);
+}
+
+/// Runs one remotely claimed lease, impersonating the local worker that
+/// would have run it: same region identity, same region-local child
+/// index, same per-lease RNG reseed — so remote draws are bitwise-
+/// identical to local ones and mixed regions aggregate equivalently.
+net::LeaseResult Runtime::netRunLease(const net::RegionOpenMsg &Region,
+                                      int64_t Idx) {
+  net::LeaseResult Out;
+  Out.Lease = Idx;
+  uint64_t Reg = Region.Base + static_cast<uint64_t>(Idx) / Region.N;
+  int Local = static_cast<int>(static_cast<uint64_t>(Idx) % Region.N);
+  RegionCounter = Reg;
+  RegionDirPath.clear(); // agents never touch the file store
+  RegionN = static_cast<int>(Region.N);
+  RegionKind = static_cast<SamplingKind>(Region.Kind);
+  ChildIndex = Local;
+  LeaseIndex = static_cast<int>(Idx);
+  RegionActive = true;
+  AgentVars.clear();
+  AgentCommitted = false;
+  traceEmit(obs::EventKind::LeaseBegin, RegionCounter,
+            static_cast<uint64_t>(Idx));
+  TheRng = Rng(mixSeed(mixSeed(Opts.Seed, Region.TpId),
+                       (RegionCounter << 20) + static_cast<uint64_t>(Local)));
+  try {
+    RegionBody();
+    // Falling out of the body without aggregate() is a voluntary prune,
+    // exactly as for local workers.
+  } catch (const LeaseEnd &) {
+  }
+  traceEmit(obs::EventKind::LeaseEnd, RegionCounter,
+            static_cast<uint64_t>(Idx),
+            static_cast<uint16_t>(AgentCommitted ? LsCommitted : LsPruned));
+  RegionActive = false;
+  Out.Outcome = AgentCommitted ? net::LeaseOutcome::Committed
+                               : net::LeaseOutcome::Pruned;
+  Out.Vars = std::move(AgentVars);
+  AgentVars.clear();
+  ChildIndex = -1;
+  LeaseIndex = -1;
+  return Out;
+}
+
 double Runtime::sample(const std::string &Name, const Distribution &D) {
   assert(Inited && "sample() before init()");
   // Rule [SAMPLE] applies only in sampling processes; the tuning process
@@ -2114,6 +2503,12 @@ void Runtime::check(bool Ok) {
   // Rule [CHECK] applies only in sampling processes.
   if (!isSampling() || Ok)
     return;
+  if (NetAgentMode) {
+    // Prune only the current remote lease; the agent survives to run the
+    // rest of its claimed range. AgentCommitted stays false, which is
+    // what the CommitBatch frame reports as Pruned.
+    throw LeaseEnd();
+  }
   if (PoolWorker) {
     // Prune only the current lease; the worker survives to claim the
     // next sample index.
@@ -2130,7 +2525,7 @@ void Runtime::sync(const std::function<void()> &BarrierCb) {
   assert(Inited && RegionActive && "sync() outside a sampling region");
   // A pool worker runs its leases one after another, so there is no
   // moment when all samples exist to meet at a barrier.
-  assert(!(Table && Table->PoolMode) &&
+  assert(!(Table && Table->PoolMode) && !NetAgentMode &&
          "sync() is not supported in worker-pool regions");
   if (isSampling()) {
     // Rule [SYNC-S]: notify the tuning process, wait to be released. The
@@ -2163,6 +2558,12 @@ void Runtime::sync(const std::function<void()> &BarrierCb) {
 /// writes to a temp file and renames.
 void Runtime::commitBytes(const std::string &Var,
                           const std::vector<uint8_t> &Bytes) {
+  // Remote agent: commits ride the CommitBatch frame, not the store —
+  // the server applies them tuning-side through this same routing.
+  if (NetAgentMode) {
+    AgentVars.push_back({Var, Bytes});
+    return;
+  }
   double T0 = monoNow();
   bool FellBack = false;
   obs::FallbackReason Why = obs::FallbackReason::Exhausted;
@@ -2213,6 +2614,16 @@ void Runtime::aggregate(const std::string &Var,
                         const std::function<void(AggregationView &)> &Cb) {
   assert(Inited && RegionActive && "aggregate() outside a sampling region");
   if (isSampling()) {
+    // Rule [AGGR-S] on a remote agent: the commit is captured for the
+    // next CommitBatch frame instead of the store, and the lease body
+    // unwinds back into the claim loop. The tuning-side server routes
+    // the payload through the same slab/file machinery a local child
+    // would have used, so the stored bytes are identical.
+    if (NetAgentMode) {
+      commitBytes(Var, Bytes);
+      AgentCommitted = true;
+      throw LeaseEnd();
+    }
     // Rule [AGGR-S]: commit this run's outcome and terminate. The commit
     // is atomic under either backend (slab publish word / temp file +
     // rename), so dying mid-write can never leave a torn record that
@@ -2276,9 +2687,13 @@ void Runtime::aggregate(const std::string &Var,
     // full 50 ms of dead time per region).
     uint64_t EventsSeen = Ctl->childEventCount();
     int Live = sweepChildren();
-    if (Batched && windowSettled() && (!LastDelivery || Live == 0))
+    // Remote agents hold no worker slot, so Live == 0 says nothing about
+    // them: while the server still has owned leases, keep pumping — the
+    // plain settle path would busy-spin without ever reading the wire.
+    bool NetBusy = NetServer && NetServer->busy();
+    if (Batched && windowSettled() && (!LastDelivery || (Live == 0 && !NetBusy)))
       break;
-    if (Live == 0) {
+    if (Live == 0 && !NetBusy) {
       if (!RegionIsPool || settlePoolLeases())
         break;
       continue;
@@ -2287,9 +2702,22 @@ void Runtime::aggregate(const std::string &Var,
       killStragglers();
       if (RegionIsPool)
         markLeasesTimedOut();
+      // Remotely owned leases were just retired as timed out; dropping
+      // the connections lets the Return callback agree (past-deadline
+      // returns retire) and unblocks the settle gate above. The agents
+      // reconnect on their own for the next region.
+      if (NetServer && NetServer->regionOpen())
+        NetServer->dropConnections();
       continue;
     }
-    Ctl->childEventWaitTimed(50, EventsSeen);
+    if (NetServer && NetServer->regionOpen()) {
+      // One poll covers agent frames, new connections, AND the local
+      // child-event fd, so local wakeups keep their sub-50ms latency.
+      NetServer->pump(50, Ctl->eventFd());
+      Ctl->eventFdDrain();
+    } else {
+      Ctl->childEventWaitTimed(50, EventsSeen);
+    }
   }
   discardSpares();
 
@@ -2339,6 +2767,7 @@ void Runtime::aggregate(const std::string &Var,
   if (!Batched) {
     // A batch keeps its table, worker set, and lease/barrier slots alive
     // across deliveries; regionBatch() tears them down after the last.
+    netCloseRegion();
     destroyRegionTable();
     RegionIsZygote = false;
     Ctl->releaseBarrierSlot(BarrierSlot);
@@ -2452,6 +2881,11 @@ bool Runtime::split() {
   ZygotePids.clear();
   ZygoteRespawnsLeft = 0;
   RegionIsZygote = false;
+  // So do the lease server and its agents: drop the inherited fds
+  // without running any lease-state callbacks.
+  closeInheritedNetFds();
+  NetAgentPids.clear();
+  NetSpawned = false;
   TheRng = Rng(mixSeed(Opts.Seed, 0x5117 + TpId));
   return true;
 }
@@ -2497,6 +2931,8 @@ obs::RuntimeMetrics Runtime::metrics() const {
   M.SlabEpochHighWater = Ctl->slabEpochRecordsHighWater();
   M.ThpGranted = Ctl->thpGranted();
   M.ThpDeclined = Ctl->thpDeclined();
+  M.HugetlbGranted = Ctl->hugetlbGranted();
+  M.HugetlbDeclined = Ctl->hugetlbDeclined();
   M.ZygoteRespawns = Ctl->zygoteRespawnsTotal();
   M.ZygoteRestores = Ctl->zygoteRestoresTotal();
   M.RemoveFailures = removeTreeFailures();
@@ -2504,6 +2940,14 @@ obs::RuntimeMetrics Runtime::metrics() const {
   M.TraceDrops = Ctl->traceDropsTotal();
   M.ForkLatency = Ctl->forkLatencySnapshot();
   M.CommitLatency = Ctl->commitLatencySnapshot();
+  M.NetAgents = NetAgentPids.size();
+  if (NetServer) {
+    const net::NetStats &NS = NetServer->stats();
+    M.NetReconnects = NS.Reconnects;
+    M.NetRemoteLeases = NS.RemoteLeases;
+    M.NetLeasesReturned = NS.LeasesReturned;
+    M.NetFrames = NS.Frames;
+  }
   return M;
 }
 

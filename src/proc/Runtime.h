@@ -76,6 +76,7 @@
 
 #include "aggregate/Aggregators.h"
 #include "inject/Inject.h"
+#include "net/Wire.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "param/Distribution.h"
@@ -92,6 +93,10 @@
 #include <vector>
 
 namespace wbt {
+namespace net {
+class LeaseServer;
+} // namespace net
+
 namespace proc {
 
 class SharedControl;
@@ -216,11 +221,29 @@ struct RuntimeOptions {
   /// nursery degrades to plain forked respawn workers.
   unsigned ZygoteRespawnBudget = 8;
   /// Ask the kernel to back the shared control block (commit slab +
-  /// trace ring) with transparent huge pages (madvise(MADV_HUGEPAGE)).
-  /// Advisory: shmem THP is a kernel policy knob, so the request may be
-  /// declined — the run proceeds on regular pages and the outcome is
-  /// surfaced as RuntimeMetrics::ThpGranted / ThpDeclined.
+  /// trace ring) with huge pages. init() first tries an explicit
+  /// hugetlbfs reservation (mmap(MAP_HUGETLB)); when no huge-page pool
+  /// is configured it falls back to transparent huge pages
+  /// (madvise(MADV_HUGEPAGE)). Both outcomes are advisory and surfaced
+  /// as RuntimeMetrics::HugetlbGranted/Declined and ThpGranted/Declined
+  /// — the run proceeds on regular pages either way.
   bool HugePages = false;
+  /// Remote sampling agents (distributed lease protocol, src/net): the
+  /// root tuning process opens a TCP lease server and forks this many
+  /// agent processes — stand-ins for agents on other hosts — at the
+  /// first worker-pool region. Agents claim lease ranges over the wire,
+  /// run the region body locally, and stream commits back in batched
+  /// frames that fold exactly like local shm-slab records, so mixed
+  /// local/remote regions aggregate bitwise-identically. Root tuning
+  /// process only; worker-pool regions (samplingRegion / regionBatch)
+  /// only. 0 disables the net path entirely.
+  unsigned NetAgents = 0;
+  /// Listen address of the lease server (localhost simulation by
+  /// default; the protocol itself does not care where agents run).
+  std::string NetListenAddress = "127.0.0.1";
+  /// Lease-range size an agent claims per round trip — the wire
+  /// analogue of regionBatch() amortizing supervisor wakes.
+  unsigned NetLeaseChunk = 8;
 };
 
 /// Per-region overrides for sampling().
@@ -650,6 +673,24 @@ private:
   int openZygoteRegion(int N, int TotalLeases, int MaxW, int64_t ClaimInit);
   void shutdownZygotes();
 
+  // Distributed sampling agents (src/net; root tuning side except
+  // netAgentLoop, which is an agent's whole life).
+  void spawnNetAgents();
+  void shutdownNetAgents();
+  /// Opens/closes the server's lease window over the current pool table.
+  void netOpenRegion();
+  void netCloseRegion();
+  /// Server callbacks (run in the root tuning process, from pump()).
+  std::vector<int64_t> netClaimLeases(uint32_t Want);
+  void netApplyCommit(const net::LeaseResult &R);
+  bool netReturnLease(int64_t Lease);
+  /// Forked children must not hold the server's descriptors: a dup of a
+  /// connection fd would keep the socket alive past the server's close,
+  /// so a dropped agent never sees EOF.
+  void closeInheritedNetFds();
+  [[noreturn]] void netAgentLoop(uint32_t AgentId, uint16_t Port);
+  net::LeaseResult netRunLease(const net::RegionOpenMsg &Region, int64_t Idx);
+
   RuntimeOptions Opts;
   std::unique_ptr<SharedControl> Ctl;
   bool Inited = false;
@@ -703,6 +744,17 @@ private:
   std::vector<pid_t> ZygotePids; // per nursery slot; 0 = dead
   unsigned ZygoteRespawnsLeft = 0;
   bool RegionIsZygote = false; // current region runs on the board
+
+  // Distributed-agent state. The server lives in the root tuning
+  // process only; NetAgentMode marks a forked agent process, whose
+  // commits are captured into AgentVars and shipped over the wire
+  // instead of touching the store.
+  std::unique_ptr<net::LeaseServer> NetServer;
+  std::vector<pid_t> NetAgentPids;
+  bool NetSpawned = false;   // agents forked (first eligible region)
+  bool NetAgentMode = false; // this process is a remote sampling agent
+  std::vector<net::CommitVar> AgentVars; // current lease's commits
+  bool AgentCommitted = false; // current lease reached aggregate()
 
   // Aggregation-store state of the current region.
   std::string RegionDirPath; // cached regionDir(RegionCounter)

@@ -9,8 +9,10 @@
 #include "inject/Sys.h"
 
 #include <signal.h>
+#include <sys/eventfd.h>
 #include <sys/mman.h>
 #include <time.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
@@ -162,7 +164,10 @@ struct SharedLayout {
   std::atomic<uint64_t> SlabRetiredBytes;
   std::atomic<uint64_t> SlabEpochRecHW; // largest single-epoch record count
 
-  // Transparent-huge-page advice outcome (SlabConfig::HugePages).
+  // Huge-page backing outcome (SlabConfig::HugePages): the explicit
+  // hugetlbfs reservation attempt, then the THP advice fallback.
+  std::atomic<uint64_t> HugetlbGranted;
+  std::atomic<uint64_t> HugetlbDeclined;
   std::atomic<uint64_t> ThpGranted;
   std::atomic<uint64_t> ThpDeclined;
 
@@ -200,6 +205,8 @@ static wbt::obs::TraceRingLayout *traceRing(SharedLayout *L) {
 SharedControl::~SharedControl() {
   if (Layout)
     munmap(Layout, MappedBytes);
+  if (EventFd >= 0)
+    close(EventFd);
 }
 
 void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
@@ -215,23 +222,46 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   uint64_t AuxByteOff =
       alignUp8(TraceByteOff + obs::traceRingBytes(Trace.Records));
   MappedBytes = AuxByteOff + AuxBytes;
-  // assert() compiles out under NDEBUG; a failed mapping here must be
-  // loud in every build type — nothing downstream can run without it.
-  void *Mem = sys::mmapShared(MappedBytes);
-  if (Mem == MAP_FAILED)
-    sys::fatal("mmap of shared control block (%zu bytes) failed: %s",
-               MappedBytes, std::strerror(errno));
-  // Advise huge pages before first touch so the initial memset can fault
-  // the mapping in as huge pages. Advisory only: anonymous MAP_SHARED
-  // memory is shmem, whose THP policy is a kernel knob — madvise may
-  // succeed or fail (EINVAL on old kernels), and either way the run
-  // proceeds; the outcome is only counted.
-  bool ThpAsked = false, ThpOk = false;
+  // Huge-page backing, strongest first: an explicit hugetlbfs mapping
+  // reserves its 2 MiB pages up front, so a machine with no huge-page
+  // pool configured — the common case — fails right here and falls back
+  // cleanly. The attempt bypasses the inject mmap site on purpose: a
+  // declined reservation is normal operation, not a schedulable fault,
+  // and the fallback mmap below still goes through the wrapper.
+  bool HtlbAsked = false, HtlbOk = false;
+  void *Mem = MAP_FAILED;
+#ifdef MAP_HUGETLB
   if (Slab.HugePages) {
-    ThpAsked = true;
-#ifdef MADV_HUGEPAGE
-    ThpOk = madvise(Mem, MappedBytes, MADV_HUGEPAGE) == 0;
+    constexpr uint64_t HugePageBytes = uint64_t(2) << 20;
+    uint64_t Rounded = (MappedBytes + HugePageBytes - 1) & ~(HugePageBytes - 1);
+    HtlbAsked = true;
+    Mem = ::mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (Mem != MAP_FAILED) {
+      HtlbOk = true;
+      MappedBytes = Rounded; // the destructor must munmap whole pages
+    }
+  }
 #endif
+  bool ThpAsked = false, ThpOk = false;
+  if (Mem == MAP_FAILED) {
+    // assert() compiles out under NDEBUG; a failed mapping here must be
+    // loud in every build type — nothing downstream can run without it.
+    Mem = sys::mmapShared(MappedBytes);
+    if (Mem == MAP_FAILED)
+      sys::fatal("mmap of shared control block (%zu bytes) failed: %s",
+                 MappedBytes, std::strerror(errno));
+    // Advise huge pages before first touch so the initial memset can fault
+    // the mapping in as huge pages. Advisory only: anonymous MAP_SHARED
+    // memory is shmem, whose THP policy is a kernel knob — madvise may
+    // succeed or fail (EINVAL on old kernels), and either way the run
+    // proceeds; the outcome is only counted.
+    if (Slab.HugePages) {
+      ThpAsked = true;
+#ifdef MADV_HUGEPAGE
+      ThpOk = madvise(Mem, MappedBytes, MADV_HUGEPAGE) == 0;
+#endif
+    }
   }
   std::memset(Mem, 0, MappedBytes);
   Layout = static_cast<SharedLayout *>(Mem);
@@ -239,6 +269,9 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   Layout->SlabArenaCap = Slab.ArenaBytes;
   Layout->SlabRecByteOff = RecByteOff;
   Layout->SlabArenaByteOff = ArenaByteOff;
+  if (HtlbAsked)
+    (HtlbOk ? Layout->HugetlbGranted : Layout->HugetlbDeclined)
+        .fetch_add(1, std::memory_order_relaxed);
   if (ThpAsked)
     (ThpOk ? Layout->ThpGranted : Layout->ThpDeclined)
         .fetch_add(1, std::memory_order_relaxed);
@@ -271,6 +304,10 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
   Layout->LeaseFreeCount = NumLeaseSlots;
 
   Layout->ChildEventLock.init();
+  // Poll-compatible mirror of the child-event condvar for the net lease
+  // server's pump. Best effort: if the kernel refuses, the pump degrades
+  // to its bounded poll timeout, exactly like the condvar's timed wait.
+  EventFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
 
   for (ScalarCell &C : Layout->Scalars) {
     C.Lock.init();
@@ -577,6 +614,21 @@ void SharedControl::childEventNotify() {
   ++Layout->ChildEvents;
   pthread_cond_broadcast(&Layout->ChildEventLock.Cond);
   pthread_mutex_unlock(&Layout->ChildEventLock.Mutex);
+  if (EventFd >= 0) {
+    // Forked children inherit the descriptor, so their notifies wake a
+    // root poll too. EAGAIN (saturated counter) still leaves it readable.
+    uint64_t One = 1;
+    ssize_t R = write(EventFd, &One, sizeof(One));
+    (void)R;
+  }
+}
+
+void SharedControl::eventFdDrain() {
+  if (EventFd < 0)
+    return;
+  uint64_t V = 0;
+  ssize_t R = read(EventFd, &V, sizeof(V)); // non-blocking; EAGAIN is fine
+  (void)R;
 }
 
 uint64_t SharedControl::childEventCount() const {
@@ -785,6 +837,14 @@ uint64_t SharedControl::thpGranted() const {
 
 uint64_t SharedControl::thpDeclined() const {
   return Layout->ThpDeclined.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::hugetlbGranted() const {
+  return Layout->HugetlbGranted.load(std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::hugetlbDeclined() const {
+  return Layout->HugetlbDeclined.load(std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//

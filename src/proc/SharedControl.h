@@ -81,11 +81,13 @@ struct SlabConfig {
   size_t Records = 4096;
   /// Payload arena bytes shared by all records.
   size_t ArenaBytes = 1u << 20;
-  /// Ask the kernel for transparent huge pages over the whole control
-  /// mapping (madvise(MADV_HUGEPAGE) — the slab arena and trace ring
-  /// dominate it). Advisory: the kernel may decline (shmem THP policy,
-  /// old kernels); the outcome is counted in thpGranted()/thpDeclined()
-  /// and the run proceeds on regular pages either way.
+  /// Back the control mapping with huge pages. init() first tries an
+  /// explicit hugetlbfs reservation (mmap(MAP_HUGETLB), counted in
+  /// hugetlbGranted()/hugetlbDeclined()); when no huge-page pool is
+  /// configured — the common case — it falls back to transparent huge
+  /// pages (madvise(MADV_HUGEPAGE), counted in thpGranted()/
+  /// thpDeclined()). Both are best-effort: the run proceeds on regular
+  /// pages either way.
   bool HugePages = false;
 };
 
@@ -266,6 +268,17 @@ public:
   /// advanced past \p Seen (a childEventCount() snapshot).
   void childEventWaitTimed(int TimeoutMs, uint64_t Seen);
 
+  /// An eventfd mirrored with the child-event condvar: childEventNotify()
+  /// also writes it, so a poll(2) loop (the net lease server's pump) can
+  /// wake instantly on local child events alongside socket readiness.
+  /// Non-blocking; forked children inherit the descriptor. The counter is
+  /// left readable until eventFdDrain(), so an event posted during a
+  /// sweep makes the next poll return immediately instead of being lost
+  /// until the timeout. -1 before init().
+  int eventFd() const { return EventFd; }
+  /// Consumes the eventfd counter after a poll has observed it.
+  void eventFdDrain();
+
   void noteCrash();
   void noteTimeout();
   void noteForkFailure();
@@ -341,6 +354,14 @@ public:
   uint64_t thpGranted() const;
   uint64_t thpDeclined() const;
 
+  /// Explicit hugetlbfs outcome counters: granted when init()'s
+  /// mmap(MAP_HUGETLB) reservation succeeded (the mapping *is* huge
+  /// pages, not merely advised), declined when the kernel refused —
+  /// typically an unconfigured huge-page pool — and init() fell back to
+  /// the madvise path above.
+  uint64_t hugetlbGranted() const;
+  uint64_t hugetlbDeclined() const;
+
   //===--------------------------------------------------------------------===
   // Observability: trace ring + metric cells (src/obs).
   //===--------------------------------------------------------------------===
@@ -394,6 +415,7 @@ public:
 private:
   SharedLayout *Layout = nullptr;
   size_t MappedBytes = 0;
+  int EventFd = -1;
 };
 
 } // namespace proc

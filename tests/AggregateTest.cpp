@@ -144,6 +144,58 @@ TEST(MeanVectorAccumulatorTest, ElementwiseMean) {
   EXPECT_DOUBLE_EQ(Out[1], 20.0);
 }
 
+TEST(TournamentTest, KindName) {
+  EXPECT_STREQ(aggregationKindName(AggregationKind::Tournament),
+               "TOURNAMENT");
+}
+
+TEST(TournamentTest, EmptyReturnsSentinel) {
+  EXPECT_EQ(tournamentSelect({}), static_cast<size_t>(-1));
+}
+
+TEST(TournamentTest, PicksDominantConfig) {
+  // Minimizing: config 1 is strictly better on every sample.
+  std::vector<std::vector<double>> Configs{{5.0, 6.0, 7.0}, {1.0, 2.0, 3.0}};
+  EXPECT_EQ(tournamentSelect(Configs, /*Minimize=*/true), 1u);
+  EXPECT_EQ(tournamentSelect(Configs, /*Minimize=*/false), 0u);
+}
+
+TEST(TournamentTest, RobustWhereAvgIsNot) {
+  // A: constant 1.0. B: 0.5 in 9 of 10 runs, one 10.0 outlier (a remote
+  // sample hit by a network hiccup). mean(B) = 1.45 > mean(A), so AVG
+  // picks A — the wrong config. B wins 90% of cross pairs, so the
+  // tournament picks B.
+  std::vector<double> A(10, 1.0);
+  std::vector<double> B(9, 0.5);
+  B.push_back(10.0);
+  EXPECT_LT(aggregateAvg(A), aggregateAvg(B));
+  EXPECT_EQ(tournamentSelect({A, B}, /*Minimize=*/true), 1u);
+}
+
+TEST(TournamentTest, MeanBreaksDrawnDuels) {
+  // Every duel here is exactly drawn (win rate 0.5), so the Copeland
+  // scores tie and the mean tie-break decides: config 2's mean (2.95)
+  // is the lowest.
+  std::vector<std::vector<double>> Configs{{2.0, 4.0}, {4.0, 2.0},
+                                           {3.0, 2.9}};
+  EXPECT_EQ(tournamentSelect(Configs, /*Minimize=*/true), 2u);
+}
+
+TEST(TournamentAccumulatorTest, MatchesOneShotSelect) {
+  std::vector<std::vector<double>> Configs{
+      {1.0, 1.0, 1.0}, {0.5, 0.5, 9.0}, {2.0, 2.0, 2.0}};
+  TournamentAccumulator Acc;
+  for (size_t C = 0; C != Configs.size(); ++C)
+    for (double X : Configs[C])
+      Acc.add(C, X);
+  EXPECT_EQ(Acc.configs(), 3u);
+  EXPECT_EQ(Acc.runs(), 9u);
+  EXPECT_EQ(Acc.result(/*Minimize=*/true), tournamentSelect(Configs, true));
+  Acc.reset();
+  EXPECT_EQ(Acc.result(), static_cast<size_t>(-1));
+  EXPECT_EQ(Acc.runs(), 0u);
+}
+
 TEST(RingBufferTest, FifoOrderSingleThread) {
   RingBuffer<int> B(4);
   B.push(1);

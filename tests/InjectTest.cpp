@@ -19,6 +19,7 @@
 
 #include <dirent.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -114,6 +115,34 @@ TEST(InjectPlan, ParsesTracePointAndRawErrno) {
   EXPECT_EQ(P.Clauses[1].Budget, -1); // *0 = unlimited
 }
 
+TEST(InjectPlan, ParsesSocketSites) {
+  // The distributed lease protocol's syscalls: ordinal and probability
+  // selectors both apply, and 'short' at the send site models a frame
+  // torn mid-wire (half the bytes land, then the connection dies).
+  inject::Plan P;
+  std::string Err;
+  ASSERT_TRUE(inject::parsePlan("socket@n1:EMFILE;connect@n1:ECONNREFUSED;"
+                                "accept@n2:ETIMEDOUT;recv@p0.5:ECONNRESET*4;"
+                                "send@n3:short",
+                                P, Err))
+      << Err;
+  ASSERT_EQ(P.Clauses.size(), 5u);
+  EXPECT_EQ(P.Clauses[0].S, inject::Site::Socket);
+  EXPECT_EQ(P.Clauses[0].Err, EMFILE);
+  EXPECT_EQ(P.Clauses[1].S, inject::Site::Connect);
+  EXPECT_EQ(P.Clauses[1].FromNth, 1u);
+  EXPECT_EQ(P.Clauses[1].Err, ECONNREFUSED);
+  EXPECT_EQ(P.Clauses[2].S, inject::Site::Accept);
+  EXPECT_EQ(P.Clauses[2].Err, ETIMEDOUT);
+  EXPECT_EQ(P.Clauses[3].S, inject::Site::Recv);
+  EXPECT_DOUBLE_EQ(P.Clauses[3].P, 0.5);
+  EXPECT_EQ(P.Clauses[3].Budget, 4);
+  EXPECT_EQ(P.Clauses[3].Err, ECONNRESET);
+  EXPECT_EQ(P.Clauses[4].S, inject::Site::Send);
+  EXPECT_TRUE(P.Clauses[4].Short);
+  EXPECT_EQ(P.Clauses[4].Err, EPIPE); // send-short default: peer died
+}
+
 TEST(InjectPlan, EmptyPlanParsesToNoClauses) {
   inject::Plan P;
   std::string Err;
@@ -134,7 +163,7 @@ TEST(InjectPlan, RejectsMalformedPlans) {
       "waitpid@p1.5:EINTR",      // probability out of range
       "waitpid@n1:EWHATEVER",    // unknown errno name
       "fork@n1:kill",            // kill outside tp.*
-      "fork@n1:short",           // short outside write
+      "fork@n1:short",           // short outside write/send
       "tp.sample.begin@n1:EIO",  // tp supports only kill
       "waitpid@n1:EINTR*x",      // bad budget
       "seed=banana",             // bad seed
@@ -287,6 +316,69 @@ int scenarioShortWriteDiscardsTempFile() {
 
 TEST(InjectSys, ShortWriteFailsAtomically) {
   EXPECT_EQ(runScenario(scenarioShortWriteDiscardsTempFile), 0);
+}
+
+int scenarioTornSendPutsHalfOnTheWire() {
+  // An injected short send must behave like a real mid-frame death: the
+  // first half of the buffer reaches the peer, then the sender sees
+  // EPIPE. The receiving FrameBuffer is what turns that torn prefix
+  // into "incomplete frame, wait for more" instead of corruption.
+  int Sv[2];
+  CHECK_OR(socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) == 0, 2);
+  std::string E;
+  CHECK_OR(inject::armText("send@n1:short", E), 3);
+
+  std::vector<uint8_t> Buf(4096, 0xCD);
+  errno = 0;
+  CHECK_OR(sys::sendBytes(Sv[0], Buf.data(), Buf.size()) == -1, 4);
+  CHECK_OR(errno == EPIPE, 5);
+
+  // Exactly half the frame is on the wire (drain with the budget spent).
+  std::vector<uint8_t> Got(Buf.size(), 0);
+  ssize_t R = sys::recvBytes(Sv[1], Got.data(), Got.size());
+  CHECK_OR(R == static_cast<ssize_t>(Buf.size() / 2), 6);
+
+  // Budget exhausted: the next send delivers the full buffer.
+  CHECK_OR(sys::sendBytes(Sv[0], Buf.data(), Buf.size()) ==
+               static_cast<ssize_t>(Buf.size()),
+           7);
+  R = sys::recvBytes(Sv[1], Got.data(), Got.size());
+  CHECK_OR(R == static_cast<ssize_t>(Buf.size()), 8);
+  inject::disarm();
+  close(Sv[0]);
+  close(Sv[1]);
+  return 0;
+}
+
+TEST(InjectSys, TornSendPutsHalfOnTheWire) {
+  EXPECT_EQ(runScenario(scenarioTornSendPutsHalfOnTheWire), 0);
+}
+
+int scenarioRecvFaultLeavesStreamIntact() {
+  // An injected recv failure surfaces the errno without consuming the
+  // stream: once the budget is spent, the queued bytes read back whole
+  // (the reconnecting agent re-reads them after its next Hello).
+  int Sv[2];
+  CHECK_OR(socketpair(AF_UNIX, SOCK_STREAM, 0, Sv) == 0, 2);
+  const char Msg[] = "lease-frame";
+  CHECK_OR(send(Sv[0], Msg, sizeof(Msg), 0) == sizeof(Msg), 3);
+
+  std::string E;
+  CHECK_OR(inject::armText("recv@n1:ECONNRESET", E), 4);
+  char Got[64] = {0};
+  errno = 0;
+  CHECK_OR(sys::recvBytes(Sv[1], Got, sizeof(Got)) == -1, 5);
+  CHECK_OR(errno == ECONNRESET, 6);
+  CHECK_OR(sys::recvBytes(Sv[1], Got, sizeof(Got)) == sizeof(Msg), 7);
+  CHECK_OR(std::string(Got) == Msg, 8);
+  inject::disarm();
+  close(Sv[0]);
+  close(Sv[1]);
+  return 0;
+}
+
+TEST(InjectSys, RecvFaultLeavesStreamIntact) {
+  EXPECT_EQ(runScenario(scenarioRecvFaultLeavesStreamIntact), 0);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,499 @@
+//===- tests/NetTest.cpp - distributed lease protocol tests ---------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+// Coverage for the src/net subsystem and its Runtime integration:
+//   - wire codec roundtrips (every frame type, including the Kind field
+//     stratified draws need) and FrameBuffer stream reassembly under
+//     split delivery, torn frames, and corrupt length prefixes,
+//   - a mixed local+remote region commits bitwise-identical results to a
+//     local-only run (Random and Stratified), with remote agents
+//     demonstrably participating,
+//   - an agent SIGKILLed mid-commit-frame leaves its leases reclaimable:
+//     the run still commits every sample exactly once,
+//   - injected connect/recv faults (refused connects, mid-region resets)
+//     are survived through the agents' reconnect path,
+//   - regionBatch() composes with remote agents: one lease window spans
+//     the batch and per-region aggregates still match a local run.
+//
+// Runtime scenarios run in forked children because the runtime is a
+// per-process singleton.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Wire.h"
+#include "proc/Runtime.h"
+#include "strategy/SamplingStrategy.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace wbt;
+using namespace wbt::net;
+using namespace wbt::proc;
+
+//===----------------------------------------------------------------------===//
+// Wire codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Strips the 4-byte length prefix off a complete frame.
+std::vector<uint8_t> payloadOf(const std::vector<uint8_t> &Frame) {
+  EXPECT_GE(Frame.size(), 4u);
+  return std::vector<uint8_t>(Frame.begin() + 4, Frame.end());
+}
+
+} // namespace
+
+TEST(WireTest, HelloRoundtrip) {
+  std::vector<uint8_t> P = payloadOf(encodeHello(7));
+  EXPECT_EQ(frameType(P), FrameType::Hello);
+  uint32_t Id = 0;
+  ASSERT_TRUE(decodeHello(P, Id));
+  EXPECT_EQ(Id, 7u);
+}
+
+TEST(WireTest, RegionOpenRoundtripKeepsKind) {
+  RegionOpenMsg M;
+  M.Gen = 3;
+  M.TpId = 0xDEADBEEF;
+  M.Base = 42;
+  M.Regions = 6;
+  M.N = 8;
+  M.Kind = 1; // SamplingKind::Stratified — remote draws need it
+  std::vector<uint8_t> P = payloadOf(encodeRegionOpen(M));
+  EXPECT_EQ(frameType(P), FrameType::RegionOpen);
+  RegionOpenMsg Out;
+  ASSERT_TRUE(decodeRegionOpen(P, Out));
+  EXPECT_EQ(Out.Gen, 3u);
+  EXPECT_EQ(Out.TpId, 0xDEADBEEFu);
+  EXPECT_EQ(Out.Base, 42u);
+  EXPECT_EQ(Out.Regions, 6u);
+  EXPECT_EQ(Out.N, 8u);
+  EXPECT_EQ(Out.Kind, 1u);
+}
+
+TEST(WireTest, RegionOpenRejectsEmptyRegion) {
+  RegionOpenMsg M;
+  M.Gen = 1;
+  M.N = 0; // a window with no samples is a protocol error
+  RegionOpenMsg Out;
+  EXPECT_FALSE(decodeRegionOpen(payloadOf(encodeRegionOpen(M)), Out));
+}
+
+TEST(WireTest, ClaimRoundtrip) {
+  ClaimReqMsg Req;
+  Req.Gen = 9;
+  Req.Want = 16;
+  ClaimReqMsg ReqOut;
+  ASSERT_TRUE(decodeClaimReq(payloadOf(encodeClaimReq(Req)), ReqOut));
+  EXPECT_EQ(ReqOut.Gen, 9u);
+  EXPECT_EQ(ReqOut.Want, 16u);
+
+  ClaimRespMsg Resp;
+  Resp.Gen = 9;
+  Resp.Closed = true;
+  Resp.Leases = {0, 5, 11};
+  ClaimRespMsg RespOut;
+  ASSERT_TRUE(decodeClaimResp(payloadOf(encodeClaimResp(Resp)), RespOut));
+  EXPECT_EQ(RespOut.Gen, 9u);
+  EXPECT_TRUE(RespOut.Closed);
+  EXPECT_EQ(RespOut.Leases, (std::vector<int64_t>{0, 5, 11}));
+}
+
+TEST(WireTest, CommitBatchRoundtrip) {
+  CommitBatchMsg M;
+  M.Gen = 4;
+  LeaseResult L;
+  L.Lease = 17;
+  L.Outcome = LeaseOutcome::Committed;
+  L.Vars.push_back({"score", {1, 2, 3, 4}});
+  L.Vars.push_back({"mask", {0xFF}});
+  M.Leases.push_back(L);
+  LeaseResult Pruned;
+  Pruned.Lease = 18;
+  Pruned.Outcome = LeaseOutcome::Pruned;
+  M.Leases.push_back(Pruned);
+
+  CommitBatchMsg Out;
+  ASSERT_TRUE(decodeCommitBatch(payloadOf(encodeCommitBatch(M)), Out));
+  EXPECT_EQ(Out.Gen, 4u);
+  ASSERT_EQ(Out.Leases.size(), 2u);
+  EXPECT_EQ(Out.Leases[0].Lease, 17);
+  EXPECT_EQ(Out.Leases[0].Outcome, LeaseOutcome::Committed);
+  ASSERT_EQ(Out.Leases[0].Vars.size(), 2u);
+  EXPECT_EQ(Out.Leases[0].Vars[0].Name, "score");
+  EXPECT_EQ(Out.Leases[0].Vars[0].Bytes, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(Out.Leases[1].Outcome, LeaseOutcome::Pruned);
+  EXPECT_TRUE(Out.Leases[1].Vars.empty());
+}
+
+TEST(WireTest, CommitBatchRejectsUnknownOutcome) {
+  CommitBatchMsg M;
+  M.Gen = 0;
+  LeaseResult L;
+  L.Lease = 0;
+  L.Outcome = LeaseOutcome::Committed;
+  M.Leases.push_back(L);
+  std::vector<uint8_t> P = payloadOf(encodeCommitBatch(M));
+  // Payload layout: type(1) + gen(8) + count(4) + lease(8) = 21 bytes
+  // before the outcome byte. Anything outside {Committed, Pruned} there
+  // must fail the decode, not come back as a garbage enum.
+  ASSERT_GT(P.size(), 21u);
+  ASSERT_EQ(P[21], static_cast<uint8_t>(LeaseOutcome::Committed));
+  P[21] = 9;
+  CommitBatchMsg Out;
+  EXPECT_FALSE(decodeCommitBatch(P, Out));
+}
+
+TEST(WireTest, ControlFrames) {
+  uint64_t Gen = 0;
+  ASSERT_TRUE(decodeRegionClose(payloadOf(encodeRegionClose(12)), Gen));
+  EXPECT_EQ(Gen, 12u);
+  EXPECT_EQ(frameType(payloadOf(encodeShutdown())), FrameType::Shutdown);
+  EXPECT_EQ(frameType({}), FrameType::None);
+  EXPECT_EQ(frameType({99}), FrameType::None);
+}
+
+TEST(FrameBufferTest, SplitDeliveryReassembles) {
+  // Two frames drip-fed one byte at a time — the worst case a short
+  // recv can produce — must come out whole and in order.
+  std::vector<uint8_t> Stream = encodeHello(1);
+  std::vector<uint8_t> Second = encodeRegionClose(5);
+  Stream.insert(Stream.end(), Second.begin(), Second.end());
+
+  FrameBuffer B;
+  std::vector<std::vector<uint8_t>> Got;
+  std::vector<uint8_t> P;
+  for (uint8_t Byte : Stream) {
+    B.append(&Byte, 1);
+    while (B.next(P))
+      Got.push_back(P);
+  }
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(frameType(Got[0]), FrameType::Hello);
+  EXPECT_EQ(frameType(Got[1]), FrameType::RegionClose);
+  EXPECT_EQ(B.buffered(), 0u);
+}
+
+TEST(FrameBufferTest, TornFrameNeverCompletes) {
+  std::vector<uint8_t> Frame = encodeHello(2);
+  FrameBuffer B;
+  B.append(Frame.data(), Frame.size() - 1); // half-written frame
+  std::vector<uint8_t> P;
+  EXPECT_FALSE(B.next(P));
+  EXPECT_FALSE(B.corrupt()); // torn, not garbage: more bytes may come
+  B.append(&Frame[Frame.size() - 1], 1);
+  EXPECT_TRUE(B.next(P));
+  EXPECT_EQ(frameType(P), FrameType::Hello);
+}
+
+TEST(FrameBufferTest, OversizedLengthIsCorrupt) {
+  // A torn prefix read as garbage claims a frame bigger than any real
+  // message; the stream is dead, not merely incomplete.
+  uint32_t Len = MaxFrameBytes + 1;
+  uint8_t Prefix[4];
+  std::memcpy(Prefix, &Len, sizeof(Len));
+  FrameBuffer B;
+  B.append(Prefix, sizeof(Prefix));
+  std::vector<uint8_t> P;
+  EXPECT_FALSE(B.next(P));
+  EXPECT_TRUE(B.corrupt());
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration scenarios
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Scenario in a forked child; returns its exit code. Own
+/// process group so abandoned agents die with the scenario.
+int runScenario(int (*Scenario)()) {
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    setpgid(0, 0);
+    _exit(Scenario());
+  }
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  kill(-Pid, SIGKILL);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : 200;
+}
+
+#define CHECK_OR(COND, CODE)                                                   \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      return CODE;                                                             \
+  } while (false)
+
+/// Sampling kind for the equivalence scenarios, snapshotted by fork(2).
+int GNetKind = 0;
+
+/// One pool region of N samples, optionally with remote agents racing
+/// the local worker for leases. A single slow local worker guarantees
+/// the agents win some claims, so the net run genuinely mixes local and
+/// remote commits. Fresh init/finish per call: both runs replay the
+/// same (seed, tp, region, index) streams.
+int collectNetValues(unsigned Agents, std::vector<double> &Out,
+                     obs::RuntimeMetrics &M) {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 77;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = Agents;
+  Rt.init(Opts);
+
+  const int N = 24;
+  Out.assign(N, -1.0);
+  RegionOptions Ro;
+  Ro.Kind = static_cast<SamplingKind>(GNetKind);
+  Ro.Workers = 1;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    double Y = Rt.sample("y", Distribution::logUniform(1e-3, 1e3));
+    if (Rt.isSampling()) {
+      usleep(1000); // slow leases: remote claims land before the drain
+      Rt.aggregate("x", encodeDouble(X * Y), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      for (int I : V.committed("x"))
+        Out[I] = V.loadDouble("x", I);
+    });
+  });
+  M = Rt.metrics();
+  Rt.finish();
+  for (double V : Out)
+    CHECK_OR(V >= 0.0, 2);
+  return 0;
+}
+
+int scenarioNetMatchesLocal() {
+  std::vector<double> Local, Mixed;
+  obs::RuntimeMetrics Ml, Mn;
+  CHECK_OR(collectNetValues(0, Local, Ml) == 0, 3);
+  CHECK_OR(collectNetValues(4, Mixed, Mn) == 0, 4);
+  // Remote agents actually ran leases — otherwise this proves nothing.
+  CHECK_OR(Mn.NetAgents == 4, 5);
+  CHECK_OR(Mn.NetRemoteLeases > 0, 6);
+  CHECK_OR(Mn.NetFrames > 0, 7);
+  for (size_t I = 0; I != Local.size(); ++I)
+    CHECK_OR(Mixed[I] == Local[I], 10 + static_cast<int>(I)); // bitwise
+  return 0;
+}
+
+int scenarioNetAgentKillExactlyOnce() {
+  // Every agent SIGKILLs itself right before sending its first commit
+  // frame (the injected kill fires on the tp.net.frame emit, after the
+  // leases ran but before a byte hits the wire). The server sees the
+  // dead connections, hands every owned lease back through the one-retry
+  // machinery, and the local worker re-runs them: no sample may be lost
+  // and none may commit twice.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 78;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = 2;
+  Opts.InjectPlan = "tp.net.frame@n1:kill";
+  Rt.init(Opts);
+
+  const int N = 24;
+  std::vector<int> Commits(N, 0);
+  int Spawned = -1;
+  RegionOptions Ro;
+  Ro.Workers = 1;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      usleep(1000);
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      Spawned = V.spawned();
+      for (int I : V.committed("x"))
+        ++Commits[I];
+    });
+  });
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+
+  CHECK_OR(Spawned == N, 2);
+  for (int I = 0; I != N; ++I)
+    CHECK_OR(Commits[I] == 1, 10 + I); // exactly once, every index
+  // The kill must actually have happened: the dead agents' leases came
+  // back and were re-run.
+  CHECK_OR(M.NetLeasesReturned > 0, 3);
+  CHECK_OR(M.LeaseReclaims > 0, 4);
+  CHECK_OR(M.TimedOutSamples == 0, 5);
+  return 0;
+}
+
+int scenarioNetConnectRefusedRetries() {
+  // Each agent's first connect(2) is refused by injection; the reconnect
+  // backoff retries and the run proceeds with full remote participation.
+  // Only agents call connect, so the clause never fires elsewhere.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 79;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = 2;
+  Opts.InjectPlan = "connect@n1:ECONNREFUSED";
+  Rt.init(Opts);
+
+  const int N = 24;
+  std::vector<double> Got(N, -1.0);
+  RegionOptions Ro;
+  Ro.Workers = 1;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      usleep(1000);
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      for (int I : V.committed("x"))
+        Got[I] = V.loadDouble("x", I);
+    });
+  });
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+
+  for (int I = 0; I != N; ++I)
+    CHECK_OR(Got[I] >= 0.0, 10 + I);
+  CHECK_OR(M.NetRemoteLeases > 0, 2); // the retry made it through
+  return 0;
+}
+
+int scenarioNetRecvResetReconnects() {
+  // Every process' sixth recv(2) returns ECONNRESET: the server drops an
+  // agent mid-region (returning its leases) and agents lose connections
+  // mid-wait. With most of the region still to run, the dropped agents
+  // reconnect — a second Hello from a known agent id — and keep
+  // claiming. The region must settle with every sample exactly once.
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 80;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = 2;
+  Opts.NetLeaseChunk = 4;
+  Opts.InjectPlan = "recv@n6:ECONNRESET";
+  Rt.init(Opts);
+
+  const int N = 48;
+  std::vector<int> Commits(N, 0);
+  RegionOptions Ro;
+  Ro.Workers = 1;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      usleep(2000);
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      for (int I : V.committed("x"))
+        ++Commits[I];
+    });
+  });
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+
+  for (int I = 0; I != N; ++I)
+    CHECK_OR(Commits[I] == 1, 10 + I);
+  CHECK_OR(M.NetReconnects > 0, 2);
+  CHECK_OR(M.NetRemoteLeases > 0, 3);
+  return 0;
+}
+
+/// One pipelined batch (one lease window spanning every region) with and
+/// without remote agents; collects each delivered region's draws.
+int runNetBatch(unsigned Agents, std::vector<std::vector<double>> &Out) {
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 81;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = Agents;
+  Rt.init(Opts);
+
+  const int Regions = 4, N = 8;
+  Out.clear();
+  RegionOptions Ro;
+  Ro.Workers = 2;
+  Ro.Pipeline = 2;
+  Rt.regionBatch(Regions, N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      usleep(500);
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), [&](AggregationView &V) {
+      std::vector<double> Region(N, -1.0);
+      if (V.spawned() != N)
+        _exit(40);
+      for (int I : V.committed("x"))
+        Region[I] = V.loadDouble("x", I);
+      Out.push_back(std::move(Region));
+    });
+  });
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+
+  CHECK_OR(Out.size() == static_cast<size_t>(Regions), 2);
+  for (const std::vector<double> &R : Out)
+    for (double V : R)
+      CHECK_OR(V >= 0.0, 3);
+  if (Agents)
+    CHECK_OR(M.NetRemoteLeases > 0, 4);
+  return 0;
+}
+
+int scenarioNetBatchMatchesLocal() {
+  std::vector<std::vector<double>> Local, Mixed;
+  CHECK_OR(runNetBatch(0, Local) == 0, 5);
+  int Rc = runNetBatch(3, Mixed);
+  CHECK_OR(Rc == 0, Rc);
+  for (size_t R = 0; R != Local.size(); ++R)
+    for (size_t I = 0; I != Local[R].size(); ++I)
+      CHECK_OR(Mixed[R][I] == Local[R][I],
+               static_cast<int>(10 + R)); // bitwise per region
+  return 0;
+}
+
+} // namespace
+
+TEST(NetRuntimeTest, MixedRegionMatchesLocalRandom) {
+  GNetKind = static_cast<int>(SamplingKind::Random);
+  EXPECT_EQ(runScenario(scenarioNetMatchesLocal), 0);
+}
+
+TEST(NetRuntimeTest, MixedRegionMatchesLocalStratified) {
+  GNetKind = static_cast<int>(SamplingKind::Stratified);
+  EXPECT_EQ(runScenario(scenarioNetMatchesLocal), 0);
+}
+
+TEST(NetRuntimeTest, AgentKilledMidFrameLosesNoLeases) {
+  EXPECT_EQ(runScenario(scenarioNetAgentKillExactlyOnce), 0);
+}
+
+TEST(NetRuntimeTest, ConnectRefusedIsRetried) {
+  EXPECT_EQ(runScenario(scenarioNetConnectRefusedRetries), 0);
+}
+
+TEST(NetRuntimeTest, RecvResetReconnectsMidRegion) {
+  EXPECT_EQ(runScenario(scenarioNetRecvResetReconnects), 0);
+}
+
+TEST(NetRuntimeTest, BatchWithAgentsMatchesLocal) {
+  EXPECT_EQ(runScenario(scenarioNetBatchMatchesLocal), 0);
+}

@@ -71,6 +71,7 @@ struct Schedule {
   int Workers = 0;        // pool mode worker override
   int Zygotes = 0;        // pool mode: pre-forked parked workers
   int Pipeline = 1;       // > 1: regions run as one pipelined batch
+  int NetAgents = 0;      // pool mode: remote sampling agents over TCP
   int MaxPool = 6;
   int Retries = 0;        // fork-mode spares
   double TimeoutSec = 0;  // region deadline; 0 = none
@@ -100,6 +101,11 @@ Schedule expand(uint64_t Seed) {
   // gate, and mid-batch rolls with every fault below.
   S.Pipeline = S.Pool && R.chance(50) ? 2 + int(R.pick(3)) : 1;
   S.Regions = S.Pipeline > 1 ? 2 + int(R.pick(2)) : 1 + int(R.pick(2));
+  // A slice of the pool schedules add remote sampling agents, so the
+  // soak runs mixed local/remote lease windows against every fault
+  // below (deadlines dropping connections, crashes inside agents,
+  // zygote and batch composition).
+  S.NetAgents = S.Pool && R.chance(40) ? 1 + int(R.pick(3)) : 0;
   S.Split = R.chance(25);
   S.Trace = R.chance(30);
   if (!S.Pool && R.chance(30))
@@ -151,6 +157,31 @@ Schedule expand(uint64_t Seed) {
   // commit and the exit must not unbalance any ledger.
   if (R.chance(15))
     S.Plan += std::string(S.Plan.empty() ? "" : ";") + "tp.commit@n1:kill";
+  // Distributed runs stack one wire fault: partitions mid-region (the
+  // reconnect path), refused connects, frames torn mid-send, and agents
+  // SIGKILLed between running their leases and committing them. Every
+  // one must resolve to the same invariants through lease reclamation.
+  if (S.NetAgents) {
+    const char *NetPlan = nullptr;
+    switch (R.pick(5)) {
+    case 0:
+      break; // agents run fault-free
+    case 1:
+      NetPlan = "recv@n6:ECONNRESET*2"; // partition: both sides drop
+      break;
+    case 2:
+      NetPlan = "connect@n1:ECONNREFUSED"; // first dial refused
+      break;
+    case 3:
+      NetPlan = "send@n3:short"; // frame torn mid-wire
+      break;
+    case 4:
+      NetPlan = "tp.net.frame@n1:kill"; // agent dies pre-commit
+      break;
+    }
+    if (NetPlan)
+      S.Plan += std::string(S.Plan.empty() ? "" : ";") + NetPlan;
+  }
   return S;
 }
 
@@ -158,13 +189,13 @@ std::string describe(const Schedule &S) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "seed %" PRIu64 ": %s %s N=%d pool=%d/%d zygotes=%d "
-                "pipeline=%d regions=%d retries=%d timeout=%.2f split=%d "
-                "trace=%d crash=%d slow=%d plan='%s'",
+                "pipeline=%d regions=%d agents=%d retries=%d timeout=%.2f "
+                "split=%d trace=%d crash=%d slow=%d plan='%s'",
                 S.Seed, S.Backend == StoreBackend::Shm ? "shm" : "files",
                 S.Pool ? "workers" : "fork", S.N, S.Workers, S.MaxPool,
-                S.Zygotes, S.Pipeline, S.Regions, S.Retries, S.TimeoutSec,
-                int(S.Split), int(S.Trace), S.CrashIdx, S.SlowIdx,
-                S.Plan.c_str());
+                S.Zygotes, S.Pipeline, S.Regions, S.NetAgents, S.Retries,
+                S.TimeoutSec, int(S.Split), int(S.Trace), S.CrashIdx,
+                S.SlowIdx, S.Plan.c_str());
   return Buf;
 }
 
@@ -260,6 +291,7 @@ int runSchedule(const Schedule &S) {
   Opts.InjectPlan = S.Plan;
   Opts.TracePath = TracePath;
   Opts.Zygotes = unsigned(S.Zygotes);
+  Opts.NetAgents = unsigned(S.NetAgents);
   Rt.init(Opts);
   std::string RunDir = Rt.runDir();
 
