@@ -11,9 +11,22 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <ctime>
 
 using namespace wbt;
 using namespace wbt::net;
+
+namespace {
+
+/// Agent-side CLOCK_MONOTONIC, stamped into Hello for the server's
+/// clock-offset estimate.
+uint64_t nowNs() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return uint64_t(Ts.tv_sec) * 1000000000ull + uint64_t(Ts.tv_nsec);
+}
+
+} // namespace
 
 AgentChannel::~AgentChannel() { closeConn(); }
 
@@ -42,7 +55,7 @@ bool AgentChannel::ensureConnected() {
       continue;
     }
     Fd = S;
-    if (!sendFrame(encodeHello(AgentId)))
+    if (!sendFrame(encodeHello(AgentId, nowNs())))
       continue; // sendFrame closed Fd; retry from scratch
     return true;
   }

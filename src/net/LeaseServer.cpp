@@ -17,9 +17,21 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 using namespace wbt;
 using namespace wbt::net;
+
+namespace {
+
+/// Server-side CLOCK_MONOTONIC (clock-offset estimation at Hello).
+uint64_t nowNs() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return uint64_t(Ts.tv_sec) * 1000000000ull + uint64_t(Ts.tv_nsec);
+}
+
+} // namespace
 
 LeaseServer::~LeaseServer() { closeAll(); }
 
@@ -90,6 +102,30 @@ void LeaseServer::closeRegion() {
     if (C.HaveHello && !sendFrame(C, Frame))
       disconnect(I);
   }
+  // Ack harvest: every live agent answers RegionClose with a TraceFrame
+  // flush (possibly empty), so its buffered records — and any flush
+  // still in flight behind its last CommitBatch — land before the
+  // region settles and emits RegionEnd. The wait is bounded: a dead or
+  // wedged agent can stall the close by at most CloseHarvestNs, and its
+  // straggler records are picked up by later pumps instead.
+  constexpr uint64_t CloseHarvestNs = 25'000'000; // 25 ms
+  std::vector<std::pair<uint32_t, uint64_t>> Pending; // (agent, frames@close)
+  for (const std::unique_ptr<Conn> &C : Conns)
+    if (C->HaveHello)
+      Pending.push_back({C->AgentId, C->TraceFrames});
+  uint64_t Deadline = nowNs() + CloseHarvestNs;
+  while (!Pending.empty() && nowNs() < Deadline) {
+    pump(1);
+    for (size_t I = Pending.size(); I-- != 0;) {
+      const Conn *C = nullptr;
+      for (const std::unique_ptr<Conn> &Cp : Conns)
+        if (Cp->HaveHello && Cp->AgentId == Pending[I].first)
+          C = Cp.get();
+      // Gone (disconnect returned its leases) or flushed: done with it.
+      if (!C || C->TraceFrames > Pending[I].second)
+        Pending.erase(Pending.begin() + static_cast<long>(I));
+    }
+  }
 }
 
 void LeaseServer::pump(int TimeoutMs, int WakeFd) {
@@ -146,10 +182,12 @@ bool LeaseServer::readConn(Conn &C) {
     return false; // orderly shutdown
   if (R < 0)
     return errno == EAGAIN; // real errors (or injected ones) drop the conn
+  Stats.BytesIn += static_cast<uint64_t>(R);
   C.In.append(Buf, static_cast<size_t>(R));
   std::vector<uint8_t> Payload;
   while (C.In.next(Payload)) {
     ++Stats.Frames;
+    ++Stats.RecvByType[static_cast<int>(frameType(Payload))];
     if (!handleFrame(C, Payload))
       return false;
   }
@@ -160,10 +198,17 @@ bool LeaseServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
   switch (frameType(Payload)) {
   case FrameType::Hello: {
     uint32_t Id = 0;
-    if (!decodeHello(Payload, Id))
+    uint64_t AgentClockNs = 0;
+    if (!decodeHello(Payload, Id, AgentClockNs))
       return false;
     C.HaveHello = true;
     C.AgentId = Id;
+    // One-sided offset estimate: the agent stamped its clock at send, we
+    // read ours at receipt, so the estimate is high by the network
+    // flight time — good enough to land agent spans inside their
+    // enclosing region span on a merged timeline.
+    C.ClockOffsetNs =
+        static_cast<int64_t>(nowNs()) - static_cast<int64_t>(AgentClockNs);
     if (!SeenAgents.insert(Id).second)
       ++Stats.Reconnects;
     traceHook(obs::EventKind::NetAccept, Id, Gen);
@@ -208,6 +253,28 @@ bool LeaseServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
     }
     return true;
   }
+  case FrameType::TraceFrame: {
+    std::vector<obs::TraceEvent> Evs;
+    if (!decodeTraceFrame(Payload, Evs) || !C.HaveHello)
+      return false;
+    ++C.TraceFrames;
+    Stats.TraceEvents += Evs.size();
+    // Rebase each record from the agent's island-local monotonic clock
+    // onto ours before the runtime merges it into the shared stream. The
+    // Hello-time offset estimate is high by one network flight, so a
+    // record emitted just before this frame could rebase past "now";
+    // clamp to receipt time — nothing can happen after we receive it —
+    // which keeps harvested agent spans inside the enclosing region span.
+    uint64_t Now = nowNs();
+    for (obs::TraceEvent &Ev : Evs) {
+      uint64_t Ts = static_cast<uint64_t>(static_cast<int64_t>(Ev.TsNs) +
+                                          C.ClockOffsetNs);
+      Ev.TsNs = Ts < Now ? Ts : Now;
+    }
+    if (CB.TraceSink && !Evs.empty())
+      CB.TraceSink(std::move(Evs));
+    return true;
+  }
   case FrameType::Shutdown:
   case FrameType::RegionOpen:
   case FrameType::ClaimResp:
@@ -219,8 +286,11 @@ bool LeaseServer::handleFrame(Conn &C, const std::vector<uint8_t> &Payload) {
 }
 
 bool LeaseServer::sendFrame(Conn &C, const std::vector<uint8_t> &Frame) {
-  return sys::sendBytes(C.Fd, Frame.data(), Frame.size()) ==
-         static_cast<ssize_t>(Frame.size());
+  bool Ok = sys::sendBytes(C.Fd, Frame.data(), Frame.size()) ==
+            static_cast<ssize_t>(Frame.size());
+  if (Ok)
+    Stats.BytesOut += Frame.size();
+  return Ok;
 }
 
 void LeaseServer::disconnect(size_t Idx) {

@@ -53,6 +53,10 @@ struct NetStats {
   uint64_t RemoteLeases = 0;   ///< leases granted over the wire
   uint64_t LeasesReturned = 0; ///< owned leases returned on disconnect
   uint64_t Frames = 0;         ///< complete frames received
+  uint64_t BytesIn = 0;        ///< raw bytes received from agents
+  uint64_t BytesOut = 0;       ///< raw bytes sent to agents
+  uint64_t TraceEvents = 0;    ///< trace records harvested from agents
+  uint64_t RecvByType[NumFrameTypes] = {}; ///< frames received per type
 };
 
 class LeaseServer {
@@ -72,6 +76,10 @@ public:
     std::function<bool(int64_t Lease)> Return;
     /// Optional trace emit hook (NetAccept/NetClaim/NetDisconnect).
     std::function<void(obs::EventKind Kind, uint64_t A, uint64_t B)> Trace;
+    /// Optional sink for agent trace records (TraceFrame payloads). The
+    /// events arrive already rebased onto the server's CLOCK_MONOTONIC
+    /// via the connection's Hello clock offset.
+    std::function<void(std::vector<obs::TraceEvent> &&Evs)> TraceSink;
   };
 
   explicit LeaseServer(Callbacks CB) : CB(std::move(CB)) {}
@@ -132,6 +140,13 @@ private:
     uint32_t AgentId = 0;
     FrameBuffer In;
     std::set<int64_t> Owned;
+    /// Server clock minus agent clock, estimated at Hello receipt
+    /// (upper-bounds the agent clock by one network flight). Added to
+    /// every TraceFrame timestamp from this connection.
+    int64_t ClockOffsetNs = 0;
+    /// TraceFrame frames received on this connection. closeRegion()
+    /// reads it to tell when an agent's close-time flush has landed.
+    uint64_t TraceFrames = 0;
   };
 
   void acceptReady();

@@ -1,0 +1,180 @@
+//===- net/MetricsEndpoint.cpp - Threadless scrape endpoint ---------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/MetricsEndpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+using namespace wbt;
+using namespace wbt::net;
+
+namespace {
+
+/// More than this many simultaneous scrapers is abuse, not monitoring;
+/// extra accepts are refused so a connection flood cannot grow the
+/// supervisor's poll set without bound.
+constexpr size_t MaxScrapeConns = 16;
+
+/// A request longer than this never finishes its headers here — drop it.
+constexpr size_t MaxRequestBytes = 4096;
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+MetricsEndpoint::~MetricsEndpoint() { closeAll(); }
+
+bool MetricsEndpoint::listen(const std::string &Addr) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos) {
+    errno = EINVAL;
+    return false;
+  }
+  std::string Host = Addr.substr(0, Colon);
+  long PortNum = std::strtol(Addr.c_str() + Colon + 1, nullptr, 10);
+  if (Host.empty() || PortNum < 0 || PortNum > 65535) {
+    errno = EINVAL;
+    return false;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(static_cast<uint16_t>(PortNum));
+  if (::inet_pton(AF_INET, Host.c_str(), &Sa.sin_addr) != 1 ||
+      ::bind(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0 ||
+      ::listen(Fd, 16) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return false;
+  }
+  setNonBlocking(Fd);
+  socklen_t Len = sizeof(Sa);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Sa), &Len) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return false;
+  }
+  ListenFd = Fd;
+  Port = ntohs(Sa.sin_port);
+  return true;
+}
+
+void MetricsEndpoint::pump(int TimeoutMs) {
+  if (ListenFd < 0)
+    return;
+  std::vector<pollfd> Pfds;
+  Pfds.reserve(Conns.size() + 1);
+  Pfds.push_back({ListenFd, POLLIN, 0});
+  for (const std::unique_ptr<Conn> &C : Conns)
+    Pfds.push_back(
+        {C->Fd, static_cast<short>(C->Responding ? POLLOUT : POLLIN), 0});
+
+  int R = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+  if (R <= 0)
+    return;
+  if (Pfds[0].revents & POLLIN)
+    acceptReady();
+  // Back to front: the swap-and-pop removal never disturbs an index we
+  // have yet to visit (new accepts sit past the polled range).
+  for (size_t I = Conns.size(); I-- != 0;) {
+    if (I + 1 >= Pfds.size())
+      continue; // accepted this round
+    short Ev = Pfds[I + 1].revents;
+    if (!Ev)
+      continue;
+    if (!serviceConn(*Conns[I], Ev)) {
+      ::close(Conns[I]->Fd);
+      Conns[I] = std::move(Conns.back());
+      Conns.pop_back();
+    }
+  }
+}
+
+void MetricsEndpoint::acceptReady() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN: drained
+    if (Conns.size() >= MaxScrapeConns) {
+      ::close(Fd);
+      continue;
+    }
+    setNonBlocking(Fd);
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    Conns.push_back(std::move(C));
+  }
+}
+
+bool MetricsEndpoint::serviceConn(Conn &C, short Revents) {
+  if (Revents & (POLLERR | POLLNVAL))
+    return false;
+  if (!C.Responding) {
+    char Buf[4096];
+    ssize_t R = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (R == 0)
+      return false; // peer closed before finishing a request
+    if (R < 0)
+      return errno == EAGAIN;
+    C.In.append(Buf, static_cast<size_t>(R));
+    if (C.In.find("\r\n\r\n") == std::string::npos &&
+        C.In.find("\n\n") == std::string::npos) {
+      // Headers not complete yet; an oversized request never will be.
+      return C.In.size() < MaxRequestBytes;
+    }
+    std::string Body = Render ? Render() : std::string();
+    char Head[128];
+    std::snprintf(Head, sizeof(Head),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  Body.size());
+    C.Out = Head;
+    C.Out += Body;
+    C.OutOff = 0;
+    C.Responding = true;
+    // Fall through: most responses fit the socket buffer in one write.
+  }
+  while (C.OutOff < C.Out.size()) {
+    ssize_t W = ::send(C.Fd, C.Out.data() + C.OutOff, C.Out.size() - C.OutOff,
+                       MSG_NOSIGNAL);
+    if (W < 0)
+      return errno == EAGAIN; // keep the rest for the next pump
+    C.OutOff += static_cast<size_t>(W);
+  }
+  ++Scrapes;
+  return false; // fully answered: Connection: close
+}
+
+void MetricsEndpoint::closeAll() {
+  for (const std::unique_ptr<Conn> &C : Conns)
+    ::close(C->Fd);
+  Conns.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}

@@ -1,0 +1,85 @@
+//===- net/MetricsEndpoint.h - Threadless scrape endpoint -------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal HTTP/1.0 text-exposition endpoint with no thread of its
+/// own: like net::LeaseServer, it owns non-blocking sockets and a
+/// poll(2) pump that the runtime's supervisor sweep calls with a zero
+/// timeout. Each pump accepts pending scrapers, reads whatever request
+/// bytes arrived, and writes response bytes as far as the socket allows
+/// — partial writes are buffered per connection and continued on the
+/// next sweep, so a slow scraper can never stall the run.
+///
+/// The response body comes from a render callback (the seqlock metrics
+/// page via obs::writeExpositionText), evaluated once per request at
+/// response time. Every request path is answered 200 with the full
+/// exposition; the endpoint is a scrape surface, not a router.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_NET_METRICSENDPOINT_H
+#define WBT_NET_METRICSENDPOINT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace net {
+
+class MetricsEndpoint {
+public:
+  /// Produces the exposition body for one scrape.
+  using RenderFn = std::function<std::string()>;
+
+  explicit MetricsEndpoint(RenderFn Render) : Render(std::move(Render)) {}
+  ~MetricsEndpoint();
+
+  MetricsEndpoint(const MetricsEndpoint &) = delete;
+  MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
+
+  /// Binds and listens on \p Addr ("ip:port"; port 0 lets the kernel
+  /// pick — read it back with port()). False + errno on failure.
+  bool listen(const std::string &Addr);
+  uint16_t port() const { return Port; }
+
+  /// One poll round: accept + read + respond whatever is ready, waiting
+  /// at most \p TimeoutMs (0 = never block — the supervisor-sweep mode).
+  void pump(int TimeoutMs = 0);
+
+  /// Closes every descriptor (scrapers mid-response are cut off).
+  void closeAll();
+
+  /// Requests fully answered so far.
+  uint64_t scrapes() const { return Scrapes; }
+  size_t connections() const { return Conns.size(); }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::string In;   ///< request bytes until the blank line
+    std::string Out;  ///< response bytes not yet written
+    size_t OutOff = 0;
+    bool Responding = false;
+  };
+
+  void acceptReady();
+  /// False when the connection is finished (responded or died).
+  bool serviceConn(Conn &C, short Revents);
+
+  RenderFn Render;
+  int ListenFd = -1;
+  uint16_t Port = 0;
+  std::vector<std::unique_ptr<Conn>> Conns;
+  uint64_t Scrapes = 0;
+};
+
+} // namespace net
+} // namespace wbt
+
+#endif // WBT_NET_METRICSENDPOINT_H

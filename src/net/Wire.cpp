@@ -42,9 +42,10 @@ bool beginDecode(const std::vector<uint8_t> &Payload, FrameType T,
 
 } // namespace
 
-std::vector<uint8_t> net::encodeHello(uint32_t AgentId) {
+std::vector<uint8_t> net::encodeHello(uint32_t AgentId, uint64_t ClockNs) {
   ByteWriter W = beginPayload(FrameType::Hello);
   W.write<uint32_t>(AgentId);
+  W.write<uint64_t>(ClockNs);
   return finishFrame(W);
 }
 
@@ -101,20 +102,37 @@ std::vector<uint8_t> net::encodeShutdown() {
   return finishFrame(W);
 }
 
+std::vector<uint8_t>
+net::encodeTraceFrame(const std::vector<obs::TraceEvent> &Evs) {
+  ByteWriter W = beginPayload(FrameType::TraceFrame);
+  W.write<uint32_t>(static_cast<uint32_t>(Evs.size()));
+  for (const obs::TraceEvent &Ev : Evs) {
+    W.write<uint64_t>(Ev.TsNs);
+    W.write<int32_t>(Ev.Pid);
+    W.write<uint16_t>(Ev.Kind);
+    W.write<uint16_t>(Ev.Arg);
+    W.write<uint64_t>(Ev.A);
+    W.write<uint64_t>(Ev.B);
+  }
+  return finishFrame(W);
+}
+
 FrameType net::frameType(const std::vector<uint8_t> &Payload) {
   if (Payload.empty())
     return FrameType::None;
   uint8_t T = Payload[0];
-  if (T == 0 || T > static_cast<uint8_t>(FrameType::Shutdown))
+  if (T == 0 || T > static_cast<uint8_t>(FrameType::TraceFrame))
     return FrameType::None;
   return static_cast<FrameType>(T);
 }
 
-bool net::decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId) {
+bool net::decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId,
+                      uint64_t &ClockNs) {
   ByteReader R(Payload);
   if (!beginDecode(Payload, FrameType::Hello, R))
     return false;
   AgentId = R.read<uint32_t>();
+  ClockNs = R.read<uint64_t>();
   return R.ok();
 }
 
@@ -194,6 +212,33 @@ bool net::decodeRegionClose(const std::vector<uint8_t> &Payload,
   if (!beginDecode(Payload, FrameType::RegionClose, R))
     return false;
   Gen = R.read<uint64_t>();
+  return R.ok();
+}
+
+bool net::decodeTraceFrame(const std::vector<uint8_t> &Payload,
+                           std::vector<obs::TraceEvent> &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, FrameType::TraceFrame, R))
+    return false;
+  uint32_t Count = R.read<uint32_t>();
+  // Each event is 32 payload bytes — a count the payload cannot hold is
+  // a corrupt frame, not a request to allocate.
+  if (!R.ok() || size_t(Count) * 32 > Payload.size())
+    return false;
+  Out.clear();
+  Out.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    obs::TraceEvent Ev;
+    Ev.TsNs = R.read<uint64_t>();
+    Ev.Pid = R.read<int32_t>();
+    Ev.Kind = R.read<uint16_t>();
+    Ev.Arg = R.read<uint16_t>();
+    Ev.A = R.read<uint64_t>();
+    Ev.B = R.read<uint64_t>();
+    if (!R.ok())
+      return false;
+    Out.push_back(Ev);
+  }
   return R.ok();
 }
 

@@ -15,13 +15,20 @@
 ///
 /// Conversation shape (one tuning process, N sampling agents):
 ///
-///   agent  -> server   Hello{agent id}           once per connection
+///   agent  -> server   Hello{agent id, clock}    once per connection
 ///   server -> agent    RegionOpen{gen, identity} per region / batch
 ///   agent  -> server   ClaimReq{gen, want}       repeat
 ///   server -> agent    ClaimResp{gen, leases, closed}
+///   agent  -> server   TraceFrame{events}        whenever the agent's
+///                                                local ring has backlog
 ///   agent  -> server   CommitBatch{gen, results} one per claim granted
 ///   server -> agent    RegionClose{gen}          region settled
 ///   server -> agent    Shutdown{}                teardown
+///
+/// The Hello clock is the agent's CLOCK_MONOTONIC at send time; the
+/// server subtracts it from its own clock on receipt to estimate the
+/// per-connection offset it applies to TraceFrame timestamps (each
+/// host's monotonic clock is island-local, see obs/Trace.h).
 ///
 /// Every region-scoped frame carries the server's monotone *generation*;
 /// a frame whose generation is not the current one is dropped, which is
@@ -31,6 +38,8 @@
 
 #ifndef WBT_NET_WIRE_H
 #define WBT_NET_WIRE_H
+
+#include "obs/Trace.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -49,7 +58,13 @@ enum class FrameType : uint8_t {
   CommitBatch,
   RegionClose,
   Shutdown,
+  TraceFrame,
 };
+
+/// One past the largest FrameType value — sizes per-type receive
+/// counter arrays.
+constexpr int NumFrameTypes =
+    static_cast<int>(FrameType::TraceFrame) + 1;
 
 /// A frame longer than this is a protocol error (a torn length prefix
 /// read as garbage), not a big message — the peer is disconnected.
@@ -108,13 +123,18 @@ struct CommitBatchMsg {
 // Encoding. Each returns a complete frame (length prefix included).
 //===----------------------------------------------------------------------===//
 
-std::vector<uint8_t> encodeHello(uint32_t AgentId);
+/// \p ClockNs is the sender's CLOCK_MONOTONIC at send time (clock-offset
+/// estimation for trace correlation).
+std::vector<uint8_t> encodeHello(uint32_t AgentId, uint64_t ClockNs);
 std::vector<uint8_t> encodeRegionOpen(const RegionOpenMsg &M);
 std::vector<uint8_t> encodeClaimReq(const ClaimReqMsg &M);
 std::vector<uint8_t> encodeClaimResp(const ClaimRespMsg &M);
 std::vector<uint8_t> encodeCommitBatch(const CommitBatchMsg &M);
 std::vector<uint8_t> encodeRegionClose(uint64_t Gen);
 std::vector<uint8_t> encodeShutdown();
+/// Batches raw trace records from an agent's local ring. Timestamps are
+/// the agent's clock; the server rebases them with the Hello offset.
+std::vector<uint8_t> encodeTraceFrame(const std::vector<obs::TraceEvent> &Evs);
 
 //===----------------------------------------------------------------------===//
 // Decoding over one extracted payload (FrameBuffer::next output).
@@ -123,13 +143,16 @@ std::vector<uint8_t> encodeShutdown();
 /// First byte of \p Payload, or FrameType::None when empty/unknown.
 FrameType frameType(const std::vector<uint8_t> &Payload);
 
-bool decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId);
+bool decodeHello(const std::vector<uint8_t> &Payload, uint32_t &AgentId,
+                 uint64_t &ClockNs);
 bool decodeRegionOpen(const std::vector<uint8_t> &Payload, RegionOpenMsg &Out);
 bool decodeClaimReq(const std::vector<uint8_t> &Payload, ClaimReqMsg &Out);
 bool decodeClaimResp(const std::vector<uint8_t> &Payload, ClaimRespMsg &Out);
 bool decodeCommitBatch(const std::vector<uint8_t> &Payload,
                        CommitBatchMsg &Out);
 bool decodeRegionClose(const std::vector<uint8_t> &Payload, uint64_t &Gen);
+bool decodeTraceFrame(const std::vector<uint8_t> &Payload,
+                      std::vector<obs::TraceEvent> &Out);
 
 /// Incremental frame splitter over a byte stream. Append whatever recv
 /// returned; next() hands out complete payloads in order. A partial

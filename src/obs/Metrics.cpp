@@ -6,6 +6,10 @@
 
 #include "obs/Metrics.h"
 
+#include <cinttypes>
+#include <cstring>
+#include <string>
+
 namespace wbt {
 namespace obs {
 
@@ -81,10 +85,17 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                "\"zygote_restores\": %llu, \"remove_failures\": %llu, "
                "\"net_agents\": %llu, \"net_reconnects\": %llu, "
                "\"net_remote_leases\": %llu, \"net_leases_returned\": %llu, "
-               "\"net_frames\": %llu, \"trace_events\": %llu, "
-               "\"trace_drops\": %llu, \"fork_p50_us\": %.1f, "
+               "\"net_frames\": %llu, \"net_bytes_in\": %llu, "
+               "\"net_bytes_out\": %llu, \"net_recv_hello\": %llu, "
+               "\"net_recv_claim_req\": %llu, "
+               "\"net_recv_commit_batch\": %llu, \"net_recv_trace\": %llu, "
+               "\"trace_events\": %llu, "
+               "\"trace_drops\": %llu, \"scores_noted\": %llu, "
+               "\"score_last\": %.6g, \"score_min\": %.6g, "
+               "\"score_max\": %.6g, \"fork_p50_us\": %.1f, "
                "\"fork_mean_us\": %.1f, \"commit_p50_us\": %.1f, "
-               "\"commit_mean_us\": %.1f}",
+               "\"commit_mean_us\": %.1f, \"region_p50_us\": %.1f, "
+               "\"region_mean_us\": %.1f",
                (unsigned long long)M.CrashedSamples,
                (unsigned long long)M.TimedOutSamples,
                (unsigned long long)M.ForkFailures,
@@ -106,10 +117,132 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
                (unsigned long long)M.NetRemoteLeases,
                (unsigned long long)M.NetLeasesReturned,
                (unsigned long long)M.NetFrames,
+               (unsigned long long)M.NetBytesIn,
+               (unsigned long long)M.NetBytesOut,
+               (unsigned long long)M.NetRecvHello,
+               (unsigned long long)M.NetRecvClaimReq,
+               (unsigned long long)M.NetRecvCommitBatch,
+               (unsigned long long)M.NetRecvTrace,
                (unsigned long long)M.TraceEvents,
-               (unsigned long long)M.TraceDrops, M.ForkLatency.quantileUs(0.5),
+               (unsigned long long)M.TraceDrops,
+               (unsigned long long)M.ScoresNoted, M.ScoreLast, M.ScoreMin,
+               M.ScoreMax, M.ForkLatency.quantileUs(0.5),
                M.ForkLatency.meanUs(), M.CommitLatency.quantileUs(0.5),
-               M.CommitLatency.meanUs());
+               M.CommitLatency.meanUs(), M.RegionLatency.quantileUs(0.5),
+               M.RegionLatency.meanUs());
+  // Raw bucket counts, so consumers can rebuild the full distribution
+  // rather than settle for the p50/mean digests above.
+  struct {
+    const char *Key;
+    const HistogramSnapshot *H;
+  } Hists[] = {{"fork_latency_buckets", &M.ForkLatency},
+               {"commit_latency_buckets", &M.CommitLatency},
+               {"region_latency_buckets", &M.RegionLatency}};
+  for (const auto &E : Hists) {
+    std::fprintf(F, ", \"%s\": [", E.Key);
+    for (int B = 0; B != NumHistBuckets; ++B)
+      std::fprintf(F, "%s%llu", B ? ", " : "",
+                   (unsigned long long)E.H->Counts[B]);
+    std::fprintf(F, "]");
+  }
+  std::fprintf(F, "}");
+}
+
+namespace {
+
+void expLine(std::string &Out, const char *Name, const char *Type,
+             double Value) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "# TYPE wbt_%s %s\nwbt_%s %.6g\n", Name,
+                Type, Name, Value);
+  Out += Buf;
+}
+
+void expCounter(std::string &Out, const char *Name, uint64_t Value) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "# TYPE wbt_%s counter\nwbt_%s %" PRIu64 "\n", Name, Name,
+                Value);
+  Out += Buf;
+}
+
+void expHistogram(std::string &Out, const char *Name,
+                  const HistogramSnapshot &H) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "# TYPE wbt_%s_us histogram\n", Name);
+  Out += Buf;
+  uint64_t Cum = 0;
+  for (int B = 0; B != NumHistBuckets; ++B) {
+    Cum += H.Counts[B];
+    std::snprintf(Buf, sizeof(Buf),
+                  "wbt_%s_us_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", Name,
+                  uint64_t(1) << (B + 1), Cum);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "wbt_%s_us_bucket{le=\"+Inf\"} %" PRIu64 "\n"
+                "wbt_%s_us_sum %.1f\n"
+                "wbt_%s_us_count %" PRIu64 "\n",
+                Name, Cum, Name, double(H.SumNs) / 1000.0, Name, H.total());
+  Out += Buf;
+  // Pre-digested gauges so flat-text consumers (wbt-top) need no
+  // bucket math.
+  std::snprintf(Buf, sizeof(Buf),
+                "# TYPE wbt_%s_p50_us gauge\nwbt_%s_p50_us %.1f\n"
+                "# TYPE wbt_%s_mean_us gauge\nwbt_%s_mean_us %.1f\n",
+                Name, Name, H.quantileUs(0.5), Name, Name, H.meanUs());
+  Out += Buf;
+}
+
+} // namespace
+
+void writeExpositionText(std::string &Out, const RuntimeMetrics &M) {
+  expCounter(Out, "regions_resolved", M.RegionsResolved);
+  expLine(Out, "elapsed_sec", "gauge", M.ElapsedSec);
+  expLine(Out, "regions_per_sec", "gauge", M.regionsPerSec());
+  expCounter(Out, "shm_commits", M.ShmCommits);
+  expCounter(Out, "file_fallbacks", M.FileFallbacks);
+  for (int R = 0; R != NumFallbackReasons; ++R) {
+    std::string Key =
+        std::string("fallback_") + fallbackReasonName(FallbackReason(R));
+    expCounter(Out, Key.c_str(), M.Fallbacks[R]);
+  }
+  expCounter(Out, "crashed", M.CrashedSamples);
+  expCounter(Out, "timed_out", M.TimedOutSamples);
+  expCounter(Out, "fork_failures", M.ForkFailures);
+  expCounter(Out, "lease_reclaims", M.LeaseReclaims);
+  expCounter(Out, "retries", M.Retries);
+  expCounter(Out, "slab_records_hw", M.SlabRecordsHighWater);
+  expCounter(Out, "slab_bytes_hw", M.SlabBytesHighWater);
+  expCounter(Out, "slab_recycles", M.SlabRecycles);
+  expCounter(Out, "slab_epoch_hw", M.SlabEpochHighWater);
+  expCounter(Out, "thp_granted", M.ThpGranted);
+  expCounter(Out, "thp_declined", M.ThpDeclined);
+  expCounter(Out, "hugetlb_granted", M.HugetlbGranted);
+  expCounter(Out, "hugetlb_declined", M.HugetlbDeclined);
+  expCounter(Out, "zygote_respawns", M.ZygoteRespawns);
+  expCounter(Out, "zygote_restores", M.ZygoteRestores);
+  expCounter(Out, "remove_failures", M.RemoveFailures);
+  expCounter(Out, "net_agents", M.NetAgents);
+  expCounter(Out, "net_reconnects", M.NetReconnects);
+  expCounter(Out, "net_remote_leases", M.NetRemoteLeases);
+  expCounter(Out, "net_leases_returned", M.NetLeasesReturned);
+  expCounter(Out, "net_frames", M.NetFrames);
+  expCounter(Out, "net_bytes_in", M.NetBytesIn);
+  expCounter(Out, "net_bytes_out", M.NetBytesOut);
+  expCounter(Out, "net_recv_hello", M.NetRecvHello);
+  expCounter(Out, "net_recv_claim_req", M.NetRecvClaimReq);
+  expCounter(Out, "net_recv_commit_batch", M.NetRecvCommitBatch);
+  expCounter(Out, "net_recv_trace", M.NetRecvTrace);
+  expCounter(Out, "trace_events", M.TraceEvents);
+  expCounter(Out, "trace_drops", M.TraceDrops);
+  expCounter(Out, "scores_noted", M.ScoresNoted);
+  expLine(Out, "score_last", "gauge", M.ScoreLast);
+  expLine(Out, "score_min", "gauge", M.ScoreMin);
+  expLine(Out, "score_max", "gauge", M.ScoreMax);
+  expHistogram(Out, "fork_latency", M.ForkLatency);
+  expHistogram(Out, "commit_latency", M.CommitLatency);
+  expHistogram(Out, "region_latency", M.RegionLatency);
 }
 
 } // namespace obs

@@ -96,10 +96,21 @@ struct RuntimeMetrics {
   uint64_t NetRemoteLeases = 0;   ///< leases granted over the wire
   uint64_t NetLeasesReturned = 0; ///< remote leases returned on disconnect
   uint64_t NetFrames = 0;         ///< protocol frames the server received
+  uint64_t NetBytesIn = 0;        ///< bytes the lease server received
+  uint64_t NetBytesOut = 0;       ///< bytes the lease server sent
+  uint64_t NetRecvHello = 0;      ///< Hello frames received
+  uint64_t NetRecvClaimReq = 0;   ///< ClaimReq frames received
+  uint64_t NetRecvCommitBatch = 0; ///< CommitBatch frames received
+  uint64_t NetRecvTrace = 0;       ///< TraceFrame frames received
   uint64_t TraceEvents = 0;
   uint64_t TraceDrops = 0;
+  uint64_t ScoresNoted = 0; ///< Runtime::noteScore() calls, run-wide
+  double ScoreLast = 0;     ///< most recently noted aggregate score
+  double ScoreMin = 0;      ///< smallest score noted (0 until any)
+  double ScoreMax = 0;      ///< largest score noted (0 until any)
   HistogramSnapshot ForkLatency;
   HistogramSnapshot CommitLatency;
+  HistogramSnapshot RegionLatency; ///< region open -> resolve wall clock
 
   double regionsPerSec() const {
     return ElapsedSec > 0 ? double(RegionsResolved) / ElapsedSec : 0.0;
@@ -109,6 +120,12 @@ struct RuntimeMetrics {
 /// Writes the snapshot as one JSON object (no trailing newline) — the
 /// shared shape both bench --json emitters embed under "metrics".
 void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M);
+
+/// Appends the snapshot in Prometheus text exposition format (TYPE lines,
+/// cumulative `_bucket{le=...}` histograms) — what the scrape endpoint
+/// serves and wbt-top parses. Every writeMetricsJson key appears as a
+/// `wbt_`-prefixed metric.
+void writeExpositionText(std::string &Out, const RuntimeMetrics &M);
 
 } // namespace obs
 } // namespace wbt

@@ -187,6 +187,8 @@ const char *eventKindName(EventKind Kind) {
     return "net-frame";
   case EventKind::NetDisconnect:
     return "net-disconnect";
+  case EventKind::Progress:
+    return "progress";
   }
   return "unknown";
 }
@@ -249,6 +251,8 @@ const char *eventPointName(EventKind Kind) {
     return "net.frame";
   case EventKind::NetDisconnect:
     return "net.disconnect";
+  case EventKind::Progress:
+    return "progress";
   }
   return "unknown";
 }

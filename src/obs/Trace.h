@@ -66,6 +66,8 @@ enum class EventKind : uint16_t {
   NetClaim,      ///< tuning: A = agent id, B = leases granted
   NetCommitFrame,///< agent: A = lease count in frame, B = net generation
   NetDisconnect, ///< tuning: A = agent id, B = leases returned
+  Progress,      ///< tuning: A = region ordinal, B = bit pattern of the
+                 ///< aggregate score (double), Arg = committed samples
 };
 
 /// One fixed-size trace record. 32 bytes, POD, safe to write from a

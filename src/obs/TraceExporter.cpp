@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -97,8 +98,15 @@ std::string chromeTraceJson(std::vector<TraceEvent> Events) {
 
   // One track per pid; name it after the first span the process opens
   // (a pid that is a sampling child in one region can only ever be a
-  // child — tuning pids open regions first).
+  // child — tuning pids open regions first). Remote agents first: their
+  // NetCommitFrame records mark the pid as an agent regardless of which
+  // span kind happens to sort first, so a merged multi-host trace keeps
+  // remote tracks distinguishable from local workers.
   std::map<int32_t, const char *> TrackName;
+  for (const TraceEvent &Ev : Events)
+    if (EventKind(Ev.Kind) == EventKind::NetCommitFrame &&
+        !TrackName.count(Ev.Pid))
+      TrackName[Ev.Pid] = "agent";
   for (const TraceEvent &Ev : Events) {
     EventKind K = EventKind(Ev.Kind);
     const char *Name = nullptr;
@@ -156,6 +164,22 @@ std::string chromeTraceJson(std::vector<TraceEvent> Events) {
                 fallbackReasonName(FallbackReason(Ev.Arg - 1)));
       else
         appendf(Out, ", \"args\": {\"a\": %" PRIu64 "}}", Ev.A);
+    } else if (K == EventKind::Progress) {
+      // Per-region aggregate outcome as a Perfetto counter track: B is
+      // the bit pattern of the score. Non-finite scores would render as
+      // bare `inf`/`nan` (invalid JSON) — emit those as instants only.
+      double Score;
+      std::memcpy(&Score, &Ev.B, sizeof(Score));
+      if (std::isfinite(Score)) {
+        openRecord(Out, First, "score", "C", Ev.Pid, Ts);
+        appendf(Out,
+                ", \"args\": {\"score\": %.6g, \"region\": %" PRIu64
+                ", \"samples\": %u}}",
+                Score, Ev.A, unsigned(Ev.Arg));
+      } else {
+        openRecord(Out, First, "progress", "i", Ev.Pid, Ts);
+        appendf(Out, ", \"s\": \"t\", \"args\": {\"a\": %" PRIu64 "}}", Ev.A);
+      }
     } else {
       openRecord(Out, First, eventKindName(K), "i", Ev.Pid, Ts);
       appendf(Out, ", \"s\": \"t\", \"args\": {\"a\": %" PRIu64 "}}", Ev.A);

@@ -9,6 +9,7 @@
 #include "inject/Sys.h"
 #include "net/AgentChannel.h"
 #include "net/LeaseServer.h"
+#include "net/MetricsEndpoint.h"
 #include "obs/TraceExporter.h"
 #include "proc/SharedControl.h"
 #include "strategy/SamplingStrategy.h"
@@ -627,6 +628,12 @@ void Runtime::init(const RuntimeOptions &InOpts) {
     CB.Trace = [this](obs::EventKind Kind, uint64_t A, uint64_t B) {
       traceEmit(Kind, A, B);
     };
+    CB.TraceSink = [this](std::vector<obs::TraceEvent> &&Evs) {
+      // Agent trace batches arrive already rebased onto our clock; merge
+      // them straight into the root's drained-event pool for export.
+      if (TraceOn)
+        TraceBuf.insert(TraceBuf.end(), Evs.begin(), Evs.end());
+    };
     auto Srv = std::make_unique<net::LeaseServer>(std::move(CB));
     if (Srv->listen(Opts.NetListenAddress))
       NetServer = std::move(Srv);
@@ -636,10 +643,46 @@ void Runtime::init(const RuntimeOptions &InOpts) {
                    "running local-only\n",
                    Opts.NetListenAddress.c_str(), std::strerror(errno));
   }
+  // Live telemetry plane: the scrape endpoint shares the supervisor's
+  // poll cadence (no thread of its own). The address comes from the
+  // option or, when unset, the WBT_METRICS environment knob; a listen
+  // failure degrades to running without a scrape surface, like the
+  // lease server above.
+  MetricsEp.reset();
+  AgentTraceBuf.clear();
+  RegionT0 = 0;
+  {
+    std::string MAddr = Opts.MetricsAddress;
+    if (MAddr.empty()) {
+      if (const char *Env = std::getenv("WBT_METRICS"))
+        MAddr = Env;
+    }
+    if (!MAddr.empty()) {
+      auto Ep = std::make_unique<net::MetricsEndpoint>([this] {
+        // Serve the seqlock-published page so a scrape never races the
+        // live counters; before the first publish, render live metrics.
+        obs::RuntimeMetrics M;
+        if (!Ctl || !Ctl->readMetricsSnapshot(M))
+          M = metrics();
+        std::string Out;
+        obs::writeExpositionText(Out, M);
+        return Out;
+      });
+      if (Ep->listen(MAddr))
+        MetricsEp = std::move(Ep);
+      else
+        std::fprintf(stderr,
+                     "wbtuner: metrics endpoint cannot listen on %s: %s; "
+                     "running without scrape surface\n",
+                     MAddr.c_str(), std::strerror(errno));
+    }
+  }
   TraceBuf.clear();
   InitTime = monoNow();
   // The root tuning process occupies a pool slot like any other process.
   Ctl->acquireSlot(/*IsTuning=*/true);
+  // Seed the metrics page so the very first scrape sees a snapshot.
+  publishTelemetry();
 }
 
 void Runtime::finish() {
@@ -686,6 +729,7 @@ void Runtime::finish() {
     Ctl->releaseSlot();
     if (!Opts.KeepFiles)
       removeTree(Opts.RunDir);
+    MetricsEp.reset();
     Inited = false;
     Ctl.reset();
     inject::disarm();
@@ -903,6 +947,9 @@ int Runtime::sweepChildren() {
   // ... and drain the trace ring on the same schedule, so children's
   // events free ring cells while the region is still running.
   drainTraceEvents(/*Final=*/false);
+  // ... and refresh the telemetry plane: publish a fresh seqlock
+  // snapshot and give the scrape endpoint one non-blocking poll round.
+  publishTelemetry();
   return Live;
 }
 
@@ -1175,6 +1222,7 @@ void Runtime::sampling(int N, const RegionOptions &Ro) {
   for (int R = 0; R != obs::NumFallbackReasons; ++R)
     RegionFallbackStart[R] =
         Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R));
+  RegionT0 = monoNow();
   traceEmit(obs::EventKind::RegionBegin, RegionCounter,
             static_cast<uint64_t>(N));
 
@@ -1644,6 +1692,7 @@ void Runtime::samplingRegion(int N, const RegionOptions &Ro,
   for (int R = 0; R != obs::NumFallbackReasons; ++R)
     RegionFallbackStart[R] =
         Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R));
+  RegionT0 = monoNow();
   traceEmit(obs::EventKind::RegionBegin, RegionCounter,
             static_cast<uint64_t>(N));
 
@@ -1867,6 +1916,7 @@ void Runtime::regionBatch(int Regions, int N, const RegionOptions &Ro,
           Ctl->slabFallbacks(static_cast<obs::FallbackReason>(F));
     RegionHasDeadline = TimeoutSec > 0;
     RegionDeadline = RegionHasDeadline ? monoNow() + TimeoutSec : 0;
+    RegionT0 = monoNow();
     traceEmit(obs::EventKind::RegionBegin, RegionCounter,
               static_cast<uint64_t>(N));
     RegionActive = true;
@@ -2161,6 +2211,13 @@ void Runtime::closeInheritedNetFds() {
     NetServer->closeAll();
     NetServer.reset();
   }
+  // Same for the scrape endpoint: only the root answers scrapes; a child
+  // holding a dup of the listen fd would keep the port alive after the
+  // root is gone.
+  if (MetricsEp) {
+    MetricsEp->closeAll();
+    MetricsEp.reset();
+  }
 }
 
 /// Forks the agent processes, once, at the first net-eligible region —
@@ -2194,8 +2251,16 @@ void Runtime::spawnNetAgents() {
 /// cleanly), then SIGKILL + reap — an agent mid-lease runs no cleanup
 /// worth waiting for.
 void Runtime::shutdownNetAgents() {
-  if (NetServer)
+  if (NetServer) {
     NetServer->broadcastShutdown();
+    // Two short pump rounds give in-flight TraceFrame batches a bounded
+    // window to land before the kill; a half-sent frame from a killed
+    // agent is discarded by the frame buffer as usual.
+    if (!NetAgentPids.empty()) {
+      NetServer->pump(10);
+      NetServer->pump(10);
+    }
+  }
   for (pid_t Pid : NetAgentPids) {
     kill(Pid, SIGKILL);
     int St = 0;
@@ -2337,8 +2402,10 @@ bool Runtime::netReturnLease(int64_t Lease) {
 
 /// An agent's whole life: connect, Hello, then claim lease ranges and
 /// stream CommitBatch frames back until Shutdown. The agent never
-/// touches the lease table, the slab, or the pool gate — its only use of
-/// the inherited shared mapping is lock-free trace emission. Any socket
+/// touches the lease table, the slab, or the pool gate — and it does not
+/// even use the inherited trace ring: a real remote agent would have no
+/// shared mapping at all, so its events buffer locally (traceEmitSlow)
+/// and travel as TraceFrame batches on the lease connection. Any socket
 /// failure (injected partitions and torn frames included) resets to a
 /// clean reconnect; whatever it had claimed has already been handed back
 /// by the server's disconnect path.
@@ -2374,6 +2441,10 @@ void Runtime::netAgentLoop(uint32_t AgentId, uint16_t Port) {
       if (net::frameType(Payload) == net::FrameType::RegionOpen &&
           net::decodeRegionOpen(Payload, Region))
         WindowOpen = true;
+      else if (net::frameType(Payload) == net::FrameType::RegionClose)
+        // Close-ack even when parked: the server's close harvest waits
+        // for one TraceFrame per live agent before the region settles.
+        agentFlushTrace(Chan);
       continue;
     }
     net::ClaimReqMsg Req;
@@ -2401,6 +2472,9 @@ void Runtime::netAgentLoop(uint32_t AgentId, uint16_t Port) {
         uint64_t Gen = 0;
         if (net::decodeRegionClose(Payload, Gen) && Gen == Region.Gen)
           WindowOpen = false;
+        // End-of-window flush: the server's closeRegion() harvest pumps
+        // read this batch before the region settles.
+        agentFlushTrace(Chan);
         break;
       }
       if (T == net::FrameType::Shutdown) {
@@ -2429,8 +2503,17 @@ void Runtime::netAgentLoop(uint32_t AgentId, uint16_t Port) {
     // unsent — exactly the lease loss the reclaim machinery must eat.
     traceEmit(obs::EventKind::NetCommitFrame,
               static_cast<uint64_t>(Batch.Leases.size()), Region.Gen);
-    Chan.sendFrame(net::encodeCommitBatch(Batch));
+    if (Chan.sendFrame(net::encodeCommitBatch(Batch)))
+      // Piggy-back the buffered trace records on the same connection
+      // while it is known-good; the server rebases their timestamps by
+      // this connection's Hello clock offset.
+      agentFlushTrace(Chan);
   }
+  // Last-chance flush (Shutdown or server gone): best effort — if the
+  // connection is already dead the backlog dies with this process, like
+  // any other buffered telemetry of a killed host.
+  if (Chan.connected())
+    agentFlushTrace(Chan);
   std::fflush(nullptr);
   Ctl->childEventNotify();
   _exit(0);
@@ -2783,7 +2866,15 @@ void Runtime::aggregate(const std::string &Var,
     SC.Fallbacks[R] = Ctl->slabFallbacks(static_cast<obs::FallbackReason>(R)) -
                       RegionFallbackStart[R];
   Ctl->noteRegionResolved();
+  // Wall-clock latency of the whole region — open to resolution — next
+  // to the per-operation fork/commit histograms.
+  if (RegionT0 > 0) {
+    Ctl->recordRegionLatency(
+        static_cast<uint64_t>((monoNow() - RegionT0) * 1e9));
+    RegionT0 = 0;
+  }
   traceEmit(obs::EventKind::RegionEnd, RegionCounter);
+  publishTelemetry();
   // Every child of this region is reaped, so an unpublished cell can only
   // be a torn writer (or a concurrent tuning process, whose claim the
   // ring recovers from) — skip instead of stalling the ring. Mid-batch
@@ -2940,6 +3031,11 @@ obs::RuntimeMetrics Runtime::metrics() const {
   M.TraceDrops = Ctl->traceDropsTotal();
   M.ForkLatency = Ctl->forkLatencySnapshot();
   M.CommitLatency = Ctl->commitLatencySnapshot();
+  M.RegionLatency = Ctl->regionLatencySnapshot();
+  M.ScoresNoted = Ctl->scoresNotedTotal();
+  M.ScoreLast = Ctl->scoreLast();
+  M.ScoreMin = Ctl->scoreMin();
+  M.ScoreMax = Ctl->scoreMax();
   M.NetAgents = NetAgentPids.size();
   if (NetServer) {
     const net::NetStats &NS = NetServer->stats();
@@ -2947,13 +3043,72 @@ obs::RuntimeMetrics Runtime::metrics() const {
     M.NetRemoteLeases = NS.RemoteLeases;
     M.NetLeasesReturned = NS.LeasesReturned;
     M.NetFrames = NS.Frames;
+    M.NetBytesIn = NS.BytesIn;
+    M.NetBytesOut = NS.BytesOut;
+    M.NetRecvHello = NS.RecvByType[static_cast<int>(net::FrameType::Hello)];
+    M.NetRecvClaimReq =
+        NS.RecvByType[static_cast<int>(net::FrameType::ClaimReq)];
+    M.NetRecvCommitBatch =
+        NS.RecvByType[static_cast<int>(net::FrameType::CommitBatch)];
+    M.NetRecvTrace =
+        NS.RecvByType[static_cast<int>(net::FrameType::TraceFrame)];
+    // Agent records never touch the shared ring; fold the harvested
+    // count in so TraceEvents stays the run-wide total.
+    M.TraceEvents += NS.TraceEvents;
   }
   return M;
 }
 
+uint16_t Runtime::metricsPort() const {
+  return MetricsEp ? MetricsEp->port() : 0;
+}
+
+void Runtime::publishTelemetry() {
+  // Single seqlock writer: only the root tuning process publishes (a
+  // @split tuning process sweeping its own children must not interleave
+  // with the root's write side).
+  if (!Inited || !IsRoot || !isTuning())
+    return;
+  Ctl->publishMetricsSnapshot(metrics());
+  if (MetricsEp)
+    MetricsEp->pump(0);
+}
+
+void Runtime::noteScore(double Score, uint32_t Samples) {
+  assert(Inited && "noteScore() before init()");
+  Ctl->noteScore(Score);
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Score));
+  std::memcpy(&Bits, &Score, sizeof(Bits));
+  traceEmit(obs::EventKind::Progress, RegionCounter, Bits,
+            static_cast<uint16_t>(Samples > 0xffff ? 0xffff : Samples));
+  publishTelemetry();
+}
+
 void Runtime::traceEmitSlow(obs::EventKind Kind, uint64_t A, uint64_t B,
                             uint16_t Arg) {
+  if (NetAgentMode) {
+    // A remote agent has no shared ring with the tuning host; buffer the
+    // event for the next TraceFrame flush. Bounded: a stalled connection
+    // drops the oldest half rather than growing without limit.
+    constexpr size_t MaxAgentBacklog = 65536;
+    if (AgentTraceBuf.size() >= MaxAgentBacklog)
+      AgentTraceBuf.erase(AgentTraceBuf.begin(),
+                          AgentTraceBuf.begin() + MaxAgentBacklog / 2);
+    AgentTraceBuf.push_back(obs::makeEvent(Kind, A, B, Arg));
+    return;
+  }
   Ctl->traceEmit(obs::makeEvent(Kind, A, B, Arg));
+}
+
+void Runtime::agentFlushTrace(net::AgentChannel &Chan) {
+  if (AgentTraceBuf.empty())
+    return;
+  // Best effort: on send failure keep the backlog for the reconnect path
+  // (the channel re-Hellos, re-establishing the clock offset the server
+  // applies to these timestamps).
+  if (Chan.sendFrame(net::encodeTraceFrame(AgentTraceBuf)))
+    AgentTraceBuf.clear();
 }
 
 void Runtime::drainTraceEvents(bool Final) {

@@ -94,7 +94,9 @@
 
 namespace wbt {
 namespace net {
+class AgentChannel;
 class LeaseServer;
+class MetricsEndpoint;
 } // namespace net
 
 namespace proc {
@@ -244,6 +246,12 @@ struct RuntimeOptions {
   /// Lease-range size an agent claims per round trip — the wire
   /// analogue of regionBatch() amortizing supervisor wakes.
   unsigned NetLeaseChunk = 8;
+  /// "ip:port" of the live metrics scrape endpoint (Prometheus text
+  /// exposition, served threadless from the supervisor sweep; port 0 =
+  /// kernel-picked, read back via Runtime::metricsPort()). Empty
+  /// consults the WBT_METRICS environment variable; the endpoint stays
+  /// off when both are unset. Root tuning process only.
+  std::string MetricsAddress;
 };
 
 /// Per-region overrides for sampling().
@@ -581,6 +589,17 @@ public:
   /// One coherent snapshot of the run's counters and latency histograms
   /// (always collected; valid while the runtime is initialized).
   obs::RuntimeMetrics metrics() const;
+  /// Records one per-region aggregate outcome: updates the shared score
+  /// cells (last/min/max, surfaced as RuntimeMetrics::Score*), emits an
+  /// EventKind::Progress trace record, and republishes the metrics
+  /// snapshot page — the tuning-progress signal drift detectors and
+  /// meta-tuners consume. Call from the aggregation callback (or right
+  /// after aggregate()) with whatever scalar the caller optimizes.
+  /// \p Samples is the committed sample count behind the score (0 ok).
+  void noteScore(double Score, uint32_t Samples = 0);
+  /// Port of the live metrics endpoint, 0 when it is off. With
+  /// MetricsAddress port 0, this is the kernel-picked port.
+  uint16_t metricsPort() const;
   /// Whether event tracing is active (TracePath / WBT_TRACE was set).
   bool traceEnabled() const { return TraceOn; }
   /// Effective trace output path ("" when tracing is off).
@@ -629,6 +648,11 @@ private:
   /// Non-root tuning processes persist their TraceBuf as a fragment.
   void exportTrace();
   void writeTraceFragmentFile();
+  /// Root supervisor: republishes the seqlock metrics page and pumps the
+  /// scrape endpoint (zero timeout). Called from every sweep.
+  void publishTelemetry();
+  /// Agent side: sends the buffered trace backlog as one TraceFrame.
+  void agentFlushTrace(net::AgentChannel &Chan);
   [[noreturn]] void exitChild();
   /// Spare child: blocks until activated (returns, to run the region body)
   /// or discarded (_exits, never returns).
@@ -755,6 +779,15 @@ private:
   bool NetAgentMode = false; // this process is a remote sampling agent
   std::vector<net::CommitVar> AgentVars; // current lease's commits
   bool AgentCommitted = false; // current lease reached aggregate()
+  /// Agent-side trace backlog: an agent's process has no shared ring
+  /// with the root, so its traceEmitSlow() buffers here and the loop
+  /// flushes as TraceFrame batches (before each CommitBatch and on
+  /// RegionClose). Bounded; overflow drops the oldest half.
+  std::vector<obs::TraceEvent> AgentTraceBuf;
+
+  // Live telemetry plane (root tuning side).
+  std::unique_ptr<net::MetricsEndpoint> MetricsEp;
+  double RegionT0 = 0; // monotonic seconds at region open (RegionLatency)
 
   // Aggregation-store state of the current region.
   std::string RegionDirPath; // cached regionDir(RegionCounter)

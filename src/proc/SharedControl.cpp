@@ -20,6 +20,7 @@
 #include <cstring>
 #include <limits>
 #include <thread>
+#include <type_traits>
 
 using namespace wbt;
 using namespace wbt::proc;
@@ -87,6 +88,18 @@ struct SlabRecord {
 
 constexpr uint64_t alignUp8(uint64_t X) { return (X + 7) & ~uint64_t(7); }
 
+uint64_t doubleBits(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+double bitsDouble(uint64_t U) {
+  double D;
+  std::memcpy(&D, &U, sizeof(D));
+  return D;
+}
+
 } // namespace
 
 namespace wbt {
@@ -152,8 +165,23 @@ struct SharedLayout {
   std::atomic<uint64_t> Retries;
   obs::LatencyHistogram ForkLatency;
   obs::LatencyHistogram CommitLatency;
+  obs::LatencyHistogram RegionLatency;
   std::atomic<uint64_t> ZygoteRespawns;
   std::atomic<uint64_t> ZygoteRestores;
+
+  // Tuning-progress score cells: last as a plain bit-pattern store,
+  // min/max maintained by CAS loops over the bit patterns (decoded for
+  // the comparison — bit order is not double order).
+  std::atomic<uint64_t> ScoreCount;
+  std::atomic<uint64_t> ScoreLastBits;
+  std::atomic<uint64_t> ScoreMinBits; // +inf until the first score
+  std::atomic<uint64_t> ScoreMaxBits; // -inf until the first score
+
+  // Seqlock-published metrics snapshot page. Single writer (the root
+  // supervisor); MetricsSeq odd while a copy is in flight. MetricsPage
+  // is plain data guarded entirely by the sequence word.
+  std::atomic<uint64_t> MetricsSeq;
+  obs::RuntimeMetrics MetricsPage;
 
   // Epoch-based slab recycling (written only by the root tuning process,
   // single-threaded, between regions; atomics because every process may
@@ -314,6 +342,15 @@ void SharedControl::init(unsigned MaxPool, size_t VoteSlots,
     C.Min = std::numeric_limits<double>::infinity();
     C.Max = -std::numeric_limits<double>::infinity();
   }
+
+  // The memset above zeroed the score cells; min/max start at their
+  // identities so the first noteScore() wins both CAS races.
+  Layout->ScoreMinBits.store(
+      doubleBits(std::numeric_limits<double>::infinity()),
+      std::memory_order_relaxed);
+  Layout->ScoreMaxBits.store(
+      doubleBits(-std::numeric_limits<double>::infinity()),
+      std::memory_order_relaxed);
 
   Layout->VoteLock.init();
   Layout->VoteCapacity = VoteSlots;
@@ -941,6 +978,95 @@ obs::HistogramSnapshot SharedControl::forkLatencySnapshot() const {
 
 obs::HistogramSnapshot SharedControl::commitLatencySnapshot() const {
   return snapshotOf(Layout->CommitLatency);
+}
+
+void SharedControl::recordRegionLatency(uint64_t Ns) {
+  Layout->RegionLatency.record(Ns);
+}
+
+obs::HistogramSnapshot SharedControl::regionLatencySnapshot() const {
+  return snapshotOf(Layout->RegionLatency);
+}
+
+void SharedControl::noteScore(double Score) {
+  SharedLayout *L = Layout;
+  L->ScoreLastBits.store(doubleBits(Score), std::memory_order_relaxed);
+  uint64_t Bits = doubleBits(Score);
+  uint64_t Cur = L->ScoreMinBits.load(std::memory_order_relaxed);
+  while (Score < bitsDouble(Cur) &&
+         !L->ScoreMinBits.compare_exchange_weak(Cur, Bits,
+                                                std::memory_order_relaxed))
+    ;
+  Cur = L->ScoreMaxBits.load(std::memory_order_relaxed);
+  while (Score > bitsDouble(Cur) &&
+         !L->ScoreMaxBits.compare_exchange_weak(Cur, Bits,
+                                                std::memory_order_relaxed))
+    ;
+  L->ScoreCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t SharedControl::scoresNotedTotal() const {
+  return Layout->ScoreCount.load(std::memory_order_relaxed);
+}
+
+double SharedControl::scoreLast() const {
+  if (!scoresNotedTotal())
+    return 0.0;
+  return bitsDouble(Layout->ScoreLastBits.load(std::memory_order_relaxed));
+}
+
+double SharedControl::scoreMin() const {
+  if (!scoresNotedTotal())
+    return 0.0; // the cell still holds +inf — never leak it into JSON
+  return bitsDouble(Layout->ScoreMinBits.load(std::memory_order_relaxed));
+}
+
+double SharedControl::scoreMax() const {
+  if (!scoresNotedTotal())
+    return 0.0;
+  return bitsDouble(Layout->ScoreMaxBits.load(std::memory_order_relaxed));
+}
+
+//===----------------------------------------------------------------------===//
+// Seqlock metrics snapshot page
+//===----------------------------------------------------------------------===//
+
+void SharedControl::publishMetricsSnapshot(const obs::RuntimeMetrics &M) {
+  static_assert(std::is_trivially_copyable<obs::RuntimeMetrics>::value,
+                "the metrics page is copied with memcpy");
+  SharedLayout *L = Layout;
+  uint64_t Seq = L->MetricsSeq.load(std::memory_order_relaxed);
+  // Odd: a copy is in flight. The release fence keeps the payload
+  // stores from sinking above the odd store (StoreStore), so a reader
+  // can never pair a torn payload with a stable even sequence.
+  L->MetricsSeq.store(Seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::memcpy(&L->MetricsPage, &M, sizeof(M));
+  // Publication: even again, release-paired with the reader's fence.
+  L->MetricsSeq.store(Seq + 2, std::memory_order_release);
+}
+
+bool SharedControl::readMetricsSnapshot(obs::RuntimeMetrics &Out) const {
+  const SharedLayout *L = Layout;
+  // Bounded retries: the writer publishes at sweep cadence, so a torn
+  // read is rare and one retry almost always lands. The bound only
+  // guards against a writer that dies mid-copy (odd forever).
+  for (int Try = 0; Try != 1024; ++Try) {
+    uint64_t S1 = L->MetricsSeq.load(std::memory_order_acquire);
+    if (S1 == 0)
+      return false; // nothing published yet
+    if (S1 & 1)
+      continue; // writer mid-copy
+    std::memcpy(&Out, &L->MetricsPage, sizeof(Out));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (L->MetricsSeq.load(std::memory_order_relaxed) == S1)
+      return true;
+  }
+  return false;
+}
+
+uint64_t SharedControl::metricsSnapshotCount() const {
+  return Layout->MetricsSeq.load(std::memory_order_relaxed) / 2;
 }
 
 //===----------------------------------------------------------------------===//

@@ -380,6 +380,7 @@ public:
   /// Always-on latency histograms and run counters.
   void recordForkLatency(uint64_t Ns);
   void recordCommitLatency(uint64_t Ns);
+  void recordRegionLatency(uint64_t Ns);
   void noteRegionResolved();
   void noteRetry();
   void noteZygoteRespawn();
@@ -390,6 +391,37 @@ public:
   uint64_t zygoteRestoresTotal() const;
   obs::HistogramSnapshot forkLatencySnapshot() const;
   obs::HistogramSnapshot commitLatencySnapshot() const;
+  obs::HistogramSnapshot regionLatencySnapshot() const;
+
+  /// Tuning-progress score cells: noteScore() records each per-region
+  /// aggregate outcome (last/min/max via lock-free CAS on the bit
+  /// patterns) so readers of the metrics page see score progression
+  /// without any aggregation-side locking.
+  void noteScore(double Score);
+  uint64_t scoresNotedTotal() const;
+  double scoreLast() const;
+  double scoreMin() const; ///< 0 until any score was noted
+  double scoreMax() const; ///< 0 until any score was noted
+
+  //===--------------------------------------------------------------------===
+  // Seqlock-published metrics snapshot page.
+  //===--------------------------------------------------------------------===
+  //
+  // The root supervisor republishes a full RuntimeMetrics snapshot into
+  // the shared mapping after every sweep. Readers (the scrape endpoint,
+  // or any process holding the mapping) get tear-free snapshots without
+  // pausing the run: the writer bumps the sequence word to odd, copies
+  // the payload, then publishes with an even release-store; a reader
+  // retries until it sees the same even sequence on both sides of its
+  // copy.
+
+  /// Writer side — root supervisor only (single writer by construction).
+  void publishMetricsSnapshot(const obs::RuntimeMetrics &M);
+  /// Reader side. False when nothing has been published yet or a stable
+  /// snapshot could not be obtained in a bounded number of retries.
+  bool readMetricsSnapshot(obs::RuntimeMetrics &Out) const;
+  /// Publication count (even sequence / 2); 0 before the first publish.
+  uint64_t metricsSnapshotCount() const;
 
   //===--------------------------------------------------------------------===
   // Shared accumulators (incremental aggregation, paper Sec. IV-B).

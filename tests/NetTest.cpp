@@ -31,7 +31,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 using namespace wbt;
@@ -53,11 +55,52 @@ std::vector<uint8_t> payloadOf(const std::vector<uint8_t> &Frame) {
 } // namespace
 
 TEST(WireTest, HelloRoundtrip) {
-  std::vector<uint8_t> P = payloadOf(encodeHello(7));
+  std::vector<uint8_t> P = payloadOf(encodeHello(7, 123456789ull));
   EXPECT_EQ(frameType(P), FrameType::Hello);
   uint32_t Id = 0;
-  ASSERT_TRUE(decodeHello(P, Id));
+  uint64_t ClockNs = 0;
+  ASSERT_TRUE(decodeHello(P, Id, ClockNs));
   EXPECT_EQ(Id, 7u);
+  EXPECT_EQ(ClockNs, 123456789ull); // clock-offset estimation needs it intact
+}
+
+TEST(WireTest, TraceFrameRoundtrip) {
+  std::vector<obs::TraceEvent> Evs;
+  obs::TraceEvent Ev{};
+  Ev.TsNs = 0x1122334455667788ull;
+  Ev.Pid = 4242;
+  Ev.Kind = uint16_t(obs::EventKind::LeaseBegin);
+  Ev.Arg = 7;
+  Ev.A = 99;
+  Ev.B = 0xDEADBEEFCAFEF00Dull;
+  Evs.push_back(Ev);
+  Ev.Kind = uint16_t(obs::EventKind::NetCommitFrame);
+  Ev.TsNs += 1000;
+  Evs.push_back(Ev);
+
+  std::vector<uint8_t> P = payloadOf(encodeTraceFrame(Evs));
+  EXPECT_EQ(frameType(P), FrameType::TraceFrame);
+  std::vector<obs::TraceEvent> Out;
+  ASSERT_TRUE(decodeTraceFrame(P, Out));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].TsNs, 0x1122334455667788ull);
+  EXPECT_EQ(Out[0].Pid, 4242);
+  EXPECT_EQ(Out[0].Kind, uint16_t(obs::EventKind::LeaseBegin));
+  EXPECT_EQ(Out[0].Arg, 7);
+  EXPECT_EQ(Out[0].A, 99u);
+  EXPECT_EQ(Out[0].B, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(Out[1].Kind, uint16_t(obs::EventKind::NetCommitFrame));
+}
+
+TEST(WireTest, TraceFrameRejectsOverclaimedCount) {
+  // A count field larger than the payload can hold must fail the decode
+  // instead of sizing a buffer from attacker-controlled bytes.
+  std::vector<obs::TraceEvent> Evs(1);
+  std::vector<uint8_t> P = payloadOf(encodeTraceFrame(Evs));
+  uint32_t Huge = 0x10000000;
+  std::memcpy(&P[1], &Huge, sizeof(Huge)); // count sits after the type byte
+  std::vector<obs::TraceEvent> Out;
+  EXPECT_FALSE(decodeTraceFrame(P, Out));
 }
 
 TEST(WireTest, RegionOpenRoundtripKeepsKind) {
@@ -165,7 +208,7 @@ TEST(WireTest, ControlFrames) {
 TEST(FrameBufferTest, SplitDeliveryReassembles) {
   // Two frames drip-fed one byte at a time — the worst case a short
   // recv can produce — must come out whole and in order.
-  std::vector<uint8_t> Stream = encodeHello(1);
+  std::vector<uint8_t> Stream = encodeHello(1, 11);
   std::vector<uint8_t> Second = encodeRegionClose(5);
   Stream.insert(Stream.end(), Second.begin(), Second.end());
 
@@ -184,7 +227,7 @@ TEST(FrameBufferTest, SplitDeliveryReassembles) {
 }
 
 TEST(FrameBufferTest, TornFrameNeverCompletes) {
-  std::vector<uint8_t> Frame = encodeHello(2);
+  std::vector<uint8_t> Frame = encodeHello(2, 22);
   FrameBuffer B;
   B.append(Frame.data(), Frame.size() - 1); // half-written frame
   std::vector<uint8_t> P;
@@ -285,6 +328,20 @@ int scenarioNetMatchesLocal() {
   CHECK_OR(Mn.NetAgents == 4, 5);
   CHECK_OR(Mn.NetRemoteLeases > 0, 6);
   CHECK_OR(Mn.NetFrames > 0, 7);
+  // Byte and per-frame-type accounting moved with the traffic: frames
+  // imply bytes both ways, and the conversation shape implies at least
+  // one Hello, ClaimReq, and CommitBatch each.
+  CHECK_OR(Mn.NetBytesIn > 0, 8);
+  CHECK_OR(Mn.NetBytesOut > 0, 9);
+  CHECK_OR(Mn.NetRecvHello > 0, 40);
+  CHECK_OR(Mn.NetRecvClaimReq > 0, 41);
+  CHECK_OR(Mn.NetRecvCommitBatch > 0, 42);
+  CHECK_OR(Mn.NetRecvHello + Mn.NetRecvClaimReq + Mn.NetRecvCommitBatch +
+                   Mn.NetRecvTrace <=
+               Mn.NetFrames,
+           43);
+  // The local-only run kept the lease server down: nothing may count.
+  CHECK_OR(Ml.NetBytesIn == 0 && Ml.NetBytesOut == 0, 44);
   for (size_t I = 0; I != Local.size(); ++I)
     CHECK_OR(Mixed[I] == Local[I], 10 + static_cast<int>(I)); // bitwise
   return 0;
@@ -458,6 +515,114 @@ int runNetBatch(unsigned Agents, std::vector<std::vector<double>> &Out) {
   return 0;
 }
 
+/// Pulls `"key": <number>` out of one exported trace record line.
+/// Returns false when the key is absent.
+bool jsonNumField(const std::string &Line, const char *Key, double &Out) {
+  std::string Pat = std::string("\"") + Key + "\": ";
+  size_t Pos = Line.find(Pat);
+  if (Pos == std::string::npos)
+    return false;
+  Out = std::strtod(Line.c_str() + Pos + Pat.size(), nullptr);
+  return true;
+}
+
+/// Distributed trace correlation: a 4-agent region with tracing on must
+/// export a merged timeline where (a) agent pids get their own "agent"
+/// tracks and (b) every agent record's (clock-offset-rebased) timestamp
+/// falls inside the enclosing region span of the tuning track.
+int scenarioNetTraceCorrelation() {
+  std::string TracePath =
+      "/tmp/wbt-nettrace-" + std::to_string(getpid()) + ".json";
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 8;
+  Opts.Seed = 82;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.NetAgents = 4;
+  Opts.TracePath = TracePath;
+  Rt.init(Opts);
+
+  const int N = 24;
+  RegionOptions Ro;
+  Ro.Workers = 1;
+  Rt.samplingRegion(N, Ro, [&] {
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      usleep(1000);
+      Rt.aggregate("x", encodeDouble(X), nullptr);
+    }
+    Rt.aggregate("x", encodeDouble(0), nullptr);
+  });
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+
+  CHECK_OR(M.NetRemoteLeases > 0, 2);
+  // At least one TraceFrame batch was harvested over the wire.
+  CHECK_OR(M.NetRecvTrace > 0, 3);
+
+  std::FILE *F = std::fopen(TracePath.c_str(), "r");
+  CHECK_OR(F != nullptr, 4);
+  std::vector<std::string> Lines;
+  {
+    std::string Cur;
+    int C;
+    while ((C = std::fgetc(F)) != EOF) {
+      if (C == '\n') {
+        Lines.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur += static_cast<char>(C);
+      }
+    }
+    if (!Cur.empty())
+      Lines.push_back(Cur);
+  }
+  std::fclose(F);
+  std::remove(TracePath.c_str());
+
+  // Pass 1: agent pids (process_name metadata) and the region span.
+  std::vector<double> AgentPids;
+  double RegionB = -1, RegionE = -1;
+  for (const std::string &L : Lines) {
+    double Pid, Ts;
+    if (L.find("\"process_name\"") != std::string::npos &&
+        L.find("{\"name\": \"agent\"}") != std::string::npos &&
+        jsonNumField(L, "pid", Pid))
+      AgentPids.push_back(Pid);
+    if (L.find("\"name\": \"region\"") != std::string::npos &&
+        jsonNumField(L, "ts", Ts)) {
+      if (L.find("\"ph\": \"B\"") != std::string::npos)
+        RegionB = RegionB < 0 ? Ts : RegionB;
+      if (L.find("\"ph\": \"E\"") != std::string::npos)
+        RegionE = Ts > RegionE ? Ts : RegionE;
+    }
+  }
+  CHECK_OR(!AgentPids.empty(), 5);
+  CHECK_OR(RegionB >= 0 && RegionE > RegionB, 6);
+
+  // Pass 2: every agent record sits inside the region span. Agent events
+  // are emitted between region open and the close harvest, and the
+  // server clamps rebased timestamps to frame-receipt time (the offset
+  // estimate is high by one network flight), so containment is exact.
+  int AgentRecords = 0;
+  for (const std::string &L : Lines) {
+    double Pid, Ts;
+    if (!jsonNumField(L, "pid", Pid) || !jsonNumField(L, "ts", Ts))
+      continue;
+    if (L.find("\"process_name\"") != std::string::npos)
+      continue; // metadata rides at ts 0
+    bool IsAgent = false;
+    for (double P : AgentPids)
+      IsAgent |= P == Pid;
+    if (!IsAgent)
+      continue;
+    ++AgentRecords;
+    CHECK_OR(Ts >= RegionB && Ts <= RegionE, 7);
+  }
+  CHECK_OR(AgentRecords > 0, 8);
+  return 0;
+}
+
 int scenarioNetBatchMatchesLocal() {
   std::vector<std::vector<double>> Local, Mixed;
   CHECK_OR(runNetBatch(0, Local) == 0, 5);
@@ -496,4 +661,8 @@ TEST(NetRuntimeTest, RecvResetReconnectsMidRegion) {
 
 TEST(NetRuntimeTest, BatchWithAgentsMatchesLocal) {
   EXPECT_EQ(runScenario(scenarioNetBatchMatchesLocal), 0);
+}
+
+TEST(NetRuntimeTest, AgentTraceRecordsCorrelateIntoRegionSpan) {
+  EXPECT_EQ(runScenario(scenarioNetTraceCorrelation), 0);
 }

@@ -18,15 +18,20 @@
 #include "obs/Trace.h"
 #include "obs/TraceExporter.h"
 #include "proc/Runtime.h"
+#include "proc/SharedControl.h"
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <signal.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -190,6 +195,349 @@ TEST(Histogram, RecordAndSnapshot) {
   // p50 falls in bucket 2 ([4us, 8us)); the quantile reports its upper
   // bound.
   EXPECT_DOUBLE_EQ(S.quantileUs(0.5), 8.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics JSON + exposition text
+//===----------------------------------------------------------------------===//
+
+/// Minimal recursive-descent JSON validator — enough to prove the
+/// emitters produce structurally valid JSON (strings, numbers, objects,
+/// arrays; no escapes beyond \" needed here).
+struct JsonChecker {
+  const char *P;
+  const char *E;
+  bool Fail = false;
+
+  explicit JsonChecker(const std::string &S)
+      : P(S.data()), E(S.data() + S.size()) {}
+
+  void ws() {
+    while (P != E && (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+  bool eat(char C) {
+    ws();
+    if (P != E && *P == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+  void string() {
+    if (!eat('"')) {
+      Fail = true;
+      return;
+    }
+    while (P != E && *P != '"') {
+      if (*P == '\\')
+        ++P;
+      if (P != E)
+        ++P;
+    }
+    if (P == E)
+      Fail = true;
+    else
+      ++P; // closing quote
+  }
+  void number() {
+    char *End = nullptr;
+    std::strtod(P, &End);
+    if (End == P)
+      Fail = true;
+    else
+      P = End;
+  }
+  void value() {
+    ws();
+    if (P == E) {
+      Fail = true;
+      return;
+    }
+    if (*P == '{')
+      object();
+    else if (*P == '[')
+      array();
+    else if (*P == '"')
+      string();
+    else
+      number();
+  }
+  void object() {
+    if (!eat('{')) {
+      Fail = true;
+      return;
+    }
+    if (eat('}'))
+      return;
+    do {
+      string();
+      if (Fail || !eat(':')) {
+        Fail = true;
+        return;
+      }
+      value();
+    } while (!Fail && eat(','));
+    if (!eat('}'))
+      Fail = true;
+  }
+  void array() {
+    if (!eat('[')) {
+      Fail = true;
+      return;
+    }
+    if (eat(']'))
+      return;
+    do
+      value();
+    while (!Fail && eat(','));
+    if (!eat(']'))
+      Fail = true;
+  }
+  bool valid() {
+    value();
+    ws();
+    return !Fail && P == E;
+  }
+};
+
+/// Captures writeMetricsJson output for one snapshot.
+std::string metricsJsonOf(const RuntimeMetrics &M) {
+  char *Buf = nullptr;
+  size_t Len = 0;
+  std::FILE *F = open_memstream(&Buf, &Len);
+  EXPECT_NE(F, nullptr);
+  writeMetricsJson(F, M);
+  std::fclose(F);
+  std::string Out(Buf, Len);
+  std::free(Buf);
+  return Out;
+}
+
+/// A snapshot with every field distinct and nonzero, so emitter tests
+/// can tell the fields apart.
+RuntimeMetrics denseMetrics() {
+  RuntimeMetrics M;
+  uint64_t V = 100;
+  for (uint64_t *F :
+       {&M.RegionsResolved, &M.ShmCommits, &M.FileFallbacks, &M.Fallbacks[0],
+        &M.Fallbacks[1], &M.Fallbacks[2], &M.CrashedSamples,
+        &M.TimedOutSamples, &M.ForkFailures, &M.LeaseReclaims, &M.Retries,
+        &M.SlabRecordsHighWater, &M.SlabBytesHighWater, &M.SlabRecycles,
+        &M.SlabEpochHighWater, &M.ThpGranted, &M.ThpDeclined,
+        &M.HugetlbGranted, &M.HugetlbDeclined, &M.ZygoteRespawns,
+        &M.ZygoteRestores, &M.RemoveFailures, &M.NetAgents, &M.NetReconnects,
+        &M.NetRemoteLeases, &M.NetLeasesReturned, &M.NetFrames, &M.NetBytesIn,
+        &M.NetBytesOut, &M.NetRecvHello, &M.NetRecvClaimReq,
+        &M.NetRecvCommitBatch, &M.NetRecvTrace, &M.TraceEvents, &M.TraceDrops,
+        &M.ScoresNoted})
+    *F = V++;
+  M.ElapsedSec = 2.5;
+  M.ScoreLast = 0.75;
+  M.ScoreMin = -1.25;
+  M.ScoreMax = 3.5;
+  for (int B = 0; B != NumHistBuckets; ++B) {
+    M.ForkLatency.Counts[B] = B + 1;
+    M.CommitLatency.Counts[B] = 2 * B + 1;
+    M.RegionLatency.Counts[B] = 3 * B + 1;
+  }
+  M.ForkLatency.SumNs = 1000000;
+  M.CommitLatency.SumNs = 2000000;
+  M.RegionLatency.SumNs = 3000000;
+  return M;
+}
+
+/// The complete key list writeMetricsJson promises, in emission order —
+/// the golden contract the bench --json consumers parse against.
+const char *const MetricsJsonKeys[] = {
+    "regions_resolved", "regions_per_sec", "shm_commits", "file_fallbacks",
+    "fallback_oversized", "fallback_long_name", "fallback_exhausted",
+    "crashed", "timed_out", "fork_failures", "lease_reclaims", "retries",
+    "slab_records_hw", "slab_bytes_hw", "slab_recycles", "slab_epoch_hw",
+    "thp_granted", "thp_declined", "hugetlb_granted", "hugetlb_declined",
+    "zygote_respawns", "zygote_restores", "remove_failures", "net_agents",
+    "net_reconnects", "net_remote_leases", "net_leases_returned",
+    "net_frames", "net_bytes_in", "net_bytes_out", "net_recv_hello",
+    "net_recv_claim_req", "net_recv_commit_batch", "net_recv_trace",
+    "trace_events", "trace_drops", "scores_noted", "score_last", "score_min",
+    "score_max", "fork_p50_us", "fork_mean_us", "commit_p50_us",
+    "commit_mean_us", "region_p50_us", "region_mean_us",
+    "fork_latency_buckets", "commit_latency_buckets",
+    "region_latency_buckets"};
+
+TEST(MetricsJson, ParsesAndKeepsGoldenKeyOrder) {
+  std::string Json = metricsJsonOf(denseMetrics());
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+
+  size_t Prev = 0;
+  for (const char *Key : MetricsJsonKeys) {
+    std::string Pat = std::string("\"") + Key + "\": ";
+    size_t Pos = Json.find(Pat);
+    ASSERT_NE(Pos, std::string::npos) << "missing key " << Key;
+    EXPECT_GT(Pos, Prev) << "key out of order: " << Key;
+    // Exactly once — a duplicated key would silently shadow in most
+    // parsers.
+    EXPECT_EQ(Json.find(Pat, Pos + 1), std::string::npos) << Key;
+    Prev = Pos;
+  }
+}
+
+TEST(MetricsJson, HistogramBucketArraysHoldAllBuckets) {
+  RuntimeMetrics M = denseMetrics();
+  std::string Json = metricsJsonOf(M);
+  for (const char *Key : {"fork_latency_buckets", "commit_latency_buckets",
+                          "region_latency_buckets"}) {
+    std::string Pat = std::string("\"") + Key + "\": [";
+    size_t Pos = Json.find(Pat);
+    ASSERT_NE(Pos, std::string::npos) << Key;
+    size_t End = Json.find(']', Pos);
+    ASSERT_NE(End, std::string::npos);
+    std::string Arr = Json.substr(Pos + Pat.size(), End - Pos - Pat.size());
+    size_t Commas = 0;
+    for (char C : Arr)
+      Commas += C == ',';
+    EXPECT_EQ(Commas, size_t(NumHistBuckets - 1)) << Key;
+  }
+  // Spot-check one array's first and last values against the snapshot.
+  std::string Pat = "\"region_latency_buckets\": [";
+  size_t Pos = Json.find(Pat);
+  ASSERT_NE(Pos, std::string::npos);
+  EXPECT_EQ(Json.compare(Pos + Pat.size(), 1, "1"), 0);
+}
+
+TEST(MetricsJson, EmptySnapshotStillParses) {
+  std::string Json = metricsJsonOf(RuntimeMetrics());
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json;
+  // Zero-count histograms must report 0 digests, not inf/nan.
+  EXPECT_NE(Json.find("\"region_p50_us\": 0.0"), std::string::npos);
+  EXPECT_EQ(Json.find("inf"), std::string::npos);
+  EXPECT_EQ(Json.find("nan"), std::string::npos);
+}
+
+TEST(MetricsExposition, CoversEveryScalarAndHistogram) {
+  RuntimeMetrics M = denseMetrics();
+  std::string Text;
+  writeExpositionText(Text, M);
+  // Every scalar key from the JSON contract has a wbt_ metric (histogram
+  // digests surface as wbt_*_latency_p50_us gauges instead).
+  for (const char *Key :
+       {"regions_resolved", "regions_per_sec", "shm_commits",
+        "file_fallbacks", "fallback_oversized", "fallback_long_name",
+        "fallback_exhausted", "crashed", "timed_out", "fork_failures",
+        "lease_reclaims", "retries", "slab_records_hw", "slab_bytes_hw",
+        "slab_recycles", "slab_epoch_hw", "thp_granted", "thp_declined",
+        "hugetlb_granted", "hugetlb_declined", "zygote_respawns",
+        "zygote_restores", "remove_failures", "net_agents", "net_reconnects",
+        "net_remote_leases", "net_leases_returned", "net_frames",
+        "net_bytes_in", "net_bytes_out", "net_recv_hello",
+        "net_recv_claim_req", "net_recv_commit_batch", "net_recv_trace",
+        "trace_events", "trace_drops", "scores_noted", "score_last",
+        "score_min", "score_max"}) {
+    std::string Line = std::string("\nwbt_") + Key + " ";
+    EXPECT_NE(Text.find(Line), std::string::npos) << "missing wbt_" << Key;
+  }
+  for (const char *H :
+       {"fork_latency", "commit_latency", "region_latency"}) {
+    std::string Base = std::string("wbt_") + H + "_us";
+    EXPECT_NE(Text.find("# TYPE " + Base + " histogram"), std::string::npos);
+    EXPECT_NE(Text.find(Base + "_bucket{le=\"+Inf\"}"), std::string::npos);
+    EXPECT_NE(Text.find(Base + "_sum "), std::string::npos);
+    EXPECT_NE(Text.find(Base + "_count "), std::string::npos);
+    EXPECT_NE(Text.find("wbt_" + std::string(H) + "_p50_us "),
+              std::string::npos);
+  }
+}
+
+TEST(MetricsExposition, HistogramBucketsAreCumulativeMonotone) {
+  RuntimeMetrics M = denseMetrics();
+  std::string Text;
+  writeExpositionText(Text, M);
+  const std::string Key = "wbt_region_latency_us_bucket{le=\"";
+  uint64_t Prev = 0, Last = 0;
+  int Buckets = 0;
+  for (size_t P = Text.find(Key); P != std::string::npos;
+       P = Text.find(Key, P + 1)) {
+    size_t ValPos = Text.find("} ", P);
+    ASSERT_NE(ValPos, std::string::npos);
+    uint64_t V = std::strtoull(Text.c_str() + ValPos + 2, nullptr, 10);
+    EXPECT_GE(V, Prev); // cumulative: never decreases
+    Prev = Last = V;
+    ++Buckets;
+  }
+  EXPECT_EQ(Buckets, NumHistBuckets + 1); // 16 bounds + le="+Inf"
+  EXPECT_EQ(Last, M.RegionLatency.total());
+}
+
+//===----------------------------------------------------------------------===//
+// Seqlock metrics page
+//===----------------------------------------------------------------------===//
+
+/// Snapshot whose every checked field carries the same epoch value — a
+/// mixed-epoch read is exactly a torn one.
+RuntimeMetrics epochPattern(uint64_t E) {
+  RuntimeMetrics M;
+  M.RegionsResolved = E;
+  M.ShmCommits = E;
+  M.NetBytesIn = E;
+  M.NetBytesOut = E;
+  M.TraceEvents = E;
+  M.ScoresNoted = E;
+  M.ElapsedSec = double(E);
+  M.ScoreLast = double(E);
+  M.RegionLatency.SumNs = E;
+  M.RegionLatency.Counts[0] = E;
+  M.RegionLatency.Counts[NumHistBuckets - 1] = E;
+  return M;
+}
+
+bool epochUniform(const RuntimeMetrics &M) {
+  uint64_t E = M.RegionsResolved;
+  return M.ShmCommits == E && M.NetBytesIn == E && M.NetBytesOut == E &&
+         M.TraceEvents == E && M.ScoresNoted == E &&
+         M.ElapsedSec == double(E) && M.ScoreLast == double(E) &&
+         M.RegionLatency.SumNs == E && M.RegionLatency.Counts[0] == E &&
+         M.RegionLatency.Counts[NumHistBuckets - 1] == E;
+}
+
+TEST(MetricsSeqlock, WriterStormNeverTearsReads) {
+  // A child hammers publishMetricsSnapshot with epoch-patterned pages
+  // while the parent takes 10k snapshots: every successful read must be
+  // internally consistent (all fields from one epoch), and the reader
+  // must make progress under the storm (bounded retries, not livelock).
+  proc::SharedControl Ctl;
+  Ctl.init(/*MaxPool=*/2, /*VoteSlots=*/0, /*UseScheduler=*/false);
+
+  RuntimeMetrics Unpublished;
+  EXPECT_FALSE(Ctl.readMetricsSnapshot(Unpublished)); // nothing yet
+  EXPECT_EQ(Ctl.metricsSnapshotCount(), 0u);
+
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    for (uint64_t E = 1;; ++E)
+      Ctl.publishMetricsSnapshot(epochPattern(E));
+  }
+  uint64_t Reads = 0, Failures = 0, MaxEpoch = 0;
+  while (Reads != 10000) {
+    RuntimeMetrics M;
+    if (!Ctl.readMetricsSnapshot(M)) {
+      // Collisions with the writer are legal (bounded-retry false), but
+      // a livelocked reader is not.
+      ASSERT_LT(++Failures, 100000u);
+      continue;
+    }
+    ++Reads;
+    ASSERT_TRUE(epochUniform(M))
+        << "torn snapshot at read " << Reads << ": regions "
+        << M.RegionsResolved << " commits " << M.ShmCommits;
+    if (M.RegionsResolved > MaxEpoch)
+      MaxEpoch = M.RegionsResolved;
+  }
+  kill(Pid, SIGKILL);
+  int St = 0;
+  waitpid(Pid, &St, 0);
+  EXPECT_GT(MaxEpoch, 0u);
+  EXPECT_GT(Ctl.metricsSnapshotCount(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -535,6 +883,143 @@ int scenarioTmpdirHonored() {
   return 0;
 }
 
+/// Blocking HTTP/1.0 GET of /metrics against 127.0.0.1:\p Port. Empty
+/// string on any failure (same shape as wbt-top's scrape).
+std::string scrapeMetrics(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return {};
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(Port);
+  Sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0) {
+    ::close(Fd);
+    return {};
+  }
+  const char Req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  if (::send(Fd, Req, sizeof(Req) - 1, 0) != ssize_t(sizeof(Req) - 1)) {
+    ::close(Fd);
+    return {};
+  }
+  std::string Resp;
+  char Buf[4096];
+  for (;;) {
+    ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      break;
+    Resp.append(Buf, size_t(R));
+  }
+  ::close(Fd);
+  size_t Split = Resp.find("\r\n\r\n");
+  return Split == std::string::npos ? std::string() : Resp.substr(Split + 4);
+}
+
+/// Scraper-child body: take ten live snapshots from the endpoint while
+/// the tuning parent keeps running regions, proving counters only ever
+/// move forward across scrapes and the histogram families are present.
+int scrapeLoop(uint16_t Port) {
+  alarm(10); // failsafe: a wedged scrape must not hang the test
+  const char Key[] = "wbt_regions_resolved ";
+  double Prev = -1;
+  for (int Good = 0; Good != 10;) {
+    std::string Body = scrapeMetrics(Port);
+    if (Body.empty()) {
+      usleep(2000);
+      continue;
+    }
+    size_t P = Body.find(Key);
+    if (P == std::string::npos)
+      return 40;
+    if (Body.find("# TYPE wbt_region_latency_us histogram") ==
+        std::string::npos)
+      return 41;
+    double V = std::strtod(Body.c_str() + P + sizeof(Key) - 1, nullptr);
+    if (V < Prev)
+      return 42; // a counter moved backwards between scrapes
+    Prev = V;
+    ++Good;
+    usleep(5000);
+  }
+  return 0;
+}
+
+int scenarioLiveMetricsEndpoint() {
+  // Tentpole end-to-end: the threadless scrape endpoint answers live
+  // queries from the supervisor's own pump cadence while regions run,
+  // noteScore feeds the score gauges and emits Progress trace events,
+  // and RegionLatency counts one sample per resolved region.
+  using namespace wbt::proc;
+  std::string Path =
+      "/tmp/wbt-obs-telemetry-test." + std::to_string(getpid()) + ".json";
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 4;
+  Opts.Seed = 48;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.TracePath = Path;
+  Opts.MetricsAddress = "127.0.0.1:0"; // ephemeral port
+  Rt.init(Opts);
+  uint16_t Port = Rt.metricsPort();
+  CHECK_OR(Port != 0, 2);
+
+  pid_t Scraper = fork();
+  CHECK_OR(Scraper >= 0, 3);
+  if (Scraper == 0)
+    _exit(scrapeLoop(Port));
+
+  // Keep resolving regions (each settle and sweep pumps the endpoint)
+  // until the scraper has its ten snapshots.
+  int Status = 0;
+  int Regions = 0;
+  pid_t W = 0;
+  while ((W = waitpid(Scraper, &Status, WNOHANG)) == 0) {
+    CHECK_OR(++Regions <= 200, 4);
+    RegionOptions Ro;
+    Ro.Workers = 2;
+    Rt.samplingRegion(6, Ro, [&] {
+      double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+      usleep(2000); // keep the region open across a few sweeps
+      if (Rt.isSampling())
+        Rt.aggregate("x", encodeDouble(X), nullptr);
+      Rt.aggregate("x", encodeDouble(0), nullptr);
+    });
+    Rt.noteScore(0.25 + 0.01 * Regions, /*Samples=*/6);
+  }
+  CHECK_OR(W == Scraper, 5);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0,
+           100 + (WIFEXITED(Status) ? WEXITSTATUS(Status) : 99));
+
+  RuntimeMetrics M = Rt.metrics();
+  CHECK_OR(M.RegionsResolved == uint64_t(Regions), 6);
+  CHECK_OR(M.RegionLatency.total() == uint64_t(Regions), 7);
+  CHECK_OR(M.ScoresNoted == uint64_t(Regions), 8);
+  CHECK_OR(M.ScoreLast == 0.25 + 0.01 * Regions, 9);
+  CHECK_OR(M.ScoreMin == 0.25 + 0.01 * 1, 10);
+  CHECK_OR(M.ScoreMax == M.ScoreLast, 11);
+  Rt.finish();
+
+  // finish() tears the endpoint down with the run.
+  CHECK_OR(scrapeMetrics(Port).empty(), 12);
+
+  // Progress events surface as a "score" counter track in the export.
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  CHECK_OR(F != nullptr, 13);
+  std::string Json;
+  char Buf[4096];
+  size_t R;
+  while ((R = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Json.append(Buf, R);
+  std::fclose(F);
+  unlink(Path.c_str());
+  CHECK_OR(bracesBalanced(Json), 14);
+  CHECK_OR(countSub(Json, "\"name\": \"score\"") >= size_t(Regions), 15);
+  CHECK_OR(countSub(Json, "\"ph\": \"C\"") >= 1, 16);
+  return 0;
+}
+
 TEST(ObsRuntime, PoolRegionTraceFile) {
   EXPECT_EQ(runScenario(scenarioPoolRegionTraceFile), 0);
 }
@@ -545,6 +1030,10 @@ TEST(ObsRuntime, TinyRingCountsDrops) {
 
 TEST(ObsRuntime, TmpdirHonored) {
   EXPECT_EQ(runScenario(scenarioTmpdirHonored), 0);
+}
+
+TEST(ObsRuntime, LiveMetricsEndpoint) {
+  EXPECT_EQ(runScenario(scenarioLiveMetricsEndpoint), 0);
 }
 
 } // namespace

@@ -1,0 +1,225 @@
+//===- tools/wbt-top.cpp - Terminal viewer for the metrics endpoint -------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scrapes a running tuner's metrics endpoint (RuntimeOptions::
+// MetricsAddress / WBT_METRICS) and renders a one-screen summary:
+// regions resolved and regions/s, crash/timeout/fallback counters,
+// lease traffic, net bytes, and the best score so far. One-shot by
+// default; `-w [sec]` redraws like top(1). `--raw` dumps the exposition
+// text verbatim (for piping into other tooling).
+//
+// Deliberately freestanding: plain sockets and stdio, no runtime
+// libraries — it must be able to watch any wbtuner process, including
+// one built from a different checkout.
+//
+//===----------------------------------------------------------------------===//
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace {
+
+struct Options {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  bool Watch = false;
+  double IntervalSec = 1.0;
+  bool Raw = false;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <ip:port>\n"
+               "  -w [sec]   watch mode: redraw every sec seconds (default 1)\n"
+               "  --raw      print the raw exposition text and exit\n"
+               "  -h         this help\n"
+               "The address is what the tuner was given via\n"
+               "RuntimeOptions::MetricsAddress or WBT_METRICS.\n",
+               Argv0);
+}
+
+bool parseAddr(const std::string &Addr, Options &Opt) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  Opt.Host = Addr.substr(0, Colon);
+  long P = std::strtol(Addr.c_str() + Colon + 1, nullptr, 10);
+  if (P <= 0 || P > 65535)
+    return false;
+  Opt.Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+/// One full scrape: connect, GET /metrics, read to EOF, strip headers.
+/// Empty string on any failure (errno describes the first one).
+std::string scrape(const Options &Opt) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return {};
+  sockaddr_in Sa{};
+  Sa.sin_family = AF_INET;
+  Sa.sin_port = htons(Opt.Port);
+  if (::inet_pton(AF_INET, Opt.Host.c_str(), &Sa.sin_addr) != 1 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) != 0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return {};
+  }
+  std::string Req = "GET /metrics HTTP/1.0\r\nHost: " + Opt.Host + "\r\n\r\n";
+  for (size_t Off = 0; Off < Req.size();) {
+    ssize_t W = ::send(Fd, Req.data() + Off, Req.size() - Off, 0);
+    if (W <= 0) {
+      ::close(Fd);
+      return {};
+    }
+    Off += static_cast<size_t>(W);
+  }
+  std::string Resp;
+  char Buf[4096];
+  for (;;) {
+    ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      break;
+    Resp.append(Buf, static_cast<size_t>(R));
+  }
+  ::close(Fd);
+  size_t Split = Resp.find("\r\n\r\n");
+  if (Split == std::string::npos)
+    return {};
+  return Resp.substr(Split + 4);
+}
+
+/// Parses exposition text into name -> value, skipping comment lines and
+/// dropping any {labels} suffix (bucket lines keep only the last-seen
+/// value, which is fine: the summary reads scalars and _p50 gauges).
+std::map<std::string, double> parseMetrics(const std::string &Body) {
+  std::map<std::string, double> Out;
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t Eol = Body.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Body.size();
+    std::string Line = Body.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.rfind(' ');
+    if (Space == std::string::npos)
+      continue;
+    std::string Name = Line.substr(0, Space);
+    size_t Brace = Name.find('{');
+    if (Brace != std::string::npos)
+      Name.resize(Brace);
+    Out[Name] = std::strtod(Line.c_str() + Space + 1, nullptr);
+  }
+  return Out;
+}
+
+double get(const std::map<std::string, double> &M, const char *Key) {
+  auto It = M.find(Key);
+  return It == M.end() ? 0.0 : It->second;
+}
+
+void render(const std::map<std::string, double> &M, const Options &Opt) {
+  double Elapsed = get(M, "wbt_elapsed_sec");
+  double Regions = get(M, "wbt_regions_resolved");
+  std::printf("wbt-top — %s:%u   up %.1fs\n\n", Opt.Host.c_str(), Opt.Port,
+              Elapsed);
+  std::printf("  regions    %12.0f   (%.1f/s)   region p50 %.0f us\n", Regions,
+              Elapsed > 0 ? Regions / Elapsed : 0.0,
+              get(M, "wbt_region_latency_p50_us"));
+  std::printf("  commits    %12.0f   fallbacks %.0f   fork p50 %.0f us   "
+              "commit p50 %.0f us\n",
+              get(M, "wbt_shm_commits"), get(M, "wbt_file_fallbacks"),
+              get(M, "wbt_fork_latency_p50_us"),
+              get(M, "wbt_commit_latency_p50_us"));
+  std::printf("  failures   crashed %.0f   timed-out %.0f   fork-fail %.0f   "
+              "retries %.0f\n",
+              get(M, "wbt_crashed"), get(M, "wbt_timed_out"),
+              get(M, "wbt_fork_failures"), get(M, "wbt_retries"));
+  std::printf("  leases     remote %.0f   reclaimed %.0f   returned %.0f\n",
+              get(M, "wbt_net_remote_leases"), get(M, "wbt_lease_reclaims"),
+              get(M, "wbt_net_leases_returned"));
+  std::printf("  net        agents %.0f   frames %.0f   in %.0f B   "
+              "out %.0f B   trace-recs %.0f\n",
+              get(M, "wbt_net_agents"), get(M, "wbt_net_frames"),
+              get(M, "wbt_net_bytes_in"), get(M, "wbt_net_bytes_out"),
+              get(M, "wbt_net_recv_trace"));
+  std::printf("  trace      events %.0f   drops %.0f\n",
+              get(M, "wbt_trace_events"), get(M, "wbt_trace_drops"));
+  double Noted = get(M, "wbt_scores_noted");
+  if (Noted > 0)
+    std::printf("  score      last %.6g   min %.6g   max %.6g   (%.0f noted)\n",
+                get(M, "wbt_score_last"), get(M, "wbt_score_min"),
+                get(M, "wbt_score_max"), Noted);
+  else
+    std::printf("  score      (none noted yet)\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  std::string Addr;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "-h" || A == "--help") {
+      usage(Argv[0]);
+      return 0;
+    }
+    if (A == "--raw") {
+      Opt.Raw = true;
+      continue;
+    }
+    if (A == "-w") {
+      Opt.Watch = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+        double S = std::strtod(Argv[I + 1], nullptr);
+        if (S > 0) {
+          Opt.IntervalSec = S;
+          ++I;
+        }
+      }
+      continue;
+    }
+    Addr = A;
+  }
+  if (Addr.empty() || !parseAddr(Addr, Opt)) {
+    usage(Argv[0]);
+    return 2;
+  }
+  for (;;) {
+    std::string Body = scrape(Opt);
+    if (Body.empty()) {
+      std::fprintf(stderr, "wbt-top: cannot scrape %s:%u: %s\n",
+                   Opt.Host.c_str(), Opt.Port, std::strerror(errno));
+      return 1;
+    }
+    if (Opt.Raw) {
+      std::fwrite(Body.data(), 1, Body.size(), stdout);
+      return 0;
+    }
+    if (Opt.Watch)
+      std::printf("\x1b[H\x1b[2J"); // home + clear, like top(1)
+    render(parseMetrics(Body), Opt);
+    std::fflush(stdout);
+    if (!Opt.Watch)
+      return 0;
+    ::usleep(static_cast<useconds_t>(Opt.IntervalSec * 1e6));
+  }
+}
