@@ -1,0 +1,132 @@
+//===- daemon/Client.cpp - Blocking wbtuned control client ----------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include "inject/Sys.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace wbt;
+using namespace wbt::daemon;
+
+bool CtlClient::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Sa{};
+  Sa.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Sa.sun_path)) {
+    errno = EINVAL;
+    return false;
+  }
+  std::memcpy(Sa.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int S = sys::socketUnix();
+  if (S < 0)
+    return false;
+  for (;;) {
+    if (::connect(S, reinterpret_cast<sockaddr *>(&Sa), sizeof(Sa)) == 0)
+      break;
+    if (errno == EINTR)
+      continue;
+    int E = errno;
+    ::close(S);
+    errno = E;
+    return false;
+  }
+  Fd = S;
+  return true;
+}
+
+void CtlClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  In = net::FrameBuffer();
+}
+
+bool CtlClient::sendFrame(const std::vector<uint8_t> &Frame) {
+  if (Fd < 0)
+    return false;
+  return sys::sendBytes(Fd, Frame.data(), Frame.size()) ==
+         static_cast<ssize_t>(Frame.size());
+}
+
+bool CtlClient::recvFrame(CtlFrame Want, std::vector<uint8_t> &Payload) {
+  if (Fd < 0)
+    return false;
+  for (;;) {
+    while (In.next(Payload)) {
+      if (ctlFrameType(Payload) == Want)
+        return true;
+      // A pushed frame from an older conversation (e.g. a JobDone for
+      // a wait this process abandoned); skip it.
+    }
+    if (In.corrupt())
+      return false;
+    uint8_t Buf[4096];
+    ssize_t R = sys::recvBytes(Fd, Buf, sizeof(Buf));
+    if (R <= 0)
+      return false; // EOF or error: the daemon is gone
+    In.append(Buf, static_cast<size_t>(R));
+  }
+}
+
+bool CtlClient::submit(const JobSpec &Spec, uint64_t &JobId,
+                       std::string &Error) {
+  Error.clear();
+  if (!sendFrame(encodeJobSubmit(Spec)))
+    return false;
+  std::vector<uint8_t> Payload;
+  if (!recvFrame(CtlFrame::SubmitResp, Payload))
+    return false;
+  bool Accepted = false;
+  return decodeSubmitResp(Payload, JobId, Accepted, Error) && Accepted;
+}
+
+bool CtlClient::status(StatusMsg &Out) {
+  if (!sendFrame(encodeStatusReq()))
+    return false;
+  std::vector<uint8_t> Payload;
+  return recvFrame(CtlFrame::StatusResp, Payload) &&
+         decodeStatusResp(Payload, Out);
+}
+
+bool CtlClient::cancel(uint64_t JobId, bool &Found) {
+  if (!sendFrame(encodeCancelReq(JobId)))
+    return false;
+  std::vector<uint8_t> Payload;
+  return recvFrame(CtlFrame::CancelResp, Payload) &&
+         decodeCancelResp(Payload, Found);
+}
+
+bool CtlClient::drain(uint32_t &JobsLeft) {
+  if (!sendFrame(encodeDrainReq()))
+    return false;
+  std::vector<uint8_t> Payload;
+  return recvFrame(CtlFrame::DrainResp, Payload) &&
+         decodeDrainResp(Payload, JobsLeft);
+}
+
+bool CtlClient::wait(uint64_t JobId, JobState &State, JobResult &Result) {
+  if (!sendFrame(encodeWaitReq(JobId)))
+    return false;
+  for (;;) {
+    std::vector<uint8_t> Payload;
+    if (!recvFrame(CtlFrame::JobDone, Payload))
+      return false;
+    uint64_t Id = 0;
+    if (!decodeJobDone(Payload, Id, State, Result))
+      return false;
+    if (Id == JobId)
+      return true;
+    // Someone else's completion pushed on a shared connection: ignore.
+  }
+}

@@ -1,0 +1,72 @@
+//===- daemon/Client.h - Blocking wbtuned control client --------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the control protocol: one blocking connection,
+/// one request-response (or subscribe-push, for wait) at a time. What
+/// wbtctl and the daemon tests are built from. All sends and receives
+/// go through wbt::sys wrappers, so inject plans can partition the
+/// socket mid-submit and the daemon's torn-frame handling is exercised
+/// by real torn frames.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DAEMON_CLIENT_H
+#define WBT_DAEMON_CLIENT_H
+
+#include "daemon/Protocol.h"
+#include "net/Wire.h"
+
+#include <string>
+
+namespace wbt {
+namespace daemon {
+
+class CtlClient {
+public:
+  CtlClient() = default;
+  ~CtlClient() { close(); }
+
+  CtlClient(const CtlClient &) = delete;
+  CtlClient &operator=(const CtlClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False + errno on failure
+  /// (ECONNREFUSED = stale socket, ENOENT = no daemon).
+  bool connect(const std::string &SocketPath);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// JobSubmit -> SubmitResp. On refusal returns false with the
+  /// daemon's reason in \p Error; transport failure leaves Error empty.
+  bool submit(const JobSpec &Spec, uint64_t &JobId, std::string &Error);
+
+  /// StatusReq -> StatusResp.
+  bool status(StatusMsg &Out);
+
+  /// CancelReq -> CancelResp. \p Found: the id named a live job.
+  bool cancel(uint64_t JobId, bool &Found);
+
+  /// DrainReq -> DrainResp. \p JobsLeft: jobs the drain still waits on.
+  bool drain(uint32_t &JobsLeft);
+
+  /// WaitReq -> JobDone (blocks until the daemon pushes it).
+  bool wait(uint64_t JobId, JobState &State, JobResult &Result);
+
+private:
+  /// Full frame out; EINTR handled by sys::sendBytes.
+  bool sendFrame(const std::vector<uint8_t> &Frame);
+  /// Blocks until one complete frame of type \p Want arrives (other
+  /// types are dropped — this client has one conversation in flight).
+  bool recvFrame(CtlFrame Want, std::vector<uint8_t> &Payload);
+
+  int Fd = -1;
+  net::FrameBuffer In;
+};
+
+} // namespace daemon
+} // namespace wbt
+
+#endif // WBT_DAEMON_CLIENT_H

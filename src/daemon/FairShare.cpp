@@ -1,0 +1,78 @@
+//===- daemon/FairShare.cpp - Cross-job worker-budget shares --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/FairShare.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wbt;
+using namespace wbt::daemon;
+
+std::vector<uint32_t>
+daemon::fairShareCaps(uint32_t Budget, const std::vector<ShareInput> &Jobs) {
+  size_t N = Jobs.size();
+  std::vector<uint32_t> Caps(N, 1);
+  if (N == 0 || Budget <= N)
+    return Caps; // the >=1 floor consumes (or oversubscribes) everything
+
+  double TotalW = 0;
+  for (const ShareInput &J : Jobs)
+    TotalW += J.Weight > 0 ? J.Weight : 0;
+  if (TotalW <= 0) {
+    // No declared work anywhere: split evenly, front jobs take the rest.
+    uint32_t Each = Budget / static_cast<uint32_t>(N);
+    uint32_t Left = Budget % static_cast<uint32_t>(N);
+    for (size_t I = 0; I != N; ++I)
+      Caps[I] = Each + (I < Left ? 1 : 0);
+    return Caps;
+  }
+
+  // Largest-remainder apportionment over the budget left after the
+  // one-worker floors. Ideal share of the *whole* budget, minus the
+  // floor already granted; negative ideals (tiny weights) stay at the
+  // floor.
+  uint32_t Extra = Budget - static_cast<uint32_t>(N);
+  std::vector<double> Ideal(N);
+  std::vector<uint32_t> Grant(N, 0);
+  uint32_t Granted = 0;
+  for (size_t I = 0; I != N; ++I) {
+    double W = Jobs[I].Weight > 0 ? Jobs[I].Weight : 0;
+    Ideal[I] = double(Budget) * W / TotalW - 1.0;
+    if (Ideal[I] < 0)
+      Ideal[I] = 0;
+    Grant[I] = static_cast<uint32_t>(Ideal[I]);
+    if (Grant[I] > Extra - Granted)
+      Grant[I] = Extra - Granted; // clamp against rounding spill
+    Granted += Grant[I];
+  }
+  // Hand out what truncation left, one worker at a time, to the
+  // largest fractional remainder (ties to the earlier job).
+  uint32_t Left = Extra - Granted;
+  while (Left) {
+    size_t Best = N;
+    double BestFrac = -1;
+    for (size_t I = 0; I != N; ++I) {
+      double Frac = Ideal[I] - double(Grant[I]);
+      if (Frac > BestFrac + 1e-12) {
+        BestFrac = Frac;
+        Best = I;
+      }
+    }
+    if (Best == N)
+      break; // everyone is at their ideal; stop (budget underused)
+    ++Grant[Best];
+    Ideal[Best] = double(Grant[Best]); // consumed its remainder
+    --Left;
+  }
+  // Whatever the remainder pass could not place (all-integral ideals)
+  // goes front-to-back so the budget is never silently wasted.
+  for (size_t I = 0; Left && I != N; ++I, --Left)
+    ++Grant[I];
+  for (size_t I = 0; I != N; ++I)
+    Caps[I] = 1 + Grant[I];
+  return Caps;
+}

@@ -1,0 +1,48 @@
+//===- daemon/FairShare.h - Cross-job worker-budget shares ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-job generalization of the paper's Alg. 1 pool rule: where
+/// one tuning run caps its in-flight sampling children at MAX_POOL_SIZE,
+/// wbtuned caps the *sum over tenant jobs* at one global worker budget
+/// and carves it into per-job caps by remaining-work-weighted shares
+/// ("Tuning the Tuner"-style priority knobs fold in as weight
+/// multipliers). Shares are apportioned by largest remainder, so caps
+/// sum exactly to the budget whenever the job count allows it, and every
+/// running job keeps at least one worker — a tenant may be slowed by a
+/// heavy neighbour but never starved. Deterministic: equal remainders
+/// break toward the earlier job, so the daemon and the tests compute
+/// identical tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DAEMON_FAIRSHARE_H
+#define WBT_DAEMON_FAIRSHARE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wbt {
+namespace daemon {
+
+/// One running job's claim on the budget.
+struct ShareInput {
+  /// Priority x remaining samples. A zero weight (job on its last
+  /// region barrier) still holds one worker until it exits.
+  double Weight = 0;
+};
+
+/// Splits \p Budget workers over \p Jobs: caps proportional to weight,
+/// floored at 1 each, apportioned by largest remainder. When Jobs.size()
+/// exceeds Budget the floor wins and the result oversubscribes — the
+/// admission queue in the daemon keeps that from happening.
+std::vector<uint32_t> fairShareCaps(uint32_t Budget,
+                                    const std::vector<ShareInput> &Jobs);
+
+} // namespace daemon
+} // namespace wbt
+
+#endif // WBT_DAEMON_FAIRSHARE_H

@@ -1,0 +1,180 @@
+//===- daemon/JobRunner.cpp - One tenant job's forked runner --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/JobRunner.h"
+
+#include "param/Distribution.h"
+#include "proc/Runtime.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <limits>
+
+using namespace wbt;
+using namespace wbt::daemon;
+using namespace wbt::proc;
+
+namespace {
+
+/// splitmix64: the region-center hash. Statistically fine and — the
+/// actual requirement — identical everywhere the same (seed, region,
+/// axis) triple is hashed.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Optimum coordinate of the shifted-sphere objective for one region,
+/// in [0,1): derived from the job seed and region ordinal only, so a
+/// solo rerun meets the same landscape.
+double regionCenter(uint64_t Seed, uint64_t Region, uint64_t Axis) {
+  uint64_t H = mix64(Seed ^ mix64(Region * 2 + Axis));
+  return double(H >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// One pool region of the job's objective; returns the MIN committed
+/// score. The body derives everything from runtime queries, so it is
+/// cap-independent: per-lease RNG reseed fixes every draw by
+/// (seed, tp, region, index), and MIN over all committed samples does
+/// not care which worker ran which lease.
+double runRegion(Runtime &Rt, const JobSpec &Spec, uint32_t Cap) {
+  RegionOptions Ro;
+  Ro.Kind = static_cast<SamplingKind>(Spec.Kind);
+  Ro.Workers = static_cast<int>(Cap);
+  double Best = std::numeric_limits<double>::infinity();
+  uint64_t Seed = Spec.Seed;
+  Rt.samplingRegion(static_cast<int>(Spec.Samples), Ro, [&Rt, Seed, &Best] {
+    uint64_t Ord = Rt.regionOrdinal();
+    double Cx = regionCenter(Seed, Ord, 0);
+    double Cy = regionCenter(Seed, Ord, 1);
+    double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+    double Y = Rt.sample("y", Distribution::uniform(0.0, 1.0));
+    if (Rt.isSampling()) {
+      double S = (X - Cx) * (X - Cx) + (Y - Cy) * (Y - Cy);
+      Rt.aggregate("score", encodeDouble(S), nullptr);
+    }
+    Rt.aggregate("score", encodeDouble(0), [&](AggregationView &V) {
+      for (int I : V.committed("score")) {
+        double S = V.loadDouble("score", I);
+        if (S < Best)
+          Best = S;
+      }
+    });
+  });
+  return Best;
+}
+
+/// Newest cap written by the daemon, or \p Cur when the pipe is quiet.
+/// The pipe is O_NONBLOCK; int32 writes are atomic at pipe granularity.
+uint32_t drainCapPipe(int Fd, uint32_t Cur) {
+  if (Fd < 0)
+    return Cur;
+  int32_t Cap;
+  for (;;) {
+    ssize_t R = ::read(Fd, &Cap, sizeof(Cap));
+    if (R == sizeof(Cap)) {
+      if (Cap > 0)
+        Cur = static_cast<uint32_t>(Cap);
+      continue;
+    }
+    if (R < 0 && errno == EINTR)
+      continue;
+    return Cur; // EAGAIN, EOF, or a torn write: keep what we have
+  }
+}
+
+/// Full write to a pipe; EINTR retried. Best effort — a daemon that
+/// died mid-run closes the read end and the runner just keeps tuning.
+void writeAll(int Fd, const std::vector<uint8_t> &Bytes) {
+  if (Fd < 0)
+    return;
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t W = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W <= 0)
+      return;
+    Off += static_cast<size_t>(W);
+  }
+}
+
+JobResult runSpec(Runtime &Rt, const JobSpec &Spec, uint32_t Budget,
+                  uint32_t Cap, int CapReadFd, int StatusWriteFd,
+                  obs::MetricsSnapshotPage *Page) {
+  JobResult Res;
+  Res.AggHash = FnvBasis;
+  double Best = std::numeric_limits<double>::infinity();
+  for (uint32_t R = 0; R != Spec.Regions; ++R) {
+    Cap = drainCapPipe(CapReadFd, Cap);
+    if (Cap > Budget)
+      Cap = Budget;
+    double RegionBest = runRegion(Rt, Spec, Cap);
+    if (RegionBest < Best)
+      Best = RegionBest;
+    uint64_t Bits;
+    std::memcpy(&Bits, &RegionBest, sizeof(Bits));
+    Res.AggHash = fnvFold(Res.AggHash, Bits);
+    ++Res.RegionsDone;
+    std::memcpy(&Res.BestBits, &Best, sizeof(Res.BestBits));
+    Rt.noteScore(RegionBest, Spec.Samples);
+    if (Page)
+      Page->publish(Rt.metrics());
+    writeAll(StatusWriteFd, encodeRunnerProgress(Res));
+  }
+  return Res;
+}
+
+} // namespace
+
+void daemon::runJob(const JobSpec &Spec, uint32_t Budget, uint32_t InitialCap,
+                    int CapReadFd, int StatusWriteFd,
+                    obs::MetricsSnapshotPage *Page) {
+  // Own process group: the daemon cancels/sweeps a job with
+  // kill(-pid, SIGKILL) and never touches its neighbours.
+  ::setpgid(0, 0);
+  // The daemon's drain handler must not fire in a tenant.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  // Progress frames go up a pipe; if the daemon died first, fail the
+  // write with EPIPE instead of taking SIGPIPE mid-region.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (CapReadFd >= 0)
+    ::fcntl(CapReadFd, F_SETFL,
+            ::fcntl(CapReadFd, F_GETFL, 0) | O_NONBLOCK);
+
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = Budget + 1; // workers + this tuning process
+  Opts.Seed = Spec.Seed;
+  Opts.InjectPlan = Spec.InjectPlan;
+  Rt.init(Opts);
+
+  JobResult Res =
+      runSpec(Rt, Spec, Budget, InitialCap, CapReadFd, StatusWriteFd, Page);
+  writeAll(StatusWriteFd, encodeRunnerDone(Res));
+  Rt.finish();
+  ::_exit(0);
+}
+
+JobResult daemon::runJobLocal(const JobSpec &Spec, uint32_t Workers) {
+  if (Workers == 0)
+    Workers = Spec.Samples;
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = Workers + 1;
+  Opts.Seed = Spec.Seed;
+  Rt.init(Opts);
+  JobResult Res = runSpec(Rt, Spec, Workers, Workers, -1, -1, nullptr);
+  Rt.finish();
+  return Res;
+}

@@ -1,0 +1,55 @@
+//===- daemon/JobRunner.h - One tenant job's forked runner ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-job process wbtuned forks for each admitted JobSpec: its own
+/// proc::Runtime over the shared worker budget, running the built-in
+/// shifted-sphere objective region by region. Between regions it drains
+/// the cap pipe (newest daemon-assigned worker cap wins) and reports
+/// progress frames up the status pipe; after the last region it reports
+/// RunnerDone and exits.
+///
+/// Determinism contract (the acceptance criterion): a job's JobResult
+/// depends only on (Seed, Kind, Regions, Samples) — never on the worker
+/// cap in force, because per-lease RNG reseed makes every draw a
+/// function of (seed, tp, region, index) and the per-region score is a
+/// MIN over all committed samples. So a job run under wbtuned next to
+/// noisy neighbours matches a solo runLocal() bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DAEMON_JOBRUNNER_H
+#define WBT_DAEMON_JOBRUNNER_H
+
+#include "daemon/Protocol.h"
+#include "obs/Metrics.h"
+
+#include <cstdint>
+
+namespace wbt {
+namespace daemon {
+
+/// Forked-child entry point. Runs \p Spec to completion with the
+/// runtime pool sized to \p Budget, starting at \p InitialCap workers;
+/// \p CapReadFd delivers later cap updates (raw int32, newest wins) and
+/// \p StatusWriteFd carries RunnerProgress/RunnerDone frames back to
+/// the daemon. \p Page, when non-null, is this job's slot in the
+/// daemon's shared metrics mapping — the runner publishes its
+/// Runtime::metrics() there after every region (the per-job seqlock
+/// feed behind the scrape endpoint's `job` label). Never returns.
+[[noreturn]] void runJob(const JobSpec &Spec, uint32_t Budget,
+                         uint32_t InitialCap, int CapReadFd, int StatusWriteFd,
+                         obs::MetricsSnapshotPage *Page);
+
+/// The same workload in the calling process, no daemon anywhere: what
+/// wbtctl run-local and the equivalence tests compare daemon results
+/// against. \p Workers sizes the region pool (0 = Samples).
+JobResult runJobLocal(const JobSpec &Spec, uint32_t Workers);
+
+} // namespace daemon
+} // namespace wbt
+
+#endif // WBT_DAEMON_JOBRUNNER_H

@@ -1,0 +1,308 @@
+//===- daemon/Protocol.cpp - wbtuned control-socket protocol --------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Protocol.h"
+
+#include "support/ByteBuffer.h"
+
+using namespace wbt;
+using namespace wbt::daemon;
+
+bool daemon::validJobName(const std::string &Name) {
+  if (Name.empty() || Name.size() > 64)
+    return false;
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+const char *daemon::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Crashed:
+    return "crashed";
+  case JobState::Canceled:
+    return "canceled";
+  }
+  return "unknown";
+}
+
+uint64_t daemon::fnvFold(uint64_t H, uint64_t Word) {
+  constexpr uint64_t Prime = 1099511628211ull;
+  for (int B = 0; B != 8; ++B) {
+    H ^= (Word >> (B * 8)) & 0xff;
+    H *= Prime;
+  }
+  return H;
+}
+
+namespace {
+
+/// Wraps a finished payload in the 4-byte length prefix (same frame
+/// shape as net/Wire.cpp, so net::FrameBuffer splits both protocols).
+std::vector<uint8_t> finishFrame(ByteWriter &Payload) {
+  std::vector<uint8_t> Body = Payload.take();
+  ByteWriter Frame;
+  Frame.write<uint32_t>(static_cast<uint32_t>(Body.size()));
+  std::vector<uint8_t> Out = Frame.take();
+  Out.insert(Out.end(), Body.begin(), Body.end());
+  return Out;
+}
+
+ByteWriter beginPayload(CtlFrame T) {
+  ByteWriter W;
+  W.write<uint8_t>(static_cast<uint8_t>(T));
+  return W;
+}
+
+/// Positions \p R past the type byte, verifying it is \p T.
+bool beginDecode(const std::vector<uint8_t> &Payload, CtlFrame T,
+                 ByteReader &R) {
+  if (ctlFrameType(Payload) != T)
+    return false;
+  R.read<uint8_t>(); // the type byte
+  return R.ok();
+}
+
+void writeResult(ByteWriter &W, const JobResult &R) {
+  W.write<uint32_t>(R.RegionsDone);
+  W.write<uint64_t>(R.BestBits);
+  W.write<uint64_t>(R.AggHash);
+}
+
+JobResult readResult(ByteReader &R) {
+  JobResult Out;
+  Out.RegionsDone = R.read<uint32_t>();
+  Out.BestBits = R.read<uint64_t>();
+  Out.AggHash = R.read<uint64_t>();
+  return Out;
+}
+
+} // namespace
+
+CtlFrame daemon::ctlFrameType(const std::vector<uint8_t> &Payload) {
+  if (Payload.empty() ||
+      Payload[0] > static_cast<uint8_t>(CtlFrame::RunnerDone))
+    return CtlFrame::None;
+  return static_cast<CtlFrame>(Payload[0]);
+}
+
+std::vector<uint8_t> daemon::encodeJobSubmit(const JobSpec &Spec) {
+  ByteWriter W = beginPayload(CtlFrame::JobSubmit);
+  W.writeString(Spec.Name);
+  W.write<uint32_t>(Spec.Regions);
+  W.write<uint32_t>(Spec.Samples);
+  W.write<uint32_t>(Spec.Priority);
+  W.write<uint32_t>(Spec.Kind);
+  W.write<uint64_t>(Spec.Seed);
+  W.writeString(Spec.InjectPlan);
+  return finishFrame(W);
+}
+
+bool daemon::decodeJobSubmit(const std::vector<uint8_t> &Payload,
+                             JobSpec &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::JobSubmit, R))
+    return false;
+  Out.Name = R.readString();
+  Out.Regions = R.read<uint32_t>();
+  Out.Samples = R.read<uint32_t>();
+  Out.Priority = R.read<uint32_t>();
+  Out.Kind = R.read<uint32_t>();
+  Out.Seed = R.read<uint64_t>();
+  Out.InjectPlan = R.readString();
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeSubmitResp(uint64_t JobId, bool Accepted,
+                                              const std::string &Error) {
+  ByteWriter W = beginPayload(CtlFrame::SubmitResp);
+  W.write<uint64_t>(JobId);
+  W.write<uint8_t>(Accepted ? 1 : 0);
+  W.writeString(Error);
+  return finishFrame(W);
+}
+
+bool daemon::decodeSubmitResp(const std::vector<uint8_t> &Payload,
+                              uint64_t &JobId, bool &Accepted,
+                              std::string &Error) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::SubmitResp, R))
+    return false;
+  JobId = R.read<uint64_t>();
+  Accepted = R.read<uint8_t>() != 0;
+  Error = R.readString();
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeStatusReq() {
+  ByteWriter W = beginPayload(CtlFrame::StatusReq);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> daemon::encodeStatusResp(const StatusMsg &M) {
+  ByteWriter W = beginPayload(CtlFrame::StatusResp);
+  W.write<uint32_t>(M.Budget);
+  W.write<uint8_t>(M.Draining);
+  W.write<uint16_t>(M.MetricsPort);
+  W.write<uint32_t>(static_cast<uint32_t>(M.Jobs.size()));
+  for (const JobRow &J : M.Jobs) {
+    W.write<uint64_t>(J.Id);
+    W.writeString(J.Name);
+    W.write<uint8_t>(static_cast<uint8_t>(J.State));
+    W.write<uint32_t>(J.Cap);
+    W.write<int32_t>(J.RunnerPid);
+    writeResult(W, J.Result);
+  }
+  return finishFrame(W);
+}
+
+bool daemon::decodeStatusResp(const std::vector<uint8_t> &Payload,
+                              StatusMsg &Out) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::StatusResp, R))
+    return false;
+  Out.Budget = R.read<uint32_t>();
+  Out.Draining = R.read<uint8_t>();
+  Out.MetricsPort = R.read<uint16_t>();
+  uint32_t N = R.read<uint32_t>();
+  Out.Jobs.clear();
+  for (uint32_t I = 0; R.ok() && I != N; ++I) {
+    JobRow J;
+    J.Id = R.read<uint64_t>();
+    J.Name = R.readString();
+    J.State = static_cast<JobState>(R.read<uint8_t>());
+    J.Cap = R.read<uint32_t>();
+    J.RunnerPid = R.read<int32_t>();
+    J.Result = readResult(R);
+    Out.Jobs.push_back(std::move(J));
+  }
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeCancelReq(uint64_t JobId) {
+  ByteWriter W = beginPayload(CtlFrame::CancelReq);
+  W.write<uint64_t>(JobId);
+  return finishFrame(W);
+}
+
+bool daemon::decodeCancelReq(const std::vector<uint8_t> &Payload,
+                             uint64_t &JobId) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::CancelReq, R))
+    return false;
+  JobId = R.read<uint64_t>();
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeCancelResp(bool Found) {
+  ByteWriter W = beginPayload(CtlFrame::CancelResp);
+  W.write<uint8_t>(Found ? 1 : 0);
+  return finishFrame(W);
+}
+
+bool daemon::decodeCancelResp(const std::vector<uint8_t> &Payload,
+                              bool &Found) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::CancelResp, R))
+    return false;
+  Found = R.read<uint8_t>() != 0;
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeDrainReq() {
+  ByteWriter W = beginPayload(CtlFrame::DrainReq);
+  return finishFrame(W);
+}
+
+std::vector<uint8_t> daemon::encodeDrainResp(uint32_t JobsLeft) {
+  ByteWriter W = beginPayload(CtlFrame::DrainResp);
+  W.write<uint32_t>(JobsLeft);
+  return finishFrame(W);
+}
+
+bool daemon::decodeDrainResp(const std::vector<uint8_t> &Payload,
+                             uint32_t &JobsLeft) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::DrainResp, R))
+    return false;
+  JobsLeft = R.read<uint32_t>();
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeWaitReq(uint64_t JobId) {
+  ByteWriter W = beginPayload(CtlFrame::WaitReq);
+  W.write<uint64_t>(JobId);
+  return finishFrame(W);
+}
+
+bool daemon::decodeWaitReq(const std::vector<uint8_t> &Payload,
+                           uint64_t &JobId) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::WaitReq, R))
+    return false;
+  JobId = R.read<uint64_t>();
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeJobDone(uint64_t JobId, JobState State,
+                                           const JobResult &Res) {
+  ByteWriter W = beginPayload(CtlFrame::JobDone);
+  W.write<uint64_t>(JobId);
+  W.write<uint8_t>(static_cast<uint8_t>(State));
+  writeResult(W, Res);
+  return finishFrame(W);
+}
+
+bool daemon::decodeJobDone(const std::vector<uint8_t> &Payload,
+                           uint64_t &JobId, JobState &State, JobResult &Res) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::JobDone, R))
+    return false;
+  JobId = R.read<uint64_t>();
+  State = static_cast<JobState>(R.read<uint8_t>());
+  Res = readResult(R);
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeRunnerProgress(const JobResult &Res) {
+  ByteWriter W = beginPayload(CtlFrame::RunnerProgress);
+  writeResult(W, Res);
+  return finishFrame(W);
+}
+
+bool daemon::decodeRunnerProgress(const std::vector<uint8_t> &Payload,
+                                  JobResult &Res) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::RunnerProgress, R))
+    return false;
+  Res = readResult(R);
+  return R.ok();
+}
+
+std::vector<uint8_t> daemon::encodeRunnerDone(const JobResult &Res) {
+  ByteWriter W = beginPayload(CtlFrame::RunnerDone);
+  writeResult(W, Res);
+  return finishFrame(W);
+}
+
+bool daemon::decodeRunnerDone(const std::vector<uint8_t> &Payload,
+                              JobResult &Res) {
+  ByteReader R(Payload);
+  if (!beginDecode(Payload, CtlFrame::RunnerDone, R))
+    return false;
+  Res = readResult(R);
+  return R.ok();
+}

@@ -1,0 +1,176 @@
+//===- daemon/Protocol.h - wbtuned control-socket protocol ------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frame layout of the wbtuned control protocol: what wbtctl speaks to
+/// the daemon over the Unix socket, and what a job-runner reports back
+/// to the daemon over its status pipe. Framing is identical to the
+/// lease protocol (net/Wire.h): a 4-byte native-endian payload length,
+/// then the payload whose first byte is the CtlFrame type — so both
+/// sides reuse net::FrameBuffer for reassembly and torn frames are
+/// handled by the same corruption cap.
+///
+/// Conversation shape (client -> daemon over the control socket):
+///
+///   client -> daemon   JobSubmit{spec}          admission request
+///   daemon -> client   SubmitResp{id|refusal}
+///   client -> daemon   StatusReq{}              any time
+///   daemon -> client   StatusResp{daemon + per-job rows}
+///   client -> daemon   CancelReq{id}
+///   daemon -> client   CancelResp{found}
+///   client -> daemon   WaitReq{id}              subscribe to completion
+///   daemon -> client   JobDone{id, state, result}  pushed on completion
+///   client -> daemon   DrainReq{}
+///   daemon -> client   DrainResp{jobs left}     drain acknowledged
+///
+/// and daemon-internal (job-runner -> daemon over the status pipe):
+///
+///   runner -> daemon   RunnerProgress{result so far}  after each region
+///   runner -> daemon   RunnerDone{final result}       before _exit(0)
+///
+/// Worker-cap updates flow the other way (daemon -> runner) as raw
+/// int32 writes on the cap pipe — single writer, atomic at that size
+/// (PIPE_BUF), drained newest-wins by the runner between regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_DAEMON_PROTOCOL_H
+#define WBT_DAEMON_PROTOCOL_H
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wbt {
+namespace daemon {
+
+enum class CtlFrame : uint8_t {
+  None = 0,
+  JobSubmit,
+  SubmitResp,
+  StatusReq,
+  StatusResp,
+  CancelReq,
+  CancelResp,
+  DrainReq,
+  DrainResp,
+  WaitReq,
+  JobDone,
+  RunnerProgress,
+  RunnerDone,
+};
+
+/// Job names become Prometheus label values and run-directory names, so
+/// admission restricts them to this alphabet (no quoting/escaping
+/// anywhere downstream). Non-empty, at most 64 bytes.
+bool validJobName(const std::string &Name);
+
+/// What a client submits: the tuning workload wbtuned runs on the
+/// submitter's behalf. Regions x Samples shifted-sphere regions over
+/// the built-in objective, seeded so reruns (and solo reruns) replay
+/// bitwise-identically.
+struct JobSpec {
+  std::string Name;
+  uint32_t Regions = 4;
+  uint32_t Samples = 8;
+  /// Fair-share weight multiplier (>= 1); see daemon/FairShare.h.
+  uint32_t Priority = 1;
+  uint32_t Kind = 0; ///< proc::SamplingKind
+  uint64_t Seed = 1;
+  /// Fault-injection plan armed inside the job-runner (inject/Inject.h
+  /// grammar) — how CI kills one runner mid-region without touching the
+  /// daemon or the other tenants.
+  std::string InjectPlan;
+};
+
+/// Where a job is in its lifecycle.
+enum class JobState : uint8_t {
+  Queued = 0, ///< admitted, waiting for a worker-budget slot
+  Running,
+  Done,     ///< runner reported RunnerDone and exited 0
+  Crashed,  ///< runner died without RunnerDone (fault or bug)
+  Canceled, ///< CancelReq: runner process group SIGKILLed
+};
+
+const char *jobStateName(JobState S);
+
+/// A job's observable output. BestBits carries the best (minimum)
+/// region score as a double bit pattern — bit-exact comparison is the
+/// point (solo rerun equivalence), so the wire never rounds through
+/// text. AggHash folds every per-region best into one FNV-1a word: two
+/// runs agree on it iff they agreed on every region.
+struct JobResult {
+  uint32_t RegionsDone = 0;
+  uint64_t BestBits = 0;
+  uint64_t AggHash = 0;
+};
+
+/// FNV-1a fold of one 64-bit word into \p H (seed with fnvBasis).
+constexpr uint64_t FnvBasis = 1469598103934665603ull;
+uint64_t fnvFold(uint64_t H, uint64_t Word);
+
+/// One row of StatusResp.
+struct JobRow {
+  uint64_t Id = 0;
+  std::string Name;
+  JobState State = JobState::Queued;
+  uint32_t Cap = 0; ///< current fair-share worker cap
+  int32_t RunnerPid = 0;
+  JobResult Result;
+};
+
+struct StatusMsg {
+  uint32_t Budget = 0;
+  uint8_t Draining = 0;
+  uint16_t MetricsPort = 0; ///< 0 when the scrape endpoint is off
+  std::vector<JobRow> Jobs;
+};
+
+//===----------------------------------------------------------------------===//
+// Encoding. Each returns a complete frame (length prefix included).
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> encodeJobSubmit(const JobSpec &Spec);
+std::vector<uint8_t> encodeSubmitResp(uint64_t JobId, bool Accepted,
+                                      const std::string &Error);
+std::vector<uint8_t> encodeStatusReq();
+std::vector<uint8_t> encodeStatusResp(const StatusMsg &M);
+std::vector<uint8_t> encodeCancelReq(uint64_t JobId);
+std::vector<uint8_t> encodeCancelResp(bool Found);
+std::vector<uint8_t> encodeDrainReq();
+std::vector<uint8_t> encodeDrainResp(uint32_t JobsLeft);
+std::vector<uint8_t> encodeWaitReq(uint64_t JobId);
+std::vector<uint8_t> encodeJobDone(uint64_t JobId, JobState State,
+                                   const JobResult &R);
+std::vector<uint8_t> encodeRunnerProgress(const JobResult &R);
+std::vector<uint8_t> encodeRunnerDone(const JobResult &R);
+
+//===----------------------------------------------------------------------===//
+// Decoding over one extracted payload (net::FrameBuffer::next output).
+//===----------------------------------------------------------------------===//
+
+/// First byte of \p Payload, or CtlFrame::None when empty/unknown.
+CtlFrame ctlFrameType(const std::vector<uint8_t> &Payload);
+
+bool decodeJobSubmit(const std::vector<uint8_t> &Payload, JobSpec &Out);
+bool decodeSubmitResp(const std::vector<uint8_t> &Payload, uint64_t &JobId,
+                      bool &Accepted, std::string &Error);
+bool decodeStatusResp(const std::vector<uint8_t> &Payload, StatusMsg &Out);
+bool decodeCancelReq(const std::vector<uint8_t> &Payload, uint64_t &JobId);
+bool decodeCancelResp(const std::vector<uint8_t> &Payload, bool &Found);
+bool decodeDrainResp(const std::vector<uint8_t> &Payload, uint32_t &JobsLeft);
+bool decodeWaitReq(const std::vector<uint8_t> &Payload, uint64_t &JobId);
+bool decodeJobDone(const std::vector<uint8_t> &Payload, uint64_t &JobId,
+                   JobState &State, JobResult &R);
+bool decodeRunnerProgress(const std::vector<uint8_t> &Payload, JobResult &R);
+bool decodeRunnerDone(const std::vector<uint8_t> &Payload, JobResult &R);
+
+} // namespace daemon
+} // namespace wbt
+
+#endif // WBT_DAEMON_PROTOCOL_H

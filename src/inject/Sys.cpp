@@ -180,6 +180,44 @@ ssize_t sys::recvBytes(int Fd, void *Buf, size_t Size) {
   }
 }
 
+ssize_t sys::sendOnce(int Fd, const void *Buf, size_t Size) {
+  size_t Allowed = 0;
+  if (int E = inject::onSend(Size, Allowed)) {
+    if (E == EINTR || E == EAGAIN) {
+      // Interruptions surface as-is: the caller's pump loop is the
+      // retry edge under test.
+      errno = E;
+      return -1;
+    }
+    if (Allowed) {
+      // A 'short' action reads as an honest partial write here; the
+      // terminal error lands on the caller's next attempt.
+      ssize_t W = ::send(Fd, Buf, Allowed, MSG_NOSIGNAL);
+      if (W > 0)
+        return W;
+    }
+    errno = E;
+    return -1;
+  }
+  return ::send(Fd, Buf, Size, MSG_NOSIGNAL);
+}
+
+ssize_t sys::recvOnce(int Fd, void *Buf, size_t Size) {
+  if (int E = inject::onCall(inject::Site::Recv)) {
+    errno = E;
+    return -1;
+  }
+  return ::recv(Fd, Buf, Size, 0);
+}
+
+int sys::socketUnix() {
+  if (int E = inject::onCall(inject::Site::Socket)) {
+    errno = E;
+    return -1;
+  }
+  return ::socket(AF_UNIX, SOCK_STREAM, 0);
+}
+
 void sys::fatal(const char *Fmt, ...) {
   std::va_list Ap;
   va_start(Ap, Fmt);

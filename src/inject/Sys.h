@@ -86,6 +86,21 @@ ssize_t sendBytes(int Fd, const void *Buf, size_t Size);
 /// buffered.
 ssize_t recvBytes(int Fd, void *Buf, size_t Size);
 
+/// Single-shot send(2) (MSG_NOSIGNAL, no retry loop): EINTR and EAGAIN
+/// surface to the caller, which is what a poll-pumped server wants — it
+/// keeps the unsent tail buffered and retries on the next pump. Consults
+/// the same injection plan as sendBytes (a 'short' action pushes the
+/// allowed prefix and reports it as a genuine partial write).
+ssize_t sendOnce(int Fd, const void *Buf, size_t Size);
+
+/// Single-shot recv(2): EINTR and EAGAIN surface to the caller (see
+/// sendOnce). Injection: Site::Recv.
+ssize_t recvOnce(int Fd, void *Buf, size_t Size);
+
+/// socket(2), AF_UNIX stream (the daemon control socket). -1 + errno on
+/// failure; shares Site::Socket with the inet flavor.
+int socketUnix();
+
 /// Reports a fatal runtime error and aborts, in every build type.
 [[noreturn]] void fatal(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));

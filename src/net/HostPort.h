@@ -1,0 +1,56 @@
+//===- net/HostPort.h - host:port address parsing ---------------*- C++ -*-===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One strict `host:port` parser shared by everything that accepts a
+/// listen/connect address (MetricsEndpoint, wbt-top, wbtuned's TCP
+/// fallback). Replaces two copies of a lax strtol idiom that accepted
+/// trailing junk ("9464x") and parsed an empty port as 0 — which then
+/// silently bound an ephemeral port instead of failing. Header-only so
+/// tools that do not link wbt_net can use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WBT_NET_HOSTPORT_H
+#define WBT_NET_HOSTPORT_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace wbt {
+namespace net {
+
+/// Splits \p Addr at the last ':' into \p Host and \p Port. Strict:
+/// the host must be non-empty and the port must be all digits in
+/// [0, 65535] — empty ("h:"), trailing junk ("h:9464x"), signs, and
+/// out-of-range values are all rejected. Returns false (outputs
+/// untouched) on any malformed input. Port 0 is allowed: listeners use
+/// it to request an ephemeral port explicitly, never by accident.
+inline bool parseHostPort(const std::string &Addr, std::string &Host,
+                          uint16_t &Port) {
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Addr.size())
+    return false;
+  const char *P = Addr.c_str() + Colon + 1;
+  // strtol accepts whitespace and signs; a port is digits only.
+  for (const char *Q = P; *Q; ++Q)
+    if (*Q < '0' || *Q > '9')
+      return false;
+  char *End = nullptr;
+  long Num = std::strtol(P, &End, 10);
+  if (*End != '\0' || Num < 0 || Num > 65535)
+    return false;
+  Host = Addr.substr(0, Colon);
+  Port = static_cast<uint16_t>(Num);
+  return true;
+}
+
+} // namespace net
+} // namespace wbt
+
+#endif // WBT_NET_HOSTPORT_H

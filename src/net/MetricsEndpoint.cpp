@@ -6,6 +6,9 @@
 
 #include "net/MetricsEndpoint.h"
 
+#include "inject/Sys.h"
+#include "net/HostPort.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -41,14 +44,9 @@ void setNonBlocking(int Fd) {
 MetricsEndpoint::~MetricsEndpoint() { closeAll(); }
 
 bool MetricsEndpoint::listen(const std::string &Addr) {
-  size_t Colon = Addr.rfind(':');
-  if (Colon == std::string::npos) {
-    errno = EINVAL;
-    return false;
-  }
-  std::string Host = Addr.substr(0, Colon);
-  long PortNum = std::strtol(Addr.c_str() + Colon + 1, nullptr, 10);
-  if (Host.empty() || PortNum < 0 || PortNum > 65535) {
+  std::string Host;
+  uint16_t PortNum = 0;
+  if (!parseHostPort(Addr, Host, PortNum)) {
     errno = EINVAL;
     return false;
   }
@@ -133,11 +131,13 @@ bool MetricsEndpoint::serviceConn(Conn &C, short Revents) {
     return false;
   if (!C.Responding) {
     char Buf[4096];
-    ssize_t R = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    ssize_t R = sys::recvOnce(C.Fd, Buf, sizeof(Buf));
     if (R == 0)
       return false; // peer closed before finishing a request
     if (R < 0)
-      return errno == EAGAIN;
+      // An interrupted read is not a dead connection: retry on the
+      // next pump, same as a would-block.
+      return errno == EAGAIN || errno == EINTR;
     C.In.append(Buf, static_cast<size_t>(R));
     if (C.In.find("\r\n\r\n") == std::string::npos &&
         C.In.find("\n\n") == std::string::npos) {
@@ -159,10 +159,12 @@ bool MetricsEndpoint::serviceConn(Conn &C, short Revents) {
     // Fall through: most responses fit the socket buffer in one write.
   }
   while (C.OutOff < C.Out.size()) {
-    ssize_t W = ::send(C.Fd, C.Out.data() + C.OutOff, C.Out.size() - C.OutOff,
-                       MSG_NOSIGNAL);
+    ssize_t W = sys::sendOnce(C.Fd, C.Out.data() + C.OutOff,
+                              C.Out.size() - C.OutOff);
     if (W < 0)
-      return errno == EAGAIN; // keep the rest for the next pump
+      // Keep the rest for the next pump; EINTR no more kills the
+      // scrape than a full socket buffer does.
+      return errno == EAGAIN || errno == EINTR;
     C.OutOff += static_cast<size_t>(W);
   }
   ++Scrapes;

@@ -7,6 +7,7 @@
 #include "obs/Metrics.h"
 
 #include <cinttypes>
+#include <type_traits>
 #include <cstring>
 #include <string>
 
@@ -61,6 +62,38 @@ double HistogramSnapshot::quantileUs(double Q) const {
       return double(uint64_t(1) << (B + 1)); // bucket upper bound
   }
   return double(uint64_t(1) << NumHistBuckets);
+}
+
+void MetricsSnapshotPage::publish(const RuntimeMetrics &M) {
+  static_assert(std::is_trivially_copyable<RuntimeMetrics>::value,
+                "the metrics page is copied with memcpy");
+  uint64_t S = Seq.load(std::memory_order_relaxed);
+  // Odd: a copy is in flight. The release fence keeps the payload
+  // stores from sinking above the odd store (StoreStore), so a reader
+  // can never pair a torn payload with a stable even sequence.
+  Seq.store(S + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  std::memcpy(&Snap, &M, sizeof(Snap));
+  // Publication: even again, release-paired with the reader's fence.
+  Seq.store(S + 2, std::memory_order_release);
+}
+
+bool MetricsSnapshotPage::read(RuntimeMetrics &Out) const {
+  // Bounded retries: writers publish at sweep cadence, so a torn read
+  // is rare and one retry almost always lands. The bound only guards
+  // against a writer that dies mid-copy (odd forever).
+  for (int Try = 0; Try != 1024; ++Try) {
+    uint64_t S1 = Seq.load(std::memory_order_acquire);
+    if (S1 == 0)
+      return false; // nothing published yet
+    if (S1 & 1)
+      continue; // writer mid-copy
+    std::memcpy(&Out, &Snap, sizeof(Out));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (Seq.load(std::memory_order_relaxed) == S1)
+      return true;
+  }
+  return false;
 }
 
 void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
@@ -150,99 +183,115 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M) {
 
 namespace {
 
-void expLine(std::string &Out, const char *Name, const char *Type,
-             double Value) {
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf), "# TYPE wbt_%s %s\nwbt_%s %.6g\n", Name,
-                Type, Name, Value);
+/// Pre-rendered forms of one label set: the `{job="a"}` suffix a plain
+/// sample line takes, and the `job="a",` lead merged before `le` on
+/// bucket lines. Both empty for the label-free (single-tenant) path.
+struct LabelSet {
+  std::string Plain;
+  std::string Lead;
+  explicit LabelSet(const std::string &L)
+      : Plain(L.empty() ? std::string() : "{" + L + "}"),
+        Lead(L.empty() ? std::string() : L + ",") {}
+};
+
+void expLine(std::string &Out, const LabelSet &L, const char *Name,
+             const char *Type, double Value) {
+  char Buf[384];
+  std::snprintf(Buf, sizeof(Buf), "# TYPE wbt_%s %s\nwbt_%s%s %.6g\n", Name,
+                Type, Name, L.Plain.c_str(), Value);
   Out += Buf;
 }
 
-void expCounter(std::string &Out, const char *Name, uint64_t Value) {
-  char Buf[256];
+void expCounter(std::string &Out, const LabelSet &L, const char *Name,
+                uint64_t Value) {
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf),
-                "# TYPE wbt_%s counter\nwbt_%s %" PRIu64 "\n", Name, Name,
-                Value);
+                "# TYPE wbt_%s counter\nwbt_%s%s %" PRIu64 "\n", Name, Name,
+                L.Plain.c_str(), Value);
   Out += Buf;
 }
 
-void expHistogram(std::string &Out, const char *Name,
+void expHistogram(std::string &Out, const LabelSet &L, const char *Name,
                   const HistogramSnapshot &H) {
-  char Buf[256];
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf), "# TYPE wbt_%s_us histogram\n", Name);
   Out += Buf;
   uint64_t Cum = 0;
   for (int B = 0; B != NumHistBuckets; ++B) {
     Cum += H.Counts[B];
     std::snprintf(Buf, sizeof(Buf),
-                  "wbt_%s_us_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", Name,
-                  uint64_t(1) << (B + 1), Cum);
+                  "wbt_%s_us_bucket{%sle=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                  Name, L.Lead.c_str(), uint64_t(1) << (B + 1), Cum);
     Out += Buf;
   }
   std::snprintf(Buf, sizeof(Buf),
-                "wbt_%s_us_bucket{le=\"+Inf\"} %" PRIu64 "\n"
-                "wbt_%s_us_sum %.1f\n"
-                "wbt_%s_us_count %" PRIu64 "\n",
-                Name, Cum, Name, double(H.SumNs) / 1000.0, Name, H.total());
+                "wbt_%s_us_bucket{%sle=\"+Inf\"} %" PRIu64 "\n"
+                "wbt_%s_us_sum%s %.1f\n"
+                "wbt_%s_us_count%s %" PRIu64 "\n",
+                Name, L.Lead.c_str(), Cum, Name, L.Plain.c_str(),
+                double(H.SumNs) / 1000.0, Name, L.Plain.c_str(), H.total());
   Out += Buf;
   // Pre-digested gauges so flat-text consumers (wbt-top) need no
   // bucket math.
   std::snprintf(Buf, sizeof(Buf),
-                "# TYPE wbt_%s_p50_us gauge\nwbt_%s_p50_us %.1f\n"
-                "# TYPE wbt_%s_mean_us gauge\nwbt_%s_mean_us %.1f\n",
-                Name, Name, H.quantileUs(0.5), Name, Name, H.meanUs());
+                "# TYPE wbt_%s_p50_us gauge\nwbt_%s_p50_us%s %.1f\n"
+                "# TYPE wbt_%s_mean_us gauge\nwbt_%s_mean_us%s %.1f\n",
+                Name, Name, L.Plain.c_str(), H.quantileUs(0.5), Name, Name,
+                L.Plain.c_str(), H.meanUs());
   Out += Buf;
 }
 
 } // namespace
 
-void writeExpositionText(std::string &Out, const RuntimeMetrics &M) {
-  expCounter(Out, "regions_resolved", M.RegionsResolved);
-  expLine(Out, "elapsed_sec", "gauge", M.ElapsedSec);
-  expLine(Out, "regions_per_sec", "gauge", M.regionsPerSec());
-  expCounter(Out, "shm_commits", M.ShmCommits);
-  expCounter(Out, "file_fallbacks", M.FileFallbacks);
+void writeExpositionText(std::string &Out, const RuntimeMetrics &M,
+                         const std::string &Labels) {
+  LabelSet L(Labels);
+  expCounter(Out, L, "regions_resolved", M.RegionsResolved);
+  expLine(Out, L, "elapsed_sec", "gauge", M.ElapsedSec);
+  expLine(Out, L, "regions_per_sec", "gauge", M.regionsPerSec());
+  expCounter(Out, L, "shm_commits", M.ShmCommits);
+  expCounter(Out, L, "file_fallbacks", M.FileFallbacks);
   for (int R = 0; R != NumFallbackReasons; ++R) {
     std::string Key =
         std::string("fallback_") + fallbackReasonName(FallbackReason(R));
-    expCounter(Out, Key.c_str(), M.Fallbacks[R]);
+    expCounter(Out, L, Key.c_str(), M.Fallbacks[R]);
   }
-  expCounter(Out, "crashed", M.CrashedSamples);
-  expCounter(Out, "timed_out", M.TimedOutSamples);
-  expCounter(Out, "fork_failures", M.ForkFailures);
-  expCounter(Out, "lease_reclaims", M.LeaseReclaims);
-  expCounter(Out, "retries", M.Retries);
-  expCounter(Out, "slab_records_hw", M.SlabRecordsHighWater);
-  expCounter(Out, "slab_bytes_hw", M.SlabBytesHighWater);
-  expCounter(Out, "slab_recycles", M.SlabRecycles);
-  expCounter(Out, "slab_epoch_hw", M.SlabEpochHighWater);
-  expCounter(Out, "thp_granted", M.ThpGranted);
-  expCounter(Out, "thp_declined", M.ThpDeclined);
-  expCounter(Out, "hugetlb_granted", M.HugetlbGranted);
-  expCounter(Out, "hugetlb_declined", M.HugetlbDeclined);
-  expCounter(Out, "zygote_respawns", M.ZygoteRespawns);
-  expCounter(Out, "zygote_restores", M.ZygoteRestores);
-  expCounter(Out, "remove_failures", M.RemoveFailures);
-  expCounter(Out, "net_agents", M.NetAgents);
-  expCounter(Out, "net_reconnects", M.NetReconnects);
-  expCounter(Out, "net_remote_leases", M.NetRemoteLeases);
-  expCounter(Out, "net_leases_returned", M.NetLeasesReturned);
-  expCounter(Out, "net_frames", M.NetFrames);
-  expCounter(Out, "net_bytes_in", M.NetBytesIn);
-  expCounter(Out, "net_bytes_out", M.NetBytesOut);
-  expCounter(Out, "net_recv_hello", M.NetRecvHello);
-  expCounter(Out, "net_recv_claim_req", M.NetRecvClaimReq);
-  expCounter(Out, "net_recv_commit_batch", M.NetRecvCommitBatch);
-  expCounter(Out, "net_recv_trace", M.NetRecvTrace);
-  expCounter(Out, "trace_events", M.TraceEvents);
-  expCounter(Out, "trace_drops", M.TraceDrops);
-  expCounter(Out, "scores_noted", M.ScoresNoted);
-  expLine(Out, "score_last", "gauge", M.ScoreLast);
-  expLine(Out, "score_min", "gauge", M.ScoreMin);
-  expLine(Out, "score_max", "gauge", M.ScoreMax);
-  expHistogram(Out, "fork_latency", M.ForkLatency);
-  expHistogram(Out, "commit_latency", M.CommitLatency);
-  expHistogram(Out, "region_latency", M.RegionLatency);
+  expCounter(Out, L, "crashed", M.CrashedSamples);
+  expCounter(Out, L, "timed_out", M.TimedOutSamples);
+  expCounter(Out, L, "fork_failures", M.ForkFailures);
+  expCounter(Out, L, "lease_reclaims", M.LeaseReclaims);
+  expCounter(Out, L, "retries", M.Retries);
+  expCounter(Out, L, "slab_records_hw", M.SlabRecordsHighWater);
+  expCounter(Out, L, "slab_bytes_hw", M.SlabBytesHighWater);
+  expCounter(Out, L, "slab_recycles", M.SlabRecycles);
+  expCounter(Out, L, "slab_epoch_hw", M.SlabEpochHighWater);
+  expCounter(Out, L, "thp_granted", M.ThpGranted);
+  expCounter(Out, L, "thp_declined", M.ThpDeclined);
+  expCounter(Out, L, "hugetlb_granted", M.HugetlbGranted);
+  expCounter(Out, L, "hugetlb_declined", M.HugetlbDeclined);
+  expCounter(Out, L, "zygote_respawns", M.ZygoteRespawns);
+  expCounter(Out, L, "zygote_restores", M.ZygoteRestores);
+  expCounter(Out, L, "remove_failures", M.RemoveFailures);
+  expCounter(Out, L, "net_agents", M.NetAgents);
+  expCounter(Out, L, "net_reconnects", M.NetReconnects);
+  expCounter(Out, L, "net_remote_leases", M.NetRemoteLeases);
+  expCounter(Out, L, "net_leases_returned", M.NetLeasesReturned);
+  expCounter(Out, L, "net_frames", M.NetFrames);
+  expCounter(Out, L, "net_bytes_in", M.NetBytesIn);
+  expCounter(Out, L, "net_bytes_out", M.NetBytesOut);
+  expCounter(Out, L, "net_recv_hello", M.NetRecvHello);
+  expCounter(Out, L, "net_recv_claim_req", M.NetRecvClaimReq);
+  expCounter(Out, L, "net_recv_commit_batch", M.NetRecvCommitBatch);
+  expCounter(Out, L, "net_recv_trace", M.NetRecvTrace);
+  expCounter(Out, L, "trace_events", M.TraceEvents);
+  expCounter(Out, L, "trace_drops", M.TraceDrops);
+  expCounter(Out, L, "scores_noted", M.ScoresNoted);
+  expLine(Out, L, "score_last", "gauge", M.ScoreLast);
+  expLine(Out, L, "score_min", "gauge", M.ScoreMin);
+  expLine(Out, L, "score_max", "gauge", M.ScoreMax);
+  expHistogram(Out, L, "fork_latency", M.ForkLatency);
+  expHistogram(Out, L, "commit_latency", M.CommitLatency);
+  expHistogram(Out, L, "region_latency", M.RegionLatency);
 }
 
 } // namespace obs

@@ -117,6 +117,33 @@ struct RuntimeMetrics {
   }
 };
 
+/// One seqlock-published RuntimeMetrics snapshot page: a sequence word
+/// guarding a plain-data payload, laid out for a MAP_SHARED mapping so
+/// any process holding the page reads tear-free snapshots without locks.
+/// Single writer per page by construction (the publishing process); the
+/// writer bumps the sequence to odd, copies the payload, then publishes
+/// with an even release-store, and a reader retries until it sees the
+/// same even sequence on both sides of its copy. SharedControl embeds
+/// one for the run-wide snapshot, and wbtuned carves one per job slot
+/// out of its own mapping so every job-runner publishes into its own
+/// page (the per-job metrics behind the `job` label on the scrape
+/// endpoint). Zero-initialized memory is a valid empty page.
+struct MetricsSnapshotPage {
+  std::atomic<uint64_t> Seq;
+  RuntimeMetrics Snap;
+
+  /// Writer side (the page's single writer only).
+  void publish(const RuntimeMetrics &M);
+  /// Reader side. False when nothing has been published yet or a stable
+  /// snapshot could not be obtained in a bounded number of retries (a
+  /// writer that died mid-copy leaves the sequence odd forever).
+  bool read(RuntimeMetrics &Out) const;
+  /// Publication count (even sequence / 2); 0 before the first publish.
+  uint64_t published() const {
+    return Seq.load(std::memory_order_relaxed) / 2;
+  }
+};
+
 /// Writes the snapshot as one JSON object (no trailing newline) — the
 /// shared shape both bench --json emitters embed under "metrics".
 void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M);
@@ -124,8 +151,12 @@ void writeMetricsJson(std::FILE *F, const RuntimeMetrics &M);
 /// Appends the snapshot in Prometheus text exposition format (TYPE lines,
 /// cumulative `_bucket{le=...}` histograms) — what the scrape endpoint
 /// serves and wbt-top parses. Every writeMetricsJson key appears as a
-/// `wbt_`-prefixed metric.
-void writeExpositionText(std::string &Out, const RuntimeMetrics &M);
+/// `wbt_`-prefixed metric. A non-empty \p Labels (e.g. `job="canny"`,
+/// already escaped) is attached to every sample line — `wbt_x{job="a"}`,
+/// merged before `le` on bucket lines — which is how wbtuned serves one
+/// exposition per tenant job from a single endpoint.
+void writeExpositionText(std::string &Out, const RuntimeMetrics &M,
+                         const std::string &Labels = std::string());
 
 } // namespace obs
 } // namespace wbt

@@ -3075,7 +3075,10 @@ void Runtime::publishTelemetry() {
 }
 
 void Runtime::noteScore(double Score, uint32_t Samples) {
-  assert(Inited && "noteScore() before init()");
+  // Loud in every build type: under NDEBUG the old assert compiled out
+  // and the next line dereferenced a null Ctl.
+  if (!Inited)
+    sys::fatal("noteScore() before init()");
   Ctl->noteScore(Score);
   uint64_t Bits;
   static_assert(sizeof(Bits) == sizeof(Score));

@@ -177,11 +177,9 @@ struct SharedLayout {
   std::atomic<uint64_t> ScoreMinBits; // +inf until the first score
   std::atomic<uint64_t> ScoreMaxBits; // -inf until the first score
 
-  // Seqlock-published metrics snapshot page. Single writer (the root
-  // supervisor); MetricsSeq odd while a copy is in flight. MetricsPage
-  // is plain data guarded entirely by the sequence word.
-  std::atomic<uint64_t> MetricsSeq;
-  obs::RuntimeMetrics MetricsPage;
+  // Seqlock-published metrics snapshot page (obs::MetricsSnapshotPage
+  // owns the protocol). Single writer: the root supervisor.
+  obs::MetricsSnapshotPage MetricsPg;
 
   // Epoch-based slab recycling (written only by the root tuning process,
   // single-threaded, between regions; atomics because every process may
@@ -1032,41 +1030,15 @@ double SharedControl::scoreMax() const {
 //===----------------------------------------------------------------------===//
 
 void SharedControl::publishMetricsSnapshot(const obs::RuntimeMetrics &M) {
-  static_assert(std::is_trivially_copyable<obs::RuntimeMetrics>::value,
-                "the metrics page is copied with memcpy");
-  SharedLayout *L = Layout;
-  uint64_t Seq = L->MetricsSeq.load(std::memory_order_relaxed);
-  // Odd: a copy is in flight. The release fence keeps the payload
-  // stores from sinking above the odd store (StoreStore), so a reader
-  // can never pair a torn payload with a stable even sequence.
-  L->MetricsSeq.store(Seq + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-  std::memcpy(&L->MetricsPage, &M, sizeof(M));
-  // Publication: even again, release-paired with the reader's fence.
-  L->MetricsSeq.store(Seq + 2, std::memory_order_release);
+  Layout->MetricsPg.publish(M);
 }
 
 bool SharedControl::readMetricsSnapshot(obs::RuntimeMetrics &Out) const {
-  const SharedLayout *L = Layout;
-  // Bounded retries: the writer publishes at sweep cadence, so a torn
-  // read is rare and one retry almost always lands. The bound only
-  // guards against a writer that dies mid-copy (odd forever).
-  for (int Try = 0; Try != 1024; ++Try) {
-    uint64_t S1 = L->MetricsSeq.load(std::memory_order_acquire);
-    if (S1 == 0)
-      return false; // nothing published yet
-    if (S1 & 1)
-      continue; // writer mid-copy
-    std::memcpy(&Out, &L->MetricsPage, sizeof(Out));
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (L->MetricsSeq.load(std::memory_order_relaxed) == S1)
-      return true;
-  }
-  return false;
+  return Layout->MetricsPg.read(Out);
 }
 
 uint64_t SharedControl::metricsSnapshotCount() const {
-  return Layout->MetricsSeq.load(std::memory_order_relaxed) / 2;
+  return Layout->MetricsPg.published();
 }
 
 //===----------------------------------------------------------------------===//

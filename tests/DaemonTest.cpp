@@ -1,0 +1,923 @@
+//===- tests/DaemonTest.cpp - Multi-tenant daemon tests -------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the wbtuned stack bottom-up: fair-share apportionment tables,
+// control-protocol roundtrips, and forked end-to-end scenarios — the
+// acceptance criterion (two concurrent tenants produce aggregates
+// bitwise-identical to solo runs while sharing one worker budget),
+// crash isolation under inject fault plans (one runner SIGKILLed
+// mid-region, neighbours unaffected), cancel, drain semantics, stale
+// socket reclaim after a daemon SIGKILL, a torn mid-submit frame, and
+// per-job labels on the Prometheus scrape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/Daemon.h"
+#include "daemon/FairShare.h"
+#include "daemon/JobRunner.h"
+#include "daemon/Protocol.h"
+#include "inject/Inject.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace wbt;
+using namespace wbt::daemon;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fair-share apportionment
+//===----------------------------------------------------------------------===//
+
+TEST(FairShare, EmptyAndSingle) {
+  EXPECT_TRUE(fairShareCaps(8, {}).empty());
+  EXPECT_EQ(fairShareCaps(8, {{1.0}}), (std::vector<uint32_t>{8}));
+  // Even a zero-weight lone job holds the whole budget.
+  EXPECT_EQ(fairShareCaps(8, {{0.0}}), (std::vector<uint32_t>{8}));
+}
+
+TEST(FairShare, ProportionalSplit) {
+  EXPECT_EQ(fairShareCaps(8, {{1.0}, {1.0}}), (std::vector<uint32_t>{4, 4}));
+  EXPECT_EQ(fairShareCaps(8, {{3.0}, {1.0}}), (std::vector<uint32_t>{6, 2}));
+  EXPECT_EQ(fairShareCaps(12, {{1.0}, {2.0}, {3.0}}),
+            (std::vector<uint32_t>{2, 4, 6}));
+}
+
+TEST(FairShare, FloorNeverStarves) {
+  // A zero-weight job (last region barrier) still keeps one worker.
+  EXPECT_EQ(fairShareCaps(10, {{0.0}, {5.0}}), (std::vector<uint32_t>{1, 9}));
+  // Budget == job count: everyone gets exactly the floor.
+  EXPECT_EQ(fairShareCaps(4, {{9.0}, {1.0}, {1.0}, {1.0}}),
+            (std::vector<uint32_t>{1, 1, 1, 1}));
+  // Oversubscribed (should not happen under the admission queue, but
+  // the floor still wins over the budget).
+  EXPECT_EQ(fairShareCaps(2, {{1.0}, {1.0}, {1.0}}),
+            (std::vector<uint32_t>{1, 1, 1}));
+}
+
+TEST(FairShare, RemainderTiesBreakToEarlierJob) {
+  // 5 over two equal weights: the odd worker lands on job 0,
+  // deterministically.
+  EXPECT_EQ(fairShareCaps(5, {{1.0}, {1.0}}), (std::vector<uint32_t>{3, 2}));
+  EXPECT_EQ(fairShareCaps(7, {{1.0}, {1.0}, {1.0}}),
+            (std::vector<uint32_t>{3, 2, 2}));
+  // All-zero weights degrade to an even split, same tie-break.
+  EXPECT_EQ(fairShareCaps(7, {{0.0}, {0.0}, {0.0}}),
+            (std::vector<uint32_t>{3, 2, 2}));
+}
+
+TEST(FairShare, CapsSumToBudget) {
+  // Whenever jobs <= budget, no worker is wasted and none invented.
+  const std::vector<std::vector<ShareInput>> Cases = {
+      {{1.0}, {1.0}},
+      {{1.0}, {2.0}, {3.0}, {4.0}},
+      {{0.5}, {0.25}, {0.25}},
+      {{100.0}, {1.0}},
+      {{0.0}, {3.0}, {0.0}},
+  };
+  for (uint32_t Budget : {3u, 5u, 8u, 17u}) {
+    for (const auto &Jobs : Cases) {
+      if (Jobs.size() > Budget)
+        continue;
+      std::vector<uint32_t> Caps = fairShareCaps(Budget, Jobs);
+      ASSERT_EQ(Caps.size(), Jobs.size());
+      uint32_t Sum = std::accumulate(Caps.begin(), Caps.end(), 0u);
+      EXPECT_EQ(Sum, Budget) << "budget " << Budget;
+      for (uint32_t C : Caps)
+        EXPECT_GE(C, 1u);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonProtocol, ValidJobName) {
+  EXPECT_TRUE(validJobName("a"));
+  EXPECT_TRUE(validJobName("canny-v2.1_test"));
+  EXPECT_TRUE(validJobName(std::string(64, 'x')));
+  EXPECT_FALSE(validJobName(""));
+  EXPECT_FALSE(validJobName(std::string(65, 'x')));
+  EXPECT_FALSE(validJobName("has space"));
+  EXPECT_FALSE(validJobName("quo\"te")); // would break the label value
+  EXPECT_FALSE(validJobName("new\nline"));
+}
+
+/// Strips the 4-byte length prefix: decode functions take the payload
+/// as FrameBuffer::next() hands it out.
+std::vector<uint8_t> payloadOf(const std::vector<uint8_t> &Frame) {
+  EXPECT_GE(Frame.size(), 4u);
+  return std::vector<uint8_t>(Frame.begin() + 4, Frame.end());
+}
+
+TEST(DaemonProtocol, JobSubmitRoundtrip) {
+  JobSpec S;
+  S.Name = "edge-tune";
+  S.Regions = 17;
+  S.Samples = 33;
+  S.Priority = 5;
+  S.Kind = 1;
+  S.Seed = 0xdeadbeefcafef00dull;
+  S.InjectPlan = "tp.region.begin@n3:kill";
+  std::vector<uint8_t> P = payloadOf(encodeJobSubmit(S));
+  EXPECT_EQ(ctlFrameType(P), CtlFrame::JobSubmit);
+  JobSpec D;
+  ASSERT_TRUE(decodeJobSubmit(P, D));
+  EXPECT_EQ(D.Name, S.Name);
+  EXPECT_EQ(D.Regions, S.Regions);
+  EXPECT_EQ(D.Samples, S.Samples);
+  EXPECT_EQ(D.Priority, S.Priority);
+  EXPECT_EQ(D.Kind, S.Kind);
+  EXPECT_EQ(D.Seed, S.Seed);
+  EXPECT_EQ(D.InjectPlan, S.InjectPlan);
+
+  // A truncated payload must fail decode, not misread.
+  for (size_t Cut = 1; Cut < P.size(); Cut += 7) {
+    std::vector<uint8_t> Torn(P.begin(), P.end() - Cut);
+    JobSpec T;
+    EXPECT_FALSE(decodeJobSubmit(Torn, T)) << "cut " << Cut;
+  }
+}
+
+TEST(DaemonProtocol, StatusRoundtrip) {
+  StatusMsg M;
+  M.Budget = 12;
+  M.Draining = 1;
+  M.MetricsPort = 9464;
+  JobRow R1;
+  R1.Id = 3;
+  R1.Name = "alpha";
+  R1.State = JobState::Running;
+  R1.Cap = 7;
+  R1.RunnerPid = 4242;
+  R1.Result = {2, 0x3ff0000000000000ull, 0x1234567890abcdefull};
+  JobRow R2;
+  R2.Id = 9;
+  R2.Name = "beta";
+  R2.State = JobState::Crashed;
+  M.Jobs = {R1, R2};
+  StatusMsg D;
+  ASSERT_TRUE(decodeStatusResp(payloadOf(encodeStatusResp(M)), D));
+  EXPECT_EQ(D.Budget, 12u);
+  EXPECT_EQ(D.Draining, 1);
+  EXPECT_EQ(D.MetricsPort, 9464);
+  ASSERT_EQ(D.Jobs.size(), 2u);
+  EXPECT_EQ(D.Jobs[0].Id, 3u);
+  EXPECT_EQ(D.Jobs[0].Name, "alpha");
+  EXPECT_EQ(D.Jobs[0].State, JobState::Running);
+  EXPECT_EQ(D.Jobs[0].Cap, 7u);
+  EXPECT_EQ(D.Jobs[0].RunnerPid, 4242);
+  EXPECT_EQ(D.Jobs[0].Result.RegionsDone, 2u);
+  EXPECT_EQ(D.Jobs[0].Result.BestBits, 0x3ff0000000000000ull);
+  EXPECT_EQ(D.Jobs[0].Result.AggHash, 0x1234567890abcdefull);
+  EXPECT_EQ(D.Jobs[1].Name, "beta");
+  EXPECT_EQ(D.Jobs[1].State, JobState::Crashed);
+}
+
+TEST(DaemonProtocol, SmallFrameRoundtrips) {
+  uint64_t Id = 0;
+  bool Accepted = true;
+  std::string Err;
+  ASSERT_TRUE(decodeSubmitResp(
+      payloadOf(encodeSubmitResp(0, false, "draining")), Id, Accepted, Err));
+  EXPECT_FALSE(Accepted);
+  EXPECT_EQ(Err, "draining");
+  ASSERT_TRUE(decodeSubmitResp(payloadOf(encodeSubmitResp(77, true, "")), Id,
+                               Accepted, Err));
+  EXPECT_TRUE(Accepted);
+  EXPECT_EQ(Id, 77u);
+
+  JobState St = JobState::Queued;
+  JobResult R;
+  ASSERT_TRUE(decodeJobDone(
+      payloadOf(encodeJobDone(5, JobState::Crashed, {3, 0xab, 0xcd})), Id, St,
+      R));
+  EXPECT_EQ(Id, 5u);
+  EXPECT_EQ(St, JobState::Crashed);
+  EXPECT_EQ(R.RegionsDone, 3u);
+  EXPECT_EQ(R.BestBits, 0xabull);
+  EXPECT_EQ(R.AggHash, 0xcdull);
+
+  JobResult Pr;
+  ASSERT_TRUE(
+      decodeRunnerProgress(payloadOf(encodeRunnerProgress({1, 2, 3})), Pr));
+  EXPECT_EQ(Pr.RegionsDone, 1u);
+  ASSERT_TRUE(decodeRunnerDone(payloadOf(encodeRunnerDone({9, 8, 7})), Pr));
+  EXPECT_EQ(Pr.RegionsDone, 9u);
+
+  uint32_t Left = 0;
+  ASSERT_TRUE(decodeDrainResp(payloadOf(encodeDrainResp(4)), Left));
+  EXPECT_EQ(Left, 4u);
+  bool Found = false;
+  ASSERT_TRUE(decodeCancelResp(payloadOf(encodeCancelResp(true)), Found));
+  EXPECT_TRUE(Found);
+  ASSERT_TRUE(decodeWaitReq(payloadOf(encodeWaitReq(31)), Id));
+  EXPECT_EQ(Id, 31u);
+  ASSERT_TRUE(decodeCancelReq(payloadOf(encodeCancelReq(13)), Id));
+  EXPECT_EQ(Id, 13u);
+
+  // Type confusion is rejected: a WaitReq payload is not a CancelReq.
+  EXPECT_FALSE(decodeCancelReq(payloadOf(encodeWaitReq(1)), Id));
+}
+
+TEST(DaemonProtocol, FnvFoldDiscriminates) {
+  uint64_t A = fnvFold(fnvFold(FnvBasis, 1), 2);
+  uint64_t B = fnvFold(fnvFold(FnvBasis, 2), 1);
+  EXPECT_NE(A, B); // order matters
+  EXPECT_EQ(A, fnvFold(fnvFold(FnvBasis, 1), 2)); // deterministic
+  EXPECT_NE(fnvFold(FnvBasis, 0), FnvBasis);      // zero words still fold
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end scenarios (each forked: daemons, runners, and clients all
+// live in a scratch process group the parent can reap wholesale).
+//===----------------------------------------------------------------------===//
+
+/// Forks, runs \p Scenario in the child, reaps it. 0 = pass; a
+/// scenario's CHECK_OR code otherwise (200 = died to a signal).
+int runScenario(int (*Scenario)()) {
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    setpgid(0, 0);
+    _exit(Scenario());
+  }
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) != Pid)
+    return -2;
+  kill(-Pid, SIGKILL); // sweep any stragglers in the scenario's group
+  if (WIFEXITED(Status))
+    return WEXITSTATUS(Status);
+  return 200;
+}
+
+#define CHECK_OR(COND, CODE)                                                   \
+  do {                                                                         \
+    if (!(COND)) {                                                             \
+      std::fprintf(stderr, "DaemonTest scenario failed at %s:%d (code %d)\n",  \
+                   __FILE__, __LINE__, (CODE));                                \
+      return (CODE);                                                           \
+    }                                                                          \
+  } while (0)
+
+volatile std::sig_atomic_t GDrainFlag = 0;
+void drainHandler(int) { GDrainFlag = 1; }
+
+std::string testSocketPath() {
+  return "/tmp/wbtd-test." + std::to_string(getpid()) + ".sock";
+}
+
+/// Forks a daemon on \p Sock. The child installs a SIGTERM handler
+/// wired to DrainSignal exactly like tools/wbtuned.cpp does.
+pid_t spawnDaemon(const std::string &Sock, uint32_t Budget,
+                  const std::string &Metrics = std::string()) {
+  std::fflush(stderr);
+  pid_t Pid = fork();
+  if (Pid != 0)
+    return Pid;
+  GDrainFlag = 0;
+  struct sigaction Sa {};
+  Sa.sa_handler = drainHandler; // no SA_RESTART: poll must wake
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  DaemonOptions Opts;
+  Opts.SocketPath = Sock;
+  Opts.Budget = Budget;
+  Opts.MaxJobs = 8;
+  Opts.MetricsAddress = Metrics;
+  Opts.DrainSignal = &GDrainFlag;
+  Daemon D(Opts);
+  if (!D.start())
+    _exit(9);
+  _exit(D.run());
+}
+
+/// The daemon binds asynchronously after fork; retry the connect.
+bool connectRetry(CtlClient &C, const std::string &Sock, int Tries = 250) {
+  for (int I = 0; I != Tries; ++I) {
+    if (C.connect(Sock))
+      return true;
+    usleep(20 * 1000);
+  }
+  return false;
+}
+
+bool resultsEqual(const JobResult &A, const JobResult &B) {
+  return A.RegionsDone == B.RegionsDone && A.BestBits == B.BestBits &&
+         A.AggHash == B.AggHash;
+}
+
+/// Acceptance criterion: two tenants submitted concurrently share one
+/// worker budget yet produce results bitwise-identical to solo runs at
+/// *different* pool sizes; drain then exits 0 and unlinks the socket.
+int scenarioTwoJobsBitwise() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/4);
+  CHECK_OR(Dm > 0, 2);
+
+  JobSpec A;
+  A.Name = "alpha";
+  A.Regions = 4;
+  A.Samples = 8;
+  A.Seed = 101;
+  JobSpec B = A;
+  B.Name = "beta";
+  B.Seed = 202;
+  B.Priority = 3;
+
+  CtlClient Ca, Cb;
+  CHECK_OR(connectRetry(Ca, Sock), 3);
+  CHECK_OR(Cb.connect(Sock), 4);
+  uint64_t IdA = 0, IdB = 0;
+  std::string Err;
+  CHECK_OR(Ca.submit(A, IdA, Err), 5);
+  CHECK_OR(Cb.submit(B, IdB, Err), 6);
+  CHECK_OR(IdA != IdB, 7);
+
+  // While both are admitted, their caps never exceed the shared budget.
+  StatusMsg St;
+  CtlClient Cs;
+  CHECK_OR(Cs.connect(Sock), 8);
+  CHECK_OR(Cs.status(St), 9);
+  CHECK_OR(St.Budget == 4, 10);
+  CHECK_OR(St.Jobs.size() == 2, 11);
+  uint32_t CapSum = 0;
+  for (const JobRow &R : St.Jobs)
+    if (R.State == JobState::Running)
+      CapSum += R.Cap;
+  CHECK_OR(CapSum <= St.Budget, 12);
+
+  JobState SA, SB;
+  JobResult RA, RB;
+  CHECK_OR(Ca.wait(IdA, SA, RA), 13);
+  CHECK_OR(Cb.wait(IdB, SB, RB), 14);
+  CHECK_OR(SA == JobState::Done, 15);
+  CHECK_OR(SB == JobState::Done, 16);
+  CHECK_OR(RA.RegionsDone == A.Regions, 17);
+  CHECK_OR(RB.RegionsDone == B.Regions, 18);
+
+  // Solo references at deliberately different worker counts: the
+  // result must not depend on the cap in force.
+  JobResult LA = runJobLocal(A, /*Workers=*/3);
+  JobResult LB = runJobLocal(B, /*Workers=*/1);
+  CHECK_OR(resultsEqual(RA, LA), 19);
+  CHECK_OR(resultsEqual(RB, LB), 20);
+  // Different seeds: the jobs did not collapse into the same stream.
+  CHECK_OR(RA.BestBits != RB.BestBits, 21);
+
+  uint32_t Left = 0;
+  CHECK_OR(Ca.drain(Left), 22);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 23);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 24);
+  struct stat Sb;
+  CHECK_OR(stat(Sock.c_str(), &Sb) != 0 && errno == ENOENT, 25);
+  return 0;
+}
+
+/// More tenants than budget slots: the third job queues, every job
+/// still finishes with solo-identical bits.
+int scenarioQueueAdmission() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(Dm > 0, 2);
+
+  JobSpec Specs[3];
+  for (int I = 0; I != 3; ++I) {
+    Specs[I].Name = "job" + std::to_string(I);
+    Specs[I].Regions = 3;
+    Specs[I].Samples = 6;
+    Specs[I].Seed = 1000 + I;
+  }
+  CtlClient C[3];
+  uint64_t Ids[3];
+  std::string Err;
+  for (int I = 0; I != 3; ++I) {
+    CHECK_OR(connectRetry(C[I], Sock, I == 0 ? 250 : 1), 3 + I);
+    CHECK_OR(C[I].submit(Specs[I], Ids[I], Err), 6 + I);
+  }
+  for (int I = 0; I != 3; ++I) {
+    JobState S;
+    JobResult R;
+    CHECK_OR(C[I].wait(Ids[I], S, R), 10 + I);
+    CHECK_OR(S == JobState::Done, 20 + I);
+    CHECK_OR(resultsEqual(R, runJobLocal(Specs[I], 1 + I)), 30 + I);
+  }
+  uint32_t Left = 0;
+  CHECK_OR(C[0].drain(Left), 40);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 41);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 42);
+  return 0;
+}
+
+/// Crash isolation: one tenant's runner is SIGKILLed mid-region by its
+/// own inject plan; the neighbour finishes with solo-identical bits and
+/// the daemon reports the victim Crashed with its pre-crash progress.
+int scenarioRunnerKillOthersFinish() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/4);
+  CHECK_OR(Dm > 0, 2);
+
+  JobSpec Good;
+  Good.Name = "survivor";
+  Good.Regions = 5;
+  Good.Samples = 6;
+  Good.Seed = 11;
+  JobSpec Victim;
+  Victim.Name = "victim";
+  Victim.Regions = 5;
+  Victim.Samples = 6;
+  Victim.Seed = 12;
+  // SIGKILL the runner at a region-begin trace point. The nN selector
+  // is a site-wide trace-point ordinal (eligible-from, budget 1):
+  // region 1's begin is ordinal 1, so n2 deterministically fires at
+  // region 2's begin — one region completed, then death mid-job.
+  Victim.InjectPlan = "tp.region.begin@n2:kill";
+
+  CtlClient Cg, Cv;
+  CHECK_OR(connectRetry(Cg, Sock), 3);
+  CHECK_OR(Cv.connect(Sock), 4);
+  uint64_t IdG = 0, IdV = 0;
+  std::string Err;
+  CHECK_OR(Cg.submit(Good, IdG, Err), 5);
+  CHECK_OR(Cv.submit(Victim, IdV, Err), 6);
+
+  JobState SV;
+  JobResult RV;
+  CHECK_OR(Cv.wait(IdV, SV, RV), 7);
+  CHECK_OR(SV == JobState::Crashed, 8);
+  CHECK_OR(RV.RegionsDone == 1, 9); // progress up to the kill survived
+
+  JobState SG;
+  JobResult RG;
+  CHECK_OR(Cg.wait(IdG, SG, RG), 10);
+  CHECK_OR(SG == JobState::Done, 11);
+  CHECK_OR(resultsEqual(RG, runJobLocal(Good, 2)), 12);
+
+  // The daemon is still healthy: it serves status and accepts work.
+  StatusMsg St;
+  CHECK_OR(Cg.status(St), 13);
+  CHECK_OR(St.Jobs.size() == 2, 14);
+  uint32_t Left = 0;
+  CHECK_OR(Cg.drain(Left), 15);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 16);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 17);
+  return 0;
+}
+
+/// Cancel SIGKILLs the runner's process group and reports Canceled;
+/// the pid is gone afterwards.
+int scenarioCancel() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(Dm > 0, 2);
+
+  JobSpec Long;
+  Long.Name = "longhaul";
+  Long.Regions = 1000; // would run for a long while
+  Long.Samples = 8;
+  Long.Seed = 7;
+  CtlClient C;
+  CHECK_OR(connectRetry(C, Sock), 3);
+  uint64_t Id = 0;
+  std::string Err;
+  CHECK_OR(C.submit(Long, Id, Err), 4);
+
+  // Find the runner pid once the job is running.
+  pid_t RunnerPid = 0;
+  for (int I = 0; I != 250 && RunnerPid == 0; ++I) {
+    StatusMsg St;
+    CHECK_OR(C.status(St), 5);
+    for (const JobRow &R : St.Jobs)
+      if (R.Id == Id && R.State == JobState::Running)
+        RunnerPid = R.RunnerPid;
+    if (RunnerPid == 0)
+      usleep(20 * 1000);
+  }
+  CHECK_OR(RunnerPid > 0, 6);
+
+  bool Found = false;
+  CHECK_OR(C.cancel(Id, Found), 7);
+  CHECK_OR(Found, 8);
+  JobState S;
+  JobResult R;
+  CHECK_OR(C.wait(Id, S, R), 9);
+  CHECK_OR(S == JobState::Canceled, 10);
+  CHECK_OR(R.RegionsDone < Long.Regions, 11);
+
+  // The runner process goes away (the daemon reaps it).
+  bool Gone = false;
+  for (int I = 0; I != 250 && !Gone; ++I) {
+    Gone = kill(RunnerPid, 0) != 0 && errno == ESRCH;
+    if (!Gone)
+      usleep(20 * 1000);
+  }
+  CHECK_OR(Gone, 12);
+
+  // Canceling an unknown id is found=false, not an error.
+  CHECK_OR(C.cancel(Id + 999, Found), 13);
+  CHECK_OR(!Found, 14);
+
+  uint32_t Left = 0;
+  CHECK_OR(C.drain(Left), 15);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 16);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 17);
+  return 0;
+}
+
+/// Drain refuses new admissions but finishes in-flight jobs, then the
+/// daemon exits 0 with the socket unlinked — SIGTERM flavor.
+int scenarioDrainRefusesNewWork() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(Dm > 0, 2);
+
+  JobSpec A;
+  A.Name = "inflight";
+  A.Regions = 6;
+  A.Samples = 6;
+  A.Seed = 55;
+  CtlClient C;
+  CHECK_OR(connectRetry(C, Sock), 3);
+  uint64_t Id = 0;
+  std::string Err;
+  CHECK_OR(C.submit(A, Id, Err), 4);
+
+  // SIGTERM: the wbtuned drain path, not the DrainReq one.
+  CHECK_OR(kill(Dm, SIGTERM) == 0, 5);
+
+  // The daemon refuses new work while the in-flight job continues.
+  // (Submission may race the signal delivery; retry until refused.)
+  bool Refused = false;
+  for (int I = 0; I != 250 && !Refused; ++I) {
+    CtlClient C2;
+    if (!C2.connect(Sock))
+      break; // socket already gone: drained before we could ask
+    JobSpec B = A;
+    B.Name = "latecomer" + std::to_string(I);
+    uint64_t Id2 = 0;
+    std::string Err2;
+    if (!C2.submit(B, Id2, Err2)) {
+      CHECK_OR(Err2 == "draining", 6);
+      Refused = true;
+    }
+    usleep(10 * 1000);
+  }
+
+  JobState S;
+  JobResult R;
+  CHECK_OR(C.wait(Id, S, R), 7);
+  CHECK_OR(S == JobState::Done, 8);
+  CHECK_OR(resultsEqual(R, runJobLocal(A, 2)), 9);
+
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 10);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 11);
+  struct stat Sb;
+  CHECK_OR(stat(Sock.c_str(), &Sb) != 0 && errno == ENOENT, 12);
+  CHECK_OR(Refused, 13);
+  return 0;
+}
+
+/// Daemon restart with clients attached: SIGKILL the daemon (stale
+/// socket left behind), the old client sees a clean failure, a new
+/// daemon reclaims the path and serves as normal.
+int scenarioStaleSocketReclaim() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t D1 = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(D1 > 0, 2);
+  CtlClient Old;
+  CHECK_OR(connectRetry(Old, Sock), 3);
+  StatusMsg St;
+  CHECK_OR(Old.status(St), 4);
+
+  CHECK_OR(kill(D1, SIGKILL) == 0, 5);
+  int Status = 0;
+  CHECK_OR(waitpid(D1, &Status, 0) == D1, 6);
+  struct stat Sb;
+  CHECK_OR(stat(Sock.c_str(), &Sb) == 0, 7); // stale socket remains
+
+  // The attached client fails gracefully (EOF), no hang, no crash.
+  CHECK_OR(!Old.status(St), 8);
+
+  // A second daemon detects the stale socket by connect probe and
+  // rebinds; a fresh client's work completes.
+  pid_t D2 = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(D2 > 0, 9);
+  CtlClient Fresh;
+  CHECK_OR(connectRetry(Fresh, Sock), 10);
+  JobSpec A;
+  A.Name = "reborn";
+  A.Regions = 2;
+  A.Samples = 4;
+  A.Seed = 77;
+  uint64_t Id = 0;
+  std::string Err;
+  CHECK_OR(Fresh.submit(A, Id, Err), 11);
+  JobState S;
+  JobResult R;
+  CHECK_OR(Fresh.wait(Id, S, R), 12);
+  CHECK_OR(S == JobState::Done, 13);
+  CHECK_OR(resultsEqual(R, runJobLocal(A, 0)), 14);
+
+  uint32_t Left = 0;
+  CHECK_OR(Fresh.drain(Left), 15);
+  CHECK_OR(waitpid(D2, &Status, 0) == D2, 16);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 17);
+  return 0;
+}
+
+/// A live daemon on the path refuses a second start() instead of
+/// stealing the socket.
+int scenarioSecondDaemonRefused() {
+  alarm(60);
+  std::string Sock = testSocketPath();
+  pid_t D1 = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(D1 > 0, 2);
+  CtlClient C;
+  CHECK_OR(connectRetry(C, Sock), 3);
+
+  pid_t D2 = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(D2 > 0, 4);
+  int Status = 0;
+  CHECK_OR(waitpid(D2, &Status, 0) == D2, 5);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 9, 6); // start() false
+
+  // First daemon unharmed.
+  StatusMsg St;
+  CHECK_OR(C.status(St), 7);
+  uint32_t Left = 0;
+  CHECK_OR(C.drain(Left), 8);
+  CHECK_OR(waitpid(D1, &Status, 0) == D1, 9);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 10);
+  return 0;
+}
+
+/// Socket partition mid-submit: a client whose send tears halfway
+/// through the frame (inject 'short') fails locally; the daemon drops
+/// the partial frame with the connection and keeps serving others.
+int scenarioTornSubmitDropped() {
+  alarm(60);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(Dm > 0, 2);
+  CtlClient Healthy;
+  CHECK_OR(connectRetry(Healthy, Sock), 3);
+
+  pid_t Torn = fork();
+  CHECK_OR(Torn >= 0, 4);
+  if (Torn == 0) {
+    // Arm in the child only: the first send tears (half the bytes,
+    // then EPIPE), exactly a mid-submit partition.
+    std::string Err;
+    if (!inject::armText("send@n1:short", Err))
+      _exit(10);
+    CtlClient C;
+    if (!C.connect(Sock))
+      _exit(11);
+    JobSpec A;
+    A.Name = "torn";
+    A.Regions = 2;
+    A.Samples = 4;
+    uint64_t Id = 0;
+    std::string E;
+    _exit(C.submit(A, Id, E) ? 12 : 0); // must fail
+  }
+  int Status = 0;
+  CHECK_OR(waitpid(Torn, &Status, 0) == Torn, 5);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 6);
+
+  // The daemon never admitted the torn job and still serves.
+  StatusMsg St;
+  CHECK_OR(Healthy.status(St), 7);
+  CHECK_OR(St.Jobs.empty(), 8);
+  JobSpec B;
+  B.Name = "after-torn";
+  B.Regions = 2;
+  B.Samples = 4;
+  B.Seed = 5;
+  uint64_t Id = 0;
+  std::string Err;
+  CHECK_OR(Healthy.submit(B, Id, Err), 9);
+  JobState S;
+  JobResult R;
+  CHECK_OR(Healthy.wait(Id, S, R), 10);
+  CHECK_OR(S == JobState::Done, 11);
+
+  uint32_t Left = 0;
+  CHECK_OR(Healthy.drain(Left), 12);
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 13);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 14);
+  return 0;
+}
+
+/// Bad submissions are refused with a reason, good ones after them
+/// still work on the same connection.
+int scenarioSubmitValidation() {
+  alarm(60);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/2);
+  CHECK_OR(Dm > 0, 2);
+  CtlClient C;
+  CHECK_OR(connectRetry(C, Sock), 3);
+
+  uint64_t Id = 0;
+  std::string Err;
+  JobSpec Bad;
+  Bad.Name = "spaced name";
+  CHECK_OR(!C.submit(Bad, Id, Err), 4);
+  CHECK_OR(Err == "bad job name", 5);
+  JobSpec Empty;
+  Empty.Name = "empty";
+  Empty.Regions = 0;
+  CHECK_OR(!C.submit(Empty, Id, Err), 6);
+  CHECK_OR(Err == "empty job", 7);
+
+  JobSpec Ok;
+  Ok.Name = "dup";
+  Ok.Regions = 2;
+  Ok.Samples = 4;
+  CHECK_OR(C.submit(Ok, Id, Err), 8);
+  uint64_t Id2 = 0;
+  CHECK_OR(!C.submit(Ok, Id2, Err), 9); // same name while live
+  CHECK_OR(Err == "name in use", 10);
+
+  JobState S;
+  JobResult R;
+  CHECK_OR(C.wait(Id, S, R), 11);
+  CHECK_OR(S == JobState::Done, 12);
+  // Terminal job released the name: resubmission is fine.
+  CHECK_OR(C.submit(Ok, Id2, Err), 13);
+  CHECK_OR(C.wait(Id2, S, R), 14);
+
+  uint32_t Left = 0;
+  CHECK_OR(C.drain(Left), 15);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 16);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 17);
+  return 0;
+}
+
+/// Minimal blocking GET /metrics against the daemon's scrape port
+/// (kernel-picked, discovered via StatusResp).
+std::string scrapeDaemonMetrics(uint16_t Port) {
+  int S = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (S < 0)
+    return std::string();
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return std::string();
+  }
+  const char Req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)::send(S, Req, sizeof(Req) - 1, MSG_NOSIGNAL);
+  std::string Resp;
+  char Buf[4096];
+  ssize_t R;
+  while ((R = ::recv(S, Buf, sizeof(Buf), 0)) > 0)
+    Resp.append(Buf, static_cast<size_t>(R));
+  ::close(S);
+  size_t HdrEnd = Resp.find("\r\n\r\n");
+  return HdrEnd == std::string::npos ? std::string()
+                                     : Resp.substr(HdrEnd + 4);
+}
+
+/// Per-job labels on the shared scrape: each tenant's RuntimeMetrics
+/// surface as wbt_* series with job="<name>", histogram buckets merge
+/// the job label before le, and daemon-level gauges ride along.
+int scenarioMetricsLabels() {
+  alarm(120);
+  std::string Sock = testSocketPath();
+  pid_t Dm = spawnDaemon(Sock, /*Budget=*/4, "127.0.0.1:0");
+  CHECK_OR(Dm > 0, 2);
+  CtlClient C;
+  CHECK_OR(connectRetry(C, Sock), 3);
+  StatusMsg St;
+  CHECK_OR(C.status(St), 4);
+  CHECK_OR(St.MetricsPort != 0, 5);
+
+  JobSpec A;
+  A.Name = "lab-a";
+  A.Regions = 3;
+  A.Samples = 6;
+  A.Seed = 31;
+  JobSpec B = A;
+  B.Name = "lab-b";
+  B.Seed = 32;
+  uint64_t IdA = 0, IdB = 0;
+  std::string Err;
+  CHECK_OR(C.submit(A, IdA, Err), 6);
+  CtlClient C2;
+  CHECK_OR(C2.connect(Sock), 7);
+  CHECK_OR(C2.submit(B, IdB, Err), 8);
+  JobState S;
+  JobResult R;
+  CHECK_OR(C.wait(IdA, S, R), 9);
+  CHECK_OR(C2.wait(IdB, S, R), 10);
+
+  // Terminal jobs keep their pages until the slot is recycled, so the
+  // scrape still carries both labels now.
+  std::string Body;
+  for (int I = 0; I != 250 && Body.empty(); ++I) {
+    Body = scrapeDaemonMetrics(St.MetricsPort);
+    if (Body.empty())
+      usleep(20 * 1000);
+  }
+  CHECK_OR(!Body.empty(), 11);
+  CHECK_OR(Body.find("wbt_daemon_budget 4") != std::string::npos, 12);
+  CHECK_OR(Body.find("wbt_daemon_jobs_running") != std::string::npos, 13);
+  CHECK_OR(Body.find("wbt_regions_resolved{job=\"lab-a\"} 3") !=
+               std::string::npos,
+           14);
+  CHECK_OR(Body.find("wbt_regions_resolved{job=\"lab-b\"} 3") !=
+               std::string::npos,
+           15);
+  // Bucket lines merge the job label ahead of le.
+  CHECK_OR(Body.find("_bucket{job=\"lab-a\",le=\"") != std::string::npos, 16);
+  // No unlabeled runtime series leak from the daemon process itself
+  // (anchored at line start: TYPE comment lines also carry the name).
+  CHECK_OR(Body.find("\nwbt_regions_resolved ") == std::string::npos, 17);
+
+  uint32_t Left = 0;
+  CHECK_OR(C.drain(Left), 18);
+  int Status = 0;
+  CHECK_OR(waitpid(Dm, &Status, 0) == Dm, 19);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0, 20);
+  return 0;
+}
+
+TEST(DaemonEndToEnd, TwoJobsBitwiseIdentical) {
+  EXPECT_EQ(runScenario(scenarioTwoJobsBitwise), 0);
+}
+
+TEST(DaemonEndToEnd, QueueAdmissionBeyondBudget) {
+  EXPECT_EQ(runScenario(scenarioQueueAdmission), 0);
+}
+
+TEST(DaemonEndToEnd, RunnerKilledOthersFinish) {
+  EXPECT_EQ(runScenario(scenarioRunnerKillOthersFinish), 0);
+}
+
+TEST(DaemonEndToEnd, CancelKillsRunner) {
+  EXPECT_EQ(runScenario(scenarioCancel), 0);
+}
+
+TEST(DaemonEndToEnd, DrainRefusesNewWork) {
+  EXPECT_EQ(runScenario(scenarioDrainRefusesNewWork), 0);
+}
+
+TEST(DaemonEndToEnd, StaleSocketReclaim) {
+  EXPECT_EQ(runScenario(scenarioStaleSocketReclaim), 0);
+}
+
+TEST(DaemonEndToEnd, SecondDaemonRefused) {
+  EXPECT_EQ(runScenario(scenarioSecondDaemonRefused), 0);
+}
+
+TEST(DaemonEndToEnd, TornSubmitDropped) {
+  EXPECT_EQ(runScenario(scenarioTornSubmitDropped), 0);
+}
+
+TEST(DaemonEndToEnd, SubmitValidation) {
+  EXPECT_EQ(runScenario(scenarioSubmitValidation), 0);
+}
+
+TEST(DaemonEndToEnd, MetricsLabelsPerJob) {
+  EXPECT_EQ(runScenario(scenarioMetricsLabels), 0);
+}
+
+} // namespace

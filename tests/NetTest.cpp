@@ -21,13 +21,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "net/HostPort.h"
 #include "net/Wire.h"
 #include "proc/Runtime.h"
 #include "strategy/SamplingStrategy.h"
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -665,4 +670,171 @@ TEST(NetRuntimeTest, BatchWithAgentsMatchesLocal) {
 
 TEST(NetRuntimeTest, AgentTraceRecordsCorrelateIntoRegionSpan) {
   EXPECT_EQ(runScenario(scenarioNetTraceCorrelation), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// host:port parsing (net/HostPort.h)
+//===----------------------------------------------------------------------===//
+
+TEST(HostPortTest, AcceptsStrictAddresses) {
+  std::string Host;
+  uint16_t Port = 0;
+  ASSERT_TRUE(net::parseHostPort("127.0.0.1:9464", Host, Port));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 9464);
+  // Port 0 is an explicit ephemeral-port request, not a parse accident.
+  ASSERT_TRUE(net::parseHostPort("0.0.0.0:0", Host, Port));
+  EXPECT_EQ(Host, "0.0.0.0");
+  EXPECT_EQ(Port, 0);
+  ASSERT_TRUE(net::parseHostPort("metrics.internal:65535", Host, Port));
+  EXPECT_EQ(Port, 65535);
+  // The split is at the *last* colon, so colon-bearing hosts pass
+  // through (bracketless IPv6-ish forms at least round-trip).
+  ASSERT_TRUE(net::parseHostPort("::1:8080", Host, Port));
+  EXPECT_EQ(Host, "::1");
+  EXPECT_EQ(Port, 8080);
+  // Leading zeros are still digits.
+  ASSERT_TRUE(net::parseHostPort("h:0009464", Host, Port));
+  EXPECT_EQ(Port, 9464);
+}
+
+TEST(HostPortTest, RejectsMalformedAndLeavesOutputsUntouched) {
+  const char *Bad[] = {
+      "",               // empty
+      "127.0.0.1",      // no colon
+      "127.0.0.1:",     // empty port (the old parser read 0)
+      ":9464",          // empty host
+      "127.0.0.1:9464x", // trailing junk (the old parser accepted it)
+      "127.0.0.1:x",    // not a number
+      "127.0.0.1:-1",   // sign: strtol would take it, a port is digits
+      "127.0.0.1:+80",  // ditto
+      "127.0.0.1: 80",  // strtol-skippable whitespace
+      "127.0.0.1:65536", // out of range
+      "127.0.0.1:99999999999999999999", // overflows long
+  };
+  for (const char *In : Bad) {
+    std::string Host = "sentinel";
+    uint16_t Port = 7;
+    EXPECT_FALSE(net::parseHostPort(In, Host, Port)) << In;
+    EXPECT_EQ(Host, "sentinel") << In; // outputs untouched on failure
+    EXPECT_EQ(Port, 7) << In;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scrape endpoint under EINTR (signal storms + injected syscall faults)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void noopAlarm(int) {}
+
+/// Raw-socket GET /metrics, returning the body ('' on any failure).
+/// Deliberately bypasses wbt::sys so injected faults in the serving
+/// process are exercised from an unperturbed client.
+std::string scrapeOnce(uint16_t Port) {
+  int S = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (S < 0)
+    return std::string();
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(S);
+    return std::string();
+  }
+  const char Req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)::send(S, Req, sizeof(Req) - 1, MSG_NOSIGNAL);
+  std::string Resp;
+  char Buf[4096];
+  ssize_t R;
+  while ((R = ::recv(S, Buf, sizeof(Buf), 0)) > 0)
+    Resp.append(Buf, static_cast<size_t>(R));
+  ::close(S);
+  size_t HdrEnd = Resp.find("\r\n\r\n");
+  return HdrEnd == std::string::npos ? std::string() : Resp.substr(HdrEnd + 4);
+}
+
+/// Regression for the serviceConn EINTR bug: `return errno == EAGAIN`
+/// treated an interrupted recv/send as a dead connection, so any
+/// signal-heavy host (SIGALRM profilers, ITIMER ticks) dropped scrapes
+/// midway. Storm the serving process with 2ms SIGALRMs (no SA_RESTART)
+/// *and* inject deterministic EINTRs into the endpoint's first recv and
+/// send; ten scrapes must still come back whole.
+int scenarioScrapeSurvivesEintrStorm() {
+  alarm(60);
+  Runtime &Rt = Runtime::get();
+  RuntimeOptions Opts;
+  Opts.MaxPool = 4;
+  Opts.Seed = 93;
+  Opts.Backend = StoreBackend::Shm;
+  Opts.MetricsAddress = "127.0.0.1:0";
+  // With no NetAgents the endpoint is the only recv/send caller in this
+  // process, so these land exactly on serviceConn.
+  Opts.InjectPlan = "recv@n1:EINTR*3;send@n1:EINTR*3";
+  Rt.init(Opts);
+  uint16_t Port = Rt.metricsPort();
+  CHECK_OR(Port != 0, 2);
+
+  pid_t Scraper = fork();
+  CHECK_OR(Scraper >= 0, 3);
+  if (Scraper == 0) {
+    // The itimer below is not inherited, and this child scrapes with
+    // raw sockets: the storm and the injected faults stay server-side.
+    int Good = 0;
+    for (int I = 0; I != 2000 && Good != 10; ++I) {
+      std::string Body = scrapeOnce(Port);
+      if (Body.empty()) {
+        usleep(2000);
+        continue;
+      }
+      if (Body.find("wbt_regions_resolved") == std::string::npos)
+        _exit(40);
+      ++Good;
+      usleep(3000);
+    }
+    _exit(Good == 10 ? 0 : 41);
+  }
+
+  // Storm this (serving) process with SIGALRM every 2ms, no SA_RESTART:
+  // poll/recv/send in the pump now really return EINTR.
+  struct sigaction Sa {};
+  Sa.sa_handler = noopAlarm;
+  CHECK_OR(::sigaction(SIGALRM, &Sa, nullptr) == 0, 4);
+  itimerval Storm{};
+  Storm.it_interval.tv_usec = 2000;
+  Storm.it_value.tv_usec = 2000;
+  CHECK_OR(::setitimer(ITIMER_REAL, &Storm, nullptr) == 0, 5);
+
+  int Status = 0;
+  int Regions = 0;
+  pid_t W = 0;
+  while ((W = waitpid(Scraper, &Status, WNOHANG)) == 0) {
+    CHECK_OR(++Regions <= 500, 6);
+    RegionOptions Ro;
+    Ro.Workers = 2;
+    Rt.samplingRegion(4, Ro, [&] {
+      double X = Rt.sample("x", Distribution::uniform(0.0, 1.0));
+      usleep(2000); // keep the region open across a few pump sweeps
+      if (Rt.isSampling())
+        Rt.aggregate("x", encodeDouble(X), nullptr);
+      Rt.aggregate("x", encodeDouble(0), nullptr);
+    });
+  }
+  itimerval Off{};
+  ::setitimer(ITIMER_REAL, &Off, nullptr);
+  CHECK_OR(W == Scraper, 7);
+  CHECK_OR(WIFEXITED(Status) && WEXITSTATUS(Status) == 0,
+           100 + (WIFEXITED(Status) ? WEXITSTATUS(Status) : 99));
+  obs::RuntimeMetrics M = Rt.metrics();
+  Rt.finish();
+  CHECK_OR(M.RegionsResolved == uint64_t(Regions), 8);
+  return 0;
+}
+
+} // namespace
+
+TEST(NetRuntimeTest, ScrapeSurvivesEintrStorm) {
+  EXPECT_EQ(runScenario(scenarioScrapeSurvivesEintrStorm), 0);
 }

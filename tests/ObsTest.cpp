@@ -1036,4 +1036,23 @@ TEST(ObsRuntime, LiveMetricsEndpoint) {
   EXPECT_EQ(runScenario(scenarioLiveMetricsEndpoint), 0);
 }
 
+TEST(ObsRuntime, NoteScoreBeforeInitAborts) {
+  // Regression: this guard was an assert(), so a Release build silently
+  // recorded scores into an uninitialized runtime. It must die loudly
+  // in every build now (sys::fatal -> SIGABRT).
+  std::fflush(stderr);
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    if (!std::freopen("/dev/null", "w", stderr))
+      _exit(98); // keep the expected fatal banner out of the test log
+    wbt::proc::Runtime::get().noteScore(1.0, 1);
+    _exit(0); // surviving the call is the bug
+  }
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  EXPECT_TRUE(WIFSIGNALED(Status));
+  EXPECT_EQ(WTERMSIG(Status), SIGABRT);
+}
+
 } // namespace

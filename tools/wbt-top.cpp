@@ -17,6 +17,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "net/HostPort.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -51,15 +53,9 @@ void usage(const char *Argv0) {
 }
 
 bool parseAddr(const std::string &Addr, Options &Opt) {
-  size_t Colon = Addr.rfind(':');
-  if (Colon == std::string::npos || Colon == 0)
-    return false;
-  Opt.Host = Addr.substr(0, Colon);
-  long P = std::strtol(Addr.c_str() + Colon + 1, nullptr, 10);
-  if (P <= 0 || P > 65535)
-    return false;
-  Opt.Port = static_cast<uint16_t>(P);
-  return true;
+  // Strict shared parser: "host:9464x" and "host:" used to slip
+  // through here as ports 9464 and 0.
+  return wbt::net::parseHostPort(Addr, Opt.Host, Opt.Port) && Opt.Port != 0;
 }
 
 /// One full scrape: connect, GET /metrics, read to EOF, strip headers.

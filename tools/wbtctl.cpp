@@ -1,0 +1,235 @@
+//===- tools/wbtctl.cpp - wbtuned control client --------------------------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Submits and manages tuning jobs on a running wbtuned. Output is
+// line-oriented and parseable (CI asserts on it):
+//
+//   wbtctl --socket S submit --name canny [--regions N] [--samples N]
+//          [--priority N] [--seed N] [--stratified] [--inject PLAN]
+//          [--wait]                  -> "job <id> submitted" and, with
+//                                       --wait, the same line "job <id>
+//                                       <state> regions <n> best <hex>
+//                                       hash <hex>" run-local prints
+//   wbtctl --socket S wait <id>      -> "job <id> <state> regions <n>
+//                                       best <hex> hash <hex>"
+//   wbtctl --socket S status         -> one "job ..." row per job
+//   wbtctl --socket S cancel <id>    -> "job <id> canceled" | "no such job"
+//   wbtctl --socket S drain          -> "draining <n> jobs"
+//   wbtctl run-local --name x ...    -> no daemon: same workload inline,
+//                                       same result line (the bitwise
+//                                       reference for daemon runs)
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/JobRunner.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace wbt;
+using namespace wbt::daemon;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH <submit|wait|status|cancel|drain> [args]\n"
+      "       %s run-local --name NAME [job options]\n"
+      "job options: --name N --regions N --samples N --priority N\n"
+      "             --seed N --stratified --inject PLAN\n"
+      "submit also takes --wait (block until the job finishes);\n"
+      "run-local takes --workers N (pool size of the local run).\n",
+      Argv0, Argv0);
+}
+
+void printResult(uint64_t Id, const char *State, const JobResult &R) {
+  std::printf("job %" PRIu64 " %s regions %u best 0x%016" PRIx64
+              " hash 0x%016" PRIx64 "\n",
+              Id, State, R.RegionsDone, R.BestBits, R.AggHash);
+}
+
+/// Job options shared by submit and run-local. Returns false on an
+/// unrecognized argument.
+bool parseJobArgs(int Argc, char **Argv, int &I, JobSpec &Spec,
+                  uint32_t &Workers, bool &Wait) {
+  for (; I != Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 != Argc ? Argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (A == "--name" && (V = Value()))
+      Spec.Name = V;
+    else if (A == "--regions" && (V = Value()))
+      Spec.Regions = static_cast<uint32_t>(std::atoi(V));
+    else if (A == "--samples" && (V = Value()))
+      Spec.Samples = static_cast<uint32_t>(std::atoi(V));
+    else if (A == "--priority" && (V = Value()))
+      Spec.Priority = static_cast<uint32_t>(std::atoi(V));
+    else if (A == "--seed" && (V = Value()))
+      Spec.Seed = std::strtoull(V, nullptr, 10);
+    else if (A == "--stratified")
+      Spec.Kind = 1;
+    else if (A == "--inject" && (V = Value()))
+      Spec.InjectPlan = V;
+    else if (A == "--workers" && (V = Value()))
+      Workers = static_cast<uint32_t>(std::atoi(V));
+    else if (A == "--wait")
+      Wait = true;
+    else
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket, Cmd;
+  int I = 1;
+  for (; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--socket" && I + 1 != Argc) {
+      Socket = Argv[++I];
+    } else if (A == "-h" || A == "--help") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      Cmd = A;
+      ++I;
+      break;
+    }
+  }
+  if (Cmd.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  if (Cmd == "run-local") {
+    JobSpec Spec;
+    uint32_t Workers = 0;
+    bool Wait = false;
+    if (!parseJobArgs(Argc, Argv, I, Spec, Workers, Wait) ||
+        Spec.Name.empty()) {
+      usage(Argv[0]);
+      return 2;
+    }
+    JobResult R = runJobLocal(Spec, Workers);
+    printResult(0, "done", R);
+    return 0;
+  }
+
+  if (Socket.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+  CtlClient Ctl;
+  if (!Ctl.connect(Socket)) {
+    std::fprintf(stderr, "wbtctl: cannot connect to %s: %s\n",
+                 Socket.c_str(), std::strerror(errno));
+    return 1;
+  }
+
+  if (Cmd == "submit") {
+    JobSpec Spec;
+    uint32_t Workers = 0;
+    bool Wait = false;
+    if (!parseJobArgs(Argc, Argv, I, Spec, Workers, Wait) ||
+        Spec.Name.empty()) {
+      usage(Argv[0]);
+      return 2;
+    }
+    uint64_t Id = 0;
+    std::string Error;
+    if (!Ctl.submit(Spec, Id, Error)) {
+      std::fprintf(stderr, "wbtctl: submit refused: %s\n",
+                   Error.empty() ? "connection lost" : Error.c_str());
+      return 1;
+    }
+    std::printf("job %" PRIu64 " submitted\n", Id);
+    std::fflush(stdout);
+    if (!Wait)
+      return 0;
+    JobState State;
+    JobResult R;
+    if (!Ctl.wait(Id, State, R)) {
+      std::fprintf(stderr, "wbtctl: wait failed: daemon gone\n");
+      return 1;
+    }
+    printResult(Id, jobStateName(State), R);
+    return State == JobState::Done ? 0 : 3;
+  }
+
+  if (Cmd == "wait") {
+    if (I == Argc) {
+      usage(Argv[0]);
+      return 2;
+    }
+    uint64_t Id = std::strtoull(Argv[I], nullptr, 10);
+    JobState State;
+    JobResult R;
+    if (!Ctl.wait(Id, State, R)) {
+      std::fprintf(stderr, "wbtctl: wait failed: daemon gone\n");
+      return 1;
+    }
+    printResult(Id, jobStateName(State), R);
+    return State == JobState::Done ? 0 : 3;
+  }
+
+  if (Cmd == "status") {
+    StatusMsg M;
+    if (!Ctl.status(M)) {
+      std::fprintf(stderr, "wbtctl: status failed\n");
+      return 1;
+    }
+    std::printf("daemon budget %u draining %u metrics %u jobs %zu\n",
+                M.Budget, M.Draining, M.MetricsPort, M.Jobs.size());
+    for (const JobRow &J : M.Jobs) {
+      std::printf("job %" PRIu64 " %s name %s cap %u pid %d regions %u"
+                  " best 0x%016" PRIx64 " hash 0x%016" PRIx64 "\n",
+                  J.Id, jobStateName(J.State), J.Name.c_str(), J.Cap,
+                  J.RunnerPid, J.Result.RegionsDone, J.Result.BestBits,
+                  J.Result.AggHash);
+    }
+    return 0;
+  }
+
+  if (Cmd == "cancel") {
+    if (I == Argc) {
+      usage(Argv[0]);
+      return 2;
+    }
+    uint64_t Id = std::strtoull(Argv[I], nullptr, 10);
+    bool Found = false;
+    if (!Ctl.cancel(Id, Found)) {
+      std::fprintf(stderr, "wbtctl: cancel failed\n");
+      return 1;
+    }
+    if (Found)
+      std::printf("job %" PRIu64 " canceled\n", Id);
+    else
+      std::printf("no such job\n");
+    return Found ? 0 : 3;
+  }
+
+  if (Cmd == "drain") {
+    uint32_t Left = 0;
+    if (!Ctl.drain(Left)) {
+      std::fprintf(stderr, "wbtctl: drain failed\n");
+      return 1;
+    }
+    std::printf("draining %u jobs\n", Left);
+    return 0;
+  }
+
+  usage(Argv[0]);
+  return 2;
+}

@@ -1,0 +1,111 @@
+//===- tools/wbtuned.cpp - Multi-tenant tuning daemon entry point ---------===//
+//
+// Part of the WBTuner reproduction, MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-lived daemon serving concurrent tuning jobs over a Unix control
+// socket (submit with wbtctl). One global worker budget is fair-shared
+// across tenants by remaining-work-weighted shares; per-job metrics are
+// served with a `job` label from the optional Prometheus endpoint.
+// SIGTERM/SIGINT drain: in-flight jobs finish, new admissions are
+// refused, the socket is unlinked, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+#include "net/HostPort.h"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+volatile std::sig_atomic_t GDrain = 0;
+
+void onDrainSignal(int) { GDrain = 1; }
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [options]\n"
+               "  --socket PATH     control socket path (required)\n"
+               "  --budget N        global worker budget "
+               "(default: cores - 1)\n"
+               "  --max-jobs N      per-job metrics page slots "
+               "(default 64)\n"
+               "  --metrics IP:PORT Prometheus scrape endpoint "
+               "(port 0 = kernel-picked, printed on stdout)\n"
+               "  -h                this help\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  wbt::daemon::DaemonOptions Opts;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 != Argc ? Argv[++I] : nullptr;
+    };
+    if (A == "--socket") {
+      const char *V = Value();
+      if (!V)
+        return usage(Argv[0]), 2;
+      Opts.SocketPath = V;
+    } else if (A == "--budget") {
+      const char *V = Value();
+      if (!V)
+        return usage(Argv[0]), 2;
+      Opts.Budget = static_cast<uint32_t>(std::atoi(V));
+    } else if (A == "--max-jobs") {
+      const char *V = Value();
+      if (!V)
+        return usage(Argv[0]), 2;
+      Opts.MaxJobs = static_cast<uint32_t>(std::atoi(V));
+    } else if (A == "--metrics") {
+      const char *V = Value();
+      if (!V)
+        return usage(Argv[0]), 2;
+      std::string Host;
+      uint16_t Port = 0;
+      if (!wbt::net::parseHostPort(V, Host, Port)) {
+        std::fprintf(stderr, "wbtuned: bad metrics address '%s'\n", V);
+        return 2;
+      }
+      Opts.MetricsAddress = V;
+    } else if (A == "-h" || A == "--help") {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  Opts.DrainSignal = &GDrain;
+  struct sigaction Sa{};
+  Sa.sa_handler = onDrainSignal;
+  // No SA_RESTART: the poll loop must wake to notice the drain.
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+
+  wbt::daemon::Daemon D(Opts);
+  if (!D.start())
+    return 1;
+  // Parseable readiness line: tests and CI discover the (possibly
+  // kernel-picked) metrics port from it.
+  std::printf("wbtuned ready socket %s metrics %u\n",
+              Opts.SocketPath.c_str(), D.metricsPort());
+  std::fflush(stdout);
+  return D.run();
+}
